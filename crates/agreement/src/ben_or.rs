@@ -1,0 +1,318 @@
+//! Ben-Or's randomized binary consensus: circumventing FLP by sacrificing
+//! determinism.
+//!
+//! Fully asynchronous network, up to `f < n/2` crash faults, and yet every
+//! correct process decides — with probability 1 — because a coin flip
+//! breaks the symmetry the FLP adversary needs to maintain.
+//!
+//! Round structure (classic Ben-Or):
+//!
+//! 1. **Report**: broadcast your current value; await `n − f` reports. If a
+//!    strict majority reports the same `v`, propose `v`; else propose `⊥`.
+//! 2. **Propose**: broadcast the proposal; await `n − f` proposals. If
+//!    `f + 1` of them carry the same `v`, **decide** `v`; if at least one
+//!    carries `v`, adopt `v`; otherwise flip a coin.
+
+use std::collections::BTreeMap;
+
+use simnet::{Context, NetConfig, Node, NodeId, Payload, Sim, Time};
+
+/// Ben-Or wire messages.
+#[derive(Clone, Debug)]
+pub enum BenOrMsg {
+    /// Phase 1 report of the current value.
+    Report {
+        /// Round number.
+        round: u64,
+        /// Current value.
+        value: u8,
+    },
+    /// Phase 2 proposal (`None` = ⊥).
+    Propose {
+        /// Round number.
+        round: u64,
+        /// Majority value, if the reporter saw one.
+        value: Option<u8>,
+    },
+    /// Decision announcement, so laggards finish immediately.
+    Decided {
+        /// The decided value.
+        value: u8,
+    },
+}
+
+impl Payload for BenOrMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            BenOrMsg::Report { .. } => "report",
+            BenOrMsg::Propose { .. } => "propose",
+            BenOrMsg::Decided { .. } => "decided",
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Reporting,
+    Proposing,
+}
+
+/// A Ben-Or process.
+pub struct BenOrNode {
+    n: usize,
+    f: usize,
+    value: u8,
+    round: u64,
+    phase: Phase,
+    reports: BTreeMap<u64, Vec<u8>>,
+    proposals: BTreeMap<u64, Vec<Option<u8>>>,
+    /// The decision, once made.
+    pub decided: Option<u8>,
+    /// Rounds taken to decide.
+    pub rounds_used: u64,
+    /// Coin flips performed (the "sacrificed determinism").
+    pub coin_flips: u64,
+}
+
+impl BenOrNode {
+    /// Creates a process with initial `value` in a system of `n` processes
+    /// tolerating `f` crashes (`f < n/2`).
+    pub fn new(n: usize, f: usize, value: u8) -> Self {
+        assert!(2 * f < n, "Ben-Or needs f < n/2");
+        assert!(value <= 1);
+        BenOrNode {
+            n,
+            f,
+            value,
+            round: 0,
+            phase: Phase::Reporting,
+            reports: BTreeMap::new(),
+            proposals: BTreeMap::new(),
+            decided: None,
+            rounds_used: 0,
+            coin_flips: 0,
+        }
+    }
+
+    fn quorum(&self) -> usize {
+        self.n - self.f
+    }
+
+    fn begin_round(&mut self, ctx: &mut Context<BenOrMsg>) {
+        self.phase = Phase::Reporting;
+        ctx.broadcast_all(BenOrMsg::Report {
+            round: self.round,
+            value: self.value,
+        });
+    }
+
+    fn try_advance(&mut self, ctx: &mut Context<BenOrMsg>) {
+        if self.decided.is_some() {
+            return;
+        }
+        loop {
+            match self.phase {
+                Phase::Reporting => {
+                    let Some(reports) = self.reports.get(&self.round) else {
+                        return;
+                    };
+                    if reports.len() < self.quorum() {
+                        return;
+                    }
+                    let ones = reports.iter().filter(|&&v| v == 1).count();
+                    let zeros = reports.len() - ones;
+                    let proposal = if 2 * ones > self.n {
+                        Some(1)
+                    } else if 2 * zeros > self.n {
+                        Some(0)
+                    } else {
+                        None
+                    };
+                    self.phase = Phase::Proposing;
+                    ctx.broadcast_all(BenOrMsg::Propose {
+                        round: self.round,
+                        value: proposal,
+                    });
+                }
+                Phase::Proposing => {
+                    let Some(proposals) = self.proposals.get(&self.round) else {
+                        return;
+                    };
+                    if proposals.len() < self.quorum() {
+                        return;
+                    }
+                    let count = |v: u8| proposals.iter().filter(|p| **p == Some(v)).count();
+                    let (c0, c1) = (count(0), count(1));
+                    let (best, support) = if c1 > c0 { (1, c1) } else { (0, c0) };
+                    if support >= self.f + 1 {
+                        self.decided = Some(best);
+                        self.rounds_used = self.round + 1;
+                        ctx.broadcast(BenOrMsg::Decided { value: best });
+                        return;
+                    }
+                    if support >= 1 {
+                        self.value = best;
+                    } else {
+                        use rand::Rng;
+                        self.value = ctx.rng().gen_range(0..=1);
+                        self.coin_flips += 1;
+                    }
+                    self.round += 1;
+                    self.begin_round(ctx);
+                }
+            }
+        }
+    }
+}
+
+impl Node for BenOrNode {
+    type Msg = BenOrMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<BenOrMsg>) {
+        self.begin_round(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<BenOrMsg>, _from: NodeId, msg: BenOrMsg) {
+        match msg {
+            BenOrMsg::Report { round, value } => {
+                self.reports.entry(round).or_default().push(value);
+            }
+            BenOrMsg::Propose { round, value } => {
+                self.proposals.entry(round).or_default().push(value);
+            }
+            BenOrMsg::Decided { value } => {
+                if let Some(prev) = self.decided {
+                    assert_eq!(prev, value, "Ben-Or agreement violated");
+                } else {
+                    self.decided = Some(value);
+                    self.rounds_used = self.round + 1;
+                    // Help others decide too.
+                    ctx.broadcast(BenOrMsg::Decided { value });
+                }
+            }
+        }
+        self.try_advance(ctx);
+    }
+}
+
+/// Builds and runs a Ben-Or instance; returns the sim for inspection.
+pub fn run_ben_or(
+    initial: &[u8],
+    f: usize,
+    crashed: &[usize],
+    config: NetConfig,
+    seed: u64,
+    horizon: Time,
+) -> Sim<BenOrNode> {
+    let n = initial.len();
+    let mut sim = Sim::new(config, seed);
+    for &v in initial {
+        sim.add_node(BenOrNode::new(n, f, v));
+    }
+    for &c in crashed {
+        sim.crash_at(NodeId::from(c), Time::ZERO);
+    }
+    sim.run_until(horizon);
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decisions(sim: &Sim<BenOrNode>) -> Vec<Option<u8>> {
+        sim.nodes()
+            .filter(|(id, _)| sim.is_alive(*id))
+            .map(|(_, n)| n.decided)
+            .collect()
+    }
+
+    #[test]
+    fn unanimous_input_decides_round_one() {
+        let sim = run_ben_or(
+            &[1, 1, 1, 1, 1],
+            2,
+            &[],
+            NetConfig::asynchronous(),
+            1,
+            Time::from_secs(10),
+        );
+        for d in decisions(&sim) {
+            assert_eq!(d, Some(1));
+        }
+        for (_, node) in sim.nodes() {
+            assert_eq!(node.rounds_used, 1, "validity case is one round");
+            assert_eq!(node.coin_flips, 0);
+        }
+    }
+
+    #[test]
+    fn split_input_still_terminates_and_agrees() {
+        // The FLP-hard case: perfectly split inputs on an asynchronous
+        // network. Randomization gets us out.
+        let mut agreed_values = std::collections::BTreeSet::new();
+        for seed in 0..10 {
+            let sim = run_ben_or(
+                &[0, 0, 1, 1, 0, 1],
+                2,
+                &[],
+                NetConfig::asynchronous(),
+                seed,
+                Time::from_secs(60),
+            );
+            let ds = decisions(&sim);
+            assert!(
+                ds.iter().all(|d| d.is_some()),
+                "seed {seed} undecided: {ds:?}"
+            );
+            let v = ds[0].unwrap();
+            assert!(ds.iter().all(|d| *d == Some(v)), "seed {seed}: {ds:?}");
+            agreed_values.insert(v);
+        }
+        // Across seeds both outcomes occur — the coin really decides.
+        assert_eq!(agreed_values.len(), 2, "expected both 0 and 1 outcomes");
+    }
+
+    #[test]
+    fn tolerates_f_crashes() {
+        let sim = run_ben_or(
+            &[0, 1, 0, 1, 1],
+            2,
+            &[3, 4],
+            NetConfig::asynchronous(),
+            7,
+            Time::from_secs(60),
+        );
+        let ds = decisions(&sim);
+        assert_eq!(ds.len(), 3);
+        assert!(ds.iter().all(|d| d.is_some()), "{ds:?}");
+        let v = ds[0];
+        assert!(ds.iter().all(|d| *d == v));
+    }
+
+    #[test]
+    #[should_panic(expected = "f < n/2")]
+    fn rejects_too_many_faults() {
+        let _ = BenOrNode::new(4, 2, 0);
+    }
+
+    #[test]
+    fn coin_flips_happen_on_split_inputs() {
+        let mut total_flips = 0;
+        for seed in 0..5 {
+            let sim = run_ben_or(
+                &[0, 0, 0, 1, 1, 1],
+                2,
+                &[],
+                NetConfig::asynchronous(),
+                100 + seed,
+                Time::from_secs(60),
+            );
+            total_flips += sim
+                .nodes()
+                .map(|(_, n)| n.coin_flips)
+                .sum::<u64>();
+        }
+        assert!(total_flips > 0, "split inputs should force coin flips");
+    }
+}

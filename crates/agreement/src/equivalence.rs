@@ -1,0 +1,247 @@
+//! The "Equivalent problems to Consensus" slide, executable: atomic
+//! broadcast and consensus reduce to one another (Chandra & Toueg 1996;
+//! Hadzilacos & Toueg 1994), and state machine replication (Schneider
+//! 1990) is built from atomic broadcast.
+//!
+//! The reductions are implemented against *abstract* black boxes
+//! ([`ConsensusBox`], [`AtomicBroadcastBox`]) so the equivalence argument —
+//! not any particular protocol — is what runs: plug in a correct instance
+//! of one primitive and the other's properties follow, which the tests
+//! check against adversarial delivery orders.
+
+use std::collections::BTreeMap;
+
+/// An abstract one-shot consensus object for values of type `V`: every call
+/// with a (per-process) proposal returns the same decided value, which was
+/// someone's proposal.
+pub trait ConsensusBox<V: Clone + Eq> {
+    /// Propose and learn the decision.
+    fn propose(&mut self, proposer: usize, value: V) -> V;
+}
+
+/// A trivially correct consensus box: first proposal wins. (Any real
+/// protocol in this workspace — Paxos, Raft, Ben-Or — implements the same
+/// contract; this in-memory one keeps the reduction test deterministic and
+/// instantaneous.)
+#[derive(Default)]
+pub struct FirstWinsConsensus<V> {
+    decided: Option<V>,
+}
+
+impl<V: Clone + Eq> ConsensusBox<V> for FirstWinsConsensus<V> {
+    fn propose(&mut self, _proposer: usize, value: V) -> V {
+        self.decided.get_or_insert(value).clone()
+    }
+}
+
+/// **Atomic broadcast from consensus** (the slide's "reducible" arrow):
+/// processes buffer received broadcasts; a sequence of consensus instances
+/// decides, batch by batch, the global delivery order. Total order and
+/// agreement follow from the consensus properties regardless of how the
+/// underlying (unordered) dissemination interleaved.
+pub struct AtomicBroadcastFromConsensus<V: Clone + Eq + Ord> {
+    n: usize,
+    /// Per-process pending (received but undelivered) messages.
+    pending: Vec<Vec<V>>,
+    /// Per-process delivered sequences.
+    delivered: Vec<Vec<V>>,
+    /// The shared sequence of consensus instances (instance k orders
+    /// batch k).
+    instances: Vec<FirstWinsConsensus<Vec<V>>>,
+    /// Next instance each process will run.
+    next_instance: Vec<usize>,
+}
+
+impl<V: Clone + Eq + Ord> AtomicBroadcastFromConsensus<V> {
+    /// Creates the reduction for `n` processes.
+    pub fn new(n: usize) -> Self {
+        AtomicBroadcastFromConsensus {
+            n,
+            pending: vec![Vec::new(); n],
+            delivered: vec![Vec::new(); n],
+            instances: Vec::new(),
+            next_instance: vec![0; n],
+        }
+    }
+
+    /// Unordered dissemination: `msg` arrives at `process` (the underlying
+    /// reliable broadcast may deliver in any order at each process).
+    pub fn receive(&mut self, process: usize, msg: V) {
+        if !self.delivered[process].contains(&msg) && !self.pending[process].contains(&msg) {
+            self.pending[process].push(msg);
+        }
+    }
+
+    /// One reduction step at `process`: propose the (sorted) pending batch
+    /// to the next consensus instance and deliver whatever it decides.
+    pub fn step(&mut self, process: usize) {
+        if self.pending[process].is_empty() {
+            return;
+        }
+        let k = self.next_instance[process];
+        if self.instances.len() <= k {
+            self.instances.resize_with(k + 1, FirstWinsConsensus::default);
+        }
+        let mut proposal = self.pending[process].clone();
+        proposal.sort(); // deterministic batch
+        let decided = self.instances[k].propose(process, proposal);
+        for msg in &decided {
+            if !self.delivered[process].contains(msg) {
+                self.delivered[process].push(msg.clone());
+            }
+            self.pending[process].retain(|m| m != msg);
+        }
+        self.next_instance[process] = k + 1;
+    }
+
+    /// Delivered sequence at `process`.
+    pub fn delivered(&self, process: usize) -> &[V] {
+        &self.delivered[process]
+    }
+
+    /// Total-order check: every process's delivery sequence is a prefix of
+    /// the longest one.
+    pub fn total_order_holds(&self) -> bool {
+        let longest = (0..self.n)
+            .max_by_key(|&p| self.delivered[p].len())
+            .unwrap_or(0);
+        (0..self.n).all(|p| {
+            self.delivered[p]
+                .iter()
+                .zip(self.delivered[longest].iter())
+                .all(|(a, b)| a == b)
+        })
+    }
+}
+
+/// An abstract atomic broadcast object: `broadcast` submits; `deliver`
+/// returns the next message in the (single, global) total order.
+pub trait AtomicBroadcastBox<V: Clone> {
+    /// Submit a message.
+    fn broadcast(&mut self, from: usize, msg: V);
+    /// Pop the next message of the total order for `process`.
+    fn deliver(&mut self, process: usize) -> Option<V>;
+}
+
+/// A trivially correct AB box: a single global FIFO of broadcast messages;
+/// every process reads the same sequence.
+#[derive(Default)]
+pub struct GlobalOrderBroadcast<V> {
+    order: Vec<V>,
+    cursor: BTreeMap<usize, usize>,
+}
+
+impl<V: Clone> AtomicBroadcastBox<V> for GlobalOrderBroadcast<V> {
+    fn broadcast(&mut self, _from: usize, msg: V) {
+        self.order.push(msg);
+    }
+    fn deliver(&mut self, process: usize) -> Option<V> {
+        let cur = self.cursor.entry(process).or_insert(0);
+        let out = self.order.get(*cur).cloned();
+        if out.is_some() {
+            *cur += 1;
+        }
+        out
+    }
+}
+
+/// **Consensus from atomic broadcast** (the other direction): every process
+/// AB-broadcasts its proposal and decides the *first* value the total order
+/// delivers. Agreement and total order of AB give agreement of consensus;
+/// validity is immediate.
+pub fn consensus_from_ab<V: Clone, A: AtomicBroadcastBox<V>>(
+    ab: &mut A,
+    proposals: &[V],
+) -> Vec<V> {
+    for (p, v) in proposals.iter().enumerate() {
+        ab.broadcast(p, v.clone());
+    }
+    (0..proposals.len())
+        .map(|p| ab.deliver(p).expect("at least one broadcast delivered"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ab_from_consensus_total_order_simple() {
+        let mut ab: AtomicBroadcastFromConsensus<u32> = AtomicBroadcastFromConsensus::new(3);
+        // Messages arrive in different orders at different processes.
+        for m in [1u32, 2, 3] {
+            ab.receive(0, m);
+        }
+        for m in [3u32, 1, 2] {
+            ab.receive(1, m);
+        }
+        for m in [2u32, 3, 1] {
+            ab.receive(2, m);
+        }
+        for p in 0..3 {
+            ab.step(p);
+        }
+        assert!(ab.total_order_holds());
+        assert_eq!(ab.delivered(0), ab.delivered(1));
+        assert_eq!(ab.delivered(1), ab.delivered(2));
+    }
+
+    #[test]
+    fn consensus_from_ab_agreement_and_validity() {
+        let mut ab = GlobalOrderBroadcast::default();
+        let decisions = consensus_from_ab(&mut ab, &[10, 20, 30, 40]);
+        let first = decisions[0];
+        assert!(decisions.iter().all(|&d| d == first), "{decisions:?}");
+        assert!([10, 20, 30, 40].contains(&first), "validity");
+    }
+
+    proptest! {
+        /// The AB-from-consensus reduction preserves total order under any
+        /// arrival interleaving and stepping schedule.
+        #[test]
+        fn prop_total_order_under_adversarial_interleaving(
+            arrivals in proptest::collection::vec((0usize..4, 0u32..12), 1..60),
+            steps in proptest::collection::vec(0usize..4, 1..40),
+        ) {
+            let mut ab: AtomicBroadcastFromConsensus<u32> =
+                AtomicBroadcastFromConsensus::new(4);
+            let mut arrivals = arrivals.into_iter();
+            for s in steps {
+                // Interleave a couple of arrivals with each step.
+                for _ in 0..2 {
+                    if let Some((p, m)) = arrivals.next() {
+                        ab.receive(p, m);
+                    }
+                }
+                ab.step(s);
+                prop_assert!(ab.total_order_holds(), "order broke mid-run");
+            }
+            // Drain: everyone catches up.
+            for _ in 0..16 {
+                for p in 0..4 {
+                    ab.step(p);
+                }
+            }
+            prop_assert!(ab.total_order_holds());
+            // No duplicates at any process.
+            for p in 0..4 {
+                let mut seen = ab.delivered(p).to_vec();
+                seen.sort_unstable();
+                let len = seen.len();
+                seen.dedup();
+                prop_assert_eq!(seen.len(), len, "duplicate delivery at {}", p);
+            }
+        }
+
+        /// Consensus-from-AB decides identically for any proposal vector.
+        #[test]
+        fn prop_consensus_from_ab(props in proptest::collection::vec(0u64..1000, 1..12)) {
+            let mut ab = GlobalOrderBroadcast::default();
+            let ds = consensus_from_ab(&mut ab, &props);
+            let first = ds[0];
+            prop_assert!(ds.iter().all(|&d| d == first));
+            prop_assert!(props.contains(&first));
+        }
+    }
+}

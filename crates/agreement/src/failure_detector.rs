@@ -1,0 +1,374 @@
+//! Circumventing FLP with an **oracle**: Chandra & Toueg's
+//! rotating-coordinator consensus with an eventually-strong (◇S) failure
+//! detector.
+//!
+//! The slide lists "adding oracle (failure detector) / adding trusted
+//! component" as an FLP escape; Chandra & Toueg 1996 is the citation on the
+//! equivalence slide. The algorithm (for `f < n/2` crash faults):
+//!
+//! round `r` with coordinator `c = r mod n`:
+//! 1. every process sends its `(estimate, ts)` to `c`;
+//! 2. `c` gathers a majority, adopts the estimate with the largest `ts`,
+//!    and broadcasts it as the round's proposal;
+//! 3. each process either **acks** (adopting the proposal, `ts ← r`) or —
+//!    if the failure detector *suspects* `c` (modelled as a timeout, which
+//!    is exactly how ◇S detectors are built under partial synchrony) —
+//!    **nacks** and moves to the next round;
+//! 4. on a majority of acks, `c` decides and reliably broadcasts the
+//!    decision.
+//!
+//! Suspicion may be wrong (that's the beauty of ◇S): a false suspicion
+//! only wastes a round; safety never depends on the detector.
+
+use std::collections::BTreeMap;
+
+use simnet::{Context, NetConfig, Node, NodeId, Payload, Sim, Time, Timer};
+
+/// Chandra–Toueg wire messages.
+#[derive(Clone, Debug)]
+pub enum CtMsg {
+    /// Phase 1: a process's current estimate for round `r`.
+    Estimate {
+        /// Round.
+        round: u64,
+        /// Current estimate.
+        estimate: u64,
+        /// Round in which the estimate was last adopted.
+        ts: u64,
+    },
+    /// Phase 2: the coordinator's proposal.
+    Propose {
+        /// Round.
+        round: u64,
+        /// Proposed value.
+        value: u64,
+    },
+    /// Phase 3: ack (adopt) — or nack (suspected the coordinator).
+    Ack {
+        /// Round.
+        round: u64,
+        /// Positive or negative.
+        positive: bool,
+    },
+    /// Phase 4 / reliable broadcast of the decision.
+    Decide {
+        /// Decided value.
+        value: u64,
+    },
+}
+
+impl Payload for CtMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            CtMsg::Estimate { .. } => "estimate",
+            CtMsg::Propose { .. } => "propose",
+            CtMsg::Ack { positive: true, .. } => "ack",
+            CtMsg::Ack { positive: false, .. } => "nack",
+            CtMsg::Decide { .. } => "decide",
+        }
+    }
+}
+
+const SUSPECT: u64 = 1;
+
+/// A Chandra–Toueg process.
+pub struct CtProcess {
+    n: usize,
+    /// Current estimate.
+    estimate: u64,
+    ts: u64,
+    /// Current round.
+    pub round: u64,
+    /// The decision, if reached.
+    pub decided: Option<u64>,
+    /// Rounds in which this process (as coordinator) gathered estimates.
+    estimates: BTreeMap<u64, Vec<(u64, u64)>>,
+    /// Acks gathered per round (as coordinator).
+    acks: BTreeMap<u64, (usize, usize)>,
+    proposed: BTreeMap<u64, bool>,
+    acked_round: BTreeMap<u64, bool>,
+    /// Timeout before suspecting the round's coordinator (µs). The ◇S
+    /// "eventually accurate" property comes from partial synchrony: once
+    /// delays respect the bound, live coordinators are never suspected.
+    suspicion_timeout: u64,
+    /// False/true suspicions raised (telemetry).
+    pub suspicions: u64,
+}
+
+impl CtProcess {
+    /// Creates a process with an initial value.
+    pub fn new(n: usize, initial: u64) -> Self {
+        CtProcess {
+            n,
+            estimate: initial,
+            ts: 0,
+            round: 0,
+            decided: None,
+            estimates: BTreeMap::new(),
+            acks: BTreeMap::new(),
+            proposed: BTreeMap::new(),
+            acked_round: BTreeMap::new(),
+            suspicion_timeout: 30_000,
+            suspicions: 0,
+        }
+    }
+
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Coordinator of round `r`.
+    pub fn coordinator_of(&self, r: u64) -> NodeId {
+        NodeId((r % self.n as u64) as u32)
+    }
+
+    fn enter_round(&mut self, ctx: &mut Context<CtMsg>, r: u64) {
+        if self.decided.is_some() {
+            return;
+        }
+        self.round = r;
+        let coord = self.coordinator_of(r);
+        ctx.send(
+            coord,
+            CtMsg::Estimate {
+                round: r,
+                estimate: self.estimate,
+                ts: self.ts,
+            },
+        );
+        // Arm the failure detector for this round's coordinator.
+        ctx.set_timer(self.suspicion_timeout, SUSPECT + r);
+    }
+
+    fn maybe_propose(&mut self, ctx: &mut Context<CtMsg>, r: u64) {
+        if *self.proposed.get(&r).unwrap_or(&false) {
+            return;
+        }
+        let Some(ests) = self.estimates.get(&r) else {
+            return;
+        };
+        if ests.len() < self.majority() {
+            return;
+        }
+        let (value, _) = ests
+            .iter()
+            .map(|&(e, ts)| (e, ts))
+            .max_by_key(|&(_, ts)| ts)
+            .expect("nonempty");
+        self.proposed.insert(r, true);
+        ctx.broadcast_all(CtMsg::Propose { round: r, value });
+    }
+}
+
+impl Node for CtProcess {
+    type Msg = CtMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<CtMsg>) {
+        self.enter_round(ctx, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<CtMsg>, from: NodeId, msg: CtMsg) {
+        if self.decided.is_some() {
+            if let CtMsg::Estimate { round, .. } = msg {
+                // Help laggards: repeat the decision.
+                let _ = round;
+                let value = self.decided.expect("checked");
+                ctx.send(from, CtMsg::Decide { value });
+            }
+            return;
+        }
+        match msg {
+            CtMsg::Estimate {
+                round,
+                estimate,
+                ts,
+            } => {
+                if self.coordinator_of(round) == ctx.id() {
+                    self.estimates.entry(round).or_default().push((estimate, ts));
+                    self.maybe_propose(ctx, round);
+                }
+            }
+            CtMsg::Propose { round, value } => {
+                if from != self.coordinator_of(round) {
+                    return;
+                }
+                if round < self.round {
+                    // Old round: still ack so a slow coordinator can finish
+                    // (safe — our estimate already moved on or matches).
+                    ctx.send(from, CtMsg::Ack {
+                        round,
+                        positive: false,
+                    });
+                    return;
+                }
+                if *self.acked_round.get(&round).unwrap_or(&false) {
+                    return;
+                }
+                self.acked_round.insert(round, true);
+                // Adopt.
+                self.estimate = value;
+                self.ts = round;
+                ctx.send(from, CtMsg::Ack {
+                    round,
+                    positive: true,
+                });
+            }
+            CtMsg::Ack { round, positive } => {
+                if self.coordinator_of(round) != ctx.id() {
+                    return;
+                }
+                let entry = self.acks.entry(round).or_insert((0, 0));
+                if positive {
+                    entry.0 += 1;
+                } else {
+                    entry.1 += 1;
+                }
+                if entry.0 >= self.majority() {
+                    let value = self.estimate;
+                    self.decided = Some(value);
+                    ctx.broadcast(CtMsg::Decide { value });
+                }
+            }
+            CtMsg::Decide { value } => {
+                if let Some(prev) = self.decided {
+                    assert_eq!(prev, value, "Chandra–Toueg agreement violated");
+                } else {
+                    self.decided = Some(value);
+                    // Reliable broadcast: relay once.
+                    ctx.broadcast(CtMsg::Decide { value });
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<CtMsg>, timer: Timer) {
+        let round = timer.kind - SUSPECT;
+        if self.decided.is_some() || round != self.round {
+            return;
+        }
+        if *self.acked_round.get(&round).unwrap_or(&false) {
+            // We acked; give the coordinator one more timeout to finish.
+            ctx.set_timer(self.suspicion_timeout, SUSPECT + round);
+            // Also probe: if the decision got lost we re-enter via rounds.
+            self.acked_round.insert(round, false);
+            return;
+        }
+        // Suspect the coordinator: move to the next round.
+        self.suspicions += 1;
+        let next = round + 1;
+        self.enter_round(ctx, next);
+    }
+}
+
+/// Builds and runs a Chandra–Toueg instance.
+pub fn run_chandra_toueg(
+    initial: &[u64],
+    crashed: &[(usize, u64)],
+    config: NetConfig,
+    seed: u64,
+    horizon: Time,
+) -> Sim<CtProcess> {
+    let n = initial.len();
+    let mut sim: Sim<CtProcess> = Sim::new(config, seed);
+    for &v in initial {
+        sim.add_node(CtProcess::new(n, v));
+    }
+    for &(id, at) in crashed {
+        sim.crash_at(NodeId::from(id), Time(at));
+    }
+    sim.run_until(horizon);
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decisions(sim: &Sim<CtProcess>) -> Vec<Option<u64>> {
+        sim.nodes()
+            .filter(|(id, _)| sim.is_alive(*id))
+            .map(|(_, p)| p.decided)
+            .collect()
+    }
+
+    #[test]
+    fn decides_in_round_zero_fault_free() {
+        let sim = run_chandra_toueg(&[5, 6, 7, 8, 9], &[], NetConfig::lan(), 1, Time::from_secs(5));
+        let ds = decisions(&sim);
+        assert!(ds.iter().all(|d| d.is_some()), "{ds:?}");
+        let v = ds[0].unwrap();
+        assert!(ds.iter().all(|d| *d == Some(v)));
+        // Validity: the decision is someone's input.
+        assert!((5..=9).contains(&v));
+        // Fault-free: nobody needed to suspect.
+        let suspicions: u64 = sim.nodes().map(|(_, p)| p.suspicions).sum();
+        assert_eq!(suspicions, 0);
+    }
+
+    #[test]
+    fn crashed_coordinator_is_suspected_and_skipped() {
+        // Coordinator of round 0 (node 0) is dead from the start: the
+        // detector times out, everyone moves to round 1 (coordinator 1).
+        let sim = run_chandra_toueg(
+            &[5, 6, 7, 8, 9],
+            &[(0, 0)],
+            NetConfig::lan(),
+            2,
+            Time::from_secs(5),
+        );
+        let ds = decisions(&sim);
+        assert!(ds.iter().all(|d| d.is_some()), "{ds:?}");
+        let suspicions: u64 = sim.nodes().map(|(_, p)| p.suspicions).sum();
+        assert!(suspicions >= 4, "live processes must suspect node 0");
+        let max_round = sim.nodes().map(|(_, p)| p.round).max().unwrap();
+        assert!(max_round >= 1);
+    }
+
+    #[test]
+    fn two_dead_coordinators_still_terminate() {
+        let sim = run_chandra_toueg(
+            &[5, 6, 7, 8, 9],
+            &[(0, 0), (1, 0)],
+            NetConfig::lan(),
+            3,
+            Time::from_secs(10),
+        );
+        let ds = decisions(&sim);
+        assert_eq!(ds.len(), 3);
+        assert!(ds.iter().all(|d| d.is_some()), "{ds:?}");
+        let v = ds[0];
+        assert!(ds.iter().all(|d| *d == v));
+    }
+
+    #[test]
+    fn agreement_under_false_suspicion() {
+        // A slow (but live) coordinator on a jittery WAN: false suspicions
+        // may waste rounds but never break agreement.
+        let sim = run_chandra_toueg(
+            &[1, 2, 3, 4, 5],
+            &[],
+            NetConfig::wan(),
+            4,
+            Time::from_secs(30),
+        );
+        let ds = decisions(&sim);
+        assert!(ds.iter().all(|d| d.is_some()), "{ds:?}");
+        let v = ds[0];
+        assert!(ds.iter().all(|d| *d == v), "{ds:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            let sim = run_chandra_toueg(
+                &[1, 2, 3],
+                &[(0, 0)],
+                NetConfig::lan(),
+                seed,
+                Time::from_secs(5),
+            );
+            decisions(&sim)
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,177 @@
+//! FLP, constructively: an adversarial scheduler keeps a deterministic
+//! asynchronous consensus protocol undecided forever.
+//!
+//! One cannot "run" an impossibility theorem, but one can run its proof
+//! mechanism. The protocol here is a natural deterministic voting protocol
+//! that tolerates one crash fault: each round, every process broadcasts its
+//! current value, waits for `n − 1` values (it cannot wait for all `n` —
+//! one process may have crashed, and in an asynchronous system *slow is
+//! indistinguishable from dead*), adopts the majority, and decides once it
+//! has seen unanimity.
+//!
+//! * Under a **fair** scheduler every message arrives; ties break
+//!   deterministically; the protocol decides in two rounds.
+//! * The **adversarial** scheduler exploits exactly the `n − 1` window the
+//!   crash tolerance forces: each round it withholds one value from each
+//!   process, chosen to keep every process's view split — the
+//!   configuration stays bivalent for as many rounds as you care to run.
+//!
+//! The escape hatches the tutorial lists are also demonstrated:
+//! randomization ([`crate::ben_or`]), adding synchrony (the fair scheduler
+//! *is* a synchrony assumption), and failure detectors (knowing nobody
+//! crashed, processes may wait for all `n` — also shown here).
+
+/// How messages are delivered each round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// All messages delivered (a synchronous round) — termination follows.
+    Fair,
+    /// For each receiver, delay one strategically chosen message; the
+    /// receiver proceeds with `n − 1` values as crash tolerance demands.
+    Adversarial,
+    /// A perfect failure detector tells processes nobody crashed, so they
+    /// wait for all `n` values even though delivery is adversarial —
+    /// termination follows (the adversary can only *delay*, and "wait for
+    /// everything" defeats delay in the absence of real crashes).
+    WithFailureDetector,
+}
+
+/// Result of a bounded run.
+#[derive(Clone, Debug)]
+pub struct FlpReport {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether all processes decided.
+    pub decided: bool,
+    /// The decision, if reached.
+    pub value: Option<u8>,
+    /// Per-round global value multiset (zeros, ones) — shows bivalence.
+    pub history: Vec<(usize, usize)>,
+}
+
+/// Runs the deterministic voting protocol over `n` processes (`n` even,
+/// initial values split 50/50 — the bivalent initial configuration) for at
+/// most `max_rounds`.
+pub fn run_voting(n: usize, scheduler: Scheduler, max_rounds: usize) -> FlpReport {
+    assert!(n >= 4 && n % 2 == 0, "use an even n ≥ 4 for a bivalent start");
+    let mut values: Vec<u8> = (0..n).map(|i| u8::from(i >= n / 2)).collect();
+    let mut unanimous_seen: Vec<bool> = vec![false; n];
+    let mut history = Vec::new();
+
+    for round in 0..max_rounds {
+        let zeros = values.iter().filter(|&&v| v == 0).count();
+        history.push((zeros, n - zeros));
+
+        let mut next = values.clone();
+        let mut all_unanimous = true;
+        for receiver in 0..n {
+            // Build the receiver's view for this round.
+            let mut view: Vec<u8> = Vec::with_capacity(n);
+            match scheduler {
+                Scheduler::Fair | Scheduler::WithFailureDetector => {
+                    view.extend(values.iter().copied());
+                }
+                Scheduler::Adversarial => {
+                    // Withhold one message carrying the *minority-making*
+                    // value for this receiver: a receiver holding v keeps
+                    // seeing v in the majority.
+                    let mine = values[receiver];
+                    let mut withheld = false;
+                    for (sender, &v) in values.iter().enumerate() {
+                        if sender != receiver && !withheld && v != mine {
+                            // delay this one message
+                            withheld = true;
+                            continue;
+                        }
+                        view.push(v);
+                    }
+                }
+            }
+            let ones = view.iter().filter(|&&v| v == 1).count();
+            let zeros = view.len() - ones;
+            // Adopt the majority; deterministic tie-break to 0.
+            next[receiver] = match ones.cmp(&zeros) {
+                std::cmp::Ordering::Greater => 1,
+                std::cmp::Ordering::Less => 0,
+                std::cmp::Ordering::Equal => 0,
+            };
+            let unanimous = ones == 0 || zeros == 0;
+            unanimous_seen[receiver] = unanimous;
+            all_unanimous &= unanimous;
+        }
+        values = next;
+
+        if all_unanimous {
+            let v = values[0];
+            debug_assert!(values.iter().all(|&x| x == v));
+            return FlpReport {
+                rounds: round + 1,
+                decided: true,
+                value: Some(v),
+                history,
+            };
+        }
+    }
+
+    FlpReport {
+        rounds: max_rounds,
+        decided: false,
+        value: None,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_scheduler_terminates_quickly() {
+        let report = run_voting(6, Scheduler::Fair, 100);
+        assert!(report.decided, "{report:?}");
+        assert!(report.rounds <= 3);
+        assert_eq!(report.value, Some(0), "tie breaks to 0");
+    }
+
+    #[test]
+    fn adversary_prevents_termination_for_any_horizon() {
+        for horizon in [10usize, 100, 1_000, 10_000] {
+            let report = run_voting(6, Scheduler::Adversarial, horizon);
+            assert!(
+                !report.decided,
+                "adversary failed at horizon {horizon}: {report:?}"
+            );
+            assert_eq!(report.rounds, horizon);
+        }
+    }
+
+    #[test]
+    fn adversary_preserves_bivalence_exactly() {
+        // The global configuration stays split 50/50 every single round —
+        // both decisions remain reachable (bivalence).
+        let report = run_voting(8, Scheduler::Adversarial, 500);
+        for &(zeros, ones) in &report.history {
+            assert_eq!((zeros, ones), (4, 4), "bivalence lost");
+        }
+    }
+
+    #[test]
+    fn failure_detector_restores_termination() {
+        let report = run_voting(6, Scheduler::WithFailureDetector, 100);
+        assert!(report.decided);
+    }
+
+    #[test]
+    fn scales_to_larger_clusters() {
+        for n in [4usize, 8, 12, 20] {
+            assert!(run_voting(n, Scheduler::Fair, 100).decided);
+            assert!(!run_voting(n, Scheduler::Adversarial, 200).decided);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bivalent")]
+    fn odd_clusters_rejected() {
+        let _ = run_voting(5, Scheduler::Fair, 10);
+    }
+}

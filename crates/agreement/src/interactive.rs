@@ -1,0 +1,226 @@
+//! Interactive consistency by vector exchange (Pease–Shostak–Lamport 1980).
+//!
+//! The slide algorithm, verbatim:
+//!
+//! 1. each process sends its private value to the others;
+//! 2. each process collects the received values in a vector;
+//! 3. every process passes its vector to every other process;
+//! 4. each process examines the `i`-th element of each newly received
+//!    vector: if any value has a **majority** it goes into the result
+//!    vector, otherwise that element is marked **UNKNOWN**.
+//!
+//! Faulty processes lie in both rounds (different values to different
+//! receivers — the `x / y / z` and `(a,b,c,d)` of the figures). The result:
+//! with `N = 4, f = 1` all correct processes produce the *same* result
+//! vector whose entries for correct processes are their true values; with
+//! `N = 3, f = 1` everything degenerates to UNKNOWN — agreement is possible
+//! only if more than two-thirds of the processes work properly.
+//!
+//! This two-round exchange is the slides' `f = 1` illustration (faulty
+//! processes lie arbitrarily and independently, as the `x/y/z` figures
+//! depict). Tolerating `m > 1` coordinated traitors requires `m + 1` rounds
+//! — that general case is [`crate::oral_messages::om`], where worst-case
+//! colluding strategies are exercised.
+
+use std::collections::BTreeSet;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+
+/// `UNKNOWN` is `None`.
+pub type ResultVector = Vec<Option<u64>>;
+
+/// Outcome of one interactive-consistency run.
+#[derive(Clone, Debug)]
+pub struct IcReport {
+    /// Result vector per correct process (index = process id; faulty
+    /// processes have no meaningful entry and are reported as `None`).
+    pub results: Vec<Option<ResultVector>>,
+    /// Whether all correct processes computed identical result vectors.
+    pub agreement: bool,
+    /// Whether every correct process's value was correctly inferred by all
+    /// other correct processes.
+    pub validity: bool,
+    /// Messages exchanged (both rounds).
+    pub messages: u64,
+}
+
+/// Runs the vector-exchange algorithm with `values[i]` as process `i`'s
+/// private value and `faulty` lying arbitrarily (seeded).
+pub fn interactive_consistency(
+    values: &[u64],
+    faulty: &BTreeSet<usize>,
+    seed: u64,
+) -> IcReport {
+    let n = values.len();
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    let mut lie = |base: u64| -> u64 { base.wrapping_add(1_000 + rng.gen_range(0..1_000)) };
+
+    // Round 1: each process sends its value; faulty ones send a different
+    // arbitrary value to each receiver.
+    // got[j][i] = what j received as i's value (got[i][i] = own value).
+    let mut got = vec![vec![0u64; n]; n];
+    let mut messages = 0u64;
+    for i in 0..n {
+        for j in 0..n {
+            got[j][i] = if i == j {
+                values[i]
+            } else {
+                messages += 1;
+                if faulty.contains(&i) {
+                    lie(values[i])
+                } else {
+                    values[i]
+                }
+            };
+        }
+    }
+
+    // Round 2: every process passes its vector to every other process;
+    // faulty ones send corrupted vectors (the `(a,b,c,d)` rows).
+    // relayed[j][k] = the vector j received from k.
+    let mut relayed: Vec<Vec<Option<Vec<u64>>>> = vec![vec![None; n]; n];
+    for k in 0..n {
+        for j in 0..n {
+            if j == k {
+                continue;
+            }
+            messages += 1;
+            let v = if faulty.contains(&k) {
+                (0..n).map(|_| lie(0)).collect()
+            } else {
+                got[k].clone()
+            };
+            relayed[j][k] = Some(v);
+        }
+    }
+
+    // Step 4: per-element majority over the newly received vectors.
+    let results: Vec<Option<ResultVector>> = (0..n)
+        .map(|j| {
+            if faulty.contains(&j) {
+                return None;
+            }
+            let vectors: Vec<&Vec<u64>> = relayed[j].iter().flatten().collect();
+            let result: ResultVector = (0..n)
+                .map(|i| {
+                    if i == j {
+                        return Some(values[j]);
+                    }
+                    // Values reported for element i by the other processes.
+                    let mut candidates: Vec<u64> =
+                        vectors.iter().map(|v| v[i]).collect();
+                    candidates.sort_unstable();
+                    let need = vectors.len() / 2 + 1;
+                    let mut run = 1;
+                    for w in candidates.windows(2) {
+                        if w[0] == w[1] {
+                            run += 1;
+                            if run >= need {
+                                return Some(w[0]);
+                            }
+                        } else {
+                            run = 1;
+                        }
+                    }
+                    None
+                })
+                .collect();
+            Some(result)
+        })
+        .collect();
+
+    // Evaluate agreement & validity over correct processes.
+    let correct_results: Vec<&ResultVector> = results.iter().flatten().collect();
+    let agreement = correct_results.windows(2).all(|w| w[0] == w[1]);
+    let validity = correct_results.iter().all(|r| {
+        (0..n)
+            .filter(|i| !faulty.contains(i))
+            .all(|i| r[i] == Some(values[i]))
+    });
+
+    IcReport {
+        results,
+        agreement,
+        validity,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs(ids: &[usize]) -> BTreeSet<usize> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn n4_f1_reaches_agreement() {
+        // Case I of the slides: N = 4, process 3 (index 2) faulty.
+        let report = interactive_consistency(&[1, 2, 3, 4], &fs(&[2]), 1);
+        assert!(report.agreement, "correct processes must agree");
+        assert!(report.validity, "correct values must be inferred");
+        // The faulty process's entry is UNKNOWN (or a consistent value —
+        // here, with arbitrary lies, UNKNOWN).
+        let r = report.results[0].as_ref().unwrap();
+        assert_eq!(r[0], Some(1));
+        assert_eq!(r[1], Some(2));
+        assert_eq!(r[3], Some(4));
+    }
+
+    #[test]
+    fn n3_f1_fails() {
+        // Case II: N = 3, f = 1 — below the 3f+1 bound.
+        let report = interactive_consistency(&[1, 2, 3], &fs(&[2]), 2);
+        // Each correct process sees only 2 vectors; a single liar denies
+        // any majority: entries for *other* processes are UNKNOWN.
+        let r0 = report.results[0].as_ref().unwrap();
+        assert_eq!(r0[1], None, "process 0 cannot infer process 1's value");
+        let r1 = report.results[1].as_ref().unwrap();
+        assert_eq!(r1[0], None, "process 1 cannot infer process 0's value");
+        assert!(!report.validity);
+    }
+
+    #[test]
+    fn bound_sweep_matches_psl() {
+        // For f = 1: fails at n = 3, works for n ≥ 4.
+        for n in 3..=7usize {
+            let values: Vec<u64> = (1..=n as u64).collect();
+            let report = interactive_consistency(&values, &fs(&[n - 1]), 3);
+            let ok = report.agreement && report.validity;
+            assert_eq!(
+                ok,
+                n >= 4,
+                "n={n}, f=1: expected {} got {}",
+                n >= 4,
+                ok
+            );
+        }
+    }
+
+    #[test]
+    fn no_faults_is_trivially_consistent() {
+        let report = interactive_consistency(&[5, 6, 7], &BTreeSet::new(), 5);
+        assert!(report.agreement && report.validity);
+        for r in report.results.iter().flatten() {
+            assert_eq!(r, &vec![Some(5), Some(6), Some(7)]);
+        }
+    }
+
+    #[test]
+    fn message_count_is_quadratic() {
+        let r4 = interactive_consistency(&[1, 2, 3, 4], &BTreeSet::new(), 6);
+        // Round 1: n(n-1); round 2: n(n-1).
+        assert_eq!(r4.messages, 2 * 4 * 3);
+        let r8 = interactive_consistency(&(1..=8).collect::<Vec<_>>(), &BTreeSet::new(), 6);
+        assert_eq!(r8.messages, 2 * 8 * 7);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = interactive_consistency(&[1, 2, 3, 4], &fs(&[1]), 9);
+        let b = interactive_consistency(&[1, 2, 3, 4], &fs(&[1]), 9);
+        assert_eq!(a.results, b.results);
+    }
+}

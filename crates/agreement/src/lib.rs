@@ -1,0 +1,33 @@
+//! # agreement — lower bounds and impossibility, made runnable
+//!
+//! The tutorial's theory core:
+//!
+//! * [`interactive`] — Pease–Shostak–Lamport interactive consistency by
+//!   vector exchange, exactly as in the "Reaching Agreement in the Presence
+//!   of Fault" walkthrough: `N = 4, f = 1` reaches agreement, `N = 3, f = 1`
+//!   ends all-UNKNOWN. Agreement is possible **iff** `N ≥ 3f + 1`.
+//! * [`oral_messages`] — Lamport's recursive `OM(m)` Byzantine Generals
+//!   algorithm, with a sweep showing where `n > 3m` holds and fails, and
+//!   its exponential message complexity.
+//! * [`flp`] — the FLP result as a constructive adversary: a deterministic
+//!   round-based consensus protocol that terminates under fair scheduling
+//!   but can be kept undecided for *any* number of steps by a
+//!   bivalence-preserving message scheduler.
+//! * [`ben_or`] — circumventing FLP by *sacrificing determinism*: Ben-Or's
+//!   randomized binary consensus terminating (with probability 1) on an
+//!   asynchronous network with crash faults.
+//! * [`failure_detector`] — circumventing FLP by *adding an oracle*:
+//!   Chandra–Toueg rotating-coordinator consensus with an eventually-strong
+//!   (◇S) failure detector built from timeouts.
+//! * [`equivalence`] — the "equivalent problems" slide, executable: atomic
+//!   broadcast from consensus and consensus from atomic broadcast.
+
+pub mod ben_or;
+pub mod equivalence;
+pub mod failure_detector;
+pub mod flp;
+pub mod interactive;
+pub mod oral_messages;
+
+pub use interactive::{interactive_consistency, IcReport};
+pub use oral_messages::{om, OmOutcome};

@@ -1,0 +1,285 @@
+//! Lamport's Byzantine Generals `OM(m)` algorithm with oral messages.
+//!
+//! `OM(0)`: the commander sends its value; every lieutenant uses it.
+//! `OM(m)`: the commander sends its value to each lieutenant; each
+//! lieutenant then acts as the commander of an `OM(m−1)` run relaying what
+//! it received to the remaining lieutenants; finally each lieutenant takes
+//! the majority of the value it received directly and the relayed values.
+//!
+//! The interactive-consistency conditions:
+//!
+//! * **IC1** — all loyal lieutenants obey the same order;
+//! * **IC2** — if the commander is loyal, every loyal lieutenant obeys the
+//!   commander's order.
+//!
+//! Both hold iff `n > 3m`. Tests exercise worst-case *colluding* traitor
+//! strategies (coordinated equivocation), not just random lies, and verify
+//! the exponential `O(nᵐ)` message complexity.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The default order when no majority exists ("RETREAT").
+pub const RETREAT: u64 = 0;
+/// The other order.
+pub const ATTACK: u64 = 1;
+
+/// How a traitor lies when sending `honest` to `receiver`.
+///
+/// `path` is the relay chain so far (commander first), letting strategies
+/// coordinate across sub-rounds.
+pub trait TraitorStrategy {
+    /// The value actually sent.
+    fn send(&mut self, path: &[usize], sender: usize, receiver: usize, honest: u64) -> u64;
+}
+
+/// Equivocate by receiver parity: ATTACK to even ids, RETREAT to odd —
+/// the classic split that defeats `n = 3m` configurations.
+pub struct ParitySplit;
+
+impl TraitorStrategy for ParitySplit {
+    fn send(&mut self, _path: &[usize], _sender: usize, receiver: usize, _honest: u64) -> u64 {
+        if receiver % 2 == 0 {
+            ATTACK
+        } else {
+            RETREAT
+        }
+    }
+}
+
+/// Always invert the honest value — lies, but consistently.
+pub struct ConsistentLiar;
+
+impl TraitorStrategy for ConsistentLiar {
+    fn send(&mut self, _path: &[usize], _sender: usize, _receiver: usize, honest: u64) -> u64 {
+        1 - (honest & 1)
+    }
+}
+
+/// Outcome of an `OM(m)` run.
+#[derive(Clone, Debug)]
+pub struct OmOutcome {
+    /// Final decision per lieutenant (loyal and traitorous alike; only the
+    /// loyal ones' entries are meaningful).
+    pub decisions: BTreeMap<usize, u64>,
+    /// Total messages exchanged.
+    pub messages: u64,
+    /// Whether IC1 held (loyal lieutenants agree).
+    pub ic1: bool,
+    /// Whether IC2 held (loyal commander's order obeyed by loyal
+    /// lieutenants), vacuously true for a traitor commander.
+    pub ic2: bool,
+}
+
+fn majority(values: &[u64]) -> u64 {
+    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+    for &v in values {
+        *counts.entry(v).or_insert(0) += 1;
+    }
+    let best = counts.iter().max_by_key(|(_, c)| **c);
+    match best {
+        Some((&v, &c)) if 2 * c > values.len() => v,
+        _ => RETREAT, // no strict majority → default
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn om_rec(
+    m: usize,
+    commander: usize,
+    lieutenants: &[usize],
+    value: u64,
+    traitors: &BTreeSet<usize>,
+    strategy: &mut dyn TraitorStrategy,
+    path: &mut Vec<usize>,
+    messages: &mut u64,
+) -> BTreeMap<usize, u64> {
+    path.push(commander);
+    // The commander sends its value to every lieutenant.
+    let mut received: BTreeMap<usize, u64> = BTreeMap::new();
+    for &lt in lieutenants {
+        *messages += 1;
+        let v = if traitors.contains(&commander) {
+            strategy.send(path, commander, lt, value)
+        } else {
+            value
+        };
+        received.insert(lt, v);
+    }
+
+    let result = if m == 0 {
+        received
+    } else {
+        // Each lieutenant relays via OM(m−1); then majority.
+        let mut relayed: BTreeMap<usize, Vec<u64>> = lieutenants
+            .iter()
+            .map(|&lt| (lt, vec![received[&lt]]))
+            .collect();
+        for &i in lieutenants {
+            let rest: Vec<usize> = lieutenants.iter().copied().filter(|&j| j != i).collect();
+            let sub = om_rec(
+                m - 1,
+                i,
+                &rest,
+                received[&i],
+                traitors,
+                strategy,
+                path,
+                messages,
+            );
+            for (&j, &v) in &sub {
+                relayed.get_mut(&j).expect("lieutenant present").push(v);
+            }
+        }
+        relayed
+            .into_iter()
+            .map(|(lt, vs)| (lt, majority(&vs)))
+            .collect()
+    };
+    path.pop();
+    result
+}
+
+/// Runs `OM(m)` with process 0 as commander over processes `0..n`.
+pub fn om(
+    n: usize,
+    m: usize,
+    commander_value: u64,
+    traitors: &BTreeSet<usize>,
+    strategy: &mut dyn TraitorStrategy,
+) -> OmOutcome {
+    assert!(n >= 2, "need a commander and at least one lieutenant");
+    let commander = 0usize;
+    let lieutenants: Vec<usize> = (1..n).collect();
+    let mut messages = 0;
+    let mut path = Vec::new();
+    let decisions = om_rec(
+        m,
+        commander,
+        &lieutenants,
+        commander_value,
+        traitors,
+        strategy,
+        &mut path,
+        &mut messages,
+    );
+
+    let loyal: Vec<u64> = decisions
+        .iter()
+        .filter(|(lt, _)| !traitors.contains(lt))
+        .map(|(_, &v)| v)
+        .collect();
+    let ic1 = loyal.windows(2).all(|w| w[0] == w[1]);
+    let ic2 = traitors.contains(&commander) || loyal.iter().all(|&v| v == commander_value);
+
+    OmOutcome {
+        decisions,
+        messages,
+        ic1,
+        ic2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ids: &[usize]) -> BTreeSet<usize> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn om0_no_traitors() {
+        let out = om(4, 0, ATTACK, &BTreeSet::new(), &mut ConsistentLiar);
+        assert!(out.ic1 && out.ic2);
+        assert_eq!(out.messages, 3);
+    }
+
+    #[test]
+    fn om1_traitor_lieutenant_n4() {
+        // n = 4, m = 1, one traitorous lieutenant: loyal lieutenants must
+        // still obey the loyal commander.
+        for strategy in [&mut ParitySplit as &mut dyn TraitorStrategy, &mut ConsistentLiar] {
+            let out = om(4, 1, ATTACK, &ts(&[3]), strategy);
+            assert!(out.ic1, "IC1 failed: {:?}", out.decisions);
+            assert!(out.ic2, "IC2 failed: {:?}", out.decisions);
+        }
+    }
+
+    #[test]
+    fn om1_traitor_commander_n4() {
+        // Traitor commander equivocates; loyal lieutenants still agree on
+        // *some* common order (IC1).
+        let out = om(4, 1, ATTACK, &ts(&[0]), &mut ParitySplit);
+        assert!(out.ic1, "IC1 failed: {:?}", out.decisions);
+    }
+
+    #[test]
+    fn om1_fails_at_n3() {
+        // n = 3 = 3m: the impossible configuration. With a loyal commander
+        // ordering ATTACK, a single traitorous lieutenant forces the loyal
+        // lieutenant into a tie that defaults to RETREAT — IC2 broken
+        // (Lamport's three-generals argument).
+        let out = om(3, 1, ATTACK, &ts(&[2]), &mut ConsistentLiar);
+        assert!(
+            !out.ic2,
+            "loyal lieutenant disobeyed nothing at n=3: {:?}",
+            out.decisions
+        );
+    }
+
+    #[test]
+    fn om2_works_at_n7() {
+        // n = 7 > 3m = 6 with two colluding traitors.
+        for traitors in [ts(&[0, 1]), ts(&[1, 2]), ts(&[5, 6])] {
+            let out = om(7, 2, ATTACK, &traitors, &mut ParitySplit);
+            assert!(out.ic1, "IC1 failed for {traitors:?}: {:?}", out.decisions);
+            assert!(out.ic2, "IC2 failed for {traitors:?}: {:?}", out.decisions);
+        }
+    }
+
+    #[test]
+    fn om2_breaks_at_n6() {
+        // n = 6 = 3m: some colluding strategy must defeat it.
+        let broken = [ts(&[0, 1]), ts(&[0, 5]), ts(&[1, 2])].iter().any(|traitors| {
+            let a = om(6, 2, ATTACK, traitors, &mut ParitySplit);
+            let b = om(6, 2, RETREAT, traitors, &mut ParitySplit);
+            !(a.ic1 && a.ic2) || !(b.ic1 && b.ic2)
+        });
+        assert!(broken, "n=6,m=2 should be breakable");
+    }
+
+    #[test]
+    fn message_complexity_is_exponential() {
+        // OM(m) over n processes sends (n−1)(n−2)⋯ messages per level.
+        let none = BTreeSet::new();
+        let m0 = om(7, 0, ATTACK, &none, &mut ConsistentLiar).messages;
+        let m1 = om(7, 1, ATTACK, &none, &mut ConsistentLiar).messages;
+        let m2 = om(7, 2, ATTACK, &none, &mut ConsistentLiar).messages;
+        assert_eq!(m0, 6);
+        assert_eq!(m1, 6 + 6 * 5);
+        assert_eq!(m2, 6 + 6 * (5 + 5 * 4));
+    }
+
+    #[test]
+    fn majority_defaults_to_retreat() {
+        assert_eq!(majority(&[ATTACK, RETREAT]), RETREAT);
+        assert_eq!(majority(&[ATTACK, ATTACK, RETREAT]), ATTACK);
+        assert_eq!(majority(&[]), RETREAT);
+        assert_eq!(majority(&[5, 5, 7]), 5);
+    }
+
+    #[test]
+    fn sweep_bound_for_m1() {
+        // m = 1: works for n ≥ 4 under every strategy tried, breaks at 3.
+        for n in 3..=6usize {
+            let mut any_break = false;
+            for traitor in 0..n {
+                let out = om(n, 1, ATTACK, &ts(&[traitor]), &mut ParitySplit);
+                if !(out.ic1 && out.ic2) {
+                    any_break = true;
+                }
+            }
+            assert_eq!(any_break, n == 3, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Regenerates every table and figure of the tutorial.
+//!
+//! ```sh
+//! cargo run --release -p consensus-bench --bin tables             # everything
+//! cargo run --release -p consensus-bench --bin tables -- --exp f11
+//! cargo run --release -p consensus-bench --bin tables -- --json out.json
+//! ```
+
+use std::io::Write as _;
+
+use consensus_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut only: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                only = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--json" => {
+                json_path = args.get(i + 1).cloned();
+                i += 2;
+            }
+            "--list" => {
+                for (id, _) in all_experiments() {
+                    println!("{id}");
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: tables [--exp <id>] [--json <path>] [--list]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut records = Vec::new();
+    for (id, run) in all_experiments() {
+        if let Some(want) = &only {
+            if want != id {
+                continue;
+            }
+        }
+        let started = std::time::Instant::now();
+        let report = run();
+        let elapsed = started.elapsed();
+        println!("═══ {} — {}", report.id.to_uppercase(), report.title);
+        for line in &report.lines {
+            println!("{line}");
+        }
+        println!("    ({} in {:.2}s)", report.id, elapsed.as_secs_f64());
+        println!();
+        records.push(serde_json::json!({
+            "id": report.id,
+            "title": report.title,
+            "data": report.data,
+            "wall_seconds": elapsed.as_secs_f64(),
+        }));
+    }
+
+    if records.is_empty() {
+        eprintln!("no experiment matched; try --list");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = json_path {
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        let doc = serde_json::json!({ "experiments": records });
+        writeln!(f, "{}", serde_json::to_string_pretty(&doc).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,17 @@
+//! # consensus-bench — regenerate every table and figure
+//!
+//! One function per experiment from DESIGN.md's per-experiment index
+//! (T1–T5, F1–F25). Each returns a [`Report`] with human-readable lines
+//! and a machine-readable JSON value; the `tables` binary prints them, and
+//! the Criterion benches time the hot paths.
+//!
+//! Run everything:
+//!
+//! ```sh
+//! cargo run --release -p consensus-bench --bin tables
+//! cargo run --release -p consensus-bench --bin tables -- --exp f11
+//! ```
+
+pub mod experiments;
+
+pub use experiments::{all_experiments, Report};

@@ -1,0 +1,704 @@
+//! CheapBFT (Kapitza et al., EuroSys '12): resource-efficient BFT with
+//! trusted hardware and active/passive replication.
+//!
+//! The trusted **CASH** subsystem (modelled by [`crate::sim_crypto::Usig`])
+//! assigns unique counter values and creates/validates message
+//! certificates; it can fail only by crashing. That lets the normal-case
+//! protocol run with just **`f+1` active replicas**:
+//!
+//! 1. **CheapTiny** — the default protocol: only the `f+1` active replicas
+//!    agree (prepare/commit with CASH certificates); the `f` passive
+//!    replicas merely receive state *updates*.
+//! 2. **CheapSwitch** — on any suspected fault a replica (or client)
+//!    broadcasts **PANIC**; replicas exchange the abort history and switch.
+//! 3. **MinBFT** — the fallback involving all `2f+1` replicas; eventually
+//!    the system may switch back to CheapTiny (not modelled — the
+//!    experiment measures the cost of the switch itself).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
+use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, StateMachine};
+use simnet::{Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer};
+
+use crate::sim_crypto::{digest_of, Usig, UsigCert, UsigVerifier};
+
+/// Which protocol the cluster is running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// CheapTiny: `f+1` active replicas.
+    CheapTiny,
+    /// Fallback: all `2f+1` replicas, MinBFT-style.
+    MinBft,
+}
+
+/// CheapBFT wire messages.
+#[derive(Clone, Debug)]
+pub enum CheapMsg {
+    /// Client request.
+    Request {
+        /// The command.
+        cmd: Command<KvCommand>,
+    },
+    /// Reply (`f+1` matching required).
+    Reply {
+        /// Client id.
+        client: u32,
+        /// Client sequence.
+        seq: u64,
+        /// Output.
+        output: KvResponse,
+    },
+    /// Primary's CASH-certified ordering. The sequence number restarts at
+    /// 1 in each protocol epoch; the CASH certificate attests the
+    /// `(protocol, seq, command)` binding. (MinBFT's stricter counter≡seq
+    /// binding lives in `crate::minbft`; CheapBFT's threat experiments here
+    /// cover crash and silent faults.)
+    Prepare {
+        /// Protocol under which this was sent.
+        proto: Protocol,
+        /// Epoch-local sequence number.
+        seq: u64,
+        /// CASH certificate over `(proto, seq, cmd)`.
+        ui: UsigCert,
+        /// The command.
+        cmd: Command<KvCommand>,
+    },
+    /// Active replica's CASH-certified endorsement (to the primary).
+    Commit {
+        /// Protocol.
+        proto: Protocol,
+        /// Sequence being endorsed.
+        n: u64,
+        /// Endorser's certificate.
+        ui: UsigCert,
+    },
+    /// Decision notification (also the state *update* for passive
+    /// replicas, who apply it without having participated in agreement).
+    Update {
+        /// Protocol.
+        proto: Protocol,
+        /// Sequence.
+        n: u64,
+        /// The command.
+        cmd: Command<KvCommand>,
+    },
+    /// Fault suspicion: triggers CheapSwitch.
+    Panic,
+    /// Abort-history broadcast during CheapSwitch: the sender's executed
+    /// history, so everyone resumes MinBFT from a common state.
+    SwitchHistory {
+        /// Executed commands, in order.
+        history: Vec<Command<KvCommand>>,
+    },
+}
+
+impl simnet::Payload for CheapMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            CheapMsg::Request { .. } => "request",
+            CheapMsg::Reply { .. } => "reply",
+            CheapMsg::Prepare { .. } => "prepare",
+            CheapMsg::Commit { .. } => "commit",
+            CheapMsg::Update { .. } => "update",
+            CheapMsg::Panic => "panic",
+            CheapMsg::SwitchHistory { .. } => "switch",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CheapInstance {
+    cmd: Option<Command<KvCommand>>,
+    commits: BTreeSet<NodeId>,
+    decided: bool,
+    executed: bool,
+}
+
+const PROGRESS_TIMER: u64 = 1;
+
+/// A CheapBFT replica. Nodes `0..=f` are initially active; the rest are
+/// passive.
+pub struct CheapReplica {
+    n_replicas: usize,
+    /// Primary's epoch-local sequence counter.
+    next_seq: u64,
+    /// Fault bound `f = ⌊(n−1)/2⌋`.
+    pub f: usize,
+    /// Current protocol.
+    pub proto: Protocol,
+    usig: Usig,
+    verifier: UsigVerifier,
+    instances: BTreeMap<u64, CheapInstance>,
+    /// Executed history.
+    history: Vec<Command<KvCommand>>,
+    executed_counter: u64,
+    machine: DedupKvMachine,
+    pending_requests: BTreeSet<(u32, u64)>,
+    progress_timer_armed: bool,
+    /// Whether this replica already panicked.
+    panicked: bool,
+    switch_votes: BTreeSet<NodeId>,
+    /// Counter base after the protocol switch.
+    switch_base: u64,
+}
+
+impl CheapReplica {
+    /// Creates a replica for a `2f+1` cluster.
+    pub fn new(n_replicas: usize, id_hint: u32) -> Self {
+        CheapReplica {
+            n_replicas,
+            next_seq: 0,
+            f: (n_replicas - 1) / 2,
+            proto: Protocol::CheapTiny,
+            usig: Usig::new(NodeId(id_hint)),
+            verifier: UsigVerifier::new(),
+            instances: BTreeMap::new(),
+            history: Vec::new(),
+            executed_counter: 0,
+            machine: DedupKvMachine::default(),
+            pending_requests: BTreeSet::new(),
+            progress_timer_armed: false,
+            panicked: false,
+            switch_votes: BTreeSet::new(),
+            switch_base: 0,
+        }
+    }
+
+    /// The machine.
+    pub fn machine(&self) -> &DedupKvMachine {
+        &self.machine
+    }
+
+    /// Executed command count.
+    pub fn executed(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The active replica set under the current protocol.
+    pub fn active_set(&self) -> Vec<NodeId> {
+        match self.proto {
+            Protocol::CheapTiny => (0..=self.f).map(NodeId::from).collect(),
+            Protocol::MinBft => (0..self.n_replicas).map(NodeId::from).collect(),
+        }
+    }
+
+    /// Is `id` active right now?
+    pub fn is_active(&self, id: NodeId) -> bool {
+        self.active_set().contains(&id)
+    }
+
+    /// Commit quorum: in CheapTiny **all** `f+1` active replicas must
+    /// endorse (no spare redundancy — that is the point); in MinBFT mode,
+    /// `f+1` of `2f+1`.
+    fn quorum(&self) -> usize {
+        self.f + 1
+    }
+
+    fn primary(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    fn peer_replicas(&self, me: NodeId) -> Vec<NodeId> {
+        (0..self.n_replicas)
+            .map(NodeId::from)
+            .filter(|id| *id != me)
+            .collect()
+    }
+
+    fn try_execute(&mut self, ctx: &mut Context<CheapMsg>) {
+        loop {
+            let next = self.executed_counter + 1;
+            let ready = self
+                .instances
+                .get(&next)
+                .is_some_and(|i| i.decided && !i.executed && i.cmd.is_some());
+            if !ready {
+                return;
+            }
+            let cmd = {
+                let inst = self.instances.get_mut(&next).expect("ready");
+                inst.executed = true;
+                inst.cmd.clone().expect("ready")
+            };
+            self.apply(ctx, cmd);
+            self.executed_counter = next;
+        }
+    }
+
+    fn apply(&mut self, ctx: &mut Context<CheapMsg>, cmd: Command<KvCommand>) {
+        let output = self
+            .machine
+            .apply(&consensus_core::SmrOp::Cmd(cmd.clone()))
+            .expect("output");
+        self.pending_requests.remove(&(cmd.client, cmd.seq));
+        self.history.push(cmd.clone());
+        ctx.send(
+            NodeId(cmd.client),
+            CheapMsg::Reply {
+                client: cmd.client,
+                seq: cmd.seq,
+                output,
+            },
+        );
+    }
+
+    fn panic(&mut self, ctx: &mut Context<CheapMsg>) {
+        if self.panicked {
+            return;
+        }
+        self.panicked = true;
+        let me = ctx.id();
+        ctx.send_many(self.peer_replicas(me), CheapMsg::Panic);
+        // Broadcast our abort history so everyone converges.
+        let history = self.history.clone();
+        ctx.send_many(self.peer_replicas(me), CheapMsg::SwitchHistory { history });
+    }
+
+    fn enter_minbft(&mut self, ctx: &mut Context<CheapMsg>) {
+        if self.proto == Protocol::MinBft {
+            return;
+        }
+        self.proto = Protocol::MinBft;
+        self.instances.clear();
+        self.switch_base = self.usig.counter();
+        // Sequence numbering restarts in the new protocol epoch.
+        self.next_seq = 0;
+        self.executed_counter = 0;
+        let _ = ctx;
+    }
+}
+
+impl Node for CheapReplica {
+    type Msg = CheapMsg;
+
+    fn on_start(&mut self, _ctx: &mut Context<CheapMsg>) {}
+
+    fn on_message(&mut self, ctx: &mut Context<CheapMsg>, from: NodeId, msg: CheapMsg) {
+        match msg {
+            CheapMsg::Request { cmd } => {
+                if let Some(out) = self.machine.cached(cmd.client, cmd.seq) {
+                    ctx.send(
+                        NodeId(cmd.client),
+                        CheapMsg::Reply {
+                            client: cmd.client,
+                            seq: cmd.seq,
+                            output: out.clone(),
+                        },
+                    );
+                    return;
+                }
+                if self.primary() == ctx.id() {
+                    let in_flight = self.instances.values().any(|i| {
+                        !i.executed
+                            && i.cmd
+                                .as_ref()
+                                .is_some_and(|c| c.client == cmd.client && c.seq == cmd.seq)
+                    });
+                    if in_flight {
+                        return;
+                    }
+                    self.next_seq += 1;
+                    let n = self.next_seq;
+                    let proto = self.proto;
+                    let ui = self
+                        .usig
+                        .create(digest_of(&(proto_tag(proto), n, &cmd)));
+                    let me = ctx.id();
+                    let inst = self.instances.entry(n).or_default();
+                    inst.cmd = Some(cmd.clone());
+                    inst.commits.insert(me);
+                    // Prepare goes only to the *active* replicas.
+                    let targets: Vec<NodeId> = self
+                        .active_set()
+                        .into_iter()
+                        .filter(|id| *id != me)
+                        .collect();
+                    ctx.send_many(
+                        targets,
+                        CheapMsg::Prepare {
+                            proto,
+                            seq: n,
+                            ui,
+                            cmd,
+                        },
+                    );
+                } else {
+                    self.pending_requests.insert((cmd.client, cmd.seq));
+                    let p = self.primary();
+                    ctx.send(p, CheapMsg::Request { cmd });
+                    if !self.progress_timer_armed {
+                        self.progress_timer_armed = true;
+                        ctx.set_timer(60_000 + 10_000 * u64::from(ctx.id().0), PROGRESS_TIMER);
+                    }
+                }
+            }
+
+            CheapMsg::Prepare {
+                proto,
+                seq,
+                ui,
+                cmd,
+            } => {
+                if proto != self.proto || from != self.primary() {
+                    return;
+                }
+                if !self.is_active(ctx.id()) {
+                    return;
+                }
+                if !self
+                    .verifier
+                    .verify_monotonic(&ui, digest_of(&(proto_tag(proto), seq, &cmd)))
+                {
+                    return;
+                }
+                let inst = self.instances.entry(seq).or_default();
+                inst.cmd = Some(cmd);
+                inst.commits.insert(from);
+                let my_ui = self.usig.create(digest_of(&(proto_tag(proto), seq)));
+                ctx.send(
+                    from,
+                    CheapMsg::Commit {
+                        proto,
+                        n: seq,
+                        ui: my_ui,
+                    },
+                );
+            }
+
+            CheapMsg::Commit { proto, n, ui } => {
+                if proto != self.proto || self.primary() != ctx.id() {
+                    return;
+                }
+                if !self
+                    .verifier
+                    .verify_monotonic(&ui, digest_of(&(proto_tag(proto), n)))
+                {
+                    return;
+                }
+                let quorum = self.quorum();
+                let proto = self.proto;
+                let inst = self.instances.entry(n).or_default();
+                inst.commits.insert(from);
+                if inst.commits.len() >= quorum && !inst.decided {
+                    inst.decided = true;
+                    let cmd = inst.cmd.clone().expect("prepared");
+                    // Updates serve both as decide for actives and state
+                    // transfer for passives.
+                    let me = ctx.id();
+                    ctx.send_many(
+                        self.peer_replicas(me),
+                        CheapMsg::Update { proto, n, cmd },
+                    );
+                    self.try_execute(ctx);
+                }
+            }
+
+            CheapMsg::Update { proto, n, cmd } => {
+                if proto != self.proto || from != self.primary() {
+                    return;
+                }
+                let inst = self.instances.entry(n).or_default();
+                if inst.cmd.is_none() {
+                    inst.cmd = Some(cmd);
+                }
+                inst.decided = true;
+                self.try_execute(ctx);
+            }
+
+            CheapMsg::Panic => {
+                // Any panic triggers the switch protocol.
+                self.panic(ctx);
+                self.switch_votes.insert(from);
+                self.enter_minbft(ctx);
+            }
+
+            CheapMsg::SwitchHistory { history } => {
+                // Adopt any commands we miss (dedup table makes this
+                // idempotent), then run under MinBFT.
+                for cmd in history {
+                    if self.machine.cached(cmd.client, cmd.seq).is_none() {
+                        self.apply(ctx, cmd);
+                    }
+                }
+                self.enter_minbft(ctx);
+            }
+
+            CheapMsg::Reply { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<CheapMsg>, timer: Timer) {
+        if timer.kind == PROGRESS_TIMER {
+            self.progress_timer_armed = false;
+            if !self.pending_requests.is_empty() {
+                // Something is stuck: PANIC.
+                self.panic(ctx);
+                self.enter_minbft(ctx);
+            }
+        }
+    }
+}
+
+fn proto_tag(p: Protocol) -> u8 {
+    match p {
+        Protocol::CheapTiny => 0,
+        Protocol::MinBft => 1,
+    }
+}
+
+const CLIENT_RETRY: u64 = 5;
+
+/// A CheapBFT client.
+pub struct CheapClient {
+    /// Client id == node id.
+    pub client_id: u32,
+    n_replicas: usize,
+    f: usize,
+    workload: KvWorkload,
+    total: usize,
+    /// Completed.
+    pub completed: usize,
+    current: Option<(Command<KvCommand>, Time)>,
+    votes: BTreeMap<u64, BTreeSet<NodeId>>,
+    /// Latencies.
+    pub latencies: LatencyRecorder,
+    /// Panics this client raised.
+    pub panics_sent: u64,
+}
+
+impl CheapClient {
+    /// Creates a client.
+    pub fn new(client_id: u32, n_replicas: usize, total: usize, seed: u64) -> Self {
+        CheapClient {
+            client_id,
+            n_replicas,
+            f: (n_replicas - 1) / 2,
+            workload: KvWorkload::new(client_id, KvMix::default(), seed),
+            total,
+            completed: 0,
+            current: None,
+            votes: BTreeMap::new(),
+            latencies: LatencyRecorder::new(),
+            panics_sent: 0,
+        }
+    }
+
+    /// Whether done.
+    pub fn done(&self) -> bool {
+        self.completed >= self.total
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<CheapMsg>) {
+        if self.done() {
+            self.current = None;
+            return;
+        }
+        let cmd = self.workload.next_command();
+        self.current = Some((cmd.clone(), ctx.now()));
+        self.votes.clear();
+        ctx.send(NodeId(0), CheapMsg::Request { cmd });
+        ctx.set_timer(150_000, CLIENT_RETRY);
+    }
+}
+
+impl Node for CheapClient {
+    type Msg = CheapMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<CheapMsg>) {
+        self.send_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<CheapMsg>, from: NodeId, msg: CheapMsg) {
+        if let CheapMsg::Reply { seq, output, .. } = msg {
+            let Some((cmd, sent_at)) = &self.current else {
+                return;
+            };
+            if cmd.seq != seq {
+                return;
+            }
+            let key = digest_of(&output).0;
+            let votes = self.votes.entry(key).or_default();
+            votes.insert(from);
+            if votes.len() >= self.f + 1 {
+                let sent = *sent_at;
+                self.latencies.record(sent, ctx.now());
+                self.completed += 1;
+                self.current = None;
+                self.send_next(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<CheapMsg>, timer: Timer) {
+        if timer.kind == CLIENT_RETRY && self.current.is_some() {
+            // The client is CheapBFT's fault detector: a missing reply
+            // raises PANIC at all replicas.
+            self.panics_sent += 1;
+            for r in 0..self.n_replicas {
+                ctx.send(NodeId::from(r), CheapMsg::Panic);
+            }
+            if let Some((cmd, _)) = &self.current {
+                let cmd = cmd.clone();
+                for r in 0..self.n_replicas {
+                    ctx.send(NodeId::from(r), CheapMsg::Request { cmd: cmd.clone() });
+                }
+            }
+            ctx.set_timer(150_000, CLIENT_RETRY);
+        }
+    }
+}
+
+simnet::node_enum! {
+    /// A CheapBFT process.
+    pub enum CheapProc: CheapMsg {
+        /// Replica.
+        Replica(CheapReplica),
+        /// Client.
+        Client(CheapClient),
+    }
+}
+
+/// A ready-to-run CheapBFT cluster.
+pub struct CheapCluster {
+    /// The simulation.
+    pub sim: Sim<CheapProc>,
+    /// Replica count (`2f+1`).
+    pub n_replicas: usize,
+}
+
+impl CheapCluster {
+    /// Builds the cluster with one client issuing `cmds` commands.
+    pub fn new(n_replicas: usize, cmds: usize, config: NetConfig, seed: u64) -> Self {
+        let mut sim = Sim::new(config, seed);
+        for i in 0..n_replicas {
+            sim.add_node(CheapReplica::new(n_replicas, i as u32));
+        }
+        sim.add_node(CheapClient::new(n_replicas as u32, n_replicas, cmds, seed));
+        CheapCluster { sim, n_replicas }
+    }
+
+    /// Runs to completion or `horizon`.
+    pub fn run(&mut self, horizon: Time) -> bool {
+        loop {
+            let outcome = self.sim.run_for(10_000);
+            if self.client().done() {
+                return true;
+            }
+            if self.sim.now() >= horizon || outcome == RunOutcome::Quiescent {
+                return self.client().done();
+            }
+        }
+    }
+
+    /// The client.
+    pub fn client(&self) -> &CheapClient {
+        self.sim
+            .nodes()
+            .find_map(|(_, p)| match p {
+                CheapProc::Client(c) => Some(c),
+                _ => None,
+            })
+            .expect("client exists")
+    }
+
+    /// Iterates over replicas.
+    pub fn replicas(&self) -> impl Iterator<Item = &CheapReplica> {
+        self.sim.nodes().filter_map(|(_, p)| match p {
+            CheapProc::Replica(r) => Some(r),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheaptiny_uses_only_f_plus_one_actives() {
+        // n = 3 (f = 1): actives = {0, 1}; node 2 is passive.
+        let mut cluster = CheapCluster::new(3, 10, NetConfig::lan(), 1);
+        assert!(cluster.run(Time::from_secs(10)));
+        assert_eq!(cluster.client().completed, 10);
+        // No panic, still CheapTiny.
+        for r in cluster.replicas() {
+            assert_eq!(r.proto, Protocol::CheapTiny);
+        }
+        // The passive replica never sent a prepare/commit...
+        let m = cluster.sim.metrics();
+        // prepares: primary → 1 active backup (1 per req); commits: 1 per
+        // req. Updates: to both others.
+        assert_eq!(m.kind("prepare"), 10);
+        assert_eq!(m.kind("commit"), 10);
+        assert_eq!(m.kind("update"), 20);
+        assert_eq!(m.kind("panic"), 0);
+    }
+
+    #[test]
+    fn passive_replica_catches_up_via_updates() {
+        let mut cluster = CheapCluster::new(3, 10, NetConfig::lan(), 2);
+        assert!(cluster.run(Time::from_secs(10)));
+        cluster.sim.run_for(300_000);
+        let executed: Vec<usize> = cluster.replicas().map(|r| r.executed()).collect();
+        assert!(
+            executed.iter().all(|&e| e == 10),
+            "passive replica lags: {executed:?}"
+        );
+        let digests: BTreeSet<u64> = cluster.replicas().map(|r| r.machine().digest()).collect();
+        assert_eq!(digests.len(), 1);
+    }
+
+    #[test]
+    fn active_backup_crash_triggers_switch_to_minbft() {
+        // Active backup (node 1) dies: CheapTiny can't form its all-active
+        // quorum; the client panics; the cluster switches to MinBFT and
+        // completes with {0, 2}.
+        let mut cluster = CheapCluster::new(3, 6, NetConfig::lan(), 3);
+        cluster.sim.run_until(Time::from_millis(5));
+        cluster.sim.crash_at(NodeId(1), Time::from_millis(6));
+        assert!(
+            cluster.run(Time::from_secs(60)),
+            "completed {}",
+            cluster.client().completed
+        );
+        assert_eq!(cluster.client().completed, 6);
+        assert!(cluster.client().panics_sent > 0);
+        for (id, r) in cluster.sim.nodes().filter_map(|(id, p)| match p {
+            CheapProc::Replica(r) => Some((id, r)),
+            _ => None,
+        }) {
+            if cluster.sim.is_alive(id) {
+                assert_eq!(r.proto, Protocol::MinBft, "{id} didn't switch");
+            }
+        }
+        assert!(cluster.sim.metrics().kind("panic") > 0);
+        assert!(cluster.sim.metrics().kind("switch") > 0);
+    }
+
+    #[test]
+    fn message_savings_versus_full_participation() {
+        // CheapTiny's normal case touches f+1 replicas; MinBFT's touches
+        // 2f+1. Compare messages per request, fault-free.
+        let mut cheap = CheapCluster::new(3, 20, NetConfig::lan(), 4);
+        assert!(cheap.run(Time::from_secs(10)));
+        let cheap_msgs = cheap.sim.metrics().sent as f64 / 20.0;
+        let mut min = crate::minbft::MinCluster::new(3, 20, NetConfig::lan(), 4);
+        assert!(min.run(Time::from_secs(10)));
+        let min_msgs = min.sim.metrics().sent as f64 / 20.0;
+        assert!(
+            cheap_msgs < min_msgs,
+            "CheapTiny ({cheap_msgs}) should beat MinBFT ({min_msgs})"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            let mut cluster = CheapCluster::new(3, 8, NetConfig::lan(), seed);
+            cluster.run(Time::from_secs(10));
+            (cluster.client().completed, cluster.sim.metrics().sent)
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

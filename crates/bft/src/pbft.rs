@@ -1,0 +1,1122 @@
+//! Practical Byzantine Fault Tolerance (Castro & Liskov, OSDI '99).
+//!
+//! The tutorial's summary, all implemented here:
+//!
+//! * **Configuration**: `3f+1` replicas; quorums of `2f+1`; any two quorums
+//!   intersect in at least one *correct* replica (`f+1` overlap).
+//! * **Normal case** (three phases): *pre-prepare* picks the order of
+//!   requests, *prepare* ensures order within views, *commit* ensures order
+//!   across views. A replica executes request `m` once `m` is committed and
+//!   all lower sequence numbers have executed; the client waits for `f+1`
+//!   matching replies. Steady state costs `O(n²)` messages because prepare
+//!   and commit are all-to-all.
+//! * **View change**: timeouts trigger it; the new primary needs `2f+1`
+//!   view-change messages and re-proposes every prepared request —
+//!   `O(n³)` message complexity (each of `O(n)` view-changes carries
+//!   `O(n)`-sized certificates to `O(n)` receivers).
+//! * **Garbage collection**: periodic checkpoints; `2f+1` matching
+//!   checkpoint messages form a stable proof allowing the log below the
+//!   checkpoint to be discarded.
+//!
+//! Why not plain Paxos with Byzantine nodes? A malicious primary could
+//! assign the same sequence number to different requests — the extra
+//! (prepare) phase makes any two replicas that prepare the same `(v, n)`
+//! agree on the request digest, which is exactly what the tests exercise
+//! with an equivocating primary.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
+use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, ReplicatedLog, SmrOp, StateMachine};
+use simnet::{Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer, TimerId};
+
+use crate::sim_crypto::{digest_of, Digest};
+
+/// PBFT wire messages.
+#[derive(Clone, Debug)]
+pub enum PbftMsg {
+    /// Client request.
+    Request {
+        /// The command.
+        cmd: Command<KvCommand>,
+    },
+    /// Replica reply; the client accepts an output at `f+1` matching
+    /// replies.
+    Reply {
+        /// View in which the request executed.
+        view: u64,
+        /// Client id.
+        client: u32,
+        /// Client sequence number.
+        seq: u64,
+        /// Execution output.
+        output: KvResponse,
+    },
+    /// Phase 1: primary assigns sequence number `n` to the request.
+    PrePrepare {
+        /// Current view.
+        view: u64,
+        /// Assigned sequence number.
+        n: u64,
+        /// Digest of the request.
+        digest: Digest,
+        /// The request itself.
+        cmd: Command<KvCommand>,
+    },
+    /// Phase 2: backups agree on the order within the view.
+    Prepare {
+        /// View.
+        view: u64,
+        /// Sequence number.
+        n: u64,
+        /// Request digest.
+        digest: Digest,
+    },
+    /// Phase 3: replicas ensure the order survives view changes.
+    Commit {
+        /// View.
+        view: u64,
+        /// Sequence number.
+        n: u64,
+        /// Request digest.
+        digest: Digest,
+    },
+    /// Periodic state checkpoint.
+    Checkpoint {
+        /// Sequence number of the checkpoint.
+        n: u64,
+        /// State digest after executing up to `n`.
+        state: Digest,
+    },
+    /// View-change vote.
+    ViewChange {
+        /// Proposed new view.
+        new_view: u64,
+        /// Sender's last stable checkpoint.
+        stable_n: u64,
+        /// Requests prepared above the stable checkpoint: `(view, n, cmd)`.
+        prepared: Vec<(u64, u64, Command<KvCommand>)>,
+    },
+    /// New primary's installation message.
+    NewView {
+        /// The new view.
+        view: u64,
+        /// Re-proposed pre-prepares `(n, cmd)`.
+        pre_prepares: Vec<(u64, Command<KvCommand>)>,
+    },
+}
+
+impl simnet::Payload for PbftMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            PbftMsg::Request { .. } => "request",
+            PbftMsg::Reply { .. } => "reply",
+            PbftMsg::PrePrepare { .. } => "pre-prepare",
+            PbftMsg::Prepare { .. } => "prepare",
+            PbftMsg::Commit { .. } => "commit",
+            PbftMsg::Checkpoint { .. } => "checkpoint",
+            PbftMsg::ViewChange { .. } => "view-change",
+            PbftMsg::NewView { .. } => "new-view",
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            PbftMsg::ViewChange { prepared, .. } => 48 + prepared.len() * 96,
+            PbftMsg::NewView { pre_prepares, .. } => 32 + pre_prepares.len() * 80,
+            _ => 80,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Instance {
+    cmd: Option<Command<KvCommand>>,
+    digest: Digest,
+    view: u64,
+    pre_prepared: bool,
+    prepares: BTreeSet<NodeId>,
+    commits: BTreeSet<NodeId>,
+    prepared: bool,
+    committed: bool,
+    executed: bool,
+}
+
+const VIEW_TIMER: u64 = 1;
+
+/// Default checkpoint interval (sequence numbers between checkpoints).
+pub const CHECKPOINT_INTERVAL: u64 = 16;
+
+/// One replica's claim about a prepared request, carried in view-change
+/// messages: `(view, sequence number, command)`.
+pub type PreparedClaim = (u64, u64, Command<KvCommand>);
+
+/// A PBFT replica.
+pub struct PbftReplica {
+    n_replicas: usize,
+    /// Fault bound `f = ⌊(n−1)/3⌋`.
+    pub f: usize,
+    /// Current view; primary = `view mod n`.
+    pub view: u64,
+    next_seq: u64,
+    /// Last stable checkpoint sequence number.
+    pub low_water: u64,
+    instances: BTreeMap<u64, Instance>,
+    exec: ReplicatedLog<DedupKvMachine>,
+    /// Highest executed sequence number.
+    pub executed_upto: u64,
+    checkpoint_interval: u64,
+    /// Checkpoint votes: (n, digest) → voters.
+    checkpoint_votes: BTreeMap<(u64, Digest), BTreeSet<NodeId>>,
+    /// View-change votes per proposed view.
+    view_change_votes: BTreeMap<u64, BTreeMap<NodeId, (u64, Vec<PreparedClaim>)>>,
+    /// Views this replica has vote-changed into.
+    max_vc_sent: u64,
+    view_timer: Option<TimerId>,
+    /// Client requests relayed to the primary and not yet executed — these
+    /// are what the view-change watchdog watches.
+    pending_requests: BTreeSet<(u32, u64)>,
+    /// Completed view changes observed (for experiment F12).
+    pub view_changes_completed: u64,
+    /// Whether a NewView for the current view was installed (primary sets
+    /// it implicitly).
+    in_new_view: bool,
+}
+
+impl PbftReplica {
+    /// Creates a replica in a cluster of `n_replicas = 3f+1`.
+    pub fn new(n_replicas: usize) -> Self {
+        let f = (n_replicas - 1) / 3;
+        PbftReplica {
+            n_replicas,
+            f,
+            view: 0,
+            next_seq: 0,
+            low_water: 0,
+            instances: BTreeMap::new(),
+            exec: ReplicatedLog::new(),
+            executed_upto: 0,
+            checkpoint_interval: CHECKPOINT_INTERVAL,
+            checkpoint_votes: BTreeMap::new(),
+            view_change_votes: BTreeMap::new(),
+            max_vc_sent: 0,
+            view_timer: None,
+            pending_requests: BTreeSet::new(),
+            view_changes_completed: 0,
+            in_new_view: true,
+        }
+    }
+
+    /// Overrides the checkpoint interval (ablation experiments).
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, k: u64) -> Self {
+        self.checkpoint_interval = k;
+        self
+    }
+
+    /// The primary of view `v`.
+    pub fn primary_of(&self, v: u64) -> NodeId {
+        NodeId((v % self.n_replicas as u64) as u32)
+    }
+
+    /// Whether this replica is the current primary.
+    pub fn is_primary(&self, me: NodeId) -> bool {
+        self.primary_of(self.view) == me
+    }
+
+    /// Quorum size `2f+1`.
+    pub fn quorum(&self) -> usize {
+        2 * self.f + 1
+    }
+
+    /// Number of retained (non-GC'd) log instances.
+    pub fn log_len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// The replicated state machine.
+    pub fn machine(&self) -> &DedupKvMachine {
+        self.exec.machine()
+    }
+
+    /// All replica ids except this node.
+    fn peer_replicas(&self, me: NodeId) -> Vec<NodeId> {
+        (0..self.n_replicas)
+            .map(NodeId::from)
+            .filter(|id| *id != me)
+            .collect()
+    }
+
+    fn arm_view_timer(&mut self, ctx: &mut Context<PbftMsg>) {
+        if self.view_timer.is_none() {
+            // Grows with the view so cascading view changes eventually find
+            // a live primary.
+            let timeout = 40_000 * (1 + self.view.saturating_sub(self.max_vc_sent).min(4))
+                + 10_000 * u64::from(ctx.id().0);
+            self.view_timer = Some(ctx.set_timer(timeout, VIEW_TIMER));
+        }
+    }
+
+    fn disarm_view_timer(&mut self, ctx: &mut Context<PbftMsg>) {
+        if let Some(t) = self.view_timer.take() {
+            ctx.cancel_timer(t);
+        }
+    }
+
+    fn has_pending_work(&self) -> bool {
+        !self.pending_requests.is_empty()
+            || self
+                .instances
+                .values()
+                .any(|i| i.pre_prepared && !i.executed)
+    }
+
+    fn instance(&mut self, n: u64) -> &mut Instance {
+        self.instances.entry(n).or_default()
+    }
+
+    /// Primary path: order a new request.
+    fn order(&mut self, ctx: &mut Context<PbftMsg>, cmd: Command<KvCommand>) {
+        let already = self.instances.values().any(|i| {
+            i.view == self.view
+                && !i.executed
+                && i.cmd
+                    .as_ref()
+                    .is_some_and(|c| c.client == cmd.client && c.seq == cmd.seq)
+        });
+        if already {
+            return;
+        }
+        self.next_seq += 1;
+        let n = self.next_seq;
+        let digest = digest_of(&cmd);
+        let view = self.view;
+        {
+            let me = ctx.id();
+            let inst = self.instance(n);
+            inst.cmd = Some(cmd.clone());
+            inst.digest = digest;
+            inst.view = view;
+            inst.pre_prepared = true;
+            inst.prepares.insert(me); // the pre-prepare is the primary's prepare
+        }
+        let me = ctx.id();
+        ctx.send_many(
+            self.peer_replicas(me),
+            PbftMsg::PrePrepare {
+                view,
+                n,
+                digest,
+                cmd,
+            },
+        );
+        self.arm_view_timer(ctx);
+    }
+
+    fn on_prepared(&mut self, ctx: &mut Context<PbftMsg>, n: u64) {
+        let view = self.view;
+        let me = ctx.id();
+        let inst = self.instance(n);
+        if inst.prepared {
+            return;
+        }
+        inst.prepared = true;
+        inst.commits.insert(me);
+        let digest = inst.digest;
+        ctx.send_many(self.peer_replicas(me), PbftMsg::Commit { view, n, digest });
+        self.maybe_committed(ctx, n);
+    }
+
+    fn maybe_committed(&mut self, ctx: &mut Context<PbftMsg>, n: u64) {
+        let quorum = self.quorum();
+        let inst = self.instance(n);
+        if inst.committed || !inst.prepared || inst.commits.len() < quorum {
+            return;
+        }
+        inst.committed = true;
+        self.try_execute(ctx);
+    }
+
+    fn try_execute(&mut self, ctx: &mut Context<PbftMsg>) {
+        loop {
+            let next = self.executed_upto + 1;
+            let ready = self
+                .instances
+                .get(&next)
+                .is_some_and(|i| i.committed && !i.executed);
+            if !ready {
+                break;
+            }
+            let cmd = {
+                let inst = self.instance(next);
+                inst.executed = true;
+                inst.cmd.clone().expect("committed instance has a command")
+            };
+            let outputs = self.exec.decide((next - 1) as usize, SmrOp::Cmd(cmd.clone()));
+            self.executed_upto = next;
+            self.pending_requests.remove(&(cmd.client, cmd.seq));
+            for (_, out) in outputs {
+                if let Some(output) = out {
+                    ctx.send(
+                        NodeId(cmd.client),
+                        PbftMsg::Reply {
+                            view: self.view,
+                            client: cmd.client,
+                            seq: cmd.seq,
+                            output,
+                        },
+                    );
+                }
+            }
+            // Progress: reset the watchdog.
+            self.disarm_view_timer(ctx);
+            if self.has_pending_work() {
+                self.arm_view_timer(ctx);
+            }
+            // Checkpoint?
+            if next.is_multiple_of(self.checkpoint_interval) {
+                let state = Digest(self.exec.machine().digest());
+                let me = ctx.id();
+                self.checkpoint_votes
+                    .entry((next, state))
+                    .or_default()
+                    .insert(me);
+                let me = ctx.id();
+                ctx.send_many(
+                    self.peer_replicas(me),
+                    PbftMsg::Checkpoint { n: next, state },
+                );
+                self.maybe_stable_checkpoint(next, state);
+            }
+        }
+    }
+
+    fn maybe_stable_checkpoint(&mut self, n: u64, state: Digest) {
+        let quorum = self.quorum();
+        let stable = self
+            .checkpoint_votes
+            .get(&(n, state))
+            .is_some_and(|votes| votes.len() >= quorum);
+        if stable && n > self.low_water {
+            self.low_water = n;
+            // Discard everything at or below the stable checkpoint.
+            self.instances.retain(|&seq, _| seq > n);
+            self.checkpoint_votes.retain(|&(seq, _), _| seq > n);
+            self.exec.truncate_prefix(n as usize);
+        }
+    }
+
+    fn start_view_change(&mut self, ctx: &mut Context<PbftMsg>) {
+        let new_view = self.view + 1;
+        self.max_vc_sent = self.max_vc_sent.max(new_view);
+        let prepared: Vec<(u64, u64, Command<KvCommand>)> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| i.prepared && !i.executed)
+            .filter_map(|(&n, i)| i.cmd.clone().map(|c| (i.view, n, c)))
+            .collect();
+        let stable_n = self.low_water;
+        // Record own vote.
+        let me = ctx.id();
+        self.view_change_votes
+            .entry(new_view)
+            .or_default()
+            .insert(me, (stable_n, prepared.clone()));
+        ctx.send_many(
+            self.peer_replicas(me),
+            PbftMsg::ViewChange {
+                new_view,
+                stable_n,
+                prepared,
+            },
+        );
+        self.maybe_install_view(ctx, new_view);
+    }
+
+    fn maybe_install_view(&mut self, ctx: &mut Context<PbftMsg>, v: u64) {
+        if v <= self.view && self.in_new_view {
+            return;
+        }
+        if self.primary_of(v) != ctx.id() {
+            return;
+        }
+        let quorum = self.quorum();
+        let Some(votes) = self.view_change_votes.get(&v) else {
+            return;
+        };
+        if votes.len() < quorum {
+            return;
+        }
+        // Become primary of view v: re-propose every prepared request at
+        // its original sequence number, choosing the highest-view claim
+        // per n.
+        let mut chosen: BTreeMap<u64, (u64, Command<KvCommand>)> = BTreeMap::new();
+        let mut max_n = self.low_water.max(self.executed_upto);
+        for (_, (_, prepared)) in votes.iter() {
+            for (pv, n, cmd) in prepared {
+                max_n = max_n.max(*n);
+                match chosen.get(n) {
+                    Some((existing, _)) if *existing >= *pv => {}
+                    _ => {
+                        chosen.insert(*n, (*pv, cmd.clone()));
+                    }
+                }
+            }
+        }
+        self.view = v;
+        self.in_new_view = true;
+        self.view_changes_completed += 1;
+        self.next_seq = max_n;
+        // Instances that neither committed nor appear in the new-view set
+        // are abandoned; any request they carried will be re-ordered.
+        self.instances.retain(|_, i| i.committed);
+        self.disarm_view_timer(ctx);
+        let pre_prepares: Vec<(u64, Command<KvCommand>)> = chosen
+            .iter()
+            .map(|(&n, (_, cmd))| (n, cmd.clone()))
+            .collect();
+        let me = ctx.id();
+        ctx.send_many(
+            self.peer_replicas(me),
+            PbftMsg::NewView {
+                view: v,
+                pre_prepares: pre_prepares.clone(),
+            },
+        );
+        // Process own re-proposals.
+        for (n, cmd) in pre_prepares {
+            self.accept_pre_prepare(ctx, v, n, digest_of(&cmd), cmd, ctx.id());
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn accept_pre_prepare(
+        &mut self,
+        ctx: &mut Context<PbftMsg>,
+        view: u64,
+        n: u64,
+        digest: Digest,
+        cmd: Command<KvCommand>,
+        from: NodeId,
+    ) {
+        if view != self.view || n <= self.low_water {
+            return;
+        }
+        let me = ctx.id();
+        let inst = self.instance(n);
+        if inst.pre_prepared && inst.view == view && inst.digest != digest {
+            // Equivocation within a view: refuse the second assignment.
+            return;
+        }
+        if inst.view < view {
+            // New view re-proposal supersedes the old instance state.
+            inst.prepares.clear();
+            inst.commits.clear();
+            inst.prepared = false;
+            inst.committed = inst.committed && inst.digest == digest;
+        }
+        inst.cmd = Some(cmd);
+        inst.digest = digest;
+        inst.view = view;
+        inst.pre_prepared = true;
+        inst.prepares.insert(from); // primary's implicit prepare
+        inst.prepares.insert(me);
+        ctx.send_many(self.peer_replicas(me), PbftMsg::Prepare { view, n, digest });
+        self.arm_view_timer(ctx);
+        self.maybe_prepared(ctx, n);
+    }
+
+    fn maybe_prepared(&mut self, ctx: &mut Context<PbftMsg>, n: u64) {
+        let quorum = self.quorum();
+        let ready = {
+            let inst = self.instance(n);
+            inst.pre_prepared && !inst.prepared && inst.prepares.len() >= quorum
+        };
+        if ready {
+            self.on_prepared(ctx, n);
+        }
+    }
+}
+
+impl Node for PbftReplica {
+    type Msg = PbftMsg;
+
+    fn on_start(&mut self, _ctx: &mut Context<PbftMsg>) {}
+
+    fn on_message(&mut self, ctx: &mut Context<PbftMsg>, from: NodeId, msg: PbftMsg) {
+        match msg {
+            PbftMsg::Request { cmd } => {
+                // Dedup: answer executed requests from the client table.
+                if let Some(out) = self.exec.machine().cached(cmd.client, cmd.seq) {
+                    ctx.send(
+                        NodeId(cmd.client),
+                        PbftMsg::Reply {
+                            view: self.view,
+                            client: cmd.client,
+                            seq: cmd.seq,
+                            output: out.clone(),
+                        },
+                    );
+                    return;
+                }
+                if self.is_primary(ctx.id()) {
+                    self.order(ctx, cmd);
+                } else {
+                    // Relay to the primary and watch it.
+                    let primary = self.primary_of(self.view);
+                    self.pending_requests.insert((cmd.client, cmd.seq));
+                    ctx.send(primary, PbftMsg::Request { cmd });
+                    self.arm_view_timer(ctx);
+                }
+            }
+
+            PbftMsg::PrePrepare {
+                view,
+                n,
+                digest,
+                cmd,
+            } => {
+                if from != self.primary_of(view) {
+                    return; // only the view's primary may pre-prepare
+                }
+                if digest != digest_of(&cmd) {
+                    return; // corrupted assignment
+                }
+                self.accept_pre_prepare(ctx, view, n, digest, cmd, from);
+            }
+
+            PbftMsg::Prepare { view, n, digest } => {
+                if view != self.view || n <= self.low_water {
+                    return;
+                }
+                let inst = self.instance(n);
+                if inst.pre_prepared && inst.digest != digest {
+                    return; // mismatched prepare
+                }
+                inst.prepares.insert(from);
+                self.maybe_prepared(ctx, n);
+            }
+
+            PbftMsg::Commit { view, n, digest } => {
+                if view != self.view || n <= self.low_water {
+                    return;
+                }
+                let inst = self.instance(n);
+                if inst.pre_prepared && inst.digest != digest {
+                    return;
+                }
+                inst.commits.insert(from);
+                self.maybe_committed(ctx, n);
+            }
+
+            PbftMsg::Checkpoint { n, state } => {
+                self.checkpoint_votes
+                    .entry((n, state))
+                    .or_default()
+                    .insert(from);
+                self.maybe_stable_checkpoint(n, state);
+            }
+
+            PbftMsg::ViewChange {
+                new_view,
+                stable_n,
+                prepared,
+            } => {
+                if new_view <= self.view {
+                    return;
+                }
+                self.view_change_votes
+                    .entry(new_view)
+                    .or_default()
+                    .insert(from, (stable_n, prepared));
+                // Join the view change once f+1 replicas demand it (they
+                // can't all be faulty).
+                let votes = self.view_change_votes[&new_view].len();
+                if votes > self.f && self.max_vc_sent < new_view {
+                    self.view = new_view - 1; // ensure start_view_change targets new_view
+                    self.in_new_view = false;
+                    self.start_view_change(ctx);
+                }
+                self.maybe_install_view(ctx, new_view);
+            }
+
+            PbftMsg::NewView { view, pre_prepares } => {
+                if view < self.view || from != self.primary_of(view) {
+                    return;
+                }
+                self.view = view;
+                self.in_new_view = true;
+                self.view_changes_completed += 1;
+                self.instances.retain(|_, i| i.committed);
+                self.disarm_view_timer(ctx);
+                for (n, cmd) in pre_prepares {
+                    let digest = digest_of(&cmd);
+                    self.accept_pre_prepare(ctx, view, n, digest, cmd, from);
+                }
+            }
+
+            PbftMsg::Reply { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<PbftMsg>, timer: Timer) {
+        if timer.kind == VIEW_TIMER {
+            self.view_timer = None;
+            if self.has_pending_work() {
+                // The primary failed us: demand a view change. Escalate
+                // past views whose primaries never answered.
+                self.view = self.view.max(self.max_vc_sent);
+                self.in_new_view = false;
+                self.start_view_change(ctx);
+                self.arm_view_timer(ctx);
+            }
+        }
+    }
+}
+
+/// A PBFT client: waits for `f+1` matching replies.
+pub struct PbftClient {
+    /// Client id == node id.
+    pub client_id: u32,
+    n_replicas: usize,
+    f: usize,
+    workload: KvWorkload,
+    total: usize,
+    /// Completed requests.
+    pub completed: usize,
+    current: Option<(Command<KvCommand>, Time)>,
+    /// Votes for the current request: output digest → replicas.
+    votes: BTreeMap<u64, BTreeSet<NodeId>>,
+    broadcast_mode: bool,
+    /// Latencies.
+    pub latencies: LatencyRecorder,
+}
+
+const CLIENT_RETRY: u64 = 9;
+
+impl PbftClient {
+    /// Creates a client issuing `total` commands.
+    pub fn new(client_id: u32, n_replicas: usize, total: usize, mix: KvMix, seed: u64) -> Self {
+        PbftClient {
+            client_id,
+            n_replicas,
+            f: (n_replicas - 1) / 3,
+            workload: KvWorkload::new(client_id, mix, seed),
+            total,
+            completed: 0,
+            current: None,
+            votes: BTreeMap::new(),
+            broadcast_mode: false,
+            latencies: LatencyRecorder::new(),
+        }
+    }
+
+    /// Whether the workload finished.
+    pub fn done(&self) -> bool {
+        self.completed >= self.total
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<PbftMsg>) {
+        if self.done() {
+            self.current = None;
+            return;
+        }
+        let cmd = self.workload.next_command();
+        self.current = Some((cmd.clone(), ctx.now()));
+        self.votes.clear();
+        self.broadcast_mode = false;
+        // Optimistically to the (assumed) primary only.
+        ctx.send(NodeId(0), PbftMsg::Request { cmd });
+        ctx.set_timer(150_000, CLIENT_RETRY);
+    }
+}
+
+impl Node for PbftClient {
+    type Msg = PbftMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<PbftMsg>) {
+        self.send_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<PbftMsg>, from: NodeId, msg: PbftMsg) {
+        if let PbftMsg::Reply { seq, output, .. } = msg {
+            let Some((cmd, sent_at)) = &self.current else {
+                return;
+            };
+            if cmd.seq != seq {
+                return;
+            }
+            let key = digest_of(&output).0;
+            let votes = self.votes.entry(key).or_default();
+            votes.insert(from);
+            if votes.len() >= self.f + 1 {
+                let sent = *sent_at;
+                self.latencies.record(sent, ctx.now());
+                self.completed += 1;
+                self.current = None;
+                self.send_next(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<PbftMsg>, timer: Timer) {
+        if timer.kind == CLIENT_RETRY && self.current.is_some() {
+            // Escalate: broadcast to all replicas (this is what ultimately
+            // triggers a view change when the primary is faulty).
+            self.broadcast_mode = true;
+            if let Some((cmd, _)) = &self.current {
+                let cmd = cmd.clone();
+                for r in 0..self.n_replicas {
+                    ctx.send(NodeId::from(r), PbftMsg::Request { cmd: cmd.clone() });
+                }
+            }
+            ctx.set_timer(150_000, CLIENT_RETRY);
+        }
+    }
+}
+
+simnet::node_enum! {
+    /// A PBFT process.
+    pub enum PbftProc: PbftMsg {
+        /// Replica.
+        Replica(PbftReplica),
+        /// Client.
+        Client(PbftClient),
+    }
+}
+
+/// A ready-to-run PBFT cluster.
+pub struct PbftCluster {
+    /// The simulation.
+    pub sim: Sim<PbftProc>,
+    /// Replica count (`3f+1`).
+    pub n_replicas: usize,
+    /// Client count.
+    pub n_clients: usize,
+}
+
+impl PbftCluster {
+    /// Builds `n_replicas` replicas and `n_clients` clients issuing
+    /// `cmds_per_client` commands each.
+    pub fn new(
+        n_replicas: usize,
+        n_clients: usize,
+        cmds_per_client: usize,
+        config: NetConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(n_replicas >= 4, "PBFT needs at least 3f+1 = 4 replicas");
+        let mut sim = Sim::new(config, seed);
+        for _ in 0..n_replicas {
+            sim.add_node(PbftReplica::new(n_replicas));
+        }
+        for c in 0..n_clients {
+            let id = (n_replicas + c) as u32;
+            sim.add_node(PbftClient::new(
+                id,
+                n_replicas,
+                cmds_per_client,
+                KvMix::default(),
+                seed,
+            ));
+        }
+        PbftCluster {
+            sim,
+            n_replicas,
+            n_clients,
+        }
+    }
+
+    /// Runs until clients finish or `horizon`.
+    pub fn run(&mut self, horizon: Time) -> bool {
+        loop {
+            let outcome = self.sim.run_for(10_000);
+            if self.all_done() {
+                return true;
+            }
+            if self.sim.now() >= horizon || outcome == RunOutcome::Quiescent {
+                return self.all_done();
+            }
+        }
+    }
+
+    /// Whether every client finished.
+    pub fn all_done(&self) -> bool {
+        self.clients().all(|c| c.done())
+    }
+
+    /// Iterates over clients.
+    pub fn clients(&self) -> impl Iterator<Item = &PbftClient> {
+        self.sim.nodes().filter_map(|(_, p)| match p {
+            PbftProc::Client(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// Iterates over replicas.
+    pub fn replicas(&self) -> impl Iterator<Item = &PbftReplica> {
+        self.sim.nodes().filter_map(|(_, p)| match p {
+            PbftProc::Replica(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Total completed commands.
+    pub fn total_completed(&self) -> usize {
+        self.clients().map(|c| c.completed).sum()
+    }
+
+    /// Aggregated latencies.
+    pub fn latencies(&self) -> LatencyRecorder {
+        let mut agg = LatencyRecorder::new();
+        for c in self.clients() {
+            for &s in c.latencies.samples() {
+                agg.record_micros(s);
+            }
+        }
+        agg
+    }
+
+    /// Checks that all replicas that executed a common prefix agree on the
+    /// state digest at the shortest prefix. Returns that prefix length.
+    pub fn check_state_agreement(&self) -> u64 {
+        let live: Vec<&PbftReplica> = self
+            .sim
+            .nodes()
+            .filter(|(id, _)| self.sim.is_alive(*id))
+            .filter_map(|(_, p)| match p {
+                PbftProc::Replica(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        let min_exec = live.iter().map(|r| r.executed_upto).max().unwrap_or(0);
+        // Digest comparison is only meaningful at equal prefixes; compare
+        // replicas that executed exactly the same amount.
+        let mut by_prefix: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+        for r in &live {
+            by_prefix
+                .entry(r.executed_upto)
+                .or_default()
+                .insert(r.machine().digest());
+        }
+        for (prefix, digests) in &by_prefix {
+            assert!(
+                digests.len() <= 1,
+                "replicas diverged at prefix {prefix}: {digests:?}"
+            );
+        }
+        min_exec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{FilterAction, FnFilter};
+
+    #[test]
+    fn commits_requests_fault_free() {
+        let mut cluster = PbftCluster::new(4, 1, 10, NetConfig::lan(), 1);
+        assert!(cluster.run(Time::from_secs(10)), "{}", cluster.total_completed());
+        assert_eq!(cluster.total_completed(), 10);
+        assert!(cluster.check_state_agreement() >= 10);
+    }
+
+    #[test]
+    fn three_phases_on_the_wire() {
+        let mut cluster = PbftCluster::new(4, 1, 5, NetConfig::lan(), 2);
+        assert!(cluster.run(Time::from_secs(10)));
+        let m = cluster.sim.metrics();
+        assert!(m.kind("pre-prepare") >= 5 * 3);
+        assert!(m.kind("prepare") > 0);
+        assert!(m.kind("commit") > 0);
+        // Prepare and commit are all-to-all: each ≈ n(n−1) per request vs
+        // pre-prepare's (n−1).
+        assert!(m.kind("prepare") > 2 * m.kind("pre-prepare"));
+    }
+
+    #[test]
+    fn quadratic_message_growth() {
+        let mut per_request = Vec::new();
+        for n in [4usize, 7, 10] {
+            let mut cluster = PbftCluster::new(n, 1, 10, NetConfig::lan(), 3);
+            assert!(cluster.run(Time::from_secs(30)));
+            per_request.push(cluster.sim.metrics().sent as f64 / 10.0);
+        }
+        // Quadratic: going 4 → 10 replicas should grow messages by more
+        // than the linear ratio 10/4 = 2.5.
+        let growth = per_request[2] / per_request[0];
+        assert!(
+            growth > 4.0,
+            "expected ≫ linear growth, got {growth:.1} ({per_request:?})"
+        );
+    }
+
+    #[test]
+    fn tolerates_f_crashed_backups() {
+        let mut cluster = PbftCluster::new(4, 1, 10, NetConfig::lan(), 4);
+        cluster.sim.crash_at(NodeId(3), Time::ZERO);
+        assert!(cluster.run(Time::from_secs(10)));
+        assert_eq!(cluster.total_completed(), 10);
+        cluster.check_state_agreement();
+    }
+
+    #[test]
+    fn primary_crash_triggers_view_change() {
+        let mut cluster = PbftCluster::new(4, 1, 10, NetConfig::lan(), 5);
+        cluster.sim.run_until(Time::from_millis(10));
+        cluster.sim.crash_at(NodeId(0), Time::from_millis(11));
+        assert!(
+            cluster.run(Time::from_secs(30)),
+            "only {} completed",
+            cluster.total_completed()
+        );
+        assert_eq!(cluster.total_completed(), 10);
+        cluster.check_state_agreement();
+        let vc = cluster
+            .replicas()
+            .map(|r| r.view_changes_completed)
+            .max()
+            .unwrap();
+        assert!(vc >= 1, "view change must have happened");
+        let view = cluster.replicas().map(|r| r.view).max().unwrap();
+        assert!(view >= 1);
+    }
+
+    #[test]
+    fn equivocating_primary_cannot_split_the_cluster() {
+        // The primary sends different commands (hence digests) to different
+        // backups for the same sequence number. Prepares won't match, the
+        // request stalls, a view change fires, and an honest primary takes
+        // over. Safety is never violated.
+        let mut cluster = PbftCluster::new(4, 1, 8, NetConfig::lan(), 6);
+        cluster.sim.set_filter(
+            NodeId(0),
+            Box::new(FnFilter(
+                |_from, to: NodeId, msg: &PbftMsg, _rng: &mut rand_chacha::ChaCha20Rng| {
+                    if let PbftMsg::PrePrepare { view, n, cmd, .. } = msg {
+                        // Equivocate: mutate the command per destination.
+                        let mut cmd = cmd.clone();
+                        cmd.op = KvCommand::Put {
+                            key: format!("evil-{n}"),
+                            value: format!("forged-for-{to}"),
+                        };
+                        let digest = digest_of(&cmd);
+                        FilterAction::Replace(PbftMsg::PrePrepare {
+                            view: *view,
+                            n: *n,
+                            digest,
+                            cmd,
+                        })
+                    } else {
+                        FilterAction::Deliver
+                    }
+                },
+            )),
+        );
+        assert!(
+            cluster.run(Time::from_secs(60)),
+            "honest primary must eventually serve: {}",
+            cluster.total_completed()
+        );
+        cluster.check_state_agreement();
+        // A view change happened to escape the malicious primary.
+        let view = cluster.replicas().map(|r| r.view).max().unwrap();
+        assert!(view >= 1, "should have left view 0");
+    }
+
+    #[test]
+    fn checkpoints_garbage_collect_the_log() {
+        let mut cluster = PbftCluster::new(4, 1, 40, NetConfig::lan(), 7);
+        assert!(cluster.run(Time::from_secs(30)));
+        // Let checkpoint traffic settle.
+        cluster.sim.run_for(200_000);
+        for r in cluster.replicas() {
+            assert!(
+                r.low_water >= CHECKPOINT_INTERVAL,
+                "stable checkpoint expected, low_water={}",
+                r.low_water
+            );
+            assert!(
+                (r.log_len() as u64) < 40,
+                "log should have been GC'd: {} entries",
+                r.log_len()
+            );
+        }
+    }
+
+    #[test]
+    fn byzantine_backup_noise_is_harmless() {
+        // A backup spams wrong prepares/commits; quorums of 2f+1 honest
+        // replicas are unaffected.
+        let mut cluster = PbftCluster::new(4, 1, 10, NetConfig::lan(), 8);
+        cluster.sim.set_filter(
+            NodeId(3),
+            Box::new(FnFilter(
+                |_f, _t: NodeId, msg: &PbftMsg, _r: &mut rand_chacha::ChaCha20Rng| match msg {
+                    PbftMsg::Prepare { view, n, .. } => FilterAction::Replace(PbftMsg::Prepare {
+                        view: *view,
+                        n: *n,
+                        digest: Digest(0xBAD),
+                    }),
+                    PbftMsg::Commit { view, n, .. } => FilterAction::Replace(PbftMsg::Commit {
+                        view: *view,
+                        n: *n,
+                        digest: Digest(0xBAD),
+                    }),
+                    _ => FilterAction::Deliver,
+                },
+            )),
+        );
+        assert!(cluster.run(Time::from_secs(20)));
+        assert_eq!(cluster.total_completed(), 10);
+        cluster.check_state_agreement();
+    }
+
+    #[test]
+    fn checkpoint_interval_ablation() {
+        // Smaller checkpoint intervals keep the retained log smaller (at
+        // the cost of more checkpoint traffic) — the F12 ablation.
+        let run = |interval: u64| {
+            let mut cluster = PbftCluster::new(4, 1, 40, NetConfig::lan(), 12);
+            for i in 0..4 {
+                if let PbftProc::Replica(r) = cluster.sim.node_mut(NodeId(i)) {
+                    *r = PbftReplica::new(4).with_checkpoint_interval(interval);
+                }
+            }
+            assert!(cluster.run(Time::from_secs(30)));
+            cluster.sim.run_for(300_000);
+            let max_log = cluster.replicas().map(|r| r.log_len()).max().unwrap();
+            let ckpt_msgs = cluster.sim.metrics().kind("checkpoint");
+            (max_log, ckpt_msgs)
+        };
+        let (log_small, msgs_small) = run(4);
+        let (log_large, msgs_large) = run(32);
+        assert!(
+            log_small <= log_large,
+            "tighter checkpoints should retain less: {log_small} vs {log_large}"
+        );
+        assert!(
+            msgs_small > msgs_large,
+            "tighter checkpoints cost more traffic: {msgs_small} vs {msgs_large}"
+        );
+    }
+
+    #[test]
+    fn multiple_clients() {
+        let mut cluster = PbftCluster::new(4, 3, 10, NetConfig::lan(), 9);
+        assert!(cluster.run(Time::from_secs(30)));
+        assert_eq!(cluster.total_completed(), 30);
+        cluster.check_state_agreement();
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            let mut cluster = PbftCluster::new(4, 1, 10, NetConfig::lan(), seed);
+            cluster.run(Time::from_secs(10));
+            (cluster.total_completed(), cluster.sim.metrics().sent)
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

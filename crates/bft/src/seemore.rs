@@ -1,0 +1,685 @@
+//! SeeMoRe (Amiri et al., ICDE 2020): hybrid-cloud consensus with `m`
+//! malicious and `c` crash faults.
+//!
+//! Setting: nodes in the **private cloud** are trusted but few (crash-only);
+//! nodes in the **public cloud** are plentiful but untrusted (Byzantine).
+//! Network size `3m + 2c + 1`. Three modes trade load, latency and message
+//! complexity:
+//!
+//! * **Mode 1 — trusted primary, centralized coordination**: the primary is
+//!   private; two phases (primary→backups proposal, backups→primary
+//!   decision making); quorum `2m + c + 1`; `O(n)` messages.
+//! * **Mode 2 — trusted primary, decentralized coordination**: the primary
+//!   is still private but the private cloud is *not* involved in phase 2:
+//!   `3m + 1` public **proxies** decide among themselves; quorum `2m + 1`;
+//!   `O(n²)`; two phases. Goal: reduce load on the private cloud.
+//! * **Mode 3 — untrusted primary, decentralized coordination**: the
+//!   primary is public, so an extra *proposal validation* phase guards
+//!   against equivocation; three phases; quorum `2m + 1`; `O(n²)`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
+use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, StateMachine};
+use simnet::{Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer};
+
+use crate::sim_crypto::{digest_of, Digest};
+
+/// The three SeeMoRe operating modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Trusted primary, centralized coordination.
+    One,
+    /// Trusted primary, decentralized (public-proxy) coordination.
+    Two,
+    /// Untrusted primary, decentralized coordination.
+    Three,
+}
+
+/// Cluster parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SeeMoReConfig {
+    /// Max malicious (public-cloud) faults.
+    pub m: usize,
+    /// Max crash (private-cloud) faults.
+    pub c: usize,
+    /// Operating mode.
+    pub mode: Mode,
+}
+
+impl SeeMoReConfig {
+    /// Total nodes: `3m + 2c + 1`.
+    pub fn n(&self) -> usize {
+        3 * self.m + 2 * self.c + 1
+    }
+
+    /// Private-cloud size (`2c + 1` trusted nodes: enough to survive `c`
+    /// crashes).
+    pub fn n_private(&self) -> usize {
+        2 * self.c + 1
+    }
+
+    /// Public-cloud size (`3m` nodes; with one private node acting in the
+    /// proxy set where needed, proxies number `3m + 1`).
+    pub fn n_public(&self) -> usize {
+        self.n() - self.n_private()
+    }
+
+    /// The decision quorum for this mode.
+    pub fn quorum(&self) -> usize {
+        match self.mode {
+            Mode::One => 2 * self.m + self.c + 1,
+            Mode::Two | Mode::Three => 2 * self.m + 1,
+        }
+    }
+
+    /// Communication phases in the common case.
+    pub fn phases(&self) -> usize {
+        match self.mode {
+            Mode::One | Mode::Two => 2,
+            Mode::Three => 3,
+        }
+    }
+
+    /// Nodes `0..n_private` are private; the rest are public.
+    pub fn is_private(&self, id: NodeId) -> bool {
+        id.index() < self.n_private()
+    }
+
+    /// The primary: private node 0 in modes 1–2, first public node in
+    /// mode 3.
+    pub fn primary(&self) -> NodeId {
+        match self.mode {
+            Mode::One | Mode::Two => NodeId(0),
+            Mode::Three => NodeId::from(self.n_private()),
+        }
+    }
+
+    /// The proxy set for decentralized modes: `3m + 1` nodes — the public
+    /// cloud plus one private node to make up the count.
+    pub fn proxies(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = (self.n_private()..self.n()).map(NodeId::from).collect();
+        while v.len() < 3 * self.m + 1 {
+            v.insert(0, NodeId::from(self.n_private() - 1 - (3 * self.m + 1 - v.len() - 1)));
+        }
+        v.truncate(3 * self.m + 1);
+        v
+    }
+}
+
+/// SeeMoRe wire messages.
+#[derive(Clone, Debug)]
+pub enum SmMsg {
+    /// Client request.
+    Request {
+        /// The command.
+        cmd: Command<KvCommand>,
+    },
+    /// Reply to the client.
+    Reply {
+        /// Client id.
+        client: u32,
+        /// Client sequence.
+        seq: u64,
+        /// Output.
+        output: KvResponse,
+    },
+    /// Phase 1: the primary's proposal.
+    Propose {
+        /// Sequence number.
+        n: u64,
+        /// The command.
+        cmd: Command<KvCommand>,
+        /// Digest.
+        digest: Digest,
+    },
+    /// Mode 3 phase 2: proxies echo the proposal to validate the untrusted
+    /// primary didn't equivocate.
+    Validate {
+        /// Sequence.
+        n: u64,
+        /// Echoed digest.
+        digest: Digest,
+    },
+    /// Decision-making vote (to the primary in mode 1; among proxies in
+    /// modes 2–3).
+    Ack {
+        /// Sequence.
+        n: u64,
+        /// Digest being acknowledged.
+        digest: Digest,
+    },
+    /// Decision dissemination.
+    Decide {
+        /// Sequence.
+        n: u64,
+        /// The command (so non-proxy nodes can execute).
+        cmd: Command<KvCommand>,
+    },
+}
+
+impl simnet::Payload for SmMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            SmMsg::Request { .. } => "request",
+            SmMsg::Reply { .. } => "reply",
+            SmMsg::Propose { .. } => "propose",
+            SmMsg::Validate { .. } => "validate",
+            SmMsg::Ack { .. } => "ack",
+            SmMsg::Decide { .. } => "decide",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SmInstance {
+    cmd: Option<Command<KvCommand>>,
+    digest: Digest,
+    validates: BTreeSet<NodeId>,
+    validated: bool,
+    acks: BTreeSet<NodeId>,
+    decided: bool,
+    executed: bool,
+}
+
+/// A SeeMoRe replica.
+pub struct SmReplica {
+    /// Configuration.
+    pub cfg: SeeMoReConfig,
+    next_seq: u64,
+    instances: BTreeMap<u64, SmInstance>,
+    /// Executed prefix length.
+    pub executed_upto: u64,
+    machine: DedupKvMachine,
+}
+
+impl SmReplica {
+    /// Creates a replica.
+    pub fn new(cfg: SeeMoReConfig) -> Self {
+        SmReplica {
+            cfg,
+            next_seq: 0,
+            instances: BTreeMap::new(),
+            executed_upto: 0,
+            machine: DedupKvMachine::default(),
+        }
+    }
+
+    /// The machine.
+    pub fn machine(&self) -> &DedupKvMachine {
+        &self.machine
+    }
+
+    fn peer_replicas(&self, me: NodeId) -> Vec<NodeId> {
+        (0..self.cfg.n())
+            .map(NodeId::from)
+            .filter(|id| *id != me)
+            .collect()
+    }
+
+    fn is_proxy(&self, id: NodeId) -> bool {
+        match self.cfg.mode {
+            Mode::One => false,
+            Mode::Two | Mode::Three => self.cfg.proxies().contains(&id),
+        }
+    }
+
+    fn decide(&mut self, ctx: &mut Context<SmMsg>, n: u64) {
+        let cmd = {
+            let inst = self.instances.entry(n).or_default();
+            if inst.decided {
+                return;
+            }
+            inst.decided = true;
+            inst.cmd.clone()
+        };
+        if let Some(cmd) = cmd {
+            let me = ctx.id();
+            ctx.send_many(self.peer_replicas(me), SmMsg::Decide { n, cmd });
+        }
+        self.try_execute(ctx);
+    }
+
+    fn try_execute(&mut self, ctx: &mut Context<SmMsg>) {
+        loop {
+            let next = self.executed_upto + 1;
+            let ready = self
+                .instances
+                .get(&next)
+                .is_some_and(|i| i.decided && !i.executed && i.cmd.is_some());
+            if !ready {
+                return;
+            }
+            let cmd = {
+                let inst = self.instances.get_mut(&next).expect("ready");
+                inst.executed = true;
+                inst.cmd.clone().expect("ready")
+            };
+            let output = self
+                .machine
+                .apply(&consensus_core::SmrOp::Cmd(cmd.clone()))
+                .expect("output");
+            self.executed_upto = next;
+            ctx.send(
+                NodeId(cmd.client),
+                SmMsg::Reply {
+                    client: cmd.client,
+                    seq: cmd.seq,
+                    output,
+                },
+            );
+        }
+    }
+}
+
+impl Node for SmReplica {
+    type Msg = SmMsg;
+
+    fn on_start(&mut self, _ctx: &mut Context<SmMsg>) {}
+
+    fn on_message(&mut self, ctx: &mut Context<SmMsg>, from: NodeId, msg: SmMsg) {
+        match msg {
+            SmMsg::Request { cmd } => {
+                if self.cfg.primary() != ctx.id() {
+                    let p = self.cfg.primary();
+                    ctx.send(p, SmMsg::Request { cmd });
+                    return;
+                }
+                if let Some(out) = self.machine.cached(cmd.client, cmd.seq) {
+                    ctx.send(
+                        NodeId(cmd.client),
+                        SmMsg::Reply {
+                            client: cmd.client,
+                            seq: cmd.seq,
+                            output: out.clone(),
+                        },
+                    );
+                    return;
+                }
+                let in_flight = self.instances.values().any(|i| {
+                    !i.executed
+                        && i.cmd
+                            .as_ref()
+                            .is_some_and(|c| c.client == cmd.client && c.seq == cmd.seq)
+                });
+                if in_flight {
+                    return;
+                }
+                self.next_seq += 1;
+                let n = self.next_seq;
+                let digest = digest_of(&cmd);
+                let me = ctx.id();
+                let inst = self.instances.entry(n).or_default();
+                inst.cmd = Some(cmd.clone());
+                inst.digest = digest;
+                inst.validated = self.cfg.mode != Mode::Three;
+                if self.cfg.mode == Mode::One {
+                    // The trusted primary's own vote counts toward the
+                    // 2m+c+1 quorum.
+                    inst.acks.insert(me);
+                }
+                let me2 = ctx.id();
+                ctx.send_many(self.peer_replicas(me2), SmMsg::Propose { n, cmd, digest });
+            }
+
+            SmMsg::Propose { n, cmd, digest } => {
+                if from != self.cfg.primary() || digest != digest_of(&cmd) {
+                    return;
+                }
+                let me = ctx.id();
+                let proxies = self.cfg.proxies();
+                {
+                    let inst = self.instances.entry(n).or_default();
+                    if inst.cmd.is_some() && inst.digest != digest {
+                        return; // equivocation: keep the first proposal
+                    }
+                    inst.cmd = Some(cmd);
+                    inst.digest = digest;
+                }
+                match self.cfg.mode {
+                    Mode::One => {
+                        // Centralized: everyone acks to the trusted primary.
+                        self.instances.entry(n).or_default().validated = true;
+                        ctx.send(from, SmMsg::Ack { n, digest });
+                    }
+                    Mode::Two => {
+                        // Decentralized: proxies ack among themselves.
+                        self.instances.entry(n).or_default().validated = true;
+                        if self.is_proxy(me) {
+                            ctx.send_many(proxies.iter().copied(), SmMsg::Ack { n, digest });
+                        }
+                    }
+                    Mode::Three => {
+                        // Untrusted primary: validate first.
+                        if self.is_proxy(me) {
+                            ctx.send_many(
+                                proxies.iter().copied(),
+                                SmMsg::Validate { n, digest },
+                            );
+                        }
+                    }
+                }
+            }
+
+            SmMsg::Validate { n, digest } => {
+                if self.cfg.mode != Mode::Three || !self.is_proxy(ctx.id()) {
+                    return;
+                }
+                let quorum = self.cfg.quorum();
+                let proxies = self.cfg.proxies();
+                let inst = self.instances.entry(n).or_default();
+                if inst.cmd.is_some() && inst.digest != digest {
+                    return;
+                }
+                inst.validates.insert(from);
+                if inst.validates.len() >= quorum && !inst.validated {
+                    inst.validated = true;
+                    let d = if inst.cmd.is_some() { inst.digest } else { digest };
+                    ctx.send_many(proxies.iter().copied(), SmMsg::Ack { n, digest: d });
+                }
+            }
+
+            SmMsg::Ack { n, digest } => {
+                let quorum = self.cfg.quorum();
+                let me = ctx.id();
+                // Mode 1: only the primary collects; modes 2–3: proxies.
+                let collector = match self.cfg.mode {
+                    Mode::One => self.cfg.primary() == me,
+                    Mode::Two | Mode::Three => self.is_proxy(me),
+                };
+                if !collector {
+                    return;
+                }
+                let ready = {
+                    let inst = self.instances.entry(n).or_default();
+                    if inst.cmd.is_some() && inst.digest != digest {
+                        return;
+                    }
+                    if !inst.validated && self.cfg.mode == Mode::Three {
+                        // Acks can arrive before our own validation quorum;
+                        // buffer them.
+                    }
+                    inst.acks.insert(from);
+                    inst.acks.len() >= quorum && inst.cmd.is_some()
+                };
+                if ready {
+                    self.decide(ctx, n);
+                }
+            }
+
+            SmMsg::Decide { n, cmd } => {
+                let inst = self.instances.entry(n).or_default();
+                if inst.cmd.is_none() {
+                    inst.digest = digest_of(&cmd);
+                    inst.cmd = Some(cmd);
+                }
+                inst.decided = true;
+                self.try_execute(ctx);
+            }
+
+            SmMsg::Reply { .. } => {}
+        }
+    }
+}
+
+const CLIENT_RETRY: u64 = 3;
+
+/// A SeeMoRe client: `m+1` matching replies (a correct node is among them).
+pub struct SmClient {
+    /// Client id == node id.
+    pub client_id: u32,
+    cfg: SeeMoReConfig,
+    workload: KvWorkload,
+    total: usize,
+    /// Completed.
+    pub completed: usize,
+    current: Option<(Command<KvCommand>, Time)>,
+    votes: BTreeMap<u64, BTreeSet<NodeId>>,
+    /// Latencies.
+    pub latencies: LatencyRecorder,
+}
+
+impl SmClient {
+    /// Creates a client.
+    pub fn new(client_id: u32, cfg: SeeMoReConfig, total: usize, seed: u64) -> Self {
+        SmClient {
+            client_id,
+            cfg,
+            workload: KvWorkload::new(client_id, KvMix::default(), seed),
+            total,
+            completed: 0,
+            current: None,
+            votes: BTreeMap::new(),
+            latencies: LatencyRecorder::new(),
+        }
+    }
+
+    /// Whether done.
+    pub fn done(&self) -> bool {
+        self.completed >= self.total
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<SmMsg>) {
+        if self.done() {
+            self.current = None;
+            return;
+        }
+        let cmd = self.workload.next_command();
+        self.current = Some((cmd.clone(), ctx.now()));
+        self.votes.clear();
+        let p = self.cfg.primary();
+        ctx.send(p, SmMsg::Request { cmd });
+        ctx.set_timer(200_000, CLIENT_RETRY);
+    }
+}
+
+impl Node for SmClient {
+    type Msg = SmMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<SmMsg>) {
+        self.send_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<SmMsg>, from: NodeId, msg: SmMsg) {
+        if let SmMsg::Reply { seq, output, .. } = msg {
+            let Some((cmd, sent_at)) = &self.current else {
+                return;
+            };
+            if cmd.seq != seq {
+                return;
+            }
+            let key = digest_of(&output).0;
+            let votes = self.votes.entry(key).or_default();
+            votes.insert(from);
+            // A trusted (private) replier is definitive; otherwise m+1
+            // matching public replies.
+            let trusted = votes.iter().any(|id| self.cfg.is_private(*id));
+            if trusted || votes.len() >= self.cfg.m + 1 {
+                let sent = *sent_at;
+                self.latencies.record(sent, ctx.now());
+                self.completed += 1;
+                self.current = None;
+                self.send_next(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<SmMsg>, timer: Timer) {
+        if timer.kind == CLIENT_RETRY && self.current.is_some() {
+            if let Some((cmd, _)) = &self.current {
+                let cmd = cmd.clone();
+                for r in 0..self.cfg.n() {
+                    ctx.send(NodeId::from(r), SmMsg::Request { cmd: cmd.clone() });
+                }
+            }
+            ctx.set_timer(200_000, CLIENT_RETRY);
+        }
+    }
+}
+
+simnet::node_enum! {
+    /// A SeeMoRe process.
+    pub enum SmProc: SmMsg {
+        /// Replica.
+        Replica(SmReplica),
+        /// Client.
+        Client(SmClient),
+    }
+}
+
+/// A ready-to-run SeeMoRe cluster.
+pub struct SmCluster {
+    /// The simulation.
+    pub sim: Sim<SmProc>,
+    /// Configuration.
+    pub cfg: SeeMoReConfig,
+}
+
+impl SmCluster {
+    /// Builds the cluster with one client issuing `cmds` commands.
+    pub fn new(cfg: SeeMoReConfig, cmds: usize, config: NetConfig, seed: u64) -> Self {
+        let mut sim = Sim::new(config, seed);
+        for _ in 0..cfg.n() {
+            sim.add_node(SmReplica::new(cfg));
+        }
+        sim.add_node(SmClient::new(cfg.n() as u32, cfg, cmds, seed));
+        SmCluster { sim, cfg }
+    }
+
+    /// Runs to completion or `horizon`.
+    pub fn run(&mut self, horizon: Time) -> bool {
+        loop {
+            let outcome = self.sim.run_for(10_000);
+            if self.client().done() {
+                return true;
+            }
+            if self.sim.now() >= horizon || outcome == RunOutcome::Quiescent {
+                return self.client().done();
+            }
+        }
+    }
+
+    /// The client.
+    pub fn client(&self) -> &SmClient {
+        self.sim
+            .nodes()
+            .find_map(|(_, p)| match p {
+                SmProc::Client(c) => Some(c),
+                _ => None,
+            })
+            .expect("client exists")
+    }
+
+    /// Iterates over replicas.
+    pub fn replicas(&self) -> impl Iterator<Item = &SmReplica> {
+        self.sim.nodes().filter_map(|(_, p)| match p {
+            SmProc::Replica(r) => Some(r),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::DropAll;
+
+    fn cfg(m: usize, c: usize, mode: Mode) -> SeeMoReConfig {
+        SeeMoReConfig { m, c, mode }
+    }
+
+    #[test]
+    fn config_math_matches_slides() {
+        let k = cfg(1, 1, Mode::One);
+        assert_eq!(k.n(), 6); // 3m+2c+1
+        assert_eq!(k.quorum(), 4); // 2m+c+1
+        assert_eq!(k.phases(), 2);
+        let k2 = cfg(1, 1, Mode::Two);
+        assert_eq!(k2.quorum(), 3); // 2m+1
+        assert_eq!(k2.phases(), 2);
+        let k3 = cfg(1, 1, Mode::Three);
+        assert_eq!(k3.phases(), 3);
+        assert_eq!(k3.proxies().len(), 4); // 3m+1
+        assert!(k.is_private(NodeId(0)));
+        assert!(!k.is_private(NodeId(5)));
+    }
+
+    #[test]
+    fn all_three_modes_commit() {
+        for mode in [Mode::One, Mode::Two, Mode::Three] {
+            let mut cluster = SmCluster::new(cfg(1, 1, mode), 8, NetConfig::lan(), 1);
+            assert!(
+                cluster.run(Time::from_secs(20)),
+                "{mode:?}: {}",
+                cluster.client().completed
+            );
+            assert_eq!(cluster.client().completed, 8, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn mode1_is_linear_modes23_quadratic() {
+        let msgs = |mode| {
+            let mut cluster = SmCluster::new(cfg(1, 1, mode), 10, NetConfig::lan(), 2);
+            assert!(cluster.run(Time::from_secs(20)));
+            cluster.sim.metrics().sent as f64 / 10.0
+        };
+        let m1 = msgs(Mode::One);
+        let m2 = msgs(Mode::Two);
+        let m3 = msgs(Mode::Three);
+        assert!(m2 > m1, "decentralized coordination costs more: {m1} vs {m2}");
+        assert!(m3 > m2, "validation phase adds messages: {m2} vs {m3}");
+    }
+
+    #[test]
+    fn mode3_has_validation_phase() {
+        let mut cluster = SmCluster::new(cfg(1, 1, Mode::Three), 5, NetConfig::lan(), 3);
+        assert!(cluster.run(Time::from_secs(20)));
+        assert!(cluster.sim.metrics().kind("validate") > 0);
+        let mut c1 = SmCluster::new(cfg(1, 1, Mode::One), 5, NetConfig::lan(), 3);
+        assert!(c1.run(Time::from_secs(20)));
+        assert_eq!(c1.sim.metrics().kind("validate"), 0);
+    }
+
+    #[test]
+    fn tolerates_c_private_crashes_and_m_public_mutes() {
+        for mode in [Mode::One, Mode::Two] {
+            let k = cfg(1, 1, mode);
+            let mut cluster = SmCluster::new(k, 6, NetConfig::lan(), 4);
+            // Crash one private node outside the proxy set: c = 1.
+            cluster.sim.crash_at(NodeId(1), Time::ZERO);
+            // Mute one public node: m = 1 (it still receives but never
+            // sends — a silent Byzantine fault).
+            cluster.sim.set_filter(NodeId(5), Box::new(DropAll));
+            assert!(
+                cluster.run(Time::from_secs(30)),
+                "{mode:?}: {}",
+                cluster.client().completed
+            );
+            assert_eq!(cluster.client().completed, 6, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn replicas_converge() {
+        let mut cluster = SmCluster::new(cfg(1, 1, Mode::One), 12, NetConfig::lan(), 5);
+        assert!(cluster.run(Time::from_secs(20)));
+        cluster.sim.run_for(300_000);
+        let digests: BTreeSet<u64> = cluster
+            .replicas()
+            .filter(|r| r.executed_upto >= 12)
+            .map(|r| r.machine().digest())
+            .collect();
+        assert_eq!(digests.len(), 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            let mut cluster = SmCluster::new(cfg(1, 1, Mode::Two), 6, NetConfig::lan(), seed);
+            cluster.run(Time::from_secs(20));
+            (cluster.client().completed, cluster.sim.metrics().sent)
+        };
+        assert_eq!(run(6), run(6));
+    }
+}

@@ -1,0 +1,635 @@
+//! Zyzzyva: speculative Byzantine fault tolerance (Kotla et al., SOSP '07).
+//!
+//! Replicas *speculatively* execute requests as soon as they receive the
+//! primary's ordering, without running agreement first; **commitment moves
+//! to the client**:
+//!
+//! * **Case 1** — the client receives `3f+1` matching speculative replies:
+//!   all replicas executed in the same total order; the request completes
+//!   in 3 one-way delays (request → order-req → spec-response).
+//! * **Case 2** — the client receives only `2f+1 ≤ k ≤ 3f` matching
+//!   replies (e.g. a backup crashed): it assembles a **commit certificate**
+//!   (the list of `2f+1` replica ids and their signed responses), sends it
+//!   to all replicas, and completes on `2f+1` local-commit acks.
+//!
+//! Prepare and commit collapse into a single speculative phase — `O(N)`
+//! messages — at the price of an extra round in the view change (which the
+//! tutorial notes but does not detail; this implementation covers the
+//! agreement protocol and detects the unhappy path by client timeout).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
+use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, StateMachine};
+use simnet::{Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer};
+
+use crate::sim_crypto::{digest_of, Digest};
+
+/// Zyzzyva wire messages.
+#[derive(Clone, Debug)]
+pub enum ZyzMsg {
+    /// Client → primary.
+    Request {
+        /// The command.
+        cmd: Command<KvCommand>,
+    },
+    /// Primary → replicas: ordered request with history digest.
+    OrderReq {
+        /// View.
+        view: u64,
+        /// Sequence number.
+        n: u64,
+        /// History digest after this request.
+        hist: Digest,
+        /// The command.
+        cmd: Command<KvCommand>,
+    },
+    /// Replica → client: speculative execution response.
+    SpecResponse {
+        /// View.
+        view: u64,
+        /// Sequence number.
+        n: u64,
+        /// History digest the replica's log reached.
+        hist: Digest,
+        /// Client id.
+        client: u32,
+        /// Client sequence.
+        seq: u64,
+        /// Execution output.
+        output: KvResponse,
+    },
+    /// Client → replicas: commit certificate (case 2).
+    CommitCert {
+        /// View.
+        view: u64,
+        /// Sequence number being committed.
+        n: u64,
+        /// Certified history digest.
+        hist: Digest,
+        /// The `2f+1` replicas whose matching responses form the
+        /// certificate.
+        signers: BTreeSet<NodeId>,
+    },
+    /// Replica → client: acknowledgement of a commit certificate.
+    LocalCommit {
+        /// View.
+        view: u64,
+        /// Sequence number.
+        n: u64,
+    },
+}
+
+impl simnet::Payload for ZyzMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            ZyzMsg::Request { .. } => "request",
+            ZyzMsg::OrderReq { .. } => "order-req",
+            ZyzMsg::SpecResponse { .. } => "spec-response",
+            ZyzMsg::CommitCert { .. } => "commit-cert",
+            ZyzMsg::LocalCommit { .. } => "local-commit",
+        }
+    }
+}
+
+/// A Zyzzyva replica (node 0 is the primary).
+pub struct ZyzReplica {
+    n_replicas: usize,
+    /// Fault bound.
+    pub f: usize,
+    view: u64,
+    /// Primary-only: next sequence number.
+    next_seq: u64,
+    /// Buffered order-reqs awaiting in-order execution.
+    pending: BTreeMap<u64, (Digest, Command<KvCommand>)>,
+    /// Highest speculatively executed sequence number.
+    pub spec_executed: u64,
+    /// Highest sequence number covered by a commit certificate.
+    pub committed_upto: u64,
+    machine: DedupKvMachine,
+    /// Rolling history digest.
+    pub history: Digest,
+    /// Per-sequence history digests (to validate commit certs).
+    hist_at: BTreeMap<u64, Digest>,
+}
+
+impl ZyzReplica {
+    /// Creates a replica in a cluster of `3f+1`.
+    pub fn new(n_replicas: usize) -> Self {
+        ZyzReplica {
+            n_replicas,
+            f: (n_replicas - 1) / 3,
+            view: 0,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            spec_executed: 0,
+            committed_upto: 0,
+            machine: DedupKvMachine::default(),
+            history: Digest(0),
+            hist_at: BTreeMap::new(),
+        }
+    }
+
+    /// The replicated machine.
+    pub fn machine(&self) -> &DedupKvMachine {
+        &self.machine
+    }
+
+    fn primary(&self) -> NodeId {
+        NodeId((self.view % self.n_replicas as u64) as u32)
+    }
+
+    fn chain(prev: Digest, cmd: &Command<KvCommand>) -> Digest {
+        Digest(prev.0.rotate_left(13).wrapping_add(digest_of(cmd).0))
+    }
+
+    fn drain_executable(&mut self, ctx: &mut Context<ZyzMsg>) {
+        while let Some((hist, cmd)) = self.pending.remove(&(self.spec_executed + 1)) {
+            let n = self.spec_executed + 1;
+            let expected = Self::chain(self.history, &cmd);
+            if expected != hist {
+                // Corrupt ordering: refuse to execute further. (A full
+                // implementation would trigger a view change here.)
+                self.pending.insert(n, (hist, cmd));
+                return;
+            }
+            let output = self
+                .machine
+                .apply(&consensus_core::SmrOp::Cmd(cmd.clone()))
+                .expect("commands produce outputs");
+            self.history = expected;
+            self.hist_at.insert(n, expected);
+            self.spec_executed = n;
+            let view = self.view;
+            ctx.send(
+                NodeId(cmd.client),
+                ZyzMsg::SpecResponse {
+                    view,
+                    n,
+                    hist: expected,
+                    client: cmd.client,
+                    seq: cmd.seq,
+                    output,
+                },
+            );
+        }
+    }
+}
+
+impl Node for ZyzReplica {
+    type Msg = ZyzMsg;
+
+    fn on_start(&mut self, _ctx: &mut Context<ZyzMsg>) {}
+
+    fn on_message(&mut self, ctx: &mut Context<ZyzMsg>, from: NodeId, msg: ZyzMsg) {
+        match msg {
+            ZyzMsg::Request { cmd } => {
+                if self.primary() != ctx.id() {
+                    let primary = self.primary();
+                    ctx.send(primary, ZyzMsg::Request { cmd });
+                    return;
+                }
+                // Dedup executed requests.
+                if let Some(out) = self.machine.cached(cmd.client, cmd.seq) {
+                    let view = self.view;
+                    let reply = ZyzMsg::SpecResponse {
+                        view,
+                        n: self.spec_executed,
+                        hist: self.history,
+                        client: cmd.client,
+                        seq: cmd.seq,
+                        output: out.clone(),
+                    };
+                    ctx.send(NodeId(cmd.client), reply);
+                    return;
+                }
+                let in_flight = self
+                    .pending
+                    .values()
+                    .any(|(_, c)| c.client == cmd.client && c.seq == cmd.seq);
+                if in_flight {
+                    return;
+                }
+                self.next_seq = self.next_seq.max(self.spec_executed);
+                self.next_seq += 1;
+                let n = self.next_seq;
+                // History digest the request must extend (chained through
+                // any still-pending predecessors).
+                let mut hist = self.history;
+                for i in self.spec_executed + 1..n {
+                    if let Some((h, _)) = self.pending.get(&i) {
+                        hist = *h;
+                    }
+                }
+                let hist = Self::chain(hist, &cmd);
+                let view = self.view;
+                self.pending.insert(n, (hist, cmd.clone()));
+                let me = ctx.id();
+                let backups: Vec<NodeId> = (0..self.n_replicas)
+                    .map(NodeId::from)
+                    .filter(|id| *id != me)
+                    .collect();
+                ctx.send_many(backups, ZyzMsg::OrderReq { view, n, hist, cmd });
+                self.drain_executable(ctx);
+            }
+
+            ZyzMsg::OrderReq { view, n, hist, cmd } => {
+                if view != self.view || from != self.primary() {
+                    return;
+                }
+                if n <= self.spec_executed {
+                    return;
+                }
+                self.pending.insert(n, (hist, cmd));
+                self.drain_executable(ctx);
+            }
+
+            ZyzMsg::CommitCert {
+                view,
+                n,
+                hist,
+                signers,
+            } => {
+                if view != self.view || signers.len() < 2 * self.f + 1 {
+                    return;
+                }
+                if self.hist_at.get(&n) == Some(&hist) {
+                    self.committed_upto = self.committed_upto.max(n);
+                    ctx.send(from, ZyzMsg::LocalCommit { view, n });
+                }
+            }
+
+            ZyzMsg::SpecResponse { .. } | ZyzMsg::LocalCommit { .. } => {}
+        }
+    }
+}
+
+const CLIENT_COMMIT_TIMER: u64 = 1;
+const CLIENT_RETRY: u64 = 2;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ReqPhase {
+    AwaitingSpec,
+    AwaitingLocalCommit { n: u64 },
+}
+
+/// A Zyzzyva client: the commitment point of the protocol.
+pub struct ZyzClient {
+    /// Client id == node id.
+    pub client_id: u32,
+    n_replicas: usize,
+    f: usize,
+    workload: KvWorkload,
+    total: usize,
+    /// Completed requests.
+    pub completed: usize,
+    /// Requests completed via the fast path (case 1).
+    pub fast_path: usize,
+    /// Requests completed via a commit certificate (case 2).
+    pub cert_path: usize,
+    current: Option<(Command<KvCommand>, Time, ReqPhase)>,
+    /// Spec-response votes for the current request, keyed by
+    /// `(n, history, output digest)`.
+    votes: BTreeMap<(u64, Digest, u64), BTreeSet<NodeId>>,
+    local_commits: BTreeSet<NodeId>,
+    /// Latencies.
+    pub latencies: LatencyRecorder,
+}
+
+impl ZyzClient {
+    /// Creates a client issuing `total` commands.
+    pub fn new(client_id: u32, n_replicas: usize, total: usize, mix: KvMix, seed: u64) -> Self {
+        ZyzClient {
+            client_id,
+            n_replicas,
+            f: (n_replicas - 1) / 3,
+            workload: KvWorkload::new(client_id, mix, seed),
+            total,
+            completed: 0,
+            fast_path: 0,
+            cert_path: 0,
+            current: None,
+            votes: BTreeMap::new(),
+            local_commits: BTreeSet::new(),
+            latencies: LatencyRecorder::new(),
+        }
+    }
+
+    /// Whether the workload finished.
+    pub fn done(&self) -> bool {
+        self.completed >= self.total
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<ZyzMsg>) {
+        if self.done() {
+            self.current = None;
+            return;
+        }
+        let cmd = self.workload.next_command();
+        self.current = Some((cmd.clone(), ctx.now(), ReqPhase::AwaitingSpec));
+        self.votes.clear();
+        self.local_commits.clear();
+        ctx.send(NodeId(0), ZyzMsg::Request { cmd });
+        // If 3f+1 matching responses don't arrive promptly, fall back to
+        // the commit-certificate path.
+        ctx.set_timer(10_000, CLIENT_COMMIT_TIMER);
+        ctx.set_timer(300_000, CLIENT_RETRY);
+    }
+
+    fn complete(&mut self, ctx: &mut Context<ZyzMsg>, fast: bool) {
+        if let Some((_, sent_at, _)) = &self.current {
+            let sent = *sent_at;
+            self.latencies.record(sent, ctx.now());
+        }
+        self.completed += 1;
+        if fast {
+            self.fast_path += 1;
+        } else {
+            self.cert_path += 1;
+        }
+        self.current = None;
+        self.send_next(ctx);
+    }
+}
+
+impl Node for ZyzClient {
+    type Msg = ZyzMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<ZyzMsg>) {
+        self.send_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<ZyzMsg>, from: NodeId, msg: ZyzMsg) {
+        match msg {
+            ZyzMsg::SpecResponse {
+                n,
+                hist,
+                seq,
+                output,
+                ..
+            } => {
+                let Some((cmd, _, phase)) = &self.current else {
+                    return;
+                };
+                if cmd.seq != seq || *phase != ReqPhase::AwaitingSpec {
+                    return;
+                }
+                let key = (n, hist, digest_of(&output).0);
+                let entry = self.votes.entry(key).or_default();
+                entry.insert(from);
+                if entry.len() >= self.n_replicas {
+                    // Case 1: 3f+1 matching replies.
+                    self.complete(ctx, true);
+                }
+            }
+            ZyzMsg::LocalCommit { n, .. } => {
+                let Some((_, _, phase)) = &self.current else {
+                    return;
+                };
+                if let ReqPhase::AwaitingLocalCommit { n: want } = phase {
+                    if *want == n {
+                        self.local_commits.insert(from);
+                        if self.local_commits.len() >= 2 * self.f + 1 {
+                            self.complete(ctx, false);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<ZyzMsg>, timer: Timer) {
+        match timer.kind {
+            CLIENT_COMMIT_TIMER => {
+                let Some((_, _, ReqPhase::AwaitingSpec)) = &self.current else {
+                    return;
+                };
+                // Case 2: 2f+1 ≤ matching < 3f+1 → send a commit
+                // certificate.
+                let best = self
+                    .votes
+                    .iter()
+                    .max_by_key(|(_, s)| s.len())
+                    .map(|(&k, s)| (k, s.clone()));
+                if let Some(((n, hist, _), signers)) = best {
+                    if signers.len() >= 2 * self.f + 1 {
+                        if let Some((_, _, phase)) = &mut self.current {
+                            *phase = ReqPhase::AwaitingLocalCommit { n };
+                        }
+                        for r in 0..self.n_replicas {
+                            ctx.send(
+                                NodeId::from(r),
+                                ZyzMsg::CommitCert {
+                                    view: 0,
+                                    n,
+                                    hist,
+                                    signers: signers.clone(),
+                                },
+                            );
+                        }
+                        return;
+                    }
+                }
+                // Not enough yet: re-check shortly.
+                ctx.set_timer(10_000, CLIENT_COMMIT_TIMER);
+            }
+            CLIENT_RETRY => {
+                if let Some((cmd, _, _)) = &self.current {
+                    let cmd = cmd.clone();
+                    for r in 0..self.n_replicas {
+                        ctx.send(NodeId::from(r), ZyzMsg::Request { cmd: cmd.clone() });
+                    }
+                    ctx.set_timer(300_000, CLIENT_RETRY);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+simnet::node_enum! {
+    /// A Zyzzyva process.
+    pub enum ZyzProc: ZyzMsg {
+        /// Replica (node 0 = primary).
+        Replica(ZyzReplica),
+        /// Client (commitment point).
+        Client(ZyzClient),
+    }
+}
+
+/// A ready-to-run Zyzzyva cluster.
+pub struct ZyzCluster {
+    /// The simulation.
+    pub sim: Sim<ZyzProc>,
+    /// Number of replicas.
+    pub n_replicas: usize,
+}
+
+impl ZyzCluster {
+    /// Builds a cluster with one client issuing `cmds` commands.
+    pub fn new(n_replicas: usize, cmds: usize, config: NetConfig, seed: u64) -> Self {
+        let mut sim = Sim::new(config, seed);
+        for _ in 0..n_replicas {
+            sim.add_node(ZyzReplica::new(n_replicas));
+        }
+        sim.add_node(ZyzClient::new(
+            n_replicas as u32,
+            n_replicas,
+            cmds,
+            KvMix::default(),
+            seed,
+        ));
+        ZyzCluster { sim, n_replicas }
+    }
+
+    /// Runs to completion or `horizon`.
+    pub fn run(&mut self, horizon: Time) -> bool {
+        loop {
+            let outcome = self.sim.run_for(10_000);
+            if self.client().done() {
+                return true;
+            }
+            if self.sim.now() >= horizon || outcome == RunOutcome::Quiescent {
+                return self.client().done();
+            }
+        }
+    }
+
+    /// The (single) client.
+    pub fn client(&self) -> &ZyzClient {
+        self.sim
+            .nodes()
+            .find_map(|(_, p)| match p {
+                ZyzProc::Client(c) => Some(c),
+                _ => None,
+            })
+            .expect("cluster has a client")
+    }
+
+    /// Iterates over replicas.
+    pub fn replicas(&self) -> impl Iterator<Item = &ZyzReplica> {
+        self.sim.nodes().filter_map(|(_, p)| match p {
+            ZyzProc::Replica(r) => Some(r),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::DelayModel;
+
+    fn fixed_net() -> NetConfig {
+        NetConfig::synchronous().with_delay(DelayModel::Fixed(500))
+    }
+
+    #[test]
+    fn fault_free_takes_fast_path() {
+        let mut cluster = ZyzCluster::new(4, 10, fixed_net(), 1);
+        assert!(cluster.run(Time::from_secs(10)));
+        let c = cluster.client();
+        assert_eq!(c.completed, 10);
+        assert_eq!(c.fast_path, 10, "all requests on case 1");
+        assert_eq!(c.cert_path, 0);
+    }
+
+    #[test]
+    fn fast_path_is_three_delays() {
+        let mut cluster = ZyzCluster::new(4, 1, fixed_net(), 2);
+        assert!(cluster.run(Time::from_secs(10)));
+        // request (500) + order-req (500) + spec-response (500) = 1500.
+        assert_eq!(cluster.client().latencies.min(), 1_500);
+    }
+
+    #[test]
+    fn crashed_backup_forces_commit_certificate() {
+        let mut cluster = ZyzCluster::new(4, 5, fixed_net(), 3);
+        cluster.sim.crash_at(NodeId(3), Time::ZERO);
+        assert!(cluster.run(Time::from_secs(30)));
+        let c = cluster.client();
+        assert_eq!(c.completed, 5);
+        assert_eq!(c.cert_path, 5, "all requests need case 2");
+        for (id, r) in cluster.sim.nodes().filter_map(|(id, p)| match p {
+            ZyzProc::Replica(r) => Some((id, r)),
+            _ => None,
+        }) {
+            if cluster.sim.is_alive(id) {
+                assert!(r.committed_upto >= 5, "{id}: {}", r.committed_upto);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_message_complexity() {
+        // Per request (fault-free): 1 request + (n−1) order-reqs + n
+        // spec-responses: linear in n.
+        for n in [4usize, 7] {
+            let mut cluster = ZyzCluster::new(n, 10, fixed_net(), 4);
+            assert!(cluster.run(Time::from_secs(10)));
+            let per_req = cluster.sim.metrics().sent as f64 / 10.0;
+            let expected = 1.0 + (n as f64 - 1.0) + n as f64;
+            assert!(
+                (per_req - expected).abs() < 1.0,
+                "n={n}: {per_req} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn replicas_stay_consistent() {
+        let mut cluster = ZyzCluster::new(4, 20, NetConfig::lan(), 5);
+        assert!(cluster.run(Time::from_secs(10)));
+        let digests: BTreeSet<u64> = cluster
+            .replicas()
+            .filter(|r| r.spec_executed >= 20)
+            .map(|r| r.machine().digest())
+            .collect();
+        assert_eq!(digests.len(), 1, "speculative execution diverged");
+    }
+
+    #[test]
+    fn corrupted_order_req_stalls_instead_of_diverging() {
+        // The primary sends a wrong history digest to one backup: that
+        // backup refuses to execute (no divergence), the rest proceed; the
+        // client still completes via case 2.
+        use simnet::{FilterAction, FnFilter};
+        let mut cluster = ZyzCluster::new(4, 3, fixed_net(), 6);
+        cluster.sim.set_filter(
+            NodeId(0),
+            Box::new(FnFilter(
+                |_f, to: NodeId, msg: &ZyzMsg, _r: &mut rand_chacha::ChaCha20Rng| {
+                    if to == NodeId(3) {
+                        if let ZyzMsg::OrderReq { view, n, cmd, .. } = msg {
+                            return FilterAction::Replace(ZyzMsg::OrderReq {
+                                view: *view,
+                                n: *n,
+                                hist: Digest(0xDEAD),
+                                cmd: cmd.clone(),
+                            });
+                        }
+                    }
+                    FilterAction::Deliver
+                },
+            )),
+        );
+        assert!(cluster.run(Time::from_secs(30)));
+        let c = cluster.client();
+        assert_eq!(c.completed, 3);
+        assert!(c.cert_path > 0, "case 2 must fire");
+        // The lied-to backup executed nothing.
+        let stalled = cluster.replicas().filter(|r| r.spec_executed == 0).count();
+        assert_eq!(stalled, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = |seed| {
+            let mut cluster = ZyzCluster::new(4, 5, NetConfig::lan(), seed);
+            cluster.run(Time::from_secs(10));
+            (cluster.client().completed, cluster.sim.metrics().sent)
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

@@ -1,0 +1,242 @@
+//! The "Other Issues" slide, made quantitative: **weak finality
+//! guarantees** and **selfish mining and other attacks**.
+//!
+//! * [`double_spend_success_rate`] — Nakamoto's gambler's-ruin analysis as
+//!   a Monte-Carlo experiment: a merchant waits `confirmations` blocks; an
+//!   attacker with hashrate share `q` secretly mines a competing branch
+//!   from before the payment and wins if his branch ever overtakes.
+//!   Success probability decays exponentially with confirmations (that is
+//!   what "weak finality" means: never zero, only small).
+//! * [`selfish_mining`] — Eyal & Sirer's block-withholding strategy as a
+//!   faithful state-machine simulation: a selfish pool with share `α` and
+//!   tie-winning probability `γ` earns **more than its fair share** of
+//!   blocks once `α` exceeds the profitability threshold
+//!   `(1−γ)/(3−2γ)` (⅓ at γ=0).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+
+/// One double-spend race: the merchant ships after `confirmations` blocks;
+/// the attacker (share `q`) pre-mines nothing and must catch up from
+/// `confirmations` behind (plus win the race eventually). Returns success.
+///
+/// The race is simulated as the classic biased random walk: each new block
+/// belongs to the attacker with probability `q`. The attacker gives up at
+/// `max_deficit` behind (he would never rationally continue).
+pub fn double_spend_once(
+    confirmations: u32,
+    q: f64,
+    max_deficit: i64,
+    rng: &mut ChaCha20Rng,
+) -> bool {
+    assert!((0.0..1.0).contains(&q));
+    // Honest chain starts `confirmations` ahead (the merchant's wait).
+    let mut deficit: i64 = i64::from(confirmations);
+    loop {
+        if deficit < 0 {
+            return true; // attacker's branch is longer: reorg, payment reversed
+        }
+        if deficit > max_deficit {
+            return false; // attacker abandons
+        }
+        if rng.gen::<f64>() < q {
+            deficit -= 1;
+        } else {
+            deficit += 1;
+        }
+    }
+}
+
+/// Monte-Carlo success rate of a double spend (see [`double_spend_once`]).
+pub fn double_spend_success_rate(confirmations: u32, q: f64, trials: u32, seed: u64) -> f64 {
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    let mut wins = 0u32;
+    for _ in 0..trials {
+        if double_spend_once(confirmations, q, 60, &mut rng) {
+            wins += 1;
+        }
+    }
+    f64::from(wins) / f64::from(trials)
+}
+
+/// Nakamoto's closed-form catch-up probability `(q/p)^(z+1)` for `q < p`
+/// (the probability that a branch starting `z+1` behind ever catches up) —
+/// used to sanity-check the Monte-Carlo numbers.
+pub fn nakamoto_catch_up(confirmations: u32, q: f64) -> f64 {
+    if q >= 0.5 {
+        return 1.0;
+    }
+    let p = 1.0 - q;
+    (q / p).powi(confirmations as i32 + 1)
+}
+
+/// Result of a selfish-mining simulation.
+#[derive(Clone, Debug)]
+pub struct SelfishReport {
+    /// Blocks on the main chain credited to the selfish pool.
+    pub selfish_blocks: u64,
+    /// Blocks credited to honest miners.
+    pub honest_blocks: u64,
+    /// The pool's revenue share.
+    pub revenue_share: f64,
+    /// The pool's hashrate share (for comparison).
+    pub alpha: f64,
+}
+
+/// Simulates Eyal & Sirer's selfish-mining strategy for `rounds` block
+/// discoveries. `alpha` is the selfish pool's hashrate share; `gamma` is
+/// the fraction of honest miners that mine on the selfish block during a
+/// 1-vs-1 tie.
+pub fn selfish_mining(alpha: f64, gamma: f64, rounds: u64, seed: u64) -> SelfishReport {
+    assert!((0.0..0.5).contains(&alpha) || alpha == 0.0 || alpha < 1.0);
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    // State: the selfish pool's private lead over the public chain.
+    let mut lead: i64 = 0;
+    // During a tie (lead was 1, honest found a competing block) the race
+    // is open: `tie` is Some(()) until the next block resolves it.
+    let mut tie = false;
+    let mut selfish_blocks = 0u64;
+    let mut honest_blocks = 0u64;
+
+    for _ in 0..rounds {
+        let selfish_found = rng.gen::<f64>() < alpha;
+        if tie {
+            // Three-way race resolution (lead was 1 vs 1).
+            if selfish_found {
+                // Pool mines on its own branch: publishes 2, wins both.
+                selfish_blocks += 2;
+            } else if rng.gen::<f64>() < gamma {
+                // Honest miner extends the selfish branch: pool keeps its
+                // one block, the honest miner gets the new one.
+                selfish_blocks += 1;
+                honest_blocks += 1;
+            } else {
+                // Honest miners extend the honest branch: pool's block dies.
+                honest_blocks += 2;
+            }
+            tie = false;
+            lead = 0;
+            continue;
+        }
+        if selfish_found {
+            lead += 1; // withhold
+        } else {
+            // Honest miners found a public block.
+            match lead {
+                0 => honest_blocks += 1,
+                1 => {
+                    // Publish the withheld block: a 1-vs-1 tie.
+                    tie = true;
+                }
+                2 => {
+                    // Publish both: the full private branch wins.
+                    selfish_blocks += 2;
+                    lead = 0;
+                }
+                _ => {
+                    // Publish one block (still ahead); the honest block is
+                    // orphaned.
+                    selfish_blocks += 1;
+                    lead -= 1;
+                }
+            }
+        }
+    }
+    // Flush any remaining private lead.
+    selfish_blocks += lead.max(0) as u64;
+
+    let total = selfish_blocks + honest_blocks;
+    SelfishReport {
+        selfish_blocks,
+        honest_blocks,
+        revenue_share: selfish_blocks as f64 / total.max(1) as f64,
+        alpha,
+    }
+}
+
+/// The Eyal–Sirer profitability threshold: selfish mining beats honest
+/// mining when `alpha > (1 − gamma) / (3 − 2·gamma)`.
+pub fn selfish_threshold(gamma: f64) -> f64 {
+    (1.0 - gamma) / (3.0 - 2.0 * gamma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_spend_rate_decays_with_confirmations() {
+        let q = 0.2;
+        let rates: Vec<f64> = (0..=6)
+            .map(|z| double_spend_success_rate(z, q, 4_000, 1))
+            .collect();
+        for w in rates.windows(2) {
+            assert!(w[1] <= w[0] + 0.01, "rates must decay: {rates:?}");
+        }
+        assert!(rates[0] > 0.2, "zero-conf is very unsafe: {rates:?}");
+        assert!(rates[6] < 0.02, "six confirmations ≈ safe vs 20%: {rates:?}");
+    }
+
+    #[test]
+    fn monte_carlo_matches_nakamoto_closed_form() {
+        for (z, q) in [(1u32, 0.1f64), (3, 0.2), (6, 0.3)] {
+            let mc = double_spend_success_rate(z, q, 20_000, 2);
+            let analytic = nakamoto_catch_up(z, q);
+            assert!(
+                (mc - analytic).abs() < 0.02,
+                "z={z} q={q}: mc {mc:.4} vs analytic {analytic:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn majority_attacker_always_wins() {
+        // q ≥ 0.5: the random walk is recurrent toward the attacker.
+        let rate = double_spend_success_rate(6, 0.55, 500, 3);
+        assert!(rate > 0.95, "{rate}");
+        assert_eq!(nakamoto_catch_up(6, 0.5), 1.0);
+    }
+
+    #[test]
+    fn selfish_mining_profitable_above_the_threshold() {
+        // γ=0 threshold is 1/3; α = 0.4 must earn > 0.4 of revenue.
+        let r = selfish_mining(0.4, 0.0, 400_000, 4);
+        assert!(
+            r.revenue_share > 0.42,
+            "selfish pool should profit: {r:?}"
+        );
+    }
+
+    #[test]
+    fn selfish_mining_unprofitable_below_the_threshold() {
+        // α = 0.2 < 1/3: withholding wastes blocks.
+        let r = selfish_mining(0.2, 0.0, 400_000, 5);
+        assert!(
+            r.revenue_share < 0.2,
+            "below threshold the strategy loses: {r:?}"
+        );
+    }
+
+    #[test]
+    fn gamma_lowers_the_threshold() {
+        assert!((selfish_threshold(0.0) - 1.0 / 3.0).abs() < 1e-9);
+        assert!(selfish_threshold(1.0) < selfish_threshold(0.0));
+        assert!((selfish_threshold(1.0) - 0.0).abs() < 1e-9);
+        // α = 0.3 is unprofitable at γ=0 but profitable at γ=0.9.
+        let lo = selfish_mining(0.3, 0.0, 400_000, 6);
+        let hi = selfish_mining(0.3, 0.9, 400_000, 6);
+        assert!(hi.revenue_share > lo.revenue_share, "{lo:?} vs {hi:?}");
+        assert!(hi.revenue_share > 0.3, "{hi:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = selfish_mining(0.35, 0.5, 10_000, 7);
+        let b = selfish_mining(0.35, 0.5, 10_000, 7);
+        assert_eq!(a.selfish_blocks, b.selfish_blocks);
+        assert_eq!(
+            double_spend_success_rate(3, 0.25, 1_000, 8),
+            double_spend_success_rate(3, 0.25, 1_000, 8)
+        );
+    }
+}

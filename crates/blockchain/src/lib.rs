@@ -1,0 +1,42 @@
+//! # blockchain — permissionless consensus with *unknown* participants
+//!
+//! The tutorial's final act: when the participant set is unknown, quorum
+//! protocols don't apply — Bitcoin "replaces communication with
+//! computation". This crate builds the full substrate:
+//!
+//! * [`block`] — transactions, Merkle trees (real SHA-256), block headers
+//!   with the slide's exact field layout (version, previous block hash,
+//!   Merkle root, timestamp, compact target bits, nonce), and hash-pointer
+//!   chaining that makes the ledger tamper-evident.
+//! * [`pow`] — mining: the nonce search for `SHA256(header) < target`,
+//!   compact-bits target encoding, dynamic difficulty retargeting (every
+//!   `RETARGET_INTERVAL` blocks), the reward halving schedule, and hash
+//!   (energy) accounting.
+//! * [`chain`] — the block tree: fork handling, heaviest-(most-work-)chain
+//!   selection, reorgs, and the abort/resubmission of transactions stranded
+//!   in losing branches.
+//! * [`network`] — miners on the simnet substrate: probabilistic mining
+//!   (exponential block races weighted by hashrate), gossip propagation,
+//!   fork rate vs propagation delay, and the mining-centralization
+//!   experiment (blocks won ∝ hashrate share).
+//! * [`pos`] — proof of stake: stake-weighted randomized selection and
+//!   coin-age selection (30-day maturity, 90-day probability cap), plus the
+//!   "don't the rich get richer?" measurement.
+//! * [`permissioned`] — a permissioned BFT chain in the Tendermint style
+//!   the tutorial cites: PBFT-like rounds with leader rotation per block
+//!   over a known validator set.
+//! * [`attacks`] — the "other issues" slide quantified: double-spend
+//!   success vs confirmation depth (weak finality) and Eyal–Sirer selfish
+//!   mining.
+
+pub mod attacks;
+pub mod block;
+pub mod chain;
+pub mod network;
+pub mod permissioned;
+pub mod pos;
+pub mod pow;
+
+pub use block::{Block, BlockHash, BlockHeader, Transaction};
+pub use chain::Blockchain;
+pub use pow::{mine_block, MiningParams};

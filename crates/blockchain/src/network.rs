@@ -1,0 +1,330 @@
+//! Miners on the simulated network: block races, propagation, forks, and
+//! centralization.
+//!
+//! Mining *times* are sampled analytically (an exponential race weighted by
+//! each miner's hashrate share — the memoryless property makes this exact
+//! for Poisson mining), while the blocks themselves are really mined
+//! (nonce search at trivial difficulty) so the entire validation path is
+//! genuine. Forks arise exactly as in the slides: two miners solve close
+//! together, the network splits, and the most-work rule eventually prunes
+//! one branch, aborting its transactions.
+
+use rand::Rng;
+use simnet::{Context, NetConfig, Node, NodeId, Payload, Sim, Time, Timer};
+
+use crate::block::{Block, Transaction};
+use crate::chain::{AddOutcome, Blockchain};
+use crate::pow::{mine_block, MiningParams};
+
+/// Gossip messages.
+#[derive(Clone, Debug)]
+pub enum NetMsg {
+    /// A freshly mined block.
+    NewBlock(Box<Block>),
+}
+
+impl Payload for NetMsg {
+    fn kind(&self) -> &'static str {
+        "block"
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            NetMsg::NewBlock(b) => 84 + b.txs.len() * 28,
+        }
+    }
+}
+
+const FOUND: u64 = 1;
+
+/// A miner: maintains a chain view, races to extend its tip, gossips wins.
+pub struct Miner {
+    params: MiningParams,
+    /// This miner's fraction of the global hashrate.
+    pub share: f64,
+    /// Mean global block interval in simulated µs.
+    mean_block_time_us: u64,
+    /// The miner's view of the chain.
+    pub chain: Blockchain,
+    /// Monotone epoch: changes whenever the tip changes; stale mining
+    /// timers are ignored.
+    epoch: u64,
+    next_tx_id: u64,
+    /// Blocks this miner found.
+    pub blocks_mined: u64,
+    /// Reorgs this miner observed.
+    pub reorgs_seen: u64,
+    /// Transactions aborted (stranded by reorgs) at this node.
+    pub txs_aborted: u64,
+}
+
+impl Miner {
+    /// Creates a miner with the given hashrate `share`.
+    ///
+    /// Difficulty retargeting is disabled inside the network simulation:
+    /// block *times* are sampled analytically, so wall-clock-based
+    /// retargeting would see nonsensical intervals and run away. The
+    /// retarget rule itself is exercised in `pow`/`chain` with controlled
+    /// timestamps (experiment F20).
+    pub fn new(mut params: MiningParams, share: f64, mean_block_time_us: u64) -> Self {
+        params.retarget_interval = u64::MAX;
+        Miner {
+            params,
+            share,
+            mean_block_time_us,
+            chain: Blockchain::new(params),
+            epoch: 0,
+            next_tx_id: 0,
+            blocks_mined: 0,
+            reorgs_seen: 0,
+            txs_aborted: 0,
+        }
+    }
+
+    fn schedule_mining(&mut self, ctx: &mut Context<NetMsg>) {
+        if self.share <= 0.0 {
+            return;
+        }
+        // Exponential race: this miner's expected solo time is the global
+        // mean divided by its share.
+        let u: f64 = ctx.rng().gen_range(f64::EPSILON..1.0);
+        let mean = self.mean_block_time_us as f64 / self.share;
+        let delay = (-(u.ln()) * mean) as u64;
+        ctx.set_timer(delay.max(1), FOUND + self.epoch);
+    }
+
+    fn mempool_txs(&mut self, me: u32) -> Vec<Transaction> {
+        // Synthetic wallet traffic: a couple of transfers per block.
+        let mut txs = Vec::new();
+        for _ in 0..2 {
+            self.next_tx_id += 1;
+            txs.push(Transaction::transfer(
+                u64::from(me) * 1_000_000 + self.next_tx_id,
+                me,
+                (me + 1) % 8,
+                10,
+                1,
+            ));
+        }
+        txs
+    }
+}
+
+impl Node for Miner {
+    type Msg = NetMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<NetMsg>) {
+        self.schedule_mining(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<NetMsg>, _from: NodeId, msg: NetMsg) {
+        let NetMsg::NewBlock(block) = msg;
+        let old_tip = self.chain.tip();
+        match self.chain.add_block(*block) {
+            AddOutcome::Reorged { resubmit, .. } => {
+                self.reorgs_seen += 1;
+                self.txs_aborted += resubmit.len() as u64;
+            }
+            AddOutcome::Invalid => return,
+            _ => {}
+        }
+        if self.chain.tip() != old_tip {
+            // Tip moved: abandon the current race, start a new one.
+            self.epoch += 1;
+            self.schedule_mining(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<NetMsg>, timer: Timer) {
+        if timer.kind != FOUND + self.epoch {
+            return; // stale race
+        }
+        // We "found" a block now: actually mine it (real nonce search at
+        // trivial difficulty) so the artifact is genuine.
+        let me = ctx.id().0;
+        let height = self.chain.height() + 1;
+        let parent = self.chain.tip();
+        let bits = self.chain.next_bits();
+        let txs = self.mempool_txs(me);
+        let mined = mine_block(
+            &self.params,
+            parent,
+            height,
+            me,
+            txs,
+            bits,
+            (ctx.now().as_micros() / 1_000_000) as u32,
+        );
+        self.blocks_mined += 1;
+        let outcome = self.chain.add_block(mined.block.clone());
+        debug_assert!(matches!(
+            outcome,
+            AddOutcome::ExtendedBest | AddOutcome::SideChain
+        ));
+        ctx.broadcast(NetMsg::NewBlock(Box::new(mined.block)));
+        self.epoch += 1;
+        self.schedule_mining(ctx);
+    }
+}
+
+/// Result of a mining-network run.
+#[derive(Clone, Debug)]
+pub struct MiningReport {
+    /// Blocks mined per miner.
+    pub mined_per_miner: Vec<u64>,
+    /// Height of the (first miner's) best chain at the end.
+    pub best_height: u64,
+    /// Total blocks mined across all miners.
+    pub total_mined: u64,
+    /// Blocks that ended up off the best chain (the fork rate numerator).
+    pub forked_blocks: u64,
+    /// Blocks on the final best chain won by each miner.
+    pub chain_blocks_per_miner: Vec<u64>,
+    /// Reorgs observed (summed across nodes).
+    pub reorgs: u64,
+    /// Stranded transactions observed (summed across nodes).
+    pub txs_aborted: u64,
+}
+
+impl MiningReport {
+    /// Fraction of mined blocks that did not make the best chain.
+    pub fn fork_rate(&self) -> f64 {
+        if self.total_mined == 0 {
+            0.0
+        } else {
+            self.forked_blocks as f64 / self.total_mined as f64
+        }
+    }
+}
+
+/// Runs a mining network of miners with the given hashrate `shares` for
+/// `sim_duration_us`, with the given block propagation delay profile.
+pub fn run_mining_network(
+    shares: &[f64],
+    mean_block_time_us: u64,
+    config: NetConfig,
+    sim_duration_us: u64,
+    seed: u64,
+) -> MiningReport {
+    let params = MiningParams::trivial();
+    let mut sim: Sim<Miner> = Sim::new(config, seed);
+    for &share in shares {
+        sim.add_node(Miner::new(params, share, mean_block_time_us));
+    }
+    sim.run_until(Time(sim_duration_us));
+
+    let mined_per_miner: Vec<u64> = sim.nodes().map(|(_, m)| m.blocks_mined).collect();
+    let total_mined: u64 = mined_per_miner.iter().sum();
+    // Use miner 0's final view as the reference chain.
+    let reference = &sim.node(NodeId(0)).chain;
+    let best_chain = reference.best_chain();
+    let best_height = reference.height();
+    let mut chain_blocks_per_miner = vec![0u64; shares.len()];
+    for h in &best_chain[1..] {
+        let block = reference.block(h).expect("on chain");
+        let winner = block.txs[0].to as usize; // coinbase recipient
+        if winner < chain_blocks_per_miner.len() {
+            chain_blocks_per_miner[winner] += 1;
+        }
+    }
+    MiningReport {
+        mined_per_miner,
+        best_height,
+        total_mined,
+        forked_blocks: total_mined.saturating_sub(best_height),
+        chain_blocks_per_miner,
+        reorgs: sim.nodes().map(|(_, m)| m.reorgs_seen).sum(),
+        txs_aborted: sim.nodes().map(|(_, m)| m.txs_aborted).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::DelayModel;
+
+    fn fast_net(delay_us: u64) -> NetConfig {
+        NetConfig::synchronous().with_delay(DelayModel::Fixed(delay_us))
+    }
+
+    #[test]
+    fn miners_converge_on_one_chain() {
+        let report = run_mining_network(
+            &[0.25, 0.25, 0.25, 0.25],
+            50_000, // 50ms mean block time
+            fast_net(500),
+            5_000_000, // 5s
+            1,
+        );
+        assert!(report.best_height > 20, "{report:?}");
+        assert!(
+            report.fork_rate() < 0.2,
+            "fast propagation ⇒ few forks: {report:?}"
+        );
+    }
+
+    #[test]
+    fn fork_rate_rises_with_propagation_delay() {
+        let run = |delay_us| {
+            run_mining_network(
+                &[0.25, 0.25, 0.25, 0.25],
+                30_000,
+                fast_net(delay_us),
+                6_000_000,
+                2,
+            )
+            .fork_rate()
+        };
+        let fast = run(100);
+        let slow = run(15_000); // propagation ≈ half the block interval
+        assert!(
+            slow > fast,
+            "slower gossip must fork more: fast={fast:.3} slow={slow:.3}"
+        );
+        assert!(slow > 0.1, "substantial forking expected: {slow:.3}");
+    }
+
+    #[test]
+    fn blocks_won_track_hashrate_share() {
+        // The centralization experiment: the 81% pool wins ≈ 81%.
+        let shares = [0.81, 0.10, 0.05, 0.04];
+        let report = run_mining_network(&shares, 20_000, fast_net(500), 10_000_000, 3);
+        let total: u64 = report.chain_blocks_per_miner.iter().sum();
+        assert!(total > 100, "need a decent sample: {total}");
+        let big = report.chain_blocks_per_miner[0] as f64 / total as f64;
+        assert!(
+            (0.70..0.92).contains(&big),
+            "dominant pool should win ≈81%: got {big:.2} ({report:?})"
+        );
+    }
+
+    #[test]
+    fn reorgs_strand_transactions() {
+        // Slow gossip ⇒ forks ⇒ reorgs ⇒ aborted transactions.
+        let report = run_mining_network(
+            &[0.5, 0.5],
+            20_000,
+            fast_net(10_000),
+            8_000_000,
+            4,
+        );
+        assert!(report.reorgs > 0, "expected reorgs: {report:?}");
+        assert!(report.txs_aborted > 0, "stranded txs expected: {report:?}");
+    }
+
+    #[test]
+    fn zero_share_miner_never_mines() {
+        let report = run_mining_network(&[1.0, 0.0], 30_000, fast_net(500), 3_000_000, 5);
+        assert_eq!(report.mined_per_miner[1], 0);
+        assert!(report.mined_per_miner[0] > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            run_mining_network(&[0.5, 0.5], 40_000, fast_net(1_000), 3_000_000, 6)
+                .mined_per_miner
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,235 @@
+//! Proof of stake: "a stakeholder who has `p` fraction of the coins in
+//! circulation creates a new block with `p` probability".
+//!
+//! Two selection rules from the slides, answering *"don't the rich get
+//! richer?"*:
+//!
+//! * **Randomized block selection** — a combination of a (seeded) random
+//!   number and the stake size;
+//! * **Coin-age-based selection** — weight = coins × days held; coins
+//!   unspent for at least **30 days** begin competing, the probability
+//!   reaches its maximum at **90 days**, and minting a block resets the
+//!   age — large old stashes can't dominate forever.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+
+/// Selection rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PosMode {
+    /// Stake-weighted randomized selection.
+    Randomized,
+    /// Coin-age-based selection (30-day maturity, 90-day cap; minting
+    /// resets the age).
+    CoinAge,
+}
+
+/// A staker.
+#[derive(Clone, Debug)]
+pub struct Validator {
+    /// Current stake.
+    pub stake: u64,
+    /// Days since the coins last moved (or minted).
+    pub age_days: u64,
+}
+
+/// Coin-age weight: zero before 30 days of maturity, then
+/// `stake × min(age, 90)`.
+pub fn coin_age_weight(stake: u64, age_days: u64) -> u128 {
+    if age_days < 30 {
+        0
+    } else {
+        u128::from(stake) * u128::from(age_days.min(90))
+    }
+}
+
+/// Weighted random pick; returns the chosen index (`None` if all weights
+/// are zero).
+fn pick_weighted(weights: &[u128], rng: &mut ChaCha20Rng) -> Option<usize> {
+    let total: u128 = weights.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let mut point = rng.gen_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if point < w {
+            return Some(i);
+        }
+        point -= w;
+    }
+    None
+}
+
+/// Result of a PoS minting simulation.
+#[derive(Clone, Debug)]
+pub struct PosReport {
+    /// Blocks minted per validator.
+    pub blocks: Vec<u64>,
+    /// Final stakes (differ from initial when rewards compound).
+    pub final_stakes: Vec<u64>,
+    /// Slots in which no validator was eligible (coin-age warm-up).
+    pub empty_slots: u64,
+}
+
+/// Simulates `slots` block slots (one day between slots for coin-age
+/// accounting). `reward` is added to the winner's stake each slot when
+/// `compound` is set — this is what makes the rich richer.
+pub fn run_pos(
+    initial_stakes: &[u64],
+    slots: u64,
+    mode: PosMode,
+    reward: u64,
+    compound: bool,
+    seed: u64,
+) -> PosReport {
+    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    let mut validators: Vec<Validator> = initial_stakes
+        .iter()
+        .map(|&stake| Validator {
+            stake,
+            // Start mature so randomized mode is uniform from slot 0; the
+            // coin-age warm-up is exercised by starting fresh validators.
+            age_days: 30,
+        })
+        .collect();
+    let mut blocks = vec![0u64; validators.len()];
+    let mut empty_slots = 0;
+
+    for _ in 0..slots {
+        let weights: Vec<u128> = validators
+            .iter()
+            .map(|v| match mode {
+                PosMode::Randomized => u128::from(v.stake),
+                PosMode::CoinAge => coin_age_weight(v.stake, v.age_days),
+            })
+            .collect();
+        match pick_weighted(&weights, &mut rng) {
+            Some(winner) => {
+                blocks[winner] += 1;
+                if compound {
+                    validators[winner].stake += reward;
+                }
+                // Minting resets the winner's coin age.
+                validators[winner].age_days = 0;
+            }
+            None => empty_slots += 1,
+        }
+        for v in &mut validators {
+            v.age_days += 1;
+        }
+    }
+
+    PosReport {
+        blocks,
+        final_stakes: validators.iter().map(|v| v.stake).collect(),
+        empty_slots,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coin_age_maturity_and_cap() {
+        assert_eq!(coin_age_weight(100, 0), 0);
+        assert_eq!(coin_age_weight(100, 29), 0, "under 30 days: ineligible");
+        assert_eq!(coin_age_weight(100, 30), 3_000);
+        assert_eq!(coin_age_weight(100, 90), 9_000);
+        assert_eq!(coin_age_weight(100, 400), 9_000, "capped at 90 days");
+    }
+
+    #[test]
+    fn randomized_selection_tracks_stake_share() {
+        // 50/30/20 split over many slots.
+        let report = run_pos(&[50, 30, 20], 20_000, PosMode::Randomized, 0, false, 1);
+        let total: u64 = report.blocks.iter().sum();
+        let shares: Vec<f64> = report
+            .blocks
+            .iter()
+            .map(|&b| b as f64 / total as f64)
+            .collect();
+        for (share, expect) in shares.iter().zip([0.5, 0.3, 0.2]) {
+            assert!(
+                (share - expect).abs() < 0.03,
+                "share {share:.3} vs {expect} ({shares:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn compounding_makes_the_rich_richer() {
+        // Compounded staking is a Pólya urn: the *expected* share stays at
+        // its initial value, but early winners run away — the share
+        // distribution spreads out. Measure the mean deviation of two
+        // initially equal validators across seeds: with compounding it is
+        // far larger than without.
+        let deviation = |compound: bool| {
+            let mut total_dev = 0.0;
+            for seed in 0..30u64 {
+                let r = run_pos(&[100, 100], 3_000, PosMode::Randomized, 100, compound, seed);
+                let blocks: u64 = r.blocks.iter().sum();
+                let share0 = r.blocks[0] as f64 / blocks as f64;
+                total_dev += (share0 - 0.5).abs();
+            }
+            total_dev / 30.0
+        };
+        let without = deviation(false);
+        let with = deviation(true);
+        assert!(
+            with > 3.0 * without,
+            "compounding should spread outcomes: {with:.4} vs {without:.4}"
+        );
+        // And the winner's absolute stake grows.
+        let r = run_pos(&[500, 300, 200], 1_000, PosMode::Randomized, 50, true, 2);
+        assert!(r.final_stakes.iter().sum::<u64>() > 1_000);
+    }
+
+    #[test]
+    fn coin_age_throttles_a_dominant_whale() {
+        // One whale with 90% of the coins: under pure stake weighting it
+        // wins ~90%; under coin-age its age resets each win, letting small
+        // holders through far more often.
+        let stakes = [900u64, 50, 50];
+        let random = run_pos(&stakes, 10_000, PosMode::Randomized, 0, false, 3);
+        let coinage = run_pos(&stakes, 10_000, PosMode::CoinAge, 0, false, 3);
+        let share = |r: &PosReport| {
+            let total: u64 = r.blocks.iter().sum();
+            r.blocks[0] as f64 / total.max(1) as f64
+        };
+        assert!(share(&random) > 0.85, "{random:?}");
+        assert!(
+            share(&coinage) < share(&random),
+            "coin-age should damp the whale: {:.3} vs {:.3}",
+            share(&coinage),
+            share(&random)
+        );
+    }
+
+    #[test]
+    fn coin_age_warm_up_produces_empty_slots() {
+        // All validators start at age 30 here, so force warm-up by running
+        // a fresh simulation where everyone just minted (age resets).
+        // After the first win, the winner is ineligible for 30 days; with a
+        // single validator every following 29 slots are empty.
+        // Wins at slots 0, 30, and 60 (age resets on minting, matures at
+        // 30 days); the other 58 slots are empty.
+        let report = run_pos(&[100], 61, PosMode::CoinAge, 0, false, 4);
+        assert_eq!(report.blocks[0], 3, "{report:?}");
+        assert_eq!(report.empty_slots, 58);
+    }
+
+    #[test]
+    fn zero_stake_never_wins() {
+        let report = run_pos(&[100, 0], 2_000, PosMode::Randomized, 0, false, 5);
+        assert_eq!(report.blocks[1], 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_pos(&[10, 20, 30], 1_000, PosMode::CoinAge, 5, true, 7);
+        let b = run_pos(&[10, 20, 30], 1_000, PosMode::CoinAge, 5, true, 7);
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(a.final_stakes, b.final_stakes);
+    }
+}

@@ -1,0 +1,336 @@
+//! Proof of work: mining, compact targets, difficulty retargeting, reward
+//! halving, and energy (hash) accounting.
+//!
+//! "Find a **nonce** that results in `SHA256(block) < Difficulty`" — real
+//! double-SHA-256 over real headers, with targets scaled down so laptops
+//! mine in microseconds. Difficulty is *dynamically adjusted* every
+//! [`MiningParams::retarget_interval`] blocks (Bitcoin: 2016 ≈ two weeks),
+//! and the block reward is halved every
+//! [`MiningParams::halving_interval`] blocks (Bitcoin: 210 000).
+
+use crate::block::{merkle_root, Block, BlockHash, BlockHeader, Transaction};
+
+/// Decodes Bitcoin-style compact bits into a 256-bit target, returned as
+/// the most significant 128 bits (all targets in this crate fit there).
+///
+/// `bits = 0xEEGGGGGG`: target = `GGGGGG × 256^(EE − 3)`.
+pub fn compact_to_target(bits: u32) -> u128 {
+    let exponent = (bits >> 24) as i32;
+    let mantissa = u128::from(bits & 0x00FF_FFFF);
+    // The full target is mantissa × 256^(exponent−3) over 256 bits; we
+    // keep the top 128 bits, i.e. divide by 2^128.
+    let shift_bits = 8 * (exponent - 3);
+    let top_shift = shift_bits - 128;
+    if top_shift >= 0 {
+        mantissa << top_shift
+    } else if top_shift > -24 {
+        mantissa >> (-top_shift)
+    } else {
+        0
+    }
+}
+
+/// Encodes a 128-bit target prefix back to compact bits (inverse of
+/// [`compact_to_target`], up to mantissa truncation).
+pub fn target_to_compact(target: u128) -> u32 {
+    if target == 0 {
+        return 0x0300_0000;
+    }
+    // The full 256-bit target is `target << 128`; find its byte length.
+    let full_bits = (128 - target.leading_zeros()) + 128;
+    let mut exponent = full_bits.div_ceil(8);
+    let shift = 8 * (exponent as i32 - 3) - 128;
+    let mut mantissa = if shift >= 0 {
+        (target >> shift) as u32
+    } else {
+        (target << (-shift)) as u32
+    };
+    // Bitcoin quirk: the mantissa's top bit signals sign; avoid it.
+    if mantissa & 0x0080_0000 != 0 {
+        mantissa >>= 8;
+        exponent += 1;
+    }
+    (exponent << 24) | (mantissa & 0x00FF_FFFF)
+}
+
+/// Whether `hash` satisfies the target encoded in `bits`.
+pub fn meets_target(hash: BlockHash, bits: u32) -> bool {
+    hash.to_work_prefix() < compact_to_target(bits)
+}
+
+/// The expected number of hashes to find a block at `bits` (work per
+/// block) — the energy proxy of experiment F23.
+pub fn expected_hashes(bits: u32) -> f64 {
+    let target = compact_to_target(bits);
+    if target == 0 {
+        return f64::INFINITY;
+    }
+    (u128::MAX as f64) / (target as f64)
+}
+
+/// Mining and monetary-policy parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MiningParams {
+    /// Initial compact target (difficulty 1 for this deployment).
+    pub initial_bits: u32,
+    /// Target seconds between blocks.
+    pub block_interval_secs: u32,
+    /// Blocks between difficulty adjustments (Bitcoin: 2016).
+    pub retarget_interval: u64,
+    /// Blocks between reward halvings (Bitcoin: 210 000).
+    pub halving_interval: u64,
+    /// Initial block reward (Bitcoin: 50 BTC, in base units).
+    pub initial_reward: u64,
+}
+
+impl MiningParams {
+    /// A laptop-scale deployment: ≈ 2¹⁴ hashes per block, fast retargets
+    /// and halvings so the experiments exercise them.
+    pub fn easy() -> Self {
+        MiningParams {
+            initial_bits: 0x1f04_0000,
+            block_interval_secs: 600,
+            retarget_interval: 8,
+            halving_interval: 16,
+            initial_reward: 50_0000_0000,
+        }
+    }
+
+    /// A *very* easy target for unit tests (a few hundred hashes).
+    pub fn trivial() -> Self {
+        MiningParams {
+            initial_bits: 0x2000_4000,
+            block_interval_secs: 600,
+            retarget_interval: 4,
+            halving_interval: 8,
+            initial_reward: 50,
+        }
+    }
+
+    /// The block reward at `height`: halved every `halving_interval`.
+    pub fn reward_at(&self, height: u64) -> u64 {
+        let halvings = height / self.halving_interval;
+        if halvings >= 64 {
+            0
+        } else {
+            self.initial_reward >> halvings
+        }
+    }
+
+    /// Difficulty retarget: given the time the last `retarget_interval`
+    /// blocks actually took, scale the target so they would have taken
+    /// `retarget_interval × block_interval_secs` (clamped to 4× in either
+    /// direction, as Bitcoin does).
+    pub fn retarget(&self, current_bits: u32, actual_secs: u32) -> u32 {
+        let expected = self.retarget_interval as u128 * self.block_interval_secs as u128;
+        let actual = (actual_secs as u128).clamp(expected / 4, expected * 4).max(1);
+        let target = compact_to_target(current_bits);
+        let new_target = target.saturating_mul(actual) / expected;
+        target_to_compact(new_target.max(1))
+    }
+}
+
+/// Result of mining one block.
+#[derive(Clone, Debug)]
+pub struct Mined {
+    /// The block.
+    pub block: Block,
+    /// Hashes tried (energy accounting).
+    pub hashes_tried: u64,
+}
+
+/// Mines a block on `prev` containing `txs` (coinbase prepended), by brute
+/// nonce search — the real code path, at reduced difficulty.
+pub fn mine_block(
+    params: &MiningParams,
+    prev: BlockHash,
+    height: u64,
+    miner: u32,
+    mut txs: Vec<Transaction>,
+    bits: u32,
+    timestamp: u32,
+) -> Mined {
+    let fees: u64 = txs.iter().map(|t| t.fee).sum();
+    let coinbase = Transaction::coinbase(height, miner, params.reward_at(height) + fees);
+    txs.insert(0, coinbase);
+    let mut header = BlockHeader {
+        version: 2,
+        prev,
+        merkle_root: merkle_root(&txs),
+        timestamp,
+        bits,
+        nonce: 0,
+    };
+    let mut hashes_tried = 0u64;
+    loop {
+        hashes_tried += 1;
+        let hash = header.hash();
+        if meets_target(hash, bits) {
+            return Mined {
+                block: Block { header, txs },
+                hashes_tried,
+            };
+        }
+        header.nonce += 1;
+    }
+}
+
+/// Full verification of a mined block: well-formed, meets its own target.
+pub fn verify_pow(block: &Block) -> bool {
+    block.is_well_formed() && meets_target(block.hash(), block.header.bits)
+}
+
+/// The work contributed by a block at `bits` (proportional to expected
+/// hashes; used for heaviest-chain comparison). `bits == 0` denotes a
+/// permissioned (authority) block: unit work, so "most work" degenerates
+/// to "longest chain".
+pub fn block_work(bits: u32) -> u128 {
+    if bits == 0 {
+        return 1;
+    }
+    let target = compact_to_target(bits).max(1);
+    (u128::MAX / target).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        for bits in [0x1d00_ffffu32, 0x1f04_0000, 0x2000_4000, 0x1c08_0000] {
+            let target = compact_to_target(bits);
+            assert!(target > 0, "{bits:08x}");
+            let back = target_to_compact(target);
+            let target2 = compact_to_target(back);
+            // Allow mantissa truncation of ~1 part in 2^16.
+            let ratio = target as f64 / target2 as f64;
+            assert!(
+                (0.99..1.01).contains(&ratio),
+                "{bits:08x}: {target:x} vs {target2:x}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_bits_mean_more_work() {
+        let easy = expected_hashes(0x2000_4000);
+        let hard = expected_hashes(0x1f04_0000);
+        assert!(hard > easy * 10.0, "easy={easy:.0} hard={hard:.0}");
+        assert!(block_work(0x1f04_0000) > block_work(0x2000_4000));
+    }
+
+    #[test]
+    fn mining_finds_valid_blocks() {
+        let p = MiningParams::trivial();
+        let mined = mine_block(&p, BlockHash::ZERO, 0, 7, vec![], p.initial_bits, 0);
+        assert!(verify_pow(&mined.block));
+        assert!(mined.hashes_tried >= 1);
+        assert_eq!(mined.block.txs[0].to, 7, "miner gets the coinbase");
+        assert_eq!(mined.block.txs[0].amount, 50);
+    }
+
+    #[test]
+    fn mining_includes_fees_in_coinbase() {
+        let p = MiningParams::trivial();
+        let txs = vec![
+            Transaction::transfer(1, 1, 2, 100, 3),
+            Transaction::transfer(2, 2, 3, 50, 2),
+        ];
+        let mined = mine_block(&p, BlockHash::ZERO, 0, 7, txs, p.initial_bits, 0);
+        assert_eq!(mined.block.txs[0].amount, 50 + 5);
+    }
+
+    #[test]
+    fn expected_hashes_tracks_reality() {
+        // Mine a handful of blocks and compare the mean nonce count with
+        // the analytic expectation (same order of magnitude).
+        let p = MiningParams::trivial();
+        let mut total = 0u64;
+        let k = 20;
+        for i in 0..k {
+            let mined = mine_block(
+                &p,
+                BlockHash::ZERO,
+                i,
+                1,
+                vec![Transaction::transfer(i, 1, 2, i, 0)],
+                p.initial_bits,
+                i as u32,
+            );
+            total += mined.hashes_tried;
+        }
+        let mean = total as f64 / k as f64;
+        let expect = expected_hashes(p.initial_bits);
+        assert!(
+            mean > expect / 5.0 && mean < expect * 5.0,
+            "mean {mean:.0} vs expected {expect:.0}"
+        );
+    }
+
+    #[test]
+    fn reward_halves_on_schedule() {
+        let p = MiningParams {
+            halving_interval: 10,
+            initial_reward: 64,
+            ..MiningParams::trivial()
+        };
+        assert_eq!(p.reward_at(0), 64);
+        assert_eq!(p.reward_at(9), 64);
+        assert_eq!(p.reward_at(10), 32);
+        assert_eq!(p.reward_at(20), 16);
+        assert_eq!(p.reward_at(10 * 64), 0, "rewards eventually vanish");
+    }
+
+    #[test]
+    fn retarget_raises_difficulty_when_blocks_come_fast() {
+        let p = MiningParams::easy();
+        let expected_secs = (p.retarget_interval as u32) * p.block_interval_secs;
+        // Blocks twice as fast → target halves (difficulty doubles).
+        let harder = p.retarget(p.initial_bits, expected_secs / 2);
+        assert!(compact_to_target(harder) < compact_to_target(p.initial_bits));
+        // Blocks twice as slow → target doubles.
+        let easier = p.retarget(p.initial_bits, expected_secs * 2);
+        assert!(compact_to_target(easier) > compact_to_target(p.initial_bits));
+        // On schedule → unchanged (up to compact truncation).
+        let same = p.retarget(p.initial_bits, expected_secs);
+        let ratio =
+            compact_to_target(same) as f64 / compact_to_target(p.initial_bits) as f64;
+        assert!((0.99..1.01).contains(&ratio));
+    }
+
+    #[test]
+    fn retarget_is_clamped_to_4x() {
+        let p = MiningParams::easy();
+        let expected_secs = (p.retarget_interval as u32) * p.block_interval_secs;
+        let extreme_fast = p.retarget(p.initial_bits, 1);
+        let clamped = p.retarget(p.initial_bits, expected_secs / 4);
+        assert_eq!(extreme_fast, clamped, "adjustment must clamp at 4×");
+    }
+
+    #[test]
+    fn tamper_evidence_via_hash_pointers() {
+        // Build a 5-block chain, then mutate block 2: every later hash
+        // pointer breaks (experiment F19's mechanism).
+        let p = MiningParams::trivial();
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut prev = BlockHash::ZERO;
+        for h in 0..5 {
+            let txs = vec![Transaction::transfer(h, 1, 2, h, 0)];
+            let mined = mine_block(&p, prev, h, 1, txs, p.initial_bits, h as u32);
+            prev = mined.block.hash();
+            blocks.push(mined.block);
+        }
+        // Verify the intact chain.
+        for w in blocks.windows(2) {
+            assert_eq!(w[1].header.prev, w[0].hash());
+        }
+        // Tamper.
+        blocks[2].txs[1].amount = 999_999;
+        assert!(!blocks[2].is_well_formed(), "Merkle root broke");
+        // Even if the attacker recomputes the Merkle root, the next
+        // block's prev pointer no longer matches.
+        blocks[2].header.merkle_root = merkle_root(&blocks[2].txs);
+        assert_ne!(blocks[3].header.prev, blocks[2].hash());
+    }
+}

@@ -1,0 +1,27 @@
+//! # atomic-commit — 2PC and 3PC
+//!
+//! A distributed transaction accesses data stored across multiple servers;
+//! an *atomic commitment* protocol ensures either all servers commit or no
+//! server commits. This crate implements the tutorial's commitment side:
+//!
+//! * [`two_phase`] — classic 2PC (vote request / vote / global decision)
+//!   including **cooperative termination**, and a demonstration of the
+//!   protocol's *blocking window*: if the coordinator crashes after every
+//!   participant voted yes but before any decision escaped, participants
+//!   hold their locks forever.
+//! * [`three_phase`] — 3PC adds a *pre-commit* phase that replicates the
+//!   decision to the cohorts before committing (like Paxos' fault-tolerant
+//!   agreement phase in the C&C framework), plus the termination protocol:
+//!   on coordinator failure the cohorts elect a successor that completes or
+//!   aborts the transaction — non-blocking under crash faults.
+//!
+//! The abstract versions of both protocols also exist as C&C framework
+//! instances in `consensus_core::cnc`; here they are implemented with the
+//! full state machines (Initial/Ready/PreCommitted/Committed/Aborted) and
+//! per-state timeout actions.
+
+pub mod msg;
+pub mod three_phase;
+pub mod two_phase;
+
+pub use msg::{CommitMsg, TxnState};

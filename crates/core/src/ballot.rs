@@ -1,0 +1,120 @@
+//! Ballots: the `⟨num, process id⟩` pairs Paxos uses to distinguish values
+//! proposed by different leaders.
+//!
+//! From the tutorial: ballots are *unique, locally monotonically increasing*,
+//! form a total order, and processes respond only to the leader with the
+//! highest ballot. `⟨n₁,p₁⟩ > ⟨n₂,p₂⟩` iff `n₁ > n₂`, or `n₁ = n₂` and
+//! `p₁ > p₂`. If the latest known ballot is `⟨n,q⟩`, process `p` chooses
+//! `⟨n+1,p⟩`.
+
+use std::fmt;
+
+use simnet::NodeId;
+
+/// A totally ordered ballot (also called a *view number* or *term* in other
+/// protocols — Raft terms and PBFT views are ballots without the embedded
+/// process id, made unique by fixing the leader per view).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Ballot {
+    /// The round number (compared first).
+    pub num: u64,
+    /// The proposing process (tie-breaker).
+    pub pid: u32,
+}
+
+impl Ballot {
+    /// The zero ballot `⟨0,0⟩` — smaller than any ballot a real proposer
+    /// picks, used as the initial `BallotNum` / `AcceptNum`.
+    pub const ZERO: Ballot = Ballot { num: 0, pid: 0 };
+
+    /// Creates a ballot.
+    pub const fn new(num: u64, pid: u32) -> Ballot {
+        Ballot { num, pid }
+    }
+
+    /// The ballot process `p` should pick having observed `self` as the
+    /// latest ballot: `⟨n+1, p⟩`.
+    #[must_use]
+    pub fn next_for(self, p: NodeId) -> Ballot {
+        Ballot {
+            num: self.num + 1,
+            pid: p.0,
+        }
+    }
+
+    /// The proposer embedded in this ballot.
+    pub fn proposer(self) -> NodeId {
+        NodeId(self.pid)
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{},{}⟩", self.num, self.pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ordering_matches_slides() {
+        // n₁ > n₂ dominates.
+        assert!(Ballot::new(4, 1) > Ballot::new(3, 5));
+        // Equal nums: pid breaks ties.
+        assert!(Ballot::new(3, 5) > Ballot::new(3, 1));
+        assert_eq!(Ballot::new(2, 2), Ballot::new(2, 2));
+    }
+
+    #[test]
+    fn next_for_beats_current() {
+        let b = Ballot::new(7, 3);
+        let n = b.next_for(NodeId(1));
+        assert!(n > b);
+        assert_eq!(n, Ballot::new(8, 1));
+        assert_eq!(n.proposer(), NodeId(1));
+    }
+
+    #[test]
+    fn zero_is_minimal() {
+        assert!(Ballot::ZERO < Ballot::new(0, 1));
+        assert!(Ballot::ZERO < Ballot::new(1, 0));
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(Ballot::new(3, 5).to_string(), "⟨3,5⟩");
+    }
+
+    proptest! {
+        /// next_for always produces a strictly larger ballot, regardless of
+        /// which process takes over.
+        #[test]
+        fn prop_next_is_strictly_greater(num in 0u64..u64::MAX / 2, pid in 0u32..1000, p in 0u32..1000) {
+            let b = Ballot::new(num, pid);
+            prop_assert!(b.next_for(NodeId(p)) > b);
+        }
+
+        /// The order is total and antisymmetric: distinct ballots compare
+        /// strictly one way.
+        #[test]
+        fn prop_total_order(a in 0u64..1000, ap in 0u32..32, b in 0u64..1000, bp in 0u32..32) {
+            let x = Ballot::new(a, ap);
+            let y = Ballot::new(b, bp);
+            if x != y {
+                prop_assert!((x < y) ^ (y < x));
+            }
+        }
+
+        /// Lexicographic agreement with the slide definition.
+        #[test]
+        fn prop_lexicographic(a in 0u64..1000, ap in 0u32..32, b in 0u64..1000, bp in 0u32..32) {
+            let x = Ballot::new(a, ap);
+            let y = Ballot::new(b, bp);
+            let expected = (a, ap) > (b, bp);
+            prop_assert_eq!(x > y, expected);
+        }
+    }
+}

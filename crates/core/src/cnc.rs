@@ -1,0 +1,635 @@
+//! The Consensus & Commitment (C&C) framework.
+//!
+//! The tutorial's unifying observation: Paxos and 2PC/3PC are all
+//! leader-based agreement protocols that decompose into four phases —
+//!
+//! 1. **Leader Election** — a coordinator establishes authority (a ballot)
+//!    with a quorum;
+//! 2. **Value Discovery** — the coordinator learns what value it *must* (or
+//!    may) propose: prior accepted values in Paxos, cohort votes in 2PC/3PC;
+//! 3. **Fault-tolerant Agreement** — the decision is replicated on a quorum
+//!    so any successor coordinator will discover it;
+//! 4. **Decision** — the outcome is disseminated, typically asynchronously.
+//!
+//! [`CncEngine`] is a runnable generic engine over these phases.
+//! Configurations reproduce the framework instances from the slides:
+//!
+//! * [`CncConfig::abstract_paxos`] — election + discovery of prior accepted
+//!   values + quorum agreement + decision;
+//! * [`CncConfig::abstract_2pc`] — fixed coordinator, unanimous-vote
+//!   discovery, **no** fault-tolerant agreement phase (hence blocking);
+//! * [`CncConfig::abstract_3pc`] — unanimous-vote discovery *plus* quorum
+//!   agreement (the pre-commit phase) and a termination protocol: cohort
+//!   watchdogs elect a successor coordinator that re-runs the phases.
+//!
+//! The engine tolerates crash faults; the full protocol crates (`paxos`,
+//! `atomic-commit`) implement the real protocols in detail.
+
+use std::collections::BTreeSet;
+
+use simnet::{Context, Node, NodeId, Payload, Timer};
+
+use crate::ballot::Ballot;
+
+/// The agreed outcome: commit a value, or abort (commitment protocols).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Commit with the given value.
+    Commit(u64),
+    /// Abort the transaction.
+    Abort,
+}
+
+/// The four phases, used to label traces and experiment output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CncPhase {
+    /// Phase 1.
+    LeaderElection,
+    /// Phase 2.
+    ValueDiscovery,
+    /// Phase 3.
+    FaultTolerantAgreement,
+    /// Phase 4.
+    Decision,
+}
+
+/// How the coordinator discovers the value to propose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiscoveryPolicy {
+    /// Paxos-style: learn the outcomes of smaller ballots from a quorum and
+    /// adopt the value accepted at the highest ballot (else free choice).
+    PriorAccepted {
+        /// Responses required.
+        quorum: usize,
+    },
+    /// 2PC/3PC-style: collect a vote from **every** cohort; commit only if
+    /// all vote yes. A previously accepted (pre-committed) outcome at any
+    /// cohort is adopted instead — the 3PC termination rule.
+    UnanimousVotes,
+}
+
+/// Engine configuration — one per framework instance.
+#[derive(Clone, Copy, Debug)]
+pub struct CncConfig {
+    /// Cluster size.
+    pub n: usize,
+    /// Quorum of `ElectAck`s required to become coordinator. `None` means a
+    /// fixed coordinator (node 0) that skips the election phase.
+    pub election_quorum: Option<usize>,
+    /// Value-discovery policy.
+    pub discovery: DiscoveryPolicy,
+    /// Quorum of `ProposeAck`s for the fault-tolerant agreement phase;
+    /// `None` skips the phase (2PC): the decision exists only at the
+    /// coordinator until dissemination.
+    pub agreement_quorum: Option<usize>,
+    /// Cohort watchdog in microseconds: on expiry an undecided cohort
+    /// starts a new election (termination protocol). `None` = cohorts block
+    /// forever on coordinator failure, as 2PC does.
+    pub watchdog: Option<u64>,
+}
+
+impl CncConfig {
+    /// Abstract Paxos over `n` nodes (majority quorums everywhere).
+    pub fn abstract_paxos(n: usize) -> Self {
+        let maj = n / 2 + 1;
+        CncConfig {
+            n,
+            election_quorum: Some(maj),
+            discovery: DiscoveryPolicy::PriorAccepted { quorum: maj },
+            agreement_quorum: Some(maj),
+            watchdog: Some(50_000),
+        }
+    }
+
+    /// Abstract 2PC over `n` nodes: fixed coordinator, unanimous votes, no
+    /// fault-tolerant agreement, no termination protocol — blocking.
+    pub fn abstract_2pc(n: usize) -> Self {
+        CncConfig {
+            n,
+            election_quorum: None,
+            discovery: DiscoveryPolicy::UnanimousVotes,
+            agreement_quorum: None,
+            watchdog: None,
+        }
+    }
+
+    /// Abstract fault-tolerant 3PC over `n` nodes: unanimous votes, quorum
+    /// pre-commit replication, watchdog-driven coordinator election.
+    pub fn abstract_3pc(n: usize) -> Self {
+        let maj = n / 2 + 1;
+        CncConfig {
+            n,
+            election_quorum: Some(maj),
+            discovery: DiscoveryPolicy::UnanimousVotes,
+            agreement_quorum: Some(maj),
+            watchdog: Some(50_000),
+        }
+    }
+}
+
+/// Messages of the generic engine. Kinds are phase-labelled so traces read
+/// as the framework figure.
+#[derive(Clone, Debug)]
+pub enum CncMsg {
+    /// Phase 1 request.
+    ElectReq {
+        /// Candidate's ballot.
+        round: Ballot,
+    },
+    /// Phase 1 response (promise).
+    ElectAck {
+        /// Echoed ballot.
+        round: Ballot,
+        /// The cohort's previously accepted outcome, if any — piggybacked so
+        /// a successor coordinator discovers prior pre-commits immediately.
+        accepted: Option<(Ballot, Outcome)>,
+    },
+    /// Phase 2 request.
+    Discover {
+        /// Coordinator's ballot.
+        round: Ballot,
+    },
+    /// Phase 2 response.
+    DiscoverAck {
+        /// Echoed ballot.
+        round: Ballot,
+        /// Prior accepted outcome (Paxos-style discovery).
+        accepted: Option<(Ballot, Outcome)>,
+        /// This cohort's commit vote (2PC/3PC-style discovery).
+        vote: bool,
+    },
+    /// Phase 3 request.
+    Propose {
+        /// Coordinator's ballot.
+        round: Ballot,
+        /// Proposed outcome.
+        outcome: Outcome,
+    },
+    /// Phase 3 response.
+    ProposeAck {
+        /// Echoed ballot.
+        round: Ballot,
+    },
+    /// Phase 4: the decision.
+    Decide {
+        /// Deciding ballot.
+        round: Ballot,
+        /// Final outcome.
+        outcome: Outcome,
+    },
+}
+
+impl Payload for CncMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            CncMsg::ElectReq { .. } => "elect-req",
+            CncMsg::ElectAck { .. } => "elect-ack",
+            CncMsg::Discover { .. } => "discover",
+            CncMsg::DiscoverAck { .. } => "discover-ack",
+            CncMsg::Propose { .. } => "propose",
+            CncMsg::ProposeAck { .. } => "propose-ack",
+            CncMsg::Decide { .. } => "decide",
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum CoordPhase {
+    Idle,
+    Electing,
+    Discovering,
+    Proposing,
+    Done,
+}
+
+/// One engine participant. Every node runs cohort logic; whichever node
+/// holds the highest ballot also runs coordinator logic.
+pub struct CncEngine {
+    cfg: CncConfig,
+    init_value: u64,
+    /// This cohort's commit vote (for vote-based discovery).
+    vote_yes: bool,
+
+    // --- cohort state ---
+    promised: Ballot,
+    accepted: Option<(Ballot, Outcome)>,
+    /// Final decision, if reached.
+    pub decided: Option<Outcome>,
+    watchdog_timer: Option<simnet::TimerId>,
+
+    // --- coordinator state ---
+    phase: CoordPhase,
+    round: Ballot,
+    elect_acks: BTreeSet<NodeId>,
+    discover_acks: BTreeSet<NodeId>,
+    discover_best: Option<(Ballot, Outcome)>,
+    discover_all_yes: bool,
+    propose_acks: BTreeSet<NodeId>,
+    proposal: Option<Outcome>,
+}
+
+const WATCHDOG: u64 = 1;
+
+impl CncEngine {
+    /// Creates a participant. `vote_yes` is its 2PC/3PC vote; `init_value`
+    /// is the value it proposes if it coordinates and discovery leaves the
+    /// choice free.
+    pub fn new(cfg: CncConfig, init_value: u64, vote_yes: bool) -> Self {
+        CncEngine {
+            cfg,
+            init_value,
+            vote_yes,
+            promised: Ballot::ZERO,
+            accepted: None,
+            decided: None,
+            watchdog_timer: None,
+            phase: CoordPhase::Idle,
+            round: Ballot::ZERO,
+            elect_acks: BTreeSet::new(),
+            discover_acks: BTreeSet::new(),
+            discover_best: None,
+            discover_all_yes: true,
+            propose_acks: BTreeSet::new(),
+            proposal: None,
+        }
+    }
+
+    /// Whether this node ever coordinated a completed round.
+    pub fn coordinated(&self) -> bool {
+        self.phase == CoordPhase::Done
+    }
+
+    fn arm_watchdog(&mut self, ctx: &mut Context<CncMsg>) {
+        if let Some(base) = self.cfg.watchdog {
+            if let Some(t) = self.watchdog_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            // Stagger by id so cohorts don't duel during recovery.
+            let delay = base * (1 + u64::from(ctx.id().0));
+            self.watchdog_timer = Some(ctx.set_timer(delay, WATCHDOG));
+        }
+    }
+
+    fn start_round(&mut self, ctx: &mut Context<CncMsg>) {
+        self.round = self.promised.next_for(ctx.id());
+        self.elect_acks.clear();
+        self.discover_acks.clear();
+        self.discover_best = None;
+        self.discover_all_yes = true;
+        self.propose_acks.clear();
+        self.proposal = None;
+        match self.cfg.election_quorum {
+            Some(_) => {
+                self.phase = CoordPhase::Electing;
+                ctx.broadcast_all(CncMsg::ElectReq { round: self.round });
+            }
+            None => {
+                // Fixed coordinator skips phase 1.
+                self.phase = CoordPhase::Discovering;
+                ctx.broadcast_all(CncMsg::Discover { round: self.round });
+            }
+        }
+    }
+
+    fn enter_discovery(&mut self, ctx: &mut Context<CncMsg>) {
+        self.phase = CoordPhase::Discovering;
+        ctx.broadcast_all(CncMsg::Discover { round: self.round });
+    }
+
+    /// Recovery rounds (ballot num > 1) run the *termination protocol*: the
+    /// successor coordinator cannot wait for all cohorts (one may be dead),
+    /// so it proceeds with a majority and decides from discovered state.
+    fn in_recovery(&self) -> bool {
+        self.round.num > 1
+    }
+
+    fn discovery_complete(&self) -> bool {
+        match self.cfg.discovery {
+            DiscoveryPolicy::PriorAccepted { quorum } => self.discover_acks.len() >= quorum,
+            DiscoveryPolicy::UnanimousVotes => {
+                if self.in_recovery() {
+                    self.discover_acks.len() >= self.cfg.n / 2 + 1
+                } else {
+                    self.discover_acks.len() >= self.cfg.n
+                }
+            }
+        }
+    }
+
+    fn chose_outcome(&self) -> Outcome {
+        // A previously accepted outcome always wins: it may already be
+        // decided somewhere (Paxos invariant / 3PC termination rule).
+        if let Some((_, o)) = self.discover_best {
+            return o;
+        }
+        match self.cfg.discovery {
+            DiscoveryPolicy::PriorAccepted { .. } => Outcome::Commit(self.init_value),
+            DiscoveryPolicy::UnanimousVotes => {
+                if self.in_recovery() {
+                    // Termination rule: nobody in a majority pre-committed,
+                    // so no cohort can have decided commit — abort is safe.
+                    Outcome::Abort
+                } else if self.discover_all_yes {
+                    Outcome::Commit(self.init_value)
+                } else {
+                    Outcome::Abort
+                }
+            }
+        }
+    }
+
+    fn enter_agreement_or_decide(&mut self, ctx: &mut Context<CncMsg>) {
+        let outcome = self.chose_outcome();
+        self.proposal = Some(outcome);
+        match self.cfg.agreement_quorum {
+            Some(_) => {
+                self.phase = CoordPhase::Proposing;
+                ctx.broadcast_all(CncMsg::Propose {
+                    round: self.round,
+                    outcome,
+                });
+            }
+            None => self.decide_and_disseminate(ctx, outcome),
+        }
+    }
+
+    fn decide_and_disseminate(&mut self, ctx: &mut Context<CncMsg>, outcome: Outcome) {
+        self.phase = CoordPhase::Done;
+        ctx.broadcast_all(CncMsg::Decide {
+            round: self.round,
+            outcome,
+        });
+    }
+}
+
+impl Node for CncEngine {
+    type Msg = CncMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<CncMsg>) {
+        self.arm_watchdog(ctx);
+        let is_initial_coordinator = ctx.id() == NodeId(0);
+        if is_initial_coordinator {
+            self.start_round(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<CncMsg>, from: NodeId, msg: CncMsg) {
+        match msg {
+            // ---------- cohort logic ----------
+            CncMsg::ElectReq { round } => {
+                if round >= self.promised {
+                    self.promised = round;
+                    self.arm_watchdog(ctx);
+                    ctx.send(
+                        from,
+                        CncMsg::ElectAck {
+                            round,
+                            accepted: self.accepted,
+                        },
+                    );
+                }
+            }
+            CncMsg::Discover { round } => {
+                if round >= self.promised {
+                    self.promised = round;
+                    self.arm_watchdog(ctx);
+                    ctx.send(
+                        from,
+                        CncMsg::DiscoverAck {
+                            round,
+                            accepted: self.accepted,
+                            vote: self.vote_yes,
+                        },
+                    );
+                }
+            }
+            CncMsg::Propose { round, outcome } => {
+                if round >= self.promised {
+                    self.promised = round;
+                    self.accepted = Some((round, outcome));
+                    self.arm_watchdog(ctx);
+                    ctx.send(from, CncMsg::ProposeAck { round });
+                }
+            }
+            CncMsg::Decide { round: _, outcome } => {
+                if let Some(prev) = self.decided {
+                    assert_eq!(
+                        prev, outcome,
+                        "C&C safety violation: two different decisions at {}",
+                        ctx.id()
+                    );
+                } else {
+                    self.decided = Some(outcome);
+                    if let Some(t) = self.watchdog_timer.take() {
+                        ctx.cancel_timer(t);
+                    }
+                }
+            }
+
+            // ---------- coordinator logic ----------
+            CncMsg::ElectAck { round, accepted } => {
+                if self.phase == CoordPhase::Electing && round == self.round {
+                    self.elect_acks.insert(from);
+                    if let Some(acc) = accepted {
+                        if self.discover_best.is_none_or(|(b, _)| acc.0 > b) {
+                            self.discover_best = Some(acc);
+                        }
+                    }
+                    if self.elect_acks.len() >= self.cfg.election_quorum.unwrap_or(usize::MAX) {
+                        self.enter_discovery(ctx);
+                    }
+                }
+            }
+            CncMsg::DiscoverAck {
+                round,
+                accepted,
+                vote,
+            } => {
+                if self.phase == CoordPhase::Discovering && round == self.round {
+                    self.discover_acks.insert(from);
+                    if let Some(acc) = accepted {
+                        if self.discover_best.is_none_or(|(b, _)| acc.0 > b) {
+                            self.discover_best = Some(acc);
+                        }
+                    }
+                    if !vote {
+                        self.discover_all_yes = false;
+                    }
+                    if self.discovery_complete() {
+                        self.enter_agreement_or_decide(ctx);
+                    }
+                }
+            }
+            CncMsg::ProposeAck { round } => {
+                if self.phase == CoordPhase::Proposing && round == self.round {
+                    self.propose_acks.insert(from);
+                    if self.propose_acks.len() >= self.cfg.agreement_quorum.unwrap_or(usize::MAX) {
+                        let outcome = self.proposal.expect("proposing implies a proposal");
+                        self.decide_and_disseminate(ctx, outcome);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<CncMsg>, timer: Timer) {
+        if timer.kind == WATCHDOG && self.decided.is_none() {
+            // Termination protocol: become a candidate coordinator.
+            self.watchdog_timer = None;
+            if self.cfg.election_quorum.is_some() {
+                self.start_round(ctx);
+            }
+            self.arm_watchdog(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{NetConfig, RunOutcome, Sim, Time};
+
+    fn build(cfg: CncConfig, votes: &[bool], seed: u64) -> Sim<CncEngine> {
+        let mut sim = Sim::new(NetConfig::lan(), seed);
+        for (i, &v) in votes.iter().enumerate() {
+            sim.add_node(CncEngine::new(cfg, 100 + i as u64, v));
+        }
+        sim
+    }
+
+    fn decisions(sim: &Sim<CncEngine>) -> Vec<Option<Outcome>> {
+        sim.nodes().map(|(_, n)| n.decided).collect()
+    }
+
+    #[test]
+    fn abstract_paxos_decides_initial_value() {
+        let cfg = CncConfig::abstract_paxos(5);
+        let mut sim = build(cfg, &[true; 5], 1);
+        sim.run_until(Time::from_secs(2));
+        for d in decisions(&sim) {
+            assert_eq!(d, Some(Outcome::Commit(100)), "node 0's value chosen");
+        }
+    }
+
+    #[test]
+    fn abstract_paxos_runs_all_four_phases() {
+        let cfg = CncConfig::abstract_paxos(5);
+        let mut sim = build(cfg, &[true; 5], 2);
+        sim.run_until(Time::from_secs(2));
+        let m = sim.metrics();
+        for kind in [
+            "elect-req",
+            "elect-ack",
+            "discover",
+            "discover-ack",
+            "propose",
+            "propose-ack",
+            "decide",
+        ] {
+            assert!(m.kind(kind) > 0, "phase message {kind} missing");
+        }
+    }
+
+    #[test]
+    fn abstract_2pc_commits_on_unanimous_yes() {
+        let cfg = CncConfig::abstract_2pc(4);
+        let mut sim = build(cfg, &[true; 4], 3);
+        sim.run_until(Time::from_secs(1));
+        for d in decisions(&sim) {
+            assert_eq!(d, Some(Outcome::Commit(100)));
+        }
+        // No election, no agreement phase messages.
+        assert_eq!(sim.metrics().kind("elect-req"), 0);
+        assert_eq!(sim.metrics().kind("propose"), 0);
+    }
+
+    #[test]
+    fn abstract_2pc_aborts_on_any_no() {
+        let cfg = CncConfig::abstract_2pc(4);
+        let mut sim = build(cfg, &[true, true, false, true], 4);
+        sim.run_until(Time::from_secs(1));
+        for d in decisions(&sim) {
+            assert_eq!(d, Some(Outcome::Abort));
+        }
+    }
+
+    #[test]
+    fn abstract_2pc_blocks_on_coordinator_crash() {
+        let cfg = CncConfig::abstract_2pc(4);
+        let mut sim = build(cfg, &[true; 4], 5);
+        // Crash the coordinator right after it collects votes but before
+        // it can have disseminated a decision (votes arrive ≥ 300µs).
+        sim.crash_at(NodeId(0), Time(100));
+        let outcome = sim.run_until(Time::from_secs(5));
+        assert_eq!(outcome, RunOutcome::Quiescent, "2PC has nothing to do");
+        for (id, d) in decisions(&sim).into_iter().enumerate().skip(1) {
+            assert_eq!(d, None, "cohort n{id} should be blocked");
+        }
+    }
+
+    #[test]
+    fn abstract_3pc_terminates_despite_coordinator_crash() {
+        let cfg = CncConfig::abstract_3pc(5);
+        let mut sim = build(cfg, &[true; 5], 6);
+        sim.crash_at(NodeId(0), Time(100));
+        sim.run_until(Time::from_secs(5));
+        for (id, d) in decisions(&sim).into_iter().enumerate().skip(1) {
+            assert!(d.is_some(), "cohort n{id} must terminate");
+        }
+        // All survivors agree.
+        let set: std::collections::BTreeSet<_> = decisions(&sim)
+            .into_iter()
+            .skip(1)
+            .map(|d| format!("{d:?}"))
+            .collect();
+        assert_eq!(set.len(), 1, "divergent decisions: {set:?}");
+    }
+
+    #[test]
+    fn abstract_3pc_successor_adopts_precommitted_outcome() {
+        let cfg = CncConfig::abstract_3pc(5);
+        let mut sim = build(cfg, &[true; 5], 7);
+        // Let the coordinator reach the propose phase (≈ 4 message delays),
+        // then crash it before dissemination completes.
+        sim.crash_at(NodeId(0), Time(2_600));
+        sim.run_until(Time::from_secs(5));
+        let survivors: Vec<_> = decisions(&sim).into_iter().skip(1).flatten().collect();
+        assert_eq!(survivors.len(), 4);
+        for d in survivors {
+            assert_eq!(
+                d,
+                Outcome::Commit(100),
+                "pre-committed value must be recovered, not re-chosen"
+            );
+        }
+    }
+
+    #[test]
+    fn paxos_recovers_accepted_value_after_leader_crash() {
+        // The slide's leader-crash figure: value v accepted by a majority,
+        // leader dies, new leader must recover v.
+        let cfg = CncConfig::abstract_paxos(5);
+        let mut sim = build(cfg, &[true; 5], 8);
+        // Propose goes out at ~3 delays (~2 ms with LAN); crash after
+        // acceptance but likely before Decide dissemination.
+        sim.crash_at(NodeId(0), Time(3_000));
+        sim.run_until(Time::from_secs(5));
+        let survivors: Vec<_> = decisions(&sim).into_iter().skip(1).flatten().collect();
+        assert!(!survivors.is_empty(), "termination protocol must kick in");
+        for d in &survivors {
+            assert_eq!(*d, Outcome::Commit(100));
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let run = |seed| {
+            let cfg = CncConfig::abstract_paxos(5);
+            let mut sim = build(cfg, &[true; 5], seed);
+            sim.crash_at(NodeId(0), Time(3_000));
+            sim.run_until(Time::from_secs(5));
+            (decisions(&sim), sim.metrics().sent)
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,0 +1,41 @@
+//! # consensus-core — the tutorial's own contributions
+//!
+//! This crate implements the conceptual machinery of *"Modern Large-Scale
+//! Data Management Systems after 40 Years of Consensus"* (Amiri, Agrawal,
+//! El Abbadi, ICDE 2020):
+//!
+//! * [`taxonomy`] — the five-aspect classification (synchrony mode, failure
+//!   model, processing strategy, participant awareness, complexity metrics)
+//!   and the per-protocol "info cards" shown throughout the tutorial. The
+//!   benchmark harness cross-checks every card against measured behaviour.
+//! * [`ballot`] — totally ordered `⟨num, process id⟩` ballots, exactly as in
+//!   the Paxos slides.
+//! * [`quorum`] — quorum systems: majority, Byzantine (`2f+1` of `3f+1`),
+//!   flexible (FPaxos' generalized quorum condition), grid, and the hybrid
+//!   `m`-malicious/`c`-crash systems of UpRight/SeeMoRe, with intersection
+//!   checkers used by property tests.
+//! * [`smr`] — state machine replication building blocks: commands, a
+//!   replicated log, and deterministic state machines (key-value store,
+//!   counter, bank).
+//! * [`workload`] — deterministic client workload generators and latency
+//!   recording shared by all protocol crates and the bench harness.
+//! * [`cnc`] — the **Consensus & Commitment (C&C) framework**: every
+//!   leader-based agreement protocol as *Leader Election → Value Discovery →
+//!   Fault-tolerant Agreement → Decision*, including a runnable generic
+//!   engine whose configurations yield abstract Paxos, abstract 2PC, and
+//!   abstract (fault-tolerant) 3PC.
+
+pub mod ballot;
+pub mod cnc;
+pub mod quorum;
+pub mod smr;
+pub mod taxonomy;
+pub mod workload;
+
+pub use ballot::Ballot;
+pub use quorum::QuorumSpec;
+pub use smr::{Bank, BankOp, BankResponse, Command, DedupKvMachine, KvCommand, KvResponse, KvStore, ReplicatedLog, SmrOp, StateMachine};
+pub use taxonomy::{
+    ComplexityClass, FailureModel, NodeBound, ParticipantAwareness, ProcessingStrategy,
+    ProtocolCard,
+};

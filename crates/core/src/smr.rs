@@ -1,0 +1,816 @@
+//! State machine replication building blocks.
+//!
+//! The tutorial's SMR picture: clients submit commands; a consensus module
+//! on each server agrees on a single order; every server applies the same
+//! deterministic commands in the same order, so replicas stay consistent.
+//! This module provides the pieces every protocol crate shares: a generic
+//! [`StateMachine`], concrete deterministic machines, and a [`ReplicatedLog`]
+//! that applies entries strictly in order ("server waits for previous log
+//! entries to be applied, then applies the new command").
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A deterministic command with a client-visible identity, so replies can be
+/// matched to requests and duplicates suppressed.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Command<Op> {
+    /// Issuing client.
+    pub client: u32,
+    /// Client-local sequence number (monotone per client).
+    pub seq: u64,
+    /// The operation to apply.
+    pub op: Op,
+}
+
+impl<Op: fmt::Display> fmt::Display for Command<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}#{}: {}", self.client, self.seq, self.op)
+    }
+}
+
+/// A deterministic state machine: same commands in the same order ⇒ same
+/// state and same outputs on every replica.
+pub trait StateMachine: Default {
+    /// Operations this machine executes.
+    type Op: Clone + fmt::Debug;
+    /// Responses it produces.
+    type Output: Clone + fmt::Debug + PartialEq;
+
+    /// Applies one operation and returns its output.
+    fn apply(&mut self, op: &Self::Op) -> Self::Output;
+
+    /// A digest of the current state, used for checkpoint agreement (PBFT)
+    /// and divergence detection in tests. Must be a pure function of the
+    /// applied history.
+    fn digest(&self) -> u64;
+}
+
+/// Operations of the replicated key-value store used by the examples and
+/// most experiments.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum KvCommand {
+    /// Bind `key` to `value`.
+    Put {
+        /// Key to write.
+        key: String,
+        /// Value to store.
+        value: String,
+    },
+    /// Read `key`.
+    Get {
+        /// Key to read.
+        key: String,
+    },
+    /// Remove `key`.
+    Delete {
+        /// Key to remove.
+        key: String,
+    },
+    /// Compare-and-swap: set `key` to `new` iff it currently equals
+    /// `expect`.
+    Cas {
+        /// Key to update.
+        key: String,
+        /// Expected current value.
+        expect: String,
+        /// Replacement value.
+        new: String,
+    },
+}
+
+impl fmt::Display for KvCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvCommand::Put { key, value } => write!(f, "put {key}={value}"),
+            KvCommand::Get { key } => write!(f, "get {key}"),
+            KvCommand::Delete { key } => write!(f, "del {key}"),
+            KvCommand::Cas { key, expect, new } => write!(f, "cas {key}:{expect}→{new}"),
+        }
+    }
+}
+
+/// Replies of the key-value store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvResponse {
+    /// Write acknowledged.
+    Ok,
+    /// Read result (None = absent).
+    Value(Option<String>),
+    /// CAS outcome.
+    CasResult {
+        /// Whether the swap happened.
+        swapped: bool,
+    },
+}
+
+/// A deterministic in-memory key-value store.
+#[derive(Clone, Debug, Default)]
+pub struct KvStore {
+    map: BTreeMap<String, String>,
+    applied: u64,
+}
+
+impl KvStore {
+    /// Direct read access (test assertions).
+    pub fn get(&self, key: &str) -> Option<&String> {
+        self.map.get(key)
+    }
+
+    /// Number of operations applied.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl StateMachine for KvStore {
+    type Op = KvCommand;
+    type Output = KvResponse;
+
+    fn apply(&mut self, op: &KvCommand) -> KvResponse {
+        self.applied += 1;
+        match op {
+            KvCommand::Put { key, value } => {
+                self.map.insert(key.clone(), value.clone());
+                KvResponse::Ok
+            }
+            KvCommand::Get { key } => KvResponse::Value(self.map.get(key).cloned()),
+            KvCommand::Delete { key } => {
+                self.map.remove(key);
+                KvResponse::Ok
+            }
+            KvCommand::Cas { key, expect, new } => {
+                let swapped = match self.map.get(key) {
+                    Some(v) if v == expect => {
+                        self.map.insert(key.clone(), new.clone());
+                        true
+                    }
+                    _ => false,
+                };
+                KvResponse::CasResult { swapped }
+            }
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        // FNV-1a over the sorted map plus the applied count: cheap, stable,
+        // and collision-resistant enough for divergence detection in tests.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for (k, v) in &self.map {
+            mix(k.as_bytes());
+            mix(&[0xFF]);
+            mix(v.as_bytes());
+            mix(&[0xFE]);
+        }
+        mix(&self.applied.to_le_bytes());
+        h
+    }
+}
+
+/// A trivial counter machine — handy where the value under agreement is a
+/// single integer (the tutorial's "agree on a single value" examples).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    /// Current total.
+    pub total: i64,
+    applied: u64,
+}
+
+impl StateMachine for Counter {
+    type Op = i64;
+    type Output = i64;
+
+    fn apply(&mut self, op: &i64) -> i64 {
+        self.applied += 1;
+        self.total += op;
+        self.total
+    }
+
+    fn digest(&self) -> u64 {
+        (self.total as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.applied
+    }
+}
+
+/// The status of one log slot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Slot<Op> {
+    /// Nothing known for this index.
+    Empty,
+    /// A value has been decided (consensus reached) but not yet applied.
+    Decided(Op),
+    /// Decided and applied to the state machine.
+    Applied(Op),
+}
+
+/// A replicated log with in-order application.
+///
+/// The consensus module decides values for arbitrary indices (possibly out
+/// of order — Multi-Paxos instances are independent); the log applies them
+/// to the state machine strictly sequentially, exactly as in the tutorial's
+/// Multi-Paxos step 3.
+#[derive(Debug)]
+pub struct ReplicatedLog<S: StateMachine> {
+    slots: Vec<Slot<S::Op>>,
+    machine: S,
+    next_apply: usize,
+    outputs: Vec<(usize, S::Output)>,
+}
+
+impl<S: StateMachine> Default for ReplicatedLog<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: StateMachine> ReplicatedLog<S> {
+    /// Creates an empty log over a fresh state machine.
+    pub fn new() -> Self {
+        ReplicatedLog {
+            slots: Vec::new(),
+            machine: S::default(),
+            next_apply: 0,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Records the decision for `index` and applies every newly contiguous
+    /// prefix entry. Returns the outputs produced by this call in order.
+    ///
+    /// Re-deciding an index with the same value is idempotent; deciding it
+    /// with a *different* value panics — that is a safety violation the
+    /// protocol must never commit.
+    pub fn decide(&mut self, index: usize, op: S::Op) -> Vec<(usize, S::Output)>
+    where
+        S::Op: PartialEq + fmt::Debug,
+    {
+        if self.slots.len() <= index {
+            self.slots.resize_with(index + 1, || Slot::Empty);
+        }
+        match &self.slots[index] {
+            Slot::Empty => self.slots[index] = Slot::Decided(op),
+            Slot::Decided(existing) | Slot::Applied(existing) => {
+                assert!(
+                    *existing == op,
+                    "safety violation: slot {index} decided twice with different values: {existing:?} vs {op:?}"
+                );
+                return Vec::new();
+            }
+        }
+        self.drain_appliable()
+    }
+
+    fn drain_appliable(&mut self) -> Vec<(usize, S::Output)>
+    where
+        S::Op: PartialEq + fmt::Debug,
+    {
+        let mut produced = Vec::new();
+        while self.next_apply < self.slots.len() {
+            let i = self.next_apply;
+            let op = match &self.slots[i] {
+                Slot::Decided(op) => op.clone(),
+                _ => break,
+            };
+            let out = self.machine.apply(&op);
+            self.slots[i] = Slot::Applied(op);
+            self.outputs.push((i, out.clone()));
+            produced.push((i, out));
+            self.next_apply += 1;
+        }
+        produced
+    }
+
+    /// Index of the next unapplied slot (= length of the applied prefix).
+    pub fn applied_len(&self) -> usize {
+        self.next_apply
+    }
+
+    /// Total slots touched (decided or applied), including gaps.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing has been decided.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The state of slot `index`.
+    pub fn slot(&self, index: usize) -> &Slot<S::Op> {
+        self.slots.get(index).unwrap_or(&Slot::Empty)
+    }
+
+    /// The underlying state machine.
+    pub fn machine(&self) -> &S {
+        &self.machine
+    }
+
+    /// All outputs produced so far, in application order.
+    pub fn outputs(&self) -> &[(usize, S::Output)] {
+        &self.outputs
+    }
+
+    /// Drops applied entries up to `index` (exclusive), modelling PBFT-style
+    /// checkpoint garbage collection. The state machine retains the effect.
+    /// Returns how many slots were truncated. Slots keep their absolute
+    /// indices; truncated slots read as `Applied` history being gone, so
+    /// `slot()` reports `Empty` for them — callers must consult
+    /// [`ReplicatedLog::applied_len`] first, as PBFT's checkpoint protocol
+    /// does.
+    pub fn truncate_prefix(&mut self, index: usize) -> usize {
+        let cut = index.min(self.next_apply);
+        let mut freed = 0;
+        for slot in self.slots.iter_mut().take(cut) {
+            if !matches!(slot, Slot::Empty) {
+                *slot = Slot::Empty;
+                freed += 1;
+            }
+        }
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn put(k: &str, v: &str) -> KvCommand {
+        KvCommand::Put {
+            key: k.into(),
+            value: v.into(),
+        }
+    }
+
+    #[test]
+    fn kv_basic_ops() {
+        let mut kv = KvStore::default();
+        assert_eq!(kv.apply(&put("a", "1")), KvResponse::Ok);
+        assert_eq!(
+            kv.apply(&KvCommand::Get { key: "a".into() }),
+            KvResponse::Value(Some("1".into()))
+        );
+        assert_eq!(
+            kv.apply(&KvCommand::Cas {
+                key: "a".into(),
+                expect: "1".into(),
+                new: "2".into()
+            }),
+            KvResponse::CasResult { swapped: true }
+        );
+        assert_eq!(
+            kv.apply(&KvCommand::Cas {
+                key: "a".into(),
+                expect: "1".into(),
+                new: "3".into()
+            }),
+            KvResponse::CasResult { swapped: false }
+        );
+        kv.apply(&KvCommand::Delete { key: "a".into() });
+        assert_eq!(
+            kv.apply(&KvCommand::Get { key: "a".into() }),
+            KvResponse::Value(None)
+        );
+        assert_eq!(kv.applied(), 6);
+    }
+
+    #[test]
+    fn kv_digest_detects_divergence() {
+        let mut a = KvStore::default();
+        let mut b = KvStore::default();
+        a.apply(&put("x", "1"));
+        b.apply(&put("x", "2"));
+        assert_ne!(a.digest(), b.digest());
+        let mut c = KvStore::default();
+        c.apply(&put("x", "1"));
+        assert_eq!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn log_applies_in_order_despite_out_of_order_decisions() {
+        let mut log: ReplicatedLog<Counter> = ReplicatedLog::new();
+        assert!(log.decide(2, 30).is_empty());
+        assert!(log.decide(1, 20).is_empty());
+        let out = log.decide(0, 10);
+        // Deciding index 0 unblocks 1 and 2.
+        assert_eq!(out, vec![(0, 10), (1, 30), (2, 60)]);
+        assert_eq!(log.applied_len(), 3);
+        assert_eq!(log.machine().total, 60);
+    }
+
+    #[test]
+    fn log_decide_is_idempotent() {
+        let mut log: ReplicatedLog<Counter> = ReplicatedLog::new();
+        log.decide(0, 5);
+        let again = log.decide(0, 5);
+        assert!(again.is_empty());
+        assert_eq!(log.machine().total, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "safety violation")]
+    fn log_panics_on_conflicting_decision() {
+        let mut log: ReplicatedLog<Counter> = ReplicatedLog::new();
+        log.decide(0, 5);
+        log.decide(0, 6);
+    }
+
+    #[test]
+    fn truncate_prefix_frees_applied_slots_only() {
+        let mut log: ReplicatedLog<Counter> = ReplicatedLog::new();
+        for i in 0..5 {
+            log.decide(i, 1);
+        }
+        log.decide(7, 1); // gap at 5,6; 7 stays Decided
+        assert_eq!(log.applied_len(), 5);
+        let freed = log.truncate_prefix(10); // capped at applied prefix
+        assert_eq!(freed, 5);
+        assert_eq!(*log.slot(7), Slot::Decided(1));
+        assert_eq!(log.machine().total, 5, "state machine keeps the effect");
+    }
+
+    #[test]
+    fn command_display() {
+        let c = Command {
+            client: 3,
+            seq: 9,
+            op: put("k", "v"),
+        };
+        assert_eq!(c.to_string(), "c3#9: put k=v");
+    }
+
+    proptest! {
+        /// Two replicas applying any same command sequence in the same order
+        /// reach identical digests (determinism — the SMR premise).
+        #[test]
+        fn prop_kv_determinism(ops in proptest::collection::vec(0u8..4, 0..40)) {
+            let cmds: Vec<KvCommand> = ops.iter().enumerate().map(|(i, &o)| {
+                let key = format!("k{}", i % 5);
+                match o {
+                    0 => KvCommand::Put { key, value: format!("v{i}") },
+                    1 => KvCommand::Get { key },
+                    2 => KvCommand::Delete { key },
+                    _ => KvCommand::Cas { key, expect: format!("v{}", i.saturating_sub(5)), new: format!("w{i}") },
+                }
+            }).collect();
+            let mut a = KvStore::default();
+            let mut b = KvStore::default();
+            let outs_a: Vec<_> = cmds.iter().map(|c| a.apply(c)).collect();
+            let outs_b: Vec<_> = cmds.iter().map(|c| b.apply(c)).collect();
+            prop_assert_eq!(outs_a, outs_b);
+            prop_assert_eq!(a.digest(), b.digest());
+        }
+
+        /// The log applies every decided prefix exactly once, in index
+        /// order, no matter in what order decisions arrive.
+        #[test]
+        fn prop_log_order_independence(order in Just((0..8usize).collect::<Vec<_>>()).prop_shuffle()) {
+            let mut log: ReplicatedLog<Counter> = ReplicatedLog::new();
+            for &i in &order {
+                log.decide(i, i as i64 + 1);
+            }
+            prop_assert_eq!(log.applied_len(), 8);
+            let outputs: Vec<usize> = log.outputs().iter().map(|(i, _)| *i).collect();
+            prop_assert_eq!(outputs, (0..8).collect::<Vec<_>>());
+        }
+    }
+}
+
+/// A log operation shared by the SMR protocol crates: a client command or a
+/// leader-change no-op.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SmrOp {
+    /// Gap filler proposed during leader recovery; applies nothing.
+    Noop,
+    /// A client command.
+    Cmd(Command<KvCommand>),
+}
+
+impl std::fmt::Display for SmrOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmrOp::Noop => f.write_str("noop"),
+            SmrOp::Cmd(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A key-value machine with built-in duplicate suppression: the client table
+/// (last applied sequence number and cached reply per client) is part of the
+/// deterministic state, so replicas dedup identically.
+#[derive(Clone, Debug, Default)]
+pub struct DedupKvMachine {
+    kv: KvStore,
+    client_table: BTreeMap<u32, (u64, KvResponse)>,
+}
+
+impl DedupKvMachine {
+    /// Cached reply for `(client, seq)` if that command (or a later one from
+    /// the same client) already applied.
+    pub fn cached(&self, client: u32, seq: u64) -> Option<&KvResponse> {
+        self.client_table
+            .get(&client)
+            .filter(|(s, _)| *s >= seq)
+            .map(|(_, out)| out)
+    }
+
+    /// The underlying store.
+    pub fn kv(&self) -> &KvStore {
+        &self.kv
+    }
+}
+
+impl StateMachine for DedupKvMachine {
+    type Op = SmrOp;
+    type Output = Option<KvResponse>;
+
+    fn apply(&mut self, op: &SmrOp) -> Option<KvResponse> {
+        match op {
+            SmrOp::Noop => None,
+            SmrOp::Cmd(cmd) => {
+                if let Some((last, out)) = self.client_table.get(&cmd.client) {
+                    if cmd.seq <= *last {
+                        return Some(out.clone());
+                    }
+                }
+                let out = self.kv.apply(&cmd.op);
+                self.client_table.insert(cmd.client, (cmd.seq, out.clone()));
+                Some(out)
+            }
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let mut h = self.kv.digest();
+        for (c, (s, _)) in &self.client_table {
+            h = h
+                .rotate_left(7)
+                .wrapping_add(u64::from(*c).wrapping_mul(31).wrapping_add(*s));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod dedup_tests {
+    use super::*;
+
+    fn cmd(client: u32, seq: u64, key: &str, value: &str) -> SmrOp {
+        SmrOp::Cmd(Command {
+            client,
+            seq,
+            op: KvCommand::Put {
+                key: key.into(),
+                value: value.into(),
+            },
+        })
+    }
+
+    #[test]
+    fn duplicates_return_cached_output_without_reapplying() {
+        let mut m = DedupKvMachine::default();
+        m.apply(&cmd(1, 0, "k", "a"));
+        let applied_before = m.kv().applied();
+        let out = m.apply(&cmd(1, 0, "k", "a"));
+        assert_eq!(out, Some(KvResponse::Ok));
+        assert_eq!(m.kv().applied(), applied_before, "no re-application");
+    }
+
+    #[test]
+    fn noop_applies_nothing() {
+        let mut m = DedupKvMachine::default();
+        assert_eq!(m.apply(&SmrOp::Noop), None);
+        assert_eq!(m.kv().applied(), 0);
+    }
+
+    #[test]
+    fn cached_respects_sequence_order() {
+        let mut m = DedupKvMachine::default();
+        m.apply(&cmd(2, 5, "k", "v"));
+        assert!(m.cached(2, 5).is_some());
+        assert!(m.cached(2, 4).is_some(), "older seqs count as applied");
+        assert!(m.cached(2, 6).is_none());
+        assert!(m.cached(3, 0).is_none());
+    }
+
+    #[test]
+    fn digest_includes_client_table() {
+        let mut a = DedupKvMachine::default();
+        let mut b = DedupKvMachine::default();
+        a.apply(&cmd(1, 0, "k", "v"));
+        b.apply(&cmd(1, 1, "k", "v"));
+        assert_ne!(a.digest(), b.digest(), "same kv, different client table");
+    }
+}
+
+/// Operations of the bank state machine — a second deterministic machine
+/// whose invariant (conservation of money) is the classic SMR correctness
+/// probe: if replicas ever diverge, totals stop matching.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BankOp {
+    /// Create `account` with `balance` (no-op if it exists).
+    Open {
+        /// Account id.
+        account: u32,
+        /// Initial balance (minted — the only way money enters).
+        balance: u64,
+    },
+    /// Move `amount` from one account to another; fails (without effect)
+    /// on insufficient funds or missing accounts.
+    Transfer {
+        /// Source account.
+        from: u32,
+        /// Destination account.
+        to: u32,
+        /// Amount to move.
+        amount: u64,
+    },
+    /// Read a balance.
+    Balance {
+        /// Account id.
+        account: u32,
+    },
+}
+
+/// Replies of the bank machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BankResponse {
+    /// Operation applied.
+    Ok,
+    /// Transfer refused (insufficient funds / unknown account).
+    Refused,
+    /// Balance read result (`None` = unknown account).
+    Balance(Option<u64>),
+}
+
+/// A deterministic in-memory bank.
+#[derive(Clone, Debug, Default)]
+pub struct Bank {
+    accounts: BTreeMap<u32, u64>,
+    /// Total money ever minted via `Open` — the conservation target.
+    minted: u64,
+    applied: u64,
+}
+
+impl Bank {
+    /// Sum of all balances. Must equal [`Bank::minted`] at all times.
+    pub fn total(&self) -> u64 {
+        self.accounts.values().sum()
+    }
+
+    /// Money minted so far.
+    pub fn minted(&self) -> u64 {
+        self.minted
+    }
+
+    /// Direct read access.
+    pub fn balance(&self, account: u32) -> Option<u64> {
+        self.accounts.get(&account).copied()
+    }
+
+    /// The conservation invariant.
+    pub fn conserved(&self) -> bool {
+        self.total() == self.minted
+    }
+}
+
+impl StateMachine for Bank {
+    type Op = BankOp;
+    type Output = BankResponse;
+
+    fn apply(&mut self, op: &BankOp) -> BankResponse {
+        self.applied += 1;
+        match op {
+            BankOp::Open { account, balance } => {
+                if self.accounts.contains_key(account) {
+                    BankResponse::Refused
+                } else {
+                    self.accounts.insert(*account, *balance);
+                    self.minted += balance;
+                    BankResponse::Ok
+                }
+            }
+            BankOp::Transfer { from, to, amount } => {
+                if from == to {
+                    return BankResponse::Refused;
+                }
+                match (self.accounts.get(from).copied(), self.accounts.get(to)) {
+                    (Some(src), Some(_)) if src >= *amount => {
+                        *self.accounts.get_mut(from).expect("checked") -= amount;
+                        *self.accounts.get_mut(to).expect("checked") += amount;
+                        BankResponse::Ok
+                    }
+                    _ => BankResponse::Refused,
+                }
+            }
+            BankOp::Balance { account } => BankResponse::Balance(self.balance(*account)),
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (a, b) in &self.accounts {
+            h ^= u64::from(*a).rotate_left(17) ^ b.rotate_left(43);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ self.applied
+    }
+}
+
+#[cfg(test)]
+mod bank_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn transfers_move_money_conservatively() {
+        let mut bank = Bank::default();
+        assert_eq!(bank.apply(&BankOp::Open { account: 1, balance: 100 }), BankResponse::Ok);
+        assert_eq!(bank.apply(&BankOp::Open { account: 2, balance: 50 }), BankResponse::Ok);
+        assert_eq!(
+            bank.apply(&BankOp::Transfer { from: 1, to: 2, amount: 30 }),
+            BankResponse::Ok
+        );
+        assert_eq!(bank.balance(1), Some(70));
+        assert_eq!(bank.balance(2), Some(80));
+        assert!(bank.conserved());
+    }
+
+    #[test]
+    fn refusals_have_no_effect() {
+        let mut bank = Bank::default();
+        bank.apply(&BankOp::Open { account: 1, balance: 10 });
+        let before = bank.clone();
+        // Overdraft.
+        assert_eq!(
+            bank.apply(&BankOp::Transfer { from: 1, to: 2, amount: 99 }),
+            BankResponse::Refused
+        );
+        // Unknown destination.
+        assert_eq!(
+            bank.apply(&BankOp::Transfer { from: 1, to: 9, amount: 1 }),
+            BankResponse::Refused
+        );
+        // Self transfer.
+        assert_eq!(
+            bank.apply(&BankOp::Transfer { from: 1, to: 1, amount: 1 }),
+            BankResponse::Refused
+        );
+        // Re-open.
+        assert_eq!(bank.apply(&BankOp::Open { account: 1, balance: 5 }), BankResponse::Refused);
+        assert_eq!(bank.balance(1), before.balance(1));
+        assert!(bank.conserved());
+    }
+
+    proptest! {
+        /// Money is conserved under any operation sequence, and two
+        /// replicas applying the same sequence agree exactly.
+        #[test]
+        fn prop_conservation_and_determinism(
+            ops in proptest::collection::vec((0u8..3, 0u32..6, 0u32..6, 0u64..200), 0..80)
+        ) {
+            let cmds: Vec<BankOp> = ops.into_iter().map(|(k, a, b, amt)| match k {
+                0 => BankOp::Open { account: a, balance: amt },
+                1 => BankOp::Transfer { from: a, to: b, amount: amt },
+                _ => BankOp::Balance { account: a },
+            }).collect();
+            let mut x = Bank::default();
+            let mut y = Bank::default();
+            for c in &cmds {
+                let ox = x.apply(c);
+                let oy = y.apply(c);
+                prop_assert_eq!(ox, oy);
+                prop_assert!(x.conserved(), "money leaked: total {} vs minted {}", x.total(), x.minted());
+            }
+            prop_assert_eq!(x.digest(), y.digest());
+        }
+
+        /// Transfers never create negative balances (all u64 math checked).
+        #[test]
+        fn prop_no_overdrafts(amounts in proptest::collection::vec(0u64..100, 1..40)) {
+            let mut bank = Bank::default();
+            bank.apply(&BankOp::Open { account: 0, balance: 50 });
+            bank.apply(&BankOp::Open { account: 1, balance: 0 });
+            for amt in amounts {
+                bank.apply(&BankOp::Transfer { from: 0, to: 1, amount: amt });
+                prop_assert!(bank.balance(0).unwrap() <= 50);
+                prop_assert!(bank.conserved());
+            }
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! The tutorial's five-aspect taxonomy and per-protocol info cards.
+//!
+//! Every protocol the tutorial surveys carries a card listing its position
+//! along the five aspects plus its complexity metrics (number of nodes,
+//! number of communication phases, message complexity). This module encodes
+//! all of those cards verbatim; `consensus-bench`'s experiment **T1** runs
+//! each protocol and cross-checks the measured node count, phase count, and
+//! message growth against its card.
+
+use std::fmt;
+
+pub use simnet::Synchrony;
+
+/// Second aspect: the failure model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FailureModel {
+    /// Nodes may stop (and possibly restart) but never lie.
+    Crash,
+    /// Faulty nodes may behave arbitrarily, including maliciously.
+    Byzantine,
+    /// Some nodes may crash while others behave maliciously
+    /// (UpRight/SeeMoRe's `m` malicious + `c` crash, XFT's `c + m + p`).
+    Hybrid,
+}
+
+/// Third aspect: the processing strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProcessingStrategy {
+    /// Replicas agree on the order before executing; identical from the
+    /// start; tolerates the maximum number of concurrent failures.
+    Pessimistic,
+    /// Replicas speculatively execute before the order is definitively
+    /// established and may diverge temporarily (Zyzzyva, CheapBFT's
+    /// active/passive scheme, eventual consistency).
+    Optimistic,
+}
+
+/// Fourth aspect: participant awareness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParticipantAwareness {
+    /// The participant set is known and identified; failures bounded by `f`.
+    Known,
+    /// Open membership — permissionless blockchains; agreement by
+    /// computation (mining) or stake rather than communication quorums.
+    Unknown,
+}
+
+/// How many nodes the protocol needs, as a function of the fault bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeBound {
+    /// `2f + 1` — crash-tolerant quorum protocols (Paxos, Raft) and
+    /// trusted-component BFT (MinBFT, XFT).
+    TwoFPlusOne,
+    /// `3f + 1` — Byzantine agreement without trusted components.
+    ThreeFPlusOne,
+    /// `f + 1` active replicas out of a larger pool (CheapBFT's CheapTiny).
+    FPlusOneActive,
+    /// `3m + 2c + 1` for `m` malicious and `c` crash faults
+    /// (UpRight, SeeMoRe).
+    HybridMC,
+    /// No fixed bound — open participation.
+    Open,
+}
+
+impl NodeBound {
+    /// Minimum total nodes for the given fault bounds (`f` doubles as `m`
+    /// for hybrid models).
+    pub fn required(self, f: usize, c: usize) -> Option<usize> {
+        match self {
+            NodeBound::TwoFPlusOne => Some(2 * f + 1),
+            NodeBound::ThreeFPlusOne => Some(3 * f + 1),
+            NodeBound::FPlusOneActive => Some(f + 1),
+            NodeBound::HybridMC => Some(3 * f + 2 * c + 1),
+            NodeBound::Open => None,
+        }
+    }
+}
+
+impl fmt::Display for NodeBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeBound::TwoFPlusOne => "2f+1",
+            NodeBound::ThreeFPlusOne => "3f+1",
+            NodeBound::FPlusOneActive => "f+1 active",
+            NodeBound::HybridMC => "3m+2c+1",
+            NodeBound::Open => "open",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Asymptotic message complexity of the common case, in the number of nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ComplexityClass {
+    /// `O(N)` — leader-centric star communication.
+    Linear,
+    /// `O(N²)` — all-to-all phases (PBFT prepare/commit).
+    Quadratic,
+    /// `O(N³)` — PBFT's view change.
+    Cubic,
+}
+
+impl fmt::Display for ComplexityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComplexityClass::Linear => "O(N)",
+            ComplexityClass::Quadratic => "O(N²)",
+            ComplexityClass::Cubic => "O(N³)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A protocol's info card, exactly as shown on its introductory slide.
+#[derive(Clone, Debug)]
+pub struct ProtocolCard {
+    /// Protocol name.
+    pub name: &'static str,
+    /// First aspect.
+    pub synchrony: Synchrony,
+    /// Second aspect.
+    pub failure: FailureModel,
+    /// Third aspect.
+    pub strategy: ProcessingStrategy,
+    /// Fourth aspect.
+    pub awareness: ParticipantAwareness,
+    /// Node requirement.
+    pub nodes: NodeBound,
+    /// Communication phases in the common case, as printed on the card
+    /// (e.g. "2", "1 or 3", "7").
+    pub phases: &'static str,
+    /// Common-case message complexity.
+    pub complexity: ComplexityClass,
+    /// Primary citation shown on the slide.
+    pub reference: &'static str,
+}
+
+/// All protocol cards from the tutorial, in presentation order.
+pub fn all_cards() -> Vec<ProtocolCard> {
+    use ComplexityClass::*;
+    use FailureModel::*;
+    use NodeBound::*;
+    use ParticipantAwareness::*;
+    use ProcessingStrategy::*;
+    use Synchrony::*;
+
+    vec![
+        ProtocolCard {
+            name: "Paxos",
+            synchrony: PartiallySynchronous,
+            failure: Crash,
+            strategy: Pessimistic,
+            awareness: Known,
+            nodes: TwoFPlusOne,
+            phases: "2",
+            complexity: Linear,
+            reference: "Lamport, The Part-Time Parliament, TOCS 1998",
+        },
+        ProtocolCard {
+            name: "Raft",
+            synchrony: PartiallySynchronous,
+            failure: Crash,
+            strategy: Pessimistic,
+            awareness: Known,
+            nodes: TwoFPlusOne,
+            phases: "2",
+            complexity: Linear,
+            reference: "Ongaro & Ousterhout, USENIX ATC 2014",
+        },
+        ProtocolCard {
+            name: "Fast Paxos",
+            synchrony: PartiallySynchronous,
+            failure: Crash,
+            strategy: Pessimistic,
+            awareness: Known,
+            nodes: ThreeFPlusOne,
+            phases: "1 or 3",
+            complexity: Linear,
+            reference: "Lamport, Fast Paxos, Distributed Computing 2006",
+        },
+        ProtocolCard {
+            name: "Flexible Paxos",
+            synchrony: PartiallySynchronous,
+            failure: Crash,
+            strategy: Pessimistic,
+            awareness: Known,
+            nodes: TwoFPlusOne,
+            phases: "2",
+            complexity: Linear,
+            reference: "Howard, Malkhi & Spiegelman, OPODIS 2017",
+        },
+        ProtocolCard {
+            name: "2PC",
+            synchrony: Synchronous,
+            failure: Crash,
+            strategy: Pessimistic,
+            awareness: Known,
+            nodes: TwoFPlusOne,
+            phases: "2",
+            complexity: Linear,
+            reference: "Gray 1978; blocking atomic commitment",
+        },
+        ProtocolCard {
+            name: "3PC",
+            synchrony: Synchronous,
+            failure: Crash,
+            strategy: Pessimistic,
+            awareness: Known,
+            nodes: TwoFPlusOne,
+            phases: "3",
+            complexity: Linear,
+            reference: "Skeen 1981; non-blocking atomic commitment",
+        },
+        ProtocolCard {
+            name: "PBFT",
+            synchrony: PartiallySynchronous,
+            failure: Byzantine,
+            strategy: Pessimistic,
+            awareness: Known,
+            nodes: ThreeFPlusOne,
+            phases: "3",
+            complexity: Quadratic,
+            reference: "Castro & Liskov, OSDI 1999 / TOCS 2002",
+        },
+        ProtocolCard {
+            name: "Zyzzyva",
+            synchrony: PartiallySynchronous,
+            failure: Byzantine,
+            strategy: Optimistic,
+            awareness: Known,
+            nodes: ThreeFPlusOne,
+            phases: "1 or 2",
+            complexity: Linear,
+            reference: "Kotla et al., SOSP 2007",
+        },
+        ProtocolCard {
+            name: "HotStuff",
+            synchrony: PartiallySynchronous,
+            failure: Byzantine,
+            strategy: Pessimistic,
+            awareness: Known,
+            nodes: ThreeFPlusOne,
+            phases: "7",
+            complexity: Linear,
+            reference: "Yin et al., PODC 2019",
+        },
+        ProtocolCard {
+            name: "MinBFT",
+            synchrony: PartiallySynchronous,
+            failure: Hybrid,
+            strategy: Pessimistic,
+            awareness: Known,
+            nodes: TwoFPlusOne,
+            phases: "2",
+            complexity: Linear,
+            reference: "Veronese et al., IEEE TC 2013 (trusted USIG)",
+        },
+        ProtocolCard {
+            name: "CheapBFT",
+            synchrony: PartiallySynchronous,
+            failure: Hybrid,
+            strategy: Optimistic,
+            awareness: Known,
+            nodes: FPlusOneActive,
+            phases: "2",
+            complexity: Linear,
+            reference: "Kapitza et al., EuroSys 2012 (trusted CASH)",
+        },
+        ProtocolCard {
+            name: "XFT",
+            synchrony: PartiallySynchronous,
+            failure: Hybrid,
+            strategy: Optimistic,
+            awareness: Known,
+            nodes: TwoFPlusOne,
+            phases: "2",
+            complexity: Linear,
+            reference: "Liu et al., OSDI 2016",
+        },
+        ProtocolCard {
+            name: "UpRight",
+            synchrony: PartiallySynchronous,
+            failure: Hybrid,
+            strategy: Optimistic,
+            awareness: Known,
+            nodes: HybridMC,
+            phases: "2 or 3",
+            complexity: Quadratic,
+            reference: "Clement et al., SOSP 2009",
+        },
+        ProtocolCard {
+            name: "SeeMoRe",
+            synchrony: PartiallySynchronous,
+            failure: Hybrid,
+            strategy: Pessimistic,
+            awareness: Known,
+            nodes: HybridMC,
+            phases: "2 or 3",
+            complexity: Quadratic,
+            reference: "Amiri et al., ICDE 2020",
+        },
+        ProtocolCard {
+            name: "PoW (Bitcoin)",
+            synchrony: Asynchronous,
+            failure: Byzantine,
+            strategy: Optimistic,
+            awareness: Unknown,
+            nodes: Open,
+            phases: "1",
+            complexity: Linear,
+            reference: "Nakamoto 2008",
+        },
+        ProtocolCard {
+            name: "PoS",
+            synchrony: Asynchronous,
+            failure: Byzantine,
+            strategy: Optimistic,
+            awareness: Unknown,
+            nodes: Open,
+            phases: "1",
+            complexity: Linear,
+            reference: "PPCoin 2012 and successors",
+        },
+    ]
+}
+
+/// Looks up a card by name.
+pub fn card(name: &str) -> Option<ProtocolCard> {
+    all_cards().into_iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let cards = all_cards();
+        assert!(cards.len() >= 16, "expected all surveyed protocols");
+        let mut names: Vec<_> = cards.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cards.len(), "duplicate card names");
+    }
+
+    #[test]
+    fn node_bounds_match_slides() {
+        // PSL: agreement needs 3f+1 in the Byzantine case.
+        assert_eq!(NodeBound::ThreeFPlusOne.required(1, 0), Some(4));
+        // Paxos: 2f+1.
+        assert_eq!(NodeBound::TwoFPlusOne.required(2, 0), Some(5));
+        // UpRight/SeeMoRe: 3m+2c+1.
+        assert_eq!(NodeBound::HybridMC.required(1, 1), Some(6));
+        // CheapTiny runs with f+1 active replicas.
+        assert_eq!(NodeBound::FPlusOneActive.required(1, 0), Some(2));
+        assert_eq!(NodeBound::Open.required(5, 0), None);
+    }
+
+    #[test]
+    fn pbft_card_matches_slide() {
+        let c = card("PBFT").unwrap();
+        assert_eq!(c.failure, FailureModel::Byzantine);
+        assert_eq!(c.nodes, NodeBound::ThreeFPlusOne);
+        assert_eq!(c.phases, "3");
+        assert_eq!(c.complexity, ComplexityClass::Quadratic);
+    }
+
+    #[test]
+    fn hotstuff_is_linear_with_seven_phases() {
+        let c = card("HotStuff").unwrap();
+        assert_eq!(c.complexity, ComplexityClass::Linear);
+        assert_eq!(c.phases, "7");
+    }
+
+    #[test]
+    fn minbft_halves_the_replica_bound() {
+        let c = card("MinBFT").unwrap();
+        assert_eq!(c.nodes, NodeBound::TwoFPlusOne);
+        let pbft = card("PBFT").unwrap();
+        assert!(
+            c.nodes.required(1, 0).unwrap() < pbft.nodes.required(1, 0).unwrap(),
+            "MinBFT needs fewer replicas than PBFT"
+        );
+    }
+
+    #[test]
+    fn blockchains_have_unknown_participants() {
+        for name in ["PoW (Bitcoin)", "PoS"] {
+            let c = card(name).unwrap();
+            assert_eq!(c.awareness, ParticipantAwareness::Unknown);
+            assert_eq!(c.nodes, NodeBound::Open);
+        }
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(NodeBound::ThreeFPlusOne.to_string(), "3f+1");
+        assert_eq!(ComplexityClass::Quadratic.to_string(), "O(N²)");
+    }
+}

@@ -1,0 +1,130 @@
+//! The liveness figure: duelling proposers livelock, randomized backoff
+//! fixes it.
+//!
+//! The slides show `P 3.1 / P 3.5 / A 3.1✗ / P 4.1 / A 3.5✗ / P 5.5 / …` —
+//! two proposers perpetually preempting each other's accept phase. With a
+//! deterministic retry delay on an idealized synchronous network, the
+//! pattern repeats forever; the slide's "one solution" is a randomized delay
+//! before restarting, giving the other proposer a chance to finish.
+//!
+//! [`run_duel`] builds that exact scenario: five acceptors, two proposers
+//! with short attempt deadlines, interleaved so that each new prepare lands
+//! between the other's promise and accept.
+
+use simnet::{DelayModel, NetConfig, NodeId, Sim, Time};
+
+use crate::single::{PaxosNode, RetryPolicy};
+
+/// Outcome of one duelling-proposers run.
+#[derive(Clone, Debug)]
+pub struct DuelReport {
+    /// The decided value, if any proposer got through.
+    pub decided: Option<u64>,
+    /// When the first decision happened (simulated µs), if any.
+    pub decided_at: Option<u64>,
+    /// Prepare attempts by proposer 1 (node 0).
+    pub attempts_p1: u64,
+    /// Prepare attempts by proposer 2 (node 4).
+    pub attempts_p2: u64,
+    /// Total `prepare` messages on the wire.
+    pub prepares: u64,
+}
+
+/// Runs the duel for `horizon_ms` of simulated time with the given backoff
+/// policy applied to both proposers.
+///
+/// Geometry (fixed 500 µs delays): P1 starts at 0, P2 at 600 µs, both with a
+/// 1.2 ms attempt deadline — each prepare reaches the acceptors after the
+/// rival's promises but before its accepts, which is the livelock
+/// interleaving of the slide.
+pub fn run_duel(backoff: RetryPolicy, horizon_ms: u64, seed: u64) -> DuelReport {
+    let n = 5;
+    let config = NetConfig::synchronous().with_delay(DelayModel::Fixed(500));
+    let mut sim: Sim<PaxosNode> = Sim::new(config, seed);
+    for _ in 0..n {
+        sim.add_node(PaxosNode::acceptor(n));
+    }
+    *sim.node_mut(NodeId(0)) = PaxosNode::proposer(n, 10, 0, backoff).with_deadline(1_200);
+    *sim.node_mut(NodeId(4)) = PaxosNode::proposer(n, 20, 600, backoff).with_deadline(1_200);
+
+    // Step in 1 ms windows so we can timestamp the first decision.
+    let mut decided_at = None;
+    for ms in 1..=horizon_ms {
+        sim.run_until(Time::from_millis(ms));
+        if decided_at.is_none() && sim.nodes().any(|(_, p)| p.decided.is_some()) {
+            decided_at = Some(sim.now().as_micros());
+            break;
+        }
+    }
+
+    let decided = sim.nodes().find_map(|(_, p)| p.decided);
+    DuelReport {
+        decided,
+        decided_at,
+        attempts_p1: sim.node(NodeId(0)).attempts,
+        attempts_p2: sim.node(NodeId(4)).attempts,
+        prepares: sim.metrics().kind("prepare"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_backoff_livelocks() {
+        let report = run_duel(RetryPolicy::Fixed(0), 200, 1);
+        assert_eq!(
+            report.decided, None,
+            "immediate deterministic retries must livelock: {report:?}"
+        );
+        assert!(
+            report.attempts_p1 > 20 && report.attempts_p2 > 20,
+            "both proposers should churn: {report:?}"
+        );
+    }
+
+    #[test]
+    fn randomized_backoff_converges() {
+        for seed in 0..5 {
+            let report = run_duel(
+                RetryPolicy::Randomized {
+                    min: 500,
+                    max: 5_000,
+                },
+                500,
+                seed,
+            );
+            assert!(
+                report.decided.is_some(),
+                "randomized backoff should break the duel (seed {seed}): {report:?}"
+            );
+            assert!(report.decided == Some(10) || report.decided == Some(20));
+        }
+    }
+
+    #[test]
+    fn randomized_needs_far_fewer_attempts() {
+        let live = run_duel(RetryPolicy::Fixed(0), 100, 2);
+        let rand = run_duel(
+            RetryPolicy::Randomized {
+                min: 500,
+                max: 5_000,
+            },
+            100,
+            2,
+        );
+        assert!(
+            rand.attempts_p1 + rand.attempts_p2 < live.attempts_p1 + live.attempts_p2,
+            "randomized: {rand:?} vs fixed: {live:?}"
+        );
+    }
+
+    #[test]
+    fn duel_is_deterministic() {
+        let a = run_duel(RetryPolicy::Fixed(0), 50, 7);
+        let b = run_duel(RetryPolicy::Fixed(0), 50, 7);
+        assert_eq!(a.attempts_p1, b.attempts_p1);
+        assert_eq!(a.prepares, b.prepares);
+    }
+}

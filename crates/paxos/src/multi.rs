@@ -1,0 +1,901 @@
+//! Multi-Paxos: a separate Basic-Paxos instance per log entry, with the
+//! tutorial's optimization — *run phase 1 only when the leader changes*.
+//!
+//! Phase 1 is the "view change / recovery mode"; phase 2 is the "normal
+//! mode". Every message carries the leader's ballot, and replicas respond
+//! only to messages with the "right" (highest) ballot. The full client loop
+//! of the Multi-Paxos slide is implemented:
+//!
+//! 1. the client sends a command to the server it believes is leader;
+//! 2. the server uses Paxos to choose the command as the value of a log
+//!    entry (`accept` / `accepted` with an **index** argument);
+//! 3. the server waits for previous entries to apply, then applies the new
+//!    command to the state machine (via [`consensus_core::ReplicatedLog`]);
+//! 4. the server returns the state machine's result to the client.
+//!
+//! Quorums are pluggable via [`consensus_core::QuorumSpec`]: with
+//! `Majority` this is classic Multi-Paxos; with `Flexible`/`Grid` it is
+//! **Flexible Paxos** (see [`crate::flexible`]) — no algorithm changes, just
+//! a different quorum test, exactly as Howard, Malkhi & Spiegelman observe.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use consensus_core::quorum::Phase;
+use consensus_core::smr::Slot;
+use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
+use consensus_core::{Ballot, Command, KvCommand, KvResponse, QuorumSpec, ReplicatedLog, StateMachine};
+use simnet::{Context, NetConfig, Node, NodeId, Payload, RunOutcome, Sim, Time, Timer};
+
+/// A log operation: a client command or a gap-filling no-op proposed during
+/// leader recovery.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MpOp {
+    /// Leader-change filler; applies nothing.
+    Noop,
+    /// A client command.
+    Cmd(Command<KvCommand>),
+}
+
+/// The replicated state machine: a KV store plus the client table used for
+/// duplicate suppression (both are deterministic state).
+#[derive(Debug, Default)]
+pub struct MpMachine {
+    kv: consensus_core::KvStore,
+    client_table: BTreeMap<u32, (u64, KvResponse)>,
+}
+
+impl MpMachine {
+    /// Cached reply for `(client, seq)` if that command already applied.
+    pub fn cached(&self, client: u32, seq: u64) -> Option<&KvResponse> {
+        self.client_table
+            .get(&client)
+            .filter(|(s, _)| *s >= seq)
+            .map(|(_, out)| out)
+    }
+
+    /// The underlying store (assertions in tests).
+    pub fn kv(&self) -> &consensus_core::KvStore {
+        &self.kv
+    }
+}
+
+impl StateMachine for MpMachine {
+    type Op = MpOp;
+    type Output = Option<KvResponse>;
+
+    fn apply(&mut self, op: &MpOp) -> Option<KvResponse> {
+        match op {
+            MpOp::Noop => None,
+            MpOp::Cmd(cmd) => {
+                if let Some((last, out)) = self.client_table.get(&cmd.client) {
+                    if cmd.seq <= *last {
+                        return Some(out.clone());
+                    }
+                }
+                let out = self.kv.apply(&cmd.op);
+                self.client_table.insert(cmd.client, (cmd.seq, out.clone()));
+                Some(out)
+            }
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let mut h = self.kv.digest();
+        for (c, (s, _)) in &self.client_table {
+            h = h
+                .rotate_left(7)
+                .wrapping_add(u64::from(*c).wrapping_mul(31).wrapping_add(*s));
+        }
+        h
+    }
+}
+
+/// Multi-Paxos wire messages.
+#[derive(Clone, Debug)]
+pub enum MpMsg {
+    /// Client command submission.
+    Request {
+        /// The command.
+        cmd: Command<KvCommand>,
+    },
+    /// Server reply to a completed command.
+    Reply {
+        /// Client id.
+        client: u32,
+        /// Client sequence number.
+        seq: u64,
+        /// State-machine output.
+        output: KvResponse,
+    },
+    /// "I'm not the leader; try this node."
+    NotLeader {
+        /// Sequence the client sent.
+        seq: u64,
+        /// Best guess at the current leader.
+        hint: NodeId,
+    },
+    /// Phase 1a (view change): taken only on leader change.
+    Prepare {
+        /// Candidate's ballot.
+        ballot: Ballot,
+        /// First log index the candidate needs state for.
+        low: usize,
+    },
+    /// Phase 1b: accepted entries at or above `low`.
+    PrepareAck {
+        /// Echoed ballot.
+        ballot: Ballot,
+        /// `(index, accept ballot, value)` triples.
+        entries: Vec<(usize, Ballot, MpOp)>,
+    },
+    /// Phase 2a with the slide's extra **index** argument.
+    Accept {
+        /// Leader ballot.
+        ballot: Ballot,
+        /// Log index.
+        index: usize,
+        /// Proposed op.
+        op: MpOp,
+    },
+    /// Phase 2b.
+    Accepted {
+        /// Echoed ballot.
+        ballot: Ballot,
+        /// Log index.
+        index: usize,
+    },
+    /// Asynchronous decision dissemination.
+    Decide {
+        /// Log index.
+        index: usize,
+        /// Decided op.
+        op: MpOp,
+    },
+    /// Leader lease renewal.
+    Heartbeat {
+        /// Leader ballot.
+        ballot: Ballot,
+    },
+}
+
+impl Payload for MpMsg {
+    fn kind(&self) -> &'static str {
+        match self {
+            MpMsg::Request { .. } => "request",
+            MpMsg::Reply { .. } => "reply",
+            MpMsg::NotLeader { .. } => "not-leader",
+            MpMsg::Prepare { .. } => "prepare",
+            MpMsg::PrepareAck { .. } => "prepare-ack",
+            MpMsg::Accept { .. } => "accept",
+            MpMsg::Accepted { .. } => "accepted",
+            MpMsg::Decide { .. } => "decide",
+            MpMsg::Heartbeat { .. } => "heartbeat",
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        match self {
+            MpMsg::PrepareAck { entries, .. } => 32 + entries.len() * 48,
+            _ => 64,
+        }
+    }
+}
+
+const ELECTION: u64 = 1;
+const HEARTBEAT: u64 = 2;
+const CLIENT_RETRY: u64 = 3;
+
+/// Heartbeat period (µs).
+const HB_PERIOD: u64 = 10_000;
+
+#[derive(Debug)]
+struct Proposal {
+    op: MpOp,
+    acks: BTreeSet<NodeId>,
+    decided: bool,
+}
+
+/// A Multi-Paxos replica (acceptor + potential leader).
+pub struct Replica {
+    /// Cluster quorum configuration.
+    spec: QuorumSpec,
+    /// Number of replica nodes (clients have higher ids).
+    #[allow(dead_code)]
+    n_replicas: usize,
+    /// Highest ballot promised (durable).
+    pub promised: Ballot,
+    /// Accepted entries: index → (ballot, op) (durable).
+    accepted: BTreeMap<usize, (Ballot, MpOp)>,
+    /// The replicated log + state machine.
+    pub log: ReplicatedLog<MpMachine>,
+    /// Whether this replica currently leads.
+    pub is_leader: bool,
+    /// Candidate election state.
+    electing: bool,
+    election_ballot: Ballot,
+    prepare_acks: BTreeSet<NodeId>,
+    prepare_entries: BTreeMap<usize, (Ballot, MpOp)>,
+    /// Leader state.
+    next_index: usize,
+    proposals: BTreeMap<usize, Proposal>,
+    pending_reply: BTreeMap<usize, NodeId>,
+    election_timer: Option<simnet::TimerId>,
+    /// Leader changes observed (the "phase 1 only on leader change" claim).
+    pub view_changes: u64,
+}
+
+impl Replica {
+    /// Creates a replica for a cluster of `n_replicas` under `spec`.
+    pub fn new(spec: QuorumSpec, n_replicas: usize) -> Self {
+        Replica {
+            spec,
+            n_replicas,
+            promised: Ballot::ZERO,
+            accepted: BTreeMap::new(),
+            log: ReplicatedLog::new(),
+            is_leader: false,
+            electing: false,
+            election_ballot: Ballot::ZERO,
+            prepare_acks: BTreeSet::new(),
+            prepare_entries: BTreeMap::new(),
+            next_index: 0,
+            proposals: BTreeMap::new(),
+            pending_reply: BTreeMap::new(),
+            election_timer: None,
+            view_changes: 0,
+        }
+    }
+
+    fn arm_election_timer(&mut self, ctx: &mut Context<MpMsg>) {
+        use rand::Rng;
+        if let Some(t) = self.election_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        // Randomized, id-staggered timeout: avoids duelling candidates.
+        let base = 40_000 + 20_000 * u64::from(ctx.id().0);
+        let jitter = ctx.rng().gen_range(0..10_000);
+        self.election_timer = Some(ctx.set_timer(base + jitter, ELECTION));
+    }
+
+    fn start_election(&mut self, ctx: &mut Context<MpMsg>) {
+        self.electing = true;
+        self.is_leader = false;
+        self.election_ballot = self.promised.next_for(ctx.id());
+        self.prepare_acks.clear();
+        self.prepare_entries.clear();
+        let low = self.log.applied_len();
+        ctx.broadcast_all(MpMsg::Prepare {
+            ballot: self.election_ballot,
+            low,
+        });
+    }
+
+    fn become_leader(&mut self, ctx: &mut Context<MpMsg>) {
+        self.electing = false;
+        self.is_leader = true;
+        self.view_changes += 1;
+        self.proposals.clear();
+        // Adopt the highest-ballot value for every discovered index and
+        // re-propose it under my ballot; fill gaps with no-ops.
+        let discovered: BTreeMap<usize, (Ballot, MpOp)> = self.prepare_entries.clone();
+        let max_idx = discovered.keys().max().copied();
+        let low = self.log.applied_len();
+        self.next_index = max_idx.map_or(low, |m| m + 1).max(low);
+        for index in low..self.next_index {
+            let op = discovered
+                .get(&index)
+                .map(|(_, op)| op.clone())
+                .unwrap_or(MpOp::Noop);
+            self.propose(ctx, index, op);
+        }
+        ctx.set_timer(HB_PERIOD, HEARTBEAT);
+        ctx.broadcast(MpMsg::Heartbeat {
+            ballot: self.promised,
+        });
+    }
+
+    fn propose(&mut self, ctx: &mut Context<MpMsg>, index: usize, op: MpOp) {
+        self.proposals.insert(
+            index,
+            Proposal {
+                op: op.clone(),
+                acks: BTreeSet::new(),
+                decided: false,
+            },
+        );
+        ctx.broadcast_all(MpMsg::Accept {
+            ballot: self.promised,
+            index,
+            op,
+        });
+    }
+
+    fn on_decided(&mut self, ctx: &mut Context<MpMsg>, index: usize, op: MpOp) {
+        let outputs = self.log.decide(index, op);
+        for (i, out) in outputs {
+            if let (Some(client_node), Some(output)) = (self.pending_reply.remove(&i), out) {
+                let (client, seq) = match self.log.slot(i) {
+                    Slot::Applied(MpOp::Cmd(cmd)) => (cmd.client, cmd.seq),
+                    _ => continue,
+                };
+                ctx.send(
+                    client_node,
+                    MpMsg::Reply {
+                        client,
+                        seq,
+                        output,
+                    },
+                );
+            }
+        }
+    }
+
+    fn leader_hint(&self) -> NodeId {
+        // Best effort: the process embedded in the highest promised ballot.
+        self.promised.proposer()
+    }
+}
+
+impl Node for Replica {
+    type Msg = MpMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<MpMsg>) {
+        // Node 0 bootstraps leadership immediately; others wait.
+        if ctx.id() == NodeId(0) {
+            self.start_election(ctx);
+        }
+        self.arm_election_timer(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<MpMsg>, from: NodeId, msg: MpMsg) {
+        match msg {
+            MpMsg::Request { cmd } => {
+                if !self.is_leader {
+                    ctx.send(
+                        from,
+                        MpMsg::NotLeader {
+                            seq: cmd.seq,
+                            hint: self.leader_hint(),
+                        },
+                    );
+                    return;
+                }
+                // Duplicate? Reply from the client table.
+                if let Some(out) = self.log.machine().cached(cmd.client, cmd.seq) {
+                    ctx.send(
+                        from,
+                        MpMsg::Reply {
+                            client: cmd.client,
+                            seq: cmd.seq,
+                            output: out.clone(),
+                        },
+                    );
+                    return;
+                }
+                // Already in flight? (client retried while we're deciding)
+                let in_flight = self.proposals.values().any(|p| {
+                    matches!(&p.op, MpOp::Cmd(c) if c.client == cmd.client && c.seq == cmd.seq)
+                });
+                if in_flight {
+                    return;
+                }
+                let index = self.next_index;
+                self.next_index += 1;
+                self.pending_reply.insert(index, from);
+                self.propose(ctx, index, MpOp::Cmd(cmd));
+            }
+
+            MpMsg::Prepare { ballot, low } => {
+                if ballot >= self.promised {
+                    let stepping_down = self.is_leader && ballot.proposer() != ctx.id();
+                    if stepping_down {
+                        self.is_leader = false;
+                    }
+                    self.promised = ballot;
+                    self.arm_election_timer(ctx);
+                    let entries: Vec<(usize, Ballot, MpOp)> = self
+                        .accepted
+                        .range(low..)
+                        .map(|(&i, (b, op))| (i, *b, op.clone()))
+                        .collect();
+                    ctx.send(from, MpMsg::PrepareAck { ballot, entries });
+                }
+            }
+
+            MpMsg::PrepareAck { ballot, entries } => {
+                if self.electing && ballot == self.election_ballot {
+                    self.prepare_acks.insert(from);
+                    for (i, b, op) in entries {
+                        match self.prepare_entries.get(&i) {
+                            Some((existing, _)) if *existing >= b => {}
+                            _ => {
+                                self.prepare_entries.insert(i, (b, op));
+                            }
+                        }
+                    }
+                    if self
+                        .spec
+                        .is_quorum(&self.prepare_acks, Phase::Election)
+                        && self.promised == ballot
+                    {
+                        self.become_leader(ctx);
+                    }
+                }
+            }
+
+            MpMsg::Accept { ballot, index, op } => {
+                if ballot >= self.promised {
+                    if self.is_leader && ballot.proposer() != ctx.id() {
+                        self.is_leader = false;
+                    }
+                    self.promised = ballot;
+                    self.accepted.insert(index, (ballot, op));
+                    self.arm_election_timer(ctx);
+                    ctx.send(from, MpMsg::Accepted { ballot, index });
+                }
+            }
+
+            MpMsg::Accepted { ballot, index } => {
+                if self.is_leader && ballot == self.promised {
+                    let spec = self.spec;
+                    if let Some(p) = self.proposals.get_mut(&index) {
+                        if p.decided {
+                            return;
+                        }
+                        p.acks.insert(from);
+                        if spec.is_quorum(&p.acks, Phase::Agreement) {
+                            p.decided = true;
+                            let op = p.op.clone();
+                            ctx.broadcast(MpMsg::Decide {
+                                index,
+                                op: op.clone(),
+                            });
+                            self.on_decided(ctx, index, op);
+                        }
+                    }
+                }
+            }
+
+            MpMsg::Decide { index, op } => {
+                self.on_decided(ctx, index, op.clone());
+                // Decisions are also (implicitly) accepted state.
+                self.accepted.entry(index).or_insert((self.promised, op));
+            }
+
+            MpMsg::Heartbeat { ballot } => {
+                if ballot >= self.promised {
+                    if self.is_leader && ballot.proposer() != ctx.id() {
+                        self.is_leader = false;
+                    }
+                    self.promised = ballot;
+                    self.arm_election_timer(ctx);
+                }
+            }
+
+            MpMsg::Reply { .. } | MpMsg::NotLeader { .. } => {
+                // Replica never receives these.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<MpMsg>, timer: Timer) {
+        match timer.kind {
+            ELECTION => {
+                if !self.is_leader {
+                    self.start_election(ctx);
+                }
+                self.arm_election_timer(ctx);
+            }
+            HEARTBEAT
+                if self.is_leader => {
+                    ctx.broadcast(MpMsg::Heartbeat {
+                        ballot: self.promised,
+                    });
+                    ctx.set_timer(HB_PERIOD, HEARTBEAT);
+                }
+            _ => {}
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<MpMsg>) {
+        // promised/accepted/log are durable; leadership is not.
+        self.is_leader = false;
+        self.electing = false;
+        self.proposals.clear();
+        self.pending_reply.clear();
+        self.election_timer = None;
+        self.arm_election_timer(ctx);
+    }
+}
+
+/// A closed-loop client issuing `total` commands from a deterministic
+/// workload and recording latencies.
+pub struct Client {
+    /// Client id (== its node id).
+    pub client_id: u32,
+    n_replicas: usize,
+    workload: KvWorkload,
+    total: usize,
+    /// Completed commands.
+    pub completed: usize,
+    current: Option<(Command<KvCommand>, Time)>,
+    leader_guess: NodeId,
+    /// Request → reply latencies.
+    pub latencies: LatencyRecorder,
+}
+
+impl Client {
+    /// Creates a client that will issue `total` commands.
+    pub fn new(client_id: u32, n_replicas: usize, total: usize, mix: KvMix, seed: u64) -> Self {
+        Client {
+            client_id,
+            n_replicas,
+            workload: KvWorkload::new(client_id, mix, seed),
+            total,
+            completed: 0,
+            current: None,
+            leader_guess: NodeId(0),
+            latencies: LatencyRecorder::new(),
+        }
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<MpMsg>) {
+        if self.completed >= self.total {
+            self.current = None;
+            return;
+        }
+        let cmd = self.workload.next_command();
+        self.current = Some((cmd.clone(), ctx.now()));
+        ctx.send(self.leader_guess, MpMsg::Request { cmd });
+        ctx.set_timer(100_000, CLIENT_RETRY);
+    }
+
+    fn resend(&mut self, ctx: &mut Context<MpMsg>) {
+        if let Some((cmd, _)) = &self.current {
+            let cmd = cmd.clone();
+            ctx.send(self.leader_guess, MpMsg::Request { cmd });
+            ctx.set_timer(100_000, CLIENT_RETRY);
+        }
+    }
+
+    /// Whether all commands completed.
+    pub fn done(&self) -> bool {
+        self.completed >= self.total
+    }
+}
+
+impl Node for Client {
+    type Msg = MpMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<MpMsg>) {
+        self.send_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<MpMsg>, from: NodeId, msg: MpMsg) {
+        match msg {
+            MpMsg::Reply { seq, .. } => {
+                if let Some((cmd, sent_at)) = &self.current {
+                    if cmd.seq == seq {
+                        let sent = *sent_at;
+                        self.latencies.record(sent, ctx.now());
+                        self.completed += 1;
+                        self.current = None;
+                        self.send_next(ctx);
+                    }
+                }
+            }
+            MpMsg::NotLeader { seq, hint } => {
+                if let Some((cmd, _)) = &self.current {
+                    if cmd.seq == seq {
+                        // Follow the hint unless it points back at the
+                        // replier; then probe round-robin.
+                        self.leader_guess = if hint != from && hint.index() < self.n_replicas {
+                            hint
+                        } else {
+                            NodeId::from((from.index() + 1) % self.n_replicas)
+                        };
+                        self.resend(ctx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<MpMsg>, timer: Timer) {
+        if timer.kind == CLIENT_RETRY && self.current.is_some() {
+            // No reply: rotate the guess and retry.
+            self.leader_guess = NodeId::from((self.leader_guess.index() + 1) % self.n_replicas);
+            self.resend(ctx);
+        }
+    }
+}
+
+simnet::node_enum! {
+    /// A Multi-Paxos process: replica or client.
+    pub enum Proc: MpMsg {
+        /// Server replica.
+        Replica(Replica),
+        /// Workload client.
+        Client(Client),
+    }
+}
+
+/// A ready-to-run Multi-Paxos cluster with clients.
+pub struct MultiPaxosCluster {
+    /// The simulation.
+    pub sim: Sim<Proc>,
+    /// Number of replicas (nodes `0..n_replicas`).
+    pub n_replicas: usize,
+    /// Number of clients (nodes `n_replicas..`).
+    pub n_clients: usize,
+}
+
+impl MultiPaxosCluster {
+    /// Builds a cluster of `n_replicas` replicas under `spec` plus
+    /// `n_clients` clients issuing `cmds_per_client` commands each.
+    pub fn new(
+        spec: QuorumSpec,
+        n_replicas: usize,
+        n_clients: usize,
+        cmds_per_client: usize,
+        config: NetConfig,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(spec.n(), n_replicas, "quorum spec must match replica count");
+        let mut sim = Sim::new(config, seed);
+        for _ in 0..n_replicas {
+            sim.add_node(Replica::new(spec, n_replicas));
+        }
+        for c in 0..n_clients {
+            let id = (n_replicas + c) as u32;
+            sim.add_node(Client::new(id, n_replicas, cmds_per_client, KvMix::default(), seed));
+        }
+        MultiPaxosCluster {
+            sim,
+            n_replicas,
+            n_clients,
+        }
+    }
+
+    /// Runs until all clients finish or `horizon` passes. Returns whether
+    /// every client completed.
+    pub fn run(&mut self, horizon: Time) -> bool {
+        loop {
+            let outcome = self.sim.run_for(10_000);
+            if self.all_done() {
+                return true;
+            }
+            if self.sim.now() >= horizon || outcome == RunOutcome::Quiescent {
+                return self.all_done();
+            }
+        }
+    }
+
+    /// Whether every client completed its workload.
+    pub fn all_done(&self) -> bool {
+        self.clients().all(|c| c.done())
+    }
+
+    /// Iterates over client states.
+    pub fn clients(&self) -> impl Iterator<Item = &Client> {
+        self.sim.nodes().filter_map(|(_, p)| match p {
+            Proc::Client(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// Iterates over replica states.
+    pub fn replicas(&self) -> impl Iterator<Item = &Replica> {
+        self.sim.nodes().filter_map(|(_, p)| match p {
+            Proc::Replica(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// The current leader, if exactly one *live* replica claims leadership.
+    pub fn leader(&self) -> Option<NodeId> {
+        let leaders: Vec<NodeId> = self
+            .sim
+            .nodes()
+            .filter_map(|(id, p)| match p {
+                Proc::Replica(r) if r.is_leader && self.sim.is_alive(id) => Some(id),
+                _ => None,
+            })
+            .collect();
+        match leaders.as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+
+    /// Asserts that all replica logs agree on their common applied prefix
+    /// and returns the shortest applied length.
+    pub fn check_log_consistency(&self) -> usize {
+        let replicas: Vec<&Replica> = self.replicas().collect();
+        let min_applied = replicas
+            .iter()
+            .map(|r| r.log.applied_len())
+            .min()
+            .unwrap_or(0);
+        for i in 0..min_applied {
+            let mut ops: Vec<&MpOp> = Vec::new();
+            for r in &replicas {
+                if let Slot::Applied(op) = r.log.slot(i) {
+                    ops.push(op);
+                }
+            }
+            for pair in ops.windows(2) {
+                assert_eq!(pair[0], pair[1], "divergent logs at index {i}");
+            }
+        }
+        min_applied
+    }
+
+    /// Total commands completed across clients.
+    pub fn total_completed(&self) -> usize {
+        self.clients().map(|c| c.completed).sum()
+    }
+
+    /// Aggregated latency recorder across clients.
+    pub fn latencies(&self) -> LatencyRecorder {
+        let mut agg = LatencyRecorder::new();
+        for c in self.clients() {
+            for &s in c.latencies.samples() {
+                agg.record_micros(s);
+            }
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn majority_cluster(
+        n: usize,
+        clients: usize,
+        cmds: usize,
+        seed: u64,
+    ) -> MultiPaxosCluster {
+        MultiPaxosCluster::new(
+            QuorumSpec::Majority { n },
+            n,
+            clients,
+            cmds,
+            NetConfig::lan(),
+            seed,
+        )
+    }
+
+    #[test]
+    fn commits_client_commands() {
+        let mut cluster = majority_cluster(3, 1, 10, 1);
+        assert!(cluster.run(Time::from_secs(10)), "workload must finish");
+        assert_eq!(cluster.total_completed(), 10);
+        assert!(cluster.check_log_consistency() >= 10);
+    }
+
+    #[test]
+    fn multiple_clients_interleave_safely() {
+        let mut cluster = majority_cluster(5, 3, 20, 2);
+        assert!(cluster.run(Time::from_secs(30)));
+        assert_eq!(cluster.total_completed(), 60);
+        cluster.check_log_consistency();
+        // Every applied command index appears exactly once per log.
+        let lead = cluster.leader().expect("stable leader");
+        let _ = lead;
+    }
+
+    #[test]
+    fn phase1_runs_only_on_leader_change() {
+        let mut cluster = majority_cluster(3, 1, 30, 3);
+        assert!(cluster.run(Time::from_secs(10)));
+        let prepares = cluster.sim.metrics().kind("prepare");
+        let accepts = cluster.sim.metrics().kind("accept");
+        // One election: 2 prepare messages (n-1=2). Accepts: ≥ 30 indices × 2.
+        assert!(
+            prepares <= 4,
+            "phase 1 should run once, saw {prepares} prepares"
+        );
+        assert!(accepts >= 60, "normal mode is all phase 2: {accepts}");
+    }
+
+    #[test]
+    fn leader_crash_triggers_view_change_and_recovery() {
+        let mut cluster = majority_cluster(5, 2, 25, 4);
+        // Let some commands commit, then kill the leader.
+        cluster.sim.run_until(Time::from_millis(80));
+        let leader = cluster.leader().expect("leader by 80ms");
+        cluster.sim.crash_at(leader, Time::from_millis(81));
+        assert!(
+            cluster.run(Time::from_secs(30)),
+            "clients must finish after failover: {} done",
+            cluster.total_completed()
+        );
+        assert_eq!(cluster.total_completed(), 50);
+        cluster.check_log_consistency();
+        // A new leader emerged, different from the crashed one (allow the
+        // cluster to settle out of any in-flight election first).
+        let mut new_leader = cluster.leader();
+        for _ in 0..20 {
+            if new_leader.is_some() {
+                break;
+            }
+            cluster.sim.run_for(100_000);
+            new_leader = cluster.leader();
+        }
+        let new_leader = new_leader.expect("new leader");
+        assert_ne!(new_leader, leader);
+    }
+
+    #[test]
+    fn replica_crash_restart_preserves_state() {
+        let mut cluster = majority_cluster(3, 1, 20, 5);
+        cluster.sim.run_until(Time::from_millis(50));
+        // Crash a follower mid-run and bring it back.
+        cluster.sim.crash_at(NodeId(2), Time::from_millis(51));
+        cluster.sim.restart_at(NodeId(2), Time::from_millis(200));
+        assert!(cluster.run(Time::from_secs(20)));
+        assert_eq!(cluster.total_completed(), 20);
+        cluster.check_log_consistency();
+    }
+
+    #[test]
+    fn duplicate_requests_apply_once() {
+        // Lossy network forces client retries; the client table must dedup.
+        let mut cluster = MultiPaxosCluster::new(
+            QuorumSpec::Majority { n: 3 },
+            3,
+            1,
+            15,
+            NetConfig::lan().with_drop_prob(0.05),
+            6,
+        );
+        assert!(cluster.run(Time::from_secs(60)));
+        cluster.check_log_consistency();
+        // Count applied (non-noop) commands per (client, seq): must be ≤ 1
+        // effective application — verify via machine digests matching across
+        // replicas (dedup is deterministic state).
+        let digests: BTreeSet<u64> = cluster
+            .replicas()
+            .filter(|r| r.log.applied_len() >= 15)
+            .map(|r| {
+                // Only compare replicas that applied the full prefix.
+                r.log.machine().digest()
+            })
+            .collect();
+        assert!(digests.len() <= 1, "replica state diverged: {digests:?}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = |seed| {
+            let mut cluster = majority_cluster(3, 2, 10, seed);
+            cluster.run(Time::from_secs(10));
+            (
+                cluster.total_completed(),
+                cluster.sim.metrics().sent,
+                cluster.latencies().mean() as u64,
+            )
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn throughput_scales_down_with_cluster_size() {
+        // Larger clusters ⇒ more messages per command (O(n) per decision).
+        let mut msgs_per_cmd = Vec::new();
+        for n in [3usize, 5, 7] {
+            let mut cluster = majority_cluster(n, 1, 20, 8);
+            assert!(cluster.run(Time::from_secs(20)));
+            let m = cluster.sim.metrics();
+            msgs_per_cmd.push(m.sent as f64 / 20.0);
+        }
+        assert!(
+            msgs_per_cmd[0] < msgs_per_cmd[1] && msgs_per_cmd[1] < msgs_per_cmd[2],
+            "messages/command should grow with n: {msgs_per_cmd:?}"
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Closed-loop Raft client (same workload shape as `paxos::multi::Client`).
+
+use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
+use consensus_core::{Command, KvCommand};
+use simnet::{Context, Node, NodeId, Time, Timer};
+
+use crate::msg::RaftMsg;
+
+const CLIENT_RETRY: u64 = 100;
+
+/// A client issuing `total` commands from a deterministic workload.
+pub struct Client {
+    /// Client id (== node id).
+    pub client_id: u32,
+    n_replicas: usize,
+    workload: KvWorkload,
+    total: usize,
+    /// Commands completed.
+    pub completed: usize,
+    current: Option<(Command<KvCommand>, Time)>,
+    leader_guess: NodeId,
+    /// Request → reply latencies.
+    pub latencies: LatencyRecorder,
+}
+
+impl Client {
+    /// Creates a client that will issue `total` commands.
+    pub fn new(client_id: u32, n_replicas: usize, total: usize, mix: KvMix, seed: u64) -> Self {
+        Client {
+            client_id,
+            n_replicas,
+            workload: KvWorkload::new(client_id, mix, seed),
+            total,
+            completed: 0,
+            current: None,
+            leader_guess: NodeId(0),
+            latencies: LatencyRecorder::new(),
+        }
+    }
+
+    /// Whether the workload finished.
+    pub fn done(&self) -> bool {
+        self.completed >= self.total
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<RaftMsg>) {
+        if self.done() {
+            self.current = None;
+            return;
+        }
+        let cmd = self.workload.next_command();
+        self.current = Some((cmd.clone(), ctx.now()));
+        ctx.send(self.leader_guess, RaftMsg::Request { cmd });
+        ctx.set_timer(100_000, CLIENT_RETRY);
+    }
+
+    fn resend(&mut self, ctx: &mut Context<RaftMsg>) {
+        if let Some((cmd, _)) = &self.current {
+            let cmd = cmd.clone();
+            ctx.send(self.leader_guess, RaftMsg::Request { cmd });
+            ctx.set_timer(100_000, CLIENT_RETRY);
+        }
+    }
+}
+
+impl Node for Client {
+    type Msg = RaftMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<RaftMsg>) {
+        self.send_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<RaftMsg>, from: NodeId, msg: RaftMsg) {
+        match msg {
+            RaftMsg::Reply { seq, .. } => {
+                if let Some((cmd, sent_at)) = &self.current {
+                    if cmd.seq == seq {
+                        let sent = *sent_at;
+                        self.latencies.record(sent, ctx.now());
+                        self.completed += 1;
+                        self.current = None;
+                        self.send_next(ctx);
+                    }
+                }
+            }
+            RaftMsg::NotLeader { seq, hint } => {
+                if let Some((cmd, _)) = &self.current {
+                    if cmd.seq == seq {
+                        self.leader_guess = if hint != from && hint.index() < self.n_replicas {
+                            hint
+                        } else {
+                            NodeId::from((from.index() + 1) % self.n_replicas)
+                        };
+                        self.resend(ctx);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<RaftMsg>, timer: Timer) {
+        if timer.kind == CLIENT_RETRY && self.current.is_some() {
+            self.leader_guess = NodeId::from((self.leader_guess.index() + 1) % self.n_replicas);
+            self.resend(ctx);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # raft — In Search of an Understandable Consensus Algorithm
+//!
+//! Raft (Ongaro & Ousterhout, USENIX ATC 2014) as surveyed by the tutorial:
+//! *equivalent to Paxos in fault-tolerance, meant to be more understandable,
+//! uses a leader approach, integrates consensus with log management*. Same
+//! info card as Paxos: partially synchronous, crash faults, pessimistic,
+//! known participants, `2f+1` nodes, 2 phases, `O(N)` messages.
+//!
+//! The crate mirrors `paxos::multi`'s shape (replica + closed-loop clients
+//! over the shared [`consensus_core::DedupKvMachine`]) so the cross-protocol
+//! comparison in `consensus-bench` is apples-to-apples, but the consensus
+//! module is pure Raft: terms, randomized election timeouts, the election
+//! restriction, `AppendEntries` consistency checks, and the current-term
+//! commit rule.
+
+pub mod client;
+pub mod cluster;
+pub mod msg;
+pub mod replica;
+
+pub use client::Client;
+pub use cluster::RaftCluster;
+pub use msg::{Entry, RaftMsg};
+pub use replica::{Replica, Role};
+
+simnet::node_enum! {
+    /// A Raft process: replica or client.
+    pub enum Proc: msg::RaftMsg {
+        /// Server replica.
+        Replica(replica::Replica),
+        /// Workload client.
+        Client(client::Client),
+    }
+}

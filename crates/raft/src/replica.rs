@@ -1,0 +1,658 @@
+//! The Raft replica state machine, including §7 log compaction: replicas
+//! snapshot their applied state, truncate the log behind the snapshot, and
+//! bring far-behind followers up to date with `InstallSnapshot`.
+
+use std::collections::BTreeMap;
+
+use consensus_core::{DedupKvMachine, SmrOp, StateMachine};
+use simnet::{Context, Node, NodeId, Timer, TimerId};
+
+use crate::msg::{Entry, RaftMsg};
+
+/// A replica's current role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Passive: responds to leaders and candidates.
+    Follower,
+    /// Soliciting votes after an election timeout.
+    Candidate,
+    /// Handles all client requests and drives replication.
+    Leader,
+}
+
+const ELECTION: u64 = 1;
+const HEARTBEAT: u64 = 2;
+
+/// Heartbeat period (µs).
+const HB_PERIOD: u64 = 10_000;
+/// Max entries shipped per AppendEntries.
+const BATCH: usize = 32;
+/// Default applied-entry count that triggers a snapshot.
+pub const SNAPSHOT_THRESHOLD: usize = 64;
+
+/// A Raft server.
+pub struct Replica {
+    n_replicas: usize,
+
+    // --- persistent state ---
+    /// Latest term this server has seen.
+    pub current_term: u64,
+    /// Candidate voted for in the current term.
+    pub voted_for: Option<NodeId>,
+    /// The retained log. `log[0]` is the snapshot sentinel whose absolute
+    /// index is `log_offset` (initially the classic index-0 sentinel).
+    log: Vec<Entry>,
+    /// Absolute index of `log[0]`.
+    log_offset: usize,
+    /// The state machine (reconstructable from snapshot + log; shipped
+    /// whole in `InstallSnapshot`).
+    machine: DedupKvMachine,
+
+    // --- volatile state ---
+    /// Current role.
+    pub role: Role,
+    /// Highest log index known committed (absolute).
+    pub commit_index: usize,
+    /// Highest log index applied to the machine (absolute).
+    pub last_applied: usize,
+    votes: usize,
+    election_timer: Option<TimerId>,
+    leader_hint: Option<NodeId>,
+
+    // --- leader state ---
+    next_index: Vec<usize>,
+    match_index: Vec<usize>,
+    pending_reply: BTreeMap<usize, NodeId>,
+    /// Elections this replica has won.
+    pub elections_won: u64,
+
+    // --- compaction ---
+    snapshot_threshold: usize,
+    /// Snapshots this replica has taken locally.
+    pub snapshots_taken: u64,
+    /// Snapshots received and installed from a leader.
+    pub snapshots_installed: u64,
+}
+
+impl Replica {
+    /// Creates a replica for a cluster of `n_replicas`.
+    pub fn new(n_replicas: usize) -> Self {
+        Replica {
+            n_replicas,
+            current_term: 0,
+            voted_for: None,
+            log: vec![Entry {
+                term: 0,
+                op: SmrOp::Noop,
+            }],
+            log_offset: 0,
+            machine: DedupKvMachine::default(),
+            role: Role::Follower,
+            commit_index: 0,
+            last_applied: 0,
+            votes: 0,
+            election_timer: None,
+            leader_hint: None,
+            next_index: Vec::new(),
+            match_index: Vec::new(),
+            pending_reply: BTreeMap::new(),
+            elections_won: 0,
+            snapshot_threshold: SNAPSHOT_THRESHOLD,
+            snapshots_taken: 0,
+            snapshots_installed: 0,
+        }
+    }
+
+    /// Overrides the snapshot threshold (compaction experiments).
+    #[must_use]
+    pub fn with_snapshot_threshold(mut self, t: usize) -> Self {
+        self.snapshot_threshold = t.max(1);
+        self
+    }
+
+    /// Absolute index of the last log entry.
+    pub fn last_log_index(&self) -> usize {
+        self.log_offset + self.log.len() - 1
+    }
+
+    /// Term of the last log entry.
+    pub fn last_log_term(&self) -> u64 {
+        self.log.last().map_or(0, |e| e.term)
+    }
+
+    /// Absolute index of the snapshot sentinel (entries below are gone).
+    pub fn log_offset(&self) -> usize {
+        self.log_offset
+    }
+
+    /// Number of retained log entries (excluding the sentinel).
+    pub fn retained_len(&self) -> usize {
+        self.log.len() - 1
+    }
+
+    /// The replicated state machine.
+    pub fn machine(&self) -> &DedupKvMachine {
+        &self.machine
+    }
+
+    /// Entry at absolute `index`, if still retained.
+    pub fn entry(&self, index: usize) -> Option<&Entry> {
+        index
+            .checked_sub(self.log_offset)
+            .and_then(|rel| self.log.get(rel))
+    }
+
+    /// Term at absolute `index` (`None` if compacted away or beyond the
+    /// end).
+    pub fn term_at(&self, index: usize) -> Option<u64> {
+        self.entry(index).map(|e| e.term)
+    }
+
+    fn majority(&self) -> usize {
+        self.n_replicas / 2 + 1
+    }
+
+    fn reset_election_timer(&mut self, ctx: &mut Context<RaftMsg>) {
+        use rand::Rng;
+        if let Some(t) = self.election_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        // Raft's randomized timeout: [5, 10] heartbeat periods.
+        let timeout = ctx.rng().gen_range(5 * HB_PERIOD..=10 * HB_PERIOD);
+        self.election_timer = Some(ctx.set_timer(timeout, ELECTION));
+    }
+
+    fn become_follower(&mut self, ctx: &mut Context<RaftMsg>, term: u64) {
+        if term > self.current_term {
+            self.current_term = term;
+            self.voted_for = None;
+        }
+        self.role = Role::Follower;
+        self.reset_election_timer(ctx);
+    }
+
+    fn start_election(&mut self, ctx: &mut Context<RaftMsg>) {
+        self.current_term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(ctx.id());
+        self.votes = 1; // own vote
+        self.reset_election_timer(ctx);
+        ctx.broadcast(RaftMsg::RequestVote {
+            term: self.current_term,
+            last_log_index: self.last_log_index(),
+            last_log_term: self.last_log_term(),
+        });
+        if self.votes >= self.majority() {
+            self.become_leader(ctx);
+        }
+    }
+
+    fn become_leader(&mut self, ctx: &mut Context<RaftMsg>) {
+        self.role = Role::Leader;
+        self.elections_won += 1;
+        self.leader_hint = Some(ctx.id());
+        self.next_index = vec![self.last_log_index() + 1; self.n_replicas];
+        self.match_index = vec![0; self.n_replicas];
+        // A no-op entry lets the new leader commit entries from earlier
+        // terms immediately (the commit rule only counts current-term
+        // entries).
+        self.log.push(Entry {
+            term: self.current_term,
+            op: SmrOp::Noop,
+        });
+        self.match_index[ctx.id().index()] = self.last_log_index();
+        self.replicate_all(ctx);
+        ctx.set_timer(HB_PERIOD, HEARTBEAT);
+    }
+
+    fn replicate_all(&mut self, ctx: &mut Context<RaftMsg>) {
+        for peer in 0..self.n_replicas {
+            let peer = NodeId::from(peer);
+            if peer != ctx.id() {
+                self.replicate_to(ctx, peer);
+            }
+        }
+    }
+
+    fn replicate_to(&mut self, ctx: &mut Context<RaftMsg>, peer: NodeId) {
+        let next = self.next_index[peer.index()].max(1);
+        if next <= self.log_offset {
+            // The entries the follower needs are compacted: ship the
+            // snapshot instead.
+            ctx.send(
+                peer,
+                RaftMsg::InstallSnapshot {
+                    term: self.current_term,
+                    last_included_index: self.log_offset,
+                    last_included_term: self.log[0].term,
+                    machine: Box::new(self.machine.clone()),
+                },
+            );
+            return;
+        }
+        let prev_log_index = next - 1;
+        let prev_log_term = self
+            .term_at(prev_log_index)
+            .expect("prev ≥ log_offset is retained");
+        let rel_next = next - self.log_offset;
+        let end = (rel_next + BATCH).min(self.log.len());
+        let entries: Vec<Entry> = self.log[rel_next..end].to_vec();
+        ctx.send(
+            peer,
+            RaftMsg::AppendEntries {
+                term: self.current_term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit: self.commit_index,
+            },
+        );
+    }
+
+    fn advance_commit(&mut self, ctx: &mut Context<RaftMsg>) {
+        for n in (self.commit_index + 1..=self.last_log_index()).rev() {
+            if self.term_at(n) != Some(self.current_term) {
+                continue;
+            }
+            let replicated = self.match_index.iter().filter(|&&m| m >= n).count();
+            if replicated >= self.majority() {
+                self.set_commit_index(ctx, n);
+                break;
+            }
+        }
+    }
+
+    fn set_commit_index(&mut self, ctx: &mut Context<RaftMsg>, index: usize) {
+        let index = index.min(self.last_log_index());
+        if index > self.commit_index {
+            self.commit_index = index;
+        }
+        // Apply in order; entries ≤ log_offset are already reflected in the
+        // machine (they came from a snapshot).
+        while self.last_applied < self.commit_index {
+            self.last_applied += 1;
+            let i = self.last_applied;
+            if i <= self.log_offset {
+                continue;
+            }
+            let op = self.entry(i).expect("committed and retained").op.clone();
+            let out = self.machine.apply(&op);
+            if self.role == Role::Leader {
+                if let (Some(client_node), Some(output), SmrOp::Cmd(cmd)) =
+                    (self.pending_reply.remove(&i), out, &op)
+                {
+                    ctx.send(
+                        client_node,
+                        RaftMsg::Reply {
+                            client: cmd.client,
+                            seq: cmd.seq,
+                            output,
+                        },
+                    );
+                }
+            }
+        }
+        self.maybe_snapshot();
+    }
+
+    /// Compact the applied prefix once it exceeds the threshold.
+    fn maybe_snapshot(&mut self) {
+        let applied_retained = self.last_applied.saturating_sub(self.log_offset);
+        if applied_retained < self.snapshot_threshold {
+            return;
+        }
+        let new_offset = self.last_applied;
+        let sentinel_term = self
+            .term_at(new_offset)
+            .expect("applied entries are retained");
+        let keep_from_rel = new_offset - self.log_offset + 1;
+        let mut new_log = Vec::with_capacity(self.log.len() - keep_from_rel + 1);
+        new_log.push(Entry {
+            term: sentinel_term,
+            op: SmrOp::Noop,
+        });
+        new_log.extend_from_slice(&self.log[keep_from_rel..]);
+        self.log = new_log;
+        self.log_offset = new_offset;
+        self.snapshots_taken += 1;
+    }
+
+    fn log_up_to_date(&self, last_index: usize, last_term: u64) -> bool {
+        last_term > self.last_log_term()
+            || (last_term == self.last_log_term() && last_index >= self.last_log_index())
+    }
+}
+
+impl Node for Replica {
+    type Msg = RaftMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<RaftMsg>) {
+        self.reset_election_timer(ctx);
+        // Bias node 0 to win the first election fast: fire almost at once.
+        if ctx.id() == NodeId(0) {
+            if let Some(t) = self.election_timer.take() {
+                ctx.cancel_timer(t);
+            }
+            self.election_timer = Some(ctx.set_timer(1_000, ELECTION));
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<RaftMsg>, from: NodeId, msg: RaftMsg) {
+        match msg {
+            RaftMsg::Request { cmd } => {
+                if self.role != Role::Leader {
+                    ctx.send(
+                        from,
+                        RaftMsg::NotLeader {
+                            seq: cmd.seq,
+                            hint: self.leader_hint.unwrap_or(NodeId(0)),
+                        },
+                    );
+                    return;
+                }
+                if let Some(out) = self.machine.cached(cmd.client, cmd.seq) {
+                    ctx.send(
+                        from,
+                        RaftMsg::Reply {
+                            client: cmd.client,
+                            seq: cmd.seq,
+                            output: out.clone(),
+                        },
+                    );
+                    return;
+                }
+                let uncommitted_from = self
+                    .commit_index
+                    .max(self.log_offset)
+                    .saturating_sub(self.log_offset)
+                    + 1;
+                let in_flight = self.log[uncommitted_from.min(self.log.len())..]
+                    .iter()
+                    .any(|e| {
+                        matches!(&e.op, SmrOp::Cmd(c) if c.client == cmd.client && c.seq == cmd.seq)
+                    });
+                if in_flight {
+                    return;
+                }
+                self.log.push(Entry {
+                    term: self.current_term,
+                    op: SmrOp::Cmd(cmd),
+                });
+                let index = self.last_log_index();
+                self.match_index[ctx.id().index()] = index;
+                self.pending_reply.insert(index, from);
+                self.replicate_all(ctx);
+            }
+
+            RaftMsg::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => {
+                if term > self.current_term {
+                    self.become_follower(ctx, term);
+                }
+                let grant = term == self.current_term
+                    && (self.voted_for.is_none() || self.voted_for == Some(from))
+                    && self.log_up_to_date(last_log_index, last_log_term);
+                if grant {
+                    self.voted_for = Some(from);
+                    self.reset_election_timer(ctx);
+                }
+                ctx.send(
+                    from,
+                    RaftMsg::VoteResponse {
+                        term: self.current_term,
+                        granted: grant,
+                    },
+                );
+            }
+
+            RaftMsg::VoteResponse { term, granted } => {
+                if term > self.current_term {
+                    self.become_follower(ctx, term);
+                    return;
+                }
+                if self.role == Role::Candidate && term == self.current_term && granted {
+                    self.votes += 1;
+                    if self.votes >= self.majority() {
+                        self.become_leader(ctx);
+                    }
+                }
+            }
+
+            RaftMsg::AppendEntries {
+                term,
+                prev_log_index,
+                prev_log_term,
+                entries,
+                leader_commit,
+            } => {
+                if term < self.current_term {
+                    ctx.send(
+                        from,
+                        RaftMsg::AppendResponse {
+                            term: self.current_term,
+                            success: false,
+                            match_index: 0,
+                        },
+                    );
+                    return;
+                }
+                self.become_follower(ctx, term);
+                self.leader_hint = Some(from);
+
+                if prev_log_index < self.log_offset {
+                    // We have a snapshot past `prev`: ask the leader to
+                    // resume from our offset.
+                    ctx.send(
+                        from,
+                        RaftMsg::AppendResponse {
+                            term: self.current_term,
+                            success: false,
+                            match_index: self.log_offset,
+                        },
+                    );
+                    return;
+                }
+
+                // Consistency check.
+                let ok = self.term_at(prev_log_index) == Some(prev_log_term);
+                if !ok {
+                    let hint = prev_log_index
+                        .saturating_sub(1)
+                        .min(self.last_log_index())
+                        .max(self.log_offset);
+                    ctx.send(
+                        from,
+                        RaftMsg::AppendResponse {
+                            term: self.current_term,
+                            success: false,
+                            match_index: hint,
+                        },
+                    );
+                    return;
+                }
+                // Append, truncating conflicts.
+                let mut index = prev_log_index;
+                for entry in entries {
+                    index += 1;
+                    match self.entry(index) {
+                        Some(existing) if existing.term == entry.term => {}
+                        Some(_) => {
+                            assert!(
+                                index > self.commit_index,
+                                "attempted to truncate a committed entry"
+                            );
+                            self.log.truncate(index - self.log_offset);
+                            self.log.push(entry);
+                        }
+                        None => self.log.push(entry),
+                    }
+                }
+                if leader_commit > self.commit_index {
+                    let last_new = index;
+                    self.set_commit_index(ctx, leader_commit.min(last_new));
+                }
+                ctx.send(
+                    from,
+                    RaftMsg::AppendResponse {
+                        term: self.current_term,
+                        success: true,
+                        match_index: index,
+                    },
+                );
+            }
+
+            RaftMsg::InstallSnapshot {
+                term,
+                last_included_index,
+                last_included_term,
+                machine,
+            } => {
+                if term < self.current_term {
+                    return;
+                }
+                self.become_follower(ctx, term);
+                self.leader_hint = Some(from);
+                if last_included_index <= self.log_offset {
+                    return; // stale snapshot
+                }
+                if self.term_at(last_included_index) == Some(last_included_term) {
+                    // The snapshot is a prefix of our log: keep the suffix.
+                    let keep_rel = last_included_index - self.log_offset;
+                    let mut new_log = vec![Entry {
+                        term: last_included_term,
+                        op: SmrOp::Noop,
+                    }];
+                    new_log.extend_from_slice(&self.log[keep_rel + 1..]);
+                    self.log = new_log;
+                } else {
+                    // Discard the whole log.
+                    self.log = vec![Entry {
+                        term: last_included_term,
+                        op: SmrOp::Noop,
+                    }];
+                }
+                self.log_offset = last_included_index;
+                self.machine = *machine;
+                self.last_applied = last_included_index;
+                self.commit_index = self.commit_index.max(last_included_index);
+                self.snapshots_installed += 1;
+                ctx.send(
+                    from,
+                    RaftMsg::AppendResponse {
+                        term: self.current_term,
+                        success: true,
+                        match_index: last_included_index,
+                    },
+                );
+            }
+
+            RaftMsg::AppendResponse {
+                term,
+                success,
+                match_index,
+            } => {
+                if term > self.current_term {
+                    self.become_follower(ctx, term);
+                    return;
+                }
+                if self.role != Role::Leader || term != self.current_term {
+                    return;
+                }
+                let peer = from.index();
+                if success {
+                    self.match_index[peer] = self.match_index[peer].max(match_index);
+                    self.next_index[peer] = self.match_index[peer] + 1;
+                    self.advance_commit(ctx);
+                    if self.next_index[peer] <= self.last_log_index() {
+                        self.replicate_to(ctx, from);
+                    }
+                } else {
+                    self.next_index[peer] = (match_index + 1).clamp(1, self.last_log_index() + 1);
+                    self.replicate_to(ctx, from);
+                }
+            }
+
+            RaftMsg::Reply { .. } | RaftMsg::NotLeader { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<RaftMsg>, timer: Timer) {
+        match timer.kind {
+            ELECTION => {
+                if self.role != Role::Leader {
+                    self.start_election(ctx);
+                }
+            }
+            HEARTBEAT => {
+                if self.role == Role::Leader {
+                    self.replicate_all(ctx);
+                    ctx.set_timer(HB_PERIOD, HEARTBEAT);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<RaftMsg>) {
+        // current_term, voted_for, log, snapshot, and machine are
+        // persistent; leadership and volatile indices reset.
+        self.role = Role::Follower;
+        self.votes = 0;
+        self.pending_reply.clear();
+        self.election_timer = None;
+        self.reset_election_timer(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_replica_invariants() {
+        let r = Replica::new(3);
+        assert_eq!(r.role, Role::Follower);
+        assert_eq!(r.last_log_index(), 0);
+        assert_eq!(r.last_log_term(), 0);
+        assert_eq!(r.commit_index, 0);
+        assert_eq!(r.log_offset(), 0);
+    }
+
+    #[test]
+    fn log_up_to_date_rule() {
+        let mut r = Replica::new(3);
+        r.log.push(Entry {
+            term: 2,
+            op: SmrOp::Noop,
+        });
+        assert!(r.log_up_to_date(1, 3));
+        assert!(r.log_up_to_date(1, 2));
+        assert!(r.log_up_to_date(2, 2));
+        assert!(!r.log_up_to_date(10, 1));
+    }
+
+    #[test]
+    fn term_at_respects_compaction_boundaries() {
+        let mut r = Replica::new(3);
+        for t in 1..=5u64 {
+            r.log.push(Entry {
+                term: t,
+                op: SmrOp::Noop,
+            });
+        }
+        // Simulate a snapshot at absolute index 3.
+        r.commit_index = 5;
+        r.last_applied = 5;
+        r.log_offset = 0;
+        r.snapshot_threshold = 1;
+        r.maybe_snapshot();
+        assert_eq!(r.log_offset(), 5);
+        assert_eq!(r.term_at(5), Some(5), "sentinel keeps its term");
+        assert_eq!(r.term_at(2), None, "compacted entries are gone");
+        assert_eq!(r.last_log_index(), 5);
+        assert_eq!(r.retained_len(), 0);
+    }
+}

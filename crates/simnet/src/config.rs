@@ -1,0 +1,250 @@
+//! Network configuration: delay models and synchrony modes.
+
+use rand::Rng;
+
+/// How long a message takes from send to delivery, in microseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DelayModel {
+    /// Every message takes exactly this long — an idealized synchronous net.
+    Fixed(u64),
+    /// Uniformly distributed in `[lo, hi]` — synchronous with jitter, the
+    /// bound `hi` is known.
+    Uniform(u64, u64),
+    /// Exponentially distributed with the given mean, optionally capped.
+    /// With `cap: None` delays are unbounded — the asynchronous model of the
+    /// FLP setting, where no protocol can distinguish "slow" from "crashed".
+    Exp {
+        /// Mean one-way delay in microseconds.
+        mean: u64,
+        /// Optional hard cap; `Some(_)` restores partial synchrony.
+        cap: Option<u64>,
+    },
+}
+
+impl DelayModel {
+    /// Samples one delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match *self {
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform(lo, hi) => {
+                if lo >= hi {
+                    lo
+                } else {
+                    rng.gen_range(lo..=hi)
+                }
+            }
+            DelayModel::Exp { mean, cap } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let d = (-(u.ln()) * mean as f64) as u64;
+                match cap {
+                    Some(c) => d.min(c).max(1),
+                    None => d.max(1),
+                }
+            }
+        }
+    }
+
+    /// An upper bound on delays, if one exists (`None` for uncapped
+    /// exponential — the asynchronous case).
+    pub fn bound(&self) -> Option<u64> {
+        match *self {
+            DelayModel::Fixed(d) => Some(d),
+            DelayModel::Uniform(_, hi) => Some(hi),
+            DelayModel::Exp { cap, .. } => cap,
+        }
+    }
+}
+
+/// The synchrony aspect of the tutorial's taxonomy, derived from a delay
+/// model. See the crate docs for the mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Synchrony {
+    /// Known bounds on message delay and processing speed.
+    Synchronous,
+    /// Bounds exist but only hold for a subset / after stabilization.
+    PartiallySynchronous,
+    /// No bounds at all.
+    Asynchronous,
+}
+
+/// Full network configuration for a [`crate::Sim`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Delay model applied to every message (unless a per-link override
+    /// is installed via [`crate::Sim::set_link_delay`]).
+    pub delay: DelayModel,
+    /// Probability a message is silently dropped (omission faults).
+    pub drop_prob: f64,
+    /// Probability a delivered message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Declared synchrony mode, used by protocols that adapt (e.g. timeout
+    /// selection) and reported in experiment records.
+    pub synchrony: Synchrony,
+}
+
+impl NetConfig {
+    /// Idealized synchronous network: fixed 500 µs one-way delay, no loss.
+    pub fn synchronous() -> Self {
+        NetConfig {
+            delay: DelayModel::Fixed(500),
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            synchrony: Synchrony::Synchronous,
+        }
+    }
+
+    /// Datacenter LAN profile: 300–800 µs jittered delay, no loss. This is
+    /// the "partially synchronous, predictable and controllable" setting the
+    /// tutorial says is reasonable inside data centers.
+    pub fn lan() -> Self {
+        NetConfig {
+            delay: DelayModel::Uniform(300, 800),
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            synchrony: Synchrony::PartiallySynchronous,
+        }
+    }
+
+    /// Wide-area profile: 20 ms mean, heavy-tailed, capped at 200 ms.
+    pub fn wan() -> Self {
+        NetConfig {
+            delay: DelayModel::Exp {
+                mean: 20_000,
+                cap: Some(200_000),
+            },
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            synchrony: Synchrony::PartiallySynchronous,
+        }
+    }
+
+    /// Fully asynchronous network: unbounded exponential delays. Under this
+    /// profile no deterministic protocol can be live with even one crash
+    /// fault (FLP).
+    pub fn asynchronous() -> Self {
+        NetConfig {
+            delay: DelayModel::Exp {
+                mean: 1_000,
+                cap: None,
+            },
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            synchrony: Synchrony::Asynchronous,
+        }
+    }
+
+    /// Returns this config with the given message drop probability.
+    pub fn with_drop_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop_prob must be in [0,1]");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Returns this config with the given duplication probability.
+    pub fn with_duplicate_prob(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplicate_prob must be in [0,1]");
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Returns this config with a different delay model.
+    pub fn with_delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    #[test]
+    fn fixed_delay_is_constant() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let m = DelayModel::Fixed(42);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 42);
+        }
+        assert_eq!(m.bound(), Some(42));
+    }
+
+    #[test]
+    fn uniform_delay_respects_bounds() {
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let m = DelayModel::Uniform(10, 20);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!((10..=20).contains(&d));
+        }
+        assert_eq!(m.bound(), Some(20));
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        assert_eq!(DelayModel::Uniform(5, 5).sample(&mut rng), 5);
+    }
+
+    #[test]
+    fn exp_delay_capped_and_positive() {
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let m = DelayModel::Exp {
+            mean: 100,
+            cap: Some(500),
+        };
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!((1..=500).contains(&d));
+        }
+    }
+
+    #[test]
+    fn exp_uncapped_has_no_bound() {
+        let m = DelayModel::Exp {
+            mean: 100,
+            cap: None,
+        };
+        assert_eq!(m.bound(), None);
+    }
+
+    #[test]
+    fn exp_mean_roughly_right() {
+        let mut rng = ChaCha20Rng::seed_from_u64(5);
+        let m = DelayModel::Exp {
+            mean: 1_000,
+            cap: None,
+        };
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| m.sample(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (800.0..1200.0).contains(&mean),
+            "empirical mean {mean} too far from 1000"
+        );
+    }
+
+    #[test]
+    fn profiles_declare_synchrony() {
+        assert_eq!(NetConfig::synchronous().synchrony, Synchrony::Synchronous);
+        assert_eq!(NetConfig::lan().synchrony, Synchrony::PartiallySynchronous);
+        assert_eq!(
+            NetConfig::asynchronous().synchrony,
+            Synchrony::Asynchronous
+        );
+        assert_eq!(NetConfig::asynchronous().delay.bound(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_prob")]
+    fn invalid_drop_prob_panics() {
+        let _ = NetConfig::lan().with_drop_prob(1.5);
+    }
+}

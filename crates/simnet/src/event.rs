@@ -1,0 +1,157 @@
+//! The simulator's event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::TimerId;
+use crate::time::{NodeId, Time};
+
+/// A scheduled occurrence.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver `msg` from `from` to the owning node.
+    Deliver { from: NodeId, msg: M },
+    /// Fire a timer (if still valid for the node's current epoch).
+    TimerFire { id: TimerId, kind: u64, epoch: u32 },
+    /// Crash the node.
+    Crash,
+    /// Restart the node.
+    Restart,
+    /// Install a partition (group list index into `Sim::partition_plans`).
+    Partition { plan: usize },
+    /// Remove any partition.
+    Heal,
+}
+
+pub(crate) struct Event<M> {
+    pub time: Time,
+    pub seq: u64,
+    pub node: NodeId,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        // seq breaks ties deterministically in insertion order.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic priority queue of events.
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, time: Time, node: NodeId, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event {
+            time,
+            seq,
+            node,
+            kind,
+        });
+    }
+
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(Time(30), NodeId(0), EventKind::Crash);
+        q.push(Time(10), NodeId(1), EventKind::Crash);
+        q.push(Time(20), NodeId(2), EventKind::Crash);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.0).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.push(Time(5), NodeId(9), EventKind::Crash);
+        q.push(Time(5), NodeId(7), EventKind::Crash);
+        q.push(Time(5), NodeId(8), EventKind::Crash);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.node.0).collect();
+        assert_eq!(order, vec![9, 7, 8]);
+    }
+
+    proptest! {
+        /// Pops are globally ordered by (time, insertion sequence) for any
+        /// insertion pattern.
+        #[test]
+        fn prop_pops_sorted(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+            let mut q: EventQueue<()> = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(Time(t), NodeId(i as u32), EventKind::Crash);
+            }
+            let mut prev: Option<(Time, u64)> = None;
+            while let Some(e) = q.pop() {
+                if let Some((pt, ps)) = prev {
+                    prop_assert!(
+                        e.time > pt || (e.time == pt && e.seq > ps),
+                        "out of order: {:?},{} after {:?},{}", e.time, e.seq, pt, ps
+                    );
+                }
+                prev = Some((e.time, e.seq));
+            }
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Time(42), NodeId(0), EventKind::Heal);
+        assert_eq!(q.peek_time(), Some(Time(42)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+    }
+}

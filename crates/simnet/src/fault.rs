@@ -1,0 +1,112 @@
+//! Byzantine fault injection: outbound message filters.
+//!
+//! Crash and crash-recovery faults are scheduled with
+//! [`crate::Sim::crash_at`] / [`crate::Sim::restart_at`]. *Byzantine*
+//! behaviour is modelled two ways:
+//!
+//! 1. Implementing a malicious [`crate::Node`] directly (full control), or
+//! 2. Wrapping a correct node with a [`Filter`] installed via
+//!    [`crate::Sim::set_filter`] that intercepts every outbound message and
+//!    may drop, mutate, or replace it **per destination** — which is exactly
+//!    what equivocation ("tell N1 accept=val1 and tell N2 accept=val2") is.
+//!
+//! Filters cannot forge the sender identity; the channel authentication
+//! assumption holds regardless of what a filter does.
+
+use rand_chacha::ChaCha20Rng;
+
+use crate::time::NodeId;
+
+/// What to do with one outbound message.
+#[derive(Debug)]
+pub enum FilterAction<M> {
+    /// Deliver the message unchanged.
+    Deliver,
+    /// Silently drop it (omission / "refuse to pass on information").
+    Drop,
+    /// Deliver a different message instead (lying / equivocation when the
+    /// replacement varies by destination).
+    Replace(M),
+}
+
+/// Intercepts every message a node sends.
+pub trait Filter<M>: Send {
+    /// Decide the fate of `msg` travelling `from → to`.
+    fn outgoing(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: &M,
+        rng: &mut ChaCha20Rng,
+    ) -> FilterAction<M>;
+}
+
+/// Adapter turning a closure into a [`Filter`].
+pub struct FnFilter<F>(pub F);
+
+impl<M, F> Filter<M> for FnFilter<F>
+where
+    F: FnMut(NodeId, NodeId, &M, &mut ChaCha20Rng) -> FilterAction<M> + Send,
+{
+    fn outgoing(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: &M,
+        rng: &mut ChaCha20Rng,
+    ) -> FilterAction<M> {
+        (self.0)(from, to, msg, rng)
+    }
+}
+
+/// A filter that drops everything — a "mute" Byzantine node that still runs
+/// locally but never communicates.
+pub struct DropAll;
+
+impl<M> Filter<M> for DropAll {
+    fn outgoing(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        _msg: &M,
+        _rng: &mut ChaCha20Rng,
+    ) -> FilterAction<M> {
+        FilterAction::Drop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fn_filter_delegates() {
+        let mut rng = ChaCha20Rng::seed_from_u64(0);
+        let mut f = FnFilter(|_from, to: NodeId, msg: &u32, _rng: &mut ChaCha20Rng| {
+            if to == NodeId(2) {
+                FilterAction::Replace(msg + 100)
+            } else {
+                FilterAction::Deliver
+            }
+        });
+        match f.outgoing(NodeId(0), NodeId(2), &5, &mut rng) {
+            FilterAction::Replace(v) => assert_eq!(v, 105),
+            other => panic!("expected Replace, got {other:?}"),
+        }
+        assert!(matches!(
+            f.outgoing(NodeId(0), NodeId(1), &5, &mut rng),
+            FilterAction::Deliver
+        ));
+    }
+
+    #[test]
+    fn drop_all_drops() {
+        let mut rng = ChaCha20Rng::seed_from_u64(0);
+        let mut f = DropAll;
+        assert!(matches!(
+            Filter::<u32>::outgoing(&mut f, NodeId(0), NodeId(1), &1, &mut rng),
+            FilterAction::Drop
+        ));
+    }
+}

@@ -1,0 +1,241 @@
+//! The node (actor) trait and the context handed to its callbacks.
+
+use std::fmt;
+
+use rand_chacha::ChaCha20Rng;
+
+use crate::time::{NodeId, Time};
+
+/// A message payload exchanged between nodes.
+///
+/// `kind` labels the message for metrics and trace/figure output (e.g.
+/// `"prepare"`, `"accept"`); `size_bytes` is an estimate used for bandwidth
+/// accounting — protocols override it where message size matters (HotStuff's
+/// threshold signatures vs PBFT's certificate vectors).
+pub trait Payload: Clone + fmt::Debug + 'static {
+    /// Short label for this message used in metrics and traces.
+    fn kind(&self) -> &'static str {
+        "msg"
+    }
+
+    /// Estimated wire size in bytes.
+    fn size_bytes(&self) -> usize {
+        64
+    }
+}
+
+/// Identifies a pending timer so it can be cancelled.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TimerId(pub(crate) u64);
+
+/// A fired timer, delivered to [`Node::on_timer`].
+#[derive(Clone, Copy, Debug)]
+pub struct Timer {
+    /// The id returned by [`Context::set_timer`].
+    pub id: TimerId,
+    /// Caller-chosen discriminant (protocols use it to tell timeout kinds
+    /// apart, e.g. election timeout vs heartbeat).
+    pub kind: u64,
+}
+
+/// A protocol participant: replica, client, coordinator, miner, …
+///
+/// Implementations are plain state machines; all interaction with the world
+/// goes through the [`Context`]. Heterogeneous roles sharing a message type
+/// are combined with [`crate::node_enum!`].
+pub trait Node {
+    /// The message type this node exchanges.
+    type Msg: Payload;
+
+    /// Called once when the simulation starts (or the node is added to a
+    /// running simulation).
+    fn on_start(&mut self, ctx: &mut Context<Self::Msg>);
+
+    /// Called for every delivered message. `from` is the authenticated
+    /// sender identity.
+    fn on_message(&mut self, ctx: &mut Context<Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer set via [`Context::set_timer`] fires. Timers set
+    /// before a crash never fire after it.
+    fn on_timer(&mut self, ctx: &mut Context<Self::Msg>, timer: Timer) {
+        let _ = (ctx, timer);
+    }
+
+    /// Called when the node restarts after a crash. The node decides which
+    /// parts of its state were durable (e.g. a Paxos acceptor keeps its
+    /// promised ballot; volatile caches reset). Defaults to `on_start`.
+    fn on_restart(&mut self, ctx: &mut Context<Self::Msg>) {
+        self.on_start(ctx);
+    }
+
+    /// Called at the instant the node crashes — a hook for tests that want
+    /// to model losing volatile state.
+    fn on_crash(&mut self) {}
+}
+
+/// An effect a node requests during a callback; applied by the simulator
+/// after the callback returns.
+#[derive(Debug)]
+pub(crate) enum Effect<M> {
+    Send { to: NodeId, msg: M },
+    SetTimer { id: TimerId, delay: u64, kind: u64 },
+    CancelTimer { id: TimerId },
+    Stop,
+}
+
+/// Handle through which a node interacts with the simulated world.
+pub struct Context<'a, M> {
+    pub(crate) node: NodeId,
+    pub(crate) now: Time,
+    pub(crate) n_nodes: usize,
+    pub(crate) rng: &'a mut ChaCha20Rng,
+    pub(crate) effects: &'a mut Vec<Effect<M>>,
+    pub(crate) next_timer: &'a mut u64,
+}
+
+impl<M: Payload> Context<'_, M> {
+    /// This node's own identity.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of nodes currently registered in the simulation.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// This node's private deterministic RNG.
+    #[inline]
+    pub fn rng(&mut self) -> &mut ChaCha20Rng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`. Sending to self is allowed and goes through the
+    /// network like any other message (with delay ~0 handled by the
+    /// simulator as a local hop).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+
+    /// Sends `msg` to every node in `targets`.
+    pub fn send_many<I: IntoIterator<Item = NodeId>>(&mut self, targets: I, msg: M) {
+        for to in targets {
+            self.send(to, msg.clone());
+        }
+    }
+
+    /// Broadcasts to every *other* node.
+    pub fn broadcast(&mut self, msg: M) {
+        let me = self.node;
+        for i in 0..self.n_nodes {
+            let to = NodeId::from(i);
+            if to != me {
+                self.send(to, msg.clone());
+            }
+        }
+    }
+
+    /// Broadcasts to every node *including* self.
+    pub fn broadcast_all(&mut self, msg: M) {
+        for i in 0..self.n_nodes {
+            self.send(NodeId::from(i), msg.clone());
+        }
+    }
+
+    /// Arms a one-shot timer `delay` microseconds from now carrying the
+    /// given `kind` discriminant.
+    pub fn set_timer(&mut self, delay: u64, kind: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.push(Effect::SetTimer { id, delay, kind });
+        id
+    }
+
+    /// Cancels a pending timer. Cancelling an already-fired or unknown timer
+    /// is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::CancelTimer { id });
+    }
+
+    /// Asks the simulator to stop at the end of this callback — used by
+    /// driver nodes once the condition under test has been reached.
+    pub fn stop(&mut self) {
+        self.effects.push(Effect::Stop);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[derive(Clone, Debug)]
+    struct M(&'static str);
+    impl Payload for M {
+        fn kind(&self) -> &'static str {
+            self.0
+        }
+    }
+
+    fn ctx_harness(f: impl FnOnce(&mut Context<M>)) -> Vec<Effect<M>> {
+        let mut rng = ChaCha20Rng::seed_from_u64(0);
+        let mut effects = Vec::new();
+        let mut next_timer = 0;
+        let mut ctx = Context {
+            node: NodeId(1),
+            now: Time(100),
+            n_nodes: 4,
+            rng: &mut rng,
+            effects: &mut effects,
+            next_timer: &mut next_timer,
+        };
+        f(&mut ctx);
+        effects
+    }
+
+    #[test]
+    fn broadcast_excludes_self() {
+        let fx = ctx_harness(|ctx| ctx.broadcast(M("x")));
+        let targets: Vec<NodeId> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send { to, .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(targets, vec![NodeId(0), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn broadcast_all_includes_self() {
+        let fx = ctx_harness(|ctx| ctx.broadcast_all(M("x")));
+        assert_eq!(fx.len(), 4);
+    }
+
+    #[test]
+    fn timer_ids_are_unique() {
+        let fx = ctx_harness(|ctx| {
+            let a = ctx.set_timer(10, 1);
+            let b = ctx.set_timer(20, 2);
+            assert_ne!(a, b);
+        });
+        assert_eq!(fx.len(), 2);
+    }
+
+    #[test]
+    fn payload_defaults() {
+        #[derive(Clone, Debug)]
+        struct D;
+        impl Payload for D {}
+        assert_eq!(D.kind(), "msg");
+        assert_eq!(D.size_bytes(), 64);
+    }
+}

@@ -1,0 +1,808 @@
+//! The simulation engine.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+
+use crate::config::{DelayModel, NetConfig};
+use crate::event::{Event, EventKind, EventQueue};
+use crate::fault::{Filter, FilterAction};
+use crate::metrics::Metrics;
+use crate::node::{Context, Effect, Node, Payload, Timer, TimerId};
+use crate::time::{NodeId, Time};
+use crate::trace::{TraceEntry, TraceEvent};
+
+/// Why a `run_*` call returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Quiescent,
+    /// A node called [`Context::stop`].
+    Stopped,
+    /// The requested time horizon was reached with events still pending.
+    TimeLimit,
+    /// The safety cap on processed events was hit (likely a livelock; the
+    /// Paxos duelling-proposers experiment triggers this deliberately).
+    EventLimit,
+}
+
+struct Slot<N> {
+    node: N,
+    alive: bool,
+    /// Incremented on every crash and restart; timers armed in an older
+    /// epoch never fire.
+    epoch: u32,
+    rng: ChaCha20Rng,
+    started: bool,
+}
+
+/// A deterministic discrete-event simulation of `N`-typed nodes.
+///
+/// See the crate-level docs for the model. All randomness (delays, drops,
+/// node RNGs) derives from the seed passed to [`Sim::new`], so a run is a
+/// pure function of `(node set, config, fault plan, seed)`.
+pub struct Sim<N: Node> {
+    config: NetConfig,
+    slots: Vec<Slot<N>>,
+    queue: EventQueue<N::Msg>,
+    net_rng: ChaCha20Rng,
+    seed: u64,
+    now: Time,
+    next_timer: u64,
+    cancelled: HashSet<TimerId>,
+    metrics: Metrics,
+    trace: Option<Vec<TraceEntry>>,
+    /// `partition[i]` = group id of node i; `None` = fully connected.
+    partition: Option<Vec<usize>>,
+    partition_plans: Vec<Vec<Vec<NodeId>>>,
+    link_delays: HashMap<(NodeId, NodeId), DelayModel>,
+    filters: HashMap<usize, Box<dyn Filter<N::Msg>>>,
+    stop_requested: bool,
+    max_events: u64,
+    events_processed: u64,
+    scratch: Vec<Effect<N::Msg>>,
+}
+
+impl<N: Node> Sim<N> {
+    /// Creates an empty simulation with the given network profile and seed.
+    pub fn new(config: NetConfig, seed: u64) -> Self {
+        Sim {
+            config,
+            slots: Vec::new(),
+            queue: EventQueue::new(),
+            net_rng: ChaCha20Rng::seed_from_u64(seed),
+            seed,
+            now: Time::ZERO,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            metrics: Metrics::default(),
+            trace: None,
+            partition: None,
+            partition_plans: Vec::new(),
+            link_delays: HashMap::new(),
+            filters: HashMap::new(),
+            stop_requested: false,
+            max_events: 20_000_000,
+            events_processed: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Adds a node; returns its id. Accepts anything convertible into the
+    /// node type, so `node_enum!` variants can be passed directly.
+    pub fn add_node(&mut self, node: impl Into<N>) -> NodeId {
+        let idx = self.slots.len();
+        let node_seed = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(idx as u64 + 1));
+        self.slots.push(Slot {
+            node: node.into(),
+            alive: true,
+            epoch: 0,
+            rng: ChaCha20Rng::seed_from_u64(node_seed),
+            started: false,
+        });
+        NodeId::from(idx)
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Immutable access to a node's state (for assertions after a run).
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.slots[id.index()].node
+    }
+
+    /// Mutable access to a node's state (for test setup between runs).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.slots[id.index()].node
+    }
+
+    /// Iterates over `(id, node)` pairs.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &N)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (NodeId::from(i), &s.node))
+    }
+
+    /// Whether the node is currently up.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.slots[id.index()].alive
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Accumulated counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Resets counters (e.g. to measure steady-state separately from setup).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Enables (or disables) trace recording for figure output.
+    pub fn record_trace(&mut self, on: bool) {
+        self.trace = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// The recorded trace, if enabled.
+    pub fn trace(&self) -> &[TraceEntry] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Caps the number of events one `run_*` call may process.
+    pub fn set_max_events(&mut self, cap: u64) {
+        self.max_events = cap;
+    }
+
+    /// Schedules a crash of `id` at absolute time `at`.
+    pub fn crash_at(&mut self, id: NodeId, at: Time) {
+        self.queue.push(at, id, EventKind::Crash);
+    }
+
+    /// Schedules a restart of `id` at absolute time `at`.
+    pub fn restart_at(&mut self, id: NodeId, at: Time) {
+        self.queue.push(at, id, EventKind::Restart);
+    }
+
+    /// Schedules a network partition into the given groups at `at`.
+    /// Nodes absent from every group form an implicit extra group.
+    pub fn partition_at(&mut self, at: Time, groups: Vec<Vec<NodeId>>) {
+        let plan = self.partition_plans.len();
+        self.partition_plans.push(groups);
+        self.queue.push(at, NodeId(0), EventKind::Partition { plan });
+    }
+
+    /// Schedules the partition to heal at `at`.
+    pub fn heal_at(&mut self, at: Time) {
+        self.queue.push(at, NodeId(0), EventKind::Heal);
+    }
+
+    /// Overrides the delay model on the directed link `from → to`.
+    pub fn set_link_delay(&mut self, from: NodeId, to: NodeId, model: DelayModel) {
+        self.link_delays.insert((from, to), model);
+    }
+
+    /// Installs a Byzantine outbound filter on `id` (replacing any previous
+    /// one). See [`crate::fault`].
+    pub fn set_filter(&mut self, id: NodeId, filter: Box<dyn Filter<N::Msg>>) {
+        self.filters.insert(id.index(), filter);
+    }
+
+    /// Removes the filter on `id`, if any.
+    pub fn clear_filter(&mut self, id: NodeId) {
+        self.filters.remove(&id.index());
+    }
+
+    /// Injects a message "from the outside" (e.g. an external client not
+    /// modelled as a node) to be delivered at `at`.
+    pub fn inject(&mut self, from: NodeId, to: NodeId, msg: N::Msg, at: Time) {
+        self.queue.push(at, to, EventKind::Deliver { from, msg });
+    }
+
+    fn ensure_started(&mut self) {
+        for i in 0..self.slots.len() {
+            if !self.slots[i].started {
+                self.slots[i].started = true;
+                self.invoke(i, |node, ctx| node.on_start(ctx));
+            }
+        }
+    }
+
+    /// Runs a node callback with a freshly built context and applies the
+    /// resulting effects.
+    fn invoke(&mut self, idx: usize, f: impl FnOnce(&mut N, &mut Context<N::Msg>)) {
+        let mut effects = std::mem::take(&mut self.scratch);
+        effects.clear();
+        let n_nodes = self.slots.len();
+        {
+            let slot = &mut self.slots[idx];
+            let mut ctx = Context {
+                node: NodeId::from(idx),
+                now: self.now,
+                n_nodes,
+                rng: &mut slot.rng,
+                effects: &mut effects,
+                next_timer: &mut self.next_timer,
+            };
+            f(&mut slot.node, &mut ctx);
+        }
+        let from = NodeId::from(idx);
+        let epoch = self.slots[idx].epoch;
+        for effect in effects.drain(..) {
+            match effect {
+                Effect::Send { to, msg } => self.route(from, to, msg),
+                Effect::SetTimer { id, delay, kind } => {
+                    self.queue
+                        .push(self.now + delay, from, EventKind::TimerFire { id, kind, epoch });
+                }
+                Effect::CancelTimer { id } => {
+                    self.cancelled.insert(id);
+                }
+                Effect::Stop => self.stop_requested = true,
+            }
+        }
+        self.scratch = effects;
+    }
+
+    /// Applies filter, loss, partition, and delay to one message.
+    fn route(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
+        // Local hop: bypasses the network and all accounting.
+        if from == to {
+            self.queue
+                .push(self.now + 1, to, EventKind::Deliver { from, msg });
+            return;
+        }
+
+        // Byzantine outbound filter.
+        let msg = match self.filters.get_mut(&from.index()) {
+            Some(filter) => match filter.outgoing(from, to, &msg, &mut self.net_rng) {
+                FilterAction::Deliver => msg,
+                FilterAction::Drop => return,
+                FilterAction::Replace(m) => m,
+            },
+            None => msg,
+        };
+
+        self.metrics.sent += 1;
+        self.metrics.bytes_sent += msg.size_bytes() as u64;
+        *self.metrics.sent_by_kind.entry(msg.kind()).or_insert(0) += 1;
+        self.push_trace(TraceEvent::Send, from, to, msg.kind());
+
+        // Partition check.
+        if let Some(groups) = &self.partition {
+            let gf = groups.get(from.index()).copied().unwrap_or(usize::MAX);
+            let gt = groups.get(to.index()).copied().unwrap_or(usize::MAX);
+            if gf != gt {
+                self.metrics.dropped += 1;
+                self.push_trace(TraceEvent::Drop, from, to, msg.kind());
+                return;
+            }
+        }
+
+        // Random loss.
+        if self.config.drop_prob > 0.0 {
+            use rand::Rng;
+            if self.net_rng.gen::<f64>() < self.config.drop_prob {
+                self.metrics.dropped += 1;
+                self.push_trace(TraceEvent::Drop, from, to, msg.kind());
+                return;
+            }
+        }
+
+        let model = self
+            .link_delays
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.config.delay);
+        let delay = model.sample(&mut self.net_rng);
+
+        // Possible duplication.
+        if self.config.duplicate_prob > 0.0 {
+            use rand::Rng;
+            if self.net_rng.gen::<f64>() < self.config.duplicate_prob {
+                let delay2 = model.sample(&mut self.net_rng);
+                self.metrics.duplicated += 1;
+                self.queue.push(
+                    self.now + delay2,
+                    to,
+                    EventKind::Deliver {
+                        from,
+                        msg: msg.clone(),
+                    },
+                );
+            }
+        }
+
+        self.queue
+            .push(self.now + delay, to, EventKind::Deliver { from, msg });
+    }
+
+    fn push_trace(&mut self, event: TraceEvent, from: NodeId, to: NodeId, kind: &'static str) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry {
+                time: self.now,
+                event,
+                from,
+                to,
+                kind,
+            });
+        }
+    }
+
+    fn handle(&mut self, ev: Event<N::Msg>) {
+        let idx = ev.node.index();
+        self.now = ev.time;
+        match ev.kind {
+            EventKind::Deliver { from, msg } => {
+                if !self.slots[idx].alive {
+                    if from != ev.node {
+                        self.metrics.dropped += 1;
+                        self.push_trace(TraceEvent::Drop, from, ev.node, msg.kind());
+                    }
+                    return;
+                }
+                if from != ev.node {
+                    self.metrics.delivered += 1;
+                    self.push_trace(TraceEvent::Deliver, from, ev.node, msg.kind());
+                }
+                self.invoke(idx, |node, ctx| node.on_message(ctx, from, msg));
+            }
+            EventKind::TimerFire { id, kind, epoch } => {
+                if self.cancelled.remove(&id) {
+                    return;
+                }
+                let slot = &self.slots[idx];
+                if !slot.alive || slot.epoch != epoch {
+                    return;
+                }
+                self.metrics.timer_fires += 1;
+                self.invoke(idx, |node, ctx| node.on_timer(ctx, Timer { id, kind }));
+            }
+            EventKind::Crash => {
+                let slot = &mut self.slots[idx];
+                if slot.alive {
+                    slot.alive = false;
+                    slot.epoch += 1;
+                    slot.node.on_crash();
+                    self.metrics.crashes += 1;
+                    self.push_trace(TraceEvent::Crash, ev.node, ev.node, "");
+                }
+            }
+            EventKind::Restart => {
+                let slot = &mut self.slots[idx];
+                if !slot.alive {
+                    slot.alive = true;
+                    slot.epoch += 1;
+                    self.metrics.restarts += 1;
+                    self.push_trace(TraceEvent::Restart, ev.node, ev.node, "");
+                    self.invoke(idx, |node, ctx| node.on_restart(ctx));
+                }
+            }
+            EventKind::Partition { plan } => {
+                let groups = self.partition_plans[plan].clone();
+                let mut assignment = vec![usize::MAX; self.slots.len()];
+                for (g, members) in groups.iter().enumerate() {
+                    for id in members {
+                        assignment[id.index()] = g;
+                    }
+                }
+                // Nodes in no group form an implicit extra group together.
+                let extra = groups.len();
+                for a in assignment.iter_mut() {
+                    if *a == usize::MAX {
+                        *a = extra;
+                    }
+                }
+                self.partition = Some(assignment);
+            }
+            EventKind::Heal => {
+                self.partition = None;
+            }
+        }
+    }
+
+    /// Processes one event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        self.ensure_started();
+        match self.queue.pop() {
+            Some(ev) => {
+                self.events_processed += 1;
+                self.handle(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains, a node requests a stop, or the event cap
+    /// is hit.
+    pub fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.run_until(Time::MAX)
+    }
+
+    /// Runs until the given absolute time (inclusive), the queue drains, a
+    /// node requests a stop, or the event cap is hit. Advances `now` to
+    /// `horizon` when the queue still has later events.
+    pub fn run_until(&mut self, horizon: Time) -> RunOutcome {
+        self.ensure_started();
+        self.stop_requested = false;
+        let budget_start = self.events_processed;
+        loop {
+            if self.stop_requested {
+                return RunOutcome::Stopped;
+            }
+            if self.events_processed - budget_start >= self.max_events {
+                return RunOutcome::EventLimit;
+            }
+            match self.queue.peek_time() {
+                None => return RunOutcome::Quiescent,
+                Some(t) if t > horizon => {
+                    if horizon != Time::MAX {
+                        self.now = horizon;
+                    }
+                    return RunOutcome::TimeLimit;
+                }
+                Some(_) => {
+                    let ev = self.queue.pop().expect("peeked");
+                    self.events_processed += 1;
+                    self.handle(ev);
+                }
+            }
+        }
+    }
+
+    /// Runs for `micros` more microseconds of simulated time.
+    pub fn run_for(&mut self, micros: u64) -> RunOutcome {
+        let horizon = self.now + micros;
+        self.run_until(horizon)
+    }
+
+    /// Number of events processed so far, across all `run_*` calls.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of events still queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FnFilter;
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping(u64),
+        Pong(u64),
+    }
+    impl Payload for Msg {
+        fn kind(&self) -> &'static str {
+            match self {
+                Msg::Ping(_) => "ping",
+                Msg::Pong(_) => "pong",
+            }
+        }
+    }
+
+    /// Node 0 pings everyone; others pong back; node 0 counts pongs.
+    struct PingPong {
+        pongs: u64,
+        pings_seen: u64,
+        timer_fired: bool,
+    }
+    impl PingPong {
+        fn new() -> Self {
+            PingPong {
+                pongs: 0,
+                pings_seen: 0,
+                timer_fired: false,
+            }
+        }
+    }
+    impl Node for PingPong {
+        type Msg = Msg;
+        fn on_start(&mut self, ctx: &mut Context<Msg>) {
+            if ctx.id() == NodeId(0) {
+                ctx.broadcast(Msg::Ping(1));
+                ctx.set_timer(10_000, 7);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+            match msg {
+                Msg::Ping(v) => {
+                    self.pings_seen += 1;
+                    ctx.send(from, Msg::Pong(v));
+                }
+                Msg::Pong(_) => self.pongs += 1,
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<Msg>, timer: Timer) {
+            assert_eq!(timer.kind, 7);
+            self.timer_fired = true;
+        }
+    }
+
+    fn pingpong_sim(n: usize, config: NetConfig, seed: u64) -> Sim<PingPong> {
+        let mut sim = Sim::new(config, seed);
+        for _ in 0..n {
+            sim.add_node(PingPong::new());
+        }
+        sim
+    }
+
+    #[test]
+    fn basic_exchange_counts() {
+        let mut sim = pingpong_sim(4, NetConfig::synchronous(), 1);
+        let outcome = sim.run_to_quiescence();
+        assert_eq!(outcome, RunOutcome::Quiescent);
+        assert_eq!(sim.node(NodeId(0)).pongs, 3);
+        assert_eq!(sim.metrics().sent, 6);
+        assert_eq!(sim.metrics().delivered, 6);
+        assert_eq!(sim.metrics().kind("ping"), 3);
+        assert_eq!(sim.metrics().kind("pong"), 3);
+        assert!(sim.node(NodeId(0)).timer_fired);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = |seed| {
+            let mut sim = pingpong_sim(5, NetConfig::lan(), seed);
+            sim.record_trace(true);
+            sim.run_to_quiescence();
+            (
+                sim.now(),
+                sim.metrics().sent,
+                sim.trace()
+                    .iter()
+                    .map(|t| t.render())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(99), run(99));
+        // Different seeds give different delay schedules (trace differs).
+        assert_ne!(run(99).2, run(100).2);
+    }
+
+    #[test]
+    fn crashed_node_drops_messages_and_timers() {
+        let mut sim = pingpong_sim(3, NetConfig::synchronous(), 2);
+        sim.crash_at(NodeId(1), Time(100)); // before the 500µs delivery
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(NodeId(1)).pings_seen, 0);
+        assert_eq!(sim.node(NodeId(0)).pongs, 1); // only node 2 ponged
+        assert_eq!(sim.metrics().crashes, 1);
+        assert!(sim.metrics().dropped >= 1);
+    }
+
+    #[test]
+    fn restart_invokes_on_restart() {
+        struct Counter {
+            starts: u32,
+        }
+        #[derive(Clone, Debug)]
+        struct Nil;
+        impl Payload for Nil {}
+        impl Node for Counter {
+            type Msg = Nil;
+            fn on_start(&mut self, _ctx: &mut Context<Nil>) {
+                self.starts += 1;
+            }
+            fn on_message(&mut self, _ctx: &mut Context<Nil>, _f: NodeId, _m: Nil) {}
+        }
+        let mut sim: Sim<Counter> = Sim::new(NetConfig::synchronous(), 3);
+        let id = sim.add_node(Counter { starts: 0 });
+        sim.crash_at(id, Time(10));
+        sim.restart_at(id, Time(20));
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(id).starts, 2);
+        assert_eq!(sim.metrics().restarts, 1);
+    }
+
+    #[test]
+    fn timers_set_before_crash_do_not_fire_after_restart() {
+        struct T {
+            fired: bool,
+        }
+        #[derive(Clone, Debug)]
+        struct Nil;
+        impl Payload for Nil {}
+        impl Node for T {
+            type Msg = Nil;
+            fn on_start(&mut self, ctx: &mut Context<Nil>) {
+                // Only arm once (on the first start).
+                if !self.fired {
+                    ctx.set_timer(1_000, 0);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Context<Nil>, _f: NodeId, _m: Nil) {}
+            fn on_timer(&mut self, _ctx: &mut Context<Nil>, _t: Timer) {
+                self.fired = true;
+            }
+            fn on_restart(&mut self, _ctx: &mut Context<Nil>) {}
+        }
+        let mut sim: Sim<T> = Sim::new(NetConfig::synchronous(), 4);
+        let id = sim.add_node(T { fired: false });
+        sim.crash_at(id, Time(100));
+        sim.restart_at(id, Time(200));
+        sim.run_to_quiescence();
+        assert!(!sim.node(id).fired, "stale timer fired across a crash");
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let mut sim = pingpong_sim(4, NetConfig::synchronous(), 5);
+        sim.partition_at(Time(0), vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]]);
+        sim.run_to_quiescence();
+        // Pings to 2 and 3 were cut; only node 1 ponged.
+        assert_eq!(sim.node(NodeId(0)).pongs, 1);
+        assert_eq!(sim.metrics().dropped, 2);
+    }
+
+    #[test]
+    fn drop_probability_loses_messages() {
+        let mut sim = pingpong_sim(2, NetConfig::synchronous().with_drop_prob(1.0), 6);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(NodeId(0)).pongs, 0);
+        assert_eq!(sim.metrics().delivered, 0);
+        assert_eq!(sim.metrics().dropped, 1);
+    }
+
+    #[test]
+    fn duplicates_are_delivered_twice() {
+        let mut sim = pingpong_sim(2, NetConfig::synchronous().with_duplicate_prob(1.0), 7);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(NodeId(1)).pings_seen, 2);
+        assert!(sim.metrics().duplicated >= 1);
+    }
+
+    #[test]
+    fn byzantine_filter_can_equivocate() {
+        // Node 0's filter replaces the ping value per destination.
+        let mut sim = pingpong_sim(3, NetConfig::synchronous(), 8);
+        sim.set_filter(
+            NodeId(0),
+            Box::new(FnFilter(|_f, to: NodeId, msg: &Msg, _r: &mut ChaCha20Rng| {
+                if let Msg::Ping(_) = msg {
+                    FilterAction::Replace(Msg::Ping(to.0 as u64 * 100))
+                } else {
+                    FilterAction::Deliver
+                }
+            })),
+        );
+        sim.run_to_quiescence();
+        // Both receivers saw a ping (mutated), both ponged.
+        assert_eq!(sim.node(NodeId(0)).pongs, 2);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = pingpong_sim(2, NetConfig::synchronous(), 9);
+        let outcome = sim.run_until(Time(100)); // deliveries are at 500
+        assert_eq!(outcome, RunOutcome::TimeLimit);
+        assert_eq!(sim.node(NodeId(1)).pings_seen, 0);
+        assert_eq!(sim.now(), Time(100));
+        let outcome = sim.run_to_quiescence();
+        assert_eq!(outcome, RunOutcome::Quiescent);
+        assert_eq!(sim.node(NodeId(1)).pings_seen, 1);
+    }
+
+    #[test]
+    fn event_limit_detects_infinite_chatter() {
+        struct Loop;
+        #[derive(Clone, Debug)]
+        struct M;
+        impl Payload for M {}
+        impl Node for Loop {
+            type Msg = M;
+            fn on_start(&mut self, ctx: &mut Context<M>) {
+                if ctx.id() == NodeId(0) {
+                    ctx.send(NodeId(1), M);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<M>, from: NodeId, _m: M) {
+                ctx.send(from, M);
+            }
+        }
+        let mut sim: Sim<Loop> = Sim::new(NetConfig::synchronous(), 10);
+        sim.add_node(Loop);
+        sim.add_node(Loop);
+        sim.set_max_events(1_000);
+        assert_eq!(sim.run_to_quiescence(), RunOutcome::EventLimit);
+    }
+
+    #[test]
+    fn stop_effect_halts_run() {
+        struct Stopper;
+        #[derive(Clone, Debug)]
+        struct M;
+        impl Payload for M {}
+        impl Node for Stopper {
+            type Msg = M;
+            fn on_start(&mut self, ctx: &mut Context<M>) {
+                if ctx.id() == NodeId(0) {
+                    ctx.send(NodeId(1), M);
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<M>, _f: NodeId, _m: M) {
+                ctx.stop();
+            }
+        }
+        let mut sim: Sim<Stopper> = Sim::new(NetConfig::synchronous(), 11);
+        sim.add_node(Stopper);
+        sim.add_node(Stopper);
+        assert_eq!(sim.run_to_quiescence(), RunOutcome::Stopped);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        struct C {
+            fired: bool,
+        }
+        #[derive(Clone, Debug)]
+        struct M;
+        impl Payload for M {}
+        impl Node for C {
+            type Msg = M;
+            fn on_start(&mut self, ctx: &mut Context<M>) {
+                let id = ctx.set_timer(1_000, 0);
+                ctx.cancel_timer(id);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<M>, _f: NodeId, _m: M) {}
+            fn on_timer(&mut self, _ctx: &mut Context<M>, _t: Timer) {
+                self.fired = true;
+            }
+        }
+        let mut sim: Sim<C> = Sim::new(NetConfig::synchronous(), 12);
+        let id = sim.add_node(C { fired: false });
+        sim.run_to_quiescence();
+        assert!(!sim.node(id).fired);
+    }
+
+    #[test]
+    fn link_delay_override_applies() {
+        let mut sim = pingpong_sim(2, NetConfig::synchronous(), 13);
+        sim.set_link_delay(NodeId(0), NodeId(1), DelayModel::Fixed(50_000));
+        sim.record_trace(true);
+        sim.run_to_quiescence();
+        // Ping delivered at 50ms, pong back at 50.5ms.
+        assert_eq!(sim.now(), Time(50_500));
+    }
+
+    #[test]
+    fn self_send_bypasses_accounting() {
+        struct SelfSender {
+            got: bool,
+        }
+        #[derive(Clone, Debug)]
+        struct M;
+        impl Payload for M {}
+        impl Node for SelfSender {
+            type Msg = M;
+            fn on_start(&mut self, ctx: &mut Context<M>) {
+                let me = ctx.id();
+                ctx.send(me, M);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<M>, _f: NodeId, _m: M) {
+                self.got = true;
+            }
+        }
+        let mut sim: Sim<SelfSender> = Sim::new(NetConfig::synchronous(), 14);
+        let id = sim.add_node(SelfSender { got: false });
+        sim.run_to_quiescence();
+        assert!(sim.node(id).got);
+        assert_eq!(sim.metrics().sent, 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Logical time and node identifiers.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A node identifier, assigned densely from 0 by [`crate::Sim::add_node`].
+///
+/// Node identities are authenticated by construction: the simulator stamps
+/// every delivered message with the true sender, so a Byzantine node can lie
+/// about *content* but never about *who it is* — the standard authenticated
+/// point-to-point channel assumption.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index of this node in the simulator's node table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+/// Logical simulation time in microseconds since the start of the run.
+///
+/// All protocol latencies reported by the benchmark harness are expressed in
+/// this unit; with the default LAN profile one message delay is ~500 µs, so
+/// "3 message delays" (e.g. Zyzzyva's fast path) reads directly off traces.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Time zero — the start of the simulation.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as "never".
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Builds a time from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Time {
+        Time(ms * 1_000)
+    }
+
+    /// Builds a time from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000)
+    }
+
+    /// This instant expressed in microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (truncated) milliseconds.
+    #[inline]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Saturating difference between two instants.
+    #[inline]
+    pub fn saturating_sub(self, other: Time) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    #[inline]
+    fn sub(self, rhs: Time) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}ms", self.0 / 1_000, self.0 % 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::from_millis(3);
+        assert_eq!(t.as_micros(), 3_000);
+        assert_eq!((t + 500).as_micros(), 3_500);
+        assert_eq!(Time::from_secs(1) - Time::from_millis(200), 800_000);
+        assert_eq!(Time::from_millis(1).saturating_sub(Time::from_secs(1)), 0);
+    }
+
+    #[test]
+    fn time_display() {
+        assert_eq!(Time(1_234).to_string(), "1.234ms");
+    }
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from(7usize);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "n7");
+    }
+
+    #[test]
+    fn time_max_saturates() {
+        assert_eq!(Time::MAX + 10, Time::MAX);
+    }
+}

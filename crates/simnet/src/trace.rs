@@ -1,0 +1,72 @@
+//! Optional event trace, used by the benchmark harness to regenerate the
+//! tutorial's message-flow figures (who sent what to whom, when).
+
+use crate::time::{NodeId, Time};
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message left `from` heading to `to`.
+    Send,
+    /// A message was delivered.
+    Deliver,
+    /// A message was dropped (loss, partition, filter, or dead target).
+    Drop,
+    /// A node crashed.
+    Crash,
+    /// A node restarted.
+    Restart,
+}
+
+/// One line of the trace.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub time: Time,
+    /// The event class.
+    pub event: TraceEvent,
+    /// Originating node (for crash/restart: the node itself).
+    pub from: NodeId,
+    /// Destination node (for crash/restart: the node itself).
+    pub to: NodeId,
+    /// Message kind label (empty for crash/restart).
+    pub kind: &'static str,
+}
+
+impl TraceEntry {
+    /// Renders the entry in the compact `t=… n0→n2 prepare` form used by the
+    /// figure output.
+    pub fn render(&self) -> String {
+        match self.event {
+            TraceEvent::Send => format!("{} {}→{} {} (send)", self.time, self.from, self.to, self.kind),
+            TraceEvent::Deliver => {
+                format!("{} {}→{} {}", self.time, self.from, self.to, self.kind)
+            }
+            TraceEvent::Drop => format!("{} {}→{} {} (dropped)", self.time, self.from, self.to, self.kind),
+            TraceEvent::Crash => format!("{} {} CRASH", self.time, self.from),
+            TraceEvent::Restart => format!("{} {} RESTART", self.time, self.from),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_variants() {
+        let base = TraceEntry {
+            time: Time(1500),
+            event: TraceEvent::Deliver,
+            from: NodeId(0),
+            to: NodeId(2),
+            kind: "accept",
+        };
+        assert_eq!(base.render(), "1.500ms n0→n2 accept");
+        let mut e = base.clone();
+        e.event = TraceEvent::Crash;
+        assert!(e.render().contains("CRASH"));
+        e.event = TraceEvent::Drop;
+        assert!(e.render().contains("dropped"));
+    }
+}

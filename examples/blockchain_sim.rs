@@ -1,0 +1,121 @@
+//! Permissionless consensus end-to-end: mine a real (reduced-difficulty)
+//! proof-of-work chain, race miners over a gossip network, watch forks
+//! form and resolve, then contrast with proof of stake and a permissioned
+//! BFT chain.
+//!
+//! ```sh
+//! cargo run --example blockchain_sim
+//! ```
+
+use forty::blockchain::network::run_mining_network;
+use forty::blockchain::permissioned::run_permissioned;
+use forty::blockchain::pos::{run_pos, PosMode};
+use forty::blockchain::pow::{expected_hashes, mine_block, MiningParams};
+use forty::blockchain::{Blockchain, Transaction};
+use forty::simnet::{DelayModel, NetConfig, NodeId, Time};
+
+fn main() {
+    // ---- 1. Mine a real chain, single miner -------------------------
+    let params = MiningParams::trivial();
+    let mut chain = Blockchain::new(params);
+    let mut total_hashes = 0u64;
+    for height in 1..=10u64 {
+        let txs = vec![Transaction::transfer(height, 1, 2, height * 10, 1)];
+        let mined = mine_block(
+            &params,
+            chain.tip(),
+            height,
+            /*miner*/ 0,
+            txs,
+            chain.next_bits(),
+            (height * 600) as u32,
+        );
+        total_hashes += mined.hashes_tried;
+        chain.add_block(mined.block);
+    }
+    println!("── Solo mining ────────────────────────────────────────");
+    println!(
+        "mined {} blocks with {} total hashes (expected ≈ {:.0}/block)",
+        chain.height(),
+        total_hashes,
+        expected_hashes(params.initial_bits)
+    );
+    println!("chain integrity: {}", chain.verify_integrity());
+    println!("miner balance  : {} (rewards halve every {} blocks)", chain.balance(0), params.halving_interval);
+
+    // ---- 2. A mining network: forks vs propagation delay ------------
+    println!();
+    println!("── Mining race: fork rate vs propagation delay ───────");
+    for delay_us in [100u64, 5_000, 15_000] {
+        let report = run_mining_network(
+            &[0.25, 0.25, 0.25, 0.25],
+            30_000, // 30ms mean block interval
+            NetConfig::synchronous().with_delay(DelayModel::Fixed(delay_us)),
+            5_000_000,
+            42,
+        );
+        println!(
+            "propagation {:>6}µs → {} blocks mined, height {}, fork rate {:.1}%, {} txs aborted",
+            delay_us,
+            report.total_mined,
+            report.best_height,
+            report.fork_rate() * 100.0,
+            report.txs_aborted
+        );
+    }
+
+    // ---- 3. Centralization: blocks won track hashrate ---------------
+    println!();
+    println!("── Mining centralization (the 81% pool) ──────────────");
+    let shares = [0.81, 0.10, 0.05, 0.04];
+    let report = run_mining_network(
+        &shares,
+        20_000,
+        NetConfig::synchronous().with_delay(DelayModel::Fixed(500)),
+        8_000_000,
+        7,
+    );
+    let total: u64 = report.chain_blocks_per_miner.iter().sum();
+    for (i, (&share, &won)) in shares
+        .iter()
+        .zip(report.chain_blocks_per_miner.iter())
+        .enumerate()
+    {
+        println!(
+            "pool {i}: hashrate {:>4.0}% → {:>5.1}% of chain blocks",
+            share * 100.0,
+            won as f64 * 100.0 / total.max(1) as f64
+        );
+    }
+
+    // ---- 4. Proof of stake -------------------------------------------
+    println!();
+    println!("── Proof of stake ────────────────────────────────────");
+    let stakes = [500u64, 300, 200];
+    let r = run_pos(&stakes, 10_000, PosMode::Randomized, 0, false, 9);
+    let blocks: u64 = r.blocks.iter().sum();
+    for (i, (&stake, &b)) in stakes.iter().zip(r.blocks.iter()).enumerate() {
+        println!(
+            "validator {i}: stake {:>4.0}% → minted {:>5.1}% of blocks",
+            stake as f64 / 10.0,
+            b as f64 * 100.0 / blocks as f64
+        );
+    }
+    let whale = run_pos(&[900, 50, 50], 10_000, PosMode::CoinAge, 0, false, 9);
+    let wb: u64 = whale.blocks.iter().sum();
+    println!(
+        "coin-age vs a 90% whale: whale mints only {:.1}% (age resets on every win)",
+        whale.blocks[0] as f64 * 100.0 / wb as f64
+    );
+
+    // ---- 5. Permissioned chain ---------------------------------------
+    println!();
+    println!("── Permissioned (Tendermint-style) chain ─────────────");
+    let sim = run_permissioned(4, 10, NetConfig::lan(), 3, Time::from_secs(10));
+    let v = sim.node(NodeId(0));
+    println!(
+        "4 known validators committed {} blocks with {} messages — no mining, quorum votes instead",
+        v.chain.height(),
+        sim.metrics().sent
+    );
+}

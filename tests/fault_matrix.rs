@@ -1,0 +1,145 @@
+//! Fault-injection matrix across the zoo: each protocol against the fault
+//! classes its card claims to tolerate — and against ones it doesn't.
+
+use forty::agreement::flp::{run_voting, Scheduler};
+use forty::atomic_commit::three_phase::{self, CrashPoint};
+use forty::atomic_commit::two_phase;
+use forty::atomic_commit::TxnState;
+use forty::bft::pbft::PbftCluster;
+use forty::bft::xft::is_anarchy;
+use forty::consensus_core::QuorumSpec;
+use forty::paxos::MultiPaxosCluster;
+use forty::raft::RaftCluster;
+use forty::simnet::{DropAll, NetConfig, NodeId, Time};
+
+#[test]
+fn paxos_survives_f_crashes_but_not_f_plus_one() {
+    let mut ok = MultiPaxosCluster::new(
+        QuorumSpec::Majority { n: 5 },
+        5,
+        1,
+        10,
+        NetConfig::lan(),
+        1,
+    );
+    ok.sim.crash_at(NodeId(3), Time::ZERO);
+    ok.sim.crash_at(NodeId(4), Time::ZERO);
+    assert!(ok.run(Time::from_secs(30)), "f = 2 of 5 must be fine");
+
+    let mut dead = MultiPaxosCluster::new(
+        QuorumSpec::Majority { n: 5 },
+        5,
+        1,
+        10,
+        NetConfig::lan(),
+        2,
+    );
+    for id in [2u32, 3, 4] {
+        dead.sim.crash_at(NodeId(id), Time::ZERO);
+    }
+    assert!(!dead.run(Time::from_millis(500)), "f+1 crashes must stall");
+    assert_eq!(dead.total_completed(), 0, "but never decide wrongly");
+}
+
+#[test]
+fn raft_recovers_from_cascading_leader_crashes() {
+    let mut c = RaftCluster::new(5, 1, 15, NetConfig::lan(), 3);
+    // Kill each elected leader in sequence (two leaders may die; 2 = f).
+    c.sim.run_until(Time::from_millis(100));
+    if let Some(l1) = c.leader() {
+        let at = c.sim.now() + 1;
+        c.sim.crash_at(l1, at);
+    }
+    c.sim.run_until(Time::from_millis(500));
+    if let Some(l2) = c.leader() {
+        let at = c.sim.now() + 1;
+        c.sim.crash_at(l2, at);
+    }
+    assert!(c.run(Time::from_secs(60)), "completed {}", c.total_completed());
+    c.check_log_matching();
+}
+
+#[test]
+fn pbft_tolerates_a_fully_silent_byzantine_replica() {
+    let mut c = PbftCluster::new(4, 1, 10, NetConfig::lan(), 4);
+    c.sim.set_filter(NodeId(2), Box::new(DropAll));
+    assert!(c.run(Time::from_secs(30)));
+    c.check_state_agreement();
+}
+
+#[test]
+fn pbft_stalls_beyond_its_byzantine_bound() {
+    // Two silent replicas out of four exceeds f = 1: quorums of 2f+1 = 3
+    // can no longer form. Safety holds (nothing commits), liveness is lost.
+    let mut c = PbftCluster::new(4, 1, 5, NetConfig::lan(), 5);
+    c.sim.set_filter(NodeId(2), Box::new(DropAll));
+    c.sim.set_filter(NodeId(3), Box::new(DropAll));
+    assert!(!c.run(Time::from_secs(2)));
+    assert_eq!(c.total_completed(), 0);
+    c.check_state_agreement();
+}
+
+#[test]
+fn two_pc_blocks_where_three_pc_terminates() {
+    // Same fault (coordinator dies after unanimous yes votes), two
+    // protocols, opposite outcomes — the tutorial's core commitment story.
+    let mut blocked = two_phase::build(&[true, true, true], NetConfig::lan(), 6);
+    if let two_phase::TwoPcProc::Coordinator(c) = blocked.node_mut(NodeId(0)) {
+        c.hang_after_votes = true;
+    }
+    blocked.crash_at(NodeId(0), Time(5_000));
+    blocked.run_until(Time::from_secs(2));
+    assert!(two_phase::participant_states(&blocked)
+        .iter()
+        .all(|s| *s == TxnState::Ready));
+
+    let mut free = three_phase::build(
+        &[true, true, true],
+        CrashPoint::AfterVotes,
+        NetConfig::lan(),
+        6,
+    );
+    free.run_until(Time::from_secs(3));
+    assert!(three_phase::participant_states(&free)
+        .iter()
+        .all(|s| s.is_final()));
+}
+
+#[test]
+fn partitions_respect_quorum_boundaries() {
+    // Majority side keeps committing; minority side stalls; heal unifies.
+    let mut c = RaftCluster::new(5, 1, 20, NetConfig::lan(), 7);
+    c.sim.run_until(Time::from_millis(50));
+    c.sim.partition_at(
+        Time::from_millis(51),
+        vec![
+            vec![NodeId(0), NodeId(1)],
+            vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)],
+        ],
+    );
+    c.sim.heal_at(Time::from_millis(800));
+    assert!(c.run(Time::from_secs(60)));
+    c.check_log_matching();
+}
+
+#[test]
+fn flp_adversary_beats_determinism_at_any_horizon() {
+    for horizon in [100usize, 2_000] {
+        assert!(!run_voting(6, Scheduler::Adversarial, horizon).decided);
+    }
+    assert!(run_voting(6, Scheduler::Fair, 100).decided);
+}
+
+#[test]
+fn xft_anarchy_boundary_is_sharp() {
+    let n = 5; // threshold ⌊(n−1)/2⌋ = 2
+    // Walk the fault lattice; anarchy iff malice present and total > 2.
+    for c in 0..=3usize {
+        for m in 0..=3usize {
+            for p in 0..=3usize {
+                let expected = m > 0 && c + m + p > 2;
+                assert_eq!(is_anarchy(c, m, p, n), expected, "c={c} m={m} p={p}");
+            }
+        }
+    }
+}
