@@ -15,7 +15,10 @@
 
 use std::collections::BTreeMap;
 
-use simnet::{Context, NetConfig, Node, NodeId, Payload, Sim, Time};
+use simnet::{CncPhase, Context, NetConfig, Node, NodeId, Payload, Sim, Time};
+
+/// Span protocol label; a run is one binary-consensus instance (instance 0).
+const SPAN: &str = "ben-or";
 
 /// Ben-Or wire messages.
 #[derive(Clone, Debug)]
@@ -100,6 +103,9 @@ impl BenOrNode {
 
     fn begin_round(&mut self, ctx: &mut Context<BenOrMsg>) {
         self.phase = Phase::Reporting;
+        // Reporting is Ben-Or's value-discovery phase: learn whether a
+        // majority value exists. There is no leader election at all.
+        ctx.phase(SPAN, 0, self.round, CncPhase::ValueDiscovery);
         ctx.broadcast_all(BenOrMsg::Report {
             round: self.round,
             value: self.value,
@@ -129,6 +135,7 @@ impl BenOrNode {
                         None
                     };
                     self.phase = Phase::Proposing;
+                    ctx.phase(SPAN, 0, self.round, CncPhase::Agreement);
                     ctx.broadcast_all(BenOrMsg::Propose {
                         round: self.round,
                         value: proposal,
@@ -147,6 +154,8 @@ impl BenOrNode {
                     if support >= self.f + 1 {
                         self.decided = Some(best);
                         self.rounds_used = self.round + 1;
+                        ctx.phase(SPAN, 0, self.round, CncPhase::Decision);
+                        ctx.span_close(SPAN, 0, self.round);
                         ctx.broadcast(BenOrMsg::Decided { value: best });
                         return;
                     }
@@ -169,6 +178,7 @@ impl Node for BenOrNode {
     type Msg = BenOrMsg;
 
     fn on_start(&mut self, ctx: &mut Context<BenOrMsg>) {
+        ctx.span_open(SPAN, 0, 0);
         self.begin_round(ctx);
     }
 
@@ -186,6 +196,8 @@ impl Node for BenOrNode {
                 } else {
                     self.decided = Some(value);
                     self.rounds_used = self.round + 1;
+                    ctx.phase(SPAN, 0, self.round, CncPhase::Decision);
+                    ctx.span_close(SPAN, 0, self.round);
                     // Help others decide too.
                     ctx.broadcast(BenOrMsg::Decided { value });
                 }

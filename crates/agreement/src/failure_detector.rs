@@ -168,11 +168,9 @@ impl Node for CtProcess {
     }
 
     fn on_message(&mut self, ctx: &mut Context<CtMsg>, from: NodeId, msg: CtMsg) {
-        if self.decided.is_some() {
-            if let CtMsg::Estimate { round, .. } = msg {
+        if let Some(value) = self.decided {
+            if let CtMsg::Estimate { .. } = msg {
                 // Help laggards: repeat the decision.
-                let _ = round;
-                let value = self.decided.expect("checked");
                 ctx.send(from, CtMsg::Decide { value });
             }
             return;

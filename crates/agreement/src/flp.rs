@@ -53,7 +53,7 @@ pub struct FlpReport {
 /// initial values split 50/50 — the bivalent initial configuration) for at
 /// most `max_rounds`.
 pub fn run_voting(n: usize, scheduler: Scheduler, max_rounds: usize) -> FlpReport {
-    assert!(n >= 4 && n % 2 == 0, "use an even n ≥ 4 for a bivalent start");
+    assert!(n >= 4 && n.is_multiple_of(2), "use an even n ≥ 4 for a bivalent start");
     let mut values: Vec<u8> = (0..n).map(|i| u8::from(i >= n / 2)).collect();
     let mut unanimous_seen: Vec<bool> = vec![false; n];
     let mut history = Vec::new();

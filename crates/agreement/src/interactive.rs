@@ -62,8 +62,8 @@ pub fn interactive_consistency(
     let mut got = vec![vec![0u64; n]; n];
     let mut messages = 0u64;
     for i in 0..n {
-        for j in 0..n {
-            got[j][i] = if i == j {
+        for (j, row) in got.iter_mut().enumerate() {
+            row[i] = if i == j {
                 values[i]
             } else {
                 messages += 1;
@@ -81,7 +81,7 @@ pub fn interactive_consistency(
     // relayed[j][k] = the vector j received from k.
     let mut relayed: Vec<Vec<Option<Vec<u64>>>> = vec![vec![None; n]; n];
     for k in 0..n {
-        for j in 0..n {
+        for (j, row) in relayed.iter_mut().enumerate() {
             if j == k {
                 continue;
             }
@@ -91,7 +91,7 @@ pub fn interactive_consistency(
             } else {
                 got[k].clone()
             };
-            relayed[j][k] = Some(v);
+            row[k] = Some(v);
         }
     }
 

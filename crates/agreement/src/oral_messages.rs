@@ -38,7 +38,7 @@ pub struct ParitySplit;
 
 impl TraitorStrategy for ParitySplit {
     fn send(&mut self, _path: &[usize], _sender: usize, receiver: usize, _honest: u64) -> u64 {
-        if receiver % 2 == 0 {
+        if receiver.is_multiple_of(2) {
             ATTACK
         } else {
             RETREAT
@@ -243,7 +243,7 @@ mod tests {
         let broken = [ts(&[0, 1]), ts(&[0, 5]), ts(&[1, 2])].iter().any(|traitors| {
             let a = om(6, 2, ATTACK, traitors, &mut ParitySplit);
             let b = om(6, 2, RETREAT, traitors, &mut ParitySplit);
-            !(a.ic1 && a.ic2) || !(b.ic1 && b.ic2)
+            !(a.ic1 && a.ic2 && b.ic1 && b.ic2)
         });
         assert!(broken, "n=6,m=2 should be breakable");
     }

@@ -1,0 +1,55 @@
+//! Regenerates the documentation tree under `docs/`.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin figures              # write docs/
+//! cargo run --release -p bench --bin figures -- --out tmp # elsewhere
+//! cargo run --release -p bench --bin figures -- --list    # page slugs
+//! ```
+//!
+//! Output is deterministic (fixed seeds, no timestamps); running twice
+//! produces byte-identical files, which is what the CI docs-drift check
+//! relies on.
+
+use std::fs;
+use std::path::Path;
+
+use bench::figures::{all_pages, index_page};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_dir = String::from("docs");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_dir = args.get(i + 1).cloned().unwrap_or(out_dir);
+                i += 2;
+            }
+            "--list" => {
+                for p in all_pages() {
+                    println!("{}", p.slug);
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: figures [--out <dir>] [--list]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let root = Path::new(&out_dir);
+    let protocols = root.join("protocols");
+    fs::create_dir_all(&protocols).expect("create docs dir");
+
+    let pages = all_pages();
+    for p in &pages {
+        let path = protocols.join(format!("{}.md", p.slug));
+        fs::write(&path, &p.body).expect("write page");
+        println!("wrote {}", path.display());
+    }
+    fs::write(root.join("README.md"), index_page(&pages)).expect("write index");
+    println!("wrote {}", root.join("README.md").display());
+    println!("{} pages", pages.len());
+}

@@ -1,14 +1,14 @@
 //! Regenerates every table and figure of the tutorial.
 //!
 //! ```sh
-//! cargo run --release -p consensus-bench --bin tables             # everything
-//! cargo run --release -p consensus-bench --bin tables -- --exp f11
-//! cargo run --release -p consensus-bench --bin tables -- --json out.json
+//! cargo run --release -p bench --bin tables             # everything
+//! cargo run --release -p bench --bin tables -- --exp f11
+//! cargo run --release -p bench --bin tables -- --json out.json
 //! ```
 
 use std::io::Write as _;
 
-use consensus_bench::all_experiments;
+use bench::all_experiments;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -107,8 +107,8 @@ pub fn t1_taxonomy() -> Report {
         id: "t1",
         title: "Taxonomy: protocol cards, with measured message growth",
         lines,
-        data: json!({"cards": rows, "measured_growth": {
-            "paxos": p10 / p4, "pbft": b10 / b4, "hotstuff": h10 / h4 }}),
+        data: json!({"cards": rows, "measured_growth": json!({
+            "paxos": p10 / p4, "pbft": b10 / b4, "hotstuff": h10 / h4 })}),
     }
 }
 
@@ -1213,8 +1213,11 @@ pub fn t5_comparison() -> Report {
     }
 }
 
+/// One registered experiment: its ID and the function that runs it.
+pub type Experiment = (&'static str, fn() -> Report);
+
 /// The registry: every experiment, in presentation order.
-pub fn all_experiments() -> Vec<(&'static str, fn() -> Report)> {
+pub fn all_experiments() -> Vec<Experiment> {
     vec![
         ("t1", t1_taxonomy as fn() -> Report),
         ("f1", f1_paxos_flow),

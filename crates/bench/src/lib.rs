@@ -1,4 +1,4 @@
-//! # consensus-bench — regenerate every table and figure
+//! # bench — regenerate every table and figure
 //!
 //! One function per experiment from DESIGN.md's per-experiment index
 //! (T1–T5, F1–F25). Each returns a [`Report`] with human-readable lines
@@ -8,10 +8,20 @@
 //! Run everything:
 //!
 //! ```sh
-//! cargo run --release -p consensus-bench --bin tables
-//! cargo run --release -p consensus-bench --bin tables -- --exp f11
+//! cargo run --release -p bench --bin tables
+//! cargo run --release -p bench --bin tables -- --exp f11
+//! ```
+//!
+//! The `figures` binary renders the generated documentation under `docs/`
+//! (Mermaid message-flow diagrams, taxonomy info cards, measured
+//! statistics) from the same deterministic simulations:
+//!
+//! ```sh
+//! cargo run --release -p bench --bin figures
 //! ```
 
 pub mod experiments;
+pub mod figures;
+pub mod render;
 
 pub use experiments::{all_experiments, Report};

@@ -19,7 +19,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
 use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, StateMachine};
-use simnet::{Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer};
+use simnet::{CncPhase, Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer};
+
+/// Span protocol label; instances are sequence numbers.
+const SPAN: &str = "cheapbft";
 
 use crate::sim_crypto::{digest_of, Usig, UsigCert, UsigVerifier};
 
@@ -300,6 +303,8 @@ impl Node for CheapReplica {
                     }
                     self.next_seq += 1;
                     let n = self.next_seq;
+                    ctx.span_open(SPAN, n, 0);
+                    ctx.phase(SPAN, n, 0, CncPhase::ValueDiscovery);
                     let proto = self.proto;
                     let ui = self
                         .usig
@@ -353,6 +358,10 @@ impl Node for CheapReplica {
                     return;
                 }
                 let inst = self.instances.entry(seq).or_default();
+                if inst.cmd.is_none() {
+                    ctx.span_open(SPAN, seq, 0);
+                    ctx.phase(SPAN, seq, 0, CncPhase::Agreement);
+                }
                 inst.cmd = Some(cmd);
                 inst.commits.insert(from);
                 let my_ui = self.usig.create(digest_of(&(proto_tag(proto), seq)));
@@ -382,6 +391,8 @@ impl Node for CheapReplica {
                 inst.commits.insert(from);
                 if inst.commits.len() >= quorum && !inst.decided {
                     inst.decided = true;
+                    ctx.phase(SPAN, n, 0, CncPhase::Decision);
+                    ctx.span_close(SPAN, n, 0);
                     let cmd = inst.cmd.clone().expect("prepared");
                     // Updates serve both as decide for actives and state
                     // transfer for passives.
@@ -401,6 +412,10 @@ impl Node for CheapReplica {
                 let inst = self.instances.entry(n).or_default();
                 if inst.cmd.is_none() {
                     inst.cmd = Some(cmd);
+                }
+                if !inst.decided {
+                    ctx.phase(SPAN, n, 0, CncPhase::Decision);
+                    ctx.span_close(SPAN, n, 0);
                 }
                 inst.decided = true;
                 self.try_execute(ctx);

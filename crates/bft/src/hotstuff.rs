@@ -22,7 +22,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
 use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, StateMachine};
-use simnet::{Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer};
+use simnet::{CncPhase, Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer};
+
+/// Span protocol label; instances are HotStuff view/instance numbers.
+const SPAN: &str = "hotstuff";
 
 use crate::sim_crypto::{digest_of, Digest, QuorumCert};
 
@@ -263,6 +266,8 @@ impl HsReplica {
             inst.cmd = Some(cmd.clone());
             inst.digest = digest;
             inst.phase = HsPhase::Prepare;
+            ctx.span_open(SPAN, n, 0);
+            ctx.phase(SPAN, n, 0, CncPhase::ValueDiscovery);
             ctx.send_many(self.replica_ids(), HsMsg::Propose { n, cmd });
         }
     }
@@ -285,11 +290,16 @@ impl HsReplica {
         let me = ctx.id();
         let inst = self.instances.entry(n).or_default();
         match completed {
-            HsPhase::Prepare => inst.phase = HsPhase::PreCommit,
+            HsPhase::Prepare => {
+                inst.phase = HsPhase::PreCommit;
+                ctx.phase(SPAN, n, 0, CncPhase::Agreement);
+            }
             HsPhase::PreCommit => inst.phase = HsPhase::Commit,
             HsPhase::Commit => {
                 inst.phase = HsPhase::Decide;
                 inst.decided = true;
+                ctx.phase(SPAN, n, 0, CncPhase::Decision);
+                ctx.span_close(SPAN, n, 0);
             }
             HsPhase::Decide => {}
         }
@@ -385,6 +395,10 @@ impl Node for HsReplica {
                 let inst = self.instances.entry(n).or_default();
                 if inst.cmd.is_some() && inst.digest != digest {
                     return; // equivocation: keep the first
+                }
+                if inst.cmd.is_none() {
+                    ctx.span_open(SPAN, n, 0);
+                    ctx.phase(SPAN, n, 0, CncPhase::ValueDiscovery);
                 }
                 inst.cmd = Some(cmd.clone());
                 inst.digest = digest;

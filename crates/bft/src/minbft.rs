@@ -19,7 +19,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
 use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, StateMachine};
-use simnet::{Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer, TimerId};
+use simnet::{CncPhase, Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer, TimerId};
+
+/// Span protocol label; instances are USIG counters, rounds are views.
+const SPAN: &str = "minbft";
 
 use crate::sim_crypto::{digest_of, Usig, UsigCert, UsigVerifier};
 
@@ -278,6 +281,8 @@ impl Node for MinReplica {
                     // Order it: the USIG counter is the sequence number.
                     let ui = self.usig.create(digest_of(&cmd));
                     let n = ui.counter;
+                    ctx.span_open(SPAN, n, self.view);
+                    ctx.phase(SPAN, n, self.view, CncPhase::ValueDiscovery);
                     let me = ctx.id();
                     let inst = self.instances.entry(n).or_default();
                     inst.cmd = Some(cmd.clone());
@@ -304,6 +309,10 @@ impl Node for MinReplica {
                 }
                 let n = ui.counter;
                 let inst = self.instances.entry(n).or_default();
+                if inst.cmd.is_none() {
+                    ctx.span_open(SPAN, n, view);
+                    ctx.phase(SPAN, n, view, CncPhase::Agreement);
+                }
                 inst.cmd = Some(cmd);
                 inst.commits.insert(from);
                 // Endorse with our own USIG.
@@ -324,6 +333,8 @@ impl Node for MinReplica {
                 inst.commits.insert(from);
                 if inst.commits.len() >= quorum && !inst.decided {
                     inst.decided = true;
+                    ctx.phase(SPAN, n, view, CncPhase::Decision);
+                    ctx.span_close(SPAN, n, view);
                     let me = ctx.id();
                     ctx.send_many(self.peer_replicas(me), MinMsg::Decide { view, n });
                     self.try_execute(ctx);
@@ -336,6 +347,10 @@ impl Node for MinReplica {
                 }
                 let inst = self.instances.entry(n).or_default();
                 if inst.cmd.is_some() {
+                    if !inst.decided {
+                        ctx.phase(SPAN, n, view, CncPhase::Decision);
+                        ctx.span_close(SPAN, n, view);
+                    }
                     inst.decided = true;
                     self.try_execute(ctx);
                 }
@@ -351,6 +366,7 @@ impl Node for MinReplica {
                 // new primary's quorum).
                 if self.max_vc_sent < new_view {
                     self.max_vc_sent = new_view;
+                    ctx.phase(SPAN, self.executed_counter + 1, new_view, CncPhase::LeaderElection);
                     let me = ctx.id();
                     self.vc_votes.entry(new_view).or_default().insert(me);
                     ctx.send_many(self.peer_replicas(me), MinMsg::ViewChange { new_view });

@@ -28,9 +28,12 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
 use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, ReplicatedLog, SmrOp, StateMachine};
-use simnet::{Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer, TimerId};
+use simnet::{CncPhase, Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer, TimerId};
 
 use crate::sim_crypto::{digest_of, Digest};
+
+/// Span protocol label; instances are sequence numbers, rounds are views.
+const SPAN: &str = "pbft";
 
 /// PBFT wire messages.
 #[derive(Clone, Debug)]
@@ -291,6 +294,10 @@ impl PbftReplica {
         let n = self.next_seq;
         let digest = digest_of(&cmd);
         let view = self.view;
+        // Pre-prepare is where the primary binds a value to a sequence
+        // number — PBFT's value-discovery phase.
+        ctx.span_open(SPAN, n, view);
+        ctx.phase(SPAN, n, view, CncPhase::ValueDiscovery);
         {
             let me = ctx.id();
             let inst = self.instance(n);
@@ -323,6 +330,7 @@ impl PbftReplica {
         inst.prepared = true;
         inst.commits.insert(me);
         let digest = inst.digest;
+        ctx.phase(SPAN, n, view, CncPhase::Agreement);
         ctx.send_many(self.peer_replicas(me), PbftMsg::Commit { view, n, digest });
         self.maybe_committed(ctx, n);
     }
@@ -334,6 +342,9 @@ impl PbftReplica {
             return;
         }
         inst.committed = true;
+        let view = inst.view;
+        ctx.phase(SPAN, n, view, CncPhase::Decision);
+        ctx.span_close(SPAN, n, view);
         self.try_execute(ctx);
     }
 
@@ -408,6 +419,7 @@ impl PbftReplica {
 
     fn start_view_change(&mut self, ctx: &mut Context<PbftMsg>) {
         let new_view = self.view + 1;
+        ctx.phase(SPAN, self.executed_upto + 1, new_view, CncPhase::LeaderElection);
         self.max_vc_sent = self.max_vc_sent.max(new_view);
         let prepared: Vec<(u64, u64, Command<KvCommand>)> = self
             .instances
@@ -515,12 +527,17 @@ impl PbftReplica {
             inst.prepared = false;
             inst.committed = inst.committed && inst.digest == digest;
         }
+        let newly_seen = !inst.pre_prepared;
         inst.cmd = Some(cmd);
         inst.digest = digest;
         inst.view = view;
         inst.pre_prepared = true;
         inst.prepares.insert(from); // primary's implicit prepare
         inst.prepares.insert(me);
+        if newly_seen {
+            ctx.span_open(SPAN, n, view);
+            ctx.phase(SPAN, n, view, CncPhase::ValueDiscovery);
+        }
         ctx.send_many(self.peer_replicas(me), PbftMsg::Prepare { view, n, digest });
         self.arm_view_timer(ctx);
         self.maybe_prepared(ctx, n);

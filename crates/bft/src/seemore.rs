@@ -21,7 +21,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
 use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, StateMachine};
-use simnet::{Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer};
+use simnet::{CncPhase, Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer};
+
+/// Span protocol label; instances are sequence numbers.
+const SPAN: &str = "seemore";
 
 use crate::sim_crypto::{digest_of, Digest};
 
@@ -225,6 +228,8 @@ impl SmReplica {
     }
 
     fn decide(&mut self, ctx: &mut Context<SmMsg>, n: u64) {
+        ctx.phase(SPAN, n, 0, CncPhase::Decision);
+        ctx.span_close(SPAN, n, 0);
         let cmd = {
             let inst = self.instances.entry(n).or_default();
             if inst.decided {
@@ -308,6 +313,8 @@ impl Node for SmReplica {
                 self.next_seq += 1;
                 let n = self.next_seq;
                 let digest = digest_of(&cmd);
+                ctx.span_open(SPAN, n, 0);
+                ctx.phase(SPAN, n, 0, CncPhase::ValueDiscovery);
                 let me = ctx.id();
                 let inst = self.instances.entry(n).or_default();
                 inst.cmd = Some(cmd.clone());
@@ -332,6 +339,10 @@ impl Node for SmReplica {
                     let inst = self.instances.entry(n).or_default();
                     if inst.cmd.is_some() && inst.digest != digest {
                         return; // equivocation: keep the first proposal
+                    }
+                    if inst.cmd.is_none() {
+                        ctx.span_open(SPAN, n, 0);
+                        ctx.phase(SPAN, n, 0, CncPhase::Agreement);
                     }
                     inst.cmd = Some(cmd);
                     inst.digest = digest;
@@ -412,6 +423,10 @@ impl Node for SmReplica {
                 if inst.cmd.is_none() {
                     inst.digest = digest_of(&cmd);
                     inst.cmd = Some(cmd);
+                }
+                if !inst.decided {
+                    ctx.phase(SPAN, n, 0, CncPhase::Decision);
+                    ctx.span_close(SPAN, n, 0);
                 }
                 inst.decided = true;
                 self.try_execute(ctx);

@@ -21,7 +21,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
 use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, StateMachine};
-use simnet::{Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer, TimerId};
+use simnet::{CncPhase, Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer, TimerId};
+
+/// Span protocol label; instances are sequence numbers, rounds are views.
+const SPAN: &str = "xft";
 
 use crate::sim_crypto::digest_of;
 
@@ -210,6 +213,8 @@ impl XftReplica {
                 inst.executed = true;
                 inst.cmd.clone().expect("ready")
             };
+            ctx.phase(SPAN, next, self.view, CncPhase::Decision);
+            ctx.span_close(SPAN, next, self.view);
             self.apply(ctx, cmd.clone());
             self.executed_upto = next;
             self.disarm_view_timer(ctx);
@@ -278,6 +283,8 @@ impl Node for XftReplica {
                     let n = self.next_seq;
                     let me = ctx.id();
                     let view = self.view;
+                    ctx.span_open(SPAN, n, view);
+                    ctx.phase(SPAN, n, view, CncPhase::ValueDiscovery);
                     let inst = self.instances.entry(n).or_default();
                     inst.cmd = Some(cmd.clone());
                     inst.endorsements.insert(me);
@@ -307,6 +314,10 @@ impl Node for XftReplica {
                 let me = ctx.id();
                 {
                     let inst = self.instances.entry(n).or_default();
+                    if inst.cmd.is_none() {
+                        ctx.span_open(SPAN, n, view);
+                        ctx.phase(SPAN, n, view, CncPhase::Agreement);
+                    }
                     inst.cmd = Some(cmd);
                     inst.endorsements.insert(from);
                     inst.endorsements.insert(me);
@@ -355,6 +366,7 @@ impl Node for XftReplica {
                 self.vc_votes.entry(new_view).or_default().insert(from);
                 if self.max_vc_sent < new_view {
                     self.max_vc_sent = new_view;
+                    ctx.phase(SPAN, self.executed_upto + 1, new_view, CncPhase::LeaderElection);
                     let me = ctx.id();
                     self.vc_votes.entry(new_view).or_default().insert(me);
                     ctx.send_many(self.peer_replicas(me), XftMsg::ViewChange { new_view });

@@ -21,7 +21,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
 use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, StateMachine};
-use simnet::{Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer};
+use simnet::{CncPhase, Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer};
+
+/// Span protocol label; instances are sequence numbers, rounds are views.
+const SPAN: &str = "zyzzyva";
 
 use crate::sim_crypto::{digest_of, Digest};
 
@@ -153,6 +156,11 @@ impl ZyzReplica {
                 self.pending.insert(n, (hist, cmd));
                 return;
             }
+            // Speculative execution collapses agreement and decision into
+            // one optimistic step; the client is the real commitment point.
+            ctx.phase(SPAN, n, self.view, CncPhase::Agreement);
+            ctx.phase(SPAN, n, self.view, CncPhase::Decision);
+            ctx.span_close(SPAN, n, self.view);
             let output = self
                 .machine
                 .apply(&consensus_core::SmrOp::Cmd(cmd.clone()))
@@ -223,6 +231,8 @@ impl Node for ZyzReplica {
                 }
                 let hist = Self::chain(hist, &cmd);
                 let view = self.view;
+                ctx.span_open(SPAN, n, view);
+                ctx.phase(SPAN, n, view, CncPhase::ValueDiscovery);
                 self.pending.insert(n, (hist, cmd.clone()));
                 let me = ctx.id();
                 let backups: Vec<NodeId> = (0..self.n_replicas)

@@ -138,7 +138,7 @@ impl Blockchain {
     pub fn next_bits(&self) -> u32 {
         let tip = &self.blocks[&self.tip];
         let next_height = tip.height + 1;
-        if next_height % self.params.retarget_interval != 0 || tip.height == 0 {
+        if !next_height.is_multiple_of(self.params.retarget_interval) || tip.height == 0 {
             return tip.block.header.bits;
         }
         // Time the last `retarget_interval` blocks actually took.

@@ -12,9 +12,12 @@
 
 use std::collections::BTreeMap;
 
-use simnet::{Context, NetConfig, Node, NodeId, Sim, Time, Timer};
+use simnet::{CncPhase, Context, NetConfig, Node, NodeId, Sim, Time, Timer};
 
 use crate::msg::{CommitMsg, TxnState};
+
+/// Span protocol label; instances are transaction ids.
+const SPAN: &str = "3pc";
 
 const DECISION_TIMEOUT: u64 = 1;
 const TIMEOUT_US: u64 = 30_000;
@@ -60,6 +63,8 @@ impl Node for Coordinator {
     type Msg = CommitMsg;
 
     fn on_start(&mut self, ctx: &mut Context<CommitMsg>) {
+        ctx.span_open(SPAN, self.txn, 0);
+        ctx.phase(SPAN, self.txn, 0, CncPhase::ValueDiscovery);
         ctx.broadcast(CommitMsg::VoteRequest { txn: self.txn });
         self.state = TxnState::Ready;
     }
@@ -72,6 +77,8 @@ impl Node for Coordinator {
                 }
                 if !yes {
                     self.state = TxnState::Aborted;
+                    ctx.phase(SPAN, txn, 0, CncPhase::Decision);
+                    ctx.span_close(SPAN, txn, 0);
                     ctx.broadcast(CommitMsg::GlobalAbort { txn });
                     return;
                 }
@@ -81,6 +88,9 @@ impl Node for Coordinator {
                         return;
                     }
                     self.state = TxnState::PreCommitted;
+                    // Pre-commit replicates the decision before anyone acts
+                    // on it — 3PC's fault-tolerant agreement phase.
+                    ctx.phase(SPAN, txn, 0, CncPhase::Agreement);
                     ctx.broadcast(CommitMsg::PreCommit { txn });
                 }
             }
@@ -94,6 +104,8 @@ impl Node for Coordinator {
                         return;
                     }
                     self.state = TxnState::Committed;
+                    ctx.phase(SPAN, txn, 0, CncPhase::Decision);
+                    ctx.span_close(SPAN, txn, 0);
                     ctx.broadcast(CommitMsg::GlobalCommit { txn });
                 }
             }
@@ -160,6 +172,8 @@ impl Participant {
     /// another timeout period"; with crash faults only this is safe).
     fn resolve(&mut self, ctx: &mut Context<CommitMsg>) {
         let txn = self.txn;
+        ctx.phase(SPAN, txn, 1, CncPhase::Decision);
+        ctx.span_close(SPAN, txn, 1);
         if let Some(s) = self.reports.values().find(|s| s.is_final()) {
             let commit = *s == TxnState::Committed;
             self.finish(commit);
@@ -214,8 +228,14 @@ impl Node for Participant {
                     ctx.send(from, CommitMsg::PreCommitAck { txn });
                     self.arm_watchdog(ctx);
                 }
-            CommitMsg::GlobalCommit { txn } if txn == self.txn => self.finish(true),
-            CommitMsg::GlobalAbort { txn } if txn == self.txn => self.finish(false),
+            CommitMsg::GlobalCommit { txn } if txn == self.txn => {
+                ctx.span_close(SPAN, txn, 0);
+                self.finish(true);
+            }
+            CommitMsg::GlobalAbort { txn } if txn == self.txn => {
+                ctx.span_close(SPAN, txn, 0);
+                self.finish(false);
+            }
             CommitMsg::StateRequest { txn, .. } if txn == self.txn => {
                 ctx.send(
                     from,
@@ -251,7 +271,9 @@ impl Node for Participant {
                 self.resolve(ctx);
                 return;
             }
-            // Become the recovery coordinator.
+            // Become the recovery coordinator — 3PC's only leader-election
+            // moment: the lowest live cohort takes over the decision.
+            ctx.phase(SPAN, self.txn, 1, CncPhase::LeaderElection);
             self.recovering = true;
             self.recoveries_led += 1;
             self.reports.clear();

@@ -2,9 +2,12 @@
 
 use std::collections::BTreeMap;
 
-use simnet::{Context, NetConfig, Node, NodeId, Sim, Timer};
+use simnet::{CncPhase, Context, NetConfig, Node, NodeId, Sim, Timer};
 
 use crate::msg::{CommitMsg, TxnState};
+
+/// Span protocol label; instances are transaction ids.
+const SPAN: &str = "2pc";
 
 const DECISION_TIMEOUT: u64 = 1;
 /// Participant timeout before starting cooperative termination (µs).
@@ -42,6 +45,8 @@ impl Coordinator {
             TxnState::Aborted
         };
         let txn = self.txn;
+        ctx.phase(SPAN, txn, 0, CncPhase::Decision);
+        ctx.span_close(SPAN, txn, 0);
         let msg = if commit {
             CommitMsg::GlobalCommit { txn }
         } else {
@@ -55,6 +60,10 @@ impl Node for Coordinator {
     type Msg = CommitMsg;
 
     fn on_start(&mut self, ctx: &mut Context<CommitMsg>) {
+        // 2PC has no leader election (the coordinator is fixed); voting is
+        // its value-discovery phase — learning whether commit is possible.
+        ctx.span_open(SPAN, self.txn, 0);
+        ctx.phase(SPAN, self.txn, 0, CncPhase::ValueDiscovery);
         ctx.broadcast(CommitMsg::VoteRequest { txn: self.txn });
         self.state = TxnState::Ready;
     }
@@ -189,8 +198,14 @@ impl Node for Participant {
                     ctx.send(from, CommitMsg::Vote { txn, yes: false });
                 }
             }
-            CommitMsg::GlobalCommit { txn } if txn == self.txn => self.finish(true),
-            CommitMsg::GlobalAbort { txn } if txn == self.txn => self.finish(false),
+            CommitMsg::GlobalCommit { txn } if txn == self.txn => {
+                ctx.span_close(SPAN, txn, 0);
+                self.finish(true);
+            }
+            CommitMsg::GlobalAbort { txn } if txn == self.txn => {
+                ctx.span_close(SPAN, txn, 0);
+                self.finish(false);
+            }
             CommitMsg::StateRequest { txn, .. } if txn == self.txn => {
                 ctx.send(
                     from,

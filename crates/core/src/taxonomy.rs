@@ -3,7 +3,7 @@
 //! Every protocol the tutorial surveys carries a card listing its position
 //! along the five aspects plus its complexity metrics (number of nodes,
 //! number of communication phases, message complexity). This module encodes
-//! all of those cards verbatim; `consensus-bench`'s experiment **T1** runs
+//! all of those cards verbatim; `bench`'s experiment **T1** runs
 //! each protocol and cross-checks the measured node count, phase count, and
 //! message growth against its card.
 

@@ -24,7 +24,10 @@ use consensus_core::quorum::Phase;
 use consensus_core::smr::Slot;
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
 use consensus_core::{Ballot, Command, KvCommand, KvResponse, QuorumSpec, ReplicatedLog, StateMachine};
-use simnet::{Context, NetConfig, Node, NodeId, Payload, RunOutcome, Sim, Time, Timer};
+use simnet::{CncPhase, Context, NetConfig, Node, NodeId, Payload, RunOutcome, Sim, Time, Timer};
+
+/// Span protocol label; instances are log indices.
+const SPAN: &str = "multi-paxos";
 
 /// A log operation: a client command or a gap-filling no-op proposed during
 /// leader recovery.
@@ -264,6 +267,7 @@ impl Replica {
         self.prepare_acks.clear();
         self.prepare_entries.clear();
         let low = self.log.applied_len();
+        ctx.phase(SPAN, low as u64, self.election_ballot.num, CncPhase::LeaderElection);
         ctx.broadcast_all(MpMsg::Prepare {
             ballot: self.election_ballot,
             low,
@@ -282,6 +286,9 @@ impl Replica {
         let low = self.log.applied_len();
         self.next_index = max_idx.map_or(low, |m| m + 1).max(low);
         for index in low..self.next_index {
+            // Re-proposing a discovered value is the C&C value-discovery
+            // phase made concrete: the new leader adopts what phase 1 found.
+            ctx.phase(SPAN, index as u64, self.promised.num, CncPhase::ValueDiscovery);
             let op = discovered
                 .get(&index)
                 .map(|(_, op)| op.clone())
@@ -303,6 +310,8 @@ impl Replica {
                 decided: false,
             },
         );
+        ctx.span_open(SPAN, index as u64, self.promised.num);
+        ctx.phase(SPAN, index as u64, self.promised.num, CncPhase::Agreement);
         ctx.broadcast_all(MpMsg::Accept {
             ballot: self.promised,
             index,
@@ -446,6 +455,8 @@ impl Node for Replica {
                         if spec.is_quorum(&p.acks, Phase::Agreement) {
                             p.decided = true;
                             let op = p.op.clone();
+                            ctx.phase(SPAN, index as u64, ballot.num, CncPhase::Decision);
+                            ctx.span_close(SPAN, index as u64, ballot.num);
                             ctx.broadcast(MpMsg::Decide {
                                 index,
                                 op: op.clone(),
@@ -457,6 +468,8 @@ impl Node for Replica {
             }
 
             MpMsg::Decide { index, op } => {
+                ctx.phase(SPAN, index as u64, self.promised.num, CncPhase::Decision);
+                ctx.span_close(SPAN, index as u64, self.promised.num);
                 self.on_decided(ctx, index, op.clone());
                 // Decisions are also (implicitly) accepted state.
                 self.accepted.entry(index).or_insert((self.promised, op));

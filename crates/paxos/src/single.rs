@@ -18,7 +18,10 @@
 use std::collections::BTreeMap;
 
 use consensus_core::Ballot;
-use simnet::{Context, Node, NodeId, Payload, Timer};
+use simnet::{CncPhase, Context, Node, NodeId, Payload, Timer};
+
+/// Span protocol label; single-decree Paxos decides one instance (0).
+const SPAN: &str = "paxos";
 
 /// Wire messages of single-decree Paxos. Kinds match the slide labels.
 #[derive(Clone, Debug)]
@@ -194,7 +197,13 @@ impl PaxosNode {
         self.current_ballot = base.next_for(ctx.id());
         self.phase = ProposerPhase::Preparing;
         self.acks.clear();
+        if self.attempts == 0 {
+            ctx.span_open(SPAN, 0, self.current_ballot.num);
+        }
         self.attempts += 1;
+        // Phase 1 doubles as leader election: winning the promise quorum
+        // makes this proposer the coordinator for its ballot.
+        ctx.phase(SPAN, 0, self.current_ballot.num, CncPhase::LeaderElection);
         ctx.broadcast_all(PaxosMsg::Prepare {
             ballot: self.current_ballot,
         });
@@ -280,6 +289,7 @@ impl Node for PaxosNode {
                     if self.acks.len() >= self.majority() {
                         // "if all vals = ⊥ then myVal = initial value
                         //  else myVal = received val with highest b".
+                        ctx.phase(SPAN, 0, ballot.num, CncPhase::ValueDiscovery);
                         let adopted = self
                             .acks
                             .values()
@@ -290,6 +300,7 @@ impl Node for PaxosNode {
                             .or(self.my_value)
                             .expect("proposer always has an initial value");
                         self.phase = ProposerPhase::Accepting;
+                        ctx.phase(SPAN, 0, ballot.num, CncPhase::Agreement);
                         ctx.broadcast_all(PaxosMsg::Accept {
                             ballot: self.current_ballot,
                             value,
@@ -315,6 +326,8 @@ impl Node for PaxosNode {
                 if entry.1 >= self.majority() && self.decided.is_none() {
                     self.decided = Some(value);
                     self.phase = ProposerPhase::Done;
+                    ctx.phase(SPAN, 0, ballot.num, CncPhase::Decision);
+                    ctx.span_close(SPAN, 0, ballot.num);
                     // Propagate the decision to all, asynchronously.
                     ctx.broadcast(PaxosMsg::Decide { value });
                 }
@@ -324,6 +337,8 @@ impl Node for PaxosNode {
                     assert_eq!(prev, value, "Paxos safety violated at {}", ctx.id());
                 } else {
                     self.decided = Some(value);
+                    ctx.phase(SPAN, 0, 0, CncPhase::Decision);
+                    ctx.span_close(SPAN, 0, 0);
                 }
             }
         }
@@ -359,7 +374,6 @@ impl Node for PaxosNode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use simnet::{NetConfig, NodeId, Sim, Time};
 
     fn cluster(n: usize, seed: u64) -> Sim<PaxosNode> {

@@ -8,7 +8,7 @@
 //!
 //! The crate mirrors `paxos::multi`'s shape (replica + closed-loop clients
 //! over the shared [`consensus_core::DedupKvMachine`]) so the cross-protocol
-//! comparison in `consensus-bench` is apples-to-apples, but the consensus
+//! comparison in `bench` is apples-to-apples, but the consensus
 //! module is pure Raft: terms, randomized election timeouts, the election
 //! restriction, `AppendEntries` consistency checks, and the current-term
 //! commit rule.

@@ -5,9 +5,12 @@
 use std::collections::BTreeMap;
 
 use consensus_core::{DedupKvMachine, SmrOp, StateMachine};
-use simnet::{Context, Node, NodeId, Timer, TimerId};
+use simnet::{CncPhase, Context, Node, NodeId, Timer, TimerId};
 
 use crate::msg::{Entry, RaftMsg};
+
+/// Span protocol label; instances are log indices, rounds are terms.
+const SPAN: &str = "raft";
 
 /// A replica's current role.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -177,6 +180,12 @@ impl Replica {
         self.voted_for = Some(ctx.id());
         self.votes = 1; // own vote
         self.reset_election_timer(ctx);
+        ctx.phase(
+            SPAN,
+            self.commit_index as u64 + 1,
+            self.current_term,
+            CncPhase::LeaderElection,
+        );
         ctx.broadcast(RaftMsg::RequestVote {
             term: self.current_term,
             last_log_index: self.last_log_index(),
@@ -195,7 +204,14 @@ impl Replica {
         self.match_index = vec![0; self.n_replicas];
         // A no-op entry lets the new leader commit entries from earlier
         // terms immediately (the commit rule only counts current-term
-        // entries).
+        // entries). Flushing the inherited suffix this way is Raft's form
+        // of the C&C value-discovery phase.
+        ctx.phase(
+            SPAN,
+            self.last_log_index() as u64 + 1,
+            self.current_term,
+            CncPhase::ValueDiscovery,
+        );
         self.log.push(Entry {
             term: self.current_term,
             op: SmrOp::Noop,
@@ -276,6 +292,8 @@ impl Replica {
                 continue;
             }
             let op = self.entry(i).expect("committed and retained").op.clone();
+            ctx.phase(SPAN, i as u64, self.current_term, CncPhase::Decision);
+            ctx.span_close(SPAN, i as u64, self.current_term);
             let out = self.machine.apply(&op);
             if self.role == Role::Leader {
                 if let (Some(client_node), Some(output), SmrOp::Cmd(cmd)) =
@@ -379,6 +397,8 @@ impl Node for Replica {
                     op: SmrOp::Cmd(cmd),
                 });
                 let index = self.last_log_index();
+                ctx.span_open(SPAN, index as u64, self.current_term);
+                ctx.phase(SPAN, index as u64, self.current_term, CncPhase::Agreement);
                 self.match_index[ctx.id().index()] = index;
                 self.pending_reply.insert(index, from);
                 self.replicate_all(ctx);
@@ -581,16 +601,10 @@ impl Node for Replica {
 
     fn on_timer(&mut self, ctx: &mut Context<RaftMsg>, timer: Timer) {
         match timer.kind {
-            ELECTION => {
-                if self.role != Role::Leader {
-                    self.start_election(ctx);
-                }
-            }
-            HEARTBEAT => {
-                if self.role == Role::Leader {
-                    self.replicate_all(ctx);
-                    ctx.set_timer(HB_PERIOD, HEARTBEAT);
-                }
+            ELECTION if self.role != Role::Leader => self.start_election(ctx),
+            HEARTBEAT if self.role == Role::Leader => {
+                self.replicate_all(ctx);
+                ctx.set_timer(HB_PERIOD, HEARTBEAT);
             }
             _ => {}
         }

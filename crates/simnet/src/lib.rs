@@ -65,11 +65,11 @@ mod trace;
 
 pub use config::{DelayModel, NetConfig, Synchrony};
 pub use fault::{DropAll, Filter, FilterAction, FnFilter};
-pub use metrics::Metrics;
+pub use metrics::{Histogram, Metrics};
 pub use node::{Context, Node, Payload, Timer, TimerId};
 pub use sim::{RunOutcome, Sim};
 pub use time::{NodeId, Time};
-pub use trace::{TraceEntry, TraceEvent};
+pub use trace::{CncPhase, SpanEvent, SpanKind, TraceEntry, TraceEvent};
 
 /// Defines an enum of heterogeneous node roles (e.g. replicas and clients)
 /// that share a message type, and implements [`Node`] for it by delegation.

@@ -4,6 +4,95 @@
 
 use std::collections::BTreeMap;
 
+/// A power-of-two-bucketed histogram of `u64` samples (latencies in µs,
+/// message sizes in bytes). Bucket `i` counts samples of bit length `i`
+/// (`2^(i-1) ≤ v < 2^i`; bucket 0 counts `v = 0`), which keeps recording
+/// allocation-free and O(1) while preserving the order-of-magnitude shape
+/// figures need.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    counts: [u64; 64],
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; 64],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let bucket = (64 - v.leading_zeros()).min(63) as usize;
+        self.counts[bucket] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest sample (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`q` in 0..=1),
+    /// e.g. `quantile(0.5)` is an upper estimate of the median. `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i >= 63 { u64::MAX } else { (1u64 << i).min(self.max) });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Non-empty buckets as `(upper_bound, count)` pairs, smallest first.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i >= 63 { u64::MAX } else { 1u64 << i }, c))
+    }
+}
+
 /// Counters accumulated over a simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
@@ -25,6 +114,19 @@ pub struct Metrics {
     pub crashes: u64,
     /// Node restart events executed.
     pub restarts: u64,
+    /// Per message-kind sent byte totals (kind → bytes).
+    pub bytes_by_kind: BTreeMap<&'static str, u64>,
+    /// Distribution of individual message sizes in bytes.
+    pub msg_size: Histogram,
+    /// End-to-end latency per consensus instance in µs: first `span_open` to
+    /// first `span_close` of each `(protocol, instance)` pair.
+    pub instance_latency: Histogram,
+    /// How many times each C&C phase was entered (phase label → count).
+    pub phase_entries: BTreeMap<&'static str, u64>,
+    /// `span_open` events seen (one per node per instance).
+    pub spans_opened: u64,
+    /// `span_close` events seen.
+    pub spans_closed: u64,
 }
 
 impl Metrics {
@@ -40,6 +142,16 @@ impl Metrics {
         *self = Metrics::default();
     }
 
+    /// Times the given C&C phase was entered.
+    pub fn phase(&self, label: &str) -> u64 {
+        self.phase_entries.get(label).copied().unwrap_or(0)
+    }
+
+    /// Bytes sent for messages of one kind.
+    pub fn kind_bytes(&self, kind: &str) -> u64 {
+        self.bytes_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
     /// Renders the per-kind breakdown as `kind=count` pairs, sorted by kind.
     pub fn kinds_summary(&self) -> String {
         self.sent_by_kind
@@ -53,6 +165,52 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.quantile(0.5), None);
+        for v in [1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - 221.2).abs() < 1e-9);
+        // Median bucket upper bound: the third sample (3) lands in (2, 4].
+        assert_eq!(h.quantile(0.5), Some(4));
+        assert_eq!(h.quantile(1.0), Some(1000));
+        let buckets: Vec<(u64, u64)> = h.buckets().collect();
+        // v=1 → bucket 1 (v ≤ 2 after leading_zeros math), v=2 → ≤2 ...
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), 5);
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn histogram_extreme_values() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.quantile(0.0), Some(1)); // first bucket's bound, capped below max
+    }
+
+    #[test]
+    fn phase_and_bytes_lookup() {
+        let mut m = Metrics::default();
+        m.phase_entries.insert("agreement", 4);
+        m.bytes_by_kind.insert("accept", 640);
+        assert_eq!(m.phase("agreement"), 4);
+        assert_eq!(m.phase("decision"), 0);
+        assert_eq!(m.kind_bytes("accept"), 640);
+        assert_eq!(m.kind_bytes("prepare"), 0);
+        m.reset();
+        assert_eq!(m.phase("agreement"), 0);
+        assert_eq!(m.instance_latency.count(), 0);
+    }
 
     #[test]
     fn kind_lookup_and_reset() {

@@ -5,6 +5,7 @@ use std::fmt;
 use rand_chacha::ChaCha20Rng;
 
 use crate::time::{NodeId, Time};
+use crate::trace::{CncPhase, SpanKind};
 
 /// A message payload exchanged between nodes.
 ///
@@ -80,6 +81,7 @@ pub(crate) enum Effect<M> {
     Send { to: NodeId, msg: M },
     SetTimer { id: TimerId, delay: u64, kind: u64 },
     CancelTimer { id: TimerId },
+    Span { protocol: &'static str, instance: u64, round: u64, kind: SpanKind },
     Stop,
 }
 
@@ -169,6 +171,70 @@ impl<M: Payload> Context<'_, M> {
     /// driver nodes once the condition under test has been reached.
     pub fn stop(&mut self) {
         self.effects.push(Effect::Stop);
+    }
+
+    /// Marks the start of this node's work on one consensus instance.
+    ///
+    /// `(protocol, instance)` identifies the instance (e.g. a Multi-Paxos
+    /// slot or a blockchain height); `round` is the protocol's round /
+    /// ballot / view / term. The simulator timestamps the event, appends it
+    /// to the span trace, and uses the *first* open across all nodes as the
+    /// instance's start time for latency accounting.
+    ///
+    /// ```
+    /// use simnet::{Sim, Node, Context, NodeId, NetConfig, Payload, CncPhase};
+    ///
+    /// #[derive(Clone, Debug)]
+    /// struct M;
+    /// impl Payload for M {}
+    ///
+    /// struct Solo;
+    /// impl Node for Solo {
+    ///     type Msg = M;
+    ///     fn on_start(&mut self, ctx: &mut Context<M>) {
+    ///         ctx.span_open("demo", 0, 1);
+    ///         ctx.phase("demo", 0, 1, CncPhase::Decision);
+    ///         ctx.span_close("demo", 0, 1);
+    ///     }
+    ///     fn on_message(&mut self, _: &mut Context<M>, _: NodeId, _: M) {}
+    /// }
+    ///
+    /// let mut sim: Sim<Solo> = Sim::new(NetConfig::synchronous(), 7);
+    /// sim.add_node(Solo);
+    /// sim.run_to_quiescence();
+    /// assert_eq!(sim.spans().len(), 3);
+    /// assert_eq!(sim.metrics().phase("decision"), 1);
+    /// assert_eq!(sim.metrics().instance_latency.count(), 1);
+    /// ```
+    pub fn span_open(&mut self, protocol: &'static str, instance: u64, round: u64) {
+        self.effects.push(Effect::Span {
+            protocol,
+            instance,
+            round,
+            kind: SpanKind::Open,
+        });
+    }
+
+    /// Marks this node entering a C&C phase within an instance. See
+    /// [`Context::span_open`] for the identification scheme.
+    pub fn phase(&mut self, protocol: &'static str, instance: u64, round: u64, phase: CncPhase) {
+        self.effects.push(Effect::Span {
+            protocol,
+            instance,
+            round,
+            kind: SpanKind::Phase(phase),
+        });
+    }
+
+    /// Marks this node learning the decision for an instance. The first
+    /// close across all nodes ends the instance for latency accounting.
+    pub fn span_close(&mut self, protocol: &'static str, instance: u64, round: u64) {
+        self.effects.push(Effect::Span {
+            protocol,
+            instance,
+            round,
+            kind: SpanKind::Close,
+        });
     }
 }
 

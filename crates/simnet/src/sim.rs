@@ -1,6 +1,6 @@
 //! The simulation engine.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
@@ -11,7 +11,7 @@ use crate::fault::{Filter, FilterAction};
 use crate::metrics::Metrics;
 use crate::node::{Context, Effect, Node, Payload, Timer, TimerId};
 use crate::time::{NodeId, Time};
-use crate::trace::{TraceEntry, TraceEvent};
+use crate::trace::{SpanEvent, SpanKind, TraceEntry, TraceEvent};
 
 /// Why a `run_*` call returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -53,6 +53,9 @@ pub struct Sim<N: Node> {
     cancelled: HashSet<TimerId>,
     metrics: Metrics,
     trace: Option<Vec<TraceEntry>>,
+    spans: Vec<SpanEvent>,
+    /// First `span_open` time of instances that have not yet closed.
+    open_instances: BTreeMap<(&'static str, u64), Time>,
     /// `partition[i]` = group id of node i; `None` = fully connected.
     partition: Option<Vec<usize>>,
     partition_plans: Vec<Vec<Vec<NodeId>>>,
@@ -78,6 +81,8 @@ impl<N: Node> Sim<N> {
             cancelled: HashSet::new(),
             metrics: Metrics::default(),
             trace: None,
+            spans: Vec::new(),
+            open_instances: BTreeMap::new(),
             partition: None,
             partition_plans: Vec::new(),
             link_delays: HashMap::new(),
@@ -157,6 +162,12 @@ impl<N: Node> Sim<N> {
     /// The recorded trace, if enabled.
     pub fn trace(&self) -> &[TraceEntry] {
         self.trace.as_deref().unwrap_or(&[])
+    }
+
+    /// Span events emitted by protocol code, in emission order. Always
+    /// recorded (unlike the message trace, spans are few and cheap).
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
     }
 
     /// Caps the number of events one `run_*` call may process.
@@ -248,6 +259,9 @@ impl<N: Node> Sim<N> {
                 Effect::CancelTimer { id } => {
                     self.cancelled.insert(id);
                 }
+                Effect::Span { protocol, instance, round, kind } => {
+                    self.record_span(from, protocol, instance, round, kind);
+                }
                 Effect::Stop => self.stop_requested = true,
             }
         }
@@ -274,8 +288,11 @@ impl<N: Node> Sim<N> {
         };
 
         self.metrics.sent += 1;
-        self.metrics.bytes_sent += msg.size_bytes() as u64;
+        let size = msg.size_bytes() as u64;
+        self.metrics.bytes_sent += size;
         *self.metrics.sent_by_kind.entry(msg.kind()).or_insert(0) += 1;
+        *self.metrics.bytes_by_kind.entry(msg.kind()).or_insert(0) += size;
+        self.metrics.msg_size.record(size);
         self.push_trace(TraceEvent::Send, from, to, msg.kind());
 
         // Partition check.
@@ -325,6 +342,42 @@ impl<N: Node> Sim<N> {
 
         self.queue
             .push(self.now + delay, to, EventKind::Deliver { from, msg });
+    }
+
+    /// Appends a span event and folds it into the metrics: phase entries
+    /// are counted, and the first open / first close of each `(protocol,
+    /// instance)` pair bound its end-to-end latency.
+    fn record_span(
+        &mut self,
+        node: NodeId,
+        protocol: &'static str,
+        instance: u64,
+        round: u64,
+        kind: SpanKind,
+    ) {
+        match kind {
+            SpanKind::Open => {
+                self.metrics.spans_opened += 1;
+                self.open_instances.entry((protocol, instance)).or_insert(self.now);
+            }
+            SpanKind::Phase(phase) => {
+                *self.metrics.phase_entries.entry(phase.label()).or_insert(0) += 1;
+            }
+            SpanKind::Close => {
+                self.metrics.spans_closed += 1;
+                if let Some(opened) = self.open_instances.remove(&(protocol, instance)) {
+                    self.metrics.instance_latency.record(self.now.0 - opened.0);
+                }
+            }
+        }
+        self.spans.push(SpanEvent {
+            time: self.now,
+            node,
+            protocol,
+            instance,
+            round,
+            kind,
+        });
     }
 
     fn push_trace(&mut self, event: TraceEvent, from: NodeId, to: NodeId, kind: &'static str) {
@@ -500,6 +553,7 @@ mod tests {
     /// Node 0 pings everyone; others pong back; node 0 counts pongs.
     struct PingPong {
         pongs: u64,
+        pong_value_sum: u64,
         pings_seen: u64,
         timer_fired: bool,
     }
@@ -507,6 +561,7 @@ mod tests {
         fn new() -> Self {
             PingPong {
                 pongs: 0,
+                pong_value_sum: 0,
                 pings_seen: 0,
                 timer_fired: false,
             }
@@ -526,7 +581,10 @@ mod tests {
                     self.pings_seen += 1;
                     ctx.send(from, Msg::Pong(v));
                 }
-                Msg::Pong(_) => self.pongs += 1,
+                Msg::Pong(v) => {
+                    self.pongs += 1;
+                    self.pong_value_sum += v;
+                }
             }
         }
         fn on_timer(&mut self, _ctx: &mut Context<Msg>, timer: Timer) {
@@ -549,6 +607,8 @@ mod tests {
         let outcome = sim.run_to_quiescence();
         assert_eq!(outcome, RunOutcome::Quiescent);
         assert_eq!(sim.node(NodeId(0)).pongs, 3);
+        // Honest pongs echo the pinged value.
+        assert_eq!(sim.node(NodeId(0)).pong_value_sum, 3);
         assert_eq!(sim.metrics().sent, 6);
         assert_eq!(sim.metrics().delivered, 6);
         assert_eq!(sim.metrics().kind("ping"), 3);
@@ -683,8 +743,9 @@ mod tests {
             })),
         );
         sim.run_to_quiescence();
-        // Both receivers saw a ping (mutated), both ponged.
+        // Both receivers saw a ping (mutated), both ponged the forged values.
         assert_eq!(sim.node(NodeId(0)).pongs, 2);
+        assert_eq!(sim.node(NodeId(0)).pong_value_sum, 100 + 200);
     }
 
     #[test]
@@ -804,5 +865,65 @@ mod tests {
         sim.run_to_quiescence();
         assert!(sim.node(id).got);
         assert_eq!(sim.metrics().sent, 0);
+    }
+
+    #[test]
+    fn spans_record_phases_and_instance_latency() {
+        use crate::trace::{CncPhase, SpanKind};
+
+        #[derive(Clone, Debug)]
+        struct Go(u64);
+        impl Payload for Go {
+            fn kind(&self) -> &'static str {
+                "go"
+            }
+        }
+        // Node 0 opens the instance and pings node 1; node 1 closes it on
+        // receipt. Latency must equal the message delay.
+        struct Spanner;
+        impl Node for Spanner {
+            type Msg = Go;
+            fn on_start(&mut self, ctx: &mut Context<Go>) {
+                if ctx.id() == NodeId(0) {
+                    ctx.span_open("toy", 5, 1);
+                    ctx.phase("toy", 5, 1, CncPhase::Agreement);
+                    ctx.send(NodeId(1), Go(5));
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<Go>, _f: NodeId, m: Go) {
+                ctx.phase("toy", m.0, 1, CncPhase::Decision);
+                ctx.span_close("toy", m.0, 1);
+            }
+        }
+        let mut sim: Sim<Spanner> = Sim::new(NetConfig::synchronous(), 3);
+        sim.add_node(Spanner);
+        sim.add_node(Spanner);
+        sim.run_to_quiescence();
+
+        let spans = sim.spans();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(spans[0].kind, SpanKind::Open);
+        assert_eq!(spans[0].node, NodeId(0));
+        assert_eq!(spans[3].kind, SpanKind::Close);
+        assert_eq!(spans[3].node, NodeId(1));
+        assert!(spans[3].time > spans[0].time);
+
+        let m = sim.metrics();
+        assert_eq!(m.spans_opened, 1);
+        assert_eq!(m.spans_closed, 1);
+        assert_eq!(m.phase("agreement"), 1);
+        assert_eq!(m.phase("decision"), 1);
+        assert_eq!(m.instance_latency.count(), 1);
+        let delay = (spans[3].time.0 - spans[0].time.0) as f64;
+        assert_eq!(m.instance_latency.mean(), delay);
+        // Message-size histogram saw the one routed message.
+        assert_eq!(m.msg_size.count(), 1);
+        assert_eq!(m.kind_bytes("go"), 64);
+
+        // A second close for the same instance is recorded as a span but
+        // does not double-count latency.
+        sim.inject(NodeId(0), NodeId(1), Go(5), sim.now() + 10);
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics().instance_latency.count(), 1);
     }
 }

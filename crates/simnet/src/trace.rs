@@ -1,7 +1,114 @@
 //! Optional event trace, used by the benchmark harness to regenerate the
-//! tutorial's message-flow figures (who sent what to whom, when).
+//! tutorial's message-flow figures (who sent what to whom, when), plus the
+//! structured *span* events protocols emit to tag which phase of the C&C
+//! framework they are executing.
+//!
+//! Message events ([`TraceEntry`]) are recorded by the simulator itself;
+//! span events ([`SpanEvent`]) are emitted explicitly by protocol code via
+//! [`crate::Context::span_open`] / [`crate::Context::phase`] /
+//! [`crate::Context::span_close`] and let the figure renderer annotate a raw
+//! message flow with protocol-level structure: which consensus instance a
+//! message belongs to, what round/view it is in, and which of the four
+//! canonical phases the node is executing.
+
+use std::fmt;
 
 use crate::time::{NodeId, Time};
+
+/// The four phases of the C&C framework the paper uses to decompose every
+/// surveyed protocol (leader election, value discovery, fault-tolerant
+/// agreement, decision).
+///
+/// Not every protocol exercises every phase on every path — Raft's steady
+/// state skips leader election, single-decree Paxos has no stable leader at
+/// all — which is exactly what phase-tagged traces make visible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CncPhase {
+    /// Choosing (or discovering) the coordinator for a round/view.
+    LeaderElection,
+    /// Learning which value(s) may be proposed safely (e.g. Paxos phase-1b
+    /// constraint discovery, PBFT pre-prepare).
+    ValueDiscovery,
+    /// The fault-tolerant agreement exchange (accept/prepare/commit votes).
+    Agreement,
+    /// A node learns the decided value and acts on it.
+    Decision,
+}
+
+impl CncPhase {
+    /// Stable lowercase label used in rendered traces, metrics keys, and the
+    /// generated docs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CncPhase::LeaderElection => "leader-election",
+            CncPhase::ValueDiscovery => "value-discovery",
+            CncPhase::Agreement => "agreement",
+            CncPhase::Decision => "decision",
+        }
+    }
+
+    /// All phases in canonical order.
+    pub const ALL: [CncPhase; 4] = [
+        CncPhase::LeaderElection,
+        CncPhase::ValueDiscovery,
+        CncPhase::Agreement,
+        CncPhase::Decision,
+    ];
+}
+
+impl fmt::Display for CncPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a [`SpanEvent`] marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A node started working on a consensus instance.
+    Open,
+    /// A node entered a C&C phase within the instance.
+    Phase(CncPhase),
+    /// A node completed the instance (learned the decision).
+    Close,
+}
+
+/// A structured, phase-tagged event emitted by protocol code.
+///
+/// `(protocol, instance)` identifies one consensus instance — e.g.
+/// `("multi-paxos", 3)` is slot 3 of a Multi-Paxos log. `round` carries the
+/// protocol's round/ballot/view/term number, whichever notion it has.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// When the event was emitted.
+    pub time: Time,
+    /// The emitting node.
+    pub node: NodeId,
+    /// Protocol name (stable, lowercase, e.g. `"raft"`, `"pbft"`).
+    pub protocol: &'static str,
+    /// Consensus-instance number (slot, height, sequence number).
+    pub instance: u64,
+    /// Round / ballot / view / term within the instance.
+    pub round: u64,
+    /// What this event marks.
+    pub kind: SpanKind,
+}
+
+impl SpanEvent {
+    /// Renders the event in the compact one-line form used by figure output,
+    /// e.g. `1.500ms n0 pbft/3 r2 phase=agreement`.
+    pub fn render(&self) -> String {
+        let what = match self.kind {
+            SpanKind::Open => "open".to_string(),
+            SpanKind::Phase(p) => format!("phase={p}"),
+            SpanKind::Close => "close".to_string(),
+        };
+        format!(
+            "{} {} {}/{} r{} {}",
+            self.time, self.node, self.protocol, self.instance, self.round, what
+        )
+    }
+}
 
 /// What happened.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +159,32 @@ impl TraceEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn span_render_forms() {
+        let mut e = SpanEvent {
+            time: Time(1500),
+            node: NodeId(0),
+            protocol: "pbft",
+            instance: 3,
+            round: 2,
+            kind: SpanKind::Phase(CncPhase::Agreement),
+        };
+        assert_eq!(e.render(), "1.500ms n0 pbft/3 r2 phase=agreement");
+        e.kind = SpanKind::Open;
+        assert_eq!(e.render(), "1.500ms n0 pbft/3 r2 open");
+        e.kind = SpanKind::Close;
+        assert_eq!(e.render(), "1.500ms n0 pbft/3 r2 close");
+    }
+
+    #[test]
+    fn phase_labels_are_stable() {
+        let labels: Vec<&str> = CncPhase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            ["leader-election", "value-discovery", "agreement", "decision"]
+        );
+    }
 
     #[test]
     fn renders_all_variants() {

@@ -1,0 +1,192 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark runner
+//! with the same surface the workspace's benches use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, the
+//! `criterion_group!` / `criterion_main!` macros).
+//!
+//! Instead of criterion's statistical machinery it runs a short warm-up,
+//! then `sample_size` timed samples of the closure, and prints min / mean /
+//! max per benchmark. That is enough to compare protocol hot paths locally
+//! while staying dependency-free.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n── group {name} ──");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            _measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A named benchmark id, optionally parameterized.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as in the real crate.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    warm_up: Duration,
+    _measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; samples are counted, not timed.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self._measurement = d;
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, label: String, f: &mut dyn FnMut(&mut Bencher)) {
+        // Warm-up: run the closure until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut bench = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        while Instant::now() < warm_deadline {
+            f(&mut bench);
+        }
+        // Measurement.
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bench.elapsed = Duration::ZERO;
+            bench.iters = 0;
+            f(&mut bench);
+            if bench.iters > 0 {
+                samples.push(bench.elapsed / bench.iters);
+            }
+        }
+        if samples.is_empty() {
+            println!("  {label:<40} (no samples)");
+            return;
+        }
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "  {label:<40} min {:>10.3?}  mean {:>10.3?}  max {:>10.3?}  ({} samples)",
+            min, mean, max, samples.len()
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Times closures.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (the real crate batches; one timed call
+    /// per sample is accurate enough at simulation-run granularity).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Re-export of the standard hint, matching criterion's `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.warm_up_time(Duration::from_millis(1));
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline stand-in for `proptest`, implementing the subset this workspace's
+//! property tests use: the [`proptest!`] macro with integer-range, tuple,
+//! [`Just`], and [`collection::vec`] strategies, plus `prop_assert!`,
+//! `prop_assert_eq!`, and `prop_assume!`.
+//!
+//! Design differences from the real crate:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   printed; since generation is fully deterministic (the RNG is seeded
+//!   from the test's name), every failure reproduces exactly.
+//! * **Fixed case budget** ([`ProptestConfig::cases`], default 64) instead
+//!   of an adaptive runner.
+
+use std::fmt::Write as _;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+
+/// The generation context handed to strategies: a deterministic RNG.
+pub struct Gen {
+    rng: ChaCha20Rng,
+}
+
+impl Gen {
+    /// Builds a generator whose stream is a pure function of `name` — each
+    /// property test gets its own reproducible stream.
+    pub fn deterministic(name: &str) -> Gen {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        Gen {
+            rng: ChaCha20Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut ChaCha20Rng {
+        &mut self.rng
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, gen: &mut Gen) -> Self::Value;
+
+    /// Wraps this strategy so the generated `Vec` is randomly permuted.
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle(self)
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+pub struct Shuffle<S>(S);
+
+impl<S, T> Strategy for Shuffle<S>
+where
+    S: Strategy<Value = Vec<T>>,
+{
+    type Value = Vec<T>;
+    fn generate(&self, gen: &mut Gen) -> Vec<T> {
+        let mut v = self.0.generate(gen);
+        // Fisher–Yates.
+        for i in (1..v.len()).rev() {
+            let j = gen.rng().gen_range(0..=i);
+            v.swap(i, j);
+        }
+        v
+    }
+}
+
+macro_rules! strategy_for_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                gen.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, gen: &mut Gen) -> $t {
+                gen.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+strategy_for_int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _gen: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! strategy_for_tuples {
+    ($(($($name:ident),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, gen: &mut Gen) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(gen),)+)
+            }
+        }
+    )*};
+}
+strategy_for_tuples!((A), (A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Gen, Strategy};
+    use std::ops::Range;
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, gen: &mut Gen) -> Vec<S::Value> {
+            use rand::Rng as _;
+            let n = gen.rng().gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(gen)).collect()
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case doesn't count, draw another.
+    Reject,
+    /// `prop_assert!`-style failure — the property is falsified.
+    Fail(String),
+}
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property: draws inputs, runs the body, retries rejections.
+/// Used by the [`proptest!`] macro; not intended to be called directly.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut Gen) -> Result<Option<String>, TestCaseError>,
+{
+    let mut gen = Gen::deterministic(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(32).max(1024);
+    while passed < config.cases {
+        match case(&mut gen) {
+            Ok(_) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "property {name}: too many prop_assume! rejections \
+                         ({rejected}) for {passed} accepted cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} falsified (case {passed}):\n{msg}");
+            }
+        }
+    }
+}
+
+/// Formats generated arguments for failure messages.
+pub fn format_args_list(pairs: &[(&str, String)]) -> String {
+    let mut out = String::new();
+    for (name, value) in pairs {
+        let _ = writeln!(out, "  {name} = {value}");
+    }
+    out
+}
+
+/// The property-test macro. See the crate docs for supported forms.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: expand the test functions (must precede the catch-all arm).
+    (@munch ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(stringify!($name), &config, |gen| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), gen);)*
+                    let described = $crate::format_args_list(&[
+                        $((stringify!($arg), format!("{:?}", $arg)),)*
+                    ]);
+                    let body_result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match body_result {
+                        ::std::result::Result::Ok(()) => ::std::result::Result::Ok(None),
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) =>
+                            ::std::result::Result::Err($crate::TestCaseError::Reject),
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) =>
+                            ::std::result::Result::Err($crate::TestCaseError::Fail(
+                                format!("{}\nwith arguments:\n{}", msg, described))),
+                    }
+                });
+            }
+        )*
+    };
+    // With a leading config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    // Without one.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The usual glob import, mirroring the real crate.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, Gen, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(x in 3u64..10, v in collection::vec(0u32..5, 1..8), p in (0usize..4, 0u32..12)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 5));
+            prop_assert!(p.0 < 4 && p.1 < 12);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_and_assume(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failures_panic() {
+        proptest! {
+            fn inner(x in 0u64..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+
+    #[test]
+    fn just_yields_constant() {
+        let mut gen = Gen::deterministic("just");
+        assert_eq!(Just(41u8).generate(&mut gen), 41);
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for the `rand_chacha` crate: a genuine ChaCha20-based
+//! deterministic RNG (RFC 8439 block function, 64-bit block counter).
+//!
+//! The simulator only relies on two properties, both provided here:
+//!
+//! 1. **Determinism** — the stream is a pure function of the seed.
+//! 2. **Statistical quality** — ChaCha20 output is indistinguishable from
+//!    uniform for every test in this repo (delay sampling, fault plans,
+//!    Monte-Carlo experiments).
+//!
+//! Streams are *not* bit-compatible with the upstream crate (the upstream
+//! crate buffers four blocks at a time and interleaves words differently);
+//! nothing in the workspace depends on the exact values, only on the two
+//! properties above.
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha20 random number generator.
+#[derive(Clone, Debug)]
+pub struct ChaCha20Rng {
+    /// 256-bit key, from the seed.
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13 of the state).
+    counter: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 ⇒ exhausted.
+    word: usize,
+    /// Holds the upper half of a `next_u64` split across calls to
+    /// `next_u32`; not strictly needed, kept simple: unused.
+    _reserved: (),
+}
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20Rng {
+    /// Computes the ChaCha20 block for the current counter.
+    fn refill(&mut self) {
+        let mut s = [0u32; 16];
+        s[..4].copy_from_slice(&SIGMA);
+        s[4..12].copy_from_slice(&self.key);
+        s[12] = self.counter as u32;
+        s[13] = (self.counter >> 32) as u32;
+        s[14] = 0;
+        s[15] = 0;
+        let input = s;
+        for _ in 0..10 {
+            // Column rounds.
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (out, inp) in s.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = s;
+        self.word = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl RngCore for ChaCha20Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.word >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word];
+        self.word += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+impl SeedableRng for ChaCha20Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha20Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            word: 16, // force a refill on first use
+            _reserved: (),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rfc8439_block_test_vector() {
+        // RFC 8439 §2.3.2: key 00 01 .. 1f, counter 1, nonce
+        // 00:00:00:09:00:00:00:4a:00:00:00:00. Our generator pins the nonce
+        // to zero, so reproduce the vector by running the raw block function.
+        let mut key = [0u32; 8];
+        let key_bytes: Vec<u8> = (0u8..32).collect();
+        for (i, chunk) in key_bytes.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        let mut s = [0u32; 16];
+        s[..4].copy_from_slice(&SIGMA);
+        s[4..12].copy_from_slice(&key);
+        s[12] = 1;
+        s[13] = 0x0900_0000;
+        s[14] = 0x4a00_0000;
+        s[15] = 0;
+        let input = s;
+        for _ in 0..10 {
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (out, inp) in s.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        assert_eq!(
+            s,
+            [
+                0xe4e7f110, 0x15593bd1, 0x1fdd0f50, 0xc47120a3, 0xc7f4d1c7, 0x0368c033,
+                0x9aaa2204, 0x4e6cd4c3, 0x466482d2, 0x09aa9f07, 0x05d7c214, 0xa2028bd9,
+                0xd19c12b5, 0xb94e16de, 0xe883d0cb, 0x4e3c50a2,
+            ]
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = ChaCha20Rng::seed_from_u64(42);
+        let mut b = ChaCha20Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha20Rng::seed_from_u64(1);
+        let mut b = ChaCha20Rng::seed_from_u64(2);
+        let av: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(av, bv);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut r = ChaCha20Rng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((0.49..0.51).contains(&mean), "mean {mean} far from 0.5");
+        let mut buckets = [0u32; 10];
+        for _ in 0..n {
+            buckets[r.gen_range(0usize..10)] += 1;
+        }
+        for b in buckets {
+            assert!((9_000..11_000).contains(&b), "bucket {b} out of range");
+        }
+    }
+
+    #[test]
+    fn clone_continues_the_stream() {
+        let mut a = ChaCha20Rng::seed_from_u64(5);
+        for _ in 0..37 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Offline stand-in for `serde_json`, covering the slice of the API the
+//! benchmark harness uses: the [`Value`] tree, the [`json!`] constructor
+//! macro, and compact / pretty serialization.
+//!
+//! Differences from the real crate, none of which matter here:
+//!
+//! * Object keys are kept in a `BTreeMap`, so serialization is sorted by key
+//!   (the real crate preserves insertion order). Output is still valid JSON
+//!   and — usefully for golden files — canonical.
+//! * The `json!` macro requires nested objects/arrays to be written as
+//!   nested `json!` calls rather than bare braces.
+//! * No deserialization; this workspace only writes JSON.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, sorted by key.
+    Object(BTreeMap<String, Value>),
+}
+
+/// A JSON number: integer or float.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer (only used for negatives).
+    I64(i64),
+    /// Floating point. Non-finite values serialize as `null`.
+    F64(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            Number::F64(v) if v.is_finite() => {
+                if v == v.trunc() && v.abs() < 1e15 {
+                    // Keep a trailing ".0" so floats round-trip as floats.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Number::F64(_) => write!(f, "null"),
+        }
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => escape(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Self::newline_indent(out, indent, level + 1);
+                    item.write(out, indent, level + 1);
+                }
+                Self::newline_indent(out, indent, level);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Self::newline_indent(out, indent, level + 1);
+                    escape(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                }
+                Self::newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * level {
+                out.push(' ');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        f.write_str(&s)
+    }
+}
+
+/// Serializes compactly (single line).
+pub fn to_string<T: AsValue>(value: &T) -> Result<String, Error> {
+    let mut s = String::new();
+    value.as_value().write(&mut s, None, 0);
+    Ok(s)
+}
+
+/// Serializes with two-space indentation, like the real crate.
+pub fn to_string_pretty<T: AsValue>(value: &T) -> Result<String, Error> {
+    let mut s = String::new();
+    value.as_value().write(&mut s, Some(2), 0);
+    Ok(s)
+}
+
+/// Serialization error — cannot actually occur, kept for API shape.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Borrows a [`Value`] out of anything serializable here (only `Value`).
+pub trait AsValue {
+    /// The value to serialize.
+    fn as_value(&self) -> &Value;
+}
+
+impl AsValue for Value {
+    fn as_value(&self) -> &Value {
+        self
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::U64(v as u64)) }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::Number(Number::U64(*v as u64)) }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::U64(v as u64))
+                } else {
+                    Value::Number(Number::I64(v as i64))
+                }
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value { Value::from(*v) }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F64(v))
+    }
+}
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Value {
+        Value::Number(Number::F64(*v))
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F64(v as f64))
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Value {
+        Value::Bool(*v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T> From<Option<T>> for Value
+where
+    T: Into<Value>,
+{
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(inner) => inner.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    T: Into<Value>,
+{
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T> From<&[T]> for Value
+where
+    T: Clone + Into<Value>,
+{
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Builds a [`Value`] from a literal-ish expression.
+///
+/// Supports `json!(null)`, `json!({ "key": expr, ... })`, `json!([expr, ...])`,
+/// and `json!(expr)` for anything with `Into<Value>`. Nested containers are
+/// written as nested `json!` calls.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = ::std::collections::BTreeMap::<::std::string::String, $crate::Value>::new();
+        $( map.insert(::std::string::String::from($key), $crate::Value::from($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $($crate::Value::from($elem)),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_escapes() {
+        assert_eq!(to_string(&json!(null)).unwrap(), "null");
+        assert_eq!(to_string(&json!(3u64)).unwrap(), "3");
+        assert_eq!(to_string(&json!(-2i64)).unwrap(), "-2");
+        assert_eq!(to_string(&json!(2.5f64)).unwrap(), "2.5");
+        assert_eq!(to_string(&json!(2.0f64)).unwrap(), "2.0");
+        assert_eq!(to_string(&json!(true)).unwrap(), "true");
+        assert_eq!(to_string(&json!("a\"b\n")).unwrap(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn objects_sorted_and_nested() {
+        let v = json!({"b": 1u64, "a": json!([1u64, 2u64]), "c": json!({"x": "y"})});
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":[1,2],"b":1,"c":{"x":"y"}}"#
+        );
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let v = json!({"k": json!([1u64])});
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"k\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn options_and_vecs() {
+        let none: Option<u64> = None;
+        assert_eq!(to_string(&json!(none)).unwrap(), "null");
+        assert_eq!(to_string(&json!(Some(7u64))).unwrap(), "7");
+        assert_eq!(to_string(&json!(vec![1u64, 2])).unwrap(), "[1,2]");
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+    }
+}
