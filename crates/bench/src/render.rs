@@ -170,7 +170,11 @@ pub fn metrics_table(m: &Metrics) -> String {
     let mut out = String::from("| Measure | Value |\n|---|---|\n");
     let _ = writeln!(out, "| Messages sent | {} |", m.sent);
     let _ = writeln!(out, "| Messages delivered | {} |", m.delivered);
-    let _ = writeln!(out, "| Messages dropped | {} |", m.dropped);
+    let _ = writeln!(
+        out,
+        "| Messages dropped (partition / loss / filter / dead) | {} ({} / {} / {} / {}) |",
+        m.dropped, m.dropped_partition, m.dropped_loss, m.dropped_filter, m.dropped_dead
+    );
     let _ = writeln!(out, "| Bytes sent | {} |", m.bytes_sent);
     let _ = writeln!(out, "| Timer fires | {} |", m.timer_fires);
     let _ = writeln!(out, "| Crashes / restarts | {} / {} |", m.crashes, m.restarts);

@@ -27,7 +27,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
-use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, ReplicatedLog, SmrOp, StateMachine};
+use consensus_core::{
+    Command, DedupKvMachine, HistorySink, KvCommand, KvResponse, ReplicatedLog, SmrOp, StateMachine,
+};
 use simnet::{CncPhase, Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer, TimerId};
 
 use crate::sim_crypto::{digest_of, Digest};
@@ -240,6 +242,12 @@ impl PbftReplica {
     /// The replicated state machine.
     pub fn machine(&self) -> &DedupKvMachine {
         self.exec.machine()
+    }
+
+    /// The execution log (sequence `n` lives at slot `n - 1`) — what safety
+    /// checkers compare across replicas.
+    pub fn exec_log(&self) -> &ReplicatedLog<DedupKvMachine> {
+        &self.exec
     }
 
     /// All replica ids except this node.
@@ -707,6 +715,8 @@ pub struct PbftClient {
     broadcast_mode: bool,
     /// Latencies.
     pub latencies: LatencyRecorder,
+    /// Invoke/response history for safety checking.
+    pub history: HistorySink,
 }
 
 const CLIENT_RETRY: u64 = 9;
@@ -725,6 +735,7 @@ impl PbftClient {
             votes: BTreeMap::new(),
             broadcast_mode: false,
             latencies: LatencyRecorder::new(),
+            history: HistorySink::new(),
         }
     }
 
@@ -739,6 +750,8 @@ impl PbftClient {
             return;
         }
         let cmd = self.workload.next_command();
+        self.history
+            .invoke(cmd.client, cmd.seq, cmd.op.clone(), ctx.now().0);
         self.current = Some((cmd.clone(), ctx.now()));
         self.votes.clear();
         self.broadcast_mode = false;
@@ -768,6 +781,8 @@ impl Node for PbftClient {
             votes.insert(from);
             if votes.len() >= self.f + 1 {
                 let sent = *sent_at;
+                self.history
+                    .complete(cmd.client, cmd.seq, ctx.now().0, output);
                 self.latencies.record(sent, ctx.now());
                 self.completed += 1;
                 self.current = None;

@@ -27,12 +27,14 @@
 
 pub mod ballot;
 pub mod cnc;
+pub mod history;
 pub mod quorum;
 pub mod smr;
 pub mod taxonomy;
 pub mod workload;
 
 pub use ballot::Ballot;
+pub use history::{ClientRecord, HistorySink};
 pub use quorum::QuorumSpec;
 pub use smr::{Bank, BankOp, BankResponse, Command, DedupKvMachine, KvCommand, KvResponse, KvStore, ReplicatedLog, SmrOp, StateMachine};
 pub use taxonomy::{

@@ -1,0 +1,294 @@
+//! History-based safety checkers.
+//!
+//! Each checker consumes only what a protocol adapter can harvest from a
+//! finished run — decided log entries, state digests, client histories,
+//! final transaction states — and returns the list of safety violations it
+//! found. Liveness is deliberately out of scope: under an adversarial fault
+//! schedule a correct protocol may make no progress at all, and that is
+//! fine. What it must never do is disagree with itself.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use atomic_commit::TxnState;
+
+/// One safety-property violation, tagged with the check that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable name of the violated property (e.g. `"agreement"`).
+    pub check: &'static str,
+    /// Human-readable evidence.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+/// A decided log entry as observed on one node, rendered protocol-agnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecidedEntry {
+    /// Node the entry was harvested from.
+    pub node: u32,
+    /// Absolute log index (slot / sequence number).
+    pub index: u64,
+    /// Canonical rendering of the decided operation. Two entries agree iff
+    /// these strings are equal.
+    pub op: String,
+    /// `(client, seq)` of the originating request, if the op carries one.
+    pub origin: Option<(u32, u64)>,
+}
+
+/// Agreement: no two nodes decide different operations for the same index.
+pub fn check_log_agreement(entries: &[DecidedEntry]) -> Vec<Violation> {
+    let mut by_index: BTreeMap<u64, Vec<&DecidedEntry>> = BTreeMap::new();
+    for e in entries {
+        by_index.entry(e.index).or_default().push(e);
+    }
+    let mut out = Vec::new();
+    for (index, group) in by_index {
+        let mut distinct: Vec<&DecidedEntry> = Vec::new();
+        for e in group {
+            if !distinct.iter().any(|d| d.op == e.op) {
+                distinct.push(e);
+            }
+        }
+        if distinct.len() > 1 {
+            let views: Vec<String> = distinct
+                .iter()
+                .map(|e| format!("node {} decided {}", e.node, e.op))
+                .collect();
+            out.push(Violation {
+                check: "agreement",
+                detail: format!("slot {index} diverges: {}", views.join(" vs ")),
+            });
+        }
+    }
+    out
+}
+
+/// Validity: every decided client operation was actually issued by a client.
+/// Entries with no origin (no-ops, protocol-internal fillers) are exempt.
+pub fn check_validity(entries: &[DecidedEntry], issued: &BTreeSet<(u32, u64)>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<(u32, u64)> = BTreeSet::new();
+    for e in entries {
+        if let Some(origin) = e.origin {
+            if !issued.contains(&origin) && reported.insert(origin) {
+                out.push(Violation {
+                    check: "validity",
+                    detail: format!(
+                        "node {} decided op {} from ({}, {}) which no client issued",
+                        e.node, e.op, origin.0, origin.1
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Integrity: a given request decides at most one operation — the same
+/// `(client, seq)` must map to the same op everywhere it appears.
+pub fn check_integrity(entries: &[DecidedEntry]) -> Vec<Violation> {
+    let mut seen: BTreeMap<(u32, u64), &DecidedEntry> = BTreeMap::new();
+    let mut out = Vec::new();
+    for e in entries {
+        let Some(origin) = e.origin else { continue };
+        match seen.get(&origin) {
+            None => {
+                seen.insert(origin, e);
+            }
+            Some(first) if first.op != e.op => out.push(Violation {
+                check: "integrity",
+                detail: format!(
+                    "request ({}, {}) decided as {} on node {} but {} on node {}",
+                    origin.0, origin.1, first.op, first.node, e.op, e.node
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+/// State-machine consistency: nodes that applied the same log prefix must
+/// be in the same state. `digests` is `(node, applied_prefix_len, digest)`.
+pub fn check_state_digests(digests: &[(u32, u64, u64)]) -> Vec<Violation> {
+    let mut by_len: BTreeMap<u64, Vec<(u32, u64)>> = BTreeMap::new();
+    for &(node, len, digest) in digests {
+        by_len.entry(len).or_default().push((node, digest));
+    }
+    let mut out = Vec::new();
+    for (len, group) in by_len {
+        let (first_node, first_digest) = group[0];
+        for &(node, digest) in &group[1..] {
+            if digest != first_digest {
+                out.push(Violation {
+                    check: "state-digest",
+                    detail: format!(
+                        "after {len} applied ops, node {node} digest {digest:#x} \
+                         != node {first_node} digest {first_digest:#x}"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Atomic-commit safety (AC1 + AC3 from the textbook formulation):
+/// no two nodes reach opposite decisions, and commit requires unanimous
+/// yes-votes. `states` holds every node's final state, crashed ones
+/// included — a decision made before crashing still counts.
+pub fn check_atomic_commit(votes: &[bool], states: &[(u32, TxnState)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let committed: Vec<u32> = states
+        .iter()
+        .filter(|(_, s)| *s == TxnState::Committed)
+        .map(|(n, _)| *n)
+        .collect();
+    let aborted: Vec<u32> = states
+        .iter()
+        .filter(|(_, s)| *s == TxnState::Aborted)
+        .map(|(n, _)| *n)
+        .collect();
+    if !committed.is_empty() && !aborted.is_empty() {
+        out.push(Violation {
+            check: "ac-agreement",
+            detail: format!("nodes {committed:?} committed while nodes {aborted:?} aborted"),
+        });
+    }
+    if !committed.is_empty() && votes.iter().any(|v| !v) {
+        let no_voters: Vec<usize> = votes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !**v)
+            .map(|(i, _)| i)
+            .collect();
+        out.push(Violation {
+            check: "ac-commit-validity",
+            detail: format!(
+                "nodes {committed:?} committed although participants {no_voters:?} voted no"
+            ),
+        });
+    }
+    out
+}
+
+/// Binary agreement (Ben-Or): all decided values are equal, and the decided
+/// value was some node's input.
+pub fn check_binary_agreement(decisions: &[(u32, Option<u8>)], inputs: &[u8]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let decided: Vec<(u32, u8)> = decisions
+        .iter()
+        .filter_map(|(n, d)| d.map(|v| (*n, v)))
+        .collect();
+    if let Some(&(first_node, first)) = decided.first() {
+        for &(node, v) in &decided[1..] {
+            if v != first {
+                out.push(Violation {
+                    check: "ba-agreement",
+                    detail: format!(
+                        "node {node} decided {v} but node {first_node} decided {first}"
+                    ),
+                });
+            }
+        }
+        for &(node, v) in &decided {
+            if !inputs.contains(&v) {
+                out.push(Violation {
+                    check: "ba-validity",
+                    detail: format!("node {node} decided {v}, which no node proposed"),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(node: u32, index: u64, op: &str, origin: Option<(u32, u64)>) -> DecidedEntry {
+        DecidedEntry {
+            node,
+            index,
+            op: op.to_string(),
+            origin,
+        }
+    }
+
+    #[test]
+    fn agreement_flags_divergent_slots_only() {
+        let ok = [
+            entry(0, 1, "put k v", Some((7, 1))),
+            entry(1, 1, "put k v", Some((7, 1))),
+            entry(1, 2, "noop", None),
+        ];
+        assert!(check_log_agreement(&ok).is_empty());
+
+        let bad = [
+            entry(0, 1, "put k v", Some((7, 1))),
+            entry(1, 1, "put k w", Some((8, 1))),
+        ];
+        let v = check_log_agreement(&bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "agreement");
+    }
+
+    #[test]
+    fn validity_and_integrity() {
+        let issued: BTreeSet<(u32, u64)> = [(7, 1)].into_iter().collect();
+        let phantom = [entry(0, 1, "put k v", Some((9, 3)))];
+        assert_eq!(check_validity(&phantom, &issued)[0].check, "validity");
+        assert!(check_validity(&phantom, &issued).len() == 1);
+
+        let forked = [
+            entry(0, 1, "put k v", Some((7, 1))),
+            entry(1, 4, "put k w", Some((7, 1))),
+        ];
+        assert_eq!(check_integrity(&forked)[0].check, "integrity");
+        assert!(check_integrity(&forked[..1]).is_empty());
+    }
+
+    #[test]
+    fn digests_compare_equal_prefixes_only() {
+        let ok = [(0, 5, 0xaa), (1, 5, 0xaa), (2, 3, 0xbb)];
+        assert!(check_state_digests(&ok).is_empty());
+        let bad = [(0, 5, 0xaa), (1, 5, 0xcc)];
+        assert_eq!(check_state_digests(&bad)[0].check, "state-digest");
+    }
+
+    #[test]
+    fn atomic_commit_rules() {
+        let mixed = [(0, TxnState::Committed), (2, TxnState::Aborted)];
+        assert_eq!(
+            check_atomic_commit(&[true, true, true], &mixed)[0].check,
+            "ac-agreement"
+        );
+
+        let committed = [(0, TxnState::Committed), (1, TxnState::Committed)];
+        let v = check_atomic_commit(&[true, false, true], &committed);
+        assert_eq!(v[0].check, "ac-commit-validity");
+
+        let blocked = [(0, TxnState::Aborted), (1, TxnState::Ready)];
+        assert!(check_atomic_commit(&[true, true], &blocked).is_empty());
+    }
+
+    #[test]
+    fn binary_agreement_rules() {
+        let ok = [(0, Some(1)), (1, Some(1)), (2, None)];
+        assert!(check_binary_agreement(&ok, &[0, 1, 1]).is_empty());
+
+        let split = [(0, Some(0)), (1, Some(1))];
+        assert_eq!(check_binary_agreement(&split, &[0, 1])[0].check, "ba-agreement");
+
+        let invented = [(0, Some(1))];
+        assert_eq!(check_binary_agreement(&invented, &[0, 0])[0].check, "ba-validity");
+    }
+}

@@ -1,0 +1,599 @@
+//! Protocol adapters: each wraps one cluster driver behind the uniform
+//! [`Target`] interface the nemesis engine explores.
+//!
+//! An adapter declares its [`FaultSpec`] — the simulator-level projection of
+//! the protocol's taxonomy card (which faults its *safety* argument claims
+//! to survive) — and knows how to run one trial and harvest the evidence the
+//! checkers consume: decided log entries, state digests, client histories,
+//! final transaction states. The nemesis never reads protocol internals
+//! beyond these harvests, so adding a protocol means writing one adapter.
+//!
+//! Fault menus per protocol:
+//!
+//! | target  | crash | restart | partition | loss | Byzantine |
+//! |---------|-------|---------|-----------|------|-----------|
+//! | paxos   | any   | yes     | yes       | yes  | —         |
+//! | raft    | any   | yes     | yes       | yes  | —         |
+//! | pbft    | any   | yes     | yes       | yes  | ≤ f = 1   |
+//! | 2pc     | ≤ 2   | no      | no        | yes  | —         |
+//! | 3pc     | ≤ 1   | no      | no        | no   | —         |
+//! | ben-or  | ≤ f=1 | no      | no        | yes  | —         |
+//!
+//! 3PC's menu is deliberately narrow: the protocol is *known* unsafe under
+//! partitions and unbounded asynchrony (that is its lesson in the survey),
+//! so the nemesis only probes the crash model it actually claims. Ben-Or
+//! excludes restarts because a restarted node re-broadcasts its current
+//! round's report, and the implementation counts report multiplicity.
+
+use std::collections::BTreeSet;
+
+use agreement::ben_or::BenOrNode;
+use atomic_commit::three_phase::{self, CrashPoint};
+use atomic_commit::{two_phase, TxnState};
+use bft::pbft::{PbftCluster, PbftMsg, PbftProc};
+use bft::sim_crypto::digest_of;
+use consensus_core::smr::Slot;
+use consensus_core::{
+    ClientRecord, Command, HistorySink, KvCommand, QuorumSpec, SmrOp, StateMachine as _,
+};
+use paxos::multi::{MpOp, MultiPaxosCluster, Proc as PaxosProc};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+use simnet::{FilterAction, FnFilter, NetConfig, NodeId, Sim};
+
+use crate::checker::{
+    check_atomic_commit, check_binary_agreement, check_integrity, check_log_agreement,
+    check_state_digests, check_validity, DecidedEntry, Violation,
+};
+use crate::exec::{execute_plan, WindowKind};
+use crate::lin::{check_linearizable, DEFAULT_BUDGET};
+use crate::plan::{FaultPlan, FaultSpec};
+
+/// Domain-separation salt for seed-derived workload parameters (votes,
+/// Ben-Or inputs) so they are independent of both the simulator's and the
+/// plan generator's randomness.
+const WORKLOAD_SALT: u64 = 0x776b_6c64; // "wkld"
+
+/// Outcome of one trial.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Safety violations found by the checkers (empty = pass).
+    pub violations: Vec<Violation>,
+    /// Client operations completed (progress indicator, not a check).
+    pub ops: usize,
+}
+
+/// One protocol under nemesis exploration.
+pub trait Target {
+    /// Stable name used in verdict tables and counterexample files.
+    fn name(&self) -> &'static str;
+    /// The fault model this protocol's safety claims to survive.
+    fn fault_spec(&self) -> FaultSpec;
+    /// Runs one trial: build the cluster from `seed`, execute `plan`,
+    /// harvest, and check. Must be a pure function of `(seed, plan)`.
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport;
+}
+
+/// All legitimate targets, in verdict-table order.
+pub fn targets() -> Vec<Box<dyn Target>> {
+    vec![
+        Box::new(PaxosTarget { buggy: false }),
+        Box::new(RaftTarget),
+        Box::new(PbftTarget),
+        Box::new(TwoPcTarget),
+        Box::new(ThreePcTarget),
+        Box::new(BenOrTarget),
+    ]
+}
+
+/// The deliberately broken Flexible-Paxos configuration (`q1 + q2 ≤ n`, so
+/// election and replication quorums need not intersect). Used to prove the
+/// nemesis catches real safety bugs; never part of [`targets`].
+pub fn injected_bug_target() -> Box<dyn Target> {
+    Box::new(PaxosTarget { buggy: true })
+}
+
+/// Resolves a target by name, including the injected-bug target (so stored
+/// counterexamples can be replayed).
+pub fn by_name(name: &str) -> Option<Box<dyn Target>> {
+    match name {
+        "paxos" => Some(Box::new(PaxosTarget { buggy: false })),
+        "paxos-buggy" => Some(injected_bug_target()),
+        "raft" => Some(Box::new(RaftTarget)),
+        "pbft" => Some(Box::new(PbftTarget)),
+        "2pc" => Some(Box::new(TwoPcTarget)),
+        "3pc" => Some(Box::new(ThreePcTarget)),
+        "ben-or" => Some(Box::new(BenOrTarget)),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Harvest helpers — also used by integration tests that drive clusters by
+// hand and want the same checker-ready evidence the targets collect.
+// ---------------------------------------------------------------------------
+
+/// Harvests every Multi-Paxos replica's decided slots plus `(node,
+/// applied_len, digest)` triples for the state-machine consistency check.
+pub fn harvest_paxos(cluster: &MultiPaxosCluster) -> (Vec<DecidedEntry>, Vec<(u32, u64, u64)>) {
+    let mut entries = Vec::new();
+    let mut digests = Vec::new();
+    for (id, proc_) in cluster.sim.nodes() {
+        let PaxosProc::Replica(r) = proc_ else { continue };
+        for i in 0..r.log.len() {
+            let op = match r.log.slot(i) {
+                Slot::Decided(op) | Slot::Applied(op) => op,
+                Slot::Empty => continue,
+            };
+            let origin = match op {
+                MpOp::Cmd(cmd) => Some((cmd.client, cmd.seq)),
+                MpOp::Noop => None,
+            };
+            entries.push(DecidedEntry {
+                node: id.0,
+                index: i as u64,
+                op: format!("{op:?}"),
+                origin,
+            });
+        }
+        digests.push((id.0, r.log.applied_len() as u64, r.log.machine().digest()));
+    }
+    (entries, digests)
+}
+
+/// Harvests every Raft replica's *committed* entries (an uncommitted suffix
+/// may legally be overwritten; compacted prefixes are covered by the digest
+/// check) plus `(node, last_applied, digest)` triples. Terms are baked into
+/// the op identity so the agreement check also enforces Log Matching.
+pub fn harvest_raft(cluster: &raft::RaftCluster) -> (Vec<DecidedEntry>, Vec<(u32, u64, u64)>) {
+    let mut entries = Vec::new();
+    let mut digests = Vec::new();
+    for (id, proc_) in cluster.sim.nodes() {
+        let raft::Proc::Replica(r) = proc_ else { continue };
+        for i in (r.log_offset() + 1)..=r.commit_index {
+            let Some(entry) = r.entry(i) else { continue };
+            let origin = match &entry.op {
+                SmrOp::Cmd(cmd) => Some((cmd.client, cmd.seq)),
+                SmrOp::Noop => None,
+            };
+            entries.push(DecidedEntry {
+                node: id.0,
+                index: i as u64,
+                op: format!("t{}:{:?}", entry.term, entry.op),
+                origin,
+            });
+        }
+        digests.push((id.0, r.last_applied as u64, r.machine().digest()));
+    }
+    (entries, digests)
+}
+
+/// Harvests every PBFT replica's execution log plus `(node, executed_upto,
+/// digest)` triples. A Byzantine replica's *outbound* messages may have
+/// lied, but its local execution log is honestly built from what it
+/// received, so its harvest is still evidence about the protocol.
+pub fn harvest_pbft(cluster: &PbftCluster) -> (Vec<DecidedEntry>, Vec<(u32, u64, u64)>) {
+    let mut entries = Vec::new();
+    let mut digests = Vec::new();
+    for (id, proc_) in cluster.sim.nodes() {
+        let PbftProc::Replica(r) = proc_ else { continue };
+        let log = r.exec_log();
+        for i in 0..log.len() {
+            let op = match log.slot(i) {
+                Slot::Decided(op) | Slot::Applied(op) => op,
+                Slot::Empty => continue, // checkpoint-truncated prefix
+            };
+            let origin = match op {
+                SmrOp::Cmd(cmd) => Some((cmd.client, cmd.seq)),
+                SmrOp::Noop => None,
+            };
+            entries.push(DecidedEntry {
+                node: id.0,
+                index: i as u64,
+                op: format!("{op:?}"),
+                origin,
+            });
+        }
+        digests.push((id.0, r.executed_upto, r.machine().digest()));
+    }
+    (entries, digests)
+}
+
+/// Merges client histories and collects the set of `(client, seq)` pairs
+/// actually issued — the reference set for the validity check.
+pub fn client_evidence<'a>(
+    sinks: impl IntoIterator<Item = &'a HistorySink>,
+) -> (Vec<ClientRecord>, BTreeSet<(u32, u64)>) {
+    let sinks: Vec<&HistorySink> = sinks.into_iter().collect();
+    let issued = sinks
+        .iter()
+        .flat_map(|s| s.records().iter().map(|r| (r.client, r.seq)))
+        .collect();
+    (HistorySink::merge(sinks), issued)
+}
+
+/// The full SMR safety battery: log agreement, integrity, state-machine
+/// consistency, linearizability — and validity when an issued-set is given
+/// (PBFT passes `None`: the simulated crypto has no client signatures, so a
+/// Byzantine primary injecting an invented request is in-model).
+pub fn smr_safety(
+    entries: &[DecidedEntry],
+    digests: &[(u32, u64, u64)],
+    history: &[ClientRecord],
+    issued: Option<&BTreeSet<(u32, u64)>>,
+) -> Vec<Violation> {
+    let mut violations = check_log_agreement(entries);
+    if let Some(issued) = issued {
+        violations.extend(check_validity(entries, issued));
+    }
+    violations.extend(check_integrity(entries));
+    violations.extend(check_state_digests(digests));
+    violations.extend(check_linearizable(history, DEFAULT_BUDGET));
+    violations
+}
+
+// Horizons are deliberately tight: `generate` draws fault times from the
+// first half-ish of the horizon, so the horizon must be commensurate with
+// the workload (elections ~40–100ms, a dozen closed-loop ops ~100–200ms of
+// simulated time) for faults to actually land *during* the interesting
+// window rather than after the run has quiesced.
+const SMR_HORIZON: u64 = 600_000;
+const COMMIT_HORIZON: u64 = 200_000;
+const BEN_OR_HORIZON: u64 = 200_000;
+
+fn smr_spec(nodes: u32) -> FaultSpec {
+    FaultSpec {
+        nodes,
+        max_crash_nodes: nodes,
+        allow_restart: true,
+        allow_partition: true,
+        allow_loss: true,
+        max_byzantine: 0,
+        allow_equivocation: false,
+        horizon: SMR_HORIZON,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-Paxos
+// ---------------------------------------------------------------------------
+
+struct PaxosTarget {
+    /// Use the non-intersecting Flexible quorum spec (the injected bug).
+    buggy: bool,
+}
+
+impl Target for PaxosTarget {
+    fn name(&self) -> &'static str {
+        if self.buggy {
+            "paxos-buggy"
+        } else {
+            "paxos"
+        }
+    }
+
+    fn fault_spec(&self) -> FaultSpec {
+        smr_spec(5)
+    }
+
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
+        let spec = if self.buggy {
+            // q1 + q2 = 4 ≤ n = 5: a new leader's prepare quorum can miss
+            // every acceptor that voted in a decided replication quorum.
+            QuorumSpec::Flexible { n: 5, q1: 2, q2: 2 }
+        } else {
+            QuorumSpec::Majority { n: 5 }
+        };
+        let mut cluster = MultiPaxosCluster::new(spec, 5, 2, 6, NetConfig::lan(), seed);
+        execute_plan(&mut cluster.sim, plan, SMR_HORIZON, 0.0, |_, _| None);
+
+        let (entries, digests) = harvest_paxos(&cluster);
+        let (history, issued) = client_evidence(cluster.clients().map(|c| &c.history));
+        RunReport {
+            violations: smr_safety(&entries, &digests, &history, Some(&issued)),
+            ops: cluster.total_completed(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raft
+// ---------------------------------------------------------------------------
+
+struct RaftTarget;
+
+impl Target for RaftTarget {
+    fn name(&self) -> &'static str {
+        "raft"
+    }
+
+    fn fault_spec(&self) -> FaultSpec {
+        smr_spec(5)
+    }
+
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
+        let mut cluster = raft::RaftCluster::new(5, 2, 6, NetConfig::lan(), seed);
+        execute_plan(&mut cluster.sim, plan, SMR_HORIZON, 0.0, |_, _| None);
+
+        let (entries, digests) = harvest_raft(&cluster);
+        let (history, issued) = client_evidence(cluster.clients().map(|c| &c.history));
+        RunReport {
+            violations: smr_safety(&entries, &digests, &history, Some(&issued)),
+            ops: cluster.total_completed(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PBFT
+// ---------------------------------------------------------------------------
+
+struct PbftTarget;
+
+impl Target for PbftTarget {
+    fn name(&self) -> &'static str {
+        "pbft"
+    }
+
+    fn fault_spec(&self) -> FaultSpec {
+        FaultSpec {
+            max_byzantine: 1, // f = 1 at n = 4
+            allow_equivocation: true,
+            ..smr_spec(4)
+        }
+    }
+
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
+        let mut cluster = PbftCluster::new(4, 2, 5, NetConfig::lan(), seed);
+        execute_plan(&mut cluster.sim, plan, SMR_HORIZON, 0.0, |kind, _node| {
+            Some(match kind {
+                WindowKind::Mute => {
+                    Box::new(simnet::DropAll) as Box<dyn simnet::Filter<PbftMsg>>
+                }
+                WindowKind::Equivocate => Box::new(equivocation_filter()),
+            })
+        });
+
+        let (entries, digests) = harvest_pbft(&cluster);
+        let (history, _issued) = client_evidence(cluster.clients().map(|c| &c.history));
+        // `issued: None` skips the validity check — see [`smr_safety`].
+        RunReport {
+            violations: smr_safety(&entries, &digests, &history, None),
+            ops: cluster.total_completed(),
+        }
+    }
+}
+
+/// The equivocation lie for PBFT: odd-numbered destinations receive a forged
+/// ordering (a command no client sent, with a self-consistent digest) in
+/// place of the node's real `PrePrepare`/`Prepare`; even destinations hear
+/// the truth. Splitting the backups this way is the classic attempt to get
+/// two quorums to prepare different requests at the same sequence number.
+fn equivocation_filter() -> FnFilter<
+    impl FnMut(NodeId, NodeId, &PbftMsg, &mut ChaCha20Rng) -> FilterAction<PbftMsg> + Send,
+> {
+    // The forged request names the Byzantine node *itself* as the client.
+    // Real PBFT authenticates client requests, so a lying primary cannot
+    // impersonate an honest client — but it can always submit a request of
+    // its own, which is exactly what this models. Using an honest client's
+    // id here would poison that client's dedup entry in the replicas'
+    // client tables (a later real command with a lower sequence number
+    // would get the forged command's cached reply — an out-of-model forgery
+    // the harness once flagged as a linearizability violation). Replies for
+    // the forged request go to `NodeId(0)`, a replica, which ignores stray
+    // `Reply` messages; the key is outside the workload's keyspace so
+    // histories are untouched even if the lie were ever to commit.
+    let forged = Command {
+        client: 0,
+        seq: 9_999,
+        op: KvCommand::Put {
+            key: "evil".to_string(),
+            value: "forged".to_string(),
+        },
+    };
+    FnFilter(move |_from, to: NodeId, msg: &PbftMsg, _rng: &mut ChaCha20Rng| {
+        if to.0.is_multiple_of(2) {
+            return FilterAction::Deliver;
+        }
+        match msg {
+            PbftMsg::PrePrepare { view, n, .. } => FilterAction::Replace(PbftMsg::PrePrepare {
+                view: *view,
+                n: *n,
+                digest: digest_of(&forged),
+                cmd: forged.clone(),
+            }),
+            PbftMsg::Prepare { view, n, .. } => FilterAction::Replace(PbftMsg::Prepare {
+                view: *view,
+                n: *n,
+                digest: digest_of(&forged),
+            }),
+            _ => FilterAction::Deliver,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Atomic commit: 2PC / 3PC
+// ---------------------------------------------------------------------------
+
+/// Seed-derived participant votes (mostly yes, so commits actually happen).
+fn derive_votes(seed: u64, n: usize) -> Vec<bool> {
+    let mut rng = ChaCha20Rng::seed_from_u64(seed ^ WORKLOAD_SALT);
+    (0..n).map(|_| rng.gen_bool(0.8)).collect()
+}
+
+fn commit_states<N, F>(sim: &Sim<N>, state_of: F) -> Vec<(u32, TxnState)>
+where
+    N: simnet::Node,
+    F: Fn(&N) -> TxnState,
+{
+    // Crashed nodes included: a decision made before crashing still counts
+    // toward (or against) atomicity.
+    sim.nodes().map(|(id, p)| (id.0, state_of(p))).collect()
+}
+
+struct TwoPcTarget;
+
+impl Target for TwoPcTarget {
+    fn name(&self) -> &'static str {
+        "2pc"
+    }
+
+    fn fault_spec(&self) -> FaultSpec {
+        FaultSpec {
+            nodes: 4, // coordinator + 3 participants
+            max_crash_nodes: 2,
+            allow_restart: false,
+            allow_partition: false,
+            allow_loss: true,
+            max_byzantine: 0,
+            allow_equivocation: false,
+            horizon: COMMIT_HORIZON,
+        }
+    }
+
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
+        let votes = derive_votes(seed, 3);
+        let mut sim = two_phase::build(&votes, NetConfig::lan(), seed);
+        execute_plan(&mut sim, plan, COMMIT_HORIZON, 0.0, |_, _| None);
+        let states = commit_states(&sim, |p| match p {
+            two_phase::TwoPcProc::Coordinator(c) => c.state,
+            two_phase::TwoPcProc::Participant(p) => p.state,
+        });
+        let decided = states.iter().filter(|(_, s)| s.is_final()).count();
+        RunReport {
+            violations: check_atomic_commit(&votes, &states),
+            ops: decided,
+        }
+    }
+}
+
+struct ThreePcTarget;
+
+impl Target for ThreePcTarget {
+    fn name(&self) -> &'static str {
+        "3pc"
+    }
+
+    fn fault_spec(&self) -> FaultSpec {
+        // 3PC's non-blocking termination protocol is only sound under
+        // crash-stop faults on a reliable synchronous network — that is the
+        // survey's whole point about it — so that is all the nemesis probes.
+        FaultSpec {
+            nodes: 4,
+            max_crash_nodes: 1,
+            allow_restart: false,
+            allow_partition: false,
+            allow_loss: false,
+            max_byzantine: 0,
+            allow_equivocation: false,
+            horizon: COMMIT_HORIZON,
+        }
+    }
+
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
+        let votes = derive_votes(seed, 3);
+        let mut sim = three_phase::build(&votes, CrashPoint::None, NetConfig::lan(), seed);
+        execute_plan(&mut sim, plan, COMMIT_HORIZON, 0.0, |_, _| None);
+        let states = commit_states(&sim, |p| match p {
+            three_phase::ThreePcProc::Coordinator(c) => c.state,
+            three_phase::ThreePcProc::Participant(p) => p.state,
+        });
+        let decided = states.iter().filter(|(_, s)| s.is_final()).count();
+        RunReport {
+            violations: check_atomic_commit(&votes, &states),
+            ops: decided,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ben-Or
+// ---------------------------------------------------------------------------
+
+struct BenOrTarget;
+
+impl Target for BenOrTarget {
+    fn name(&self) -> &'static str {
+        "ben-or"
+    }
+
+    fn fault_spec(&self) -> FaultSpec {
+        FaultSpec {
+            nodes: 5,
+            max_crash_nodes: 1, // f = 1 with n = 5 (needs 2f < n)
+            allow_restart: false,
+            allow_partition: false,
+            allow_loss: true,
+            max_byzantine: 0,
+            allow_equivocation: false,
+            horizon: BEN_OR_HORIZON,
+        }
+    }
+
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
+        let mut rng = ChaCha20Rng::seed_from_u64(seed ^ WORKLOAD_SALT);
+        let inputs: Vec<u8> = (0..5).map(|_| u8::from(rng.gen_bool(0.5))).collect();
+        let mut sim: Sim<BenOrNode> = Sim::new(NetConfig::asynchronous(), seed);
+        for &v in &inputs {
+            sim.add_node(BenOrNode::new(5, 1, v));
+        }
+        execute_plan(&mut sim, plan, BEN_OR_HORIZON, 0.0, |_, _| None);
+        // Crashed nodes' decisions count too — a decision is irrevocable.
+        let decisions: Vec<(u32, Option<u8>)> =
+            sim.nodes().map(|(id, n)| (id.0, n.decided)).collect();
+        let decided = decisions.iter().filter(|(_, d)| d.is_some()).count();
+        RunReport {
+            violations: check_binary_agreement(&decisions, &inputs),
+            ops: decided,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::generate;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let names: Vec<&str> = targets().iter().map(|t| t.name()).collect();
+        let set: BTreeSet<&str> = names.iter().copied().collect();
+        assert_eq!(set.len(), names.len());
+        for n in names {
+            assert!(by_name(n).is_some(), "unresolvable target {n}");
+        }
+        assert_eq!(by_name("paxos-buggy").unwrap().name(), "paxos-buggy");
+        assert!(by_name("viewstamped").is_none());
+    }
+
+    #[test]
+    fn fault_free_trials_pass_and_make_progress() {
+        let empty = FaultPlan::default();
+        for target in targets() {
+            let report = target.run(1, &empty);
+            assert!(
+                report.violations.is_empty(),
+                "{} violates safety with no faults: {:?}",
+                target.name(),
+                report.violations
+            );
+            assert!(report.ops > 0, "{} made no progress", target.name());
+        }
+    }
+
+    #[test]
+    fn trials_are_deterministic() {
+        for target in targets() {
+            let plan = generate(&target.fault_spec(), 3);
+            let a = target.run(3, &plan);
+            let b = target.run(3, &plan);
+            assert_eq!(
+                a.violations, b.violations,
+                "{} not deterministic",
+                target.name()
+            );
+            assert_eq!(a.ops, b.ops, "{} not deterministic", target.name());
+        }
+    }
+}

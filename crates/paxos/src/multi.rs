@@ -23,7 +23,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use consensus_core::quorum::Phase;
 use consensus_core::smr::Slot;
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
-use consensus_core::{Ballot, Command, KvCommand, KvResponse, QuorumSpec, ReplicatedLog, StateMachine};
+use consensus_core::{
+    Ballot, Command, HistorySink, KvCommand, KvResponse, QuorumSpec, ReplicatedLog, StateMachine,
+};
 use simnet::{CncPhase, Context, NetConfig, Node, NodeId, Payload, RunOutcome, Sim, Time, Timer};
 
 /// Span protocol label; instances are log indices.
@@ -535,6 +537,8 @@ pub struct Client {
     leader_guess: NodeId,
     /// Request → reply latencies.
     pub latencies: LatencyRecorder,
+    /// Invoke/response history for safety checking.
+    pub history: HistorySink,
 }
 
 impl Client {
@@ -549,6 +553,7 @@ impl Client {
             current: None,
             leader_guess: NodeId(0),
             latencies: LatencyRecorder::new(),
+            history: HistorySink::new(),
         }
     }
 
@@ -558,6 +563,8 @@ impl Client {
             return;
         }
         let cmd = self.workload.next_command();
+        self.history
+            .invoke(cmd.client, cmd.seq, cmd.op.clone(), ctx.now().0);
         self.current = Some((cmd.clone(), ctx.now()));
         ctx.send(self.leader_guess, MpMsg::Request { cmd });
         ctx.set_timer(100_000, CLIENT_RETRY);
@@ -586,10 +593,12 @@ impl Node for Client {
 
     fn on_message(&mut self, ctx: &mut Context<MpMsg>, from: NodeId, msg: MpMsg) {
         match msg {
-            MpMsg::Reply { seq, .. } => {
+            MpMsg::Reply { seq, output, .. } => {
                 if let Some((cmd, sent_at)) = &self.current {
                     if cmd.seq == seq {
                         let sent = *sent_at;
+                        self.history
+                            .complete(cmd.client, cmd.seq, ctx.now().0, output);
                         self.latencies.record(sent, ctx.now());
                         self.completed += 1;
                         self.current = None;

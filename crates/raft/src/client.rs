@@ -1,7 +1,7 @@
 //! Closed-loop Raft client (same workload shape as `paxos::multi::Client`).
 
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
-use consensus_core::{Command, KvCommand};
+use consensus_core::{Command, HistorySink, KvCommand};
 use simnet::{Context, Node, NodeId, Time, Timer};
 
 use crate::msg::RaftMsg;
@@ -21,6 +21,8 @@ pub struct Client {
     leader_guess: NodeId,
     /// Request → reply latencies.
     pub latencies: LatencyRecorder,
+    /// Invoke/response history for safety checking.
+    pub history: HistorySink,
 }
 
 impl Client {
@@ -35,6 +37,7 @@ impl Client {
             current: None,
             leader_guess: NodeId(0),
             latencies: LatencyRecorder::new(),
+            history: HistorySink::new(),
         }
     }
 
@@ -49,6 +52,8 @@ impl Client {
             return;
         }
         let cmd = self.workload.next_command();
+        self.history
+            .invoke(cmd.client, cmd.seq, cmd.op.clone(), ctx.now().0);
         self.current = Some((cmd.clone(), ctx.now()));
         ctx.send(self.leader_guess, RaftMsg::Request { cmd });
         ctx.set_timer(100_000, CLIENT_RETRY);
@@ -72,10 +77,12 @@ impl Node for Client {
 
     fn on_message(&mut self, ctx: &mut Context<RaftMsg>, from: NodeId, msg: RaftMsg) {
         match msg {
-            RaftMsg::Reply { seq, .. } => {
+            RaftMsg::Reply { seq, output, .. } => {
                 if let Some((cmd, sent_at)) = &self.current {
                     if cmd.seq == seq {
                         let sent = *sent_at;
+                        self.history
+                            .complete(cmd.client, cmd.seq, ctx.now().0, output);
                         self.latencies.record(sent, ctx.now());
                         self.completed += 1;
                         self.current = None;

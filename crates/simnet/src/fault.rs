@@ -59,6 +59,56 @@ where
     }
 }
 
+/// Equivocation helper: tells different peers different things.
+///
+/// Destinations registered with [`Equivocate::tell`] receive the registered
+/// payload in place of whatever the wrapped node actually sent; everyone else
+/// sees the original message. This is the textbook Byzantine lie — "accept
+/// v1" to one quorum, "accept v2" to another — packaged so fault schedules
+/// don't need a bespoke closure per protocol.
+pub struct Equivocate<M> {
+    variants: Vec<(NodeId, M)>,
+}
+
+impl<M: Clone> Equivocate<M> {
+    /// An equivocator with no lies registered yet (delivers everything).
+    pub fn new() -> Self {
+        Equivocate { variants: Vec::new() }
+    }
+
+    /// Registers the payload `to` should receive instead of the truth.
+    /// Re-registering a destination overwrites the earlier lie.
+    pub fn tell(mut self, to: NodeId, msg: M) -> Self {
+        if let Some(slot) = self.variants.iter_mut().find(|(d, _)| *d == to) {
+            slot.1 = msg;
+        } else {
+            self.variants.push((to, msg));
+        }
+        self
+    }
+}
+
+impl<M: Clone> Default for Equivocate<M> {
+    fn default() -> Self {
+        Equivocate::new()
+    }
+}
+
+impl<M: Clone + Send> Filter<M> for Equivocate<M> {
+    fn outgoing(
+        &mut self,
+        _from: NodeId,
+        to: NodeId,
+        _msg: &M,
+        _rng: &mut ChaCha20Rng,
+    ) -> FilterAction<M> {
+        match self.variants.iter().find(|(d, _)| *d == to) {
+            Some((_, lie)) => FilterAction::Replace(lie.clone()),
+            None => FilterAction::Deliver,
+        }
+    }
+}
+
 /// A filter that drops everything — a "mute" Byzantine node that still runs
 /// locally but never communicates.
 pub struct DropAll;
@@ -96,6 +146,28 @@ mod tests {
         }
         assert!(matches!(
             f.outgoing(NodeId(0), NodeId(1), &5, &mut rng),
+            FilterAction::Deliver
+        ));
+    }
+
+    #[test]
+    fn equivocate_lies_per_destination() {
+        let mut rng = ChaCha20Rng::seed_from_u64(0);
+        let mut f = Equivocate::new()
+            .tell(NodeId(1), 111u32)
+            .tell(NodeId(2), 222)
+            .tell(NodeId(1), 101); // overwrite the first lie
+        match f.outgoing(NodeId(0), NodeId(1), &5, &mut rng) {
+            FilterAction::Replace(v) => assert_eq!(v, 101),
+            other => panic!("expected Replace, got {other:?}"),
+        }
+        match f.outgoing(NodeId(0), NodeId(2), &5, &mut rng) {
+            FilterAction::Replace(v) => assert_eq!(v, 222),
+            other => panic!("expected Replace, got {other:?}"),
+        }
+        // Unregistered destinations hear the truth.
+        assert!(matches!(
+            f.outgoing(NodeId(0), NodeId(3), &5, &mut rng),
             FilterAction::Deliver
         ));
     }

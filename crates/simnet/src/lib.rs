@@ -64,7 +64,7 @@ mod time;
 mod trace;
 
 pub use config::{DelayModel, NetConfig, Synchrony};
-pub use fault::{DropAll, Filter, FilterAction, FnFilter};
+pub use fault::{DropAll, Equivocate, Filter, FilterAction, FnFilter};
 pub use metrics::{Histogram, Metrics};
 pub use node::{Context, Node, Payload, Timer, TimerId};
 pub use sim::{RunOutcome, Sim};

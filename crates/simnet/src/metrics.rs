@@ -100,8 +100,17 @@ pub struct Metrics {
     pub sent: u64,
     /// Messages actually delivered to a live node.
     pub delivered: u64,
-    /// Messages lost to random drops, partitions, filters, or dead targets.
+    /// Messages lost to random drops, partitions, filters, or dead targets
+    /// (the sum of the four `dropped_*` counters).
     pub dropped: u64,
+    /// Messages cut by a network partition.
+    pub dropped_partition: u64,
+    /// Messages lost to random (probabilistic) loss.
+    pub dropped_loss: u64,
+    /// Messages suppressed by a Byzantine outbound filter.
+    pub dropped_filter: u64,
+    /// Messages that arrived at a crashed node.
+    pub dropped_dead: u64,
     /// Duplicated deliveries (counted in addition to `delivered`).
     pub duplicated: u64,
     /// Total estimated bytes sent.

@@ -203,6 +203,13 @@ impl<N: Node> Sim<N> {
         self.link_delays.insert((from, to), model);
     }
 
+    /// Overrides the random-loss probability from this point on. Fault
+    /// schedules use this to model loss bursts: raise it at the start of the
+    /// burst window and restore it at the end.
+    pub fn set_drop_prob(&mut self, p: f64) {
+        self.config.drop_prob = p.clamp(0.0, 1.0);
+    }
+
     /// Installs a Byzantine outbound filter on `id` (replacing any previous
     /// one). See [`crate::fault`].
     pub fn set_filter(&mut self, id: NodeId, filter: Box<dyn Filter<N::Msg>>) {
@@ -277,11 +284,18 @@ impl<N: Node> Sim<N> {
             return;
         }
 
-        // Byzantine outbound filter.
+        // Byzantine outbound filter. A filtered message never reaches the
+        // network, so it is not counted as sent — but the loss is visible in
+        // the drop counters and the trace.
         let msg = match self.filters.get_mut(&from.index()) {
             Some(filter) => match filter.outgoing(from, to, &msg, &mut self.net_rng) {
                 FilterAction::Deliver => msg,
-                FilterAction::Drop => return,
+                FilterAction::Drop => {
+                    self.metrics.dropped += 1;
+                    self.metrics.dropped_filter += 1;
+                    self.push_trace(TraceEvent::Drop, from, to, msg.kind());
+                    return;
+                }
                 FilterAction::Replace(m) => m,
             },
             None => msg,
@@ -301,6 +315,7 @@ impl<N: Node> Sim<N> {
             let gt = groups.get(to.index()).copied().unwrap_or(usize::MAX);
             if gf != gt {
                 self.metrics.dropped += 1;
+                self.metrics.dropped_partition += 1;
                 self.push_trace(TraceEvent::Drop, from, to, msg.kind());
                 return;
             }
@@ -311,6 +326,7 @@ impl<N: Node> Sim<N> {
             use rand::Rng;
             if self.net_rng.gen::<f64>() < self.config.drop_prob {
                 self.metrics.dropped += 1;
+                self.metrics.dropped_loss += 1;
                 self.push_trace(TraceEvent::Drop, from, to, msg.kind());
                 return;
             }
@@ -400,6 +416,7 @@ impl<N: Node> Sim<N> {
                 if !self.slots[idx].alive {
                     if from != ev.node {
                         self.metrics.dropped += 1;
+                        self.metrics.dropped_dead += 1;
                         self.push_trace(TraceEvent::Drop, from, ev.node, msg.kind());
                     }
                     return;
@@ -925,5 +942,159 @@ mod tests {
         sim.inject(NodeId(0), NodeId(1), Go(5), sim.now() + 10);
         sim.run_to_quiescence();
         assert_eq!(sim.metrics().instance_latency.count(), 1);
+    }
+
+    #[test]
+    fn drop_counters_attribute_losses_by_cause() {
+        // Partition drops.
+        let mut sim = pingpong_sim(4, NetConfig::synchronous(), 15);
+        sim.partition_at(Time(0), vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]]);
+        sim.run_to_quiescence();
+        let m = sim.metrics();
+        assert_eq!(m.dropped_partition, 2);
+        assert_eq!(
+            m.dropped,
+            m.dropped_partition + m.dropped_loss + m.dropped_filter + m.dropped_dead
+        );
+
+        // Random loss.
+        let mut sim = pingpong_sim(2, NetConfig::synchronous().with_drop_prob(1.0), 16);
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics().dropped_loss, 1);
+        assert_eq!(sim.metrics().dropped, 1);
+
+        // Filter drops are counted and traced, but never reach the network,
+        // so they are not `sent`.
+        let mut sim = pingpong_sim(2, NetConfig::synchronous(), 17);
+        sim.record_trace(true);
+        sim.set_filter(NodeId(0), Box::new(crate::fault::DropAll));
+        sim.run_to_quiescence();
+        let m = sim.metrics();
+        assert_eq!(m.dropped_filter, 1);
+        assert_eq!(m.dropped, 1);
+        assert_eq!(m.sent, 0);
+        assert!(sim
+            .trace()
+            .iter()
+            .any(|t| matches!(t.event, TraceEvent::Drop)));
+
+        // Messages to a crashed node.
+        let mut sim = pingpong_sim(2, NetConfig::synchronous(), 18);
+        sim.crash_at(NodeId(1), Time(100));
+        sim.run_to_quiescence();
+        assert_eq!(sim.metrics().dropped_dead, 1);
+        assert_eq!(sim.metrics().dropped, 1);
+    }
+
+    #[test]
+    fn set_drop_prob_applies_mid_run() {
+        // Lossless until the override, total loss afterwards.
+        struct Repeater {
+            got: u64,
+        }
+        #[derive(Clone, Debug)]
+        struct M;
+        impl Payload for M {}
+        impl Node for Repeater {
+            type Msg = M;
+            fn on_start(&mut self, ctx: &mut Context<M>) {
+                if ctx.id() == NodeId(0) {
+                    ctx.set_timer(1_000, 0);
+                    ctx.set_timer(10_000, 0);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Context<M>, _f: NodeId, _m: M) {
+                self.got += 1;
+            }
+            fn on_timer(&mut self, ctx: &mut Context<M>, _t: Timer) {
+                ctx.send(NodeId(1), M);
+            }
+        }
+        let mut sim: Sim<Repeater> = Sim::new(NetConfig::synchronous(), 19);
+        sim.add_node(Repeater { got: 0 });
+        sim.add_node(Repeater { got: 0 });
+        sim.run_until(Time(5_000));
+        assert_eq!(sim.node(NodeId(1)).got, 1);
+        sim.set_drop_prob(1.0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(NodeId(1)).got, 1, "message in the burst window was lost");
+        assert_eq!(sim.metrics().dropped_loss, 1);
+    }
+
+    #[test]
+    fn old_epoch_timer_is_dead_even_when_restart_arms_new_ones() {
+        // The epoch guard must discriminate between a timer armed before a
+        // crash and one armed after the restart, even when both would fire
+        // after the node is back up. Only the post-restart timer may fire.
+        struct T {
+            fired: Vec<u64>,
+        }
+        #[derive(Clone, Debug)]
+        struct Nil;
+        impl Payload for Nil {}
+        impl Node for T {
+            type Msg = Nil;
+            fn on_start(&mut self, ctx: &mut Context<Nil>) {
+                ctx.set_timer(1_000, 1); // fires at 1_000, after the restart
+            }
+            fn on_message(&mut self, _ctx: &mut Context<Nil>, _f: NodeId, _m: Nil) {}
+            fn on_timer(&mut self, _ctx: &mut Context<Nil>, t: Timer) {
+                self.fired.push(t.kind);
+            }
+            fn on_restart(&mut self, ctx: &mut Context<Nil>) {
+                ctx.set_timer(1_000, 2); // fires at 1_200
+            }
+        }
+        let mut sim: Sim<T> = Sim::new(NetConfig::synchronous(), 20);
+        let id = sim.add_node(T { fired: Vec::new() });
+        sim.crash_at(id, Time(100));
+        sim.restart_at(id, Time(200));
+        sim.run_to_quiescence();
+        assert_eq!(
+            sim.node(id).fired,
+            vec![2],
+            "exactly the post-restart timer fires, never the pre-crash one"
+        );
+    }
+
+    #[test]
+    fn heal_restores_full_connectivity() {
+        // After heal_at, every link must work again: a broadcast round run
+        // entirely after the heal completes exactly as in an unpartitioned
+        // network.
+        struct LateBroadcast {
+            pongs: u64,
+        }
+        impl Node for LateBroadcast {
+            type Msg = Msg;
+            fn on_start(&mut self, ctx: &mut Context<Msg>) {
+                if ctx.id() == NodeId(0) {
+                    ctx.set_timer(100_000, 0); // well after the heal
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+                match msg {
+                    Msg::Ping(v) => ctx.send(from, Msg::Pong(v)),
+                    Msg::Pong(_) => self.pongs += 1,
+                }
+            }
+            fn on_timer(&mut self, ctx: &mut Context<Msg>, _t: Timer) {
+                ctx.broadcast(Msg::Ping(1));
+            }
+        }
+        let mut sim: Sim<LateBroadcast> = Sim::new(NetConfig::synchronous(), 21);
+        for _ in 0..4 {
+            sim.add_node(LateBroadcast { pongs: 0 });
+        }
+        // Fully isolate every node, then heal before the broadcast.
+        sim.partition_at(
+            Time(0),
+            vec![vec![NodeId(0)], vec![NodeId(1)], vec![NodeId(2)], vec![NodeId(3)]],
+        );
+        sim.heal_at(Time(50_000));
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(NodeId(0)).pongs, 3, "post-heal broadcast reaches everyone");
+        assert_eq!(sim.metrics().dropped, 0);
+        assert_eq!(sim.metrics().delivered, 6);
     }
 }

@@ -1,5 +1,11 @@
 //! Fault-injection matrix across the zoo: each protocol against the fault
 //! classes its card claims to tolerate — and against ones it doesn't.
+//!
+//! Safety assertions go through the nemesis checker API: the same harvests
+//! (decided entries, state digests, client histories, transaction states)
+//! and the same checks (agreement, validity, integrity, state-machine
+//! consistency, linearizability, atomic commit) the randomized sweeps use,
+//! here applied to hand-crafted worst-case schedules.
 
 use forty::agreement::flp::{run_voting, Scheduler};
 use forty::atomic_commit::three_phase::{self, CrashPoint};
@@ -11,6 +17,11 @@ use forty::consensus_core::QuorumSpec;
 use forty::paxos::MultiPaxosCluster;
 use forty::raft::RaftCluster;
 use forty::simnet::{DropAll, NetConfig, NodeId, Time};
+use nemesis::checker::check_atomic_commit;
+use nemesis::{
+    client_evidence, execute_plan, harvest_paxos, harvest_pbft, harvest_raft, smr_safety,
+    FaultAction, FaultPlan,
+};
 
 #[test]
 fn paxos_survives_f_crashes_but_not_f_plus_one() {
@@ -22,9 +33,19 @@ fn paxos_survives_f_crashes_but_not_f_plus_one() {
         NetConfig::lan(),
         1,
     );
-    ok.sim.crash_at(NodeId(3), Time::ZERO);
-    ok.sim.crash_at(NodeId(4), Time::ZERO);
+    // The crash schedule is a nemesis plan rather than raw sim calls — the
+    // same vocabulary the randomized sweeps draw from.
+    let plan = FaultPlan {
+        actions: vec![
+            FaultAction::Crash { node: 3, at: 0 },
+            FaultAction::Crash { node: 4, at: 0 },
+        ],
+    };
+    execute_plan(&mut ok.sim, &plan, 1_000, 0.0, |_, _| None);
     assert!(ok.run(Time::from_secs(30)), "f = 2 of 5 must be fine");
+    let (entries, digests) = harvest_paxos(&ok);
+    let (history, issued) = client_evidence(ok.clients().map(|c| &c.history));
+    assert_eq!(smr_safety(&entries, &digests, &history, Some(&issued)), []);
 
     let mut dead = MultiPaxosCluster::new(
         QuorumSpec::Majority { n: 5 },
@@ -39,6 +60,9 @@ fn paxos_survives_f_crashes_but_not_f_plus_one() {
     }
     assert!(!dead.run(Time::from_millis(500)), "f+1 crashes must stall");
     assert_eq!(dead.total_completed(), 0, "but never decide wrongly");
+    let (entries, digests) = harvest_paxos(&dead);
+    let (history, issued) = client_evidence(dead.clients().map(|c| &c.history));
+    assert_eq!(smr_safety(&entries, &digests, &history, Some(&issued)), []);
 }
 
 #[test]
@@ -56,7 +80,9 @@ fn raft_recovers_from_cascading_leader_crashes() {
         c.sim.crash_at(l2, at);
     }
     assert!(c.run(Time::from_secs(60)), "completed {}", c.total_completed());
-    c.check_log_matching();
+    let (entries, digests) = harvest_raft(&c);
+    let (history, issued) = client_evidence(c.clients().map(|cl| &cl.history));
+    assert_eq!(smr_safety(&entries, &digests, &history, Some(&issued)), []);
 }
 
 #[test]
@@ -64,7 +90,11 @@ fn pbft_tolerates_a_fully_silent_byzantine_replica() {
     let mut c = PbftCluster::new(4, 1, 10, NetConfig::lan(), 4);
     c.sim.set_filter(NodeId(2), Box::new(DropAll));
     assert!(c.run(Time::from_secs(30)));
-    c.check_state_agreement();
+    let (entries, digests) = harvest_pbft(&c);
+    let (history, _) = client_evidence(c.clients().map(|cl| &cl.history));
+    // `issued: None` — no validity check, the sim crypto has no client
+    // signatures (see `nemesis::smr_safety`).
+    assert_eq!(smr_safety(&entries, &digests, &history, None), []);
 }
 
 #[test]
@@ -76,14 +106,17 @@ fn pbft_stalls_beyond_its_byzantine_bound() {
     c.sim.set_filter(NodeId(3), Box::new(DropAll));
     assert!(!c.run(Time::from_secs(2)));
     assert_eq!(c.total_completed(), 0);
-    c.check_state_agreement();
+    let (entries, digests) = harvest_pbft(&c);
+    let (history, _) = client_evidence(c.clients().map(|cl| &cl.history));
+    assert_eq!(smr_safety(&entries, &digests, &history, None), []);
 }
 
 #[test]
 fn two_pc_blocks_where_three_pc_terminates() {
     // Same fault (coordinator dies after unanimous yes votes), two
     // protocols, opposite outcomes — the tutorial's core commitment story.
-    let mut blocked = two_phase::build(&[true, true, true], NetConfig::lan(), 6);
+    let votes = [true, true, true];
+    let mut blocked = two_phase::build(&votes, NetConfig::lan(), 6);
     if let two_phase::TwoPcProc::Coordinator(c) = blocked.node_mut(NodeId(0)) {
         c.hang_after_votes = true;
     }
@@ -92,34 +125,56 @@ fn two_pc_blocks_where_three_pc_terminates() {
     assert!(two_phase::participant_states(&blocked)
         .iter()
         .all(|s| *s == TxnState::Ready));
+    let states: Vec<(u32, TxnState)> = blocked
+        .nodes()
+        .map(|(id, p)| {
+            let s = match p {
+                two_phase::TwoPcProc::Coordinator(c) => c.state,
+                two_phase::TwoPcProc::Participant(p) => p.state,
+            };
+            (id.0, s)
+        })
+        .collect();
+    assert_eq!(check_atomic_commit(&votes, &states), []);
 
-    let mut free = three_phase::build(
-        &[true, true, true],
-        CrashPoint::AfterVotes,
-        NetConfig::lan(),
-        6,
-    );
+    let mut free = three_phase::build(&votes, CrashPoint::AfterVotes, NetConfig::lan(), 6);
     free.run_until(Time::from_secs(3));
     assert!(three_phase::participant_states(&free)
         .iter()
         .all(|s| s.is_final()));
+    let states: Vec<(u32, TxnState)> = free
+        .nodes()
+        .map(|(id, p)| {
+            let s = match p {
+                three_phase::ThreePcProc::Coordinator(c) => c.state,
+                three_phase::ThreePcProc::Participant(p) => p.state,
+            };
+            (id.0, s)
+        })
+        .collect();
+    assert_eq!(check_atomic_commit(&votes, &states), []);
 }
 
 #[test]
 fn partitions_respect_quorum_boundaries() {
     // Majority side keeps committing; minority side stalls; heal unifies.
+    // The partition is expressed as a nemesis plan: group {0, 1} against
+    // everyone else (replicas 2–4 and the client), healed at 800ms.
     let mut c = RaftCluster::new(5, 1, 20, NetConfig::lan(), 7);
-    c.sim.run_until(Time::from_millis(50));
-    c.sim.partition_at(
-        Time::from_millis(51),
-        vec![
-            vec![NodeId(0), NodeId(1)],
-            vec![NodeId(2), NodeId(3), NodeId(4), NodeId(5)],
+    let plan = FaultPlan {
+        actions: vec![
+            FaultAction::Partition {
+                at: 51_000,
+                group: vec![0, 1],
+            },
+            FaultAction::Heal { at: 800_000 },
         ],
-    );
-    c.sim.heal_at(Time::from_millis(800));
+    };
+    execute_plan(&mut c.sim, &plan, 900_000, 0.0, |_, _| None);
     assert!(c.run(Time::from_secs(60)));
-    c.check_log_matching();
+    let (entries, digests) = harvest_raft(&c);
+    let (history, issued) = client_evidence(c.clients().map(|cl| &cl.history));
+    assert_eq!(smr_safety(&entries, &digests, &history, Some(&issued)), []);
 }
 
 #[test]
