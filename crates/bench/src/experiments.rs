@@ -25,6 +25,7 @@ use blockchain::pos::{run_pos, PosMode};
 use blockchain::pow::{expected_hashes, mine_block, MiningParams};
 use blockchain::{Blockchain, Transaction};
 use consensus_core::cnc::{CncConfig, CncEngine};
+use consensus_core::driver::{ClusterDriver, DriverConfig};
 use consensus_core::taxonomy::all_cards;
 use consensus_core::QuorumSpec;
 use paxos::fast;
@@ -1107,45 +1108,27 @@ pub fn t5_comparison() -> Report {
                          "latency_us": lat}));
     };
 
-    let mut mp = MultiPaxosCluster::new(
-        QuorumSpec::Majority { n: 3 },
-        3,
-        1,
-        CMDS,
-        NetConfig::lan(),
-        16,
-    );
-    assert!(mp.run(Time::from_secs(30)));
-    push(
-        "Multi-Paxos",
-        3,
-        1,
-        mp.sim.metrics().sent as f64 / CMDS as f64,
-        mp.latencies().mean(),
-        "crash",
-    );
+    // The three SMR protocols go through the uniform `ClusterDriver`
+    // surface: same construction, run, and harvest path as the nemesis
+    // targets and the throughput sweep.
+    fn smr_cell<D: ClusterDriver>(n: usize, cmds: usize, seed: u64) -> (f64, f64) {
+        let cfg = DriverConfig::new(n, 1, cmds, seed);
+        let mut d = D::from_config(&cfg);
+        assert!(d.run(Time::from_secs(30)), "{} stalled", d.protocol());
+        (
+            d.metrics().sent as f64 / cmds as f64,
+            d.latencies().mean(),
+        )
+    }
 
-    let mut rf = RaftCluster::new(3, 1, CMDS, NetConfig::lan(), 16);
-    assert!(rf.run(Time::from_secs(30)));
-    push(
-        "Raft",
-        3,
-        1,
-        rf.sim.metrics().sent as f64 / CMDS as f64,
-        rf.latencies().mean(),
-        "crash",
-    );
+    let (msgs, lat) = smr_cell::<MultiPaxosCluster>(3, CMDS, 16);
+    push("Multi-Paxos", 3, 1, msgs, lat, "crash");
 
-    let mut pb = PbftCluster::new(4, 1, CMDS, NetConfig::lan(), 16);
-    assert!(pb.run(Time::from_secs(30)));
-    push(
-        "PBFT",
-        4,
-        1,
-        pb.sim.metrics().sent as f64 / CMDS as f64,
-        pb.latencies().mean(),
-        "byzantine",
-    );
+    let (msgs, lat) = smr_cell::<RaftCluster>(3, CMDS, 16);
+    push("Raft", 3, 1, msgs, lat, "crash");
+
+    let (msgs, lat) = smr_cell::<PbftCluster>(4, CMDS, 16);
+    push("PBFT", 4, 1, msgs, lat, "byzantine");
 
     let mut zy = ZyzCluster::new(4, CMDS, NetConfig::lan(), 16);
     assert!(zy.run(Time::from_secs(30)));

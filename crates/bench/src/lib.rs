@@ -23,5 +23,6 @@
 pub mod experiments;
 pub mod figures;
 pub mod render;
+pub mod throughput;
 
 pub use experiments::{all_experiments, Report};

@@ -1,0 +1,399 @@
+//! Closed-loop throughput & batching sweep — the repo's first performance
+//! trajectory.
+//!
+//! Every cell of the sweep builds one SMR cluster **only through the
+//! [`ClusterDriver`] trait** (construct from a [`DriverConfig`], run to
+//! completion, harvest metrics), so adding a protocol to the benchmark is
+//! the same one impl that adds it to the nemesis harness.
+//!
+//! The network is the LAN profile plus the sender-side NIC serialization
+//! model ([`simnet::NicModel`]): each outbound message costs a fixed
+//! per-message overhead plus bytes/bandwidth on the sender's transmit path.
+//! That per-message cost is exactly what batching amortizes — without a NIC
+//! model the simulator gives every sender infinite transmit capacity and
+//! batching can only ever *hurt* (it adds `max_delay`). With it, the sweep
+//! reproduces the classic crossover: at low load batching costs latency; at
+//! saturating load it multiplies throughput.
+//!
+//! All reported numbers are integers (µs, ops/s, centi-units) so the JSON
+//! artifact `BENCH_throughput.json` is bit-for-bit reproducible from
+//! `(spec, seed)` and can be drift-checked in CI.
+
+use consensus_core::driver::{BatchConfig, ClusterDriver, DriverConfig};
+use serde_json::{json, Value};
+use simnet::{NetConfig, Time};
+
+use bft::pbft::PbftCluster;
+use paxos::MultiPaxosCluster;
+use raft::RaftCluster;
+
+/// Version stamp of the JSON artifact layout; bump when fields change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Fixed per-message NIC cost (µs) — syscall/interrupt/header overhead.
+pub const NIC_PER_MSG_US: u64 = 30;
+
+/// NIC serialization bandwidth (bytes per µs; 50 B/µs = 400 Mbit/s).
+pub const NIC_BYTES_PER_US: u64 = 50;
+
+/// Per-run horizon; closed-loop cells finish far earlier.
+const HORIZON: Time = Time::from_secs(120);
+
+/// The benchmark network: LAN propagation plus the NIC transmit model.
+pub fn net_profile() -> NetConfig {
+    NetConfig::lan().with_nic(NIC_PER_MSG_US, NIC_BYTES_PER_US)
+}
+
+/// One sweep grid: the cross product of cluster sizes × batch configs ×
+/// closed-loop client populations, run for every SMR protocol.
+pub struct SweepSpec {
+    /// Cluster sizes (all ≡ 1 mod 3 so PBFT gets a valid `f`).
+    pub ns: Vec<usize>,
+    /// Batching/pipelining configurations (first entry must be unbatched —
+    /// it is the speedup baseline).
+    pub batches: Vec<BatchConfig>,
+    /// `(n_clients, cmds_per_client)` populations: few clients probe
+    /// latency, many clients saturate.
+    pub clients: Vec<(usize, usize)>,
+    /// Simulation seed shared by every cell.
+    pub seed: u64,
+}
+
+/// The checked-in artifact's grid.
+pub fn full_spec() -> SweepSpec {
+    SweepSpec {
+        ns: vec![4, 7, 10],
+        batches: vec![
+            BatchConfig::unbatched(),
+            BatchConfig::new(4, 200, 4),
+            BatchConfig::new(16, 400, 16),
+        ],
+        clients: vec![(2, 150), (48, 50)],
+        seed: 1,
+    }
+}
+
+/// A CI-sized grid: one cluster size, two configs, one saturating
+/// population (few clients leave every protocol client-bound, where
+/// batching has nothing to amortize).
+pub fn smoke_spec() -> SweepSpec {
+    SweepSpec {
+        ns: vec![4],
+        batches: vec![BatchConfig::unbatched(), BatchConfig::new(16, 300, 16)],
+        clients: vec![(48, 15)],
+        seed: 1,
+    }
+}
+
+/// The measured result of one `(protocol, n, batch, clients)` cell.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Protocol name from [`ClusterDriver::protocol`].
+    pub protocol: &'static str,
+    /// Replica count.
+    pub n: usize,
+    /// Batch configuration.
+    pub batch: BatchConfig,
+    /// Closed-loop client count.
+    pub clients: usize,
+    /// Commands per client.
+    pub cmds_per_client: usize,
+    /// Commands completed (== expected when `all_done`).
+    pub completed: usize,
+    /// Whether every client finished before the horizon.
+    pub all_done: bool,
+    /// Simulated time consumed (µs).
+    pub sim_micros: u64,
+    /// Committed ops per simulated second.
+    pub tput_ops_per_sec: u64,
+    /// Median request→reply latency (µs).
+    pub p50_us: u64,
+    /// Tail request→reply latency (µs).
+    pub p99_us: u64,
+    /// Mean decided-batch size × 100 (from the `batch_size` histogram).
+    pub mean_batch_x100: u64,
+    /// Network messages sent per completed op × 100.
+    pub msgs_per_op_x100: u64,
+}
+
+impl Point {
+    /// Machine-readable record (integers only — reproducible bit-for-bit).
+    pub fn to_json(&self) -> Value {
+        json!({
+            "protocol": self.protocol,
+            "n": self.n as u64,
+            "batch": self.batch.label(),
+            "clients": self.clients as u64,
+            "cmds_per_client": self.cmds_per_client as u64,
+            "completed": self.completed as u64,
+            "all_done": self.all_done,
+            "sim_micros": self.sim_micros,
+            "tput_ops_per_sec": self.tput_ops_per_sec,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "mean_batch_x100": self.mean_batch_x100,
+            "msgs_per_op_x100": self.msgs_per_op_x100,
+        })
+    }
+}
+
+/// Runs one cell through the driver trait and measures it.
+fn run_point<D: ClusterDriver>(cfg: &DriverConfig) -> Point {
+    let mut driver = D::from_config(cfg);
+    let all_done = driver.run(HORIZON);
+    let completed = driver.completed_ops();
+    let sim_micros = driver.now().0.max(1);
+    let lat = driver.latencies();
+    let metrics = driver.metrics();
+    let bh = &metrics.batch_size;
+    let mean_batch_x100 = if bh.count() > 0 {
+        (bh.mean() * 100.0).round() as u64
+    } else {
+        0
+    };
+    let msgs_per_op_x100 = if completed > 0 {
+        metrics.sent * 100 / completed as u64
+    } else {
+        0
+    };
+    Point {
+        protocol: driver.protocol(),
+        n: cfg.n_replicas,
+        batch: cfg.batch,
+        clients: cfg.n_clients,
+        cmds_per_client: cfg.cmds_per_client,
+        completed,
+        all_done,
+        sim_micros,
+        tput_ops_per_sec: completed as u64 * 1_000_000 / sim_micros,
+        p50_us: lat.percentile(50.0),
+        p99_us: lat.percentile(99.0),
+        mean_batch_x100,
+        msgs_per_op_x100,
+    }
+}
+
+/// Runs the full grid for all three SMR protocols. Cell order is the
+/// deterministic iteration order of the spec (clients → n → batch →
+/// protocol), which is also the order of `points` in the JSON artifact.
+pub fn run_sweep(spec: &SweepSpec) -> Vec<Point> {
+    let mut points = Vec::new();
+    for &(clients, cmds) in &spec.clients {
+        for &n in &spec.ns {
+            for &batch in &spec.batches {
+                let cfg = DriverConfig::new(n, clients, cmds, spec.seed)
+                    .with_batch(batch)
+                    .with_net(net_profile());
+                points.push(run_point::<MultiPaxosCluster>(&cfg));
+                points.push(run_point::<RaftCluster>(&cfg));
+                points.push(run_point::<PbftCluster>(&cfg));
+            }
+        }
+    }
+    points
+}
+
+/// Best batched/pipelined throughput ÷ unbatched throughput for one
+/// `(protocol, n, clients)` group, × 100. Returns `None` if the group has
+/// no unbatched baseline or the baseline made no progress.
+pub fn speedup_x100(points: &[Point], protocol: &str, n: usize, clients: usize) -> Option<u64> {
+    let group: Vec<&Point> = points
+        .iter()
+        .filter(|p| p.protocol == protocol && p.n == n && p.clients == clients)
+        .collect();
+    let base = group
+        .iter()
+        .find(|p| p.batch.is_unbatched())
+        .map(|p| p.tput_ops_per_sec)?;
+    if base == 0 {
+        return None;
+    }
+    let best = group
+        .iter()
+        .filter(|p| !p.batch.is_unbatched())
+        .map(|p| p.tput_ops_per_sec)
+        .max()?;
+    Some(best * 100 / base)
+}
+
+/// The complete JSON artifact for a sweep.
+pub fn sweep_to_json(spec: &SweepSpec, points: &[Point]) -> Value {
+    let mut speedups = Vec::new();
+    for &(clients, _) in &spec.clients {
+        for &n in &spec.ns {
+            for protocol in ["multi-paxos", "raft", "pbft"] {
+                if let Some(s) = speedup_x100(points, protocol, n, clients) {
+                    speedups.push(json!({
+                        "protocol": protocol,
+                        "n": n as u64,
+                        "clients": clients as u64,
+                        "best_batched_speedup_x100": s,
+                    }));
+                }
+            }
+        }
+    }
+    json!({
+        "schema_version": SCHEMA_VERSION,
+        "net": "lan",
+        "nic": json!({
+            "per_msg_us": NIC_PER_MSG_US,
+            "bytes_per_us": NIC_BYTES_PER_US,
+        }),
+        "seed": spec.seed,
+        "points": Value::Array(points.iter().map(Point::to_json).collect()),
+        "speedups": Value::Array(speedups),
+    })
+}
+
+/// Renders the sweep as a markdown table (the EXPERIMENTS.md format).
+pub fn render_table(points: &[Point]) -> Vec<String> {
+    let mut lines = vec![
+        "| protocol | n | clients | config | tput (ops/s) | p50 (µs) | p99 (µs) | mean batch | msgs/op |".to_string(),
+        "|---|---|---|---|---|---|---|---|---|".to_string(),
+    ];
+    for p in points {
+        lines.push(format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.2} |",
+            p.protocol,
+            p.n,
+            p.clients,
+            p.batch.label(),
+            p.tput_ops_per_sec,
+            p.p50_us,
+            p.p99_us,
+            p.mean_batch_x100 as f64 / 100.0,
+            p.msgs_per_op_x100 as f64 / 100.0,
+        ));
+    }
+    lines
+}
+
+/// Validates the shape of a parsed `BENCH_throughput.json`: version, NIC
+/// block, and every required integer field on every point. Returns the list
+/// of problems (empty = valid).
+pub fn validate_schema(doc: &Value) -> Vec<String> {
+    let mut problems = Vec::new();
+    match doc.get("schema_version").and_then(Value::as_u64) {
+        Some(SCHEMA_VERSION) => {}
+        other => problems.push(format!(
+            "schema_version: expected {SCHEMA_VERSION}, got {other:?}"
+        )),
+    }
+    if doc
+        .get("nic")
+        .and_then(|n| n.get("per_msg_us"))
+        .and_then(Value::as_u64)
+        .is_none()
+    {
+        problems.push("missing nic.per_msg_us".to_string());
+    }
+    if doc.get("seed").and_then(Value::as_u64).is_none() {
+        problems.push("missing seed".to_string());
+    }
+    let Some(points) = doc.get("points").and_then(Value::as_array) else {
+        problems.push("missing points array".to_string());
+        return problems;
+    };
+    if points.is_empty() {
+        problems.push("points array is empty".to_string());
+    }
+    for (i, p) in points.iter().enumerate() {
+        for key in ["protocol", "batch"] {
+            if p.get(key).and_then(Value::as_str).is_none() {
+                problems.push(format!("points[{i}].{key}: missing or not a string"));
+            }
+        }
+        if p.get("all_done").and_then(Value::as_bool).is_none() {
+            problems.push(format!("points[{i}].all_done: missing or not a bool"));
+        }
+        for key in [
+            "n",
+            "clients",
+            "cmds_per_client",
+            "completed",
+            "sim_micros",
+            "tput_ops_per_sec",
+            "p50_us",
+            "p99_us",
+            "mean_batch_x100",
+            "msgs_per_op_x100",
+        ] {
+            if p.get(key).and_then(Value::as_u64).is_none() {
+                problems.push(format!("points[{i}].{key}: missing or not an integer"));
+            }
+        }
+    }
+    let Some(speedups) = doc.get("speedups").and_then(Value::as_array) else {
+        problems.push("missing speedups array".to_string());
+        return problems;
+    };
+    for (i, s) in speedups.iter().enumerate() {
+        if s.get("best_batched_speedup_x100")
+            .and_then(Value::as_u64)
+            .is_none()
+        {
+            problems.push(format!("speedups[{i}].best_batched_speedup_x100 missing"));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_deterministic_and_valid() {
+        let spec = smoke_spec();
+        let a = run_sweep(&spec);
+        let b = run_sweep(&spec);
+        let (ja, jb) = (sweep_to_json(&spec, &a), sweep_to_json(&spec, &b));
+        assert_eq!(
+            serde_json::to_string(&ja).unwrap(),
+            serde_json::to_string(&jb).unwrap(),
+            "sweep must be a pure function of the spec"
+        );
+        assert!(validate_schema(&ja).is_empty(), "{:?}", validate_schema(&ja));
+        // 1 n × 2 configs × 1 population × 3 protocols.
+        assert_eq!(a.len(), 6);
+        for p in &a {
+            assert!(p.all_done, "{} {} stalled", p.protocol, p.batch.label());
+            assert_eq!(p.completed, p.clients * p.cmds_per_client);
+            assert!(p.tput_ops_per_sec > 0);
+        }
+    }
+
+    #[test]
+    fn batching_pays_at_saturation_in_the_smoke_grid() {
+        // Even the CI-sized grid must show a real gain at 48 closed-loop
+        // clients — this is the cheap canary for the ≥3× acceptance bound
+        // the full grid demonstrates at n = 7.
+        let spec = smoke_spec();
+        let points = run_sweep(&spec);
+        for protocol in ["multi-paxos", "raft", "pbft"] {
+            let s = speedup_x100(&points, protocol, 4, 48).expect("speedup");
+            assert!(
+                s >= 150,
+                "{protocol}: batching speedup only {}×",
+                s as f64 / 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn schema_validator_rejects_drifted_documents() {
+        let spec = smoke_spec();
+        let doc = sweep_to_json(&spec, &run_sweep(&spec));
+        assert!(validate_schema(&doc).is_empty());
+        let broken = serde_json::from_str(
+            &serde_json::to_string(&doc)
+                .unwrap()
+                .replace("\"schema_version\":1", "\"schema_version\":99"),
+        )
+        .unwrap();
+        assert!(!validate_schema(&broken).is_empty());
+        let no_points = serde_json::json!({"schema_version": SCHEMA_VERSION});
+        assert!(!validate_schema(&no_points).is_empty());
+    }
+}

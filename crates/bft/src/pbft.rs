@@ -26,11 +26,18 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
-use consensus_core::{
-    Command, DedupKvMachine, HistorySink, KvCommand, KvResponse, ReplicatedLog, SmrOp, StateMachine,
+use consensus_core::driver::{
+    BatchConfig, ByzantineWindow, ClusterDriver, DecidedEntry, DriverConfig,
 };
-use simnet::{CncPhase, Context, NetConfig, Node, NodeId, RunOutcome, Sim, Time, Timer, TimerId};
+use consensus_core::history::ClientRecord;
+use consensus_core::smr::Slot;
+use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder, WorkloadMode};
+use consensus_core::{Command, HistorySink, KvCommand, KvResponse, ReplicatedLog, StateMachine};
+use rand_chacha::ChaCha20Rng;
+use simnet::{
+    CncPhase, Context, FilterAction, FnFilter, Metrics, NetConfig, Node, NodeId, RunOutcome, Sim,
+    Time, Timer, TimerId,
+};
 
 use crate::sim_crypto::{digest_of, Digest};
 
@@ -57,16 +64,16 @@ pub enum PbftMsg {
         /// Execution output.
         output: KvResponse,
     },
-    /// Phase 1: primary assigns sequence number `n` to the request.
+    /// Phase 1: primary assigns sequence number `n` to a batch of requests.
     PrePrepare {
         /// Current view.
         view: u64,
         /// Assigned sequence number.
         n: u64,
-        /// Digest of the request.
+        /// Digest of the batch.
         digest: Digest,
-        /// The request itself.
-        cmd: Command<KvCommand>,
+        /// The batched requests (one under `BatchConfig::unbatched()`).
+        cmds: Vec<Command<KvCommand>>,
     },
     /// Phase 2: backups agree on the order within the view.
     Prepare {
@@ -99,15 +106,15 @@ pub enum PbftMsg {
         new_view: u64,
         /// Sender's last stable checkpoint.
         stable_n: u64,
-        /// Requests prepared above the stable checkpoint: `(view, n, cmd)`.
-        prepared: Vec<(u64, u64, Command<KvCommand>)>,
+        /// Batches prepared above the stable checkpoint: `(view, n, cmds)`.
+        prepared: Vec<PreparedClaim>,
     },
     /// New primary's installation message.
     NewView {
         /// The new view.
         view: u64,
-        /// Re-proposed pre-prepares `(n, cmd)`.
-        pre_prepares: Vec<(u64, Command<KvCommand>)>,
+        /// Re-proposed pre-prepares `(n, cmds)`.
+        pre_prepares: Vec<(u64, Vec<Command<KvCommand>>)>,
     },
 }
 
@@ -126,17 +133,84 @@ impl simnet::Payload for PbftMsg {
     }
 
     fn size_bytes(&self) -> usize {
+        // Per-command payload is 48 bytes; the constants are calibrated so
+        // single-command messages weigh exactly what they did before
+        // batching existed.
         match self {
-            PbftMsg::ViewChange { prepared, .. } => 48 + prepared.len() * 96,
-            PbftMsg::NewView { pre_prepares, .. } => 32 + pre_prepares.len() * 80,
+            PbftMsg::PrePrepare { cmds, .. } => 32 + cmds.len() * 48,
+            PbftMsg::ViewChange { prepared, .. } => {
+                48 + prepared
+                    .iter()
+                    .map(|(_, _, cmds)| 48 + cmds.len() * 48)
+                    .sum::<usize>()
+            }
+            PbftMsg::NewView { pre_prepares, .. } => {
+                32 + pre_prepares
+                    .iter()
+                    .map(|(_, cmds)| 32 + cmds.len() * 48)
+                    .sum::<usize>()
+            }
             _ => 80,
         }
     }
 }
 
+/// The PBFT execution machine: a KV store plus the client dedup table,
+/// executing one *batch* of commands per log slot (sequence number).
+/// Identical state evolution to the unbatched machine given the same
+/// flattened command sequence, so state digests are comparable across
+/// batch configurations.
+#[derive(Debug, Default)]
+pub struct BatchMachine {
+    kv: consensus_core::KvStore,
+    client_table: BTreeMap<u32, (u64, KvResponse)>,
+}
+
+impl BatchMachine {
+    /// Cached reply for `(client, seq)` if that command already applied.
+    pub fn cached(&self, client: u32, seq: u64) -> Option<&KvResponse> {
+        self.client_table
+            .get(&client)
+            .filter(|(s, _)| *s >= seq)
+            .map(|(_, out)| out)
+    }
+
+    /// Applies one command with client-table dedup and returns the reply.
+    fn apply_one(&mut self, cmd: &Command<KvCommand>) -> (u32, u64, KvResponse) {
+        if let Some((last, out)) = self.client_table.get(&cmd.client) {
+            if cmd.seq <= *last {
+                return (cmd.client, cmd.seq, out.clone());
+            }
+        }
+        let out = self.kv.apply(&cmd.op);
+        self.client_table.insert(cmd.client, (cmd.seq, out.clone()));
+        (cmd.client, cmd.seq, out)
+    }
+}
+
+impl StateMachine for BatchMachine {
+    type Op = Vec<Command<KvCommand>>;
+    /// One `(client, seq, reply)` per command in the batch.
+    type Output = Vec<(u32, u64, KvResponse)>;
+
+    fn apply(&mut self, op: &Self::Op) -> Self::Output {
+        op.iter().map(|c| self.apply_one(c)).collect()
+    }
+
+    fn digest(&self) -> u64 {
+        let mut h = self.kv.digest();
+        for (c, (s, _)) in &self.client_table {
+            h = h
+                .rotate_left(7)
+                .wrapping_add(u64::from(*c).wrapping_mul(31).wrapping_add(*s));
+        }
+        h
+    }
+}
+
 #[derive(Debug, Default)]
 struct Instance {
-    cmd: Option<Command<KvCommand>>,
+    cmds: Option<Vec<Command<KvCommand>>>,
     digest: Digest,
     view: u64,
     pre_prepared: bool,
@@ -148,13 +222,15 @@ struct Instance {
 }
 
 const VIEW_TIMER: u64 = 1;
+/// Flush timer for underfull request batches (primary only).
+const BATCH_FLUSH: u64 = 2;
 
 /// Default checkpoint interval (sequence numbers between checkpoints).
 pub const CHECKPOINT_INTERVAL: u64 = 16;
 
-/// One replica's claim about a prepared request, carried in view-change
-/// messages: `(view, sequence number, command)`.
-pub type PreparedClaim = (u64, u64, Command<KvCommand>);
+/// One replica's claim about a prepared batch, carried in view-change
+/// messages: `(view, sequence number, commands)`.
+pub type PreparedClaim = (u64, u64, Vec<Command<KvCommand>>);
 
 /// A PBFT replica.
 pub struct PbftReplica {
@@ -167,7 +243,18 @@ pub struct PbftReplica {
     /// Last stable checkpoint sequence number.
     pub low_water: u64,
     instances: BTreeMap<u64, Instance>,
-    exec: ReplicatedLog<DedupKvMachine>,
+    exec: ReplicatedLog<BatchMachine>,
+    /// Batching/pipelining knob. Under `BatchConfig::unbatched()` every
+    /// request is ordered immediately in its own sequence number, exactly
+    /// as before the knob existed.
+    batch: BatchConfig,
+    /// Requests accepted by the primary but not yet assigned a sequence
+    /// number — the next batch.
+    queue: Vec<Command<KvCommand>>,
+    /// Whether a `BATCH_FLUSH` timer is outstanding.
+    flush_armed: bool,
+    /// The `BATCH_FLUSH` timer fired while the batch was held back.
+    overdue: bool,
     /// Highest executed sequence number.
     pub executed_upto: u64,
     checkpoint_interval: u64,
@@ -189,8 +276,13 @@ pub struct PbftReplica {
 }
 
 impl PbftReplica {
-    /// Creates a replica in a cluster of `n_replicas = 3f+1`.
+    /// Creates an unbatched replica in a cluster of `n_replicas = 3f+1`.
     pub fn new(n_replicas: usize) -> Self {
+        Self::new_with(n_replicas, BatchConfig::unbatched())
+    }
+
+    /// Creates a replica with an explicit batching config.
+    pub fn new_with(n_replicas: usize, batch: BatchConfig) -> Self {
         let f = (n_replicas - 1) / 3;
         PbftReplica {
             n_replicas,
@@ -200,6 +292,10 @@ impl PbftReplica {
             low_water: 0,
             instances: BTreeMap::new(),
             exec: ReplicatedLog::new(),
+            batch,
+            queue: Vec::new(),
+            flush_armed: false,
+            overdue: false,
             executed_upto: 0,
             checkpoint_interval: CHECKPOINT_INTERVAL,
             checkpoint_votes: BTreeMap::new(),
@@ -240,13 +336,13 @@ impl PbftReplica {
     }
 
     /// The replicated state machine.
-    pub fn machine(&self) -> &DedupKvMachine {
+    pub fn machine(&self) -> &BatchMachine {
         self.exec.machine()
     }
 
     /// The execution log (sequence `n` lives at slot `n - 1`) — what safety
     /// checkers compare across replicas.
-    pub fn exec_log(&self) -> &ReplicatedLog<DedupKvMachine> {
+    pub fn exec_log(&self) -> &ReplicatedLog<BatchMachine> {
         &self.exec
     }
 
@@ -286,21 +382,60 @@ impl PbftReplica {
         self.instances.entry(n).or_default()
     }
 
-    /// Primary path: order a new request.
-    fn order(&mut self, ctx: &mut Context<PbftMsg>, cmd: Command<KvCommand>) {
-        let already = self.instances.values().any(|i| {
+    /// Primary path: accept a new request into the batch queue.
+    fn enqueue(&mut self, ctx: &mut Context<PbftMsg>, cmd: Command<KvCommand>) {
+        let in_instances = self.instances.values().any(|i| {
             i.view == self.view
                 && !i.executed
-                && i.cmd
-                    .as_ref()
-                    .is_some_and(|c| c.client == cmd.client && c.seq == cmd.seq)
+                && i.cmds
+                    .iter()
+                    .flatten()
+                    .any(|c| c.client == cmd.client && c.seq == cmd.seq)
         });
-        if already {
+        let in_queue = self
+            .queue
+            .iter()
+            .any(|c| c.client == cmd.client && c.seq == cmd.seq);
+        if in_instances || in_queue {
             return;
         }
+        self.queue.push(cmd);
+        self.try_flush(ctx);
+    }
+
+    /// Assigns sequence numbers to queued batches while the pipeline window
+    /// has room. An underfull batch is held open `max_delay` µs for more
+    /// requests (unless the flush timer already fired).
+    fn try_flush(&mut self, ctx: &mut Context<PbftMsg>) {
+        if !self.is_primary(ctx.id()) {
+            return;
+        }
+        while !self.queue.is_empty() {
+            let in_flight = self.next_seq.saturating_sub(self.executed_upto);
+            if in_flight as usize >= self.batch.pipeline_window {
+                return; // executions drain the window and re-trigger this
+            }
+            let underfull = self.queue.len() < self.batch.max_batch.max(1);
+            if underfull && self.batch.max_delay > 0 && !self.overdue {
+                if !self.flush_armed {
+                    self.flush_armed = true;
+                    ctx.set_timer(self.batch.max_delay, BATCH_FLUSH);
+                }
+                return;
+            }
+            self.flush_one(ctx);
+        }
+        self.overdue = false;
+    }
+
+    /// Primary path: bind the next batch to a sequence number.
+    fn flush_one(&mut self, ctx: &mut Context<PbftMsg>) {
+        let k = self.queue.len().min(self.batch.max_batch.max(1));
+        let cmds: Vec<Command<KvCommand>> = self.queue.drain(..k).collect();
+        ctx.record_batch(k as u64);
         self.next_seq += 1;
         let n = self.next_seq;
-        let digest = digest_of(&cmd);
+        let digest = digest_of(&cmds);
         let view = self.view;
         // Pre-prepare is where the primary binds a value to a sequence
         // number — PBFT's value-discovery phase.
@@ -309,7 +444,7 @@ impl PbftReplica {
         {
             let me = ctx.id();
             let inst = self.instance(n);
-            inst.cmd = Some(cmd.clone());
+            inst.cmds = Some(cmds.clone());
             inst.digest = digest;
             inst.view = view;
             inst.pre_prepared = true;
@@ -322,10 +457,18 @@ impl PbftReplica {
                 view,
                 n,
                 digest,
-                cmd,
+                cmds,
             },
         );
         self.arm_view_timer(ctx);
+    }
+
+    /// Drops primary-side batching state (queued requests are re-sent by
+    /// their clients' retry path if they matter).
+    fn reset_batching(&mut self) {
+        self.queue.clear();
+        self.flush_armed = false;
+        self.overdue = false;
     }
 
     fn on_prepared(&mut self, ctx: &mut Context<PbftMsg>, n: u64) {
@@ -366,22 +509,24 @@ impl PbftReplica {
             if !ready {
                 break;
             }
-            let cmd = {
+            let cmds = {
                 let inst = self.instance(next);
                 inst.executed = true;
-                inst.cmd.clone().expect("committed instance has a command")
+                inst.cmds.clone().expect("committed instance has commands")
             };
-            let outputs = self.exec.decide((next - 1) as usize, SmrOp::Cmd(cmd.clone()));
+            let outputs = self.exec.decide((next - 1) as usize, cmds.clone());
             self.executed_upto = next;
-            self.pending_requests.remove(&(cmd.client, cmd.seq));
-            for (_, out) in outputs {
-                if let Some(output) = out {
+            for cmd in &cmds {
+                self.pending_requests.remove(&(cmd.client, cmd.seq));
+            }
+            for (_, outs) in outputs {
+                for (client, seq, output) in outs {
                     ctx.send(
-                        NodeId(cmd.client),
+                        NodeId(client),
                         PbftMsg::Reply {
                             view: self.view,
-                            client: cmd.client,
-                            seq: cmd.seq,
+                            client,
+                            seq,
                             output,
                         },
                     );
@@ -392,6 +537,8 @@ impl PbftReplica {
             if self.has_pending_work() {
                 self.arm_view_timer(ctx);
             }
+            // Executions drain the pipeline window: more batches may flush.
+            self.try_flush(ctx);
             // Checkpoint?
             if next.is_multiple_of(self.checkpoint_interval) {
                 let state = Digest(self.exec.machine().digest());
@@ -429,11 +576,11 @@ impl PbftReplica {
         let new_view = self.view + 1;
         ctx.phase(SPAN, self.executed_upto + 1, new_view, CncPhase::LeaderElection);
         self.max_vc_sent = self.max_vc_sent.max(new_view);
-        let prepared: Vec<(u64, u64, Command<KvCommand>)> = self
+        let prepared: Vec<PreparedClaim> = self
             .instances
             .iter()
             .filter(|(_, i)| i.prepared && !i.executed)
-            .filter_map(|(&n, i)| i.cmd.clone().map(|c| (i.view, n, c)))
+            .filter_map(|(&n, i)| i.cmds.clone().map(|c| (i.view, n, c)))
             .collect();
         let stable_n = self.low_water;
         // Record own vote.
@@ -467,18 +614,18 @@ impl PbftReplica {
         if votes.len() < quorum {
             return;
         }
-        // Become primary of view v: re-propose every prepared request at
+        // Become primary of view v: re-propose every prepared batch at
         // its original sequence number, choosing the highest-view claim
         // per n.
-        let mut chosen: BTreeMap<u64, (u64, Command<KvCommand>)> = BTreeMap::new();
+        let mut chosen: BTreeMap<u64, (u64, Vec<Command<KvCommand>>)> = BTreeMap::new();
         let mut max_n = self.low_water.max(self.executed_upto);
         for (_, (_, prepared)) in votes.iter() {
-            for (pv, n, cmd) in prepared {
+            for (pv, n, cmds) in prepared {
                 max_n = max_n.max(*n);
                 match chosen.get(n) {
                     Some((existing, _)) if *existing >= *pv => {}
                     _ => {
-                        chosen.insert(*n, (*pv, cmd.clone()));
+                        chosen.insert(*n, (*pv, cmds.clone()));
                     }
                 }
             }
@@ -487,13 +634,14 @@ impl PbftReplica {
         self.in_new_view = true;
         self.view_changes_completed += 1;
         self.next_seq = max_n;
+        self.reset_batching();
         // Instances that neither committed nor appear in the new-view set
         // are abandoned; any request they carried will be re-ordered.
         self.instances.retain(|_, i| i.committed);
         self.disarm_view_timer(ctx);
-        let pre_prepares: Vec<(u64, Command<KvCommand>)> = chosen
+        let pre_prepares: Vec<(u64, Vec<Command<KvCommand>>)> = chosen
             .iter()
-            .map(|(&n, (_, cmd))| (n, cmd.clone()))
+            .map(|(&n, (_, cmds))| (n, cmds.clone()))
             .collect();
         let me = ctx.id();
         ctx.send_many(
@@ -504,8 +652,8 @@ impl PbftReplica {
             },
         );
         // Process own re-proposals.
-        for (n, cmd) in pre_prepares {
-            self.accept_pre_prepare(ctx, v, n, digest_of(&cmd), cmd, ctx.id());
+        for (n, cmds) in pre_prepares {
+            self.accept_pre_prepare(ctx, v, n, digest_of(&cmds), cmds, ctx.id());
         }
     }
 
@@ -516,7 +664,7 @@ impl PbftReplica {
         view: u64,
         n: u64,
         digest: Digest,
-        cmd: Command<KvCommand>,
+        cmds: Vec<Command<KvCommand>>,
         from: NodeId,
     ) {
         if view != self.view || n <= self.low_water {
@@ -536,7 +684,7 @@ impl PbftReplica {
             inst.committed = inst.committed && inst.digest == digest;
         }
         let newly_seen = !inst.pre_prepared;
-        inst.cmd = Some(cmd);
+        inst.cmds = Some(cmds);
         inst.digest = digest;
         inst.view = view;
         inst.pre_prepared = true;
@@ -585,7 +733,7 @@ impl Node for PbftReplica {
                     return;
                 }
                 if self.is_primary(ctx.id()) {
-                    self.order(ctx, cmd);
+                    self.enqueue(ctx, cmd);
                 } else {
                     // Relay to the primary and watch it.
                     let primary = self.primary_of(self.view);
@@ -599,15 +747,15 @@ impl Node for PbftReplica {
                 view,
                 n,
                 digest,
-                cmd,
+                cmds,
             } => {
                 if from != self.primary_of(view) {
                     return; // only the view's primary may pre-prepare
                 }
-                if digest != digest_of(&cmd) {
+                if digest != digest_of(&cmds) {
                     return; // corrupted assignment
                 }
-                self.accept_pre_prepare(ctx, view, n, digest, cmd, from);
+                self.accept_pre_prepare(ctx, view, n, digest, cmds, from);
             }
 
             PbftMsg::Prepare { view, n, digest } => {
@@ -672,11 +820,12 @@ impl Node for PbftReplica {
                 self.view = view;
                 self.in_new_view = true;
                 self.view_changes_completed += 1;
+                self.reset_batching();
                 self.instances.retain(|_, i| i.committed);
                 self.disarm_view_timer(ctx);
-                for (n, cmd) in pre_prepares {
-                    let digest = digest_of(&cmd);
-                    self.accept_pre_prepare(ctx, view, n, digest, cmd, from);
+                for (n, cmds) in pre_prepares {
+                    let digest = digest_of(&cmds);
+                    self.accept_pre_prepare(ctx, view, n, digest, cmds, from);
                 }
             }
 
@@ -685,21 +834,34 @@ impl Node for PbftReplica {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<PbftMsg>, timer: Timer) {
-        if timer.kind == VIEW_TIMER {
-            self.view_timer = None;
-            if self.has_pending_work() {
-                // The primary failed us: demand a view change. Escalate
-                // past views whose primaries never answered.
-                self.view = self.view.max(self.max_vc_sent);
-                self.in_new_view = false;
-                self.start_view_change(ctx);
-                self.arm_view_timer(ctx);
+        match timer.kind {
+            VIEW_TIMER => {
+                self.view_timer = None;
+                if self.has_pending_work() {
+                    // The primary failed us: demand a view change. Escalate
+                    // past views whose primaries never answered.
+                    self.view = self.view.max(self.max_vc_sent);
+                    self.in_new_view = false;
+                    self.start_view_change(ctx);
+                    self.arm_view_timer(ctx);
+                }
             }
+            BATCH_FLUSH => {
+                self.flush_armed = false;
+                if self.is_primary(ctx.id()) && !self.queue.is_empty() {
+                    self.overdue = true;
+                    self.try_flush(ctx);
+                }
+            }
+            _ => {}
         }
     }
 }
 
-/// A PBFT client: waits for `f+1` matching replies.
+/// A PBFT client: waits for `f+1` matching replies per request.
+/// Closed-loop by default (one outstanding request), optionally open-loop
+/// with a fixed issue interval so batching experiments can saturate the
+/// primary.
 pub struct PbftClient {
     /// Client id == node id.
     pub client_id: u32,
@@ -707,12 +869,13 @@ pub struct PbftClient {
     f: usize,
     workload: KvWorkload,
     total: usize,
+    mode: WorkloadMode,
     /// Completed requests.
     pub completed: usize,
-    current: Option<(Command<KvCommand>, Time)>,
-    /// Votes for the current request: output digest → replicas.
-    votes: BTreeMap<u64, BTreeSet<NodeId>>,
-    broadcast_mode: bool,
+    /// Issued-but-unaccepted requests, by client sequence number.
+    outstanding: BTreeMap<u64, (Command<KvCommand>, Time)>,
+    /// Reply votes: seq → output digest → replicas.
+    votes: BTreeMap<u64, BTreeMap<u64, BTreeSet<NodeId>>>,
     /// Latencies.
     pub latencies: LatencyRecorder,
     /// Invoke/response history for safety checking.
@@ -720,20 +883,33 @@ pub struct PbftClient {
 }
 
 const CLIENT_RETRY: u64 = 9;
+const CLIENT_ISSUE: u64 = 10;
 
 impl PbftClient {
-    /// Creates a client issuing `total` commands.
+    /// Creates a closed-loop client issuing `total` commands.
     pub fn new(client_id: u32, n_replicas: usize, total: usize, mix: KvMix, seed: u64) -> Self {
+        Self::new_with(client_id, n_replicas, total, mix, seed, WorkloadMode::Closed)
+    }
+
+    /// Creates a client with an explicit pacing mode.
+    pub fn new_with(
+        client_id: u32,
+        n_replicas: usize,
+        total: usize,
+        mix: KvMix,
+        seed: u64,
+        mode: WorkloadMode,
+    ) -> Self {
         PbftClient {
             client_id,
             n_replicas,
             f: (n_replicas - 1) / 3,
             workload: KvWorkload::new(client_id, mix, seed),
             total,
+            mode,
             completed: 0,
-            current: None,
+            outstanding: BTreeMap::new(),
             votes: BTreeMap::new(),
-            broadcast_mode: false,
             latencies: LatencyRecorder::new(),
             history: HistorySink::new(),
         }
@@ -744,17 +920,14 @@ impl PbftClient {
         self.completed >= self.total
     }
 
-    fn send_next(&mut self, ctx: &mut Context<PbftMsg>) {
-        if self.done() {
-            self.current = None;
+    fn issue_next(&mut self, ctx: &mut Context<PbftMsg>) {
+        if self.workload.issued() as usize >= self.total {
             return;
         }
         let cmd = self.workload.next_command();
         self.history
             .invoke(cmd.client, cmd.seq, cmd.op.clone(), ctx.now().0);
-        self.current = Some((cmd.clone(), ctx.now()));
-        self.votes.clear();
-        self.broadcast_mode = false;
+        self.outstanding.insert(cmd.seq, (cmd.clone(), ctx.now()));
         // Optimistically to the (assumed) primary only.
         ctx.send(NodeId(0), PbftMsg::Request { cmd });
         ctx.set_timer(150_000, CLIENT_RETRY);
@@ -765,44 +938,56 @@ impl Node for PbftClient {
     type Msg = PbftMsg;
 
     fn on_start(&mut self, ctx: &mut Context<PbftMsg>) {
-        self.send_next(ctx);
+        self.issue_next(ctx);
+        if let WorkloadMode::Open { interval_us } = self.mode {
+            ctx.set_timer(interval_us.max(1), CLIENT_ISSUE);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<PbftMsg>, from: NodeId, msg: PbftMsg) {
         if let PbftMsg::Reply { seq, output, .. } = msg {
-            let Some((cmd, sent_at)) = &self.current else {
-                return;
-            };
-            if cmd.seq != seq {
+            if !self.outstanding.contains_key(&seq) {
                 return;
             }
             let key = digest_of(&output).0;
-            let votes = self.votes.entry(key).or_default();
+            let votes = self.votes.entry(seq).or_default().entry(key).or_default();
             votes.insert(from);
             if votes.len() >= self.f + 1 {
-                let sent = *sent_at;
+                let (cmd, sent_at) = self.outstanding.remove(&seq).expect("checked above");
+                self.votes.remove(&seq);
                 self.history
                     .complete(cmd.client, cmd.seq, ctx.now().0, output);
-                self.latencies.record(sent, ctx.now());
+                self.latencies.record(sent_at, ctx.now());
                 self.completed += 1;
-                self.current = None;
-                self.send_next(ctx);
+                if self.mode == WorkloadMode::Closed {
+                    self.issue_next(ctx);
+                }
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<PbftMsg>, timer: Timer) {
-        if timer.kind == CLIENT_RETRY && self.current.is_some() {
-            // Escalate: broadcast to all replicas (this is what ultimately
-            // triggers a view change when the primary is faulty).
-            self.broadcast_mode = true;
-            if let Some((cmd, _)) = &self.current {
-                let cmd = cmd.clone();
-                for r in 0..self.n_replicas {
-                    ctx.send(NodeId::from(r), PbftMsg::Request { cmd: cmd.clone() });
+        match timer.kind {
+            CLIENT_RETRY if !self.outstanding.is_empty() => {
+                // Escalate: broadcast every pending request to all replicas
+                // (this is what ultimately triggers a view change when the
+                // primary is faulty).
+                for (cmd, _) in self.outstanding.values() {
+                    for r in 0..self.n_replicas {
+                        ctx.send(NodeId::from(r), PbftMsg::Request { cmd: cmd.clone() });
+                    }
+                }
+                ctx.set_timer(150_000, CLIENT_RETRY);
+            }
+            CLIENT_ISSUE => {
+                self.issue_next(ctx);
+                if let WorkloadMode::Open { interval_us } = self.mode {
+                    if (self.workload.issued() as usize) < self.total {
+                        ctx.set_timer(interval_us.max(1), CLIENT_ISSUE);
+                    }
                 }
             }
-            ctx.set_timer(150_000, CLIENT_RETRY);
+            _ => {}
         }
     }
 }
@@ -837,19 +1022,41 @@ impl PbftCluster {
         config: NetConfig,
         seed: u64,
     ) -> Self {
+        Self::new_with(
+            n_replicas,
+            n_clients,
+            cmds_per_client,
+            config,
+            seed,
+            BatchConfig::unbatched(),
+            WorkloadMode::Closed,
+        )
+    }
+
+    /// Builds a cluster with explicit batching and client-pacing configs.
+    pub fn new_with(
+        n_replicas: usize,
+        n_clients: usize,
+        cmds_per_client: usize,
+        config: NetConfig,
+        seed: u64,
+        batch: BatchConfig,
+        mode: WorkloadMode,
+    ) -> Self {
         assert!(n_replicas >= 4, "PBFT needs at least 3f+1 = 4 replicas");
         let mut sim = Sim::new(config, seed);
         for _ in 0..n_replicas {
-            sim.add_node(PbftReplica::new(n_replicas));
+            sim.add_node(PbftReplica::new_with(n_replicas, batch));
         }
         for c in 0..n_clients {
             let id = (n_replicas + c) as u32;
-            sim.add_node(PbftClient::new(
+            sim.add_node(PbftClient::new_with(
                 id,
                 n_replicas,
                 cmds_per_client,
                 KvMix::default(),
                 seed,
+                mode,
             ));
         }
         PbftCluster {
@@ -941,6 +1148,177 @@ impl PbftCluster {
     }
 }
 
+/// An outbound filter that makes a replica equivocate: every `PrePrepare`
+/// it sends to an odd-numbered destination is replaced by a forged batch
+/// (with a matching forged digest, so only quorum intersection — not digest
+/// checking — protects the cluster). Used by the nemesis Byzantine windows
+/// and the in-crate tests.
+pub fn equivocation_filter() -> impl simnet::Filter<PbftMsg> {
+    FnFilter(
+        |_from, to: NodeId, msg: &PbftMsg, _rng: &mut ChaCha20Rng| match msg {
+            PbftMsg::PrePrepare { view, n, .. } if to.0 % 2 == 1 => {
+                let forged = Command {
+                    client: 0,
+                    seq: 9_999,
+                    op: KvCommand::Put {
+                        key: "evil".to_string(),
+                        value: format!("forged-{n}-for-{to}"),
+                    },
+                };
+                let cmds = vec![forged];
+                FilterAction::Replace(PbftMsg::PrePrepare {
+                    view: *view,
+                    n: *n,
+                    digest: digest_of(&cmds),
+                    cmds,
+                })
+            }
+            _ => FilterAction::Deliver,
+        },
+    )
+}
+
+/// Sub-index stride for flattening batched sequence numbers into
+/// per-command [`DecidedEntry`] indices: command `j` of sequence `n`
+/// (log slot `n − 1`) gets `(n − 1)·2²⁰ + j`.
+const SUB_INDEX: u64 = 1 << 20;
+
+impl ClusterDriver for PbftCluster {
+    fn from_config(cfg: &DriverConfig) -> Self {
+        PbftCluster::new_with(
+            cfg.n_replicas,
+            cfg.n_clients,
+            cfg.cmds_per_client,
+            cfg.net.clone(),
+            cfg.seed,
+            cfg.batch,
+            cfg.mode,
+        )
+    }
+
+    fn protocol(&self) -> &'static str {
+        "pbft"
+    }
+
+    fn n_replicas(&self) -> usize {
+        self.n_replicas
+    }
+
+    fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    fn run_until(&mut self, at: Time) -> RunOutcome {
+        let mut guard = 0;
+        loop {
+            let outcome = self.sim.run_until(at);
+            if outcome != RunOutcome::Stopped || guard > 10_000 {
+                return outcome;
+            }
+            guard += 1;
+        }
+    }
+
+    fn run(&mut self, horizon: Time) -> bool {
+        PbftCluster::run(self, horizon)
+    }
+
+    fn all_done(&self) -> bool {
+        PbftCluster::all_done(self)
+    }
+
+    fn completed_ops(&self) -> usize {
+        self.total_completed()
+    }
+
+    fn decided_log(&self) -> Vec<DecidedEntry> {
+        let mut entries = Vec::new();
+        for (id, proc_) in self.sim.nodes() {
+            let PbftProc::Replica(r) = proc_ else { continue };
+            let log = r.exec_log();
+            for i in 0..log.len() {
+                let cmds = match log.slot(i) {
+                    Slot::Decided(cmds) | Slot::Applied(cmds) => cmds,
+                    Slot::Empty => continue,
+                };
+                let base = i as u64 * SUB_INDEX;
+                for (j, cmd) in cmds.iter().enumerate() {
+                    entries.push(DecidedEntry {
+                        node: id.0,
+                        index: base + j as u64,
+                        op: format!("{cmd:?}"),
+                        origin: Some((cmd.client, cmd.seq)),
+                    });
+                }
+            }
+        }
+        entries
+    }
+
+    fn state_digests(&self) -> Vec<(u32, u64, u64)> {
+        self.sim
+            .nodes()
+            .filter_map(|(id, p)| match p {
+                PbftProc::Replica(r) => Some((id.0, r.executed_upto, r.machine().digest())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn history(&self) -> Vec<ClientRecord> {
+        HistorySink::merge(self.clients().map(|c| &c.history))
+    }
+
+    fn latencies(&self) -> LatencyRecorder {
+        PbftCluster::latencies(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    fn crash_at(&mut self, node: NodeId, at: Time) {
+        self.sim.crash_at(node, at);
+    }
+
+    fn restart_at(&mut self, node: NodeId, at: Time) {
+        self.sim.restart_at(node, at);
+    }
+
+    fn partition_at(&mut self, at: Time, groups: Vec<Vec<NodeId>>) {
+        self.sim.partition_at(at, groups);
+    }
+
+    fn heal_at(&mut self, at: Time) {
+        self.sim.heal_at(at);
+    }
+
+    fn set_drop_prob(&mut self, p: f64) {
+        self.sim.set_drop_prob(p);
+    }
+
+    fn open_byzantine_window(&mut self, kind: ByzantineWindow, node: NodeId) -> bool {
+        match kind {
+            ByzantineWindow::Mute => {
+                self.sim.set_filter(
+                    node,
+                    Box::new(FnFilter(
+                        |_f, _t: NodeId, _m: &PbftMsg, _r: &mut ChaCha20Rng| FilterAction::Drop,
+                    )),
+                );
+            }
+            ByzantineWindow::Equivocate => {
+                self.sim.set_filter(node, Box::new(equivocation_filter()));
+            }
+        }
+        true
+    }
+
+    fn close_byzantine_window(&mut self, node: NodeId) {
+        self.sim.clear_filter(node);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1022,30 +1400,9 @@ mod tests {
         // request stalls, a view change fires, and an honest primary takes
         // over. Safety is never violated.
         let mut cluster = PbftCluster::new(4, 1, 8, NetConfig::lan(), 6);
-        cluster.sim.set_filter(
-            NodeId(0),
-            Box::new(FnFilter(
-                |_from, to: NodeId, msg: &PbftMsg, _rng: &mut rand_chacha::ChaCha20Rng| {
-                    if let PbftMsg::PrePrepare { view, n, cmd, .. } = msg {
-                        // Equivocate: mutate the command per destination.
-                        let mut cmd = cmd.clone();
-                        cmd.op = KvCommand::Put {
-                            key: format!("evil-{n}"),
-                            value: format!("forged-for-{to}"),
-                        };
-                        let digest = digest_of(&cmd);
-                        FilterAction::Replace(PbftMsg::PrePrepare {
-                            view: *view,
-                            n: *n,
-                            digest,
-                            cmd,
-                        })
-                    } else {
-                        FilterAction::Deliver
-                    }
-                },
-            )),
-        );
+        cluster
+            .sim
+            .set_filter(NodeId(0), Box::new(equivocation_filter()));
         assert!(
             cluster.run(Time::from_secs(60)),
             "honest primary must eventually serve: {}",
@@ -1150,5 +1507,140 @@ mod tests {
             (cluster.total_completed(), cluster.sim.metrics().sent)
         };
         assert_eq!(run(11), run(11));
+    }
+
+    /// Per-command `(client, seq)` sequence of the most-executed replica,
+    /// flattened across batches in execution order.
+    fn flattened_origins(cluster: &PbftCluster) -> Vec<(u32, u64)> {
+        let log = cluster.decided_log();
+        let best = log.iter().map(|e| e.node).fold(
+            (0u32, 0usize),
+            |(best, best_len), node| {
+                let len = log.iter().filter(|e| e.node == node).count();
+                if len > best_len {
+                    (node, len)
+                } else {
+                    (best, best_len)
+                }
+            },
+        );
+        let mut mine: Vec<&DecidedEntry> = log.iter().filter(|e| e.node == best.0).collect();
+        mine.sort_by_key(|e| e.index);
+        mine.iter().filter_map(|e| e.origin).collect()
+    }
+
+    #[test]
+    fn batched_runs_execute_the_same_command_sequence() {
+        // Same seed + workload ⇒ the flattened executed command sequence is
+        // identical whatever the batch shape. Synchronous delays keep the
+        // arrival order independent of per-message RNG draws.
+        let run = |batch: BatchConfig| {
+            let mut cluster = PbftCluster::new_with(
+                4,
+                2,
+                20,
+                NetConfig::synchronous(),
+                42,
+                batch,
+                WorkloadMode::Closed,
+            );
+            // Keep every executed slot: checkpoint GC would otherwise free
+            // the prefix we want to compare.
+            for i in 0..4 {
+                if let PbftProc::Replica(r) = cluster.sim.node_mut(NodeId(i)) {
+                    *r = PbftReplica::new_with(4, batch).with_checkpoint_interval(1_000);
+                }
+            }
+            assert!(cluster.run(Time::from_secs(60)), "batch {batch:?} stalled");
+            flattened_origins(&cluster)
+        };
+        let baseline = run(BatchConfig::unbatched());
+        assert_eq!(baseline.len(), 40);
+        for batch in [
+            BatchConfig::new(4, 200, 2),
+            BatchConfig::new(8, 500, 4),
+            BatchConfig::new(2, 0, 1),
+        ] {
+            assert_eq!(run(batch), baseline, "batch {batch:?} diverged");
+        }
+    }
+
+    #[test]
+    fn primary_crash_under_batched_config_recovers() {
+        // A primary dies with batches in flight; the view change re-proposes
+        // prepared batches and client retries re-inject the rest.
+        let mut cluster = PbftCluster::new_with(
+            4,
+            1,
+            10,
+            NetConfig::lan(),
+            5,
+            BatchConfig::new(4, 300, 2),
+            WorkloadMode::Closed,
+        );
+        cluster.sim.run_until(Time::from_millis(10));
+        cluster.sim.crash_at(NodeId(0), Time::from_millis(11));
+        assert!(
+            cluster.run(Time::from_secs(60)),
+            "only {} completed",
+            cluster.total_completed()
+        );
+        assert_eq!(cluster.total_completed(), 10);
+        cluster.check_state_agreement();
+    }
+
+    #[test]
+    fn open_loop_clients_build_real_batches() {
+        // Open-loop arrivals outpace the pipeline window, so the primary's
+        // queue fills and multi-command batches actually form.
+        let mut cluster = PbftCluster::new_with(
+            4,
+            2,
+            30,
+            NetConfig::lan(),
+            9,
+            BatchConfig::new(8, 400, 2),
+            WorkloadMode::Open { interval_us: 200 },
+        );
+        assert!(cluster.run(Time::from_secs(30)));
+        assert_eq!(cluster.total_completed(), 60);
+        cluster.check_state_agreement();
+        let h = &cluster.sim.metrics().batch_size;
+        assert!(
+            h.max().unwrap_or(0) > 1,
+            "batches never formed: max {:?}",
+            h.max()
+        );
+    }
+
+    #[test]
+    fn cluster_driver_trait_drives_and_harvests() {
+        let mut cluster = PbftCluster::from_config(&DriverConfig::new(4, 2, 5, 7));
+        let drv: &mut dyn ClusterDriver = &mut cluster;
+        assert_eq!(drv.protocol(), "pbft");
+        assert_eq!(drv.n_replicas(), 4);
+        assert!(drv.run(Time::from_secs(10)));
+        assert!(drv.all_done());
+        assert_eq!(drv.completed_ops(), 10);
+        assert_eq!(drv.state_digests().len(), 4);
+        assert_eq!(drv.history().len(), 10);
+        assert_eq!(drv.issued().len(), 10);
+        assert_eq!(drv.latencies().count(), 10);
+        let log = drv.decided_log();
+        assert!(log.iter().filter(|e| e.node == 0 && e.origin.is_some()).count() >= 10);
+        assert!(drv.metrics().sent > 0);
+    }
+
+    #[test]
+    fn byzantine_window_hooks_install_and_clear() {
+        // Equivocation through the driver hook stalls view 0; after the
+        // window closes and a view change lands, the workload completes.
+        let mut cluster = PbftCluster::from_config(&DriverConfig::new(4, 1, 8, 6));
+        let drv: &mut dyn ClusterDriver = &mut cluster;
+        assert!(drv.open_byzantine_window(ByzantineWindow::Equivocate, NodeId(0)));
+        drv.run_until(Time::from_millis(300));
+        drv.close_byzantine_window(NodeId(0));
+        assert!(drv.run(Time::from_secs(60)), "never recovered");
+        cluster.check_state_agreement();
     }
 }

@@ -1,0 +1,292 @@
+//! The unified cluster-driver API.
+//!
+//! Every steady-state SMR protocol in this workspace (Multi-Paxos, Raft,
+//! PBFT) can be built from a seed, stepped through simulated time, subjected
+//! to faults, and harvested for evidence — and until now each consumer
+//! (the nemesis harness, the bench experiments, ad-hoc tests) hand-rolled
+//! that loop per protocol. [`ClusterDriver`] is the one trait that captures
+//! it: construct from a [`DriverConfig`], `run`/`run_until` to advance, the
+//! fault hooks to perturb, and the harvest methods to extract the decided
+//! log, state digests, and client histories that the safety checkers
+//! consume. Adding a protocol to bench *and* nemesis is now one impl.
+//!
+//! The same module defines [`BatchConfig`], the batching/pipelining knob the
+//! three protocols share. `BatchConfig::unbatched()` reproduces the
+//! pre-batching behaviour exactly (one command per slot, proposed
+//! immediately, unbounded pipeline), so it is the default everywhere.
+
+use std::collections::BTreeSet;
+
+use crate::history::ClientRecord;
+use crate::workload::{LatencyRecorder, WorkloadMode};
+use simnet::{Metrics, NetConfig, NodeId, RunOutcome, Time};
+
+/// Batching and pipelining configuration shared by the SMR protocols.
+///
+/// * Multi-Paxos: the leader accumulates up to `max_batch` commands per log
+///   slot and keeps at most `pipeline_window` undecided slots in flight.
+/// * Raft: the leader appends immediately but defers the replication
+///   fan-out until `max_batch` entries are unflushed (or `max_delay`
+///   elapses), grouping them into one `AppendEntries` wave.
+/// * PBFT: the primary assigns up to `max_batch` requests to one sequence
+///   number and keeps at most `pipeline_window` unexecuted sequences open.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum commands per batch (per slot / sequence number / flush wave).
+    pub max_batch: usize,
+    /// How long (simulated µs) to hold an underfull batch open waiting for
+    /// more commands. `0` means flush immediately.
+    pub max_delay: u64,
+    /// Maximum concurrent in-flight (undecided / unexecuted) slots.
+    pub pipeline_window: usize,
+}
+
+impl BatchConfig {
+    /// The pre-batching behaviour: one command per slot, proposed the moment
+    /// it arrives, with no artificial bound on concurrent slots. Runs under
+    /// this config are message-for-message identical to the code before the
+    /// batching knob existed.
+    pub const fn unbatched() -> Self {
+        BatchConfig {
+            max_batch: 1,
+            max_delay: 0,
+            pipeline_window: usize::MAX,
+        }
+    }
+
+    /// A batched/pipelined configuration.
+    pub const fn new(max_batch: usize, max_delay: u64, pipeline_window: usize) -> Self {
+        BatchConfig {
+            max_batch,
+            max_delay,
+            pipeline_window,
+        }
+    }
+
+    /// Whether this config is behaviourally the unbatched default.
+    pub fn is_unbatched(&self) -> bool {
+        self.max_batch <= 1 && self.max_delay == 0
+    }
+
+    /// Short label for tables and JSON keys, e.g. `"unbatched"` or
+    /// `"b8/w16/d200"`.
+    pub fn label(&self) -> String {
+        if *self == BatchConfig::unbatched() {
+            "unbatched".to_string()
+        } else {
+            let w = if self.pipeline_window == usize::MAX {
+                "inf".to_string()
+            } else {
+                self.pipeline_window.to_string()
+            };
+            format!("b{}/w{}/d{}", self.max_batch, w, self.max_delay)
+        }
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::unbatched()
+    }
+}
+
+/// Everything needed to construct a cluster deterministically: a run is a
+/// pure function of this config. The client workload (`n_clients` closed-loop
+/// clients issuing `cmds_per_client` commands each) doubles as the submission
+/// interface — commands enter the system only through it, which is what keeps
+/// replay exact.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Number of replica nodes (ids `0..n_replicas`).
+    pub n_replicas: usize,
+    /// Number of client nodes (ids `n_replicas..`).
+    pub n_clients: usize,
+    /// Commands each client submits.
+    pub cmds_per_client: usize,
+    /// Batching/pipelining knob.
+    pub batch: BatchConfig,
+    /// Client pacing: closed loop (default) or open loop.
+    pub mode: WorkloadMode,
+    /// Network profile.
+    pub net: NetConfig,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl DriverConfig {
+    /// A LAN-profile, unbatched, closed-loop config.
+    pub fn new(n_replicas: usize, n_clients: usize, cmds_per_client: usize, seed: u64) -> Self {
+        DriverConfig {
+            n_replicas,
+            n_clients,
+            cmds_per_client,
+            batch: BatchConfig::unbatched(),
+            mode: WorkloadMode::Closed,
+            net: NetConfig::lan(),
+            seed,
+        }
+    }
+
+    /// Replaces the batch config.
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Replaces the client pacing mode.
+    pub fn with_mode(mut self, mode: WorkloadMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Replaces the network profile.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+}
+
+/// A decided log entry as observed on one node, rendered protocol-agnostic
+/// for the history checkers. Two entries agree iff their `op` strings are
+/// equal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecidedEntry {
+    /// Node the entry was harvested from.
+    pub node: u32,
+    /// Absolute log index (slot / sequence number). Protocols that batch
+    /// several commands per slot emit one entry per command at synthetic
+    /// sub-indices, consistently across replicas.
+    pub index: u64,
+    /// Canonical rendering of the decided operation.
+    pub op: String,
+    /// `(client, seq)` of the originating request, if the op carries one.
+    pub origin: Option<(u32, u64)>,
+}
+
+/// Byzantine fault windows a driver may support. Drivers for crash-fault
+/// protocols return `false` from
+/// [`ClusterDriver::open_byzantine_window`] — the nemesis planner never
+/// schedules these against them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ByzantineWindow {
+    /// The node stops sending anything (fail-silent).
+    Mute,
+    /// The node sends conflicting messages to different destinations.
+    Equivocate,
+}
+
+/// A protocol cluster that can be driven, faulted, and harvested without
+/// knowing which protocol it is.
+///
+/// Implementations wrap a concrete `Sim` plus its replica/client node set;
+/// all methods are deterministic given the construction config.
+pub trait ClusterDriver {
+    /// Constructs the cluster from a [`DriverConfig`] — the construct-from-
+    /// seed half of the API. Not dyn-dispatchable; generic call sites (the
+    /// bench sweep, the nemesis targets) construct concretely and then erase
+    /// to `dyn ClusterDriver`.
+    fn from_config(cfg: &DriverConfig) -> Self
+    where
+        Self: Sized;
+
+    /// Stable protocol name (e.g. `"multi-paxos"`).
+    fn protocol(&self) -> &'static str;
+
+    /// Number of replica nodes (clients have higher ids).
+    fn n_replicas(&self) -> usize;
+
+    /// Current simulated time.
+    fn now(&self) -> Time;
+
+    /// Advances the simulation to (at least) `at`, pushing through node
+    /// stops. Returns the last outcome observed.
+    fn run_until(&mut self, at: Time) -> RunOutcome;
+
+    /// Runs until every client finished or `horizon` passes; returns whether
+    /// all clients completed.
+    fn run(&mut self, horizon: Time) -> bool;
+
+    /// Whether every client completed its workload.
+    fn all_done(&self) -> bool;
+
+    /// Total commands completed across clients.
+    fn completed_ops(&self) -> usize;
+
+    /// Every decided log entry on every replica, for the agreement /
+    /// validity / integrity checkers.
+    fn decided_log(&self) -> Vec<DecidedEntry>;
+
+    /// `(node, applied_prefix_len, state digest)` per replica.
+    fn state_digests(&self) -> Vec<(u32, u64, u64)>;
+
+    /// The merged invoke/response history across all clients.
+    fn history(&self) -> Vec<ClientRecord>;
+
+    /// The set of `(client, seq)` operations clients actually issued.
+    fn issued(&self) -> BTreeSet<(u32, u64)> {
+        self.history().iter().map(|r| (r.client, r.seq)).collect()
+    }
+
+    /// Aggregated request → reply latencies across clients.
+    fn latencies(&self) -> LatencyRecorder;
+
+    /// Network/timer/span metrics of the underlying simulation.
+    fn metrics(&self) -> &Metrics;
+
+    // ---- fault hooks -----------------------------------------------------
+
+    /// Schedules a crash of `node` at time `at`.
+    fn crash_at(&mut self, node: NodeId, at: Time);
+
+    /// Schedules a restart of `node` at time `at`.
+    fn restart_at(&mut self, node: NodeId, at: Time);
+
+    /// Schedules a partition into `groups` at time `at`.
+    fn partition_at(&mut self, at: Time, groups: Vec<Vec<NodeId>>);
+
+    /// Schedules a heal of all partitions at time `at`.
+    fn heal_at(&mut self, at: Time);
+
+    /// Sets the global message drop probability, effective immediately.
+    fn set_drop_prob(&mut self, p: f64);
+
+    /// Installs a Byzantine outbound filter on `node`. Returns whether the
+    /// protocol supports (and installed) the window; crash-fault drivers
+    /// return `false`.
+    fn open_byzantine_window(&mut self, kind: ByzantineWindow, node: NodeId) -> bool {
+        let _ = (kind, node);
+        false
+    }
+
+    /// Removes any Byzantine filter from `node`.
+    fn close_byzantine_window(&mut self, node: NodeId) {
+        let _ = node;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbatched_is_the_default_and_labelled() {
+        assert_eq!(BatchConfig::default(), BatchConfig::unbatched());
+        assert!(BatchConfig::unbatched().is_unbatched());
+        assert_eq!(BatchConfig::unbatched().label(), "unbatched");
+        let b = BatchConfig::new(8, 200, 16);
+        assert!(!b.is_unbatched());
+        assert_eq!(b.label(), "b8/w16/d200");
+        assert_eq!(BatchConfig::new(4, 0, usize::MAX).label(), "b4/winf/d0");
+    }
+
+    #[test]
+    fn driver_config_builders() {
+        let cfg = DriverConfig::new(5, 2, 10, 42)
+            .with_batch(BatchConfig::new(4, 100, 8))
+            .with_net(NetConfig::synchronous());
+        assert_eq!(cfg.n_replicas, 5);
+        assert_eq!(cfg.batch.max_batch, 4);
+        assert_eq!(cfg.net.drop_prob, 0.0);
+        assert_eq!(cfg.seed, 42);
+    }
+}

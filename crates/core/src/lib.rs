@@ -19,6 +19,10 @@
 //!   counter, bank).
 //! * [`workload`] — deterministic client workload generators and latency
 //!   recording shared by all protocol crates and the bench harness.
+//! * [`driver`] — the unified [`ClusterDriver`] API (construct from seed,
+//!   step, fault, harvest) plus the shared [`BatchConfig`]
+//!   batching/pipelining knob; bench and nemesis drive every SMR protocol
+//!   only through this trait.
 //! * [`cnc`] — the **Consensus & Commitment (C&C) framework**: every
 //!   leader-based agreement protocol as *Leader Election → Value Discovery →
 //!   Fault-tolerant Agreement → Decision*, including a runnable generic
@@ -27,6 +31,7 @@
 
 pub mod ballot;
 pub mod cnc;
+pub mod driver;
 pub mod history;
 pub mod quorum;
 pub mod smr;
@@ -34,8 +39,10 @@ pub mod taxonomy;
 pub mod workload;
 
 pub use ballot::Ballot;
+pub use driver::{BatchConfig, ByzantineWindow, ClusterDriver, DecidedEntry, DriverConfig};
 pub use history::{ClientRecord, HistorySink};
 pub use quorum::QuorumSpec;
+pub use workload::WorkloadMode;
 pub use smr::{Bank, BankOp, BankResponse, Command, DedupKvMachine, KvCommand, KvResponse, KvStore, ReplicatedLog, SmrOp, StateMachine};
 pub use taxonomy::{
     ComplexityClass, FailureModel, NodeBound, ParticipantAwareness, ProcessingStrategy,

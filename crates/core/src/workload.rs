@@ -30,6 +30,23 @@ impl Default for KvMix {
     }
 }
 
+/// How a client paces its requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WorkloadMode {
+    /// Closed loop: exactly one request outstanding; the next is issued when
+    /// the reply for the previous one arrives. Offered load self-adjusts to
+    /// the system's latency.
+    #[default]
+    Closed,
+    /// Open loop: a new request is issued every `interval_us` simulated µs
+    /// regardless of outstanding replies. Offered load is fixed, so queues
+    /// (and batches) build up when the system saturates.
+    Open {
+        /// Inter-arrival time in simulated microseconds (≥ 1).
+        interval_us: u64,
+    },
+}
+
 /// Generates a deterministic stream of KV commands for one client.
 pub struct KvWorkload {
     rng: ChaCha20Rng,

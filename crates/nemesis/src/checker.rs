@@ -29,18 +29,10 @@ impl fmt::Display for Violation {
 }
 
 /// A decided log entry as observed on one node, rendered protocol-agnostic.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct DecidedEntry {
-    /// Node the entry was harvested from.
-    pub node: u32,
-    /// Absolute log index (slot / sequence number).
-    pub index: u64,
-    /// Canonical rendering of the decided operation. Two entries agree iff
-    /// these strings are equal.
-    pub op: String,
-    /// `(client, seq)` of the originating request, if the op carries one.
-    pub origin: Option<(u32, u64)>,
-}
+/// This is the unified driver API's type — re-exported so existing checker
+/// call sites keep compiling; [`consensus_core::ClusterDriver::decided_log`]
+/// produces it directly.
+pub use consensus_core::driver::DecidedEntry;
 
 /// Agreement: no two nodes decide different operations for the same index.
 pub fn check_log_agreement(entries: &[DecidedEntry]) -> Vec<Violation> {

@@ -19,6 +19,12 @@
 //! | 3pc     | ≤ 1   | no      | no        | no   | —         |
 //! | ben-or  | ≤ f=1 | no      | no        | yes  | —         |
 //!
+//! The three SMR targets also register `+batch` variants (same fault menu)
+//! that run the replicas under a real batching/pipelining configuration —
+//! multi-command slots and bounded in-flight windows open failure modes
+//! (partial batch re-proposal, pipeline holes after a leader crash) that
+//! the unbatched configuration cannot reach.
+//!
 //! 3PC's menu is deliberately narrow: the protocol is *known* unsafe under
 //! partitions and unbounded asynchrony (that is its lesson in the survey),
 //! so the nemesis only probes the crash model it actually claims. Ben-Or
@@ -30,13 +36,13 @@ use std::collections::BTreeSet;
 use agreement::ben_or::BenOrNode;
 use atomic_commit::three_phase::{self, CrashPoint};
 use atomic_commit::{two_phase, TxnState};
-use bft::pbft::{PbftCluster, PbftMsg, PbftProc};
+use bft::pbft::{PbftCluster, PbftMsg};
 use bft::sim_crypto::digest_of;
-use consensus_core::smr::Slot;
 use consensus_core::{
-    ClientRecord, Command, HistorySink, KvCommand, QuorumSpec, SmrOp, StateMachine as _,
+    BatchConfig, ClientRecord, ClusterDriver as _, Command, HistorySink, KvCommand, QuorumSpec,
+    WorkloadMode,
 };
-use paxos::multi::{MpOp, MultiPaxosCluster, Proc as PaxosProc};
+use paxos::multi::MultiPaxosCluster;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha20Rng;
 use simnet::{FilterAction, FnFilter, NetConfig, NodeId, Sim};
@@ -74,12 +80,36 @@ pub trait Target {
     fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport;
 }
 
-/// All legitimate targets, in verdict-table order.
+/// The batching knob the `+batch` targets run under: small batches with a
+/// real accumulation delay and a bounded pipeline window, so fault schedules
+/// land while multi-command slots and in-flight pipelines are live.
+const NEMESIS_BATCH: BatchConfig = BatchConfig::new(4, 300, 4);
+
+/// All legitimate targets, in verdict-table order. Each SMR protocol
+/// appears twice: unbatched (the historical configuration) and under
+/// [`NEMESIS_BATCH`] — safety must hold for every knob setting.
 pub fn targets() -> Vec<Box<dyn Target>> {
     vec![
-        Box::new(PaxosTarget { buggy: false }),
-        Box::new(RaftTarget),
-        Box::new(PbftTarget),
+        Box::new(PaxosTarget {
+            buggy: false,
+            batch: BatchConfig::unbatched(),
+        }),
+        Box::new(PaxosTarget {
+            buggy: false,
+            batch: NEMESIS_BATCH,
+        }),
+        Box::new(RaftTarget {
+            batch: BatchConfig::unbatched(),
+        }),
+        Box::new(RaftTarget {
+            batch: NEMESIS_BATCH,
+        }),
+        Box::new(PbftTarget {
+            batch: BatchConfig::unbatched(),
+        }),
+        Box::new(PbftTarget {
+            batch: NEMESIS_BATCH,
+        }),
         Box::new(TwoPcTarget),
         Box::new(ThreePcTarget),
         Box::new(BenOrTarget),
@@ -90,17 +120,37 @@ pub fn targets() -> Vec<Box<dyn Target>> {
 /// election and replication quorums need not intersect). Used to prove the
 /// nemesis catches real safety bugs; never part of [`targets`].
 pub fn injected_bug_target() -> Box<dyn Target> {
-    Box::new(PaxosTarget { buggy: true })
+    Box::new(PaxosTarget {
+        buggy: true,
+        batch: BatchConfig::unbatched(),
+    })
 }
 
 /// Resolves a target by name, including the injected-bug target (so stored
 /// counterexamples can be replayed).
 pub fn by_name(name: &str) -> Option<Box<dyn Target>> {
     match name {
-        "paxos" => Some(Box::new(PaxosTarget { buggy: false })),
+        "paxos" => Some(Box::new(PaxosTarget {
+            buggy: false,
+            batch: BatchConfig::unbatched(),
+        })),
+        "paxos+batch" => Some(Box::new(PaxosTarget {
+            buggy: false,
+            batch: NEMESIS_BATCH,
+        })),
         "paxos-buggy" => Some(injected_bug_target()),
-        "raft" => Some(Box::new(RaftTarget)),
-        "pbft" => Some(Box::new(PbftTarget)),
+        "raft" => Some(Box::new(RaftTarget {
+            batch: BatchConfig::unbatched(),
+        })),
+        "raft+batch" => Some(Box::new(RaftTarget {
+            batch: NEMESIS_BATCH,
+        })),
+        "pbft" => Some(Box::new(PbftTarget {
+            batch: BatchConfig::unbatched(),
+        })),
+        "pbft+batch" => Some(Box::new(PbftTarget {
+            batch: NEMESIS_BATCH,
+        })),
         "2pc" => Some(Box::new(TwoPcTarget)),
         "3pc" => Some(Box::new(ThreePcTarget)),
         "ben-or" => Some(Box::new(BenOrTarget)),
@@ -115,30 +165,9 @@ pub fn by_name(name: &str) -> Option<Box<dyn Target>> {
 
 /// Harvests every Multi-Paxos replica's decided slots plus `(node,
 /// applied_len, digest)` triples for the state-machine consistency check.
+/// Batched slots are flattened to one entry per command by the driver.
 pub fn harvest_paxos(cluster: &MultiPaxosCluster) -> (Vec<DecidedEntry>, Vec<(u32, u64, u64)>) {
-    let mut entries = Vec::new();
-    let mut digests = Vec::new();
-    for (id, proc_) in cluster.sim.nodes() {
-        let PaxosProc::Replica(r) = proc_ else { continue };
-        for i in 0..r.log.len() {
-            let op = match r.log.slot(i) {
-                Slot::Decided(op) | Slot::Applied(op) => op,
-                Slot::Empty => continue,
-            };
-            let origin = match op {
-                MpOp::Cmd(cmd) => Some((cmd.client, cmd.seq)),
-                MpOp::Noop => None,
-            };
-            entries.push(DecidedEntry {
-                node: id.0,
-                index: i as u64,
-                op: format!("{op:?}"),
-                origin,
-            });
-        }
-        digests.push((id.0, r.log.applied_len() as u64, r.log.machine().digest()));
-    }
-    (entries, digests)
+    (cluster.decided_log(), cluster.state_digests())
 }
 
 /// Harvests every Raft replica's *committed* entries (an uncommitted suffix
@@ -146,57 +175,17 @@ pub fn harvest_paxos(cluster: &MultiPaxosCluster) -> (Vec<DecidedEntry>, Vec<(u3
 /// check) plus `(node, last_applied, digest)` triples. Terms are baked into
 /// the op identity so the agreement check also enforces Log Matching.
 pub fn harvest_raft(cluster: &raft::RaftCluster) -> (Vec<DecidedEntry>, Vec<(u32, u64, u64)>) {
-    let mut entries = Vec::new();
-    let mut digests = Vec::new();
-    for (id, proc_) in cluster.sim.nodes() {
-        let raft::Proc::Replica(r) = proc_ else { continue };
-        for i in (r.log_offset() + 1)..=r.commit_index {
-            let Some(entry) = r.entry(i) else { continue };
-            let origin = match &entry.op {
-                SmrOp::Cmd(cmd) => Some((cmd.client, cmd.seq)),
-                SmrOp::Noop => None,
-            };
-            entries.push(DecidedEntry {
-                node: id.0,
-                index: i as u64,
-                op: format!("t{}:{:?}", entry.term, entry.op),
-                origin,
-            });
-        }
-        digests.push((id.0, r.last_applied as u64, r.machine().digest()));
-    }
-    (entries, digests)
+    (cluster.decided_log(), cluster.state_digests())
 }
 
 /// Harvests every PBFT replica's execution log plus `(node, executed_upto,
 /// digest)` triples. A Byzantine replica's *outbound* messages may have
 /// lied, but its local execution log is honestly built from what it
 /// received, so its harvest is still evidence about the protocol.
+/// Batched sequence numbers are flattened to one entry per command by the
+/// driver.
 pub fn harvest_pbft(cluster: &PbftCluster) -> (Vec<DecidedEntry>, Vec<(u32, u64, u64)>) {
-    let mut entries = Vec::new();
-    let mut digests = Vec::new();
-    for (id, proc_) in cluster.sim.nodes() {
-        let PbftProc::Replica(r) = proc_ else { continue };
-        let log = r.exec_log();
-        for i in 0..log.len() {
-            let op = match log.slot(i) {
-                Slot::Decided(op) | Slot::Applied(op) => op,
-                Slot::Empty => continue, // checkpoint-truncated prefix
-            };
-            let origin = match op {
-                SmrOp::Cmd(cmd) => Some((cmd.client, cmd.seq)),
-                SmrOp::Noop => None,
-            };
-            entries.push(DecidedEntry {
-                node: id.0,
-                index: i as u64,
-                op: format!("{op:?}"),
-                origin,
-            });
-        }
-        digests.push((id.0, r.executed_upto, r.machine().digest()));
-    }
-    (entries, digests)
+    (cluster.decided_log(), cluster.state_digests())
 }
 
 /// Merges client histories and collects the set of `(client, seq)` pairs
@@ -261,14 +250,16 @@ fn smr_spec(nodes: u32) -> FaultSpec {
 struct PaxosTarget {
     /// Use the non-intersecting Flexible quorum spec (the injected bug).
     buggy: bool,
+    /// Batching knob for the replicas under test.
+    batch: BatchConfig,
 }
 
 impl Target for PaxosTarget {
     fn name(&self) -> &'static str {
-        if self.buggy {
-            "paxos-buggy"
-        } else {
-            "paxos"
+        match (self.buggy, self.batch.is_unbatched()) {
+            (true, _) => "paxos-buggy",
+            (false, true) => "paxos",
+            (false, false) => "paxos+batch",
         }
     }
 
@@ -284,7 +275,16 @@ impl Target for PaxosTarget {
         } else {
             QuorumSpec::Majority { n: 5 }
         };
-        let mut cluster = MultiPaxosCluster::new(spec, 5, 2, 6, NetConfig::lan(), seed);
+        let mut cluster = MultiPaxosCluster::new_with(
+            spec,
+            5,
+            2,
+            6,
+            NetConfig::lan(),
+            seed,
+            self.batch,
+            WorkloadMode::Closed,
+        );
         execute_plan(&mut cluster.sim, plan, SMR_HORIZON, 0.0, |_, _| None);
 
         let (entries, digests) = harvest_paxos(&cluster);
@@ -300,11 +300,18 @@ impl Target for PaxosTarget {
 // Raft
 // ---------------------------------------------------------------------------
 
-struct RaftTarget;
+struct RaftTarget {
+    /// Batching knob for the replicas under test.
+    batch: BatchConfig,
+}
 
 impl Target for RaftTarget {
     fn name(&self) -> &'static str {
-        "raft"
+        if self.batch.is_unbatched() {
+            "raft"
+        } else {
+            "raft+batch"
+        }
     }
 
     fn fault_spec(&self) -> FaultSpec {
@@ -312,7 +319,15 @@ impl Target for RaftTarget {
     }
 
     fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
-        let mut cluster = raft::RaftCluster::new(5, 2, 6, NetConfig::lan(), seed);
+        let mut cluster = raft::RaftCluster::new_with(
+            5,
+            2,
+            6,
+            NetConfig::lan(),
+            seed,
+            self.batch,
+            WorkloadMode::Closed,
+        );
         execute_plan(&mut cluster.sim, plan, SMR_HORIZON, 0.0, |_, _| None);
 
         let (entries, digests) = harvest_raft(&cluster);
@@ -328,11 +343,18 @@ impl Target for RaftTarget {
 // PBFT
 // ---------------------------------------------------------------------------
 
-struct PbftTarget;
+struct PbftTarget {
+    /// Batching knob for the replicas under test.
+    batch: BatchConfig,
+}
 
 impl Target for PbftTarget {
     fn name(&self) -> &'static str {
-        "pbft"
+        if self.batch.is_unbatched() {
+            "pbft"
+        } else {
+            "pbft+batch"
+        }
     }
 
     fn fault_spec(&self) -> FaultSpec {
@@ -344,7 +366,15 @@ impl Target for PbftTarget {
     }
 
     fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
-        let mut cluster = PbftCluster::new(4, 2, 5, NetConfig::lan(), seed);
+        let mut cluster = PbftCluster::new_with(
+            4,
+            2,
+            5,
+            NetConfig::lan(),
+            seed,
+            self.batch,
+            WorkloadMode::Closed,
+        );
         execute_plan(&mut cluster.sim, plan, SMR_HORIZON, 0.0, |kind, _node| {
             Some(match kind {
                 WindowKind::Mute => {
@@ -383,14 +413,14 @@ fn equivocation_filter() -> FnFilter<
     // the forged request go to `NodeId(0)`, a replica, which ignores stray
     // `Reply` messages; the key is outside the workload's keyspace so
     // histories are untouched even if the lie were ever to commit.
-    let forged = Command {
+    let forged = vec![Command {
         client: 0,
         seq: 9_999,
         op: KvCommand::Put {
             key: "evil".to_string(),
             value: "forged".to_string(),
         },
-    };
+    }];
     FnFilter(move |_from, to: NodeId, msg: &PbftMsg, _rng: &mut ChaCha20Rng| {
         if to.0.is_multiple_of(2) {
             return FilterAction::Deliver;
@@ -400,7 +430,7 @@ fn equivocation_filter() -> FnFilter<
                 view: *view,
                 n: *n,
                 digest: digest_of(&forged),
-                cmd: forged.clone(),
+                cmds: forged.clone(),
             }),
             PbftMsg::Prepare { view, n, .. } => FilterAction::Replace(PbftMsg::Prepare {
                 view: *view,
@@ -579,6 +609,27 @@ mod tests {
                 report.violations
             );
             assert!(report.ops > 0, "{} made no progress", target.name());
+        }
+    }
+
+    #[test]
+    fn batched_targets_survive_a_bounded_fault_sweep() {
+        // The satellite guarantee for the batching knob: randomized fault
+        // schedules (crashes, partitions, loss — and for PBFT, Byzantine
+        // windows) find no safety violation in any batched configuration.
+        for name in ["paxos+batch", "raft+batch", "pbft+batch"] {
+            let target = by_name(name).expect("registered");
+            assert_eq!(target.name(), name);
+            for seed in 0..5 {
+                let plan = generate(&target.fault_spec(), seed);
+                let report = target.run(seed, &plan);
+                assert!(
+                    report.violations.is_empty(),
+                    "{name} seed {seed} violated under {}: {:?}",
+                    plan.summary(),
+                    report.violations
+                );
+            }
         }
     }
 

@@ -15,7 +15,7 @@ use nemesis::{
 /// pure function of `(protocol, seed, plan)`, so this stays stable until
 /// the plan generator or the simulator changes — at which point re-sweep
 /// and update.
-const BUGGY_SEED: u64 = 161;
+const BUGGY_SEED: u64 = 323;
 
 #[test]
 fn injected_quorum_bug_is_caught_shrunk_and_replayed() {
@@ -25,10 +25,10 @@ fn injected_quorum_bug_is_caught_shrunk_and_replayed() {
         !report.violations.is_empty(),
         "seed {BUGGY_SEED} no longer triggers the injected bug; re-sweep for a new seed"
     );
+    let first = report.violations[0].to_string();
     assert!(
-        report.violations[0].to_string().contains("decided twice"),
-        "expected a conflicting decision, got: {}",
-        report.violations[0]
+        first.contains("decided twice") || first.contains("diverges"),
+        "expected a conflicting decision, got: {first}"
     );
 
     // The same seed and schedule must NOT fail the correctly configured

@@ -20,13 +20,17 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use consensus_core::driver::{BatchConfig, ClusterDriver, DecidedEntry, DriverConfig};
 use consensus_core::quorum::Phase;
 use consensus_core::smr::Slot;
-use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
+use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder, WorkloadMode};
 use consensus_core::{
-    Ballot, Command, HistorySink, KvCommand, KvResponse, QuorumSpec, ReplicatedLog, StateMachine,
+    Ballot, ClientRecord, Command, HistorySink, KvCommand, KvResponse, QuorumSpec, ReplicatedLog,
+    StateMachine,
 };
-use simnet::{CncPhase, Context, NetConfig, Node, NodeId, Payload, RunOutcome, Sim, Time, Timer};
+use simnet::{
+    CncPhase, Context, Metrics, NetConfig, Node, NodeId, Payload, RunOutcome, Sim, Time, Timer,
+};
 
 /// Span protocol label; instances are log indices.
 const SPAN: &str = "multi-paxos";
@@ -39,6 +43,10 @@ pub enum MpOp {
     Noop,
     /// A client command.
     Cmd(Command<KvCommand>),
+    /// Several client commands decided as one slot (leader-side batching).
+    /// Applied in order; always length ≥ 2 (singletons stay [`MpOp::Cmd`] so
+    /// unbatched runs are byte-identical on the wire).
+    Batch(Vec<Command<KvCommand>>),
 }
 
 /// The replicated state machine: a KV store plus the client table used for
@@ -64,23 +72,30 @@ impl MpMachine {
     }
 }
 
+impl MpMachine {
+    /// Applies one command with client-table dedup and returns the reply.
+    fn apply_one(&mut self, cmd: &Command<KvCommand>) -> (u32, u64, KvResponse) {
+        if let Some((last, out)) = self.client_table.get(&cmd.client) {
+            if cmd.seq <= *last {
+                return (cmd.client, cmd.seq, out.clone());
+            }
+        }
+        let out = self.kv.apply(&cmd.op);
+        self.client_table.insert(cmd.client, (cmd.seq, out.clone()));
+        (cmd.client, cmd.seq, out)
+    }
+}
+
 impl StateMachine for MpMachine {
     type Op = MpOp;
-    type Output = Option<KvResponse>;
+    /// One `(client, seq, reply)` per command in the op (empty for no-ops).
+    type Output = Vec<(u32, u64, KvResponse)>;
 
-    fn apply(&mut self, op: &MpOp) -> Option<KvResponse> {
+    fn apply(&mut self, op: &MpOp) -> Self::Output {
         match op {
-            MpOp::Noop => None,
-            MpOp::Cmd(cmd) => {
-                if let Some((last, out)) = self.client_table.get(&cmd.client) {
-                    if cmd.seq <= *last {
-                        return Some(out.clone());
-                    }
-                }
-                let out = self.kv.apply(&cmd.op);
-                self.client_table.insert(cmd.client, (cmd.seq, out.clone()));
-                Some(out)
-            }
+            MpOp::Noop => Vec::new(),
+            MpOp::Cmd(cmd) => vec![self.apply_one(cmd)],
+            MpOp::Batch(cmds) => cmds.iter().map(|c| self.apply_one(c)).collect(),
         }
     }
 
@@ -179,8 +194,20 @@ impl Payload for MpMsg {
     }
 
     fn size_bytes(&self) -> usize {
+        // Estimated per-op wire size; calibrated so every non-batched
+        // message keeps its historical size (`Accept`/`Decide` with a
+        // singleton op is exactly 64 bytes, `PrepareAck` is 32 + 48·entries).
+        fn op_bytes(op: &MpOp) -> usize {
+            match op {
+                MpOp::Noop | MpOp::Cmd(_) => 48,
+                MpOp::Batch(cmds) => 48 * cmds.len().max(1),
+            }
+        }
         match self {
-            MpMsg::PrepareAck { entries, .. } => 32 + entries.len() * 48,
+            MpMsg::PrepareAck { entries, .. } => {
+                32 + entries.iter().map(|(_, _, op)| op_bytes(op)).sum::<usize>()
+            }
+            MpMsg::Accept { op, .. } | MpMsg::Decide { op, .. } => 16 + op_bytes(op),
             _ => 64,
         }
     }
@@ -189,6 +216,16 @@ impl Payload for MpMsg {
 const ELECTION: u64 = 1;
 const HEARTBEAT: u64 = 2;
 const CLIENT_RETRY: u64 = 3;
+const BATCH_FLUSH: u64 = 4;
+const CLIENT_ISSUE: u64 = 5;
+const CLIENT_NUDGE: u64 = 6;
+
+/// Delay before resending after a `NotLeader` redirect. A single armed
+/// nudge (instead of an immediate resend per redirect) bounds redirect
+/// traffic to one resend per client per interval: with a transmit-limited
+/// NIC, stale redirects otherwise arrive from a growing queue and every
+/// bounce triggers another bounce — a self-sustaining request storm.
+const NUDGE_US: u64 = 2_000;
 
 /// Heartbeat period (µs).
 const HB_PERIOD: u64 = 10_000;
@@ -223,15 +260,29 @@ pub struct Replica {
     /// Leader state.
     next_index: usize,
     proposals: BTreeMap<usize, Proposal>,
-    pending_reply: BTreeMap<usize, NodeId>,
+    pending_reply: BTreeMap<(u32, u64), NodeId>,
     election_timer: Option<simnet::TimerId>,
     /// Leader changes observed (the "phase 1 only on leader change" claim).
     pub view_changes: u64,
+    /// Batching/pipelining knob.
+    batch: BatchConfig,
+    /// Commands accepted from clients but not yet proposed (leader only).
+    queue: Vec<(Command<KvCommand>, NodeId)>,
+    /// Whether a `BATCH_FLUSH` timer is armed for the open batch.
+    flush_armed: bool,
+    /// Whether the open batch's `max_delay` has expired (flush even if
+    /// underfull as soon as the pipeline window allows).
+    overdue: bool,
 }
 
 impl Replica {
-    /// Creates a replica for a cluster of `n_replicas` under `spec`.
+    /// Creates an unbatched replica for a cluster of `n_replicas`.
     pub fn new(spec: QuorumSpec, n_replicas: usize) -> Self {
+        Self::new_with(spec, n_replicas, BatchConfig::unbatched())
+    }
+
+    /// Creates a replica with the given batching/pipelining config.
+    pub fn new_with(spec: QuorumSpec, n_replicas: usize, batch: BatchConfig) -> Self {
         Replica {
             spec,
             n_replicas,
@@ -248,6 +299,10 @@ impl Replica {
             pending_reply: BTreeMap::new(),
             election_timer: None,
             view_changes: 0,
+            batch,
+            queue: Vec::new(),
+            flush_armed: false,
+            overdue: false,
         }
     }
 
@@ -270,10 +325,13 @@ impl Replica {
         self.prepare_entries.clear();
         let low = self.log.applied_len();
         ctx.phase(SPAN, low as u64, self.election_ballot.num, CncPhase::LeaderElection);
-        ctx.broadcast_all(MpMsg::Prepare {
-            ballot: self.election_ballot,
-            low,
-        });
+        ctx.send_many(
+            self.replica_ids(),
+            MpMsg::Prepare {
+                ballot: self.election_ballot,
+                low,
+            },
+        );
     }
 
     fn become_leader(&mut self, ctx: &mut Context<MpMsg>) {
@@ -290,6 +348,10 @@ impl Replica {
         for index in low..self.next_index {
             // Re-proposing a discovered value is the C&C value-discovery
             // phase made concrete: the new leader adopts what phase 1 found.
+            // Every discovered in-flight slot is re-proposed here regardless
+            // of the pipeline window — with batching the window gates only
+            // *new* flushes, never view-change recovery, so holes in the old
+            // leader's window are always filled (with no-ops if undiscovered).
             ctx.phase(SPAN, index as u64, self.promised.num, CncPhase::ValueDiscovery);
             let op = discovered
                 .get(&index)
@@ -298,9 +360,91 @@ impl Replica {
             self.propose(ctx, index, op);
         }
         ctx.set_timer(HB_PERIOD, HEARTBEAT);
-        ctx.broadcast(MpMsg::Heartbeat {
+        let hb = MpMsg::Heartbeat {
             ballot: self.promised,
-        });
+        };
+        let me = ctx.id();
+        ctx.send_many(self.replica_ids().filter(|&r| r != me), hb);
+        self.try_flush(ctx);
+    }
+
+    /// Drops leadership and any leader-only batching state. Queued commands
+    /// are abandoned; clients retransmit to the new leader.
+    fn step_down(&mut self) {
+        self.is_leader = false;
+        self.queue.clear();
+        self.overdue = false;
+        self.flush_armed = false;
+    }
+
+    /// Undecided proposals currently in flight.
+    fn in_flight(&self) -> usize {
+        self.proposals.values().filter(|p| !p.decided).count()
+    }
+
+    /// Replica node ids (`0..n_replicas`). Protocol multicast must target
+    /// this set, not the whole simulation — clients share the node space,
+    /// and with a transmit-limited NIC every stray delivery costs the
+    /// sender serialization time.
+    fn replica_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n_replicas).map(NodeId::from)
+    }
+
+    /// Proposes queued commands while the pipeline window has room. An
+    /// underfull batch is held open until `max_delay` expires (the
+    /// `BATCH_FLUSH` timer sets `overdue`); with `max_delay == 0` every
+    /// command flushes the moment the window allows — which for the
+    /// unbatched default (window = ∞) is immediately, reproducing the
+    /// pre-batching behaviour message-for-message.
+    fn try_flush(&mut self, ctx: &mut Context<MpMsg>) {
+        if !self.is_leader {
+            return;
+        }
+        while !self.queue.is_empty() {
+            if self.in_flight() >= self.batch.pipeline_window {
+                return;
+            }
+            let underfull = self.queue.len() < self.batch.max_batch.max(1);
+            if underfull && self.batch.max_delay > 0 && !self.overdue {
+                if !self.flush_armed {
+                    self.flush_armed = true;
+                    ctx.set_timer(self.batch.max_delay, BATCH_FLUSH);
+                }
+                return;
+            }
+            self.flush_one(ctx);
+        }
+        self.overdue = false;
+    }
+
+    /// Takes up to `max_batch` queued commands and proposes them as one slot.
+    fn flush_one(&mut self, ctx: &mut Context<MpMsg>) {
+        let k = self.queue.len().min(self.batch.max_batch.max(1));
+        let taken: Vec<(Command<KvCommand>, NodeId)> = self.queue.drain(..k).collect();
+        let index = self.next_index;
+        self.next_index += 1;
+        for (cmd, from) in &taken {
+            self.pending_reply.insert((cmd.client, cmd.seq), *from);
+        }
+        ctx.record_batch(k as u64);
+        let op = if taken.len() == 1 {
+            MpOp::Cmd(taken.into_iter().next().expect("len 1").0)
+        } else {
+            MpOp::Batch(taken.into_iter().map(|(c, _)| c).collect())
+        };
+        self.propose(ctx, index, op);
+    }
+
+    /// Whether `(client, seq)` is queued or proposed but not yet applied.
+    fn cmd_in_flight(&self, client: u32, seq: u64) -> bool {
+        self.queue
+            .iter()
+            .any(|(c, _)| c.client == client && c.seq == seq)
+            || self.proposals.values().any(|p| match &p.op {
+                MpOp::Cmd(c) => c.client == client && c.seq == seq,
+                MpOp::Batch(cs) => cs.iter().any(|c| c.client == client && c.seq == seq),
+                MpOp::Noop => false,
+            })
     }
 
     fn propose(&mut self, ctx: &mut Context<MpMsg>, index: usize, op: MpOp) {
@@ -314,31 +458,34 @@ impl Replica {
         );
         ctx.span_open(SPAN, index as u64, self.promised.num);
         ctx.phase(SPAN, index as u64, self.promised.num, CncPhase::Agreement);
-        ctx.broadcast_all(MpMsg::Accept {
-            ballot: self.promised,
-            index,
-            op,
-        });
+        ctx.send_many(
+            self.replica_ids(),
+            MpMsg::Accept {
+                ballot: self.promised,
+                index,
+                op,
+            },
+        );
     }
 
     fn on_decided(&mut self, ctx: &mut Context<MpMsg>, index: usize, op: MpOp) {
         let outputs = self.log.decide(index, op);
-        for (i, out) in outputs {
-            if let (Some(client_node), Some(output)) = (self.pending_reply.remove(&i), out) {
-                let (client, seq) = match self.log.slot(i) {
-                    Slot::Applied(MpOp::Cmd(cmd)) => (cmd.client, cmd.seq),
-                    _ => continue,
-                };
-                ctx.send(
-                    client_node,
-                    MpMsg::Reply {
-                        client,
-                        seq,
-                        output,
-                    },
-                );
+        for (_i, replies) in outputs {
+            for (client, seq, output) in replies {
+                if let Some(client_node) = self.pending_reply.remove(&(client, seq)) {
+                    ctx.send(
+                        client_node,
+                        MpMsg::Reply {
+                            client,
+                            seq,
+                            output,
+                        },
+                    );
+                }
             }
         }
+        // A decided slot may free pipeline-window room for queued commands.
+        self.try_flush(ctx);
     }
 
     fn leader_hint(&self) -> NodeId {
@@ -384,23 +531,18 @@ impl Node for Replica {
                     return;
                 }
                 // Already in flight? (client retried while we're deciding)
-                let in_flight = self.proposals.values().any(|p| {
-                    matches!(&p.op, MpOp::Cmd(c) if c.client == cmd.client && c.seq == cmd.seq)
-                });
-                if in_flight {
+                if self.cmd_in_flight(cmd.client, cmd.seq) {
                     return;
                 }
-                let index = self.next_index;
-                self.next_index += 1;
-                self.pending_reply.insert(index, from);
-                self.propose(ctx, index, MpOp::Cmd(cmd));
+                self.queue.push((cmd, from));
+                self.try_flush(ctx);
             }
 
             MpMsg::Prepare { ballot, low } => {
                 if ballot >= self.promised {
                     let stepping_down = self.is_leader && ballot.proposer() != ctx.id();
                     if stepping_down {
-                        self.is_leader = false;
+                        self.step_down();
                     }
                     self.promised = ballot;
                     self.arm_election_timer(ctx);
@@ -437,7 +579,7 @@ impl Node for Replica {
             MpMsg::Accept { ballot, index, op } => {
                 if ballot >= self.promised {
                     if self.is_leader && ballot.proposer() != ctx.id() {
-                        self.is_leader = false;
+                        self.step_down();
                     }
                     self.promised = ballot;
                     self.accepted.insert(index, (ballot, op));
@@ -459,10 +601,14 @@ impl Node for Replica {
                             let op = p.op.clone();
                             ctx.phase(SPAN, index as u64, ballot.num, CncPhase::Decision);
                             ctx.span_close(SPAN, index as u64, ballot.num);
-                            ctx.broadcast(MpMsg::Decide {
-                                index,
-                                op: op.clone(),
-                            });
+                            let me = ctx.id();
+                            ctx.send_many(
+                                self.replica_ids().filter(|&r| r != me),
+                                MpMsg::Decide {
+                                    index,
+                                    op: op.clone(),
+                                },
+                            );
                             self.on_decided(ctx, index, op);
                         }
                     }
@@ -480,7 +626,7 @@ impl Node for Replica {
             MpMsg::Heartbeat { ballot } => {
                 if ballot >= self.promised {
                     if self.is_leader && ballot.proposer() != ctx.id() {
-                        self.is_leader = false;
+                        self.step_down();
                     }
                     self.promised = ballot;
                     self.arm_election_timer(ctx);
@@ -503,18 +649,29 @@ impl Node for Replica {
             }
             HEARTBEAT
                 if self.is_leader => {
-                    ctx.broadcast(MpMsg::Heartbeat {
+                    let hb = MpMsg::Heartbeat {
                         ballot: self.promised,
-                    });
+                    };
+                    let me = ctx.id();
+                    ctx.send_many(self.replica_ids().filter(|&r| r != me), hb);
                     ctx.set_timer(HB_PERIOD, HEARTBEAT);
                 }
+            BATCH_FLUSH => {
+                self.flush_armed = false;
+                if self.is_leader && !self.queue.is_empty() {
+                    // The open batch's grace period is over: flush underfull
+                    // as soon as the pipeline window allows.
+                    self.overdue = true;
+                    self.try_flush(ctx);
+                }
+            }
             _ => {}
         }
     }
 
     fn on_restart(&mut self, ctx: &mut Context<MpMsg>) {
         // promised/accepted/log are durable; leadership is not.
-        self.is_leader = false;
+        self.step_down();
         self.electing = false;
         self.proposals.clear();
         self.pending_reply.clear();
@@ -523,18 +680,23 @@ impl Node for Replica {
     }
 }
 
-/// A closed-loop client issuing `total` commands from a deterministic
-/// workload and recording latencies.
+/// A workload client: closed loop (one outstanding command, the default) or
+/// open loop (fixed inter-arrival time, multiple outstanding).
 pub struct Client {
     /// Client id (== its node id).
     pub client_id: u32,
     n_replicas: usize,
     workload: KvWorkload,
     total: usize,
+    mode: WorkloadMode,
     /// Completed commands.
     pub completed: usize,
-    current: Option<(Command<KvCommand>, Time)>,
+    /// Issued-but-unreplied commands, by client sequence number.
+    outstanding: BTreeMap<u64, (Command<KvCommand>, Time)>,
     leader_guess: NodeId,
+    nudge_armed: bool,
+    /// Consecutive `CLIENT_RETRY` expiries with no reply or redirect.
+    retry_strikes: u8,
     /// Request → reply latencies.
     pub latencies: LatencyRecorder,
     /// Invoke/response history for safety checking.
@@ -542,38 +704,54 @@ pub struct Client {
 }
 
 impl Client {
-    /// Creates a client that will issue `total` commands.
+    /// Creates a closed-loop client that will issue `total` commands.
     pub fn new(client_id: u32, n_replicas: usize, total: usize, mix: KvMix, seed: u64) -> Self {
+        Self::new_with(client_id, n_replicas, total, mix, seed, WorkloadMode::Closed)
+    }
+
+    /// Creates a client with an explicit pacing mode.
+    pub fn new_with(
+        client_id: u32,
+        n_replicas: usize,
+        total: usize,
+        mix: KvMix,
+        seed: u64,
+        mode: WorkloadMode,
+    ) -> Self {
         Client {
             client_id,
             n_replicas,
             workload: KvWorkload::new(client_id, mix, seed),
             total,
+            mode,
             completed: 0,
-            current: None,
+            outstanding: BTreeMap::new(),
             leader_guess: NodeId(0),
+            nudge_armed: false,
+            retry_strikes: 0,
             latencies: LatencyRecorder::new(),
             history: HistorySink::new(),
         }
     }
 
-    fn send_next(&mut self, ctx: &mut Context<MpMsg>) {
-        if self.completed >= self.total {
-            self.current = None;
+    fn issue_next(&mut self, ctx: &mut Context<MpMsg>) {
+        if self.workload.issued() as usize >= self.total {
             return;
         }
         let cmd = self.workload.next_command();
         self.history
             .invoke(cmd.client, cmd.seq, cmd.op.clone(), ctx.now().0);
-        self.current = Some((cmd.clone(), ctx.now()));
+        self.outstanding.insert(cmd.seq, (cmd.clone(), ctx.now()));
         ctx.send(self.leader_guess, MpMsg::Request { cmd });
         ctx.set_timer(100_000, CLIENT_RETRY);
     }
 
-    fn resend(&mut self, ctx: &mut Context<MpMsg>) {
-        if let Some((cmd, _)) = &self.current {
+    fn resend_all(&mut self, ctx: &mut Context<MpMsg>) {
+        for (cmd, _) in self.outstanding.values() {
             let cmd = cmd.clone();
             ctx.send(self.leader_guess, MpMsg::Request { cmd });
+        }
+        if !self.outstanding.is_empty() {
             ctx.set_timer(100_000, CLIENT_RETRY);
         }
     }
@@ -588,35 +766,39 @@ impl Node for Client {
     type Msg = MpMsg;
 
     fn on_start(&mut self, ctx: &mut Context<MpMsg>) {
-        self.send_next(ctx);
+        self.issue_next(ctx);
+        if let WorkloadMode::Open { interval_us } = self.mode {
+            ctx.set_timer(interval_us.max(1), CLIENT_ISSUE);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<MpMsg>, from: NodeId, msg: MpMsg) {
         match msg {
             MpMsg::Reply { seq, output, .. } => {
-                if let Some((cmd, sent_at)) = &self.current {
-                    if cmd.seq == seq {
-                        let sent = *sent_at;
-                        self.history
-                            .complete(cmd.client, cmd.seq, ctx.now().0, output);
-                        self.latencies.record(sent, ctx.now());
-                        self.completed += 1;
-                        self.current = None;
-                        self.send_next(ctx);
+                self.retry_strikes = 0;
+                if let Some((cmd, sent_at)) = self.outstanding.remove(&seq) {
+                    self.history
+                        .complete(cmd.client, cmd.seq, ctx.now().0, output);
+                    self.latencies.record(sent_at, ctx.now());
+                    self.completed += 1;
+                    if self.mode == WorkloadMode::Closed {
+                        self.issue_next(ctx);
                     }
                 }
             }
             MpMsg::NotLeader { seq, hint } => {
-                if let Some((cmd, _)) = &self.current {
-                    if cmd.seq == seq {
-                        // Follow the hint unless it points back at the
-                        // replier; then probe round-robin.
-                        self.leader_guess = if hint != from && hint.index() < self.n_replicas {
-                            hint
-                        } else {
-                            NodeId::from((from.index() + 1) % self.n_replicas)
-                        };
-                        self.resend(ctx);
+                self.retry_strikes = 0;
+                if self.outstanding.contains_key(&seq) {
+                    // Follow the hint unless it points back at the
+                    // replier; then probe round-robin.
+                    self.leader_guess = if hint != from && hint.index() < self.n_replicas {
+                        hint
+                    } else {
+                        NodeId::from((from.index() + 1) % self.n_replicas)
+                    };
+                    if !self.nudge_armed {
+                        self.nudge_armed = true;
+                        ctx.set_timer(NUDGE_US, CLIENT_NUDGE);
                     }
                 }
             }
@@ -625,10 +807,35 @@ impl Node for Client {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<MpMsg>, timer: Timer) {
-        if timer.kind == CLIENT_RETRY && self.current.is_some() {
-            // No reply: rotate the guess and retry.
-            self.leader_guess = NodeId::from((self.leader_guess.index() + 1) % self.n_replicas);
-            self.resend(ctx);
+        match timer.kind {
+            CLIENT_RETRY if !self.outstanding.is_empty() => {
+                // First expiry resends to the current guess (the reply may
+                // just be slow under load); only repeated silence rotates —
+                // eagerly rotating off a live-but-saturated leader turns
+                // every >100 ms reply into a redirect round-trip.
+                self.retry_strikes = self.retry_strikes.saturating_add(1);
+                if self.retry_strikes >= 2 {
+                    self.retry_strikes = 0;
+                    self.leader_guess =
+                        NodeId::from((self.leader_guess.index() + 1) % self.n_replicas);
+                }
+                self.resend_all(ctx);
+            }
+            CLIENT_NUDGE => {
+                self.nudge_armed = false;
+                if !self.outstanding.is_empty() {
+                    self.resend_all(ctx);
+                }
+            }
+            CLIENT_ISSUE => {
+                self.issue_next(ctx);
+                if let WorkloadMode::Open { interval_us } = self.mode {
+                    if (self.workload.issued() as usize) < self.total {
+                        ctx.set_timer(interval_us.max(1), CLIENT_ISSUE);
+                    }
+                }
+            }
+            _ => {}
         }
     }
 }
@@ -654,8 +861,9 @@ pub struct MultiPaxosCluster {
 }
 
 impl MultiPaxosCluster {
-    /// Builds a cluster of `n_replicas` replicas under `spec` plus
-    /// `n_clients` clients issuing `cmds_per_client` commands each.
+    /// Builds an unbatched, closed-loop cluster of `n_replicas` replicas
+    /// under `spec` plus `n_clients` clients issuing `cmds_per_client`
+    /// commands each.
     pub fn new(
         spec: QuorumSpec,
         n_replicas: usize,
@@ -664,14 +872,45 @@ impl MultiPaxosCluster {
         config: NetConfig,
         seed: u64,
     ) -> Self {
+        Self::new_with(
+            spec,
+            n_replicas,
+            n_clients,
+            cmds_per_client,
+            config,
+            seed,
+            BatchConfig::unbatched(),
+            WorkloadMode::Closed,
+        )
+    }
+
+    /// Builds a cluster with explicit batching and client-pacing configs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with(
+        spec: QuorumSpec,
+        n_replicas: usize,
+        n_clients: usize,
+        cmds_per_client: usize,
+        config: NetConfig,
+        seed: u64,
+        batch: BatchConfig,
+        mode: WorkloadMode,
+    ) -> Self {
         assert_eq!(spec.n(), n_replicas, "quorum spec must match replica count");
         let mut sim = Sim::new(config, seed);
         for _ in 0..n_replicas {
-            sim.add_node(Replica::new(spec, n_replicas));
+            sim.add_node(Replica::new_with(spec, n_replicas, batch));
         }
         for c in 0..n_clients {
             let id = (n_replicas + c) as u32;
-            sim.add_node(Client::new(id, n_replicas, cmds_per_client, KvMix::default(), seed));
+            sim.add_node(Client::new_with(
+                id,
+                n_replicas,
+                cmds_per_client,
+                KvMix::default(),
+                seed,
+                mode,
+            ));
         }
         MultiPaxosCluster {
             sim,
@@ -768,6 +1007,143 @@ impl MultiPaxosCluster {
             }
         }
         agg
+    }
+}
+
+/// Sub-index stride for flattening batched slots into per-command
+/// [`DecidedEntry`] indices: command `j` of slot `i` gets `i·2²⁰ + j`.
+const SUB_INDEX: u64 = 1 << 20;
+
+impl ClusterDriver for MultiPaxosCluster {
+    fn from_config(cfg: &DriverConfig) -> Self {
+        MultiPaxosCluster::new_with(
+            QuorumSpec::Majority { n: cfg.n_replicas },
+            cfg.n_replicas,
+            cfg.n_clients,
+            cfg.cmds_per_client,
+            cfg.net.clone(),
+            cfg.seed,
+            cfg.batch,
+            cfg.mode,
+        )
+    }
+
+    fn protocol(&self) -> &'static str {
+        "multi-paxos"
+    }
+
+    fn n_replicas(&self) -> usize {
+        self.n_replicas
+    }
+
+    fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    fn run_until(&mut self, at: Time) -> RunOutcome {
+        let mut guard = 0;
+        loop {
+            let outcome = self.sim.run_until(at);
+            if outcome != RunOutcome::Stopped || guard > 10_000 {
+                return outcome;
+            }
+            guard += 1;
+        }
+    }
+
+    fn run(&mut self, horizon: Time) -> bool {
+        MultiPaxosCluster::run(self, horizon)
+    }
+
+    fn all_done(&self) -> bool {
+        MultiPaxosCluster::all_done(self)
+    }
+
+    fn completed_ops(&self) -> usize {
+        self.total_completed()
+    }
+
+    fn decided_log(&self) -> Vec<DecidedEntry> {
+        let mut entries = Vec::new();
+        for (id, proc_) in self.sim.nodes() {
+            let Proc::Replica(r) = proc_ else { continue };
+            for i in 0..r.log.len() {
+                let op = match r.log.slot(i) {
+                    Slot::Decided(op) | Slot::Applied(op) => op,
+                    Slot::Empty => continue,
+                };
+                let base = i as u64 * SUB_INDEX;
+                match op {
+                    MpOp::Noop => entries.push(DecidedEntry {
+                        node: id.0,
+                        index: base,
+                        op: "Noop".to_string(),
+                        origin: None,
+                    }),
+                    MpOp::Cmd(cmd) => entries.push(DecidedEntry {
+                        node: id.0,
+                        index: base,
+                        op: format!("{cmd:?}"),
+                        origin: Some((cmd.client, cmd.seq)),
+                    }),
+                    MpOp::Batch(cmds) => {
+                        for (j, cmd) in cmds.iter().enumerate() {
+                            entries.push(DecidedEntry {
+                                node: id.0,
+                                index: base + j as u64,
+                                op: format!("{cmd:?}"),
+                                origin: Some((cmd.client, cmd.seq)),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        entries
+    }
+
+    fn state_digests(&self) -> Vec<(u32, u64, u64)> {
+        self.sim
+            .nodes()
+            .filter_map(|(id, p)| match p {
+                Proc::Replica(r) => {
+                    Some((id.0, r.log.applied_len() as u64, r.log.machine().digest()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn history(&self) -> Vec<ClientRecord> {
+        HistorySink::merge(self.clients().map(|c| &c.history))
+    }
+
+    fn latencies(&self) -> LatencyRecorder {
+        MultiPaxosCluster::latencies(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    fn crash_at(&mut self, node: NodeId, at: Time) {
+        self.sim.crash_at(node, at);
+    }
+
+    fn restart_at(&mut self, node: NodeId, at: Time) {
+        self.sim.restart_at(node, at);
+    }
+
+    fn partition_at(&mut self, at: Time, groups: Vec<Vec<NodeId>>) {
+        self.sim.partition_at(at, groups);
+    }
+
+    fn heal_at(&mut self, at: Time) {
+        self.sim.heal_at(at);
+    }
+
+    fn set_drop_prob(&mut self, p: f64) {
+        self.sim.set_drop_prob(p);
     }
 }
 
@@ -903,6 +1279,131 @@ mod tests {
             )
         };
         assert_eq!(run(7), run(7));
+    }
+
+    /// Flattened decided `(client, seq)` sequence from the replica with the
+    /// longest applied prefix.
+    fn flattened_decisions(cluster: &MultiPaxosCluster) -> Vec<(u32, u64)> {
+        let r = cluster
+            .replicas()
+            .max_by_key(|r| r.log.applied_len())
+            .expect("replicas");
+        let mut seq = Vec::new();
+        for i in 0..r.log.applied_len() {
+            if let Slot::Applied(op) = r.log.slot(i) {
+                match op {
+                    MpOp::Noop => {}
+                    MpOp::Cmd(c) => seq.push((c.client, c.seq)),
+                    MpOp::Batch(cs) => seq.extend(cs.iter().map(|c| (c.client, c.seq))),
+                }
+            }
+        }
+        seq
+    }
+
+    #[test]
+    fn batched_runs_decide_the_same_command_sequence() {
+        // Same seed + workload under a synchronous (draw-free) network:
+        // every batched/pipelined config must decide exactly the sequence
+        // the unbatched default decides, merely grouped into fewer slots.
+        let decided = |batch: BatchConfig| {
+            let mut cluster = MultiPaxosCluster::new_with(
+                QuorumSpec::Majority { n: 3 },
+                3,
+                2,
+                20,
+                NetConfig::synchronous(),
+                42,
+                batch,
+                WorkloadMode::Closed,
+            );
+            assert!(cluster.run(Time::from_secs(30)), "{} stalled", batch.label());
+            cluster.check_log_consistency();
+            flattened_decisions(&cluster)
+        };
+        let unbatched = decided(BatchConfig::unbatched());
+        assert_eq!(unbatched.len(), 40);
+        for b in [
+            BatchConfig::new(4, 200, 2),
+            BatchConfig::new(8, 500, 4),
+            BatchConfig::new(2, 0, 1),
+        ] {
+            assert_eq!(decided(b), unbatched, "config {} diverged", b.label());
+        }
+    }
+
+    #[test]
+    fn leader_crash_with_pipeline_window_refills_in_flight_slots() {
+        // Regression: with a pipeline window > 1 a leader crash leaves
+        // several undecided slots (possibly with holes). The new leader's
+        // phase 1 must re-propose every discovered slot and no-op-fill the
+        // holes, regardless of the window.
+        let mut cluster = MultiPaxosCluster::new_with(
+            QuorumSpec::Majority { n: 5 },
+            5,
+            4,
+            10,
+            NetConfig::lan(),
+            11,
+            BatchConfig::new(2, 300, 4),
+            WorkloadMode::Closed,
+        );
+        cluster.sim.run_until(Time::from_millis(80));
+        let leader = cluster.leader().expect("leader by 80ms");
+        cluster.sim.crash_at(leader, Time::from_millis(81));
+        assert!(
+            cluster.run(Time::from_secs(30)),
+            "clients stalled after failover: {} done",
+            cluster.total_completed()
+        );
+        assert_eq!(cluster.total_completed(), 40);
+        cluster.check_log_consistency();
+    }
+
+    #[test]
+    fn open_loop_clients_build_real_batches() {
+        // Open-loop arrivals outpace the pipeline window, so the leader's
+        // queue fills and multi-command batches actually form.
+        let mut cluster = MultiPaxosCluster::new_with(
+            QuorumSpec::Majority { n: 3 },
+            3,
+            2,
+            30,
+            NetConfig::lan(),
+            9,
+            BatchConfig::new(8, 400, 2),
+            WorkloadMode::Open { interval_us: 200 },
+        );
+        assert!(cluster.run(Time::from_secs(30)));
+        assert_eq!(cluster.total_completed(), 60);
+        cluster.check_log_consistency();
+        let h = &cluster.sim.metrics().batch_size;
+        assert!(
+            h.max().unwrap_or(0) > 1,
+            "batches never formed: max {:?}",
+            h.max()
+        );
+    }
+
+    #[test]
+    fn cluster_driver_trait_drives_and_harvests() {
+        use consensus_core::driver::ByzantineWindow;
+        let mut cluster = MultiPaxosCluster::from_config(&DriverConfig::new(3, 2, 5, 7));
+        let drv: &mut dyn ClusterDriver = &mut cluster;
+        assert_eq!(drv.protocol(), "multi-paxos");
+        assert_eq!(drv.n_replicas(), 3);
+        assert!(drv.run(Time::from_secs(10)));
+        assert!(drv.all_done());
+        assert_eq!(drv.completed_ops(), 10);
+        assert_eq!(drv.state_digests().len(), 3);
+        assert_eq!(drv.history().len(), 10);
+        assert_eq!(drv.issued().len(), 10);
+        assert_eq!(drv.latencies().count(), 10);
+        let log = drv.decided_log();
+        assert!(log.iter().filter(|e| e.node == 0 && e.origin.is_some()).count() >= 10);
+        assert!(drv.metrics().sent > 0);
+        // Crash-fault protocol: Byzantine windows are unsupported.
+        assert!(!drv.open_byzantine_window(ByzantineWindow::Mute, NodeId(1)));
     }
 
     #[test]

@@ -1,12 +1,25 @@
-//! Closed-loop Raft client (same workload shape as `paxos::multi::Client`).
+//! Raft workload client (same shape as `paxos::multi::Client`): closed-loop
+//! by default, optionally open-loop with a fixed issue interval so batching
+//! experiments can saturate the leader.
 
-use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder};
+use std::collections::BTreeMap;
+
+use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder, WorkloadMode};
 use consensus_core::{Command, HistorySink, KvCommand};
 use simnet::{Context, Node, NodeId, Time, Timer};
 
 use crate::msg::RaftMsg;
 
 const CLIENT_RETRY: u64 = 100;
+const CLIENT_ISSUE: u64 = 101;
+const CLIENT_NUDGE: u64 = 102;
+
+/// Delay before resending after a `NotLeader` redirect. A single armed
+/// nudge (instead of an immediate resend per redirect) bounds redirect
+/// traffic to one resend per client per interval: with a transmit-limited
+/// NIC, stale redirects otherwise arrive from a growing queue and every
+/// bounce triggers another bounce — a self-sustaining request storm.
+const NUDGE_US: u64 = 2_000;
 
 /// A client issuing `total` commands from a deterministic workload.
 pub struct Client {
@@ -15,10 +28,15 @@ pub struct Client {
     n_replicas: usize,
     workload: KvWorkload,
     total: usize,
+    mode: WorkloadMode,
     /// Commands completed.
     pub completed: usize,
-    current: Option<(Command<KvCommand>, Time)>,
+    /// Issued-but-unreplied commands, by client sequence number.
+    outstanding: BTreeMap<u64, (Command<KvCommand>, Time)>,
     leader_guess: NodeId,
+    nudge_armed: bool,
+    /// Consecutive `CLIENT_RETRY` expiries with no reply or redirect.
+    retry_strikes: u8,
     /// Request → reply latencies.
     pub latencies: LatencyRecorder,
     /// Invoke/response history for safety checking.
@@ -26,16 +44,31 @@ pub struct Client {
 }
 
 impl Client {
-    /// Creates a client that will issue `total` commands.
+    /// Creates a closed-loop client that will issue `total` commands.
     pub fn new(client_id: u32, n_replicas: usize, total: usize, mix: KvMix, seed: u64) -> Self {
+        Self::new_with(client_id, n_replicas, total, mix, seed, WorkloadMode::Closed)
+    }
+
+    /// Creates a client with an explicit pacing mode.
+    pub fn new_with(
+        client_id: u32,
+        n_replicas: usize,
+        total: usize,
+        mix: KvMix,
+        seed: u64,
+        mode: WorkloadMode,
+    ) -> Self {
         Client {
             client_id,
             n_replicas,
             workload: KvWorkload::new(client_id, mix, seed),
             total,
+            mode,
             completed: 0,
-            current: None,
+            outstanding: BTreeMap::new(),
             leader_guess: NodeId(0),
+            nudge_armed: false,
+            retry_strikes: 0,
             latencies: LatencyRecorder::new(),
             history: HistorySink::new(),
         }
@@ -46,23 +79,24 @@ impl Client {
         self.completed >= self.total
     }
 
-    fn send_next(&mut self, ctx: &mut Context<RaftMsg>) {
-        if self.done() {
-            self.current = None;
+    fn issue_next(&mut self, ctx: &mut Context<RaftMsg>) {
+        if self.workload.issued() as usize >= self.total {
             return;
         }
         let cmd = self.workload.next_command();
         self.history
             .invoke(cmd.client, cmd.seq, cmd.op.clone(), ctx.now().0);
-        self.current = Some((cmd.clone(), ctx.now()));
+        self.outstanding.insert(cmd.seq, (cmd.clone(), ctx.now()));
         ctx.send(self.leader_guess, RaftMsg::Request { cmd });
         ctx.set_timer(100_000, CLIENT_RETRY);
     }
 
-    fn resend(&mut self, ctx: &mut Context<RaftMsg>) {
-        if let Some((cmd, _)) = &self.current {
+    fn resend_all(&mut self, ctx: &mut Context<RaftMsg>) {
+        for (cmd, _) in self.outstanding.values() {
             let cmd = cmd.clone();
             ctx.send(self.leader_guess, RaftMsg::Request { cmd });
+        }
+        if !self.outstanding.is_empty() {
             ctx.set_timer(100_000, CLIENT_RETRY);
         }
     }
@@ -72,33 +106,39 @@ impl Node for Client {
     type Msg = RaftMsg;
 
     fn on_start(&mut self, ctx: &mut Context<RaftMsg>) {
-        self.send_next(ctx);
+        self.issue_next(ctx);
+        if let WorkloadMode::Open { interval_us } = self.mode {
+            ctx.set_timer(interval_us.max(1), CLIENT_ISSUE);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<RaftMsg>, from: NodeId, msg: RaftMsg) {
         match msg {
             RaftMsg::Reply { seq, output, .. } => {
-                if let Some((cmd, sent_at)) = &self.current {
-                    if cmd.seq == seq {
-                        let sent = *sent_at;
-                        self.history
-                            .complete(cmd.client, cmd.seq, ctx.now().0, output);
-                        self.latencies.record(sent, ctx.now());
-                        self.completed += 1;
-                        self.current = None;
-                        self.send_next(ctx);
+                self.retry_strikes = 0;
+                if let Some((cmd, sent_at)) = self.outstanding.remove(&seq) {
+                    self.history
+                        .complete(cmd.client, cmd.seq, ctx.now().0, output);
+                    self.latencies.record(sent_at, ctx.now());
+                    self.completed += 1;
+                    if self.mode == WorkloadMode::Closed {
+                        self.issue_next(ctx);
                     }
                 }
             }
             RaftMsg::NotLeader { seq, hint } => {
-                if let Some((cmd, _)) = &self.current {
-                    if cmd.seq == seq {
-                        self.leader_guess = if hint != from && hint.index() < self.n_replicas {
-                            hint
-                        } else {
-                            NodeId::from((from.index() + 1) % self.n_replicas)
-                        };
-                        self.resend(ctx);
+                self.retry_strikes = 0;
+                if self.outstanding.contains_key(&seq) {
+                    // Follow the hint unless it points back at the replier;
+                    // then probe round-robin.
+                    self.leader_guess = if hint != from && hint.index() < self.n_replicas {
+                        hint
+                    } else {
+                        NodeId::from((from.index() + 1) % self.n_replicas)
+                    };
+                    if !self.nudge_armed {
+                        self.nudge_armed = true;
+                        ctx.set_timer(NUDGE_US, CLIENT_NUDGE);
                     }
                 }
             }
@@ -107,9 +147,35 @@ impl Node for Client {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<RaftMsg>, timer: Timer) {
-        if timer.kind == CLIENT_RETRY && self.current.is_some() {
-            self.leader_guess = NodeId::from((self.leader_guess.index() + 1) % self.n_replicas);
-            self.resend(ctx);
+        match timer.kind {
+            CLIENT_RETRY if !self.outstanding.is_empty() => {
+                // First expiry resends to the current guess (the reply may
+                // just be slow under load); only repeated silence rotates —
+                // eagerly rotating off a live-but-saturated leader turns
+                // every >100 ms reply into a redirect round-trip.
+                self.retry_strikes = self.retry_strikes.saturating_add(1);
+                if self.retry_strikes >= 2 {
+                    self.retry_strikes = 0;
+                    self.leader_guess =
+                        NodeId::from((self.leader_guess.index() + 1) % self.n_replicas);
+                }
+                self.resend_all(ctx);
+            }
+            CLIENT_NUDGE => {
+                self.nudge_armed = false;
+                if !self.outstanding.is_empty() {
+                    self.resend_all(ctx);
+                }
+            }
+            CLIENT_ISSUE => {
+                self.issue_next(ctx);
+                if let WorkloadMode::Open { interval_us } = self.mode {
+                    if (self.workload.issued() as usize) < self.total {
+                        ctx.set_timer(interval_us.max(1), CLIENT_ISSUE);
+                    }
+                }
+            }
+            _ => {}
         }
     }
 }

@@ -1,7 +1,10 @@
 //! Cluster harness and end-to-end tests for Raft.
 
-use consensus_core::workload::{KvMix, LatencyRecorder};
-use simnet::{NetConfig, NodeId, RunOutcome, Sim, Time};
+use consensus_core::driver::{BatchConfig, ClusterDriver, DecidedEntry, DriverConfig};
+use consensus_core::history::ClientRecord;
+use consensus_core::workload::{KvMix, LatencyRecorder, WorkloadMode};
+use consensus_core::{HistorySink, SmrOp, StateMachine as _};
+use simnet::{Metrics, NetConfig, NodeId, RunOutcome, Sim, Time};
 
 use crate::client::Client;
 use crate::replica::{Replica, Role};
@@ -18,8 +21,8 @@ pub struct RaftCluster {
 }
 
 impl RaftCluster {
-    /// Builds `n_replicas` replicas plus `n_clients` clients issuing
-    /// `cmds_per_client` commands each.
+    /// Builds an unbatched, closed-loop cluster of `n_replicas` replicas
+    /// plus `n_clients` clients issuing `cmds_per_client` commands each.
     pub fn new(
         n_replicas: usize,
         n_clients: usize,
@@ -27,18 +30,40 @@ impl RaftCluster {
         config: NetConfig,
         seed: u64,
     ) -> Self {
+        Self::new_with(
+            n_replicas,
+            n_clients,
+            cmds_per_client,
+            config,
+            seed,
+            BatchConfig::unbatched(),
+            WorkloadMode::Closed,
+        )
+    }
+
+    /// Builds a cluster with explicit batching and client-pacing configs.
+    pub fn new_with(
+        n_replicas: usize,
+        n_clients: usize,
+        cmds_per_client: usize,
+        config: NetConfig,
+        seed: u64,
+        batch: BatchConfig,
+        mode: WorkloadMode,
+    ) -> Self {
         let mut sim = Sim::new(config, seed);
         for _ in 0..n_replicas {
-            sim.add_node(Replica::new(n_replicas));
+            sim.add_node(Replica::new_with(n_replicas, batch));
         }
         for c in 0..n_clients {
             let id = (n_replicas + c) as u32;
-            sim.add_node(Client::new(
+            sim.add_node(Client::new_with(
                 id,
                 n_replicas,
                 cmds_per_client,
                 KvMix::default(),
                 seed,
+                mode,
             ));
         }
         RaftCluster {
@@ -156,10 +181,121 @@ impl RaftCluster {
     }
 }
 
+impl ClusterDriver for RaftCluster {
+    fn from_config(cfg: &DriverConfig) -> Self {
+        RaftCluster::new_with(
+            cfg.n_replicas,
+            cfg.n_clients,
+            cfg.cmds_per_client,
+            cfg.net.clone(),
+            cfg.seed,
+            cfg.batch,
+            cfg.mode,
+        )
+    }
+
+    fn protocol(&self) -> &'static str {
+        "raft"
+    }
+
+    fn n_replicas(&self) -> usize {
+        self.n_replicas
+    }
+
+    fn now(&self) -> Time {
+        self.sim.now()
+    }
+
+    fn run_until(&mut self, at: Time) -> RunOutcome {
+        let mut guard = 0;
+        loop {
+            let outcome = self.sim.run_until(at);
+            if outcome != RunOutcome::Stopped || guard > 10_000 {
+                return outcome;
+            }
+            guard += 1;
+        }
+    }
+
+    fn run(&mut self, horizon: Time) -> bool {
+        RaftCluster::run(self, horizon)
+    }
+
+    fn all_done(&self) -> bool {
+        RaftCluster::all_done(self)
+    }
+
+    fn completed_ops(&self) -> usize {
+        self.total_completed()
+    }
+
+    fn decided_log(&self) -> Vec<DecidedEntry> {
+        let mut entries = Vec::new();
+        for (id, proc_) in self.sim.nodes() {
+            let Proc::Replica(r) = proc_ else { continue };
+            for i in (r.log_offset() + 1)..=r.commit_index {
+                let Some(entry) = r.entry(i) else { continue };
+                let origin = match &entry.op {
+                    SmrOp::Cmd(cmd) => Some((cmd.client, cmd.seq)),
+                    SmrOp::Noop => None,
+                };
+                entries.push(DecidedEntry {
+                    node: id.0,
+                    index: i as u64,
+                    op: format!("t{}:{:?}", entry.term, entry.op),
+                    origin,
+                });
+            }
+        }
+        entries
+    }
+
+    fn state_digests(&self) -> Vec<(u32, u64, u64)> {
+        self.sim
+            .nodes()
+            .filter_map(|(id, p)| match p {
+                Proc::Replica(r) => Some((id.0, r.last_applied as u64, r.machine().digest())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn history(&self) -> Vec<ClientRecord> {
+        HistorySink::merge(self.clients().map(|c| &c.history))
+    }
+
+    fn latencies(&self) -> LatencyRecorder {
+        RaftCluster::latencies(self)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    fn crash_at(&mut self, node: NodeId, at: Time) {
+        self.sim.crash_at(node, at);
+    }
+
+    fn restart_at(&mut self, node: NodeId, at: Time) {
+        self.sim.restart_at(node, at);
+    }
+
+    fn partition_at(&mut self, at: Time, groups: Vec<Vec<NodeId>>) {
+        self.sim.partition_at(at, groups);
+    }
+
+    fn heal_at(&mut self, at: Time) {
+        self.sim.heal_at(at);
+    }
+
+    fn set_drop_prob(&mut self, p: f64) {
+        self.sim.set_drop_prob(p);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use consensus_core::StateMachine as _;
 
     #[test]
     fn elects_a_leader() {
@@ -362,6 +498,111 @@ mod tests {
             .map(|r| r.machine().digest())
             .collect();
         assert!(digests.len() <= 1, "divergence after snapshot: {digests:?}");
+    }
+
+    /// Flattened committed `(client, seq)` sequence from the replica that
+    /// committed the most entries (no-ops excluded).
+    fn committed_origins(cluster: &RaftCluster) -> Vec<(u32, u64)> {
+        let log = ClusterDriver::decided_log(cluster);
+        let best = (0..cluster.n_replicas as u32)
+            .max_by_key(|n| log.iter().filter(|e| e.node == *n).count())
+            .unwrap();
+        log.iter()
+            .filter(|e| e.node == best)
+            .filter_map(|e| e.origin)
+            .collect()
+    }
+
+    #[test]
+    fn batched_runs_commit_the_same_command_sequence() {
+        // Same seed + workload under a synchronous (draw-free) network:
+        // batched replication must commit the same command sequence the
+        // unbatched default commits — batching only changes how entries are
+        // grouped into AppendEntries waves. Terms may differ, so compare
+        // origins rather than rendered ops.
+        let committed = |batch: BatchConfig| {
+            let mut cluster = RaftCluster::new_with(
+                3,
+                2,
+                20,
+                NetConfig::synchronous(),
+                42,
+                batch,
+                WorkloadMode::Closed,
+            );
+            assert!(cluster.run(Time::from_secs(30)), "{} stalled", batch.label());
+            cluster.check_log_matching();
+            committed_origins(&cluster)
+        };
+        let unbatched = committed(BatchConfig::unbatched());
+        assert_eq!(unbatched.len(), 40);
+        for b in [
+            BatchConfig::new(4, 200, 2),
+            BatchConfig::new(8, 500, 4),
+            BatchConfig::new(2, 0, 1),
+        ] {
+            assert_eq!(committed(b), unbatched, "config {} diverged", b.label());
+        }
+    }
+
+    #[test]
+    fn leader_crash_under_batched_config_recovers() {
+        let mut cluster = RaftCluster::new_with(
+            5,
+            2,
+            20,
+            NetConfig::lan(),
+            4,
+            BatchConfig::new(4, 300, 2),
+            WorkloadMode::Closed,
+        );
+        cluster.sim.run_until(Time::from_millis(100));
+        let leader = cluster.leader().expect("initial leader");
+        cluster.sim.crash_at(leader, Time::from_millis(101));
+        assert!(
+            cluster.run(Time::from_secs(30)),
+            "completed {}",
+            cluster.total_completed()
+        );
+        assert_eq!(cluster.total_completed(), 40);
+        cluster.check_log_matching();
+    }
+
+    #[test]
+    fn open_loop_clients_build_real_batches() {
+        let mut cluster = RaftCluster::new_with(
+            3,
+            2,
+            30,
+            NetConfig::lan(),
+            9,
+            BatchConfig::new(8, 400, 2),
+            WorkloadMode::Open { interval_us: 200 },
+        );
+        assert!(cluster.run(Time::from_secs(30)));
+        assert_eq!(cluster.total_completed(), 60);
+        cluster.check_log_matching();
+        let h = &cluster.sim.metrics().batch_size;
+        assert!(
+            h.max().unwrap_or(0) > 1,
+            "batches never formed: max {:?}",
+            h.max()
+        );
+    }
+
+    #[test]
+    fn cluster_driver_trait_drives_and_harvests() {
+        let mut cluster = RaftCluster::from_config(&DriverConfig::new(3, 2, 5, 7));
+        let drv: &mut dyn ClusterDriver = &mut cluster;
+        assert_eq!(drv.protocol(), "raft");
+        assert_eq!(drv.n_replicas(), 3);
+        assert!(drv.run(Time::from_secs(10)));
+        assert!(drv.all_done());
+        assert_eq!(drv.completed_ops(), 10);
+        assert_eq!(drv.state_digests().len(), 3);
+        assert_eq!(drv.history().len(), 10);
+        assert_eq!(drv.issued().len(), 10);
+        assert!(drv.decided_log().iter().any(|e| e.origin.is_some()));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use consensus_core::{DedupKvMachine, SmrOp, StateMachine};
+use consensus_core::{BatchConfig, DedupKvMachine, SmrOp, StateMachine};
 use simnet::{CncPhase, Context, Node, NodeId, Timer, TimerId};
 
 use crate::msg::{Entry, RaftMsg};
@@ -25,6 +25,8 @@ pub enum Role {
 
 const ELECTION: u64 = 1;
 const HEARTBEAT: u64 = 2;
+/// Flush timer for underfull replication batches (leader only).
+const FLUSH: u64 = 3;
 
 /// Heartbeat period (µs).
 const HB_PERIOD: u64 = 10_000;
@@ -69,6 +71,20 @@ pub struct Replica {
     /// Elections this replica has won.
     pub elections_won: u64,
 
+    // --- replication batching (leader only) ---
+    /// Batching/pipelining knob. Under `BatchConfig::unbatched()` every
+    /// appended entry triggers an immediate fan-out, exactly as before the
+    /// knob existed.
+    batch: BatchConfig,
+    /// Entries appended to the leader's log but not yet shipped to
+    /// followers. They form the next `AppendEntries` wave.
+    unflushed: usize,
+    /// Whether a `FLUSH` timer is outstanding.
+    flush_armed: bool,
+    /// The `FLUSH` timer fired while the wave was held back: ship it at the
+    /// next opportunity even if underfull.
+    overdue: bool,
+
     // --- compaction ---
     snapshot_threshold: usize,
     /// Snapshots this replica has taken locally.
@@ -78,8 +94,13 @@ pub struct Replica {
 }
 
 impl Replica {
-    /// Creates a replica for a cluster of `n_replicas`.
+    /// Creates an unbatched replica for a cluster of `n_replicas`.
     pub fn new(n_replicas: usize) -> Self {
+        Self::new_with(n_replicas, BatchConfig::unbatched())
+    }
+
+    /// Creates a replica with an explicit batching config.
+    pub fn new_with(n_replicas: usize, batch: BatchConfig) -> Self {
         Replica {
             n_replicas,
             current_term: 0,
@@ -100,6 +121,10 @@ impl Replica {
             match_index: Vec::new(),
             pending_reply: BTreeMap::new(),
             elections_won: 0,
+            batch,
+            unflushed: 0,
+            flush_armed: false,
+            overdue: false,
             snapshot_threshold: SNAPSHOT_THRESHOLD,
             snapshots_taken: 0,
             snapshots_installed: 0,
@@ -155,6 +180,44 @@ impl Replica {
         self.n_replicas / 2 + 1
     }
 
+    /// Highest log index already included in a replication wave. Entries
+    /// above it are queued for the next `AppendEntries` fan-out.
+    fn flushed_tip(&self) -> usize {
+        self.last_log_index() - self.unflushed
+    }
+
+    /// Ships the queued entries if the batch is ripe: full, overdue, or
+    /// configured for immediate flushing — but never while `pipeline_window`
+    /// uncommitted entries are already on the wire (commits drain the
+    /// window and re-trigger this via [`Self::set_commit_index`]).
+    fn maybe_flush(&mut self, ctx: &mut Context<RaftMsg>) {
+        if self.role != Role::Leader || self.unflushed == 0 {
+            return;
+        }
+        let in_flight = self.flushed_tip().saturating_sub(self.commit_index);
+        if in_flight >= self.batch.pipeline_window {
+            return;
+        }
+        let underfull = self.unflushed < self.batch.max_batch.max(1);
+        if underfull && self.batch.max_delay > 0 && !self.overdue {
+            if !self.flush_armed {
+                self.flush_armed = true;
+                ctx.set_timer(self.batch.max_delay, FLUSH);
+            }
+            return;
+        }
+        self.overdue = false;
+        ctx.record_batch(self.unflushed as u64);
+        self.unflushed = 0;
+        self.replicate_all(ctx);
+    }
+
+    fn reset_batching(&mut self) {
+        self.unflushed = 0;
+        self.flush_armed = false;
+        self.overdue = false;
+    }
+
     fn reset_election_timer(&mut self, ctx: &mut Context<RaftMsg>) {
         use rand::Rng;
         if let Some(t) = self.election_timer.take() {
@@ -171,6 +234,7 @@ impl Replica {
             self.voted_for = None;
         }
         self.role = Role::Follower;
+        self.reset_batching();
         self.reset_election_timer(ctx);
     }
 
@@ -186,11 +250,18 @@ impl Replica {
             self.current_term,
             CncPhase::LeaderElection,
         );
-        ctx.broadcast(RaftMsg::RequestVote {
-            term: self.current_term,
-            last_log_index: self.last_log_index(),
-            last_log_term: self.last_log_term(),
-        });
+        // Multicast to the replica set only (`0..n_replicas`): clients share
+        // the node space, and with a transmit-limited NIC every stray
+        // delivery costs the sender serialization time.
+        let me = ctx.id();
+        ctx.send_many(
+            (0..self.n_replicas).map(NodeId::from).filter(|&r| r != me),
+            RaftMsg::RequestVote {
+                term: self.current_term,
+                last_log_index: self.last_log_index(),
+                last_log_term: self.last_log_term(),
+            },
+        );
         if self.votes >= self.majority() {
             self.become_leader(ctx);
         }
@@ -198,6 +269,7 @@ impl Replica {
 
     fn become_leader(&mut self, ctx: &mut Context<RaftMsg>) {
         self.role = Role::Leader;
+        self.reset_batching();
         self.elections_won += 1;
         self.leader_hint = Some(ctx.id());
         self.next_index = vec![self.last_log_index() + 1; self.n_replicas];
@@ -244,6 +316,9 @@ impl Replica {
                     machine: Box::new(self.machine.clone()),
                 },
             );
+            // Optimistic, like the entry path below: don't re-ship the
+            // snapshot on every trigger while this one is in flight.
+            self.next_index[peer.index()] = self.log_offset + 1;
             return;
         }
         let prev_log_index = next - 1;
@@ -251,8 +326,22 @@ impl Replica {
             .term_at(prev_log_index)
             .expect("prev ≥ log_offset is retained");
         let rel_next = next - self.log_offset;
-        let end = (rel_next + BATCH).min(self.log.len());
+        // Ship at most a wire batch, and never past the flushed tip:
+        // queued-but-unflushed entries wait for their wave (an empty
+        // entries list is just a heartbeat).
+        let end = (rel_next + BATCH.max(self.batch.max_batch))
+            .min(self.log.len())
+            .min(self.flushed_tip() - self.log_offset + 1)
+            .max(rel_next);
         let entries: Vec<Entry> = self.log[rel_next..end].to_vec();
+        // Advance `next_index` optimistically to just past what was shipped,
+        // so concurrent triggers (new requests, acks, heartbeats) don't
+        // re-ship the in-flight suffix — without this, every trigger
+        // re-sends everything unacked and the AppendEntries↔ack ping-pong
+        // saturates a transmit-limited NIC. A lost wave self-heals: the
+        // next heartbeat's consistency check fails at the follower, whose
+        // nack hint walks `next_index` back down.
+        self.next_index[peer.index()] = self.log_offset + end;
         ctx.send(
             peer,
             RaftMsg::AppendEntries {
@@ -311,6 +400,8 @@ impl Replica {
             }
         }
         self.maybe_snapshot();
+        // Commits drain the pipeline window: a held-back wave may now ship.
+        self.maybe_flush(ctx);
     }
 
     /// Compact the applied prefix once it exceeds the threshold.
@@ -401,7 +492,8 @@ impl Node for Replica {
                 ctx.phase(SPAN, index as u64, self.current_term, CncPhase::Agreement);
                 self.match_index[ctx.id().index()] = index;
                 self.pending_reply.insert(index, from);
-                self.replicate_all(ctx);
+                self.unflushed += 1;
+                self.maybe_flush(ctx);
             }
 
             RaftMsg::RequestVote {
@@ -584,9 +676,12 @@ impl Node for Replica {
                 let peer = from.index();
                 if success {
                     self.match_index[peer] = self.match_index[peer].max(match_index);
-                    self.next_index[peer] = self.match_index[peer] + 1;
+                    // Never regress an optimistic `next_index` on a (possibly
+                    // stale) ack — regressing would re-ship the in-flight
+                    // suffix and restart the ping-pong.
+                    self.next_index[peer] = self.next_index[peer].max(self.match_index[peer] + 1);
                     self.advance_commit(ctx);
-                    if self.next_index[peer] <= self.last_log_index() {
+                    if self.next_index[peer] <= self.flushed_tip() {
                         self.replicate_to(ctx, from);
                     }
                 } else {
@@ -603,8 +698,22 @@ impl Node for Replica {
         match timer.kind {
             ELECTION if self.role != Role::Leader => self.start_election(ctx),
             HEARTBEAT if self.role == Role::Leader => {
+                // The heartbeat fan-out ships everything anyway: fold any
+                // queued wave into it.
+                if self.unflushed > 0 {
+                    ctx.record_batch(self.unflushed as u64);
+                    self.unflushed = 0;
+                    self.overdue = false;
+                }
                 self.replicate_all(ctx);
                 ctx.set_timer(HB_PERIOD, HEARTBEAT);
+            }
+            FLUSH => {
+                self.flush_armed = false;
+                if self.role == Role::Leader && self.unflushed > 0 {
+                    self.overdue = true;
+                    self.maybe_flush(ctx);
+                }
             }
             _ => {}
         }
@@ -616,6 +725,7 @@ impl Node for Replica {
         self.role = Role::Follower;
         self.votes = 0;
         self.pending_reply.clear();
+        self.reset_batching();
         self.election_timer = None;
         self.reset_election_timer(ctx);
     }

@@ -67,6 +67,31 @@ pub enum Synchrony {
     Asynchronous,
 }
 
+/// Sender-side transmit-path model: every outbound message occupies the
+/// sender's NIC for `per_msg_us + size_bytes / bytes_per_us` microseconds,
+/// FIFO per sender, *before* the propagation delay of the [`DelayModel`]
+/// applies. `per_msg_us` is the fixed per-message cost (syscall, interrupt,
+/// header processing) that batching amortizes; `bytes_per_us` is the
+/// serialization bandwidth.
+///
+/// With no NIC model (the default) senders have infinite transmit capacity
+/// and throughput is bounded only by round-trip latency — the throughput
+/// benchmark enables it to expose the contention that makes batching pay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NicModel {
+    /// Fixed cost per message in µs (independent of size).
+    pub per_msg_us: u64,
+    /// Serialization bandwidth in bytes per µs (≥ 1).
+    pub bytes_per_us: u64,
+}
+
+impl NicModel {
+    /// Transmit time for one message of `size` bytes.
+    pub fn tx_micros(&self, size: u64) -> u64 {
+        self.per_msg_us + size / self.bytes_per_us.max(1)
+    }
+}
+
 /// Full network configuration for a [`crate::Sim`].
 #[derive(Clone, Debug)]
 pub struct NetConfig {
@@ -80,6 +105,9 @@ pub struct NetConfig {
     /// Declared synchrony mode, used by protocols that adapt (e.g. timeout
     /// selection) and reported in experiment records.
     pub synchrony: Synchrony,
+    /// Optional sender-side transmit serialization; `None` = infinite NIC
+    /// capacity (the historical behaviour).
+    pub nic: Option<NicModel>,
 }
 
 impl NetConfig {
@@ -90,6 +118,7 @@ impl NetConfig {
             drop_prob: 0.0,
             duplicate_prob: 0.0,
             synchrony: Synchrony::Synchronous,
+            nic: None,
         }
     }
 
@@ -102,6 +131,7 @@ impl NetConfig {
             drop_prob: 0.0,
             duplicate_prob: 0.0,
             synchrony: Synchrony::PartiallySynchronous,
+            nic: None,
         }
     }
 
@@ -115,6 +145,7 @@ impl NetConfig {
             drop_prob: 0.0,
             duplicate_prob: 0.0,
             synchrony: Synchrony::PartiallySynchronous,
+            nic: None,
         }
     }
 
@@ -130,6 +161,7 @@ impl NetConfig {
             drop_prob: 0.0,
             duplicate_prob: 0.0,
             synchrony: Synchrony::Asynchronous,
+            nic: None,
         }
     }
 
@@ -150,6 +182,16 @@ impl NetConfig {
     /// Returns this config with a different delay model.
     pub fn with_delay(mut self, delay: DelayModel) -> Self {
         self.delay = delay;
+        self
+    }
+
+    /// Returns this config with a sender-side NIC serialization model.
+    pub fn with_nic(mut self, per_msg_us: u64, bytes_per_us: u64) -> Self {
+        assert!(bytes_per_us >= 1, "bytes_per_us must be >= 1");
+        self.nic = Some(NicModel {
+            per_msg_us,
+            bytes_per_us,
+        });
         self
     }
 }

@@ -136,6 +136,9 @@ pub struct Metrics {
     pub spans_opened: u64,
     /// `span_close` events seen.
     pub spans_closed: u64,
+    /// Commands per decided batch / flush wave, recorded by protocol leaders
+    /// via [`crate::Context::record_batch`].
+    pub batch_size: Histogram,
 }
 
 impl Metrics {

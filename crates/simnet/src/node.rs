@@ -82,6 +82,7 @@ pub(crate) enum Effect<M> {
     SetTimer { id: TimerId, delay: u64, kind: u64 },
     CancelTimer { id: TimerId },
     Span { protocol: &'static str, instance: u64, round: u64, kind: SpanKind },
+    Batch(u64),
     Stop,
 }
 
@@ -165,6 +166,13 @@ impl<M: Payload> Context<'_, M> {
     /// is a no-op.
     pub fn cancel_timer(&mut self, id: TimerId) {
         self.effects.push(Effect::CancelTimer { id });
+    }
+
+    /// Records the size (commands) of one decided batch / flush wave into
+    /// [`crate::Metrics::batch_size`]. Leaders call this once per batch they
+    /// form, so the histogram shows how well batching amortizes under load.
+    pub fn record_batch(&mut self, size: u64) {
+        self.effects.push(Effect::Batch(size));
     }
 
     /// Asks the simulator to stop at the end of this callback — used by

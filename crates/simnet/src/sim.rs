@@ -60,6 +60,8 @@ pub struct Sim<N: Node> {
     partition: Option<Vec<usize>>,
     partition_plans: Vec<Vec<Vec<NodeId>>>,
     link_delays: HashMap<(NodeId, NodeId), DelayModel>,
+    /// Per-sender NIC busy-until time, used only when `config.nic` is set.
+    nic_busy: HashMap<usize, u64>,
     filters: HashMap<usize, Box<dyn Filter<N::Msg>>>,
     stop_requested: bool,
     max_events: u64,
@@ -86,6 +88,7 @@ impl<N: Node> Sim<N> {
             partition: None,
             partition_plans: Vec::new(),
             link_delays: HashMap::new(),
+            nic_busy: HashMap::new(),
             filters: HashMap::new(),
             stop_requested: false,
             max_events: 20_000_000,
@@ -269,6 +272,7 @@ impl<N: Node> Sim<N> {
                 Effect::Span { protocol, instance, round, kind } => {
                     self.record_span(from, protocol, instance, round, kind);
                 }
+                Effect::Batch(size) => self.metrics.batch_size.record(size),
                 Effect::Stop => self.stop_requested = true,
             }
         }
@@ -339,14 +343,31 @@ impl<N: Node> Sim<N> {
             .unwrap_or(self.config.delay);
         let delay = model.sample(&mut self.net_rng);
 
-        // Possible duplication.
+        // Sender-side NIC serialization: the message leaves the sender only
+        // once earlier messages have cleared its transmit path (FIFO per
+        // sender), and occupies it for the transmit time. The propagation
+        // delay then applies from the departure instant. With no NIC model,
+        // `sent_at` is simply `now` — the historical behaviour. This adds no
+        // RNG draws, so traces without a NIC model are unchanged.
+        let sent_at = match self.config.nic {
+            Some(nic) => {
+                let busy = self.nic_busy.entry(from.index()).or_insert(0);
+                let departure = self.now.0.max(*busy);
+                let done = departure + nic.tx_micros(size);
+                *busy = done;
+                done
+            }
+            None => self.now.0,
+        };
+
+        // Possible duplication (shares the transmit slot, own propagation).
         if self.config.duplicate_prob > 0.0 {
             use rand::Rng;
             if self.net_rng.gen::<f64>() < self.config.duplicate_prob {
                 let delay2 = model.sample(&mut self.net_rng);
                 self.metrics.duplicated += 1;
                 self.queue.push(
-                    self.now + delay2,
+                    Time(sent_at + delay2),
                     to,
                     EventKind::Deliver {
                         from,
@@ -357,7 +378,7 @@ impl<N: Node> Sim<N> {
         }
 
         self.queue
-            .push(self.now + delay, to, EventKind::Deliver { from, msg });
+            .push(Time(sent_at + delay), to, EventKind::Deliver { from, msg });
     }
 
     /// Appends a span event and folds it into the metrics: phase entries
@@ -1096,5 +1117,75 @@ mod tests {
         assert_eq!(sim.node(NodeId(0)).pongs, 3, "post-heal broadcast reaches everyone");
         assert_eq!(sim.metrics().dropped, 0);
         assert_eq!(sim.metrics().delivered, 6);
+    }
+
+    #[test]
+    fn batch_effect_feeds_histogram() {
+        struct Batcher;
+        #[derive(Clone, Debug)]
+        struct M;
+        impl Payload for M {}
+        impl Node for Batcher {
+            type Msg = M;
+            fn on_start(&mut self, ctx: &mut Context<M>) {
+                ctx.record_batch(1);
+                ctx.record_batch(8);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<M>, _f: NodeId, _m: M) {}
+        }
+        let mut sim: Sim<Batcher> = Sim::new(NetConfig::synchronous(), 22);
+        sim.add_node(Batcher);
+        sim.run_to_quiescence();
+        let h = &sim.metrics().batch_size;
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(8));
+    }
+
+    #[test]
+    fn nic_serializes_sends_fifo_per_sender() {
+        // Node 0 broadcasts three pings in one callback. With a NIC of
+        // 1000 µs per message the k-th ping clears node 0's transmit path at
+        // k·1000, so with the fixed 500 µs propagation pings arrive at
+        // 1500/2500/3500 and the pongs (each sender's own NIC idle, 1000 µs
+        // transmit) land back at 3000/4000/5000.
+        let mut sim = pingpong_sim(4, NetConfig::synchronous().with_nic(1_000, u64::MAX), 23);
+        sim.record_trace(true);
+        sim.run_to_quiescence();
+        assert_eq!(sim.node(NodeId(0)).pongs, 3);
+        let deliveries: Vec<(u64, &str)> = sim
+            .trace()
+            .iter()
+            .filter(|t| matches!(t.event, TraceEvent::Deliver))
+            .map(|t| (t.time.0, t.kind))
+            .collect();
+        assert_eq!(
+            deliveries,
+            vec![
+                (1_500, "ping"),
+                (2_500, "ping"),
+                (3_000, "pong"),
+                (3_500, "ping"),
+                (4_000, "pong"),
+                (5_000, "pong"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nic_default_off_leaves_timing_unchanged() {
+        let run = |config: NetConfig| {
+            let mut sim = pingpong_sim(3, config, 24);
+            sim.run_to_quiescence();
+            (sim.now(), sim.metrics().sent, sim.metrics().delivered)
+        };
+        // lan() has jittered delays (RNG-dependent); the NIC model must not
+        // perturb the draw sequence when disabled — identical runs.
+        assert_eq!(run(NetConfig::lan()), run(NetConfig::lan()));
+        // And a zero-cost NIC changes nothing relative to no NIC at all.
+        assert_eq!(
+            run(NetConfig::lan()),
+            run(NetConfig::lan().with_nic(0, u64::MAX))
+        );
     }
 }

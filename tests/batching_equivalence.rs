@@ -1,0 +1,98 @@
+//! Batched-vs-unbatched equivalence, cross-protocol, through the uniform
+//! [`ClusterDriver`] surface: for every SMR protocol, any batching
+//! configuration must decide exactly the same per-client command sequence
+//! as the unbatched baseline — batching may only change *how commands are
+//! packed into slots*, never what is agreed or in what per-client order —
+//! and every run must satisfy the full nemesis SMR safety battery.
+
+use std::collections::BTreeMap;
+
+use forty::bft::pbft::PbftCluster;
+use forty::consensus_core::driver::{BatchConfig, ClusterDriver, DriverConfig};
+use forty::paxos::MultiPaxosCluster;
+use forty::raft::RaftCluster;
+use nemesis::smr_safety;
+
+const SEED: u64 = 7;
+const N_CLIENTS: usize = 3;
+/// 3 × 5 = 15 total commands: one below PBFT's checkpoint interval (16
+/// slots), so no replica garbage-collects any unbatched slot before harvest.
+const CMDS: usize = 5;
+
+/// The knob settings under test, from "degenerate" corners (batch of 1
+/// with a delay; window of 1, i.e. no pipelining) to realistic ones.
+fn knobs() -> Vec<BatchConfig> {
+    vec![
+        BatchConfig::new(1, 200, usize::MAX),
+        BatchConfig::new(4, 0, 2),
+        BatchConfig::new(4, 300, 1),
+        BatchConfig::new(8, 500, 8),
+    ]
+}
+
+/// Runs one configuration to completion and returns each client's command
+/// sequence (by client-assigned sequence number, the batching-independent
+/// identity — Raft's op strings bake in terms, which may legally differ
+/// between runs) as decided on node 0, after checking full SMR safety.
+fn decided_per_client<D: ClusterDriver>(batch: BatchConfig) -> BTreeMap<u32, Vec<u64>> {
+    let cfg = DriverConfig::new(4, N_CLIENTS, CMDS, SEED).with_batch(batch);
+    let mut d = D::from_config(&cfg);
+    assert!(
+        d.run(forty::simnet::Time::from_secs(60)),
+        "{} stalled under {}",
+        d.protocol(),
+        batch.label()
+    );
+
+    let entries = d.decided_log();
+    let digests = d.state_digests();
+    let history = d.history();
+    let issued = d.issued();
+    let violations = smr_safety(&entries, &digests, &history, Some(&issued));
+    assert!(
+        violations.is_empty(),
+        "{} violated safety under {}: {violations:?}",
+        d.protocol(),
+        batch.label()
+    );
+
+    let mut per_client: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    for e in entries.iter().filter(|e| e.node == 0) {
+        if let Some((client, seq)) = e.origin {
+            per_client.entry(client).or_default().push(seq);
+        }
+    }
+    per_client
+}
+
+fn assert_equivalent<D: ClusterDriver>() {
+    let baseline = decided_per_client::<D>(BatchConfig::unbatched());
+    assert_eq!(baseline.len(), N_CLIENTS, "baseline missing clients");
+    for (client, ops) in &baseline {
+        assert_eq!(ops.len(), CMDS, "client {client} short in baseline");
+    }
+    for batch in knobs() {
+        let batched = decided_per_client::<D>(batch);
+        assert_eq!(
+            baseline,
+            batched,
+            "per-client decided sequences differ under {}",
+            batch.label()
+        );
+    }
+}
+
+#[test]
+fn multi_paxos_batched_equals_unbatched() {
+    assert_equivalent::<MultiPaxosCluster>();
+}
+
+#[test]
+fn raft_batched_equals_unbatched() {
+    assert_equivalent::<RaftCluster>();
+}
+
+#[test]
+fn pbft_batched_equals_unbatched() {
+    assert_equivalent::<PbftCluster>();
+}
