@@ -27,7 +27,9 @@ use blockchain::{Blockchain, Transaction};
 use consensus_core::cnc::{CncConfig, CncEngine};
 use consensus_core::driver::{ClusterDriver, DriverConfig};
 use consensus_core::taxonomy::all_cards;
+use consensus_core::txn::TxnDecision;
 use consensus_core::QuorumSpec;
+use store::{RouterCrashPoint, Store, StoreConfig, ROUTER_BASE};
 use paxos::fast;
 use paxos::flexible::run_flexible;
 use paxos::livelock::run_duel;
@@ -325,11 +327,12 @@ pub fn f7_two_pc() -> Report {
     abort.run_until(Time::from_secs(1));
     let aborted = two_phase::participant_states(&abort);
 
-    let mut blocked = two_phase::build(&[true, true, true], NetConfig::lan(), 1);
-    if let two_phase::TwoPcProc::Coordinator(c) = blocked.node_mut(NodeId(0)) {
-        c.hang_after_votes = true;
-    }
-    blocked.crash_at(NodeId(0), Time(5_000));
+    let mut blocked = two_phase::build_with_crash(
+        &[true, true, true],
+        two_phase::CrashPoint::AfterVotes,
+        NetConfig::lan(),
+        1,
+    );
     blocked.run_until(Time::from_secs(2));
     let stuck = two_phase::participant_states(&blocked);
 
@@ -1090,6 +1093,115 @@ pub fn f27_selfish() -> Report {
     }
 }
 
+// ───────────────────────── The sharded store ─────────────────────────
+
+/// F28 — blocking 2PC vs 2PC over consensus, under a coordinator crash.
+pub fn f28_store() -> Report {
+    const STORE_HORIZON: Time = Time(20_000_000);
+
+    // The baseline from F7: an unreplicated coordinator dies inside the
+    // uncertainty window and its participants block forever.
+    let mut blocked = two_phase::build_with_crash(
+        &[true, true, true],
+        two_phase::CrashPoint::AfterVotes,
+        NetConfig::lan(),
+        1,
+    );
+    blocked.run_until(Time::from_secs(2));
+    let stuck = two_phase::participant_states(&blocked);
+    let plain_msgs = blocked.metrics().sent;
+
+    // Probe a fault-free store run (same seed) to learn which of router
+    // 0's transactions spans multiple shards — determinism makes the
+    // probe's workload identical to the measured run's.
+    let mut probe: Store<MultiPaxosCluster> = Store::new(StoreConfig::small(42));
+    assert!(probe.run(STORE_HORIZON), "store probe stalled");
+    let outcomes = probe.outcomes();
+    let target = outcomes
+        .iter()
+        .find(|o| o.tid.client == ROUTER_BASE && o.span > 1)
+        .expect("seed 42 has a multi-shard txn on router 0")
+        .clone();
+    let mean_lat_by_span = |span: usize| {
+        let lats: Vec<u64> = outcomes
+            .iter()
+            .filter(|o| o.span == span)
+            .map(|o| o.latency_us)
+            .collect();
+        if lats.is_empty() {
+            0.0
+        } else {
+            lats.iter().sum::<u64>() as f64 / lats.len() as f64
+        }
+    };
+
+    // Same crash shape as the blocked baseline — the coordinator dies
+    // right after the prepare round — but the decision record lives in a
+    // replicated log, so a recovery actor aborts the orphan and every
+    // other transaction completes.
+    let run_crashed = || {
+        let mut s: Store<MultiPaxosCluster> = Store::new(StoreConfig::small(42));
+        s.crash_router_on_txn(0, target.tid.number, RouterCrashPoint::AfterPrepare);
+        assert!(s.run(STORE_HORIZON), "crashed-coordinator store stalled");
+        s
+    };
+    let s = run_crashed();
+    let recovered = s.recovered().to_vec();
+    let survivors = s.outcomes();
+    let committed = survivors
+        .iter()
+        .filter(|o| o.decision == TxnDecision::Commit)
+        .count();
+
+    // Determinism: the identical seed and fault reproduce the run bit for
+    // bit (trace ⊕ outcomes ⊕ replica state digests).
+    let fp = s.fingerprint();
+    let identical = fp == run_crashed().fingerprint();
+
+    let lines = vec![
+        format!("plain 2PC, coordinator crash after votes → {stuck:?}  (blocked forever, {plain_msgs} msgs)"),
+        format!(
+            "store (3 shards × 3 Multi-Paxos): router crashes after preparing {} → recovery decides {:?}",
+            target.tid,
+            recovered
+                .iter()
+                .find(|(t, _)| *t == target.tid)
+                .map(|(_, d)| d.as_str())
+        ),
+        format!(
+            "no blocking: {} other txns finish ({} committed); replication bill: {} msgs total",
+            survivors.len(),
+            committed,
+            s.messages_sent()
+        ),
+        format!(
+            "mean latency by span (fault-free; the lone span-1 txn runs first and pays leader election): \
+             span1={:.0}µs span2={:.0}µs span3={:.0}µs",
+            mean_lat_by_span(1),
+            mean_lat_by_span(2),
+            mean_lat_by_span(3)
+        ),
+        format!("same seed re-run: fingerprint {fp:#018x}, bit-identical = {identical}"),
+    ];
+    Report {
+        id: "f28",
+        title: "Sharded store: 2PC over consensus unblocks the coordinator crash",
+        data: json!({
+            "blocked_states": stuck.iter().map(|s| format!("{s:?}")).collect::<Vec<_>>(),
+            "recovered_decision": recovered
+                .iter()
+                .find(|(t, _)| *t == target.tid)
+                .map(|(_, d)| d.as_str()),
+            "survivor_txns": survivors.len(),
+            "committed": committed,
+            "store_messages": s.messages_sent(),
+            "mean_latency_by_span": vec![mean_lat_by_span(1), mean_lat_by_span(2), mean_lat_by_span(3)],
+            "deterministic": identical,
+        }),
+        lines,
+    }
+}
+
 // ───────────────────────── T5: the cross-protocol comparison ─────────────
 
 /// T5 — who wins, by roughly what factor.
@@ -1233,6 +1345,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("f25", f25_permissioned),
         ("f26", f26_finality),
         ("f27", f27_selfish),
+        ("f28", f28_store),
         ("t5", t5_comparison),
     ]
 }
@@ -1244,9 +1357,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ids_match() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 32);
+        assert_eq!(exps.len(), 33);
         let ids: BTreeSet<&str> = exps.iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 32, "duplicate experiment ids");
+        assert_eq!(ids.len(), 33, "duplicate experiment ids");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use simnet::{CncPhase, Context, NetConfig, Node, NodeId, Sim, Timer};
+use simnet::{CncPhase, Context, NetConfig, Node, NodeId, Sim, Time, Timer};
 
 use crate::msg::{CommitMsg, TxnState};
 
@@ -13,6 +13,18 @@ const DECISION_TIMEOUT: u64 = 1;
 /// Participant timeout before starting cooperative termination (µs).
 const TIMEOUT_US: u64 = 30_000;
 
+/// Where the 2PC coordinator may crash (fault injection), mirroring
+/// [`crate::three_phase::CrashPoint`]. 2PC has only one interesting spot:
+/// inside the blocking window, after every vote arrived and before any
+/// decision escapes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Run to completion.
+    None,
+    /// Freeze after collecting all yes votes (before any decision escapes).
+    AfterVotes,
+}
+
 /// The 2PC coordinator (node 0). Drives one transaction.
 pub struct Coordinator {
     n_participants: usize,
@@ -20,10 +32,9 @@ pub struct Coordinator {
     pub state: TxnState,
     votes: BTreeMap<NodeId, bool>,
     txn: u64,
-    /// If set, the coordinator "hangs" (does nothing) once it has collected
-    /// all yes-votes — models the crash-inside-the-window scenario without
-    /// racing the simulator clock.
-    pub hang_after_votes: bool,
+    /// Injected fault: freezing at the crash point models the
+    /// crash-inside-the-window scenario without racing the simulator clock.
+    pub crash_point: CrashPoint,
 }
 
 impl Coordinator {
@@ -34,7 +45,7 @@ impl Coordinator {
             state: TxnState::Initial,
             votes: BTreeMap::new(),
             txn: 1,
-            hang_after_votes: false,
+            crash_point: CrashPoint::None,
         }
     }
 
@@ -81,7 +92,7 @@ impl Node for Coordinator {
                 }
                 self.votes.insert(from, yes);
                 if self.votes.len() >= self.n_participants {
-                    if self.hang_after_votes {
+                    if self.crash_point == CrashPoint::AfterVotes {
                         // Freeze inside the blocking window.
                         return;
                     }
@@ -250,10 +261,30 @@ simnet::node_enum! {
 /// Builds a 2PC instance: coordinator (node 0) plus one participant per
 /// vote in `votes`.
 pub fn build(votes: &[bool], config: NetConfig, seed: u64) -> Sim<TwoPcProc> {
+    build_with_crash(votes, CrashPoint::None, config, seed)
+}
+
+/// Builds a 2PC instance with the coordinator crashing at `crash_point`,
+/// mirroring [`crate::three_phase::build`]. With
+/// [`CrashPoint::AfterVotes`] the coordinator freezes inside the blocking
+/// window and is then crashed outright so it cannot answer state requests —
+/// the canonical 2PC blocking scenario.
+pub fn build_with_crash(
+    votes: &[bool],
+    crash_point: CrashPoint,
+    config: NetConfig,
+    seed: u64,
+) -> Sim<TwoPcProc> {
     let mut sim = Sim::new(config, seed);
-    sim.add_node(Coordinator::new(votes.len()));
+    let mut coord = Coordinator::new(votes.len());
+    coord.crash_point = crash_point;
+    sim.add_node(coord);
     for &v in votes {
         sim.add_node(Participant::new(v));
+    }
+    if crash_point != CrashPoint::None {
+        // The frozen coordinator also stops answering state requests.
+        sim.crash_at(NodeId(0), Time(10_000));
     }
     sim
 }
@@ -300,12 +331,12 @@ mod tests {
         // Coordinator freezes after collecting all yes votes and before any
         // decision escapes: cooperative termination sees all-Ready and must
         // block — 2PC's fundamental weakness.
-        let mut sim = build(&[true, true, true], NetConfig::lan(), 3);
-        if let TwoPcProc::Coordinator(c) = sim.node_mut(NodeId(0)) {
-            c.hang_after_votes = true;
-        }
-        // Also crash it so it cannot answer StateRequests.
-        sim.crash_at(NodeId(0), Time(5_000));
+        let mut sim = build_with_crash(
+            &[true, true, true],
+            CrashPoint::AfterVotes,
+            NetConfig::lan(),
+            3,
+        );
         sim.run_until(Time::from_secs(2));
         let states = participant_states(&sim);
         assert!(

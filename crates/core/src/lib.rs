@@ -23,6 +23,11 @@
 //!   step, fault, harvest) plus the shared [`BatchConfig`]
 //!   batching/pipelining knob; bench and nemesis drive every SMR protocol
 //!   only through this trait.
+//! * [`txn`] — shared transaction types for the sharded store
+//!   (`forty-store`): transaction ids, the router-facing [`StoreCommand`],
+//!   and the log-entry encoding of the Gray–Lamport 2PC-over-consensus
+//!   construction, including the C&C phase mapping of its prepare/decide
+//!   steps.
 //! * [`cnc`] — the **Consensus & Commitment (C&C) framework**: every
 //!   leader-based agreement protocol as *Leader Election → Value Discovery →
 //!   Fault-tolerant Agreement → Decision*, including a runnable generic
@@ -36,6 +41,7 @@ pub mod history;
 pub mod quorum;
 pub mod smr;
 pub mod taxonomy;
+pub mod txn;
 pub mod workload;
 
 pub use ballot::Ballot;
@@ -48,3 +54,4 @@ pub use taxonomy::{
     ComplexityClass, FailureModel, NodeBound, ParticipantAwareness, ProcessingStrategy,
     ProtocolCard,
 };
+pub use txn::{StoreCommand, Transaction, TxnDecision, TxnId, TxnPhase};

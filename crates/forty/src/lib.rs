@@ -34,6 +34,7 @@
 //! | [`agreement`] | interactive consistency, OM(m), FLP, Ben-Or |
 //! | [`bft`] | PBFT, Zyzzyva, HotStuff, MinBFT, CheapBFT, XFT, SeeMoRe, UpRight |
 //! | [`blockchain`] | PoW, PoS, permissioned chains |
+//! | [`store`] | sharded transactional KV store: 2PC over consensus groups |
 
 pub use agreement;
 pub use atomic_commit;
@@ -43,3 +44,4 @@ pub use consensus_core;
 pub use paxos;
 pub use raft;
 pub use simnet;
+pub use store;

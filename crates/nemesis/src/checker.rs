@@ -12,6 +12,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use atomic_commit::TxnState;
+use consensus_core::history::ClientRecord;
 
 /// One safety-property violation, tagged with the check that produced it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -171,6 +172,96 @@ pub fn check_atomic_commit(votes: &[bool], states: &[(u32, TxnState)]) -> Vec<Vi
     out
 }
 
+/// Cross-shard transactional atomicity for the sharded store, judged purely
+/// from the merged client history (routers + recovery + audit readers).
+///
+/// Evidence model — all from *completed* operations:
+///
+/// * A **decision** for `tid` is witnessed by the winning CAS on its
+///   decision key (`swapped == true`) or by any read of the decision key
+///   returning `commit`/`abort`.
+/// * A **data write** of `tid` is a completed `Put` of a non-control key
+///   whose value is tagged `…@<tid>`; a **data read** of `tid` is a
+///   completed `Get` observing such a value.
+///
+/// A sound store only issues a transaction's data writes after commit
+/// evidence is durable, so every violation below is a real atomicity break:
+///
+/// * `txn-decision` — two conflicting decisions witnessed for one `tid`.
+/// * `txn-atomicity` — a data write (or read observation) of a transaction
+///   that aborted, or for which no commit decision was ever witnessed.
+pub fn check_txn_atomicity(history: &[ClientRecord]) -> Vec<Violation> {
+    use consensus_core::smr::{KvCommand, KvResponse};
+    use consensus_core::txn::{self, TxnDecision, TxnId};
+
+    let mut decisions: BTreeMap<TxnId, TxnDecision> = BTreeMap::new();
+    let mut out = Vec::new();
+    for r in history {
+        let Some(resp) = r.response() else { continue };
+        let (tid, decision) = match (&r.op, resp) {
+            (KvCommand::Cas { key, new, .. }, KvResponse::CasResult { swapped: true }) => {
+                match (txn::parse_decision_key(key), TxnDecision::parse(new)) {
+                    (Some(tid), Some(d)) => (tid, d),
+                    _ => continue,
+                }
+            }
+            (KvCommand::Get { key }, KvResponse::Value(Some(v))) => {
+                match (txn::parse_decision_key(key), TxnDecision::parse(v)) {
+                    (Some(tid), Some(d)) => (tid, d),
+                    _ => continue,
+                }
+            }
+            _ => continue,
+        };
+        match decisions.get(&tid) {
+            None => {
+                decisions.insert(tid, decision);
+            }
+            Some(prev) if *prev != decision => out.push(Violation {
+                check: "txn-decision",
+                detail: format!(
+                    "txn {tid} witnessed as both {} and {}",
+                    prev.as_str(),
+                    decision.as_str()
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    let mut flagged: BTreeSet<(TxnId, String)> = BTreeSet::new();
+    for r in history {
+        let Some(resp) = r.response() else { continue };
+        let (kind, key, value) = match (&r.op, resp) {
+            (KvCommand::Put { key, value }, KvResponse::Ok) if !txn::is_control_key(key) => {
+                ("write", key, value.clone())
+            }
+            (KvCommand::Get { key }, KvResponse::Value(Some(v))) if !txn::is_control_key(key) => {
+                ("read", key, v.clone())
+            }
+            _ => continue,
+        };
+        let Some(tid) = txn::tagged_txn(&value) else {
+            continue;
+        };
+        let verdict = match decisions.get(&tid) {
+            Some(TxnDecision::Commit) => continue,
+            Some(TxnDecision::Abort) => "aborted",
+            None => "never witnessed as committed",
+        };
+        if flagged.insert((tid, key.clone())) {
+            out.push(Violation {
+                check: "txn-atomicity",
+                detail: format!(
+                    "completed {kind} of {key}={value} from txn {tid}, \
+                     which {verdict}"
+                ),
+            });
+        }
+    }
+    out
+}
+
 /// Binary agreement (Ben-Or): all decided values are equal, and the decided
 /// value was some node's input.
 pub fn check_binary_agreement(decisions: &[(u32, Option<u8>)], inputs: &[u8]) -> Vec<Violation> {
@@ -270,6 +361,77 @@ mod tests {
 
         let blocked = [(0, TxnState::Aborted), (1, TxnState::Ready)];
         assert!(check_atomic_commit(&[true, true], &blocked).is_empty());
+    }
+
+    #[test]
+    fn txn_atomicity_rules() {
+        use consensus_core::smr::{KvCommand, KvResponse};
+        use consensus_core::txn::{self, TxnId};
+
+        let tid = TxnId::new(100, 0);
+        let rec = |op: KvCommand, resp: KvResponse| ClientRecord {
+            client: 100,
+            seq: 1,
+            op,
+            invoked: 0,
+            completed: Some((1, resp)),
+        };
+        let commit_cas = rec(
+            KvCommand::Cas {
+                key: txn::decision_key(tid),
+                expect: txn::DECISION_PENDING.into(),
+                new: "commit".into(),
+            },
+            KvResponse::CasResult { swapped: true },
+        );
+        let abort_read = rec(
+            KvCommand::Get {
+                key: txn::decision_key(tid),
+            },
+            KvResponse::Value(Some("abort".into())),
+        );
+        let data_write = rec(
+            KvCommand::Put {
+                key: "k1".into(),
+                value: txn::tag_value("v", tid),
+            },
+            KvResponse::Ok,
+        );
+        let data_read = rec(
+            KvCommand::Get { key: "k1".into() },
+            KvResponse::Value(Some(txn::tag_value("v", tid))),
+        );
+
+        // Committed txn with visible writes: clean.
+        let ok = [commit_cas.clone(), data_write.clone(), data_read.clone()];
+        assert!(check_txn_atomicity(&ok).is_empty());
+
+        // Conflicting decision evidence.
+        let split = [commit_cas, abort_read.clone()];
+        assert_eq!(check_txn_atomicity(&split)[0].check, "txn-decision");
+
+        // Aborted txn's write leaked (plus the read that observed it) —
+        // flagged once per (txn, key).
+        let leak = [abort_read, data_write.clone(), data_read];
+        let v = check_txn_atomicity(&leak);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "txn-atomicity");
+
+        // A write with no decision evidence at all is also a violation.
+        assert_eq!(check_txn_atomicity(&[data_write])[0].check, "txn-atomicity");
+
+        // An incomplete write is no evidence either way.
+        let pending = ClientRecord {
+            completed: None,
+            ..rec(
+                KvCommand::Put {
+                    key: "k2".into(),
+                    value: txn::tag_value("v", tid),
+                },
+                KvResponse::Ok,
+            )
+        };
+        assert!(check_txn_atomicity(&[pending]).is_empty());
     }
 
     #[test]

@@ -23,8 +23,9 @@
 //! * [`checker`] — history-based safety checks shared across protocols.
 //! * [`lin`] — Wing–Gill linearizability checking for the KV machine.
 //! * [`targets`] — one adapter per protocol (Multi-Paxos, Raft, PBFT, 2PC,
-//!   3PC, Ben-Or) plus the deliberately broken Flexible-Paxos configuration
-//!   that proves the engine catches real bugs.
+//!   3PC, Ben-Or, and the sharded store over either SMR engine) plus the
+//!   deliberately broken Flexible-Paxos and early-write store
+//!   configurations that prove the engine catches real bugs.
 //! * [`engine`] — sweeps, shrinking, counterexample (de)serialization, and
 //!   replay.
 
@@ -44,5 +45,5 @@ pub use lin::check_linearizable;
 pub use plan::{generate, FaultAction, FaultPlan, FaultSpec};
 pub use targets::{
     by_name, client_evidence, harvest_paxos, harvest_pbft, harvest_raft, injected_bug_target,
-    smr_safety, targets, RunReport, Target,
+    smr_safety, store_injected_bug_target, targets, RunReport, Target,
 };

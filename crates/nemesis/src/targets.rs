@@ -18,6 +18,14 @@
 //! | 2pc     | ≤ 2   | no      | no        | yes  | —         |
 //! | 3pc     | ≤ 1   | no      | no        | no   | —         |
 //! | ben-or  | ≤ f=1 | no      | no        | yes  | —         |
+//! | store-* | any   | yes     | yes       | yes  | —         |
+//!
+//! The `store-paxos` / `store-raft` targets probe the full sharded store
+//! (`forty-store`): faultable nodes are every shard replica *and* every
+//! router — a router crash is precisely the 2PC-coordinator crash that
+//! blocks unreplicated 2PC. On top of the per-shard SMR battery they check
+//! store-level linearizability of the merged client history and cross-shard
+//! transactional atomicity ([`crate::checker::check_txn_atomicity`]).
 //!
 //! The three SMR targets also register `+batch` variants (same fault menu)
 //! that run the replicas under a real batching/pipelining configuration —
@@ -49,11 +57,12 @@ use simnet::{FilterAction, FnFilter, NetConfig, NodeId, Sim};
 
 use crate::checker::{
     check_atomic_commit, check_binary_agreement, check_integrity, check_log_agreement,
-    check_state_digests, check_validity, DecidedEntry, Violation,
+    check_state_digests, check_txn_atomicity, check_validity, DecidedEntry, Violation,
 };
 use crate::exec::{execute_plan, WindowKind};
 use crate::lin::{check_linearizable, DEFAULT_BUDGET};
-use crate::plan::{FaultPlan, FaultSpec};
+use crate::plan::{FaultAction, FaultPlan, FaultSpec};
+use store::{RouterCrashPoint, ShardEngine, Store, StoreConfig};
 
 /// Domain-separation salt for seed-derived workload parameters (votes,
 /// Ben-Or inputs) so they are independent of both the simulator's and the
@@ -113,6 +122,16 @@ pub fn targets() -> Vec<Box<dyn Target>> {
         Box::new(TwoPcTarget),
         Box::new(ThreePcTarget),
         Box::new(BenOrTarget),
+        Box::new(StoreTarget::<MultiPaxosCluster> {
+            name: "store-paxos",
+            buggy: false,
+            _engine: std::marker::PhantomData,
+        }),
+        Box::new(StoreTarget::<raft::RaftCluster> {
+            name: "store-raft",
+            buggy: false,
+            _engine: std::marker::PhantomData,
+        }),
     ]
 }
 
@@ -123,6 +142,19 @@ pub fn injected_bug_target() -> Box<dyn Target> {
     Box::new(PaxosTarget {
         buggy: true,
         batch: BatchConfig::unbatched(),
+    })
+}
+
+/// The deliberately broken store: the 2PC coordinator disseminates a
+/// transaction's data writes *before* its decision entry is replicated,
+/// and the trial crashes one router inside that window. Proves the
+/// atomicity checker catches real cross-shard bugs; never part of
+/// [`targets`].
+pub fn store_injected_bug_target() -> Box<dyn Target> {
+    Box::new(StoreTarget::<MultiPaxosCluster> {
+        name: "store-buggy",
+        buggy: true,
+        _engine: std::marker::PhantomData,
     })
 }
 
@@ -154,6 +186,17 @@ pub fn by_name(name: &str) -> Option<Box<dyn Target>> {
         "2pc" => Some(Box::new(TwoPcTarget)),
         "3pc" => Some(Box::new(ThreePcTarget)),
         "ben-or" => Some(Box::new(BenOrTarget)),
+        "store-paxos" => Some(Box::new(StoreTarget::<MultiPaxosCluster> {
+            name: "store-paxos",
+            buggy: false,
+            _engine: std::marker::PhantomData,
+        })),
+        "store-raft" => Some(Box::new(StoreTarget::<raft::RaftCluster> {
+            name: "store-raft",
+            buggy: false,
+            _engine: std::marker::PhantomData,
+        })),
+        "store-buggy" => Some(store_injected_bug_target()),
         _ => None,
     }
 }
@@ -577,6 +620,116 @@ impl Target for BenOrTarget {
             violations: check_binary_agreement(&decisions, &inputs),
             ops: decided,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sharded store (2PC over per-shard consensus groups)
+// ---------------------------------------------------------------------------
+
+/// Fault-placement horizon for the store: the router workload is active for
+/// roughly the first 300ms of simulated time, so faults drawn from the
+/// first half-ish of this window land mid-transaction.
+const STORE_HORIZON: u64 = 400_000;
+/// Hard cap on a store trial: adversarial schedules may stall shards (a
+/// crashed majority is legal), so the trial stops here instead of quiescing.
+const STORE_RUN_CAP: u64 = 6_000_000;
+
+struct StoreTarget<E: ShardEngine> {
+    /// Registry name (also encodes the engine choice).
+    name: &'static str,
+    /// Inject the early-dissemination coordinator bug and crash a router
+    /// inside the vulnerable window (seed-derived, deterministic).
+    buggy: bool,
+    _engine: std::marker::PhantomData<E>,
+}
+
+impl<E: ShardEngine> Target for StoreTarget<E> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn fault_spec(&self) -> FaultSpec {
+        // 3 shards × 3 replicas = global nodes 0..9, routers 9 and 10.
+        // Crashing a router is a 2PC-coordinator crash.
+        FaultSpec {
+            horizon: STORE_HORIZON,
+            ..smr_spec(11)
+        }
+    }
+
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
+        let cfg = StoreConfig {
+            buggy_early_writes: self.buggy,
+            ..StoreConfig::small(seed)
+        };
+        let mut s: Store<E> = Store::new(cfg);
+        if self.buggy {
+            // Deterministically crash one router inside the bug's window
+            // (after the early data writes, before the decision CAS) so the
+            // schedule reliably exposes the orphaned writes.
+            s.crash_router_on_txn(
+                (seed % 2) as usize,
+                seed % 3,
+                RouterCrashPoint::AfterEarlyWrites,
+            );
+        }
+
+        // Crash/restart/partition/heal pre-schedule inside the shard sims;
+        // loss bursts need live windows, handled in the step loop below.
+        let mut bursts: Vec<(u64, u64, f64)> = Vec::new();
+        for action in &plan.actions {
+            match action {
+                FaultAction::Crash { node, at } => s.crash_node_at(*node, *at),
+                FaultAction::Restart { node, at } => s.restart_node_at(*node, *at),
+                FaultAction::Partition { at, group } => s.partition_at(*at, group),
+                FaultAction::Heal { at } => s.heal_at(*at),
+                FaultAction::LossBurst {
+                    from,
+                    until,
+                    permille,
+                } => bursts.push((*from, *until, f64::from(*permille) / 1000.0)),
+                // max_byzantine = 0: never generated for this spec.
+                FaultAction::Mute { .. } | FaultAction::Equivocate { .. } => {}
+            }
+        }
+        let drop_at = |now: u64| {
+            bursts
+                .iter()
+                .filter(|&&(from, until, _)| from <= now && now < until)
+                .map(|&(_, _, p)| p)
+                .fold(0.0, f64::max)
+        };
+        while s.now() + store::QUANTUM_US <= STORE_RUN_CAP && !s.main_quiesced() {
+            s.set_drop_prob(drop_at(s.now()));
+            s.step();
+        }
+        // The audit pass reads every data key on a healed, loss-free
+        // network — its observations feed the atomicity check.
+        s.set_drop_prob(0.0);
+        s.heal_at(s.now());
+        s.start_audit();
+        while s.now() + store::QUANTUM_US <= 2 * STORE_RUN_CAP && !s.audit_done() {
+            s.step();
+        }
+
+        let history = s.history();
+        let issued: BTreeSet<(u32, u64)> =
+            history.iter().map(|r| (r.client, r.seq)).collect();
+        // Per-shard SMR battery (each shard is its own consensus group, so
+        // logs and digests are only comparable within a shard) …
+        let mut violations = Vec::new();
+        for shard in s.shards() {
+            violations.extend(check_log_agreement(&shard.decided_log()));
+            violations.extend(check_validity(&shard.decided_log(), &issued));
+            violations.extend(check_integrity(&shard.decided_log()));
+            violations.extend(check_state_digests(&shard.state_digests()));
+        }
+        // … then the store-level checks over the merged client history.
+        violations.extend(check_linearizable(&history, DEFAULT_BUDGET));
+        violations.extend(check_txn_atomicity(&history));
+        let ops = history.iter().filter(|r| r.is_complete()).count();
+        RunReport { violations, ops }
     }
 }
 

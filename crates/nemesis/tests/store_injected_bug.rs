@@ -1,0 +1,96 @@
+//! End-to-end proof that the nemesis atomicity checker catches real
+//! cross-shard bugs: the deliberately broken store (`store-buggy`, whose
+//! coordinator disseminates data writes *before* its decision entry is
+//! replicated, and which crashes one router inside that window) must be
+//! detected, survive a control run, and replay bit-for-bit — while the
+//! sound store shrugs off the same schedule.
+
+use nemesis::{
+    by_name, quiet_panics, replay, run_plan, run_trial, shrink, store_injected_bug_target,
+    Counterexample,
+};
+
+/// The first violating seed for `store-buggy`, found by sweeping seeds
+/// 0..10 (`nemesis --seeds 10 --protocols store-buggy`). The trial is a
+/// pure function of `(protocol, seed, plan)`, so this stays stable until
+/// the plan generator, the store workload, or the simulator changes — at
+/// which point re-sweep and update.
+const BUGGY_SEED: u64 = 0;
+
+#[test]
+fn injected_store_bug_is_caught_and_replayed() {
+    let buggy = store_injected_bug_target();
+    let (plan, report) = quiet_panics(|| run_trial(buggy.as_ref(), BUGGY_SEED));
+    assert!(
+        !report.violations.is_empty(),
+        "seed {BUGGY_SEED} no longer triggers the injected store bug; re-sweep for a new seed"
+    );
+    // The signature finding: a data write (or a read observing one) from a
+    // transaction that recovery aborted.
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.to_string().contains("txn-atomicity")),
+        "expected a txn-atomicity violation, got: {:?}",
+        report.violations
+    );
+
+    // The same seed and schedule must NOT fail the sound store — the
+    // finding is the early-dissemination bug, not harness noise.
+    let sound = by_name("store-paxos").unwrap();
+    let control = quiet_panics(|| run_plan(sound.as_ref(), BUGGY_SEED, &plan));
+    assert!(
+        control.violations.is_empty(),
+        "sound store failed the same schedule: {:?}",
+        control.violations
+    );
+
+    // The violation is triggered by the bug's own coordinator crash, not by
+    // the random schedule — so shrinking must still fail, typically with
+    // most (or all) plan actions removed.
+    let shrunk = quiet_panics(|| shrink(buggy.as_ref(), BUGGY_SEED, &plan));
+    assert!(shrunk.actions.len() <= plan.actions.len());
+    let shrunk_report = quiet_panics(|| run_plan(buggy.as_ref(), BUGGY_SEED, &shrunk));
+    assert!(!shrunk_report.violations.is_empty(), "shrunk plan passes");
+
+    // Serialize, parse back, and replay twice: determinism means the
+    // violation list reproduces exactly, both times.
+    let cx = Counterexample {
+        protocol: buggy.name().to_string(),
+        seed: BUGGY_SEED,
+        plan: shrunk,
+        violations: shrunk_report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect(),
+    };
+    let parsed = Counterexample::from_json(&cx.to_json()).expect("round trip");
+    assert_eq!(parsed, cx);
+    let first = quiet_panics(|| replay(buggy.as_ref(), &parsed));
+    let second = quiet_panics(|| replay(buggy.as_ref(), &parsed));
+    assert_eq!(first, cx.violations);
+    assert_eq!(second, cx.violations);
+}
+
+#[test]
+fn store_targets_pass_a_bounded_fault_sweep() {
+    // The sound store — both engines — survives randomized crash/restart/
+    // partition/loss schedules over replicas *and* routers with zero
+    // violations from the full battery (per-shard SMR checks, store-level
+    // linearizability, cross-shard atomicity).
+    for name in ["store-paxos", "store-raft"] {
+        let target = by_name(name).expect("registered");
+        for seed in 0..5 {
+            let (plan, report) = quiet_panics(|| run_trial(target.as_ref(), seed));
+            assert!(
+                report.violations.is_empty(),
+                "{name} seed {seed} violated under {}: {:?}",
+                plan.summary(),
+                report.violations
+            );
+            assert!(report.ops > 0, "{name} seed {seed} made no progress");
+        }
+    }
+}

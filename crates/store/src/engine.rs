@@ -1,0 +1,172 @@
+//! The shard engine abstraction: one consensus group serving one shard.
+//!
+//! A [`ShardEngine`] is any [`ClusterDriver`] the store can additionally
+//! *drive as a log service*: the router harness injects client commands into
+//! the group, observes replies by reading the replicas' dedup tables, and
+//! peeks at applied state. Multi-Paxos and Raft both qualify — the store is
+//! deliberately engine-agnostic, which is the tutorial's point that 2PC
+//! layered over consensus does not care which consensus it is layered over.
+//!
+//! Submission model: every injected command is broadcast to all replicas
+//! from a *stub client* node (a workload client with zero commands). Only
+//! the leader proposes it; followers answer `NotLeader`, which the stub
+//! ignores. The `(client, seq)` dedup table guarantees at-most-once apply,
+//! so the harness may re-broadcast the same command forever until some
+//! replica shows a cached reply for it — "applied on one replica" implies
+//! "decided in the shard log".
+
+use consensus_core::driver::{BatchConfig, ClusterDriver};
+use consensus_core::smr::{Command, KvCommand, KvResponse};
+use consensus_core::workload::WorkloadMode;
+use consensus_core::QuorumSpec;
+use paxos::multi::{MpMsg, MultiPaxosCluster};
+use raft::msg::RaftMsg;
+use raft::RaftCluster;
+use simnet::{NetConfig, NodeId};
+
+/// A consensus group that the store can use as a replicated shard log.
+pub trait ShardEngine: ClusterDriver {
+    /// Builds one shard group: `n_replicas` replicas plus one stub client
+    /// (node id `n_replicas`) whose identity the harness borrows as the
+    /// sender of injected submissions.
+    fn build_shard(n_replicas: usize, batch: BatchConfig, net: NetConfig, seed: u64) -> Self
+    where
+        Self: Sized;
+
+    /// Broadcasts `cmd` to every replica, sent from the stub client node.
+    /// Safe to call repeatedly with the same command (dedup applies once).
+    fn submit(&mut self, cmd: Command<KvCommand>);
+
+    /// The reply for `(client, seq)` if some replica already applied it.
+    /// Valid only while `(client, seq)` is the client's newest command on
+    /// this shard — the dedup table keeps one slot per client.
+    fn reply_for(&self, client: u32, seq: u64) -> Option<KvResponse>;
+
+    /// Reads `key` from the most-caught-up replica's applied state, without
+    /// going through the log. Harness-side introspection only.
+    fn peek(&self, key: &str) -> Option<String>;
+}
+
+impl ShardEngine for MultiPaxosCluster {
+    fn build_shard(n_replicas: usize, batch: BatchConfig, net: NetConfig, seed: u64) -> Self {
+        MultiPaxosCluster::new_with(
+            QuorumSpec::Majority { n: n_replicas },
+            n_replicas,
+            1,
+            0,
+            net,
+            seed,
+            batch,
+            WorkloadMode::Closed,
+        )
+    }
+
+    fn submit(&mut self, cmd: Command<KvCommand>) {
+        let stub = NodeId::from(self.n_replicas);
+        let at = self.sim.now();
+        for r in 0..self.n_replicas {
+            let msg = MpMsg::Request { cmd: cmd.clone() };
+            self.sim.inject(stub, NodeId::from(r), msg, at);
+        }
+    }
+
+    fn reply_for(&self, client: u32, seq: u64) -> Option<KvResponse> {
+        self.replicas()
+            .find_map(|r| r.log.machine().cached(client, seq).cloned())
+    }
+
+    fn peek(&self, key: &str) -> Option<String> {
+        self.replicas()
+            .max_by_key(|r| r.log.applied_len())
+            .and_then(|r| r.log.machine().kv().get(key).cloned())
+    }
+}
+
+impl ShardEngine for RaftCluster {
+    fn build_shard(n_replicas: usize, batch: BatchConfig, net: NetConfig, seed: u64) -> Self {
+        RaftCluster::new_with(
+            n_replicas,
+            1,
+            0,
+            net,
+            seed,
+            batch,
+            WorkloadMode::Closed,
+        )
+    }
+
+    fn submit(&mut self, cmd: Command<KvCommand>) {
+        let stub = NodeId::from(self.n_replicas);
+        let at = self.sim.now();
+        for r in 0..self.n_replicas {
+            let msg = RaftMsg::Request { cmd: cmd.clone() };
+            self.sim.inject(stub, NodeId::from(r), msg, at);
+        }
+    }
+
+    fn reply_for(&self, client: u32, seq: u64) -> Option<KvResponse> {
+        self.replicas()
+            .find_map(|r| r.machine().cached(client, seq).cloned())
+    }
+
+    fn peek(&self, key: &str) -> Option<String> {
+        self.replicas()
+            .max_by_key(|r| r.last_applied)
+            .and_then(|r| r.machine().kv().get(key).cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::Time;
+
+    fn drive<E: ShardEngine>(mut shard: E) {
+        // Submit through the harness path: broadcast, step, poll.
+        let cmd = Command {
+            client: 100,
+            seq: 1,
+            op: KvCommand::Put {
+                key: "alpha".into(),
+                value: "1".into(),
+            },
+        };
+        let mut t = 20_000; // past initial leader election
+        shard.run_until(Time(t));
+        shard.submit(cmd.clone());
+        let reply = loop {
+            t += 500;
+            shard.run_until(Time(t));
+            if let Some(r) = shard.reply_for(100, 1) {
+                break r;
+            }
+            if t % 25_000 == 0 {
+                shard.submit(cmd.clone()); // retransmit
+            }
+            assert!(t < 5_000_000, "submission never applied");
+        };
+        assert_eq!(reply, KvResponse::Ok);
+        assert_eq!(shard.peek("alpha"), Some("1".to_string()));
+        assert_eq!(shard.peek("missing"), None);
+    }
+
+    #[test]
+    fn paxos_shard_applies_injected_commands() {
+        drive(MultiPaxosCluster::build_shard(
+            3,
+            BatchConfig::unbatched(),
+            NetConfig::lan(),
+            7,
+        ));
+    }
+
+    #[test]
+    fn raft_shard_applies_injected_commands() {
+        drive(RaftCluster::build_shard(
+            3,
+            BatchConfig::unbatched(),
+            NetConfig::lan(),
+            7,
+        ));
+    }
+}

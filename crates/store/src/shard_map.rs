@@ -1,0 +1,143 @@
+//! Key → shard routing: a hash-range map shared by every router.
+//!
+//! Keys are hashed (FNV-1a, stable across platforms) onto the `u64` ring,
+//! which is cut into contiguous ranges; each range is owned by one consensus
+//! *group*. The indirection from range to group — rather than `hash % n` —
+//! is what makes the map rebalancing-ready: a future split/move only edits
+//! the range table, it never changes the hash function, and the assignment
+//! travels inside the serialized store config so every router provably
+//! routes identically (the store asserts the per-router copies are equal).
+
+/// Deterministic shard map: `ranges[i]` is the *exclusive* upper bound of
+/// range `i` on the hash ring, owned by consensus group `groups[i]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    /// Exclusive upper bound of each hash range, strictly increasing; the
+    /// last bound is always `u64::MAX` (the ring has no gaps).
+    bounds: Vec<u64>,
+    /// Owning consensus group of each range.
+    groups: Vec<u32>,
+}
+
+/// The store's stable key hash: FNV-1a with a 64-bit finalizer. Raw FNV
+/// barely stirs the high bits on short keys, and range partitioning reads
+/// exactly those bits — the avalanche pass spreads them.
+pub fn key_hash(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+impl ShardMap {
+    /// An even split of the ring into `n_groups` ranges, range `i` owned by
+    /// group `i`. The starting point before any rebalancing.
+    pub fn even(n_groups: usize) -> Self {
+        assert!(n_groups > 0, "store needs at least one shard");
+        let n = n_groups as u64;
+        let width = u64::MAX / n;
+        let mut bounds: Vec<u64> = (1..n).map(|i| i * width).collect();
+        bounds.push(u64::MAX);
+        ShardMap {
+            bounds,
+            groups: (0..n_groups as u32).collect(),
+        }
+    }
+
+    /// The consensus group owning `key`.
+    pub fn group_of(&self, key: &str) -> usize {
+        let h = key_hash(key);
+        let i = self.bounds.partition_point(|&b| b < h);
+        self.groups[i.min(self.groups.len() - 1)] as usize
+    }
+
+    /// Number of distinct consensus groups.
+    pub fn n_groups(&self) -> usize {
+        let mut gs: Vec<u32> = self.groups.clone();
+        gs.sort_unstable();
+        gs.dedup();
+        gs.len()
+    }
+
+    /// Serializes the map for the store config (`bound:group,...`).
+    pub fn serialize(&self) -> String {
+        self.bounds
+            .iter()
+            .zip(&self.groups)
+            .map(|(b, g)| format!("{b:x}:{g}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses [`ShardMap::serialize`] output. Returns `None` on malformed
+    /// input or a map that does not cover the whole ring.
+    pub fn deserialize(s: &str) -> Option<ShardMap> {
+        let mut bounds = Vec::new();
+        let mut groups = Vec::new();
+        for part in s.split(',') {
+            let (b, g) = part.split_once(':')?;
+            bounds.push(u64::from_str_radix(b, 16).ok()?);
+            groups.push(g.parse().ok()?);
+        }
+        let covers = bounds.last() == Some(&u64::MAX);
+        let sorted = bounds.windows(2).all(|w| w[0] < w[1]);
+        (covers && sorted && !bounds.is_empty()).then_some(ShardMap { bounds, groups })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_map_covers_ring_and_uses_all_groups() {
+        let map = ShardMap::even(4);
+        let mut seen = [false; 4];
+        for i in 0..256 {
+            seen[map.group_of(&format!("k{i}"))] = true;
+        }
+        assert_eq!(seen, [true; 4], "256 keys should hit all 4 shards");
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let map = ShardMap::even(3);
+        let copy = ShardMap::deserialize(&map.serialize()).unwrap();
+        assert_eq!(copy, map);
+        for i in 0..64 {
+            let k = format!("key-{i}");
+            assert_eq!(copy.group_of(&k), map.group_of(&k));
+        }
+    }
+
+    #[test]
+    fn malformed_maps_are_rejected() {
+        assert_eq!(ShardMap::deserialize(""), None);
+        assert_eq!(ShardMap::deserialize("10:0,5:1"), None, "unsorted");
+        assert_eq!(ShardMap::deserialize("10:0,20:1"), None, "uncovered ring");
+        assert_eq!(ShardMap::deserialize("zz"), None);
+    }
+
+    #[test]
+    fn rebalancing_edits_ranges_without_moving_the_hash() {
+        // Moving a range to another group re-routes exactly that range.
+        let map = ShardMap::even(2);
+        let mut moved = map.clone();
+        moved.groups[0] = 1; // group 1 absorbs range 0
+        for i in 0..64 {
+            let k = format!("k{i}");
+            if map.group_of(&k) == 0 {
+                assert_eq!(moved.group_of(&k), 1);
+            } else {
+                assert_eq!(moved.group_of(&k), map.group_of(&k));
+            }
+        }
+        assert_eq!(moved.n_groups(), 1);
+    }
+}

@@ -1,0 +1,1498 @@
+//! The sharded store harness: routers, 2PC over consensus, recovery, audit.
+//!
+//! One [`crate::ShardEngine`] consensus group per shard, all stepped in
+//! lockstep quanta of simulated time. Routers live *between* the groups:
+//! at every step boundary they poll for replies and inject follow-up
+//! commands. A router is the 2PC coordinator *process*, but — following
+//! Gray & Lamport's *Consensus on Transaction Commit* — every piece of 2PC
+//! state it produces is a replicated log entry in some shard:
+//!
+//! 1. **Intent** — `~txn.<tid> = "<participant shards>"` on the coordinator
+//!    shard (who is involved, for recovery).
+//! 2. **Init** — `~dec.<tid> = "pending"` on the coordinator shard.
+//! 3. **Prepare** — `~prep.<tid>.s<k> = "<write-set>"` on every participant
+//!    shard (the participant's yes vote *and* its redo log).
+//! 4. **Decide** — compare-and-swap `~dec.<tid>: pending → commit|abort` on
+//!    the coordinator shard. Log order serializes concurrent deciders;
+//!    exactly one CAS swaps. *This entry is the commit point.*
+//! 5. **Apply** — data writes `key = value@<tid>`, issued only after the
+//!    decision entry is observed durable.
+//!
+//! If the router crashes at *any* point, a recovery actor re-derives the
+//! outcome purely from replicated state: it CASes the decision to `abort`
+//! (winning iff the decision was still open), and otherwise completes the
+//! writes recorded in the prepare entries. Unreplicated 2PC blocks in this
+//! exact scenario — `atomic_commit::two_phase` with
+//! `CrashPoint::AfterVotes` demonstrates the contrast.
+//!
+//! The `buggy_early_writes` knob re-creates the classic early-dissemination
+//! bug: the coordinator applies the decision — it disseminates the data
+//! writes — *before* its decision entry is replicated. A router crash in
+//! that window leaves the txn formally undecided, recovery's abort-CAS
+//! wins, and the "committed" writes are already visible as orphaned aborted
+//! state — the nemesis atomicity checker catches exactly this.
+
+use consensus_core::driver::BatchConfig;
+use consensus_core::history::{ClientRecord, HistorySink};
+use consensus_core::smr::{Command, KvCommand, KvResponse};
+use consensus_core::txn::{self, TxnDecision, TxnId, TxnPhase};
+use consensus_core::workload::LatencyRecorder;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha20Rng;
+use simnet::{NetConfig, Time};
+
+use crate::engine::ShardEngine;
+use crate::shard_map::ShardMap;
+
+/// Lockstep step size: shards run this many µs between harness polls.
+pub const QUANTUM_US: u64 = 500;
+/// Retransmit interval for unacknowledged submissions.
+pub const RETRY_US: u64 = 25_000;
+/// How long a crashed router's transaction stays untouched before the
+/// recovery actor claims it.
+pub const RECOVERY_DELAY_US: u64 = 40_000;
+/// Client id of router `r` is `ROUTER_BASE + r`.
+pub const ROUTER_BASE: u32 = 100;
+/// Client id of the recovery actor.
+pub const RECOVERY_CLIENT: u32 = 200;
+/// Client id of the post-run audit reader.
+pub const AUDIT_CLIENT: u32 = 300;
+
+/// The coordinator-shard key registering `tid`'s participant set.
+pub fn intent_key(tid: TxnId) -> String {
+    format!("~txn.{tid}")
+}
+
+fn encode_participants(shards: &[usize]) -> String {
+    shards
+        .iter()
+        .map(|s| s.to_string())
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+fn decode_participants(s: &str) -> Vec<usize> {
+    s.split(';').filter_map(|p| p.parse().ok()).collect()
+}
+
+/// Store-wide configuration. Serialized (including the shard map) and
+/// re-parsed by every router, so all routers provably share one routing
+/// view.
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Number of shards = consensus groups.
+    pub n_shards: usize,
+    /// Replicas per consensus group.
+    pub replicas_per_shard: usize,
+    /// Number of router clients.
+    pub n_routers: usize,
+    /// Cross-shard transactions each router issues.
+    pub txns_per_router: usize,
+    /// Single-key operations each router issues.
+    pub singles_per_router: usize,
+    /// Maximum shards a generated transaction spans.
+    pub max_span: usize,
+    /// Data keys per shard in the workload pool.
+    pub keys_per_shard: usize,
+    /// Batching/pipelining knob forwarded to every shard group.
+    pub batch: BatchConfig,
+    /// Network profile of every shard group.
+    pub net: NetConfig,
+    /// Master seed; shard groups and routers derive their own.
+    pub seed: u64,
+    /// Inject the early-dissemination bug (see module docs).
+    pub buggy_early_writes: bool,
+}
+
+impl StoreConfig {
+    /// A small default store: 3 shards × 3 replicas, 2 routers.
+    pub fn small(seed: u64) -> Self {
+        StoreConfig {
+            n_shards: 3,
+            replicas_per_shard: 3,
+            n_routers: 2,
+            txns_per_router: 3,
+            singles_per_router: 2,
+            max_span: 3,
+            keys_per_shard: 4,
+            batch: BatchConfig::unbatched(),
+            net: NetConfig::lan(),
+            seed,
+            buggy_early_writes: false,
+        }
+    }
+}
+
+/// Where a router may be crashed relative to a transaction's lifecycle,
+/// mirroring `atomic_commit::three_phase::CrashPoint` one layer up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouterCrashPoint {
+    /// After the decision entry is initialized, before any prepare.
+    BeforePrepare,
+    /// After all prepare records are durable, before the decision CAS.
+    AfterPrepare,
+    /// After the commit decision is durable, before any data write.
+    AfterDecide,
+    /// Buggy mode only: after the early data writes are applied, before
+    /// the decision CAS is even submitted — the maximal-damage window of
+    /// the early-dissemination bug.
+    AfterEarlyWrites,
+}
+
+/// A completed transaction as the issuing router saw it.
+#[derive(Clone, Debug)]
+pub struct TxnOutcome {
+    /// Transaction id.
+    pub tid: TxnId,
+    /// Final decision.
+    pub decision: TxnDecision,
+    /// Number of shards the transaction spanned.
+    pub span: usize,
+    /// Completion time (µs).
+    pub at: u64,
+    /// Begin-to-outcome latency (µs).
+    pub latency_us: u64,
+}
+
+/// One generated workload item.
+#[derive(Clone, Debug)]
+enum WorkItem {
+    Single(KvCommand),
+    Txn {
+        writes: Vec<(String, String)>,
+        abort: bool,
+    },
+}
+
+/// An outstanding submission awaiting its reply.
+#[derive(Clone, Debug)]
+struct Pending {
+    shard: usize,
+    seq: u64,
+    op: KvCommand,
+    sent: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Single,
+    Intent,
+    Init,
+    Prepare,
+    /// Buggy mode only: data writes in flight *before* the decision CAS.
+    EarlyWrite,
+    Decide,
+    ReadDecision,
+    Write,
+}
+
+#[derive(Clone, Debug)]
+struct ActiveTxn {
+    tid: TxnId,
+    writes: Vec<(String, String)>,
+    coord: usize,
+    participants: Vec<usize>,
+    intend_abort: bool,
+    decided: Option<TxnDecision>,
+    /// Remaining data writes per participant (parallel to `participants`).
+    queues: Vec<Vec<(String, String)>>,
+    /// Buggy mode: the data writes already applied before the decision.
+    wrote_early: bool,
+    started: u64,
+}
+
+struct Router {
+    idx: usize,
+    client: u32,
+    map: ShardMap,
+    items: Vec<WorkItem>,
+    next_item: usize,
+    txn_counter: u64,
+    seq: u64,
+    phase: Phase,
+    txn: Option<ActiveTxn>,
+    pending: Vec<Pending>,
+    crashed: Option<u64>,
+    crash_at: Option<u64>,
+    restart_at: Option<u64>,
+    crash_on: Option<(u64, RouterCrashPoint)>,
+    history: HistorySink,
+    txn_latencies: LatencyRecorder,
+    outcomes: Vec<TxnOutcome>,
+}
+
+impl Router {
+    fn bump(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn done(&self) -> bool {
+        self.phase == Phase::Idle && self.next_item >= self.items.len() && self.pending.is_empty()
+    }
+
+    fn should_crash(&self, point: RouterCrashPoint) -> bool {
+        match (self.crash_on, &self.txn) {
+            (Some((num, p)), Some(t)) => p == point && t.tid.number == num,
+            _ => false,
+        }
+    }
+}
+
+/// A crashed router's in-flight transaction, queued for recovery.
+#[derive(Clone, Debug)]
+struct Abandoned {
+    tid: TxnId,
+    coord: usize,
+    at: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RecPhase {
+    Idle,
+    Intent,
+    AbortCas,
+    GetDecision,
+    GetPrepare,
+    Write,
+}
+
+struct RecTask {
+    tid: TxnId,
+    coord: usize,
+    participants: Vec<usize>,
+    writes: Vec<(String, String)>,
+    prep_idx: usize,
+    write_idx: usize,
+}
+
+struct Recovery {
+    seq: u64,
+    queue: Vec<Abandoned>,
+    phase: RecPhase,
+    task: Option<RecTask>,
+    pending: Vec<Pending>,
+    history: HistorySink,
+    recovered: Vec<(TxnId, TxnDecision)>,
+}
+
+struct Audit {
+    seq: u64,
+    keys: Vec<(usize, String)>,
+    idx: usize,
+    started: bool,
+    pending: Vec<Pending>,
+    history: HistorySink,
+}
+
+/// The sharded transactional store.
+pub struct Store<E: ShardEngine> {
+    /// Configuration the store was built from.
+    pub cfg: StoreConfig,
+    map: ShardMap,
+    shards: Vec<E>,
+    routers: Vec<Router>,
+    recovery: Recovery,
+    audit: Audit,
+    now: u64,
+    trace: Vec<String>,
+}
+
+fn submit<E: ShardEngine>(
+    shards: &mut [E],
+    history: &mut HistorySink,
+    client: u32,
+    seq: u64,
+    shard: usize,
+    op: KvCommand,
+    now: u64,
+) -> Pending {
+    history.invoke(client, seq, op.clone(), now);
+    shards[shard].submit(Command {
+        client,
+        seq,
+        op: op.clone(),
+    });
+    Pending {
+        shard,
+        seq,
+        op,
+        sent: now,
+    }
+}
+
+/// Polls outstanding ops: completes those with replies, retransmits stale
+/// ones. Returns the completed `(op, response)` pairs.
+fn poll<E: ShardEngine>(
+    shards: &mut [E],
+    history: &mut HistorySink,
+    client: u32,
+    pending: &mut Vec<Pending>,
+    now: u64,
+) -> Vec<(Pending, KvResponse)> {
+    let mut done = Vec::new();
+    let mut i = 0;
+    while i < pending.len() {
+        if let Some(resp) = shards[pending[i].shard].reply_for(client, pending[i].seq) {
+            history.complete(client, pending[i].seq, now, resp.clone());
+            done.push((pending.remove(i), resp));
+        } else {
+            let p = &mut pending[i];
+            if now.saturating_sub(p.sent) >= RETRY_US {
+                shards[p.shard].submit(Command {
+                    client,
+                    seq: p.seq,
+                    op: p.op.clone(),
+                });
+                p.sent = now;
+            }
+            i += 1;
+        }
+    }
+    done
+}
+
+fn crash_router(r: &mut Router, now: u64, trace: &mut Vec<String>, queue: &mut Vec<Abandoned>) {
+    r.crashed = Some(now);
+    r.pending.clear();
+    if let Some(t) = r.txn.take() {
+        trace.push(format!(
+            "t={now} r{} crash mid-txn {} (to recovery)",
+            r.idx, t.tid
+        ));
+        queue.push(Abandoned {
+            tid: t.tid,
+            coord: t.coord,
+            at: now,
+        });
+    } else {
+        trace.push(format!("t={now} r{} crash", r.idx));
+    }
+    r.phase = Phase::Idle;
+}
+
+/// Splits `writes` into per-participant queues of *tagged* values, ordered
+/// like `participants`.
+fn tagged_queues(
+    map: &ShardMap,
+    writes: &[(String, String)],
+    participants: &[usize],
+    tid: TxnId,
+) -> Vec<Vec<(String, String)>> {
+    participants
+        .iter()
+        .map(|&s| {
+            writes
+                .iter()
+                .filter(|(k, _)| map.group_of(k) == s)
+                .map(|(k, v)| (k.clone(), txn::tag_value(v, tid)))
+                .collect()
+        })
+        .collect()
+}
+
+fn start_writes<E: ShardEngine>(r: &mut Router, shards: &mut [E], now: u64) {
+    let t = r.txn.as_mut().expect("writes need an active txn");
+    if t.queues.iter().all(|q| q.is_empty()) {
+        return;
+    }
+    // One outstanding op per shard: submit the head of each queue.
+    let heads: Vec<(usize, (String, String))> = t
+        .queues
+        .iter_mut()
+        .zip(t.participants.clone())
+        .filter_map(|(q, s)| (!q.is_empty()).then(|| (s, q.remove(0))))
+        .collect();
+    for (s, (key, value)) in heads {
+        let seq = r.bump();
+        let op = KvCommand::Put { key, value };
+        r.pending
+            .push(submit(shards, &mut r.history, r.client, seq, s, op, now));
+    }
+}
+
+fn finish_txn(r: &mut Router, decision: TxnDecision, now: u64, trace: &mut Vec<String>) {
+    let t = r.txn.take().expect("finishing without an active txn");
+    let latency = now - t.started;
+    trace.push(format!(
+        "t={now} r{} {} phase={} decision={} span={}",
+        r.idx,
+        t.tid,
+        TxnPhase::Decide.label(),
+        decision.as_str(),
+        t.participants.len()
+    ));
+    r.txn_latencies.record_micros(latency);
+    r.outcomes.push(TxnOutcome {
+        tid: t.tid,
+        decision,
+        span: t.participants.len(),
+        at: now,
+        latency_us: latency,
+    });
+    r.phase = Phase::Idle;
+}
+
+fn start_next<E: ShardEngine>(r: &mut Router, shards: &mut [E], now: u64, trace: &mut Vec<String>) {
+    if r.next_item >= r.items.len() {
+        return;
+    }
+    let item = r.items[r.next_item].clone();
+    r.next_item += 1;
+    match item {
+        WorkItem::Single(op) => {
+            let key = match &op {
+                KvCommand::Put { key, .. }
+                | KvCommand::Get { key }
+                | KvCommand::Delete { key }
+                | KvCommand::Cas { key, .. } => key.clone(),
+            };
+            let shard = r.map.group_of(&key);
+            let seq = r.bump();
+            r.pending
+                .push(submit(shards, &mut r.history, r.client, seq, shard, op, now));
+            r.phase = Phase::Single;
+        }
+        WorkItem::Txn { writes, abort } => {
+            let tid = TxnId::new(r.client, r.txn_counter);
+            r.txn_counter += 1;
+            let coord = r.map.group_of(&writes[0].0);
+            let mut participants: Vec<usize> = writes.iter().map(|(k, _)| r.map.group_of(k)).collect();
+            participants.sort_unstable();
+            participants.dedup();
+            let span = participants.len();
+            trace.push(format!(
+                "t={now} r{} {tid} begin span={span} coord=s{coord}",
+                r.idx
+            ));
+            r.txn = Some(ActiveTxn {
+                tid,
+                writes,
+                coord,
+                participants: participants.clone(),
+                intend_abort: abort,
+                decided: None,
+                queues: Vec::new(),
+                wrote_early: false,
+                started: now,
+            });
+            let seq = r.bump();
+            let op = KvCommand::Put {
+                key: intent_key(tid),
+                value: encode_participants(&participants),
+            };
+            r.pending
+                .push(submit(shards, &mut r.history, r.client, seq, coord, op, now));
+            r.phase = Phase::Intent;
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn step_router<E: ShardEngine>(
+    r: &mut Router,
+    shards: &mut [E],
+    now: u64,
+    buggy: bool,
+    trace: &mut Vec<String>,
+    queue: &mut Vec<Abandoned>,
+) {
+    if let Some(t) = r.crash_at {
+        if now >= t && r.crashed.is_none() {
+            r.crash_at = None;
+            crash_router(r, now, trace, queue);
+        }
+    }
+    if let Some(t) = r.restart_at {
+        if now >= t {
+            r.restart_at = None;
+            if r.crashed.is_some() {
+                // The restarted router does not resume its in-flight
+                // transaction — that already belongs to recovery. It picks
+                // up the rest of its workload.
+                r.crashed = None;
+                r.txn = None;
+                r.pending.clear();
+                r.phase = Phase::Idle;
+                trace.push(format!("t={now} r{} restart", r.idx));
+            }
+        }
+    }
+    if r.crashed.is_some() {
+        return;
+    }
+
+    let done = poll(shards, &mut r.history, r.client, &mut r.pending, now);
+
+    match r.phase {
+        Phase::Idle => start_next(r, shards, now, trace),
+        Phase::Single => {
+            if !done.is_empty() {
+                r.phase = Phase::Idle;
+            }
+        }
+        Phase::Intent => {
+            if !done.is_empty() {
+                let t = r.txn.as_ref().expect("intent phase has a txn");
+                let (tid, coord) = (t.tid, t.coord);
+                let seq = r.bump();
+                let op = KvCommand::Put {
+                    key: txn::decision_key(tid),
+                    value: txn::DECISION_PENDING.to_string(),
+                };
+                r.pending
+                    .push(submit(shards, &mut r.history, r.client, seq, coord, op, now));
+                r.phase = Phase::Init;
+            }
+        }
+        Phase::Init => {
+            if !done.is_empty() {
+                if r.should_crash(RouterCrashPoint::BeforePrepare) {
+                    crash_router(r, now, trace, queue);
+                    return;
+                }
+                let t = r.txn.as_ref().expect("init phase has a txn");
+                let tid = t.tid;
+                let prepares: Vec<(usize, String)> = t
+                    .participants
+                    .iter()
+                    .map(|&s| {
+                        let writes: Vec<(String, String)> = t
+                            .writes
+                            .iter()
+                            .filter(|(k, _)| r.map.group_of(k) == s)
+                            .cloned()
+                            .collect();
+                        (s, txn::encode_writes(&writes))
+                    })
+                    .collect();
+                trace.push(format!(
+                    "t={now} r{} {tid} phase={} shards={:?}",
+                    r.idx,
+                    TxnPhase::Prepare.label(),
+                    t.participants
+                ));
+                for (s, value) in prepares {
+                    let seq = r.bump();
+                    let op = KvCommand::Put {
+                        key: txn::prepare_key(tid, s),
+                        value,
+                    };
+                    r.pending
+                        .push(submit(shards, &mut r.history, r.client, seq, s, op, now));
+                }
+                r.phase = Phase::Prepare;
+            }
+        }
+        Phase::Prepare => {
+            if r.pending.is_empty() {
+                if r.should_crash(RouterCrashPoint::AfterPrepare) {
+                    crash_router(r, now, trace, queue);
+                    return;
+                }
+                let t = r.txn.as_mut().expect("prepare phase has a txn");
+                let tid = t.tid;
+                let coord = t.coord;
+                let decision = if t.intend_abort {
+                    TxnDecision::Abort
+                } else {
+                    TxnDecision::Commit
+                };
+                if buggy && decision == TxnDecision::Commit {
+                    // BUG (opt-in): disseminate the data writes *now*, before
+                    // the decision entry is replicated. Until the CAS lands,
+                    // the txn is still formally undecided — a router crash in
+                    // this window lets recovery's abort-CAS win while the
+                    // "committed" writes are already visible.
+                    t.queues = tagged_queues(&r.map, &t.writes, &t.participants, tid);
+                    start_writes(r, shards, now);
+                    r.phase = Phase::EarlyWrite;
+                    return;
+                }
+                let seq = r.bump();
+                let op = KvCommand::Cas {
+                    key: txn::decision_key(tid),
+                    expect: txn::DECISION_PENDING.to_string(),
+                    new: decision.as_str().to_string(),
+                };
+                r.pending
+                    .push(submit(shards, &mut r.history, r.client, seq, coord, op, now));
+                r.phase = Phase::Decide;
+            }
+        }
+        Phase::EarlyWrite => {
+            for (p, _) in &done {
+                let t = r.txn.as_mut().expect("early-write phase has a txn");
+                if let Some(i) = t.participants.iter().position(|&s| s == p.shard) {
+                    if let Some((key, value)) =
+                        (!t.queues[i].is_empty()).then(|| t.queues[i].remove(0))
+                    {
+                        let seq = r.bump();
+                        let op = KvCommand::Put { key, value };
+                        r.pending
+                            .push(submit(shards, &mut r.history, r.client, seq, p.shard, op, now));
+                    }
+                }
+            }
+            let t = r.txn.as_mut().expect("early-write phase has a txn");
+            if r.pending.is_empty() && t.queues.iter().all(Vec::is_empty) {
+                t.wrote_early = true;
+                let (tid, coord) = (t.tid, t.coord);
+                if r.should_crash(RouterCrashPoint::AfterEarlyWrites) {
+                    crash_router(r, now, trace, queue);
+                    return;
+                }
+                let seq = r.bump();
+                let op = KvCommand::Cas {
+                    key: txn::decision_key(tid),
+                    expect: txn::DECISION_PENDING.to_string(),
+                    new: TxnDecision::Commit.as_str().to_string(),
+                };
+                r.pending
+                    .push(submit(shards, &mut r.history, r.client, seq, coord, op, now));
+                r.phase = Phase::Decide;
+            }
+        }
+        Phase::Decide => {
+            let mut read_decision = false;
+            for (p, resp) in &done {
+                match (&p.op, resp) {
+                    (KvCommand::Cas { key, .. }, KvResponse::CasResult { swapped })
+                        if txn::parse_decision_key(key).is_some() =>
+                    {
+                        let t = r.txn.as_mut().expect("decide phase has a txn");
+                        if *swapped {
+                            t.decided = Some(if t.intend_abort {
+                                TxnDecision::Abort
+                            } else {
+                                TxnDecision::Commit
+                            });
+                        } else {
+                            // Someone else (recovery) resolved the decision
+                            // first; learn it from the log.
+                            read_decision = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if read_decision {
+                let t = r.txn.as_ref().expect("decide phase has a txn");
+                let (tid, coord) = (t.tid, t.coord);
+                let seq = r.bump();
+                let op = KvCommand::Get {
+                    key: txn::decision_key(tid),
+                };
+                r.pending
+                    .push(submit(shards, &mut r.history, r.client, seq, coord, op, now));
+                r.phase = Phase::ReadDecision;
+                return;
+            }
+            let decided = r.txn.as_ref().expect("decide phase has a txn").decided;
+            match decided {
+                Some(TxnDecision::Abort) if r.pending.is_empty() => {
+                    finish_txn(r, TxnDecision::Abort, now, trace);
+                }
+                Some(TxnDecision::Commit) => {
+                    if r.should_crash(RouterCrashPoint::AfterDecide) {
+                        crash_router(r, now, trace, queue);
+                        return;
+                    }
+                    let t = r.txn.as_mut().expect("decide phase has a txn");
+                    if !t.wrote_early {
+                        t.queues = tagged_queues(&r.map, &t.writes, &t.participants, t.tid);
+                        start_writes(r, shards, now);
+                    }
+                    r.phase = Phase::Write;
+                }
+                // Abort with replies still outstanding, or undecided: wait.
+                Some(TxnDecision::Abort) | None => {}
+            }
+        }
+        Phase::ReadDecision => {
+            if let Some((p, resp)) = done.into_iter().next() {
+                let t = r.txn.as_mut().expect("read-decision phase has a txn");
+                match resp {
+                    KvResponse::Value(Some(v)) => match TxnDecision::parse(&v) {
+                        Some(TxnDecision::Commit) => {
+                            t.decided = Some(TxnDecision::Commit);
+                            if !t.wrote_early {
+                                t.queues =
+                                    tagged_queues(&r.map, &t.writes, &t.participants, t.tid);
+                            }
+                            start_writes(r, shards, now);
+                            r.phase = Phase::Write;
+                        }
+                        Some(TxnDecision::Abort) => {
+                            t.decided = Some(TxnDecision::Abort);
+                            finish_txn(r, TxnDecision::Abort, now, trace);
+                        }
+                        None => {
+                            // Still pending (only possible transiently);
+                            // re-read.
+                            let seq = r.bump();
+                            r.pending.push(submit(
+                                shards,
+                                &mut r.history,
+                                r.client,
+                                seq,
+                                p.shard,
+                                p.op.clone(),
+                                now,
+                            ));
+                        }
+                    },
+                    _ => {
+                        let seq = r.bump();
+                        r.pending.push(submit(
+                            shards,
+                            &mut r.history,
+                            r.client,
+                            seq,
+                            p.shard,
+                            p.op.clone(),
+                            now,
+                        ));
+                    }
+                }
+            }
+        }
+        Phase::Write => {
+            for (p, _) in &done {
+                let t = r.txn.as_mut().expect("write phase has a txn");
+                if let Some(i) = t.participants.iter().position(|&s| s == p.shard) {
+                    if let Some((key, value)) =
+                        (!t.queues[i].is_empty()).then(|| t.queues[i].remove(0))
+                    {
+                        let seq = r.bump();
+                        let op = KvCommand::Put { key, value };
+                        r.pending
+                            .push(submit(shards, &mut r.history, r.client, seq, p.shard, op, now));
+                    }
+                }
+            }
+            let t = r.txn.as_ref().expect("write phase has a txn");
+            if r.pending.is_empty() && t.queues.iter().all(|q| q.is_empty()) {
+                finish_txn(r, TxnDecision::Commit, now, trace);
+            }
+        }
+    }
+}
+
+fn finish_recovery(
+    rec: &mut Recovery,
+    decision: TxnDecision,
+    now: u64,
+    trace: &mut Vec<String>,
+) {
+    let task = rec.task.take().expect("finishing without a task");
+    trace.push(format!(
+        "t={now} recovery {} phase={} decision={}",
+        task.tid,
+        TxnPhase::Decide.label(),
+        decision.as_str()
+    ));
+    rec.recovered.push((task.tid, decision));
+    rec.phase = RecPhase::Idle;
+}
+
+fn step_recovery<E: ShardEngine>(
+    rec: &mut Recovery,
+    shards: &mut [E],
+    map: &ShardMap,
+    now: u64,
+    trace: &mut Vec<String>,
+) {
+    let done = poll(shards, &mut rec.history, RECOVERY_CLIENT, &mut rec.pending, now);
+    let mut resubmit: Option<(usize, KvCommand)> = None;
+
+    match rec.phase {
+        RecPhase::Idle => {
+            if let Some(pos) = rec
+                .queue
+                .iter()
+                .position(|a| now >= a.at + RECOVERY_DELAY_US)
+            {
+                let a = rec.queue.remove(pos);
+                trace.push(format!("t={now} recovery {} claim", a.tid));
+                rec.task = Some(RecTask {
+                    tid: a.tid,
+                    coord: a.coord,
+                    participants: Vec::new(),
+                    writes: Vec::new(),
+                    prep_idx: 0,
+                    write_idx: 0,
+                });
+                rec.seq += 1;
+                let op = KvCommand::Get {
+                    key: intent_key(a.tid),
+                };
+                rec.pending.push(submit(
+                    shards,
+                    &mut rec.history,
+                    RECOVERY_CLIENT,
+                    rec.seq,
+                    a.coord,
+                    op,
+                    now,
+                ));
+                rec.phase = RecPhase::Intent;
+            }
+        }
+        RecPhase::Intent => {
+            if let Some((_, resp)) = done.into_iter().next() {
+                match resp {
+                    KvResponse::Value(Some(v)) => {
+                        let task = rec.task.as_mut().expect("intent phase has a task");
+                        task.participants = decode_participants(&v);
+                        let (tid, coord) = (task.tid, task.coord);
+                        rec.seq += 1;
+                        let op = KvCommand::Cas {
+                            key: txn::decision_key(tid),
+                            expect: txn::DECISION_PENDING.to_string(),
+                            new: TxnDecision::Abort.as_str().to_string(),
+                        };
+                        rec.pending.push(submit(
+                            shards,
+                            &mut rec.history,
+                            RECOVERY_CLIENT,
+                            rec.seq,
+                            coord,
+                            op,
+                            now,
+                        ));
+                        rec.phase = RecPhase::AbortCas;
+                    }
+                    _ => {
+                        // The intent never became durable: the transaction
+                        // registered nothing, so nothing can ever commit.
+                        finish_recovery(rec, TxnDecision::Abort, now, trace);
+                    }
+                }
+            }
+        }
+        RecPhase::AbortCas => {
+            if let Some((_, resp)) = done.into_iter().next() {
+                if resp == (KvResponse::CasResult { swapped: true }) {
+                    // We closed the decision: abort is durable, and the
+                    // router (sound) never wrote data without a durable
+                    // commit — nothing to undo.
+                    finish_recovery(rec, TxnDecision::Abort, now, trace);
+                } else {
+                    let task = rec.task.as_ref().expect("abort-cas phase has a task");
+                    let (tid, coord) = (task.tid, task.coord);
+                    rec.seq += 1;
+                    let op = KvCommand::Get {
+                        key: txn::decision_key(tid),
+                    };
+                    rec.pending.push(submit(
+                        shards,
+                        &mut rec.history,
+                        RECOVERY_CLIENT,
+                        rec.seq,
+                        coord,
+                        op,
+                        now,
+                    ));
+                    rec.phase = RecPhase::GetDecision;
+                }
+            }
+        }
+        RecPhase::GetDecision => {
+            if let Some((_, resp)) = done.into_iter().next() {
+                let task = rec.task.as_ref().expect("get-decision phase has a task");
+                let (tid, coord) = (task.tid, task.coord);
+                match resp {
+                    KvResponse::Value(Some(v)) => match TxnDecision::parse(&v) {
+                        Some(TxnDecision::Commit) => {
+                            let shard = task.participants[0];
+                            rec.seq += 1;
+                            let op = KvCommand::Get {
+                                key: txn::prepare_key(tid, shard),
+                            };
+                            rec.pending.push(submit(
+                                shards,
+                                &mut rec.history,
+                                RECOVERY_CLIENT,
+                                rec.seq,
+                                shard,
+                                op,
+                                now,
+                            ));
+                            rec.phase = RecPhase::GetPrepare;
+                        }
+                        Some(TxnDecision::Abort) => {
+                            finish_recovery(rec, TxnDecision::Abort, now, trace);
+                        }
+                        None => {
+                            // Back to pending is impossible, but an
+                            // interleaved init can surface it transiently:
+                            // retry the abort CAS.
+                            rec.seq += 1;
+                            let op = KvCommand::Cas {
+                                key: txn::decision_key(tid),
+                                expect: txn::DECISION_PENDING.to_string(),
+                                new: TxnDecision::Abort.as_str().to_string(),
+                            };
+                            rec.pending.push(submit(
+                                shards,
+                                &mut rec.history,
+                                RECOVERY_CLIENT,
+                                rec.seq,
+                                coord,
+                                op,
+                                now,
+                            ));
+                            rec.phase = RecPhase::AbortCas;
+                        }
+                    },
+                    _ => {
+                        // Decision key absent: the init write never became
+                        // durable, so no commit CAS can ever succeed.
+                        finish_recovery(rec, TxnDecision::Abort, now, trace);
+                    }
+                }
+            }
+        }
+        RecPhase::GetPrepare => {
+            if let Some((p, resp)) = done.into_iter().next() {
+                let task = rec.task.as_mut().expect("get-prepare phase has a task");
+                match resp {
+                    KvResponse::Value(Some(v)) => {
+                        let tid = task.tid;
+                        for (k, val) in txn::decode_writes(&v) {
+                            task.writes.push((k, txn::tag_value(&val, tid)));
+                        }
+                        task.prep_idx += 1;
+                        if task.prep_idx < task.participants.len() {
+                            let shard = task.participants[task.prep_idx];
+                            rec.seq += 1;
+                            let op = KvCommand::Get {
+                                key: txn::prepare_key(tid, shard),
+                            };
+                            rec.pending.push(submit(
+                                shards,
+                                &mut rec.history,
+                                RECOVERY_CLIENT,
+                                rec.seq,
+                                shard,
+                                op,
+                                now,
+                            ));
+                        } else if task.writes.is_empty() {
+                            finish_recovery(rec, TxnDecision::Commit, now, trace);
+                        } else {
+                            rec.phase = RecPhase::Write;
+                        }
+                    }
+                    _ => {
+                        // A committed transaction always has durable prepare
+                        // records; a transient miss just means the replica
+                        // we read lagged. Retry.
+                        resubmit = Some((p.shard, p.op.clone()));
+                    }
+                }
+            }
+        }
+        RecPhase::Write => {
+            if !done.is_empty() {
+                let task = rec.task.as_mut().expect("write phase has a task");
+                task.write_idx += 1;
+                if task.write_idx >= task.writes.len() {
+                    finish_recovery(rec, TxnDecision::Commit, now, trace);
+                }
+            }
+        }
+    }
+
+    if let Some((shard, op)) = resubmit {
+        rec.seq += 1;
+        rec.pending.push(submit(
+            shards,
+            &mut rec.history,
+            RECOVERY_CLIENT,
+            rec.seq,
+            shard,
+            op,
+            now,
+        ));
+    }
+
+    // The write phase issues one write at a time (sequential, idempotent
+    // re-application of the prepare records), routed by the shard map.
+    if rec.phase == RecPhase::Write && rec.pending.is_empty() {
+        if let Some(task) = rec.task.as_ref() {
+            if task.write_idx < task.writes.len() {
+                let (key, value) = task.writes[task.write_idx].clone();
+                let shard = map.group_of(&key);
+                let op = KvCommand::Put { key, value };
+                rec.seq += 1;
+                rec.pending.push(submit(
+                    shards,
+                    &mut rec.history,
+                    RECOVERY_CLIENT,
+                    rec.seq,
+                    shard,
+                    op,
+                    now,
+                ));
+            }
+        }
+    }
+}
+
+impl<E: ShardEngine> Store<E> {
+    /// Builds the store: `n_shards` consensus groups, deterministic
+    /// workloads, and one routing map serialized into the config and
+    /// re-parsed by every router (asserted identical).
+    pub fn new(cfg: StoreConfig) -> Self {
+        assert!(cfg.n_shards > 0 && cfg.replicas_per_shard > 0 && cfg.n_routers > 0);
+        let map = ShardMap::even(cfg.n_shards);
+        let wire = map.serialize();
+        let shards: Vec<E> = (0..cfg.n_shards)
+            .map(|s| {
+                let seed = cfg
+                    .seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(s as u64 + 1);
+                E::build_shard(cfg.replicas_per_shard, cfg.batch, cfg.net.clone(), seed)
+            })
+            .collect();
+        let pool = key_pool(&map, cfg.n_shards, cfg.keys_per_shard);
+        let routers: Vec<Router> = (0..cfg.n_routers)
+            .map(|r| {
+                let router_map =
+                    ShardMap::deserialize(&wire).expect("store config shard map corrupt");
+                assert_eq!(router_map, map, "router {r} decoded a different shard map");
+                Router {
+                    idx: r,
+                    client: ROUTER_BASE + r as u32,
+                    map: router_map,
+                    items: generate_items(&cfg, &pool, r),
+                    next_item: 0,
+                    txn_counter: 0,
+                    seq: 0,
+                    phase: Phase::Idle,
+                    txn: None,
+                    pending: Vec::new(),
+                    crashed: None,
+                    crash_at: None,
+                    restart_at: None,
+                    crash_on: None,
+                    history: HistorySink::new(),
+                    txn_latencies: LatencyRecorder::new(),
+                    outcomes: Vec::new(),
+                }
+            })
+            .collect();
+        let audit_keys: Vec<(usize, String)> = pool
+            .iter()
+            .enumerate()
+            .flat_map(|(s, keys)| keys.iter().map(move |k| (s, k.clone())))
+            .collect();
+        Store {
+            cfg,
+            map,
+            shards,
+            routers,
+            recovery: Recovery {
+                seq: 0,
+                queue: Vec::new(),
+                phase: RecPhase::Idle,
+                task: None,
+                pending: Vec::new(),
+                history: HistorySink::new(),
+                recovered: Vec::new(),
+            },
+            audit: Audit {
+                seq: 0,
+                keys: audit_keys,
+                idx: 0,
+                started: false,
+                pending: Vec::new(),
+                history: HistorySink::new(),
+            },
+            now: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Current simulated time (µs).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The canonical routing map.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The shard groups (read-only introspection for checkers).
+    pub fn shards(&self) -> &[E] {
+        &self.shards
+    }
+
+    /// Advances every shard one quantum, then runs router/recovery/audit
+    /// logic at the boundary.
+    pub fn step(&mut self) {
+        self.now += QUANTUM_US;
+        for s in &mut self.shards {
+            s.run_until(Time(self.now));
+        }
+        let now = self.now;
+        let buggy = self.cfg.buggy_early_writes;
+        for r in self.routers.iter_mut() {
+            step_router(
+                r,
+                &mut self.shards,
+                now,
+                buggy,
+                &mut self.trace,
+                &mut self.recovery.queue,
+            );
+        }
+        step_recovery(
+            &mut self.recovery,
+            &mut self.shards,
+            &self.map,
+            now,
+            &mut self.trace,
+        );
+        if self.audit.started {
+            step_audit(&mut self.audit, &mut self.shards, now);
+        }
+    }
+
+    /// Whether routers and recovery have no more work (crashed routers with
+    /// no scheduled restart count as finished).
+    pub fn main_quiesced(&self) -> bool {
+        self.routers.iter().all(|r| {
+            if r.crashed.is_some() {
+                r.restart_at.is_none()
+            } else {
+                r.done() && r.crash_at.is_none()
+            }
+        }) && self.recovery.queue.is_empty()
+            && self.recovery.phase == RecPhase::Idle
+    }
+
+    /// Starts the post-run audit: one serializable `Get` per pool key,
+    /// through the owning shard's log.
+    pub fn start_audit(&mut self) {
+        self.audit.started = true;
+    }
+
+    /// Whether the audit pass has read every pool key.
+    pub fn audit_done(&self) -> bool {
+        self.audit.started
+            && self.audit.idx >= self.audit.keys.len()
+            && self.audit.pending.is_empty()
+    }
+
+    /// Runs the whole workload plus the audit pass. Returns `true` iff all
+    /// routers finished (or crashed for good), recovery drained, and the
+    /// audit completed before `horizon`.
+    pub fn run(&mut self, horizon: Time) -> bool {
+        while self.now + QUANTUM_US <= horizon.0 && !self.main_quiesced() {
+            self.step();
+        }
+        self.start_audit();
+        while self.now + QUANTUM_US <= horizon.0 && !self.audit_done() {
+            self.step();
+        }
+        self.main_quiesced() && self.audit_done()
+    }
+
+    /// Merged invoke/response history of routers, recovery, and audit.
+    pub fn history(&self) -> Vec<ClientRecord> {
+        let sinks: Vec<&HistorySink> = self
+            .routers
+            .iter()
+            .map(|r| &r.history)
+            .chain([&self.recovery.history, &self.audit.history])
+            .collect();
+        HistorySink::merge(sinks)
+    }
+
+    /// All transaction outcomes routers observed, in completion order.
+    pub fn outcomes(&self) -> Vec<TxnOutcome> {
+        let mut all: Vec<TxnOutcome> = self
+            .routers
+            .iter()
+            .flat_map(|r| r.outcomes.iter().cloned())
+            .collect();
+        all.sort_by_key(|o| (o.at, o.tid));
+        all
+    }
+
+    /// Transactions the recovery actor resolved, in resolution order.
+    pub fn recovered(&self) -> &[(TxnId, TxnDecision)] {
+        &self.recovery.recovered
+    }
+
+    /// Begin-to-outcome transaction latencies across all routers.
+    pub fn txn_latencies(&self) -> LatencyRecorder {
+        let mut agg = LatencyRecorder::new();
+        for r in &self.routers {
+            for &s in r.txn_latencies.samples() {
+                agg.record_micros(s);
+            }
+        }
+        agg
+    }
+
+    /// Messages sent across all shard groups.
+    pub fn messages_sent(&self) -> u64 {
+        self.shards.iter().map(|s| s.metrics().sent).sum()
+    }
+
+    /// Harness event trace (deterministic; feeds [`Store::fingerprint`]).
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    /// Reads `key` from its shard's most-caught-up replica (no log entry).
+    pub fn peek(&self, key: &str) -> Option<String> {
+        self.shards[self.map.group_of(key)].peek(key)
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: &str) -> usize {
+        self.map.group_of(key)
+    }
+
+    /// Per-replica `(global id, applied len, state digest)` across shards;
+    /// global replica id = `shard * replicas_per_shard + local`.
+    pub fn state_digests(&self) -> Vec<(u32, u64, u64)> {
+        let rps = self.cfg.replicas_per_shard as u32;
+        self.shards
+            .iter()
+            .enumerate()
+            .flat_map(|(s, e)| {
+                e.state_digests()
+                    .into_iter()
+                    .filter(move |(id, _, _)| *id < rps)
+                    .map(move |(id, len, dig)| (s as u32 * rps + id, len, dig))
+            })
+            .collect()
+    }
+
+    /// Order-sensitive digest of the run: trace, outcomes, final replica
+    /// digests. Equal fingerprints ⇒ bit-for-bit identical runs.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for line in &self.trace {
+            eat(line.as_bytes());
+        }
+        for o in self.outcomes() {
+            eat(format!("{} {} {}", o.tid, o.decision.as_str(), o.at).as_bytes());
+        }
+        for (id, len, dig) in self.state_digests() {
+            eat(format!("{id}:{len}:{dig}").as_bytes());
+        }
+        h
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// Total fault-addressable nodes: all shard replicas, then routers.
+    pub fn n_fault_nodes(&self) -> u32 {
+        (self.cfg.n_shards * self.cfg.replicas_per_shard + self.cfg.n_routers) as u32
+    }
+
+    fn split_node(&self, global: u32) -> Result<(usize, usize), usize> {
+        let rps = self.cfg.replicas_per_shard as u32;
+        let n_replicas = self.cfg.n_shards as u32 * rps;
+        if global < n_replicas {
+            Ok(((global / rps) as usize, (global % rps) as usize))
+        } else {
+            Err((global - n_replicas) as usize)
+        }
+    }
+
+    /// Crashes a global node (replica or router) at absolute time `at`.
+    pub fn crash_node_at(&mut self, global: u32, at: u64) {
+        match self.split_node(global) {
+            Ok((shard, replica)) => {
+                self.shards[shard].crash_at(simnet::NodeId::from(replica), Time(at));
+            }
+            Err(router) => {
+                if router < self.routers.len() {
+                    self.routers[router].crash_at = Some(at);
+                }
+            }
+        }
+    }
+
+    /// Restarts a global node (replica or router) at absolute time `at`.
+    pub fn restart_node_at(&mut self, global: u32, at: u64) {
+        match self.split_node(global) {
+            Ok((shard, replica)) => {
+                self.shards[shard].restart_at(simnet::NodeId::from(replica), Time(at));
+            }
+            Err(router) => {
+                if router < self.routers.len() {
+                    self.routers[router].restart_at = Some(at);
+                }
+            }
+        }
+    }
+
+    /// Partitions each shard group along `group` (global replica ids):
+    /// replicas in `group` on one side, the rest (plus the stub client) on
+    /// the other. Shards with an empty side are untouched.
+    pub fn partition_at(&mut self, at: u64, group: &[u32]) {
+        let rps = self.cfg.replicas_per_shard;
+        for s in 0..self.cfg.n_shards {
+            let side_a: Vec<simnet::NodeId> = group
+                .iter()
+                .filter_map(|&g| match self.split_node(g) {
+                    Ok((shard, replica)) if shard == s => Some(simnet::NodeId::from(replica)),
+                    _ => None,
+                })
+                .collect();
+            // The stub client (id rps) stays with the complement side.
+            let side_b: Vec<simnet::NodeId> = (0..=rps)
+                .map(simnet::NodeId::from)
+                .filter(|id| !side_a.contains(id))
+                .collect();
+            if side_a.is_empty() || side_b.is_empty() {
+                continue;
+            }
+            self.shards[s].partition_at(Time(at), vec![side_a, side_b]);
+        }
+    }
+
+    /// Heals all shard partitions at absolute time `at`.
+    pub fn heal_at(&mut self, at: u64) {
+        for s in &mut self.shards {
+            s.heal_at(Time(at));
+        }
+    }
+
+    /// Sets the random-loss probability on every shard network now.
+    pub fn set_drop_prob(&mut self, p: f64) {
+        for s in &mut self.shards {
+            s.set_drop_prob(p);
+        }
+    }
+
+    /// Crashes router `r` at absolute time `at` (µs).
+    pub fn crash_router_at(&mut self, r: usize, at: u64) {
+        self.routers[r].crash_at = Some(at);
+    }
+
+    /// Restarts router `r` at absolute time `at` (µs). The router abandons
+    /// any in-flight transaction to recovery and resumes its workload.
+    pub fn restart_router_at(&mut self, r: usize, at: u64) {
+        self.routers[r].restart_at = Some(at);
+    }
+
+    /// Crashes router `r` when its transaction number `txn` reaches
+    /// `point` — phase-accurate coordinator-crash injection.
+    pub fn crash_router_on_txn(&mut self, r: usize, txn: u64, point: RouterCrashPoint) {
+        self.routers[r].crash_on = Some((txn, point));
+    }
+
+    /// Whether router `r` finished its workload.
+    pub fn router_done(&self, r: usize) -> bool {
+        self.routers[r].crashed.is_none() && self.routers[r].done()
+    }
+
+    /// The generated data-key pool, grouped by shard (for tests).
+    pub fn pool_keys(&self) -> Vec<(usize, String)> {
+        self.audit.keys.clone()
+    }
+}
+
+fn step_audit<E: ShardEngine>(audit: &mut Audit, shards: &mut [E], now: u64) {
+    let done = poll(shards, &mut audit.history, AUDIT_CLIENT, &mut audit.pending, now);
+    let _ = done;
+    if audit.pending.is_empty() && audit.idx < audit.keys.len() {
+        let (shard, key) = audit.keys[audit.idx].clone();
+        audit.idx += 1;
+        audit.seq += 1;
+        let op = KvCommand::Get { key };
+        audit.pending.push(submit(
+            shards,
+            &mut audit.history,
+            AUDIT_CLIENT,
+            audit.seq,
+            shard,
+            op,
+            now,
+        ));
+    }
+}
+
+/// `keys_per_shard` data keys per shard, found by probing the hash map.
+fn key_pool(map: &ShardMap, n_shards: usize, keys_per_shard: usize) -> Vec<Vec<String>> {
+    let mut pool: Vec<Vec<String>> = vec![Vec::new(); n_shards];
+    let mut i = 0u64;
+    while pool.iter().any(|p| p.len() < keys_per_shard) {
+        let key = format!("k{i}");
+        let s = map.group_of(&key);
+        if pool[s].len() < keys_per_shard {
+            pool[s].push(key);
+        }
+        i += 1;
+        assert!(i < 100_000, "hash map never filled some shard's pool");
+    }
+    pool
+}
+
+/// Deterministic per-router workload: alternating cross-shard transactions
+/// and single-key operations.
+fn generate_items(cfg: &StoreConfig, pool: &[Vec<String>], router: usize) -> Vec<WorkItem> {
+    let mut rng = ChaCha20Rng::seed_from_u64(
+        cfg.seed ^ (router as u64 + 0x5707).rotate_left(17),
+    );
+    let mut items = Vec::new();
+    let rounds = cfg.txns_per_router.max(cfg.singles_per_router);
+    let mut txns = 0;
+    let mut singles = 0;
+    for i in 0..rounds {
+        if txns < cfg.txns_per_router {
+            let span = 1 + rng.gen_range(0..cfg.max_span.min(cfg.n_shards).max(1));
+            let span = span.min(cfg.n_shards);
+            let mut shards: Vec<usize> = (0..cfg.n_shards).collect();
+            // Deterministic partial shuffle.
+            for j in 0..span {
+                let k = j + rng.gen_range(0..cfg.n_shards - j);
+                shards.swap(j, k);
+            }
+            let writes: Vec<(String, String)> = shards[..span]
+                .iter()
+                .map(|&s| {
+                    let key = pool[s][rng.gen_range(0..pool[s].len())].clone();
+                    (key, format!("w{router}.{i}"))
+                })
+                .collect();
+            let abort = rng.gen_range(0..5) == 0;
+            items.push(WorkItem::Txn { writes, abort });
+            txns += 1;
+        }
+        if singles < cfg.singles_per_router {
+            let s = rng.gen_range(0..cfg.n_shards);
+            let key = pool[s][rng.gen_range(0..pool[s].len())].clone();
+            let op = if rng.gen_range(0..2) == 0 {
+                KvCommand::Put {
+                    key,
+                    value: format!("s{router}.{i}"),
+                }
+            } else {
+                KvCommand::Get { key }
+            };
+            items.push(WorkItem::Single(op));
+            singles += 1;
+        }
+    }
+    items
+}

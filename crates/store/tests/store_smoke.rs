@@ -1,0 +1,227 @@
+//! End-to-end store tests: fault-free commits, determinism, router-crash
+//! recovery, and the headline blocking-2PC vs replicated-2PC contrast.
+
+use atomic_commit::two_phase;
+use atomic_commit::TxnState;
+use consensus_core::txn::{self, TxnDecision};
+use paxos::MultiPaxosCluster;
+use raft::RaftCluster;
+use simnet::{NetConfig, Time};
+use store::{RouterCrashPoint, ShardEngine, Store, StoreConfig};
+
+const HORIZON: Time = Time(20_000_000);
+
+fn committed_values_visible<E: ShardEngine>(s: &Store<E>) {
+    // Every committed transaction's writes must be visible (or overwritten
+    // by a later write); no aborted transaction's write may be visible.
+    let outcomes = s.outcomes();
+    for o in &outcomes {
+        assert!(o.span >= 1 && o.span <= s.cfg.n_shards);
+    }
+    let committed: Vec<_> = outcomes
+        .iter()
+        .filter(|o| o.decision == TxnDecision::Commit)
+        .map(|o| o.tid)
+        .collect();
+    for (_, key) in s.pool_keys() {
+        if let Some(v) = s.peek(&key) {
+            if let Some(tid) = txn::tagged_txn(&v) {
+                assert!(
+                    committed.contains(&tid)
+                        || s.recovered()
+                            .iter()
+                            .any(|(t, d)| *t == tid && *d == TxnDecision::Commit),
+                    "visible value {v} of key {key} from a non-committed txn"
+                );
+            }
+        }
+    }
+}
+
+fn fault_free<E: ShardEngine>() {
+    let mut s: Store<E> = Store::new(StoreConfig::small(11));
+    assert!(s.run(HORIZON), "store did not quiesce");
+    let outcomes = s.outcomes();
+    assert_eq!(outcomes.len(), 2 * 3, "2 routers x 3 txns each");
+    assert!(
+        outcomes.iter().any(|o| o.decision == TxnDecision::Commit),
+        "at least one commit expected"
+    );
+    assert!(
+        outcomes.iter().any(|o| o.span > 1),
+        "at least one cross-shard txn expected"
+    );
+    committed_values_visible(&s);
+    // Audit completed: one Get per pool key, all answered.
+    let history = s.history();
+    let audits = history
+        .iter()
+        .filter(|r| r.client == store::AUDIT_CLIENT)
+        .count();
+    assert_eq!(audits, s.pool_keys().len());
+    assert!(history
+        .iter()
+        .filter(|r| r.client == store::AUDIT_CLIENT)
+        .all(|r| r.is_complete()));
+}
+
+#[test]
+fn paxos_store_commits_cross_shard_txns() {
+    fault_free::<MultiPaxosCluster>();
+}
+
+#[test]
+fn raft_store_commits_cross_shard_txns() {
+    fault_free::<RaftCluster>();
+}
+
+#[test]
+fn same_seed_runs_are_bit_identical() {
+    let run = |engine_seed: u64| {
+        let mut s: Store<MultiPaxosCluster> = Store::new(StoreConfig::small(engine_seed));
+        assert!(s.run(HORIZON));
+        (s.fingerprint(), s.trace().len(), s.messages_sent())
+    };
+    assert_eq!(run(42), run(42), "same seed must replay bit-for-bit");
+    assert_ne!(run(42).0, run(43).0, "different seeds should diverge");
+}
+
+fn crash_recovery_case<E: ShardEngine>(point: RouterCrashPoint, seed: u64) {
+    let mut s: Store<E> = Store::new(StoreConfig::small(seed));
+    s.crash_router_on_txn(0, 0, point);
+    assert!(s.run(HORIZON), "store did not quiesce after router crash");
+    // Recovery must have resolved router 0's first transaction.
+    let tid = consensus_core::TxnId::new(store::ROUTER_BASE, 0);
+    let resolved = s.recovered().iter().find(|(t, _)| *t == tid);
+    let (_, decision) = resolved.expect("recovery never claimed the orphaned txn");
+    match point {
+        // The decision was still open: recovery's abort-CAS wins.
+        RouterCrashPoint::BeforePrepare | RouterCrashPoint::AfterPrepare => {
+            assert_eq!(*decision, TxnDecision::Abort);
+        }
+        RouterCrashPoint::AfterEarlyWrites => unreachable!("buggy-mode-only crash point"),
+        // Commit was durable before the crash: recovery completes it.
+        RouterCrashPoint::AfterDecide => {
+            assert_eq!(*decision, TxnDecision::Commit);
+            // The decision entry is durable on the coordinator shard
+            // (control keys route by coordinator, not by hash — scan).
+            let dec = s
+                .shards()
+                .iter()
+                .find_map(|e| e.peek(&txn::decision_key(tid)));
+            assert_eq!(dec.as_deref(), Some("commit"));
+        }
+    }
+    committed_values_visible(&s);
+    // The surviving router still finished its workload.
+    assert!(s.router_done(1));
+}
+
+#[test]
+fn paxos_recovery_resolves_all_crash_points() {
+    for (i, point) in [
+        RouterCrashPoint::BeforePrepare,
+        RouterCrashPoint::AfterPrepare,
+        RouterCrashPoint::AfterDecide,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        crash_recovery_case::<MultiPaxosCluster>(point, 20 + i as u64);
+    }
+}
+
+#[test]
+fn raft_recovery_resolves_all_crash_points() {
+    for (i, point) in [
+        RouterCrashPoint::BeforePrepare,
+        RouterCrashPoint::AfterPrepare,
+        RouterCrashPoint::AfterDecide,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        crash_recovery_case::<RaftCluster>(point, 30 + i as u64);
+    }
+}
+
+#[test]
+fn unreplicated_two_pc_blocks_where_the_store_recovers() {
+    // The same fault — the 2PC coordinator dies after collecting votes —
+    // in both worlds. Plain 2PC: participants stay blocked forever.
+    let mut blocked = two_phase::build_with_crash(
+        &[true, true, true],
+        two_phase::CrashPoint::AfterVotes,
+        NetConfig::lan(),
+        5,
+    );
+    blocked.run_until(Time::from_secs(5));
+    assert!(
+        two_phase::participant_states(&blocked)
+            .iter()
+            .all(|s| *s == TxnState::Ready),
+        "plain 2PC participants must block in Ready"
+    );
+
+    // The store: the router (coordinator) dies after every participant
+    // prepared, before the decision — and the system still terminates,
+    // because decision and prepare state live in replicated shard logs.
+    let mut s: Store<MultiPaxosCluster> = Store::new(StoreConfig::small(5));
+    s.crash_router_on_txn(0, 0, RouterCrashPoint::AfterPrepare);
+    assert!(s.run(HORIZON));
+    let tid = consensus_core::TxnId::new(store::ROUTER_BASE, 0);
+    assert!(
+        s.recovered().iter().any(|(t, _)| *t == tid),
+        "the store's recovery must resolve the orphaned txn"
+    );
+}
+
+#[test]
+fn restarted_router_abandons_txn_and_finishes_workload() {
+    let mut s: Store<RaftCluster> = Store::new(StoreConfig::small(77));
+    s.crash_router_on_txn(0, 0, RouterCrashPoint::AfterPrepare);
+    s.restart_router_at(0, 300_000);
+    assert!(s.run(HORIZON));
+    // The abandoned txn went to recovery, and the router completed the
+    // rest of its items after restarting.
+    let tid = consensus_core::TxnId::new(store::ROUTER_BASE, 0);
+    assert!(s.recovered().iter().any(|(t, _)| *t == tid));
+    assert!(s.router_done(0), "restarted router should finish");
+    committed_values_visible(&s);
+}
+
+#[test]
+fn buggy_early_writes_leak_aborted_state() {
+    // The injected bug: the coordinator disseminates data writes before its
+    // decision entry is replicated. Crash it in that window and recovery's
+    // abort-CAS wins — yet the "committed" writes are already visible.
+    let mut s: Store<MultiPaxosCluster> = Store::new(StoreConfig {
+        buggy_early_writes: true,
+        ..StoreConfig::small(11)
+    });
+    s.crash_router_on_txn(0, 0, RouterCrashPoint::AfterEarlyWrites);
+    assert!(s.run(HORIZON));
+    let tid = consensus_core::TxnId::new(store::ROUTER_BASE, 0);
+    assert!(
+        s.recovered().contains(&(tid, TxnDecision::Abort)),
+        "recovery must abort the formally-undecided txn"
+    );
+    let leaked = s.pool_keys().iter().any(|(_, key)| {
+        s.peek(key)
+            .and_then(|v| txn::tagged_txn(&v))
+            .is_some_and(|t| t == tid)
+    });
+    assert!(leaked, "the aborted txn's early writes must be visible");
+}
+
+#[test]
+fn shard_replica_crash_does_not_lose_txns() {
+    // Crash one replica per shard (f = 1 of 3): every group keeps running.
+    let mut s: Store<MultiPaxosCluster> = Store::new(StoreConfig::small(91));
+    for shard in 0..s.cfg.n_shards as u32 {
+        s.crash_node_at(shard * 3 + 2, 50_000);
+    }
+    assert!(s.run(HORIZON), "f=1 per shard must not stall the store");
+    assert_eq!(s.outcomes().len(), 6);
+    committed_values_visible(&s);
+}

@@ -96,3 +96,54 @@ fn raft_batched_equals_unbatched() {
 fn pbft_batched_equals_unbatched() {
     assert_equivalent::<PbftCluster>();
 }
+
+/// The same equivalence one layer up: per transaction, the sharded store's
+/// outcome (commit/abort, span) must be identical under every batching
+/// knob, and every run must pass the atomicity checker — batching may
+/// repack the per-shard logs and reorder *concurrent* commits in time, but
+/// it must not change what 2PC decides for any transaction.
+fn store_equivalent<E: forty::store::ShardEngine>() {
+    use forty::store::{Store, StoreConfig};
+    use nemesis::checker::check_txn_atomicity;
+
+    let run = |batch: BatchConfig| {
+        let mut s: Store<E> = Store::new(StoreConfig {
+            batch,
+            ..StoreConfig::small(SEED)
+        });
+        assert!(
+            s.run(forty::simnet::Time(20_000_000)),
+            "store stalled under {}",
+            batch.label()
+        );
+        let violations = check_txn_atomicity(&s.history());
+        assert!(violations.is_empty(), "{}: {violations:?}", batch.label());
+        // Keyed by txn id: completion order across routers is timing and
+        // thus legitimately batching-dependent; the decisions are not.
+        s.outcomes()
+            .iter()
+            .map(|o| (o.tid, (o.decision, o.span)))
+            .collect::<BTreeMap<_, _>>()
+    };
+
+    let baseline = run(BatchConfig::unbatched());
+    assert!(!baseline.is_empty(), "baseline decided no transactions");
+    for batch in knobs() {
+        assert_eq!(
+            baseline,
+            run(batch),
+            "store outcomes differ under {}",
+            batch.label()
+        );
+    }
+}
+
+#[test]
+fn paxos_store_batched_equals_unbatched() {
+    store_equivalent::<MultiPaxosCluster>();
+}
+
+#[test]
+fn raft_store_batched_equals_unbatched() {
+    store_equivalent::<RaftCluster>();
+}

@@ -116,11 +116,12 @@ fn two_pc_blocks_where_three_pc_terminates() {
     // Same fault (coordinator dies after unanimous yes votes), two
     // protocols, opposite outcomes — the tutorial's core commitment story.
     let votes = [true, true, true];
-    let mut blocked = two_phase::build(&votes, NetConfig::lan(), 6);
-    if let two_phase::TwoPcProc::Coordinator(c) = blocked.node_mut(NodeId(0)) {
-        c.hang_after_votes = true;
-    }
-    blocked.crash_at(NodeId(0), Time(5_000));
+    let mut blocked = two_phase::build_with_crash(
+        &votes,
+        two_phase::CrashPoint::AfterVotes,
+        NetConfig::lan(),
+        6,
+    );
     blocked.run_until(Time::from_secs(2));
     assert!(two_phase::participant_states(&blocked)
         .iter()
