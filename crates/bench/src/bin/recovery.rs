@@ -1,0 +1,96 @@
+//! Regenerates (or checks) `BENCH_recovery.json`: the cold-restart recovery
+//! sweep — checkpoint threshold × disk profile — over a durable Multi-Paxos
+//! shard.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin recovery                 # regenerate
+//! cargo run --release -p bench --bin recovery -- --check      # CI drift gate
+//! cargo run --release -p bench --bin recovery -- --out x.json # custom path
+//! ```
+//!
+//! `--check` re-runs the full sweep and fails (exit 1) if the checked-in
+//! file differs byte-for-byte or its schema is invalid — the simulation is
+//! deterministic, so any drift means the code changed without regenerating
+//! the artifact.
+
+use std::io::Write as _;
+
+use bench::recovery::{render_table, run_sweep, sweep_to_json, validate_schema};
+
+const DEFAULT_PATH: &str = "BENCH_recovery.json";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut path = DEFAULT_PATH.to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            "--out" => {
+                path = args
+                    .get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| usage_and_exit());
+                i += 2;
+            }
+            _ => usage_and_exit(),
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let points = run_sweep();
+    let doc = sweep_to_json(&points);
+    eprintln!(
+        "ran {} cells in {:.1}s",
+        points.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    for line in render_table(&points) {
+        println!("{line}");
+    }
+
+    let problems = validate_schema(&doc);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("schema problem: {p}");
+        }
+        std::process::exit(1);
+    }
+
+    let rendered = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&doc).expect("serialize")
+    );
+
+    if check {
+        let on_disk = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {path}: {e} (regenerate with --out {path})"));
+        let disk_doc = serde_json::from_str(&on_disk).expect("checked-in file must parse");
+        let disk_problems = validate_schema(&disk_doc);
+        if !disk_problems.is_empty() {
+            for p in &disk_problems {
+                eprintln!("checked-in schema problem: {p}");
+            }
+            std::process::exit(1);
+        }
+        if on_disk != rendered {
+            eprintln!("{path} drifted from the regenerated sweep — rerun `cargo run --release -p bench --bin recovery`");
+            std::process::exit(1);
+        }
+        eprintln!("{path} is current");
+    } else {
+        let mut f = std::fs::File::create(&path).expect("create output");
+        f.write_all(rendered.as_bytes()).expect("write output");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!("usage: recovery [--check] [--out <path>]");
+    std::process::exit(2);
+}

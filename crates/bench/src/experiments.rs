@@ -1202,6 +1202,42 @@ pub fn f28_store() -> Report {
     }
 }
 
+// ───────────────────────── F29: durable recovery ──────────────────────────
+
+/// F29 — cold-restart recovery time vs checkpoint threshold.
+pub fn f29_recovery() -> Report {
+    use crate::recovery::{render_table, run_sweep, sweep_to_json};
+
+    let points = run_sweep();
+    let mut lines = vec![format!(
+        "durable Multi-Paxos shard ({} replicas, {} commands, seed {}): replica {} \
+         crashes after the workload and restarts through checkpoint + WAL replay",
+        crate::recovery::REPLICAS,
+        crate::recovery::COMMANDS,
+        crate::recovery::SEED,
+        crate::recovery::CRASHED,
+    )];
+    lines.push(String::new());
+    lines.extend(render_table(&points));
+    lines.push(String::new());
+    lines.push(
+        "small threshold: frequent checkpoints, short replay; checkpoints off: \
+         zero steady-state checkpoint I/O, full replay from slot 0"
+            .into(),
+    );
+    lines.push(
+        "the disk profile scales modeled time only — every cell decides the \
+         identical command sequence (see BENCH_recovery.json)"
+            .into(),
+    );
+    Report {
+        id: "f29",
+        title: "Durable storage: cold-restart recovery vs checkpoint threshold",
+        data: sweep_to_json(&points),
+        lines,
+    }
+}
+
 // ───────────────────────── T5: the cross-protocol comparison ─────────────
 
 /// T5 — who wins, by roughly what factor.
@@ -1346,6 +1382,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("f26", f26_finality),
         ("f27", f27_selfish),
         ("f28", f28_store),
+        ("f29", f29_recovery),
         ("t5", t5_comparison),
     ]
 }
@@ -1357,9 +1394,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ids_match() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 33);
+        assert_eq!(exps.len(), 34);
         let ids: BTreeSet<&str> = exps.iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 33, "duplicate experiment ids");
+        assert_eq!(ids.len(), 34, "duplicate experiment ids");
     }
 
     #[test]

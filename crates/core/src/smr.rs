@@ -127,6 +127,21 @@ impl KvStore {
         self.map.len()
     }
 
+    /// Iterates entries in key order (snapshot serialization).
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &String)> {
+        self.map.iter()
+    }
+
+    /// Rebuilds a store from serialized state. `applied` must be the
+    /// original operation count — the digest covers it, so a recovered
+    /// replica only matches its peers if the count round-trips exactly.
+    pub fn restore(entries: Vec<(String, String)>, applied: u64) -> Self {
+        KvStore {
+            map: entries.into_iter().collect(),
+            applied,
+        }
+    }
+
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
@@ -343,6 +358,30 @@ impl<S: StateMachine> ReplicatedLog<S> {
         }
         freed
     }
+
+    /// Slots still holding a value (decided or applied) — the log's actual
+    /// memory footprint after compaction, the quantity snapshot thresholds
+    /// bound.
+    pub fn retained_len(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| !matches!(s, Slot::Empty))
+            .count()
+    }
+
+    /// Installs a snapshot: replaces the state machine with `machine`,
+    /// whose state must reflect exactly the first `applied_len` entries.
+    /// Every slot below `applied_len` reads as `Empty` afterwards (the
+    /// history is gone, as after [`ReplicatedLog::truncate_prefix`]); any
+    /// previously recorded slot at or above it is dropped too — callers
+    /// that want to keep a decided tail re-decide it after installing.
+    pub fn install(&mut self, machine: S, applied_len: usize) {
+        self.slots.clear();
+        self.slots.resize_with(applied_len, || Slot::Empty);
+        self.machine = machine;
+        self.next_apply = applied_len;
+        self.outputs.clear();
+    }
 }
 
 #[cfg(test)]
@@ -442,6 +481,52 @@ mod tests {
         assert_eq!(freed, 5);
         assert_eq!(*log.slot(7), Slot::Decided(1));
         assert_eq!(log.machine().total, 5, "state machine keeps the effect");
+    }
+
+    #[test]
+    fn retained_len_tracks_compaction() {
+        let mut log: ReplicatedLog<Counter> = ReplicatedLog::new();
+        for i in 0..6 {
+            log.decide(i, 1);
+        }
+        assert_eq!(log.retained_len(), 6);
+        log.truncate_prefix(4);
+        assert_eq!(log.retained_len(), 2);
+        assert_eq!(log.applied_len(), 6, "apply frontier unaffected");
+    }
+
+    #[test]
+    fn install_replaces_machine_and_frontier() {
+        let mut log: ReplicatedLog<Counter> = ReplicatedLog::new();
+        log.decide(0, 3);
+        let mut snap = Counter::default();
+        snap.apply(&10);
+        snap.apply(&32);
+        let digest = snap.digest();
+        log.install(snap, 2);
+        assert_eq!(log.applied_len(), 2);
+        assert_eq!(log.retained_len(), 0);
+        assert_eq!(log.machine().total, 42);
+        assert_eq!(log.machine().digest(), digest);
+        // Decisions resume above the installed frontier.
+        let out = log.decide(2, 8);
+        assert_eq!(out, vec![(2, 50)]);
+    }
+
+    #[test]
+    fn kv_restore_round_trips_digest() {
+        let mut kv = KvStore::default();
+        kv.apply(&put("a", "1"));
+        kv.apply(&put("b", "2"));
+        kv.apply(&KvCommand::Get { key: "a".into() });
+        let entries: Vec<(String, String)> =
+            kv.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let restored = KvStore::restore(entries, kv.applied());
+        assert_eq!(restored.digest(), kv.digest());
+        // Applied count matters: same map, different history ⇒ different digest.
+        let entries2: Vec<(String, String)> =
+            kv.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_ne!(KvStore::restore(entries2, 2).digest(), kv.digest());
     }
 
     #[test]

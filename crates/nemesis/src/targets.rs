@@ -26,6 +26,9 @@
 //! blocks unreplicated 2PC. On top of the per-shard SMR battery they check
 //! store-level linearizability of the merged client history and cross-shard
 //! transactional atomicity ([`crate::checker::check_txn_atomicity`]).
+//! `store-paxos-durable` runs the same battery with durable shard storage
+//! attached, so every crash/restart in a plan drives the real recovery path
+//! (checkpoint load + WAL replay) instead of the RAM-durability model.
 //!
 //! The three SMR targets also register `+batch` variants (same fault menu)
 //! that run the replicas under a real batching/pipelining configuration —
@@ -125,11 +128,19 @@ pub fn targets() -> Vec<Box<dyn Target>> {
         Box::new(StoreTarget::<MultiPaxosCluster> {
             name: "store-paxos",
             buggy: false,
+            durable: false,
             _engine: std::marker::PhantomData,
         }),
         Box::new(StoreTarget::<raft::RaftCluster> {
             name: "store-raft",
             buggy: false,
+            durable: false,
+            _engine: std::marker::PhantomData,
+        }),
+        Box::new(StoreTarget::<MultiPaxosCluster> {
+            name: "store-paxos-durable",
+            buggy: false,
+            durable: true,
             _engine: std::marker::PhantomData,
         }),
     ]
@@ -154,6 +165,7 @@ pub fn store_injected_bug_target() -> Box<dyn Target> {
     Box::new(StoreTarget::<MultiPaxosCluster> {
         name: "store-buggy",
         buggy: true,
+        durable: false,
         _engine: std::marker::PhantomData,
     })
 }
@@ -189,11 +201,19 @@ pub fn by_name(name: &str) -> Option<Box<dyn Target>> {
         "store-paxos" => Some(Box::new(StoreTarget::<MultiPaxosCluster> {
             name: "store-paxos",
             buggy: false,
+            durable: false,
             _engine: std::marker::PhantomData,
         })),
         "store-raft" => Some(Box::new(StoreTarget::<raft::RaftCluster> {
             name: "store-raft",
             buggy: false,
+            durable: false,
+            _engine: std::marker::PhantomData,
+        })),
+        "store-paxos-durable" => Some(Box::new(StoreTarget::<MultiPaxosCluster> {
+            name: "store-paxos-durable",
+            buggy: false,
+            durable: true,
             _engine: std::marker::PhantomData,
         })),
         "store-buggy" => Some(store_injected_bug_target()),
@@ -641,6 +661,10 @@ struct StoreTarget<E: ShardEngine> {
     /// Inject the early-dissemination coordinator bug and crash a router
     /// inside the vulnerable window (seed-derived, deterministic).
     buggy: bool,
+    /// Run every shard over a durable storage engine (WAL + checkpoints):
+    /// crash/restart faults then exercise the real recovery path — WAL
+    /// replay plus snapshot load — instead of RAM-durability.
+    durable: bool,
     _engine: std::marker::PhantomData<E>,
 }
 
@@ -659,10 +683,13 @@ impl<E: ShardEngine> Target for StoreTarget<E> {
     }
 
     fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
-        let cfg = StoreConfig {
+        let mut cfg = StoreConfig {
             buggy_early_writes: self.buggy,
             ..StoreConfig::small(seed)
         };
+        if self.durable {
+            cfg = cfg.durable(8, simnet::DiskModel::ssd());
+        }
         let mut s: Store<E> = Store::new(cfg);
         if self.buggy {
             // Deterministically crash one router inside the bug's window
@@ -784,6 +811,36 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn durable_store_crash_restart_exercises_recovery() {
+        // Point an explicit crash/restart schedule at the durable store: one
+        // replica per shard dies mid-workload and restarts through the real
+        // recovery path (checkpoint load + WAL replay). The oracle is the
+        // full checker battery plus bit-identical reruns — recovery must be
+        // both safe and deterministic.
+        let target = by_name("store-paxos-durable").expect("registered");
+        let plan = FaultPlan {
+            actions: vec![
+                FaultAction::Crash { node: 2, at: 20_000 },
+                FaultAction::Crash { node: 5, at: 25_000 },
+                FaultAction::Crash { node: 8, at: 30_000 },
+                FaultAction::Restart { node: 2, at: 40_000 },
+                FaultAction::Restart { node: 5, at: 45_000 },
+                FaultAction::Restart { node: 8, at: 50_000 },
+            ],
+        };
+        let a = target.run(17, &plan);
+        assert!(
+            a.violations.is_empty(),
+            "durable store violated safety across recovery: {:?}",
+            a.violations
+        );
+        assert!(a.ops > 0, "durable store made no progress");
+        let b = target.run(17, &plan);
+        assert_eq!(a.violations, b.violations, "recovery not deterministic");
+        assert_eq!(a.ops, b.ops, "recovery not deterministic");
     }
 
     #[test]

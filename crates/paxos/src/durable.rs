@@ -1,0 +1,377 @@
+//! On-disk formats for durable Multi-Paxos: WAL records and machine
+//! snapshots, hand-encoded via [`storage::codec`] (the workspace has no
+//! serde derive — every byte here is explicit, which also makes the WAL
+//! record format table in the generated docs honest).
+//!
+//! ## WAL records
+//!
+//! | tag | record | payload |
+//! |---|---|---|
+//! | 1 | `Promise` | ballot `(num: u64, pid: u32)` |
+//! | 2 | `Accept` | index `u64`, ballot, op |
+//! | 3 | `Decide` | index `u64`, op |
+//!
+//! The replica logs a record *before* the externally visible action it
+//! justifies — promise before `PrepareAck`, accept before `Accepted`,
+//! decide before applying — and `sync`s in the same handler, so one flush
+//! group-commits everything a message triggered.
+//!
+//! ## Snapshot blob
+//!
+//! `applied_len`, then the [`MpMachine`]: KV applied-counter, KV entries,
+//! client table. Restoring must reproduce the machine digest bit-for-bit —
+//! the nemesis fingerprint oracle depends on it.
+
+use consensus_core::{Ballot, Command, KvCommand, KvResponse, KvStore};
+use storage::codec::{put_str, put_u32, put_u64, Reader};
+
+use crate::multi::{MpMachine, MpOp};
+
+/// WAL record decoded back from bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// A promise was made: never accept lower ballots again.
+    Promise {
+        /// The promised ballot.
+        ballot: Ballot,
+    },
+    /// An op was accepted for a slot under a ballot.
+    Accept {
+        /// Log index.
+        index: usize,
+        /// Accepting ballot.
+        ballot: Ballot,
+        /// Accepted op.
+        op: MpOp,
+    },
+    /// A slot's decision was learned.
+    Decide {
+        /// Log index.
+        index: usize,
+        /// Decided op.
+        op: MpOp,
+    },
+}
+
+fn put_ballot(buf: &mut Vec<u8>, b: Ballot) {
+    put_u64(buf, b.num);
+    put_u32(buf, b.pid);
+}
+
+fn get_ballot(r: &mut Reader) -> Option<Ballot> {
+    let num = r.get_u64()?;
+    let pid = r.get_u32()?;
+    Some(Ballot::new(num, pid))
+}
+
+fn put_kv_command(buf: &mut Vec<u8>, op: &KvCommand) {
+    match op {
+        KvCommand::Put { key, value } => {
+            buf.push(0);
+            put_str(buf, key);
+            put_str(buf, value);
+        }
+        KvCommand::Get { key } => {
+            buf.push(1);
+            put_str(buf, key);
+        }
+        KvCommand::Delete { key } => {
+            buf.push(2);
+            put_str(buf, key);
+        }
+        KvCommand::Cas { key, expect, new } => {
+            buf.push(3);
+            put_str(buf, key);
+            put_str(buf, expect);
+            put_str(buf, new);
+        }
+    }
+}
+
+fn get_kv_command(r: &mut Reader) -> Option<KvCommand> {
+    let tag = r.get_u32()?;
+    Some(match tag {
+        0 => KvCommand::Put {
+            key: r.get_str()?,
+            value: r.get_str()?,
+        },
+        1 => KvCommand::Get { key: r.get_str()? },
+        2 => KvCommand::Delete { key: r.get_str()? },
+        3 => KvCommand::Cas {
+            key: r.get_str()?,
+            expect: r.get_str()?,
+            new: r.get_str()?,
+        },
+        _ => return None,
+    })
+}
+
+fn put_command(buf: &mut Vec<u8>, cmd: &Command<KvCommand>) {
+    put_u32(buf, cmd.client);
+    put_u64(buf, cmd.seq);
+    let mut inner = Vec::new();
+    put_kv_command(&mut inner, &cmd.op);
+    // Tag is a byte on the wire; re-read as u32 for uniformity.
+    let tag = inner.remove(0);
+    put_u32(buf, u32::from(tag));
+    buf.extend_from_slice(&inner);
+}
+
+fn get_command(r: &mut Reader) -> Option<Command<KvCommand>> {
+    let client = r.get_u32()?;
+    let seq = r.get_u64()?;
+    let op = get_kv_command(r)?;
+    Some(Command { client, seq, op })
+}
+
+fn put_op(buf: &mut Vec<u8>, op: &MpOp) {
+    match op {
+        MpOp::Noop => put_u32(buf, 0),
+        MpOp::Cmd(cmd) => {
+            put_u32(buf, 1);
+            put_command(buf, cmd);
+        }
+        MpOp::Batch(cmds) => {
+            put_u32(buf, 2);
+            put_u32(buf, cmds.len() as u32);
+            for c in cmds {
+                put_command(buf, c);
+            }
+        }
+    }
+}
+
+fn get_op(r: &mut Reader) -> Option<MpOp> {
+    Some(match r.get_u32()? {
+        0 => MpOp::Noop,
+        1 => MpOp::Cmd(get_command(r)?),
+        2 => {
+            let n = r.get_u32()? as usize;
+            let mut cmds = Vec::with_capacity(n);
+            for _ in 0..n {
+                cmds.push(get_command(r)?);
+            }
+            MpOp::Batch(cmds)
+        }
+        _ => return None,
+    })
+}
+
+fn put_response(buf: &mut Vec<u8>, out: &KvResponse) {
+    match out {
+        KvResponse::Ok => put_u32(buf, 0),
+        KvResponse::Value(None) => put_u32(buf, 1),
+        KvResponse::Value(Some(v)) => {
+            put_u32(buf, 2);
+            put_str(buf, v);
+        }
+        KvResponse::CasResult { swapped } => {
+            put_u32(buf, 3);
+            put_u32(buf, u32::from(*swapped));
+        }
+    }
+}
+
+fn get_response(r: &mut Reader) -> Option<KvResponse> {
+    Some(match r.get_u32()? {
+        0 => KvResponse::Ok,
+        1 => KvResponse::Value(None),
+        2 => KvResponse::Value(Some(r.get_str()?)),
+        3 => KvResponse::CasResult {
+            swapped: r.get_u32()? != 0,
+        },
+        _ => return None,
+    })
+}
+
+/// Encodes a WAL record.
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match rec {
+        WalRecord::Promise { ballot } => {
+            put_u32(&mut buf, 1);
+            put_ballot(&mut buf, *ballot);
+        }
+        WalRecord::Accept { index, ballot, op } => {
+            put_u32(&mut buf, 2);
+            put_u64(&mut buf, *index as u64);
+            put_ballot(&mut buf, *ballot);
+            put_op(&mut buf, op);
+        }
+        WalRecord::Decide { index, op } => {
+            put_u32(&mut buf, 3);
+            put_u64(&mut buf, *index as u64);
+            put_op(&mut buf, op);
+        }
+    }
+    buf
+}
+
+/// Decodes a WAL record. `None` means corruption the CRC somehow missed —
+/// callers treat it as end-of-log.
+pub fn decode_record(bytes: &[u8]) -> Option<WalRecord> {
+    let mut r = Reader::new(bytes);
+    let rec = match r.get_u32()? {
+        1 => WalRecord::Promise {
+            ballot: get_ballot(&mut r)?,
+        },
+        2 => WalRecord::Accept {
+            index: r.get_u64()? as usize,
+            ballot: get_ballot(&mut r)?,
+            op: get_op(&mut r)?,
+        },
+        3 => WalRecord::Decide {
+            index: r.get_u64()? as usize,
+            op: get_op(&mut r)?,
+        },
+        _ => return None,
+    };
+    (r.remaining() == 0).then_some(rec)
+}
+
+/// Serializes a machine checkpoint: the state after `applied_len` entries.
+pub fn encode_snapshot(machine: &MpMachine, applied_len: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, applied_len as u64);
+    put_u64(&mut buf, machine.kv().applied());
+    put_u32(&mut buf, machine.kv().len() as u32);
+    for (k, v) in machine.kv().iter() {
+        put_str(&mut buf, k);
+        put_str(&mut buf, v);
+    }
+    put_u32(&mut buf, machine.client_table.len() as u32);
+    for (client, (seq, out)) in &machine.client_table {
+        put_u32(&mut buf, *client);
+        put_u64(&mut buf, *seq);
+        put_response(&mut buf, out);
+    }
+    buf
+}
+
+/// Deserializes a checkpoint back into `(machine, applied_len)`. The
+/// restored machine's digest equals the snapshotted one bit-for-bit.
+pub fn decode_snapshot(bytes: &[u8]) -> Option<(MpMachine, usize)> {
+    let mut r = Reader::new(bytes);
+    let applied_len = r.get_u64()? as usize;
+    let kv_applied = r.get_u64()?;
+    let n_kv = r.get_u32()? as usize;
+    let mut entries = Vec::with_capacity(n_kv);
+    for _ in 0..n_kv {
+        let k = r.get_str()?;
+        let v = r.get_str()?;
+        entries.push((k, v));
+    }
+    let n_clients = r.get_u32()? as usize;
+    let mut client_table = std::collections::BTreeMap::new();
+    for _ in 0..n_clients {
+        let client = r.get_u32()?;
+        let seq = r.get_u64()?;
+        let out = get_response(&mut r)?;
+        client_table.insert(client, (seq, out));
+    }
+    let machine = MpMachine {
+        kv: KvStore::restore(entries, kv_applied),
+        client_table,
+    };
+    (r.remaining() == 0).then_some((machine, applied_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_core::StateMachine;
+
+    fn cmd(client: u32, seq: u64, op: KvCommand) -> Command<KvCommand> {
+        Command { client, seq, op }
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        let records = vec![
+            WalRecord::Promise {
+                ballot: Ballot::new(7, 2),
+            },
+            WalRecord::Accept {
+                index: 42,
+                ballot: Ballot::new(3, 1),
+                op: MpOp::Cmd(cmd(
+                    9,
+                    4,
+                    KvCommand::Cas {
+                        key: "k".into(),
+                        expect: "a".into(),
+                        new: "b".into(),
+                    },
+                )),
+            },
+            WalRecord::Decide {
+                index: 0,
+                op: MpOp::Noop,
+            },
+            WalRecord::Decide {
+                index: 5,
+                op: MpOp::Batch(vec![
+                    cmd(
+                        1,
+                        1,
+                        KvCommand::Put {
+                            key: "x".into(),
+                            value: "y".into(),
+                        },
+                    ),
+                    cmd(2, 3, KvCommand::Get { key: "x".into() }),
+                    cmd(2, 4, KvCommand::Delete { key: "x".into() }),
+                ]),
+            },
+        ];
+        for rec in records {
+            let bytes = encode_record(&rec);
+            assert_eq!(decode_record(&bytes).as_ref(), Some(&rec), "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_trailing_bytes() {
+        assert_eq!(decode_record(&[]), None);
+        assert_eq!(decode_record(&[9, 0, 0, 0]), None, "unknown tag");
+        let mut ok = encode_record(&WalRecord::Promise {
+            ballot: Ballot::ZERO,
+        });
+        ok.push(0);
+        assert_eq!(decode_record(&ok), None, "trailing bytes are corruption");
+    }
+
+    #[test]
+    fn snapshot_round_trips_digest_exactly() {
+        let mut m = MpMachine::default();
+        for i in 0..20u32 {
+            m.apply(&MpOp::Cmd(cmd(
+                i % 3,
+                u64::from(i),
+                KvCommand::Put {
+                    key: format!("k{i}"),
+                    value: format!("v{i}"),
+                },
+            )));
+        }
+        m.apply(&MpOp::Cmd(cmd(0, 50, KvCommand::Get { key: "k1".into() })));
+        m.apply(&MpOp::Cmd(cmd(
+            1,
+            51,
+            KvCommand::Cas {
+                key: "k2".into(),
+                expect: "nope".into(),
+                new: "x".into(),
+            },
+        )));
+        let blob = encode_snapshot(&m, 23);
+        let (restored, applied_len) = decode_snapshot(&blob).expect("decodes");
+        assert_eq!(applied_len, 23);
+        assert_eq!(restored.digest(), m.digest(), "digest must survive");
+        assert_eq!(restored.kv().applied(), m.kv().applied());
+        // Truncated blobs never half-decode.
+        for cut in 0..blob.len() {
+            assert!(decode_snapshot(&blob[..cut]).is_none(), "cut {cut}");
+        }
+    }
+}

@@ -29,7 +29,8 @@ use consensus_core::{
     StateMachine,
 };
 use simnet::{
-    CncPhase, Context, Metrics, NetConfig, Node, NodeId, Payload, RunOutcome, Sim, Time, Timer,
+    CncPhase, Context, DiskModel, Metrics, NetConfig, Node, NodeId, Payload, RunOutcome, Sim,
+    Time, Timer,
 };
 
 /// Span protocol label; instances are log indices.
@@ -51,10 +52,10 @@ pub enum MpOp {
 
 /// The replicated state machine: a KV store plus the client table used for
 /// duplicate suppression (both are deterministic state).
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct MpMachine {
-    kv: consensus_core::KvStore,
-    client_table: BTreeMap<u32, (u64, KvResponse)>,
+    pub(crate) kv: consensus_core::KvStore,
+    pub(crate) client_table: BTreeMap<u32, (u64, KvResponse)>,
 }
 
 impl MpMachine {
@@ -145,6 +146,12 @@ pub enum MpMsg {
     PrepareAck {
         /// Echoed ballot.
         ballot: Ballot,
+        /// The responder's snapshot floor: indices below it were compacted
+        /// away and can no longer be reported as accepted entries. A
+        /// candidate whose log ends below any responder's floor must catch
+        /// up (state transfer) before leading. Always 0 until snapshots are
+        /// enabled, so default runs are unchanged.
+        floor: usize,
         /// `(index, accept ballot, value)` triples.
         entries: Vec<(usize, Ballot, MpOp)>,
     },
@@ -175,6 +182,25 @@ pub enum MpMsg {
     Heartbeat {
         /// Leader ballot.
         ballot: Ballot,
+        /// Leader's applied frontier; a follower further behind than this
+        /// asks to catch up (only when snapshots are enabled — the request
+        /// path is gated so default runs stay byte-identical).
+        decided: usize,
+    },
+    /// "Resend me decisions from `from_index`" — sent by a lagging follower
+    /// (heartbeat shows the leader ahead) or an aborting candidate (a
+    /// `PrepareAck` reported a floor above its log end).
+    CatchUpRequest {
+        /// First index the requester is missing.
+        from_index: usize,
+    },
+    /// Multi-Paxos install-snapshot: full machine state through `floor`,
+    /// sent when the requested index was compacted away on the responder.
+    InstallState {
+        /// Applied length the machine reflects.
+        floor: usize,
+        /// The checkpointed state machine.
+        machine: Box<MpMachine>,
     },
 }
 
@@ -190,6 +216,8 @@ impl Payload for MpMsg {
             MpMsg::Accepted { .. } => "accepted",
             MpMsg::Decide { .. } => "decide",
             MpMsg::Heartbeat { .. } => "heartbeat",
+            MpMsg::CatchUpRequest { .. } => "catch-up",
+            MpMsg::InstallState { .. } => "install-state",
         }
     }
 
@@ -208,6 +236,7 @@ impl Payload for MpMsg {
                 32 + entries.iter().map(|(_, _, op)| op_bytes(op)).sum::<usize>()
             }
             MpMsg::Accept { op, .. } | MpMsg::Decide { op, .. } => 16 + op_bytes(op),
+            MpMsg::InstallState { machine, .. } => 64 + 48 * machine.kv.len(),
             _ => 64,
         }
     }
@@ -273,6 +302,31 @@ pub struct Replica {
     /// Whether the open batch's `max_delay` has expired (flush even if
     /// underfull as soon as the pipeline window allows).
     overdue: bool,
+    /// Durable storage, when enabled: promises/accepts/decides go to its
+    /// WAL *before* the ack they justify leaves, checkpoints absorb the
+    /// applied prefix, and the applied KV state is mirrored into its index.
+    /// `None` keeps the historical everything-in-RAM behaviour.
+    engine: Option<Box<dyn storage::StorageEngine>>,
+    /// Take a checkpoint every this-many newly applied entries.
+    /// `usize::MAX` (the default) disables snapshots entirely.
+    snapshot_threshold: usize,
+    /// First log index not absorbed by a checkpoint; slots below it are
+    /// compacted away (`Slot::Empty`) and `accepted` is pruned below it.
+    snapshot_floor: usize,
+    /// Checkpoints this replica took itself.
+    pub snapshots_taken: u64,
+    /// Checkpoints installed from a peer (state transfer).
+    pub snapshots_installed: u64,
+    /// Candidate-side: highest snapshot floor reported in `PrepareAck`s of
+    /// the current election, and who reported it.
+    prepare_max_floor: usize,
+    prepare_floor_holder: NodeId,
+    /// Floor restored by the most recent crash recovery (0 = none / cold).
+    pub recovered_floor: usize,
+    /// Entries replayed from the WAL by the most recent recovery.
+    pub last_recovery_replayed: u64,
+    /// Disk time the most recent recovery charged (µs).
+    pub last_recovery_io_us: u64,
 }
 
 impl Replica {
@@ -303,6 +357,56 @@ impl Replica {
             queue: Vec::new(),
             flush_armed: false,
             overdue: false,
+            engine: None,
+            snapshot_threshold: usize::MAX,
+            snapshot_floor: 0,
+            snapshots_taken: 0,
+            snapshots_installed: 0,
+            prepare_max_floor: 0,
+            prepare_floor_holder: NodeId(0),
+            recovered_floor: 0,
+            last_recovery_replayed: 0,
+            last_recovery_io_us: 0,
+        }
+    }
+
+    /// Checkpoints (and compacts the log) every `threshold` applied
+    /// entries. Works with or without a durable engine: RAM-only replicas
+    /// still bound their log growth; durable ones also truncate the WAL.
+    pub fn with_snapshot_threshold(mut self, threshold: usize) -> Self {
+        self.snapshot_threshold = threshold.max(1);
+        self
+    }
+
+    /// Attaches a durable storage engine: the WAL-before-ack discipline,
+    /// checkpointing and crash recovery all activate.
+    pub fn with_engine(mut self, engine: Box<dyn storage::StorageEngine>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Whether snapshots/compaction are enabled (gates the catch-up
+    /// protocol so default runs stay message-for-message identical).
+    fn compaction_enabled(&self) -> bool {
+        self.snapshot_threshold != usize::MAX
+    }
+
+    /// Storage counters, when a durable engine is attached.
+    pub fn storage_stats(&self) -> Option<storage::StorageStats> {
+        self.engine.as_ref().map(|e| e.stats())
+    }
+
+    /// Appends a protocol record to the engine's WAL (no-op without one).
+    fn wal_log(&mut self, rec: crate::durable::WalRecord) {
+        if let Some(e) = self.engine.as_mut() {
+            e.log_record(&crate::durable::encode_record(&rec));
+        }
+    }
+
+    /// Group-commits everything this handler logged (no-op without engine).
+    fn wal_sync(&mut self) {
+        if let Some(e) = self.engine.as_mut() {
+            e.sync();
         }
     }
 
@@ -323,6 +427,8 @@ impl Replica {
         self.election_ballot = self.promised.next_for(ctx.id());
         self.prepare_acks.clear();
         self.prepare_entries.clear();
+        self.prepare_max_floor = 0;
+        self.prepare_floor_holder = NodeId(0);
         let low = self.log.applied_len();
         ctx.phase(SPAN, low as u64, self.election_ballot.num, CncPhase::LeaderElection);
         ctx.send_many(
@@ -362,6 +468,7 @@ impl Replica {
         ctx.set_timer(HB_PERIOD, HEARTBEAT);
         let hb = MpMsg::Heartbeat {
             ballot: self.promised,
+            decided: self.log.applied_len(),
         };
         let me = ctx.id();
         ctx.send_many(self.replica_ids().filter(|&r| r != me), hb);
@@ -469,8 +576,14 @@ impl Replica {
     }
 
     fn on_decided(&mut self, ctx: &mut Context<MpMsg>, index: usize, op: MpOp) {
+        // Slots below the snapshot floor were compacted away; a stale
+        // Decide for one must not resurrect the slot.
+        if index < self.snapshot_floor {
+            return;
+        }
         let outputs = self.log.decide(index, op);
-        for (_i, replies) in outputs {
+        for (i, replies) in outputs {
+            self.mirror_applied(i, &replies);
             for (client, seq, output) in replies {
                 if let Some(client_node) = self.pending_reply.remove(&(client, seq)) {
                     ctx.send(
@@ -484,8 +597,171 @@ impl Replica {
                 }
             }
         }
+        self.maybe_snapshot();
         // A decided slot may free pipeline-window room for queued commands.
         self.try_flush(ctx);
+    }
+
+    /// Mirrors a freshly applied slot's effects into the durable engine's
+    /// primary index. The replies carry each command's actual outcome, so a
+    /// failed CAS mirrors nothing and a deduped re-apply is idempotent.
+    fn mirror_applied(&mut self, index: usize, replies: &[(u32, u64, KvResponse)]) {
+        if self.engine.is_none() {
+            return;
+        }
+        let cmds: Vec<Command<KvCommand>> = match self.log.slot(index) {
+            Slot::Applied(MpOp::Cmd(c)) => vec![c.clone()],
+            Slot::Applied(MpOp::Batch(cs)) => cs.clone(),
+            _ => return,
+        };
+        let engine = self.engine.as_mut().expect("checked above");
+        for (cmd, (_, _, out)) in cmds.iter().zip(replies) {
+            match &cmd.op {
+                KvCommand::Put { key, value } => engine.put(key, value),
+                KvCommand::Delete { key } => engine.delete(key),
+                KvCommand::Cas { key, new, .. } => {
+                    if matches!(out, KvResponse::CasResult { swapped: true }) {
+                        engine.put(key, new);
+                    }
+                }
+                KvCommand::Get { .. } => {}
+            }
+        }
+    }
+
+    /// Rebuilds the engine's primary index from the full machine state —
+    /// used after installing a snapshot (local recovery or state transfer),
+    /// when the on-disk index can't be trusted / doesn't exist yet. This
+    /// pays the honest rebuild I/O that recovery-time experiments measure.
+    fn mirror_full_state(&mut self) {
+        if self.engine.is_none() {
+            return;
+        }
+        let entries: Vec<(String, String)> = self
+            .log
+            .machine()
+            .kv
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let engine = self.engine.as_mut().expect("checked above");
+        for (k, v) in &entries {
+            engine.put(k, v);
+        }
+    }
+
+    /// Takes a checkpoint once enough new entries applied since the last
+    /// floor: prune `accepted` and the log below the applied frontier, then
+    /// persist (when durable) so the WAL restarts empty.
+    fn maybe_snapshot(&mut self) {
+        let applied = self.log.applied_len();
+        if applied.saturating_sub(self.snapshot_floor) < self.snapshot_threshold {
+            return;
+        }
+        self.compact_to(applied);
+        self.snapshots_taken += 1;
+    }
+
+    /// Compacts protocol state below `floor` and persists a checkpoint.
+    fn compact_to(&mut self, floor: usize) {
+        self.accepted = self.accepted.split_off(&floor);
+        self.log.truncate_prefix(floor);
+        self.snapshot_floor = floor;
+        self.persist_checkpoint();
+    }
+
+    /// Writes the machine state through the engine as a snapshot (which
+    /// truncates the WAL) and re-logs every record still live: the promise,
+    /// accepted entries at or above the applied frontier, and decided-but-
+    /// unapplied slots. After this, recovery = snapshot load + WAL replay.
+    fn persist_checkpoint(&mut self) {
+        use crate::durable::{encode_record, encode_snapshot, WalRecord};
+        if self.engine.is_none() {
+            return;
+        }
+        let applied = self.log.applied_len();
+        let blob = encode_snapshot(self.log.machine(), applied);
+        let engine = self.engine.as_mut().expect("checked above");
+        engine.write_snapshot(&blob);
+        if self.promised != Ballot::ZERO {
+            engine.log_record(&encode_record(&WalRecord::Promise {
+                ballot: self.promised,
+            }));
+        }
+        for (&index, (ballot, op)) in self.accepted.range(applied..) {
+            engine.log_record(&encode_record(&WalRecord::Accept {
+                index,
+                ballot: *ballot,
+                op: op.clone(),
+            }));
+        }
+        for index in applied..self.log.len() {
+            if let Slot::Decided(op) = self.log.slot(index) {
+                engine.log_record(&encode_record(&WalRecord::Decide {
+                    index,
+                    op: op.clone(),
+                }));
+            }
+        }
+        engine.sync();
+    }
+
+    /// Crash recovery: reformat the engine's volatile layers, load the last
+    /// checkpoint, replay the WAL in order. Everything the pre-durability
+    /// model declared axiomatically durable (promised, accepted, the log)
+    /// is rebuilt here from actual on-disk bytes — and the disk charges for
+    /// every read, which is what recovery-time experiments measure.
+    fn recover_from_engine(&mut self, ctx: &mut Context<MpMsg>) {
+        use crate::durable::{decode_record, decode_snapshot, WalRecord};
+        let (recovery, io_before) = {
+            let engine = self.engine.as_mut().expect("durable mode");
+            let io_before = engine.stats().io_time_us;
+            engine.crash();
+            (engine.recover(), io_before)
+        };
+        self.promised = Ballot::ZERO;
+        self.accepted.clear();
+        self.log = ReplicatedLog::new();
+        self.snapshot_floor = 0;
+        if let Some(blob) = recovery.snapshot {
+            let (machine, applied) =
+                decode_snapshot(&blob).expect("checkpoint blob decodes");
+            self.log.install(machine, applied);
+            self.snapshot_floor = applied;
+            self.mirror_full_state();
+        }
+        let mut replayed = 0u64;
+        for raw in &recovery.records {
+            let rec = decode_record(raw).expect("CRC-valid WAL record decodes");
+            replayed += 1;
+            match rec {
+                WalRecord::Promise { ballot } => {
+                    if ballot > self.promised {
+                        self.promised = ballot;
+                    }
+                }
+                WalRecord::Accept { index, ballot, op } => {
+                    if index >= self.snapshot_floor {
+                        if ballot > self.promised {
+                            self.promised = ballot;
+                        }
+                        self.accepted.insert(index, (ballot, op));
+                    }
+                }
+                WalRecord::Decide { index, op } => {
+                    self.on_decided(ctx, index, op);
+                }
+            }
+        }
+        self.recovered_floor = self.snapshot_floor;
+        self.last_recovery_replayed = replayed;
+        self.last_recovery_io_us = self
+            .engine
+            .as_ref()
+            .expect("durable mode")
+            .stats()
+            .io_time_us
+            - io_before;
     }
 
     fn leader_hint(&self) -> NodeId {
@@ -544,20 +820,39 @@ impl Node for Replica {
                     if stepping_down {
                         self.step_down();
                     }
+                    if ballot > self.promised {
+                        self.wal_log(crate::durable::WalRecord::Promise { ballot });
+                    }
                     self.promised = ballot;
+                    self.wal_sync(); // promise durable before the ack leaves
                     self.arm_election_timer(ctx);
                     let entries: Vec<(usize, Ballot, MpOp)> = self
                         .accepted
                         .range(low..)
                         .map(|(&i, (b, op))| (i, *b, op.clone()))
                         .collect();
-                    ctx.send(from, MpMsg::PrepareAck { ballot, entries });
+                    ctx.send(
+                        from,
+                        MpMsg::PrepareAck {
+                            ballot,
+                            floor: self.snapshot_floor,
+                            entries,
+                        },
+                    );
                 }
             }
 
-            MpMsg::PrepareAck { ballot, entries } => {
+            MpMsg::PrepareAck {
+                ballot,
+                floor,
+                entries,
+            } => {
                 if self.electing && ballot == self.election_ballot {
                     self.prepare_acks.insert(from);
+                    if floor > self.prepare_max_floor {
+                        self.prepare_max_floor = floor;
+                        self.prepare_floor_holder = from;
+                    }
                     for (i, b, op) in entries {
                         match self.prepare_entries.get(&i) {
                             Some((existing, _)) if *existing >= b => {}
@@ -571,17 +866,42 @@ impl Node for Replica {
                         .is_quorum(&self.prepare_acks, Phase::Election)
                         && self.promised == ballot
                     {
+                        if self.prepare_max_floor > self.log.applied_len() {
+                            // A responder compacted entries this candidate
+                            // has never applied: phase 1 can no longer
+                            // discover them. Abort, fetch the checkpoint,
+                            // and let the election timer retry once caught
+                            // up — the quorum-intersection argument then
+                            // holds again above the floor.
+                            self.electing = false;
+                            ctx.send(
+                                self.prepare_floor_holder,
+                                MpMsg::CatchUpRequest {
+                                    from_index: self.log.applied_len(),
+                                },
+                            );
+                            return;
+                        }
                         self.become_leader(ctx);
                     }
                 }
             }
 
             MpMsg::Accept { ballot, index, op } => {
-                if ballot >= self.promised {
+                if ballot >= self.promised && index >= self.snapshot_floor {
                     if self.is_leader && ballot.proposer() != ctx.id() {
                         self.step_down();
                     }
+                    if ballot > self.promised {
+                        self.wal_log(crate::durable::WalRecord::Promise { ballot });
+                    }
                     self.promised = ballot;
+                    self.wal_log(crate::durable::WalRecord::Accept {
+                        index,
+                        ballot,
+                        op: op.clone(),
+                    });
+                    self.wal_sync(); // accept durable before the ack leaves
                     self.accepted.insert(index, (ballot, op));
                     self.arm_election_timer(ctx);
                     ctx.send(from, MpMsg::Accepted { ballot, index });
@@ -601,6 +921,13 @@ impl Node for Replica {
                             let op = p.op.clone();
                             ctx.phase(SPAN, index as u64, ballot.num, CncPhase::Decision);
                             ctx.span_close(SPAN, index as u64, ballot.num);
+                            if matches!(self.log.slot(index), Slot::Empty) {
+                                self.wal_log(crate::durable::WalRecord::Decide {
+                                    index,
+                                    op: op.clone(),
+                                });
+                                self.wal_sync();
+                            }
                             let me = ctx.id();
                             ctx.send_many(
                                 self.replica_ids().filter(|&r| r != me),
@@ -616,20 +943,97 @@ impl Node for Replica {
             }
 
             MpMsg::Decide { index, op } => {
+                if index < self.snapshot_floor {
+                    return; // compacted away; the effect is in the snapshot
+                }
                 ctx.phase(SPAN, index as u64, self.promised.num, CncPhase::Decision);
                 ctx.span_close(SPAN, index as u64, self.promised.num);
+                if matches!(self.log.slot(index), Slot::Empty) {
+                    self.wal_log(crate::durable::WalRecord::Decide {
+                        index,
+                        op: op.clone(),
+                    });
+                    self.wal_sync(); // decision durable before it applies
+                }
                 self.on_decided(ctx, index, op.clone());
                 // Decisions are also (implicitly) accepted state.
                 self.accepted.entry(index).or_insert((self.promised, op));
             }
 
-            MpMsg::Heartbeat { ballot } => {
+            MpMsg::Heartbeat { ballot, decided } => {
                 if ballot >= self.promised {
                     if self.is_leader && ballot.proposer() != ctx.id() {
                         self.step_down();
                     }
                     self.promised = ballot;
                     self.arm_election_timer(ctx);
+                    // Catch-up probe: only with compaction enabled, so the
+                    // default protocol's message trace is untouched. The
+                    // heartbeat period naturally rate-limits requests.
+                    if self.compaction_enabled() && decided > self.log.applied_len() {
+                        ctx.send(
+                            from,
+                            MpMsg::CatchUpRequest {
+                                from_index: self.log.applied_len(),
+                            },
+                        );
+                    }
+                }
+            }
+
+            MpMsg::CatchUpRequest { from_index } => {
+                // Serve from local state: ship the checkpoint if the caller
+                // is below our floor, then re-send decisions we still hold.
+                let mut start = from_index;
+                if from_index < self.snapshot_floor {
+                    let applied = self.log.applied_len();
+                    ctx.send(
+                        from,
+                        MpMsg::InstallState {
+                            floor: applied,
+                            machine: Box::new(self.log.machine().clone()),
+                        },
+                    );
+                    start = applied;
+                }
+                let mut sent = 0;
+                for index in start..self.log.len() {
+                    if sent >= 64 {
+                        break; // bounded burst; the next heartbeat re-probes
+                    }
+                    if let Slot::Decided(op) | Slot::Applied(op) = self.log.slot(index) {
+                        ctx.send(
+                            from,
+                            MpMsg::Decide {
+                                index,
+                                op: op.clone(),
+                            },
+                        );
+                        sent += 1;
+                    }
+                }
+            }
+
+            MpMsg::InstallState { floor, machine } => {
+                if floor <= self.log.applied_len() {
+                    return; // stale: we already applied past it
+                }
+                // Preserve any decided-but-unapplied tail above the incoming
+                // floor; `install` drops it, so re-decide afterwards.
+                let tail: Vec<(usize, MpOp)> = (floor..self.log.len())
+                    .filter_map(|i| match self.log.slot(i) {
+                        Slot::Decided(op) => Some((i, op.clone())),
+                        _ => None,
+                    })
+                    .collect();
+                self.log.install(*machine, floor);
+                self.accepted = self.accepted.split_off(&floor);
+                self.snapshot_floor = floor;
+                self.snapshots_installed += 1;
+                self.mirror_full_state();
+                self.persist_checkpoint();
+                for (index, op) in tail {
+                    self.on_decided(ctx, index, op);
                 }
             }
 
@@ -651,6 +1055,7 @@ impl Node for Replica {
                 if self.is_leader => {
                     let hb = MpMsg::Heartbeat {
                         ballot: self.promised,
+                        decided: self.log.applied_len(),
                     };
                     let me = ctx.id();
                     ctx.send_many(self.replica_ids().filter(|&r| r != me), hb);
@@ -670,12 +1075,19 @@ impl Node for Replica {
     }
 
     fn on_restart(&mut self, ctx: &mut Context<MpMsg>) {
-        // promised/accepted/log are durable; leadership is not.
+        // Leadership and in-flight bookkeeping never survive a restart.
         self.step_down();
         self.electing = false;
         self.proposals.clear();
         self.pending_reply.clear();
         self.election_timer = None;
+        if self.engine.is_some() {
+            // Durable mode: promised/accepted/log exist only as WAL records
+            // and checkpoints. Rebuild them the honest way.
+            self.recover_from_engine(ctx);
+        }
+        // else: the historical RAM model — promised/accepted/log are
+        // axiomatically durable and still in place.
         self.arm_election_timer(ctx);
     }
 }
@@ -917,6 +1329,30 @@ impl MultiPaxosCluster {
             n_replicas,
             n_clients,
         }
+    }
+
+    /// Enables snapshots/compaction on every replica (RAM mode: log growth
+    /// is bounded but nothing is written to a disk model).
+    pub fn with_snapshot_threshold(mut self, threshold: usize) -> Self {
+        for i in 0..self.n_replicas {
+            if let Proc::Replica(r) = self.sim.node_mut(NodeId::from(i)) {
+                r.snapshot_threshold = threshold.max(1);
+            }
+        }
+        self
+    }
+
+    /// Attaches a fresh [`storage::DurableEngine`] over `model` to every
+    /// replica and enables snapshots at `threshold`: WAL-before-ack,
+    /// checkpointing, and real crash recovery all activate.
+    pub fn with_durability(mut self, threshold: usize, model: DiskModel) -> Self {
+        for i in 0..self.n_replicas {
+            if let Proc::Replica(r) = self.sim.node_mut(NodeId::from(i)) {
+                r.snapshot_threshold = threshold.max(1);
+                r.engine = Some(Box::new(storage::DurableEngine::new(model)));
+            }
+        }
+        self
     }
 
     /// Runs until all clients finish or `horizon` passes. Returns whether
@@ -1404,6 +1840,140 @@ mod tests {
         assert!(drv.metrics().sent > 0);
         // Crash-fault protocol: Byzantine windows are unsupported.
         assert!(!drv.open_byzantine_window(ByzantineWindow::Mute, NodeId(1)));
+    }
+
+    #[test]
+    fn snapshots_bound_log_growth() {
+        // Mirror of raft's test: with a snapshot threshold of 8, a 40-command
+        // workload must checkpoint at least once and retain well under 40
+        // slots — the log stays bounded against the checkpoint.
+        let mut cluster = majority_cluster(3, 1, 40, 21).with_snapshot_threshold(8);
+        assert!(cluster.run(Time::from_secs(20)));
+        assert_eq!(cluster.total_completed(), 40);
+        cluster.sim.run_for(300_000); // let followers settle / catch up
+        cluster.check_log_consistency();
+        for r in cluster.replicas() {
+            assert!(
+                r.snapshots_taken >= 1,
+                "replica never checkpointed (floor {})",
+                r.snapshot_floor
+            );
+            assert!(
+                r.log.retained_len() < 40,
+                "log not compacted: {} slots retained",
+                r.log.retained_len()
+            );
+        }
+    }
+
+    #[test]
+    fn durability_does_not_change_decisions() {
+        // The disk model is pure accounting — attaching engines must not
+        // perturb message timing. Under a draw-free synchronous network the
+        // run must be observably identical: same decided sequence when the
+        // log is kept (huge threshold), and the same final machine digest
+        // and message count even when compaction empties old slots.
+        let run = |threshold: Option<usize>| {
+            let mut cluster = MultiPaxosCluster::new(
+                QuorumSpec::Majority { n: 3 },
+                3,
+                2,
+                20,
+                NetConfig::synchronous(),
+                42,
+            );
+            if let Some(t) = threshold {
+                cluster = cluster.with_durability(t, simnet::DiskModel::ssd());
+            }
+            assert!(cluster.run(Time::from_secs(30)));
+            cluster.check_log_consistency();
+            let digest = cluster
+                .replicas()
+                .max_by_key(|r| r.log.applied_len())
+                .expect("replicas")
+                .log
+                .machine()
+                .digest();
+            (flattened_decisions(&cluster), digest, cluster.sim.metrics().sent)
+        };
+        let (base_seq, base_digest, base_sent) = run(None);
+        assert_eq!(base_seq.len(), 40);
+        // No compaction: byte-for-byte identical decisions and traffic.
+        assert_eq!(run(Some(usize::MAX)), (base_seq, base_digest, base_sent));
+        // Compaction at 8: old slots are emptied so the flattened sequence
+        // shrinks, but the state and the message trace must not change.
+        let (_, digest8, sent8) = run(Some(8));
+        assert_eq!(digest8, base_digest);
+        assert_eq!(sent8, base_sent);
+    }
+
+    #[test]
+    fn durable_replica_recovers_from_wal_and_snapshot() {
+        let mut cluster =
+            majority_cluster(3, 1, 30, 22).with_durability(8, simnet::DiskModel::ssd());
+        assert!(cluster.run(Time::from_secs(20)));
+        assert_eq!(cluster.total_completed(), 30);
+        cluster.sim.run_for(300_000);
+        let digest_before = {
+            let Proc::Replica(r) = cluster.sim.node(NodeId(2)) else {
+                panic!("node 2 is a replica")
+            };
+            assert!(r.snapshots_taken >= 1, "needs a checkpoint to recover from");
+            r.log.machine().digest()
+        };
+        // Crash + restart: recovery must come from the checkpoint (not a
+        // full replay from slot 0) and reproduce the exact machine state.
+        let now = cluster.sim.now();
+        cluster.sim.crash_at(NodeId(2), Time(now.0 + 1_000));
+        cluster.sim.restart_at(NodeId(2), Time(now.0 + 50_000));
+        cluster.sim.run_for(500_000);
+        let Proc::Replica(r) = cluster.sim.node(NodeId(2)) else {
+            panic!("node 2 is a replica")
+        };
+        assert!(
+            r.recovered_floor > 0,
+            "recovery replayed from slot 0 instead of the snapshot"
+        );
+        assert_eq!(r.log.machine().digest(), digest_before, "state must survive");
+        let stats = r.storage_stats().expect("durable engine");
+        assert_eq!(stats.recoveries, 1);
+        assert!(r.last_recovery_io_us > 0, "recovery must charge disk time");
+        cluster.check_log_consistency();
+    }
+
+    #[test]
+    fn lagging_replica_catches_up_via_install_state() {
+        // Crash a follower early, let the survivors compact past its log
+        // end, then bring it back: phase-1 entries below the floor are gone,
+        // so only the install-state path can repair it.
+        let mut cluster =
+            majority_cluster(3, 2, 30, 23).with_durability(4, simnet::DiskModel::ssd());
+        cluster.sim.crash_at(NodeId(2), Time::from_millis(20));
+        assert!(cluster.run(Time::from_secs(20)), "quorum of 2 must finish");
+        assert_eq!(cluster.total_completed(), 60);
+        let leader_floor = cluster
+            .replicas()
+            .map(|r| r.snapshot_floor)
+            .max()
+            .expect("replicas");
+        assert!(leader_floor > 0, "survivors never compacted");
+        let now = cluster.sim.now();
+        cluster.sim.restart_at(NodeId(2), Time(now.0 + 1_000));
+        // Several heartbeat periods: probe, install, decide-resend rounds.
+        cluster.sim.run_for(2_000_000);
+        let Proc::Replica(r) = cluster.sim.node(NodeId(2)) else {
+            panic!("node 2 is a replica")
+        };
+        assert!(
+            r.snapshots_installed >= 1,
+            "laggard never installed a peer checkpoint (applied {}, floor {leader_floor})",
+            r.log.applied_len()
+        );
+        assert!(
+            r.log.applied_len() >= leader_floor,
+            "laggard still behind the compaction floor"
+        );
+        cluster.check_log_consistency();
     }
 
     #[test]

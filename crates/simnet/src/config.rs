@@ -92,6 +92,47 @@ impl NicModel {
     }
 }
 
+/// Deterministic disk-device model, the storage analogue of [`NicModel`]:
+/// every I/O costs `seek_us + size_bytes / bytes_per_us` microseconds of
+/// simulated device time. `seek_us` is the fixed positioning cost that group
+/// commit amortizes (one seek per WAL flush, however many records it
+/// carries); `bytes_per_us` is the sequential transfer bandwidth.
+///
+/// The storage crate charges this time into per-device counters rather than
+/// scheduling events, so recovery-time and cold-cache experiments are pure
+/// functions of (workload, model, seed) — exactly like message latency under
+/// the NIC model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiskModel {
+    /// Fixed positioning cost per I/O in µs (independent of size).
+    pub seek_us: u64,
+    /// Sequential transfer bandwidth in bytes per µs (≥ 1).
+    pub bytes_per_us: u64,
+}
+
+impl DiskModel {
+    /// Service time for one I/O of `size` bytes.
+    pub fn io_micros(&self, size: u64) -> u64 {
+        self.seek_us + size / self.bytes_per_us.max(1)
+    }
+
+    /// A commodity-SSD-like profile: 80 µs seek, ~500 MB/s transfer.
+    pub fn ssd() -> Self {
+        DiskModel {
+            seek_us: 80,
+            bytes_per_us: 512,
+        }
+    }
+
+    /// A spinning-disk-like profile: 4 ms seek, ~128 MB/s transfer.
+    pub fn hdd() -> Self {
+        DiskModel {
+            seek_us: 4_000,
+            bytes_per_us: 128,
+        }
+    }
+}
+
 /// Full network configuration for a [`crate::Sim`].
 #[derive(Clone, Debug)]
 pub struct NetConfig {
@@ -288,5 +329,23 @@ mod tests {
     #[should_panic(expected = "drop_prob")]
     fn invalid_drop_prob_panics() {
         let _ = NetConfig::lan().with_drop_prob(1.5);
+    }
+
+    #[test]
+    fn disk_model_charges_seek_plus_transfer() {
+        let d = DiskModel {
+            seek_us: 100,
+            bytes_per_us: 64,
+        };
+        assert_eq!(d.io_micros(0), 100);
+        assert_eq!(d.io_micros(6400), 200);
+        // seek dominates small I/O: group commit's whole case.
+        assert!(d.io_micros(64) < 2 * d.io_micros(0));
+        let degenerate = DiskModel {
+            seek_us: 1,
+            bytes_per_us: 0,
+        };
+        assert_eq!(degenerate.io_micros(8), 9); // clamped to 1 byte/µs
+        assert!(DiskModel::hdd().io_micros(4096) > DiskModel::ssd().io_micros(4096));
     }
 }

@@ -63,7 +63,7 @@ mod sim;
 mod time;
 mod trace;
 
-pub use config::{DelayModel, NetConfig, NicModel, Synchrony};
+pub use config::{DelayModel, DiskModel, NetConfig, NicModel, Synchrony};
 pub use fault::{DropAll, Equivocate, Filter, FilterAction, FnFilter};
 pub use metrics::{Histogram, Metrics};
 pub use node::{Context, Node, Payload, Timer, TimerId};

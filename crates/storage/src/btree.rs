@@ -1,0 +1,464 @@
+//! B+ tree primary index over the buffer pool.
+//!
+//! Classic textbook shape: internal pages route by separator keys, leaf
+//! pages hold `(key, value)` pairs and chain left-to-right so range scans
+//! are a descent plus a linked-list walk. Pages split when their serialized
+//! form would overflow [`PAGE_SIZE`]; deletes leave pages sparse (no merge
+//! — the simulation favors simplicity, and sparse pages only cost space).
+//!
+//! Page layouts (little-endian):
+//!
+//! | leaf | internal |
+//! |---|---|
+//! | `tag=0: u8` | `tag=1: u8` |
+//! | `n: u16` | `n: u16` |
+//! | `next_leaf: u32` (`MAX` = none) | `child0: u32` |
+//! | `n × (klen: u16, vlen: u16, key, value)` | `n × (klen: u16, key, child: u32)` |
+//!
+//! In an internal page, `child0` covers keys `< key[0]`; entry `i`'s child
+//! covers `key[i] ≤ k < key[i+1]`.
+
+use crate::buffer::BufferPool;
+use crate::disk::{SimDisk, PAGE_SIZE};
+
+const LEAF: u8 = 0;
+const INTERNAL: u8 = 1;
+const NO_LEAF: u32 = u32::MAX;
+
+/// Largest `key.len() + value.len()` a single entry may carry; keeps every
+/// page able to hold at least three entries so splits always make progress.
+pub const MAX_ENTRY_BYTES: usize = 1024;
+
+#[derive(Debug)]
+enum Page {
+    Leaf {
+        next: u32,
+        entries: Vec<(String, String)>,
+    },
+    Internal {
+        child0: u32,
+        seps: Vec<(String, u32)>,
+    },
+}
+
+fn decode(data: &[u8; PAGE_SIZE]) -> Page {
+    let tag = data[0];
+    let n = u16::from_le_bytes([data[1], data[2]]) as usize;
+    let mut pos = 3;
+    let get_u16 = |data: &[u8; PAGE_SIZE], pos: &mut usize| {
+        let v = u16::from_le_bytes([data[*pos], data[*pos + 1]]);
+        *pos += 2;
+        v as usize
+    };
+    let get_u32 = |data: &[u8; PAGE_SIZE], pos: &mut usize| {
+        let v = u32::from_le_bytes(data[*pos..*pos + 4].try_into().expect("4 bytes"));
+        *pos += 4;
+        v
+    };
+    let get_str = |data: &[u8; PAGE_SIZE], pos: &mut usize, len: usize| {
+        let s = String::from_utf8(data[*pos..*pos + len].to_vec()).expect("utf8 page data");
+        *pos += len;
+        s
+    };
+    if tag == LEAF {
+        let next = get_u32(data, &mut pos);
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let klen = get_u16(data, &mut pos);
+            let vlen = get_u16(data, &mut pos);
+            let k = get_str(data, &mut pos, klen);
+            let v = get_str(data, &mut pos, vlen);
+            entries.push((k, v));
+        }
+        Page::Leaf { next, entries }
+    } else {
+        let child0 = get_u32(data, &mut pos);
+        let mut seps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let klen = get_u16(data, &mut pos);
+            let k = get_str(data, &mut pos, klen);
+            let child = get_u32(data, &mut pos);
+            seps.push((k, child));
+        }
+        Page::Internal { child0, seps }
+    }
+}
+
+fn leaf_size(entries: &[(String, String)]) -> usize {
+    7 + entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum::<usize>()
+}
+
+fn internal_size(seps: &[(String, u32)]) -> usize {
+    7 + seps.iter().map(|(k, _)| 6 + k.len()).sum::<usize>()
+}
+
+fn encode(page: &Page) -> [u8; PAGE_SIZE] {
+    let mut buf = Vec::with_capacity(PAGE_SIZE);
+    match page {
+        Page::Leaf { next, entries } => {
+            buf.push(LEAF);
+            buf.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+            buf.extend_from_slice(&next.to_le_bytes());
+            for (k, v) in entries {
+                buf.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                buf.extend_from_slice(&(v.len() as u16).to_le_bytes());
+                buf.extend_from_slice(k.as_bytes());
+                buf.extend_from_slice(v.as_bytes());
+            }
+        }
+        Page::Internal { child0, seps } => {
+            buf.push(INTERNAL);
+            buf.extend_from_slice(&(seps.len() as u16).to_le_bytes());
+            buf.extend_from_slice(&child0.to_le_bytes());
+            for (k, child) in seps {
+                buf.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                buf.extend_from_slice(k.as_bytes());
+                buf.extend_from_slice(&child.to_le_bytes());
+            }
+        }
+    }
+    assert!(buf.len() <= PAGE_SIZE, "page overflow: {} bytes", buf.len());
+    let mut frame = [0u8; PAGE_SIZE];
+    frame[..buf.len()].copy_from_slice(&buf);
+    frame
+}
+
+/// A B+ tree rooted at one page id. The tree owns no I/O state — the disk
+/// and pool are passed into every operation, so the engine can hold all
+/// three side by side.
+#[derive(Debug)]
+pub struct BTree {
+    root: u32,
+    /// Live key count (maintained on put/delete; cheap introspection).
+    pub len: usize,
+}
+
+impl BTree {
+    /// Creates an empty tree by allocating its root leaf.
+    pub fn new(disk: &mut SimDisk, pool: &mut BufferPool) -> Self {
+        let root = pool.alloc(disk);
+        pool.write(
+            disk,
+            root,
+            &encode(&Page::Leaf {
+                next: NO_LEAF,
+                entries: Vec::new(),
+            }),
+        );
+        BTree { root, len: 0 }
+    }
+
+    /// Inserts or updates `key`.
+    pub fn put(&mut self, disk: &mut SimDisk, pool: &mut BufferPool, key: &str, value: &str) {
+        assert!(
+            key.len() + value.len() <= MAX_ENTRY_BYTES,
+            "entry too large for a page: {} + {} bytes",
+            key.len(),
+            value.len()
+        );
+        if let Some((sep, right)) = self.insert_into(disk, pool, self.root, key, value) {
+            // Root split: grow the tree by one level.
+            let new_root = pool.alloc(disk);
+            pool.write(
+                disk,
+                new_root,
+                &encode(&Page::Internal {
+                    child0: self.root,
+                    seps: vec![(sep, right)],
+                }),
+            );
+            self.root = new_root;
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, disk: &mut SimDisk, pool: &mut BufferPool, key: &str) -> Option<String> {
+        let pid = self.descend(disk, pool, key);
+        let frame = pool.read(disk, pid);
+        match decode(&frame) {
+            Page::Leaf { entries, .. } => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone()),
+            Page::Internal { .. } => unreachable!("descend ends at a leaf"),
+        }
+    }
+
+    /// Removes `key` if present. Returns whether it existed. Pages are not
+    /// merged; a sparse leaf stays in the chain.
+    pub fn delete(&mut self, disk: &mut SimDisk, pool: &mut BufferPool, key: &str) -> bool {
+        let pid = self.descend(disk, pool, key);
+        let frame = pool.read(disk, pid);
+        let Page::Leaf { next, mut entries } = decode(&frame) else {
+            unreachable!("descend ends at a leaf")
+        };
+        let before = entries.len();
+        entries.retain(|(k, _)| k != key);
+        let removed = entries.len() < before;
+        if removed {
+            self.len -= 1;
+            pool.write(disk, pid, &encode(&Page::Leaf { next, entries }));
+        }
+        removed
+    }
+
+    /// Ordered scan of keys in `[lo, hi)` via the leaf chain.
+    pub fn scan(
+        &self,
+        disk: &mut SimDisk,
+        pool: &mut BufferPool,
+        lo: &str,
+        hi: &str,
+    ) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        let mut pid = self.descend(disk, pool, lo);
+        loop {
+            let frame = pool.read(disk, pid);
+            let Page::Leaf { next, entries } = decode(&frame) else {
+                unreachable!("leaf chain holds only leaves")
+            };
+            for (k, v) in entries {
+                if k.as_str() >= hi {
+                    return out;
+                }
+                if k.as_str() >= lo {
+                    out.push((k, v));
+                }
+            }
+            if next == NO_LEAF {
+                return out;
+            }
+            pid = next;
+        }
+    }
+
+    /// The leaf page that owns `key`.
+    fn descend(&self, disk: &mut SimDisk, pool: &mut BufferPool, key: &str) -> u32 {
+        let mut pid = self.root;
+        loop {
+            let frame = pool.read(disk, pid);
+            match decode(&frame) {
+                Page::Leaf { .. } => return pid,
+                Page::Internal { child0, seps } => {
+                    pid = seps
+                        .iter()
+                        .take_while(|(k, _)| k.as_str() <= key)
+                        .last()
+                        .map_or(child0, |(_, c)| *c);
+                }
+            }
+        }
+    }
+
+    fn insert_into(
+        &mut self,
+        disk: &mut SimDisk,
+        pool: &mut BufferPool,
+        pid: u32,
+        key: &str,
+        value: &str,
+    ) -> Option<(String, u32)> {
+        let frame = pool.read(disk, pid);
+        match decode(&frame) {
+            Page::Leaf { next, mut entries } => {
+                match entries.binary_search_by(|(k, _)| k.as_str().cmp(key)) {
+                    Ok(i) => entries[i].1 = value.to_string(),
+                    Err(i) => {
+                        entries.insert(i, (key.to_string(), value.to_string()));
+                        self.len += 1;
+                    }
+                }
+                if leaf_size(&entries) <= PAGE_SIZE {
+                    pool.write(disk, pid, &encode(&Page::Leaf { next, entries }));
+                    return None;
+                }
+                let right_entries = entries.split_off(entries.len() / 2);
+                let sep = right_entries[0].0.clone();
+                let right = pool.alloc(disk);
+                pool.write(
+                    disk,
+                    right,
+                    &encode(&Page::Leaf {
+                        next,
+                        entries: right_entries,
+                    }),
+                );
+                pool.write(disk, pid, &encode(&Page::Leaf { next: right, entries }));
+                Some((sep, right))
+            }
+            Page::Internal { child0, mut seps } => {
+                let child = seps
+                    .iter()
+                    .take_while(|(k, _)| k.as_str() <= key)
+                    .last()
+                    .map_or(child0, |(_, c)| *c);
+                let (sep, new_child) = self.insert_into(disk, pool, child, key, value)?;
+                let at = seps
+                    .binary_search_by(|(k, _)| k.as_str().cmp(&sep))
+                    .unwrap_or_else(|i| i);
+                seps.insert(at, (sep, new_child));
+                if internal_size(&seps) <= PAGE_SIZE {
+                    pool.write(disk, pid, &encode(&Page::Internal { child0, seps }));
+                    return None;
+                }
+                let mid = seps.len() / 2;
+                let mut right_seps = seps.split_off(mid);
+                let (promoted, right_child0) = right_seps.remove(0);
+                let right = pool.alloc(disk);
+                pool.write(
+                    disk,
+                    right,
+                    &encode(&Page::Internal {
+                        child0: right_child0,
+                        seps: right_seps,
+                    }),
+                );
+                pool.write(disk, pid, &encode(&Page::Internal { child0, seps }));
+                Some((promoted, right))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::DiskModel;
+
+    fn stack(pool_pages: usize) -> (SimDisk, BufferPool) {
+        (
+            SimDisk::new(DiskModel {
+                seek_us: 100,
+                bytes_per_us: 1024,
+            }),
+            BufferPool::new(pool_pages),
+        )
+    }
+
+    #[test]
+    fn put_get_delete_point_ops() {
+        let (mut d, mut p) = stack(8);
+        let mut t = BTree::new(&mut d, &mut p);
+        assert_eq!(t.get(&mut d, &mut p, "a"), None);
+        t.put(&mut d, &mut p, "a", "1");
+        t.put(&mut d, &mut p, "b", "2");
+        t.put(&mut d, &mut p, "a", "3"); // overwrite
+        assert_eq!(t.get(&mut d, &mut p, "a").as_deref(), Some("3"));
+        assert_eq!(t.get(&mut d, &mut p, "b").as_deref(), Some("2"));
+        assert_eq!(t.len, 2);
+        assert!(t.delete(&mut d, &mut p, "a"));
+        assert!(!t.delete(&mut d, &mut p, "a"));
+        assert_eq!(t.get(&mut d, &mut p, "a"), None);
+        assert_eq!(t.len, 1);
+    }
+
+    #[test]
+    fn splits_keep_every_key_reachable() {
+        // Values sized so only ~10 entries fit a page: forces multi-level
+        // splits well before 500 keys.
+        let (mut d, mut p) = stack(16);
+        let mut t = BTree::new(&mut d, &mut p);
+        let val = "x".repeat(350);
+        for i in 0..500 {
+            t.put(&mut d, &mut p, &format!("key{i:04}"), &val);
+        }
+        assert_eq!(t.len, 500);
+        assert!(d.n_pages() > 10, "tree must have split: {}", d.n_pages());
+        for i in 0..500 {
+            assert_eq!(
+                t.get(&mut d, &mut p, &format!("key{i:04}")).as_deref(),
+                Some(val.as_str()),
+                "key{i:04} lost after splits"
+            );
+        }
+    }
+
+    #[test]
+    fn range_scans_walk_the_leaf_chain_in_order() {
+        let (mut d, mut p) = stack(8);
+        let mut t = BTree::new(&mut d, &mut p);
+        let val = "v".repeat(200);
+        // Insert in reverse to make sure ordering comes from the tree.
+        for i in (0..200).rev() {
+            t.put(&mut d, &mut p, &format!("k{i:03}"), &val);
+        }
+        let hits = t.scan(&mut d, &mut p, "k050", "k060");
+        let keys: Vec<&str> = hits.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            (50..60).map(|i| format!("k{i:03}")).collect::<Vec<_>>()
+        );
+        // Full scan returns everything, sorted.
+        let all = t.scan(&mut d, &mut p, "", "~");
+        assert_eq!(all.len(), 200);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        // Empty and out-of-range scans.
+        assert!(t.scan(&mut d, &mut p, "z", "zz").is_empty());
+        assert!(t.scan(&mut d, &mut p, "k050", "k050").is_empty());
+    }
+
+    #[test]
+    fn matches_a_model_btreemap_under_mixed_ops() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha20Rng::seed_from_u64(42);
+        let (mut d, mut p) = stack(8);
+        let mut t = BTree::new(&mut d, &mut p);
+        let mut model = std::collections::BTreeMap::new();
+        for step in 0..2000 {
+            let key = format!("k{:03}", rng.gen_range(0..150));
+            match rng.gen_range(0..10) {
+                0..=5 => {
+                    let val = format!("v{step}-{}", "p".repeat(rng.gen_range(0..64)));
+                    t.put(&mut d, &mut p, &key, &val);
+                    model.insert(key, val);
+                }
+                6..=7 => {
+                    assert_eq!(
+                        t.delete(&mut d, &mut p, &key),
+                        model.remove(&key).is_some(),
+                        "delete {key} at step {step}"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        t.get(&mut d, &mut p, &key),
+                        model.get(&key).cloned(),
+                        "get {key} at step {step}"
+                    );
+                }
+            }
+        }
+        assert_eq!(t.len, model.len());
+        let all = t.scan(&mut d, &mut p, "", "~");
+        let expect: Vec<(String, String)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(all, expect, "final scan must equal the model");
+    }
+
+    #[test]
+    fn small_pool_forces_misses_but_stays_correct() {
+        // Pool far smaller than the working set: every descent churns the
+        // clock, and correctness must not depend on residency.
+        let (mut d, mut p) = stack(3);
+        let mut t = BTree::new(&mut d, &mut p);
+        let val = "w".repeat(300);
+        for i in 0..300 {
+            t.put(&mut d, &mut p, &format!("key{i:04}"), &val);
+        }
+        for i in (0..300).step_by(7) {
+            assert!(t.get(&mut d, &mut p, &format!("key{i:04}")).is_some());
+        }
+        let s = p.stats();
+        assert!(s.misses > 0, "a 3-frame pool cannot hold the tree");
+        assert!(s.evictions > 0);
+        assert!(s.writebacks > 0, "dirty evictions must write back");
+    }
+
+    #[test]
+    #[should_panic(expected = "entry too large")]
+    fn oversized_entries_are_rejected() {
+        let (mut d, mut p) = stack(4);
+        let mut t = BTree::new(&mut d, &mut p);
+        t.put(&mut d, &mut p, "k", &"x".repeat(MAX_ENTRY_BYTES + 1));
+    }
+}

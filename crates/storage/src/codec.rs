@@ -1,0 +1,132 @@
+//! Hand-rolled little-endian binary encoding helpers plus CRC32.
+//!
+//! The workspace builds with no registry access, so there is no serde
+//! derive; every on-disk format in this crate (and the WAL records the
+//! consensus layer writes through it) is encoded with these primitives.
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed byte string (`u32` length + bytes).
+pub fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, v: &str) {
+    put_bytes(buf, v.as_bytes());
+}
+
+/// A cursor over encoded bytes. Every `get_*` returns `None` on underrun
+/// instead of panicking, so decoders double as corruption detectors.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        let b = self.take(4)?;
+        Some(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        let b = self.take(8)?;
+        Some(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.get_u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Option<String> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec()).ok()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), the checksum guarding every
+/// WAL record. Table-free bitwise form — the WAL is a simulated device, so
+/// simplicity beats throughput.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_strings() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_str(&mut buf, "héllo");
+        put_bytes(&mut buf, &[1, 2, 3]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u32(), Some(7));
+        assert_eq!(r.get_u64(), Some(u64::MAX - 3));
+        assert_eq!(r.get_str().as_deref(), Some("héllo"));
+        assert_eq!(r.get_bytes(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.get_u32(), None, "underrun reads are None, not panics");
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn truncated_string_decodes_as_none() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "payload");
+        buf.truncate(buf.len() - 1);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_str(), None);
+    }
+}

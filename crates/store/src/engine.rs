@@ -22,7 +22,7 @@ use consensus_core::QuorumSpec;
 use paxos::multi::{MpMsg, MultiPaxosCluster};
 use raft::msg::RaftMsg;
 use raft::RaftCluster;
-use simnet::{NetConfig, NodeId};
+use simnet::{DiskModel, NetConfig, NodeId};
 
 /// A consensus group that the store can use as a replicated shard log.
 pub trait ShardEngine: ClusterDriver {
@@ -32,6 +32,26 @@ pub trait ShardEngine: ClusterDriver {
     fn build_shard(n_replicas: usize, batch: BatchConfig, net: NetConfig, seed: u64) -> Self
     where
         Self: Sized;
+
+    /// Builds a shard whose replicas persist through a durable storage
+    /// engine, checkpointing every `threshold` applied entries over `disk`.
+    /// The default falls back to [`ShardEngine::build_shard`] — engines
+    /// without durable support keep the RAM-durability model, so the store
+    /// composes with both.
+    fn build_shard_durable(
+        n_replicas: usize,
+        batch: BatchConfig,
+        net: NetConfig,
+        seed: u64,
+        threshold: usize,
+        disk: DiskModel,
+    ) -> Self
+    where
+        Self: Sized,
+    {
+        let _ = (threshold, disk);
+        Self::build_shard(n_replicas, batch, net, seed)
+    }
 
     /// Broadcasts `cmd` to every replica, sent from the stub client node.
     /// Safe to call repeatedly with the same command (dedup applies once).
@@ -59,6 +79,17 @@ impl ShardEngine for MultiPaxosCluster {
             batch,
             WorkloadMode::Closed,
         )
+    }
+
+    fn build_shard_durable(
+        n_replicas: usize,
+        batch: BatchConfig,
+        net: NetConfig,
+        seed: u64,
+        threshold: usize,
+        disk: DiskModel,
+    ) -> Self {
+        Self::build_shard(n_replicas, batch, net, seed).with_durability(threshold, disk)
     }
 
     fn submit(&mut self, cmd: Command<KvCommand>) {

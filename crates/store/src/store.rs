@@ -39,7 +39,7 @@ use consensus_core::txn::{self, TxnDecision, TxnId, TxnPhase};
 use consensus_core::workload::LatencyRecorder;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha20Rng;
-use simnet::{NetConfig, Time};
+use simnet::{DiskModel, NetConfig, Time};
 
 use crate::engine::ShardEngine;
 use crate::shard_map::ShardMap;
@@ -102,6 +102,13 @@ pub struct StoreConfig {
     pub seed: u64,
     /// Inject the early-dissemination bug (see module docs).
     pub buggy_early_writes: bool,
+    /// Durable shard storage: `(snapshot_threshold, disk model)`. When set,
+    /// every shard group that supports it persists its state through a
+    /// [`storage::StorageEngine`] — 2PC prepare/decision records become WAL
+    /// entries that are durable *before* the acks that release them, and
+    /// replica recovery is a real WAL-replay + snapshot-load. `None` keeps
+    /// the historical RAM-durability model.
+    pub durability: Option<(usize, DiskModel)>,
 }
 
 impl StoreConfig {
@@ -119,7 +126,14 @@ impl StoreConfig {
             net: NetConfig::lan(),
             seed,
             buggy_early_writes: false,
+            durability: None,
         }
+    }
+
+    /// The same store with durable shard storage enabled.
+    pub fn durable(mut self, snapshot_threshold: usize, disk: DiskModel) -> Self {
+        self.durability = Some((snapshot_threshold, disk));
+        self
     }
 }
 
@@ -1056,7 +1070,19 @@ impl<E: ShardEngine> Store<E> {
                     .seed
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                     .wrapping_add(s as u64 + 1);
-                E::build_shard(cfg.replicas_per_shard, cfg.batch, cfg.net.clone(), seed)
+                match cfg.durability {
+                    Some((threshold, disk)) => E::build_shard_durable(
+                        cfg.replicas_per_shard,
+                        cfg.batch,
+                        cfg.net.clone(),
+                        seed,
+                        threshold,
+                        disk,
+                    ),
+                    None => {
+                        E::build_shard(cfg.replicas_per_shard, cfg.batch, cfg.net.clone(), seed)
+                    }
+                }
             })
             .collect();
         let pool = key_pool(&map, cfg.n_shards, cfg.keys_per_shard);
