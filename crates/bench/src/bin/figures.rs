@@ -13,7 +13,7 @@
 use std::fs;
 use std::path::Path;
 
-use bench::figures::{all_pages, index_page};
+use bench::figures::{all_pages, index_page, observability_page};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,5 +51,7 @@ fn main() {
     }
     fs::write(root.join("README.md"), index_page(&pages)).expect("write index");
     println!("wrote {}", root.join("README.md").display());
+    fs::write(root.join("observability.md"), observability_page()).expect("write observability");
+    println!("wrote {}", root.join("observability.md").display());
     println!("{} pages", pages.len());
 }

@@ -1,0 +1,114 @@
+//! Regenerates (or checks) `BENCH_latency.json`: the critical-path latency
+//! attribution sweep over the sharded store (engine × batching × storage),
+//! decomposed per transaction into causal buckets by the tracing subsystem.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin latency                 # regenerate
+//! cargo run --release -p bench --bin latency -- --check      # CI drift gate
+//! cargo run --release -p bench --bin latency -- --smoke      # small grid
+//! cargo run --release -p bench --bin latency -- --out x.json # custom path
+//! ```
+//!
+//! `--check` re-runs the *full* sweep and fails (exit 1) if the checked-in
+//! file differs byte-for-byte or its schema is invalid — the simulation is
+//! deterministic, so any drift means the code changed without regenerating
+//! the artifact. The schema validator additionally enforces the analyzer's
+//! reconciliation floor: named buckets must cover ≥95 % of measured
+//! end-to-end latency in every cell, and durable cells must show nonzero
+//! WAL-fsync time.
+
+use std::io::Write as _;
+
+use bench::latency::{
+    full_spec, render_table, run_sweep, smoke_spec, sweep_to_json, validate_schema,
+};
+
+const DEFAULT_PATH: &str = "BENCH_latency.json";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut smoke = false;
+    let mut path = DEFAULT_PATH.to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => {
+                path = args
+                    .get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| usage_and_exit());
+                i += 2;
+            }
+            _ => usage_and_exit(),
+        }
+    }
+
+    let spec = if smoke { smoke_spec() } else { full_spec() };
+    let started = std::time::Instant::now();
+    let points = run_sweep(&spec);
+    let doc = sweep_to_json(&spec, &points);
+    eprintln!(
+        "ran {} cells in {:.1}s",
+        points.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    for line in render_table(&points) {
+        println!("{line}");
+    }
+
+    let problems = validate_schema(&doc);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("schema problem: {p}");
+        }
+        std::process::exit(1);
+    }
+
+    let rendered = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&doc).expect("serialize")
+    );
+
+    if check {
+        // Smoke grids are not the checked-in artifact; `--smoke --check`
+        // only verifies the smoke sweep runs and validates.
+        if smoke {
+            eprintln!("smoke sweep OK");
+            return;
+        }
+        let on_disk = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {path}: {e} (regenerate with --out {path})"));
+        let disk_doc = serde_json::from_str(&on_disk).expect("checked-in file must parse");
+        let disk_problems = validate_schema(&disk_doc);
+        if !disk_problems.is_empty() {
+            for p in &disk_problems {
+                eprintln!("checked-in schema problem: {p}");
+            }
+            std::process::exit(1);
+        }
+        if on_disk != rendered {
+            eprintln!("{path} drifted from the regenerated sweep — rerun `cargo run --release -p bench --bin latency`");
+            std::process::exit(1);
+        }
+        eprintln!("{path} is current");
+    } else {
+        let mut f = std::fs::File::create(&path).expect("create output");
+        f.write_all(rendered.as_bytes()).expect("write output");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!("usage: latency [--smoke] [--check] [--out <path>]");
+    std::process::exit(2);
+}

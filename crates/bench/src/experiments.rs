@@ -1238,6 +1238,49 @@ pub fn f29_recovery() -> Report {
     }
 }
 
+// ───────────────────────── F30: latency attribution ───────────────────────
+
+/// F30 — end-to-end causal tracing: critical-path latency attribution.
+pub fn f30_latency() -> Report {
+    use crate::latency::{full_spec, render_table, run_sweep, sweep_to_json, validate_schema};
+
+    let spec = full_spec();
+    let points = run_sweep(&spec);
+    let data = sweep_to_json(&spec, &points);
+    let problems = validate_schema(&data);
+    assert!(problems.is_empty(), "latency sweep invalid: {problems:?}");
+
+    let mut lines = vec![format!(
+        "sharded store ({} txns + {} singles per router, seed {}): every \
+         transaction's latency decomposed into causal buckets via the \
+         trace trees the run recorded",
+        spec.txns_per_router,
+        spec.singles_per_router,
+        crate::latency::SEED,
+    )];
+    lines.push(String::new());
+    lines.extend(render_table(&points));
+    lines.push(String::new());
+    lines.push(
+        "every cell reconciles ≥95% of measured end-to-end time into named \
+         buckets (enforced by the schema validator); batching shifts time \
+         into the client-queue bucket, durability into wal-fsync"
+            .into(),
+    );
+    lines.push(
+        "per-span exports: Chrome trace_event JSON (Perfetto-loadable) and \
+         flamegraph folded stacks — see docs/observability.md and \
+         BENCH_latency.json"
+            .into(),
+    );
+    Report {
+        id: "f30",
+        title: "Causal tracing: critical-path latency attribution",
+        data,
+        lines,
+    }
+}
+
 // ───────────────────────── T5: the cross-protocol comparison ─────────────
 
 /// T5 — who wins, by roughly what factor.
@@ -1383,6 +1426,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("f27", f27_selfish),
         ("f28", f28_store),
         ("f29", f29_recovery),
+        ("f30", f30_latency),
         ("t5", t5_comparison),
     ]
 }
@@ -1394,9 +1438,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_ids_match() {
         let exps = all_experiments();
-        assert_eq!(exps.len(), 34);
+        assert_eq!(exps.len(), 35);
         let ids: BTreeSet<&str> = exps.iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 34, "duplicate experiment ids");
+        assert_eq!(ids.len(), 35, "duplicate experiment ids");
     }
 
     #[test]

@@ -1,0 +1,668 @@
+//! Critical-path latency attribution over the sharded store.
+//!
+//! Each cell of the sweep runs one `Store` (engine × batching × storage)
+//! with causal tracing enabled, then decomposes every transaction's
+//! begin-to-outcome latency into named buckets using the span trees the
+//! run recorded:
+//!
+//! * per *operation* (one replicated log append), the window from first
+//!   submission to observed reply is attributed by
+//!   [`simnet::causal::attribute_window`] — NIC serialization, network
+//!   flight per C&C phase, batch-queue wait, WAL fsync — and the tail
+//!   between the last causal activity and the router's next poll is
+//!   charged to coordinator think time;
+//! * per *transaction*, the 2PC window is partitioned by its operations'
+//!   effective windows; instants covered by no in-flight operation are
+//!   the router deciding what to do next, also coordinator think time.
+//!
+//! Both decompositions charge every microsecond to exactly one bucket, so
+//! the bucket totals reconcile against measured end-to-end latency by
+//! construction; [`validate_schema`] rejects any sweep where less than
+//! 95 % of transaction time lands in a named (non-`untraced`) bucket, and
+//! any durable cell whose WAL-fsync bucket is empty.
+//!
+//! The sweep is deterministic — same seed, same spans, same JSON — which
+//! is what lets CI pin `BENCH_latency.json` byte-for-byte (`--check`).
+
+use std::collections::BTreeMap;
+
+use consensus_core::driver::BatchConfig;
+use paxos::MultiPaxosCluster;
+use raft::RaftCluster;
+use serde_json::{json, Value};
+use simnet::causal::{attribute_window, cat};
+use simnet::{CausalSpan, DiskModel, NetConfig, Time};
+use store::{OpRecord, ShardEngine, Store, StoreConfig, ROUTER_BASE};
+
+/// Bumped whenever the JSON layout changes incompatibly.
+pub const SCHEMA_VERSION: u64 = 1;
+/// Simulator seed for every cell (cells differ only in engine/knobs).
+pub const SEED: u64 = 71;
+/// Sim-time budget per cell; the store quiesces long before this.
+pub const HORIZON: Time = Time(60_000_000);
+/// Shard warm-up before the routers start: leader elections happen here,
+/// so steady-state transaction windows never overlap one.
+pub const WARMUP_US: u64 = 20_000;
+/// Checkpoint threshold for durable cells.
+pub const DURABLE_THRESHOLD: usize = 8;
+/// Per-message NIC serialization cost, µs (same profile as the
+/// throughput sweep, so the `nic` bucket has real transmit occupancy).
+pub const NIC_PER_MSG_US: u64 = 30;
+/// NIC throughput, bytes/µs.
+pub const NIC_BYTES_PER_US: u64 = 50;
+/// Minimum accepted reconciliation: named buckets must cover ≥95 % of
+/// measured end-to-end transaction time.
+pub const MIN_RECONCILE_X100: u64 = 9_500;
+
+/// Every bucket a cell reports, in fixed presentation order.
+pub const BUCKETS: [&str; 10] = [
+    cat::QUEUE,
+    cat::NIC,
+    "leader-election",
+    "value-discovery",
+    "agreement",
+    "decision",
+    cat::FLIGHT,
+    cat::FSYNC,
+    cat::COORD,
+    cat::UNTRACED,
+];
+
+/// One cell of the sweep grid.
+#[derive(Clone, Copy, Debug)]
+pub struct CellSpec {
+    /// `"multi-paxos"` or `"raft"`.
+    pub engine: &'static str,
+    /// Batching knob forwarded to every shard group.
+    pub batch: BatchConfig,
+    /// Durable shard storage (WAL + checkpoints over the SSD profile).
+    pub durable: bool,
+}
+
+/// The sweep: which cells, and how much workload each store runs.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Cells, in presentation order.
+    pub cells: Vec<CellSpec>,
+    /// Cross-shard transactions per router.
+    pub txns_per_router: usize,
+    /// Single-key operations per router.
+    pub singles_per_router: usize,
+}
+
+fn batched() -> BatchConfig {
+    BatchConfig::new(4, 200, 4)
+}
+
+/// The full grid behind `BENCH_latency.json`: Multi-Paxos swept over
+/// batching × storage, Raft over batching (Raft shards keep the RAM
+/// durability model, so a "durable" Raft cell would be a lie).
+pub fn full_spec() -> SweepSpec {
+    let mut cells = Vec::new();
+    for durable in [false, true] {
+        for batch in [BatchConfig::unbatched(), batched()] {
+            cells.push(CellSpec {
+                engine: "multi-paxos",
+                batch,
+                durable,
+            });
+        }
+    }
+    for batch in [BatchConfig::unbatched(), batched()] {
+        cells.push(CellSpec {
+            engine: "raft",
+            batch,
+            durable: false,
+        });
+    }
+    SweepSpec {
+        cells,
+        txns_per_router: 4,
+        singles_per_router: 2,
+    }
+}
+
+/// A 2-cell grid for tests and the CI smoke lane: the cheapest cell plus
+/// the durable cell that exercises the WAL-fsync bucket.
+pub fn smoke_spec() -> SweepSpec {
+    SweepSpec {
+        cells: vec![
+            CellSpec {
+                engine: "multi-paxos",
+                batch: BatchConfig::unbatched(),
+                durable: false,
+            },
+            CellSpec {
+                engine: "multi-paxos",
+                batch: BatchConfig::unbatched(),
+                durable: true,
+            },
+        ],
+        txns_per_router: 2,
+        singles_per_router: 1,
+    }
+}
+
+/// Per-bucket aggregate over one cell's transactions.
+#[derive(Clone, Debug)]
+pub struct BucketStat {
+    /// Bucket label (one of [`BUCKETS`]).
+    pub name: &'static str,
+    /// Median per-transaction time in this bucket, µs.
+    pub p50_us: u64,
+    /// 99th-percentile per-transaction time in this bucket, µs.
+    pub p99_us: u64,
+    /// Total time across all transactions, µs.
+    pub total_us: u64,
+}
+
+/// One measured cell.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Engine label.
+    pub engine: &'static str,
+    /// Batch knob label (`BatchConfig::label`).
+    pub batch: String,
+    /// Whether shards ran the durable storage engine.
+    pub durable: bool,
+    /// Transactions analyzed.
+    pub txns: usize,
+    /// Router-issued operations analyzed.
+    pub ops: usize,
+    /// Causal spans the run recorded.
+    pub spans: usize,
+    /// End-to-end transaction latency, median µs.
+    pub txn_p50_us: u64,
+    /// End-to-end transaction latency, 99th percentile µs.
+    pub txn_p99_us: u64,
+    /// Per-operation latency, median µs.
+    pub op_p50_us: u64,
+    /// Per-operation latency, 99th percentile µs.
+    pub op_p99_us: u64,
+    /// Summed end-to-end transaction time, µs (equals the bucket totals).
+    pub txn_total_us: u64,
+    /// Share of transaction time in named buckets, percent × 100.
+    pub reconcile_pct_x100: u64,
+    /// Shard-0 delivered-message latency, median µs (network histogram).
+    pub net_delivered_p50_us: u64,
+    /// Shard-0 delivered-message latency, 99th percentile µs.
+    pub net_delivered_p99_us: u64,
+    /// Per-bucket stats, in [`BUCKETS`] order.
+    pub bucket_stats: Vec<BucketStat>,
+}
+
+impl Point {
+    /// The machine-readable form stored in `BENCH_latency.json`.
+    pub fn to_json(&self) -> Value {
+        json!({
+            "engine": self.engine,
+            "batch": self.batch.clone(),
+            "durable": self.durable,
+            "txns": self.txns,
+            "ops": self.ops,
+            "spans": self.spans,
+            "txn_p50_us": self.txn_p50_us,
+            "txn_p99_us": self.txn_p99_us,
+            "op_p50_us": self.op_p50_us,
+            "op_p99_us": self.op_p99_us,
+            "txn_total_us": self.txn_total_us,
+            "reconcile_pct_x100": self.reconcile_pct_x100,
+            "net_delivered_p50_us": self.net_delivered_p50_us,
+            "net_delivered_p99_us": self.net_delivered_p99_us,
+            "buckets": self.bucket_stats.iter().map(|b| json!({
+                "name": b.name,
+                "p50_us": b.p50_us,
+                "p99_us": b.p99_us,
+                "total_us": b.total_us,
+            })).collect::<Vec<_>>(),
+        })
+    }
+}
+
+/// Last instant of causal activity belonging to the op's trace, clamped
+/// to the op window; the op's start when the trace recorded nothing.
+fn effective_end(spans: &[CausalSpan], r: &OpRecord) -> u64 {
+    spans
+        .iter()
+        .filter(|s| s.trace_id == r.trace_id && s.cat != cat::OP)
+        .map(|s| s.end)
+        .max()
+        .map(|e| e.clamp(r.started, r.finished))
+        .unwrap_or(r.started)
+}
+
+/// Decomposes one operation's latency: span attribution up to the last
+/// causal activity, then coordinator think time for the tail (the reply
+/// sat applied until the router's next poll quantum).
+pub fn op_breakdown(spans: &[CausalSpan], r: &OpRecord) -> BTreeMap<&'static str, u64> {
+    let eff = effective_end(spans, r);
+    let mut b = attribute_window(spans, r.trace_id, r.started, eff);
+    if r.finished > eff {
+        *b.entry(cat::COORD).or_insert(0) += r.finished - eff;
+    }
+    b
+}
+
+/// Decomposes one transaction window given its operations (pre-filtered
+/// to the issuing router and the window). Instants covered by at least
+/// one in-flight operation are attributed through that operation's trace;
+/// uncovered instants are the coordinator deciding, i.e. think time.
+/// The values always sum to exactly `end - start`.
+pub fn txn_breakdown(
+    spans: &[CausalSpan],
+    ops: &[OpRecord],
+    start: u64,
+    end: u64,
+) -> BTreeMap<&'static str, u64> {
+    let eff: Vec<(u64, u64, u64)> = ops
+        .iter()
+        .map(|r| {
+            (
+                r.started.max(start),
+                effective_end(spans, r).min(end),
+                r.trace_id,
+            )
+        })
+        .filter(|&(a, b, _)| b > a)
+        .collect();
+    let mut cuts = vec![start, end];
+    for &(a, b, _) in &eff {
+        cuts.push(a);
+        cuts.push(b);
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut out = BTreeMap::new();
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        match eff.iter().find(|&&(s, e, _)| s <= a && e >= b) {
+            None => *out.entry(cat::COORD).or_insert(0) += b - a,
+            Some(&(_, _, trace)) => {
+                for (k, v) in attribute_window(spans, trace, a, b) {
+                    *out.entry(k).or_insert(0) += v;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Nearest-rank percentile of an unsorted sample (integer µs in, out).
+fn pct(samples: &[u64], num: u64, den: u64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    let idx = ((num * v.len() as u64) / den).min(v.len() as u64 - 1);
+    v[idx as usize]
+}
+
+fn store_cfg(spec: &SweepSpec, cell: &CellSpec) -> StoreConfig {
+    let mut cfg = StoreConfig::small(SEED);
+    cfg.txns_per_router = spec.txns_per_router;
+    cfg.singles_per_router = spec.singles_per_router;
+    cfg.batch = cell.batch;
+    cfg.net = NetConfig::lan().with_nic(NIC_PER_MSG_US, NIC_BYTES_PER_US);
+    if cell.durable {
+        cfg = cfg.durable(DURABLE_THRESHOLD, DiskModel::ssd());
+    }
+    cfg
+}
+
+fn run_cell<E: ShardEngine>(spec: &SweepSpec, cell: &CellSpec) -> Point {
+    let mut s: Store<E> = Store::new(store_cfg(spec, cell));
+    s.enable_tracing();
+    s.warm_up(WARMUP_US);
+    assert!(s.run(HORIZON), "latency cell stalled: {cell:?}");
+
+    let spans = s.causal_spans();
+    let n_routers = s.cfg.n_routers as u32;
+    let router_ops: Vec<OpRecord> = s
+        .op_records()
+        .iter()
+        .filter(|r| r.client >= ROUTER_BASE && r.client < ROUTER_BASE + n_routers)
+        .cloned()
+        .collect();
+    let outcomes = s.outcomes();
+
+    // Per-transaction decomposition: a router is strictly sequential, so
+    // the ops inside a transaction's window belong to that transaction.
+    let mut txn_e2e: Vec<u64> = Vec::new();
+    let mut per_bucket: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    for o in &outcomes {
+        let end = o.at;
+        let start = o.at - o.latency_us;
+        let mine: Vec<OpRecord> = router_ops
+            .iter()
+            .filter(|r| r.client == o.tid.client && r.started >= start && r.finished <= end)
+            .cloned()
+            .collect();
+        let b = txn_breakdown(&spans, &mine, start, end);
+        txn_e2e.push(o.latency_us);
+        for name in BUCKETS {
+            per_bucket
+                .entry(name)
+                .or_default()
+                .push(b.get(name).copied().unwrap_or(0));
+        }
+    }
+
+    let bucket_stats: Vec<BucketStat> = BUCKETS
+        .iter()
+        .map(|&name| {
+            let vals = per_bucket.get(name).cloned().unwrap_or_default();
+            BucketStat {
+                name,
+                p50_us: pct(&vals, 50, 100),
+                p99_us: pct(&vals, 99, 100),
+                total_us: vals.iter().sum(),
+            }
+        })
+        .collect();
+    let txn_total_us: u64 = txn_e2e.iter().sum();
+    let untraced: u64 = bucket_stats
+        .iter()
+        .find(|b| b.name == cat::UNTRACED)
+        .map_or(0, |b| b.total_us);
+    let reconcile_pct_x100 = ((txn_total_us - untraced) * 10_000)
+        .checked_div(txn_total_us)
+        .unwrap_or(0);
+
+    let op_e2e: Vec<u64> = router_ops.iter().map(|r| r.finished - r.started).collect();
+    let net = &s.shards()[0].metrics().delivered_latency;
+
+    Point {
+        engine: cell.engine,
+        batch: cell.batch.label(),
+        durable: cell.durable,
+        txns: outcomes.len(),
+        ops: router_ops.len(),
+        spans: spans.len(),
+        txn_p50_us: pct(&txn_e2e, 50, 100),
+        txn_p99_us: pct(&txn_e2e, 99, 100),
+        op_p50_us: pct(&op_e2e, 50, 100),
+        op_p99_us: pct(&op_e2e, 99, 100),
+        txn_total_us,
+        reconcile_pct_x100,
+        net_delivered_p50_us: net.quantile(0.50).unwrap_or(0),
+        net_delivered_p99_us: net.quantile(0.99).unwrap_or(0),
+        bucket_stats,
+    }
+}
+
+/// One traced smoke-cell run (the durable cell, so the WAL-fsync bucket
+/// is populated) — the example the generated observability page walks
+/// through. Deterministic: same seed as the sweep.
+pub fn traced_example() -> Store<MultiPaxosCluster> {
+    let spec = smoke_spec();
+    let cell = spec.cells[1];
+    assert!(cell.durable, "the example cell must exercise the WAL");
+    let mut s: Store<MultiPaxosCluster> = Store::new(store_cfg(&spec, &cell));
+    s.enable_tracing();
+    s.warm_up(WARMUP_US);
+    assert!(s.run(HORIZON), "example store stalled");
+    s
+}
+
+/// Runs every cell of the sweep, in spec order.
+pub fn run_sweep(spec: &SweepSpec) -> Vec<Point> {
+    spec.cells
+        .iter()
+        .map(|cell| match cell.engine {
+            "multi-paxos" => run_cell::<MultiPaxosCluster>(spec, cell),
+            "raft" => run_cell::<RaftCluster>(spec, cell),
+            other => panic!("unknown engine {other}"),
+        })
+        .collect()
+}
+
+/// The complete machine-readable document.
+pub fn sweep_to_json(spec: &SweepSpec, points: &[Point]) -> Value {
+    json!({
+        "schema_version": SCHEMA_VERSION,
+        "seed": SEED,
+        "warmup_us": WARMUP_US,
+        "txns_per_router": spec.txns_per_router,
+        "singles_per_router": spec.singles_per_router,
+        "net": "lan",
+        "cells": points.iter().map(Point::to_json).collect::<Vec<_>>(),
+    })
+}
+
+/// Renders the sweep as a Markdown table: end-to-end percentiles plus
+/// each cell's bucket shares (percent of total transaction time).
+pub fn render_table(points: &[Point]) -> Vec<String> {
+    let mut lines = vec![
+        "| engine | batch | storage | txns | txn p50 µs | txn p99 µs | net p50 µs | queue% | \
+         nic% | consensus% | flight% | fsync% | coord% | untraced% | reconcile% |"
+            .to_string(),
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|".to_string(),
+    ];
+    let share = |p: &Point, names: &[&str]| -> u64 {
+        if p.txn_total_us == 0 {
+            return 0;
+        }
+        let t: u64 = p
+            .bucket_stats
+            .iter()
+            .filter(|b| names.contains(&b.name))
+            .map(|b| b.total_us)
+            .sum();
+        t * 100 / p.txn_total_us
+    };
+    for p in points {
+        lines.push(format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {}.{:02} |",
+            p.engine,
+            p.batch,
+            if p.durable { "durable-ssd" } else { "ram" },
+            p.txns,
+            p.txn_p50_us,
+            p.txn_p99_us,
+            p.net_delivered_p50_us,
+            share(p, &[cat::QUEUE]),
+            share(p, &[cat::NIC]),
+            share(
+                p,
+                &["leader-election", "value-discovery", "agreement", "decision"]
+            ),
+            share(p, &[cat::FLIGHT]),
+            share(p, &[cat::FSYNC]),
+            share(p, &[cat::COORD]),
+            share(p, &[cat::UNTRACED]),
+            p.reconcile_pct_x100 / 100,
+            p.reconcile_pct_x100 % 100,
+        ));
+    }
+    lines
+}
+
+fn u(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(Value::as_u64)
+}
+
+/// Structural and semantic checks on a sweep document. Returns every
+/// problem found (empty = valid). Enforces the tentpole invariants: named
+/// buckets reconcile to ≥95 % of end-to-end time in every cell, durable
+/// cells show nonzero WAL-fsync time, and bucket totals sum exactly to
+/// the measured transaction time.
+pub fn validate_schema(doc: &Value) -> Vec<String> {
+    let mut problems = Vec::new();
+    if u(doc, "schema_version") != Some(SCHEMA_VERSION) {
+        problems.push(format!("schema_version must be {SCHEMA_VERSION}"));
+    }
+    for key in ["seed", "warmup_us", "txns_per_router", "singles_per_router"] {
+        if u(doc, key).is_none() {
+            problems.push(format!("missing top-level {key}"));
+        }
+    }
+    let cells = match doc.get("cells").and_then(Value::as_array) {
+        Some(c) if !c.is_empty() => c,
+        _ => {
+            problems.push("cells must be a non-empty array".into());
+            return problems;
+        }
+    };
+    for (i, c) in cells.iter().enumerate() {
+        let tag = format!("cell {i}");
+        for key in [
+            "txns",
+            "ops",
+            "spans",
+            "txn_p50_us",
+            "txn_p99_us",
+            "op_p50_us",
+            "op_p99_us",
+            "txn_total_us",
+            "reconcile_pct_x100",
+            "net_delivered_p50_us",
+            "net_delivered_p99_us",
+        ] {
+            if u(c, key).is_none() {
+                problems.push(format!("{tag}: missing {key}"));
+            }
+        }
+        if c.get("engine").and_then(Value::as_str).is_none() {
+            problems.push(format!("{tag}: missing engine"));
+        }
+        if u(c, "txns") == Some(0) {
+            problems.push(format!("{tag}: no transactions analyzed"));
+        }
+        if u(c, "txn_p50_us") > u(c, "txn_p99_us") {
+            problems.push(format!("{tag}: txn p50 exceeds p99"));
+        }
+        if u(c, "op_p50_us") > u(c, "op_p99_us") {
+            problems.push(format!("{tag}: op p50 exceeds p99"));
+        }
+        match u(c, "reconcile_pct_x100") {
+            Some(r) if r >= MIN_RECONCILE_X100 => {}
+            Some(r) => problems.push(format!(
+                "{tag}: buckets reconcile to only {}.{:02}% of e2e latency (need ≥95%)",
+                r / 100,
+                r % 100
+            )),
+            None => {}
+        }
+        let buckets = match c.get("buckets").and_then(Value::as_array) {
+            Some(b) => b,
+            None => {
+                problems.push(format!("{tag}: missing buckets"));
+                continue;
+            }
+        };
+        if buckets.len() != BUCKETS.len() {
+            problems.push(format!(
+                "{tag}: expected {} buckets, found {}",
+                BUCKETS.len(),
+                buckets.len()
+            ));
+            continue;
+        }
+        let mut total = 0u64;
+        let mut fsync = 0u64;
+        for (b, &want) in buckets.iter().zip(BUCKETS.iter()) {
+            if b.get("name").and_then(Value::as_str) != Some(want) {
+                problems.push(format!("{tag}: bucket order drifted (expected {want})"));
+            }
+            let t = u(b, "total_us").unwrap_or(0);
+            total += t;
+            if b.get("name").and_then(Value::as_str) == Some(cat::FSYNC) {
+                fsync = t;
+            }
+            if u(b, "p50_us") > u(b, "p99_us") {
+                problems.push(format!("{tag}: bucket {want} p50 exceeds p99"));
+            }
+        }
+        if Some(total) != u(c, "txn_total_us") {
+            problems.push(format!(
+                "{tag}: bucket totals sum to {total} ≠ txn_total_us {:?}",
+                u(c, "txn_total_us")
+            ));
+        }
+        if c.get("durable").and_then(Value::as_bool) == Some(true) && fsync == 0 {
+            problems.push(format!("{tag}: durable cell has an empty wal-fsync bucket"));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_deterministic_and_valid() {
+        let spec = smoke_spec();
+        let a = run_sweep(&spec);
+        let b = run_sweep(&spec);
+        let ja = serde_json::to_string_pretty(&sweep_to_json(&spec, &a)).unwrap();
+        let jb = serde_json::to_string_pretty(&sweep_to_json(&spec, &b)).unwrap();
+        assert_eq!(ja, jb, "same seed must produce a byte-identical sweep");
+
+        let doc = sweep_to_json(&spec, &a);
+        let problems = validate_schema(&doc);
+        assert!(problems.is_empty(), "schema problems: {problems:?}");
+
+        // The durable smoke cell must show real WAL/group-commit time.
+        let durable = a.iter().find(|p| p.durable).expect("durable cell");
+        let fsync = durable
+            .bucket_stats
+            .iter()
+            .find(|b| b.name == cat::FSYNC)
+            .unwrap();
+        assert!(fsync.total_us > 0, "durable cell recorded no fsync time");
+        let ram = a.iter().find(|p| !p.durable).expect("ram cell");
+        let ram_fsync = ram
+            .bucket_stats
+            .iter()
+            .find(|b| b.name == cat::FSYNC)
+            .unwrap();
+        assert_eq!(ram_fsync.total_us, 0, "ram cell charged fsync time");
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        let spec = smoke_spec();
+        let points = run_sweep(&spec);
+        let doc = sweep_to_json(&spec, &points);
+        assert!(validate_schema(&doc).is_empty());
+
+        // A low reconciliation ratio must be rejected.
+        let mut bad = points.clone();
+        bad[0].reconcile_pct_x100 = MIN_RECONCILE_X100 - 1;
+        let doc = sweep_to_json(&spec, &bad);
+        assert!(validate_schema(&doc)
+            .iter()
+            .any(|p| p.contains("reconcile")));
+
+        // A durable cell with no fsync time must be rejected.
+        let mut bad = points.clone();
+        let mut zeroed = 0;
+        for b in &mut bad[1].bucket_stats {
+            if b.name == cat::FSYNC {
+                zeroed += b.total_us;
+                b.total_us = 0;
+            }
+        }
+        bad[1].txn_total_us -= zeroed;
+        let doc = sweep_to_json(&spec, &bad);
+        assert!(validate_schema(&doc)
+            .iter()
+            .any(|p| p.contains("wal-fsync")));
+    }
+
+    #[test]
+    fn breakdown_sums_match_windows_exactly() {
+        let spec = smoke_spec();
+        let points = run_sweep(&spec);
+        for p in &points {
+            let total: u64 = p.bucket_stats.iter().map(|b| b.total_us).sum();
+            assert_eq!(
+                total, p.txn_total_us,
+                "{} {}: bucket totals must sum to e2e time",
+                p.engine, p.batch
+            );
+        }
+    }
+}

@@ -193,6 +193,16 @@ pub fn metrics_table(m: &Metrics) -> String {
             m.instance_latency.max().unwrap_or(0),
         );
     }
+    if m.delivered_latency.count() > 0 {
+        let _ = writeln!(
+            out,
+            "| Delivered latency (mean / p50≤ / p99≤ / max, µs) | {:.0} / {} / {} / {} |",
+            m.delivered_latency.mean(),
+            m.delivered_latency.quantile(0.5).unwrap_or(0),
+            m.delivered_latency.quantile(0.99).unwrap_or(0),
+            m.delivered_latency.max().unwrap_or(0),
+        );
+    }
 
     out.push_str("\nPer message kind:\n\n| Kind | Sent | Bytes |\n|---|---|---|\n");
     for (kind, count) in &m.sent_by_kind {

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 
-use bench::figures::{all_pages, index_page};
+use bench::figures::{all_pages, index_page, observability_page};
 
 fn docs_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs")
@@ -55,6 +55,13 @@ fn committed_docs_match_generated() {
         committed_index,
         index_page(&pages),
         "docs/README.md is stale — rerun `cargo run --release -p bench --bin figures`"
+    );
+    let committed_obs = fs::read_to_string(docs_root().join("observability.md"))
+        .expect("docs/observability.md missing — regenerate with the figures binary");
+    assert_eq!(
+        committed_obs,
+        observability_page(),
+        "docs/observability.md is stale — rerun `cargo run --release -p bench --bin figures`"
     );
 }
 

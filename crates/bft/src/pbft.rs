@@ -35,8 +35,8 @@ use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder, WorkloadMode}
 use consensus_core::{Command, HistorySink, KvCommand, KvResponse, ReplicatedLog, StateMachine};
 use rand_chacha::ChaCha20Rng;
 use simnet::{
-    CncPhase, Context, FilterAction, FnFilter, Metrics, NetConfig, Node, NodeId, RunOutcome, Sim,
-    Time, Timer, TimerId,
+    CausalSpan, CncPhase, Context, FilterAction, FnFilter, Metrics, NetConfig, Node, NodeId,
+    RunOutcome, Sim, Time, Timer, TimerId,
 };
 
 use crate::sim_crypto::{digest_of, Digest};
@@ -1275,6 +1275,18 @@ impl ClusterDriver for PbftCluster {
 
     fn metrics(&self) -> &Metrics {
         self.sim.metrics()
+    }
+
+    fn enable_tracing(&mut self, site: u32) {
+        self.sim.enable_tracing(site);
+    }
+
+    fn causal_spans(&self) -> Vec<CausalSpan> {
+        self.sim.causal_spans().to_vec()
+    }
+
+    fn open_span_instances(&self) -> usize {
+        self.sim.open_instance_count()
     }
 
     fn crash_at(&mut self, node: NodeId, at: Time) {

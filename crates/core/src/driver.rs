@@ -19,7 +19,7 @@ use std::collections::BTreeSet;
 
 use crate::history::ClientRecord;
 use crate::workload::{LatencyRecorder, WorkloadMode};
-use simnet::{Metrics, NetConfig, NodeId, RunOutcome, Time};
+use simnet::{CausalSpan, Metrics, NetConfig, NodeId, RunOutcome, Time};
 
 /// Batching and pipelining configuration shared by the SMR protocols.
 ///
@@ -232,6 +232,29 @@ pub trait ClusterDriver {
 
     /// Network/timer/span metrics of the underlying simulation.
     fn metrics(&self) -> &Metrics;
+
+    // ---- tracing hooks ---------------------------------------------------
+
+    /// Enables causal tracing on the underlying simulation. `site` tags the
+    /// span ids this cluster mints, so traces from several clusters (e.g.
+    /// the shards of a store) merge without id collisions. Off by default;
+    /// drivers without tracing support may ignore the call.
+    fn enable_tracing(&mut self, site: u32) {
+        let _ = site;
+    }
+
+    /// Every causal span recorded since tracing was enabled (empty when
+    /// tracing is off or unsupported).
+    fn causal_spans(&self) -> Vec<CausalSpan> {
+        Vec::new()
+    }
+
+    /// Consensus-instance spans currently open (a `span_open` without a
+    /// matching `span_close`). Zero after a quiesced fault-free run on every
+    /// protocol — the span-balance invariant the smoke tests assert.
+    fn open_span_instances(&self) -> usize {
+        0
+    }
 
     // ---- fault hooks -----------------------------------------------------
 

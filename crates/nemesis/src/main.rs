@@ -2,7 +2,7 @@
 //! shrunk counterexamples for any violation found.
 //!
 //! ```text
-//! nemesis [--seeds N] [--protocols a,b,c] [--replay FILE]
+//! nemesis [--seeds N] [--protocols a,b,c] [--replay FILE [--trace-out PATH]]
 //! ```
 //!
 //! * `--seeds N` — seeds `0..N` per protocol (default 20).
@@ -10,6 +10,10 @@
 //!   `paxos-buggy` (the injected quorum-overlap bug) is opt-in only.
 //! * `--replay FILE` — re-run a stored counterexample instead of sweeping;
 //!   exits 0 iff the stored violations reproduce exactly.
+//! * `--trace-out PATH` — with `--replay`: re-run the counterexample's
+//!   schedule with trace recording on and write the Chrome `trace_event`
+//!   JSON timeline to `PATH` (causal spans for the store targets, instant
+//!   events elsewhere). Load it in Perfetto or `chrome://tracing`.
 //!
 //! Exit status: 0 if every trial passed (or the replay reproduced), 1 if any
 //! violation was found (counterexamples are written to the working
@@ -23,6 +27,7 @@ struct Args {
     seeds: u64,
     protocols: Option<Vec<String>>,
     replay: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -30,6 +35,7 @@ fn parse_args() -> Result<Args, String> {
         seeds: 20,
         protocols: None,
         replay: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -45,12 +51,20 @@ fn parse_args() -> Result<Args, String> {
             "--replay" => {
                 args.replay = Some(it.next().ok_or("--replay needs a file")?);
             }
+            "--trace-out" => {
+                args.trace_out = Some(it.next().ok_or("--trace-out needs a path")?);
+            }
             "--help" | "-h" => {
-                return Err("usage: nemesis [--seeds N] [--protocols a,b,c] [--replay FILE]"
-                    .to_string())
+                return Err(
+                    "usage: nemesis [--seeds N] [--protocols a,b,c] [--replay FILE [--trace-out PATH]]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
+    }
+    if args.trace_out.is_some() && args.replay.is_none() {
+        return Err("--trace-out only makes sense with --replay".to_string());
     }
     Ok(args)
 }
@@ -65,7 +79,7 @@ fn resolve_targets(names: &Option<Vec<String>>) -> Result<Vec<Box<dyn Target>>, 
     }
 }
 
-fn run_replay(path: &str) -> Result<ExitCode, String> {
+fn run_replay(path: &str, trace_out: Option<&str>) -> Result<ExitCode, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let cx = Counterexample::from_json(&text)?;
     let target = by_name(&cx.protocol).ok_or_else(|| format!("unknown protocol {:?}", cx.protocol))?;
@@ -79,6 +93,28 @@ fn run_replay(path: &str) -> Result<ExitCode, String> {
     let observed = quiet_panics(|| replay(target.as_ref(), &cx));
     for v in &observed {
         println!("  observed: {v}");
+    }
+    if let Some(out) = trace_out {
+        // The traced re-run may hit the same panic `run_plan` converted
+        // into a finding; a counterexample without a timeline is still a
+        // counterexample, so degrade to a note instead of crashing.
+        let traced = quiet_panics(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                target.trace_json(cx.seed, &cx.plan)
+            }))
+            .ok()
+            .flatten()
+        });
+        match traced {
+            Some(json) => {
+                std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+                println!("causal trace written to {out}");
+            }
+            None => println!(
+                "no trace available for {} (no hook, or the traced re-run panicked)",
+                cx.protocol
+            ),
+        }
     }
     if observed == cx.violations {
         println!("reproduced: {} violation(s), exactly as stored", observed.len());
@@ -150,7 +186,7 @@ fn main() -> ExitCode {
         }
     };
     let result = match &args.replay {
-        Some(path) => run_replay(path),
+        Some(path) => run_replay(path, args.trace_out.as_deref()),
         None => run_sweep(&args),
     };
     match result {

@@ -90,6 +90,15 @@ pub trait Target {
     /// Runs one trial: build the cluster from `seed`, execute `plan`,
     /// harvest, and check. Must be a pure function of `(seed, plan)`.
     fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport;
+    /// Re-runs `(seed, plan)` with trace recording enabled and renders the
+    /// run as Chrome `trace_event` JSON — the timeline a counterexample's
+    /// fault schedule plays out on (`--trace-out` on replay). Recording
+    /// never perturbs timing or RNG draws, so the traced run is
+    /// bit-identical to the one [`Target::run`] checked. `None` for targets
+    /// without a trace hook.
+    fn trace_json(&self, _seed: u64, _plan: &FaultPlan) -> Option<String> {
+        None
+    }
 }
 
 /// The batching knob the `+batch` targets run under: small batches with a
@@ -317,6 +326,28 @@ struct PaxosTarget {
     batch: BatchConfig,
 }
 
+impl PaxosTarget {
+    fn build(&self, seed: u64) -> MultiPaxosCluster {
+        let spec = if self.buggy {
+            // q1 + q2 = 4 ≤ n = 5: a new leader's prepare quorum can miss
+            // every acceptor that voted in a decided replication quorum.
+            QuorumSpec::Flexible { n: 5, q1: 2, q2: 2 }
+        } else {
+            QuorumSpec::Majority { n: 5 }
+        };
+        MultiPaxosCluster::new_with(
+            spec,
+            5,
+            2,
+            6,
+            NetConfig::lan(),
+            seed,
+            self.batch,
+            WorkloadMode::Closed,
+        )
+    }
+}
+
 impl Target for PaxosTarget {
     fn name(&self) -> &'static str {
         match (self.buggy, self.batch.is_unbatched()) {
@@ -331,23 +362,7 @@ impl Target for PaxosTarget {
     }
 
     fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
-        let spec = if self.buggy {
-            // q1 + q2 = 4 ≤ n = 5: a new leader's prepare quorum can miss
-            // every acceptor that voted in a decided replication quorum.
-            QuorumSpec::Flexible { n: 5, q1: 2, q2: 2 }
-        } else {
-            QuorumSpec::Majority { n: 5 }
-        };
-        let mut cluster = MultiPaxosCluster::new_with(
-            spec,
-            5,
-            2,
-            6,
-            NetConfig::lan(),
-            seed,
-            self.batch,
-            WorkloadMode::Closed,
-        );
+        let mut cluster = self.build(seed);
         execute_plan(&mut cluster.sim, plan, SMR_HORIZON, 0.0, |_, _| None);
 
         let (entries, digests) = harvest_paxos(&cluster);
@@ -356,6 +371,16 @@ impl Target for PaxosTarget {
             violations: smr_safety(&entries, &digests, &history, Some(&issued)),
             ops: cluster.total_completed(),
         }
+    }
+
+    fn trace_json(&self, seed: u64, plan: &FaultPlan) -> Option<String> {
+        let mut cluster = self.build(seed);
+        cluster.sim.record_trace(true);
+        execute_plan(&mut cluster.sim, plan, SMR_HORIZON, 0.0, |_, _| None);
+        Some(simnet::causal::export_events(
+            cluster.sim.trace(),
+            cluster.sim.spans(),
+        ))
     }
 }
 
@@ -366,6 +391,20 @@ impl Target for PaxosTarget {
 struct RaftTarget {
     /// Batching knob for the replicas under test.
     batch: BatchConfig,
+}
+
+impl RaftTarget {
+    fn build(&self, seed: u64) -> raft::RaftCluster {
+        raft::RaftCluster::new_with(
+            5,
+            2,
+            6,
+            NetConfig::lan(),
+            seed,
+            self.batch,
+            WorkloadMode::Closed,
+        )
+    }
 }
 
 impl Target for RaftTarget {
@@ -382,15 +421,7 @@ impl Target for RaftTarget {
     }
 
     fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
-        let mut cluster = raft::RaftCluster::new_with(
-            5,
-            2,
-            6,
-            NetConfig::lan(),
-            seed,
-            self.batch,
-            WorkloadMode::Closed,
-        );
+        let mut cluster = self.build(seed);
         execute_plan(&mut cluster.sim, plan, SMR_HORIZON, 0.0, |_, _| None);
 
         let (entries, digests) = harvest_raft(&cluster);
@@ -399,6 +430,16 @@ impl Target for RaftTarget {
             violations: smr_safety(&entries, &digests, &history, Some(&issued)),
             ops: cluster.total_completed(),
         }
+    }
+
+    fn trace_json(&self, seed: u64, plan: &FaultPlan) -> Option<String> {
+        let mut cluster = self.build(seed);
+        cluster.sim.record_trace(true);
+        execute_plan(&mut cluster.sim, plan, SMR_HORIZON, 0.0, |_, _| None);
+        Some(simnet::causal::export_events(
+            cluster.sim.trace(),
+            cluster.sim.spans(),
+        ))
     }
 }
 
@@ -409,6 +450,28 @@ impl Target for RaftTarget {
 struct PbftTarget {
     /// Batching knob for the replicas under test.
     batch: BatchConfig,
+}
+
+impl PbftTarget {
+    fn build(&self, seed: u64) -> PbftCluster {
+        PbftCluster::new_with(
+            4,
+            2,
+            5,
+            NetConfig::lan(),
+            seed,
+            self.batch,
+            WorkloadMode::Closed,
+        )
+    }
+}
+
+/// Maps a Byzantine window onto PBFT's concrete outbound filter.
+fn pbft_window_filter(kind: WindowKind) -> Box<dyn simnet::Filter<PbftMsg>> {
+    match kind {
+        WindowKind::Mute => Box::new(simnet::DropAll),
+        WindowKind::Equivocate => Box::new(equivocation_filter()),
+    }
 }
 
 impl Target for PbftTarget {
@@ -429,22 +492,9 @@ impl Target for PbftTarget {
     }
 
     fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
-        let mut cluster = PbftCluster::new_with(
-            4,
-            2,
-            5,
-            NetConfig::lan(),
-            seed,
-            self.batch,
-            WorkloadMode::Closed,
-        );
+        let mut cluster = self.build(seed);
         execute_plan(&mut cluster.sim, plan, SMR_HORIZON, 0.0, |kind, _node| {
-            Some(match kind {
-                WindowKind::Mute => {
-                    Box::new(simnet::DropAll) as Box<dyn simnet::Filter<PbftMsg>>
-                }
-                WindowKind::Equivocate => Box::new(equivocation_filter()),
-            })
+            Some(pbft_window_filter(kind))
         });
 
         let (entries, digests) = harvest_pbft(&cluster);
@@ -454,6 +504,18 @@ impl Target for PbftTarget {
             violations: smr_safety(&entries, &digests, &history, None),
             ops: cluster.total_completed(),
         }
+    }
+
+    fn trace_json(&self, seed: u64, plan: &FaultPlan) -> Option<String> {
+        let mut cluster = self.build(seed);
+        cluster.sim.record_trace(true);
+        execute_plan(&mut cluster.sim, plan, SMR_HORIZON, 0.0, |kind, _node| {
+            Some(pbft_window_filter(kind))
+        });
+        Some(simnet::causal::export_events(
+            cluster.sim.trace(),
+            cluster.sim.spans(),
+        ))
     }
 }
 
@@ -559,6 +621,14 @@ impl Target for TwoPcTarget {
             ops: decided,
         }
     }
+
+    fn trace_json(&self, seed: u64, plan: &FaultPlan) -> Option<String> {
+        let votes = derive_votes(seed, 3);
+        let mut sim = two_phase::build(&votes, NetConfig::lan(), seed);
+        sim.record_trace(true);
+        execute_plan(&mut sim, plan, COMMIT_HORIZON, 0.0, |_, _| None);
+        Some(simnet::causal::export_events(sim.trace(), sim.spans()))
+    }
 }
 
 struct ThreePcTarget;
@@ -598,6 +668,14 @@ impl Target for ThreePcTarget {
             ops: decided,
         }
     }
+
+    fn trace_json(&self, seed: u64, plan: &FaultPlan) -> Option<String> {
+        let votes = derive_votes(seed, 3);
+        let mut sim = three_phase::build(&votes, CrashPoint::None, NetConfig::lan(), seed);
+        sim.record_trace(true);
+        execute_plan(&mut sim, plan, COMMIT_HORIZON, 0.0, |_, _| None);
+        Some(simnet::causal::export_events(sim.trace(), sim.spans()))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -605,6 +683,18 @@ impl Target for ThreePcTarget {
 // ---------------------------------------------------------------------------
 
 struct BenOrTarget;
+
+/// Seed-derived Ben-Or cluster: five nodes with independent coin-flip
+/// inputs (the inputs also feed the agreement/validity checks).
+fn ben_or_sim(seed: u64) -> (Sim<BenOrNode>, Vec<u8>) {
+    let mut rng = ChaCha20Rng::seed_from_u64(seed ^ WORKLOAD_SALT);
+    let inputs: Vec<u8> = (0..5).map(|_| u8::from(rng.gen_bool(0.5))).collect();
+    let mut sim: Sim<BenOrNode> = Sim::new(NetConfig::asynchronous(), seed);
+    for &v in &inputs {
+        sim.add_node(BenOrNode::new(5, 1, v));
+    }
+    (sim, inputs)
+}
 
 impl Target for BenOrTarget {
     fn name(&self) -> &'static str {
@@ -625,12 +715,7 @@ impl Target for BenOrTarget {
     }
 
     fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
-        let mut rng = ChaCha20Rng::seed_from_u64(seed ^ WORKLOAD_SALT);
-        let inputs: Vec<u8> = (0..5).map(|_| u8::from(rng.gen_bool(0.5))).collect();
-        let mut sim: Sim<BenOrNode> = Sim::new(NetConfig::asynchronous(), seed);
-        for &v in &inputs {
-            sim.add_node(BenOrNode::new(5, 1, v));
-        }
+        let (mut sim, inputs) = ben_or_sim(seed);
         execute_plan(&mut sim, plan, BEN_OR_HORIZON, 0.0, |_, _| None);
         // Crashed nodes' decisions count too — a decision is irrevocable.
         let decisions: Vec<(u32, Option<u8>)> =
@@ -640,6 +725,13 @@ impl Target for BenOrTarget {
             violations: check_binary_agreement(&decisions, &inputs),
             ops: decided,
         }
+    }
+
+    fn trace_json(&self, seed: u64, plan: &FaultPlan) -> Option<String> {
+        let (mut sim, _inputs) = ben_or_sim(seed);
+        sim.record_trace(true);
+        execute_plan(&mut sim, plan, BEN_OR_HORIZON, 0.0, |_, _| None);
+        Some(simnet::causal::export_events(sim.trace(), sim.spans()))
     }
 }
 
@@ -668,21 +760,12 @@ struct StoreTarget<E: ShardEngine> {
     _engine: std::marker::PhantomData<E>,
 }
 
-impl<E: ShardEngine> Target for StoreTarget<E> {
-    fn name(&self) -> &'static str {
-        self.name
-    }
-
-    fn fault_spec(&self) -> FaultSpec {
-        // 3 shards × 3 replicas = global nodes 0..9, routers 9 and 10.
-        // Crashing a router is a 2PC-coordinator crash.
-        FaultSpec {
-            horizon: STORE_HORIZON,
-            ..smr_spec(11)
-        }
-    }
-
-    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
+impl<E: ShardEngine> StoreTarget<E> {
+    /// Builds the store, applies the plan, and runs the workload plus the
+    /// audit pass to completion. With `trace` set, causal-span recording is
+    /// enabled before the first step — recording never perturbs timing or
+    /// RNG draws, so the traced run is bit-identical to the checked one.
+    fn drive(&self, seed: u64, plan: &FaultPlan, trace: bool) -> Store<E> {
         let mut cfg = StoreConfig {
             buggy_early_writes: self.buggy,
             ..StoreConfig::small(seed)
@@ -691,6 +774,9 @@ impl<E: ShardEngine> Target for StoreTarget<E> {
             cfg = cfg.durable(8, simnet::DiskModel::ssd());
         }
         let mut s: Store<E> = Store::new(cfg);
+        if trace {
+            s.enable_tracing();
+        }
         if self.buggy {
             // Deterministically crash one router inside the bug's window
             // (after the early data writes, before the decision CAS) so the
@@ -739,6 +825,26 @@ impl<E: ShardEngine> Target for StoreTarget<E> {
         while s.now() + store::QUANTUM_US <= 2 * STORE_RUN_CAP && !s.audit_done() {
             s.step();
         }
+        s
+    }
+}
+
+impl<E: ShardEngine> Target for StoreTarget<E> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn fault_spec(&self) -> FaultSpec {
+        // 3 shards × 3 replicas = global nodes 0..9, routers 9 and 10.
+        // Crashing a router is a 2PC-coordinator crash.
+        FaultSpec {
+            horizon: STORE_HORIZON,
+            ..smr_spec(11)
+        }
+    }
+
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
+        let s = self.drive(seed, plan, false);
 
         let history = s.history();
         let issued: BTreeSet<(u32, u64)> =
@@ -757,6 +863,14 @@ impl<E: ShardEngine> Target for StoreTarget<E> {
         violations.extend(check_txn_atomicity(&history));
         let ops = history.iter().filter(|r| r.is_complete()).count();
         RunReport { violations, ops }
+    }
+
+    fn trace_json(&self, seed: u64, plan: &FaultPlan) -> Option<String> {
+        // The store has full causal instrumentation, so its counterexample
+        // trace is the real thing: complete spans (router ops, 2PC phases,
+        // consensus rounds, WAL fsyncs) rather than instant events.
+        let s = self.drive(seed, plan, true);
+        Some(simnet::causal::chrome_trace(&s.causal_spans()))
     }
 }
 
@@ -841,6 +955,32 @@ mod tests {
         let b = target.run(17, &plan);
         assert_eq!(a.violations, b.violations, "recovery not deterministic");
         assert_eq!(a.ops, b.ops, "recovery not deterministic");
+    }
+
+    #[test]
+    fn every_target_has_a_trace_hook() {
+        // `--trace-out` must be able to dump a timeline for any stored
+        // counterexample, so every registered target (and both injected-bug
+        // targets) implements `trace_json`.
+        let empty = FaultPlan::default();
+        let mut all = targets();
+        all.push(injected_bug_target());
+        all.push(store_injected_bug_target());
+        for target in &all {
+            let json = target
+                .trace_json(1, &empty)
+                .unwrap_or_else(|| panic!("{} has no trace hook", target.name()));
+            assert!(
+                json.starts_with("{\"traceEvents\":[{"),
+                "{}: empty or malformed trace",
+                target.name()
+            );
+            assert!(
+                json.trim_end().ends_with('}'),
+                "{}: truncated trace",
+                target.name()
+            );
+        }
     }
 
     #[test]

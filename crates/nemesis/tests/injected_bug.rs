@@ -77,6 +77,33 @@ fn injected_quorum_bug_is_caught_shrunk_and_replayed() {
 }
 
 #[test]
+fn replaying_the_pinned_bug_dumps_a_causal_trace() {
+    // The `--trace-out` path: the pinned Flexible-Paxos regression must
+    // arrive with an event timeline. Re-running the violating schedule with
+    // trace recording on yields Chrome `trace_event` JSON, and recording
+    // must not perturb the run — two traced re-runs are byte-identical.
+    let buggy = injected_bug_target();
+    let (plan, report) = quiet_panics(|| run_trial(buggy.as_ref(), BUGGY_SEED));
+    assert!(
+        !report.violations.is_empty(),
+        "seed {BUGGY_SEED} no longer triggers the injected bug; re-sweep for a new seed"
+    );
+    let json = quiet_panics(|| buggy.trace_json(BUGGY_SEED, &plan))
+        .expect("the paxos target has a trace hook");
+    assert!(
+        json.starts_with("{\"traceEvents\":[{"),
+        "empty or malformed trace"
+    );
+    assert!(
+        json.contains("\"ph\":\"i\""),
+        "no instant events in the timeline"
+    );
+    assert!(json.contains("deliver"), "no message ever delivered");
+    let again = quiet_panics(|| buggy.trace_json(BUGGY_SEED, &plan)).unwrap();
+    assert_eq!(json, again, "trace recording perturbed the run");
+}
+
+#[test]
 fn registry_targets_pass_a_small_sweep() {
     for target in targets() {
         for seed in 0..3 {

@@ -28,9 +28,10 @@ use consensus_core::{
     Ballot, ClientRecord, Command, HistorySink, KvCommand, KvResponse, QuorumSpec, ReplicatedLog,
     StateMachine,
 };
+use simnet::causal::cat;
 use simnet::{
-    CncPhase, Context, DiskModel, Metrics, NetConfig, Node, NodeId, Payload, RunOutcome, Sim,
-    Time, Timer,
+    CausalSpan, CncPhase, Context, DiskModel, Metrics, NetConfig, Node, NodeId, Payload,
+    RunOutcome, Sim, Time, Timer, TraceCtx,
 };
 
 /// Span protocol label; instances are log indices.
@@ -295,8 +296,9 @@ pub struct Replica {
     pub view_changes: u64,
     /// Batching/pipelining knob.
     batch: BatchConfig,
-    /// Commands accepted from clients but not yet proposed (leader only).
-    queue: Vec<(Command<KvCommand>, NodeId)>,
+    /// Commands accepted from clients but not yet proposed (leader only),
+    /// with the causal context + arrival time of each (for queue spans).
+    queue: Vec<(Command<KvCommand>, NodeId, Option<TraceCtx>, Time)>,
     /// Whether a `BATCH_FLUSH` timer is armed for the open batch.
     flush_armed: bool,
     /// Whether the open batch's `max_delay` has expired (flush even if
@@ -403,10 +405,16 @@ impl Replica {
         }
     }
 
-    /// Group-commits everything this handler logged (no-op without engine).
-    fn wal_sync(&mut self) {
+    /// Group-commits everything this handler logged (no-op without engine)
+    /// and charges the modeled device time to the current causal trace.
+    fn wal_sync(&mut self, ctx: &mut Context<MpMsg>) {
         if let Some(e) = self.engine.as_mut() {
+            let before = e.stats().io_time_us;
             e.sync();
+            let spent = e.stats().io_time_us - before;
+            if spent > 0 {
+                ctx.charge_io("wal-sync", spent);
+            }
         }
     }
 
@@ -527,17 +535,27 @@ impl Replica {
     /// Takes up to `max_batch` queued commands and proposes them as one slot.
     fn flush_one(&mut self, ctx: &mut Context<MpMsg>) {
         let k = self.queue.len().min(self.batch.max_batch.max(1));
-        let taken: Vec<(Command<KvCommand>, NodeId)> = self.queue.drain(..k).collect();
+        let taken: Vec<(Command<KvCommand>, NodeId, Option<TraceCtx>, Time)> =
+            self.queue.drain(..k).collect();
         let index = self.next_index;
         self.next_index += 1;
-        for (cmd, from) in &taken {
+        for (cmd, from, tc, enqueued) in &taken {
             self.pending_reply.insert((cmd.client, cmd.seq), *from);
+            // The wait in the leader's batch queue, charged per command.
+            if let Some(tc) = tc {
+                if ctx.now() > *enqueued {
+                    ctx.trace_span_since(*tc, "batch-queue", cat::QUEUE, *enqueued);
+                }
+            }
         }
+        // The slot's consensus traffic chains under the first batched
+        // command's trace; batch-mates rely on the attribution fallback.
+        ctx.set_trace_ctx(taken.first().and_then(|(_, _, tc, _)| *tc));
         ctx.record_batch(k as u64);
         let op = if taken.len() == 1 {
             MpOp::Cmd(taken.into_iter().next().expect("len 1").0)
         } else {
-            MpOp::Batch(taken.into_iter().map(|(c, _)| c).collect())
+            MpOp::Batch(taken.into_iter().map(|(c, ..)| c).collect())
         };
         self.propose(ctx, index, op);
     }
@@ -546,7 +564,7 @@ impl Replica {
     fn cmd_in_flight(&self, client: u32, seq: u64) -> bool {
         self.queue
             .iter()
-            .any(|(c, _)| c.client == client && c.seq == seq)
+            .any(|(c, ..)| c.client == client && c.seq == seq)
             || self.proposals.values().any(|p| match &p.op {
                 MpOp::Cmd(c) => c.client == client && c.seq == seq,
                 MpOp::Batch(cs) => cs.iter().any(|c| c.client == client && c.seq == seq),
@@ -810,7 +828,7 @@ impl Node for Replica {
                 if self.cmd_in_flight(cmd.client, cmd.seq) {
                     return;
                 }
-                self.queue.push((cmd, from));
+                self.queue.push((cmd, from, ctx.trace_ctx(), ctx.now()));
                 self.try_flush(ctx);
             }
 
@@ -824,7 +842,7 @@ impl Node for Replica {
                         self.wal_log(crate::durable::WalRecord::Promise { ballot });
                     }
                     self.promised = ballot;
-                    self.wal_sync(); // promise durable before the ack leaves
+                    self.wal_sync(ctx); // promise durable before the ack leaves
                     self.arm_election_timer(ctx);
                     let entries: Vec<(usize, Ballot, MpOp)> = self
                         .accepted
@@ -901,7 +919,7 @@ impl Node for Replica {
                         ballot,
                         op: op.clone(),
                     });
-                    self.wal_sync(); // accept durable before the ack leaves
+                    self.wal_sync(ctx); // accept durable before the ack leaves
                     self.accepted.insert(index, (ballot, op));
                     self.arm_election_timer(ctx);
                     ctx.send(from, MpMsg::Accepted { ballot, index });
@@ -926,7 +944,7 @@ impl Node for Replica {
                                     index,
                                     op: op.clone(),
                                 });
-                                self.wal_sync();
+                                self.wal_sync(ctx);
                             }
                             let me = ctx.id();
                             ctx.send_many(
@@ -953,7 +971,7 @@ impl Node for Replica {
                         index,
                         op: op.clone(),
                     });
-                    self.wal_sync(); // decision durable before it applies
+                    self.wal_sync(ctx); // decision durable before it applies
                 }
                 self.on_decided(ctx, index, op.clone());
                 // Decisions are also (implicitly) accepted state.
@@ -1105,6 +1123,8 @@ pub struct Client {
     pub completed: usize,
     /// Issued-but-unreplied commands, by client sequence number.
     outstanding: BTreeMap<u64, (Command<KvCommand>, Time)>,
+    /// Causal root span per outstanding command (when tracing is enabled).
+    trace_roots: BTreeMap<u64, TraceCtx>,
     leader_guess: NodeId,
     nudge_armed: bool,
     /// Consecutive `CLIENT_RETRY` expiries with no reply or redirect.
@@ -1138,6 +1158,7 @@ impl Client {
             mode,
             completed: 0,
             outstanding: BTreeMap::new(),
+            trace_roots: BTreeMap::new(),
             leader_guess: NodeId(0),
             nudge_armed: false,
             retry_strikes: 0,
@@ -1154,15 +1175,27 @@ impl Client {
         self.history
             .invoke(cmd.client, cmd.seq, cmd.op.clone(), ctx.now().0);
         self.outstanding.insert(cmd.seq, (cmd.clone(), ctx.now()));
+        // Root the command's causal trace (no-op unless tracing is on); the
+        // request send below inherits it automatically.
+        if let Some(tc) = ctx.trace_begin(&format!("op c{} s{}", cmd.client, cmd.seq)) {
+            self.trace_roots.insert(cmd.seq, tc);
+        }
         ctx.send(self.leader_guess, MpMsg::Request { cmd });
         ctx.set_timer(100_000, CLIENT_RETRY);
     }
 
     fn resend_all(&mut self, ctx: &mut Context<MpMsg>) {
-        for (cmd, _) in self.outstanding.values() {
-            let cmd = cmd.clone();
+        let pending: Vec<(u64, Command<KvCommand>)> = self
+            .outstanding
+            .iter()
+            .map(|(&seq, (cmd, _))| (seq, cmd.clone()))
+            .collect();
+        for (seq, cmd) in pending {
+            // Retransmits stay on the original trace.
+            ctx.set_trace_ctx(self.trace_roots.get(&seq).copied());
             ctx.send(self.leader_guess, MpMsg::Request { cmd });
         }
+        ctx.set_trace_ctx(None);
         if !self.outstanding.is_empty() {
             ctx.set_timer(100_000, CLIENT_RETRY);
         }
@@ -1189,6 +1222,9 @@ impl Node for Client {
             MpMsg::Reply { seq, output, .. } => {
                 self.retry_strikes = 0;
                 if let Some((cmd, sent_at)) = self.outstanding.remove(&seq) {
+                    if let Some(tc) = self.trace_roots.remove(&seq) {
+                        ctx.trace_close(tc);
+                    }
                     self.history
                         .complete(cmd.client, cmd.seq, ctx.now().0, output);
                     self.latencies.record(sent_at, ctx.now());
@@ -1560,6 +1596,18 @@ impl ClusterDriver for MultiPaxosCluster {
 
     fn metrics(&self) -> &Metrics {
         self.sim.metrics()
+    }
+
+    fn enable_tracing(&mut self, site: u32) {
+        self.sim.enable_tracing(site);
+    }
+
+    fn causal_spans(&self) -> Vec<CausalSpan> {
+        self.sim.causal_spans().to_vec()
+    }
+
+    fn open_span_instances(&self) -> usize {
+        self.sim.open_instance_count()
     }
 
     fn crash_at(&mut self, node: NodeId, at: Time) {
@@ -1990,5 +2038,56 @@ mod tests {
             msgs_per_cmd[0] < msgs_per_cmd[1] && msgs_per_cmd[1] < msgs_per_cmd[2],
             "messages/command should grow with n: {msgs_per_cmd:?}"
         );
+    }
+
+    #[test]
+    fn tracing_produces_chained_roots_and_fsync_spans() {
+        // A traced durable run yields: one closed root "op" span per command,
+        // consensus traffic chained under those roots, and wal-fsync charges
+        // on the replicas — without changing decisions or traffic.
+        let run = |traced: bool| {
+            let mut cluster = majority_cluster(3, 2, 10, 31)
+                .with_durability(usize::MAX, simnet::DiskModel::ssd());
+            if traced {
+                cluster.sim.enable_tracing(7);
+            }
+            assert!(cluster.run(Time::from_secs(20)));
+            let digest = cluster
+                .replicas()
+                .max_by_key(|r| r.log.applied_len())
+                .expect("replicas")
+                .log
+                .machine()
+                .digest();
+            (digest, cluster.sim.metrics().sent, cluster)
+        };
+        let (base_digest, base_sent, _) = run(false);
+        let (digest, sent, cluster) = run(true);
+        assert_eq!(digest, base_digest, "tracing must not change decisions");
+        assert_eq!(sent, base_sent, "tracing must not change traffic");
+
+        let spans = cluster.sim.causal_spans();
+        let roots: Vec<_> = spans
+            .iter()
+            .filter(|s| s.cat == "op" && s.trace_id == s.id)
+            .collect();
+        assert_eq!(roots.len(), 20, "one root span per client command");
+        assert!(
+            roots.iter().all(|r| r.end > r.start),
+            "every root must be closed by its Reply"
+        );
+        for root in &roots {
+            let children = spans
+                .iter()
+                .filter(|s| s.trace_id == root.trace_id && s.id != root.id)
+                .count();
+            assert!(children >= 4, "request/accept/accepted/reply at minimum");
+        }
+        assert!(
+            spans.iter().any(|s| s.cat == "wal-fsync" && s.end > s.start),
+            "durable replicas must record fsync charges"
+        );
+        // Span ids carry the site tag in the high bits.
+        assert!(spans.iter().all(|s| s.id >> 40 == 8 && s.site == 7));
     }
 }

@@ -6,7 +6,7 @@ use std::collections::BTreeMap;
 
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder, WorkloadMode};
 use consensus_core::{Command, HistorySink, KvCommand};
-use simnet::{Context, Node, NodeId, Time, Timer};
+use simnet::{Context, Node, NodeId, Time, TraceCtx, Timer};
 
 use crate::msg::RaftMsg;
 
@@ -41,6 +41,8 @@ pub struct Client {
     pub latencies: LatencyRecorder,
     /// Invoke/response history for safety checking.
     pub history: HistorySink,
+    /// Open root trace span per outstanding seq (tracing only).
+    trace_roots: BTreeMap<u64, TraceCtx>,
 }
 
 impl Client {
@@ -71,6 +73,7 @@ impl Client {
             retry_strikes: 0,
             latencies: LatencyRecorder::new(),
             history: HistorySink::new(),
+            trace_roots: BTreeMap::new(),
         }
     }
 
@@ -87,15 +90,26 @@ impl Client {
         self.history
             .invoke(cmd.client, cmd.seq, cmd.op.clone(), ctx.now().0);
         self.outstanding.insert(cmd.seq, (cmd.clone(), ctx.now()));
+        if let Some(tc) = ctx.trace_begin(&format!("op c{} s{}", cmd.client, cmd.seq)) {
+            self.trace_roots.insert(cmd.seq, tc);
+        }
         ctx.send(self.leader_guess, RaftMsg::Request { cmd });
         ctx.set_timer(100_000, CLIENT_RETRY);
     }
 
     fn resend_all(&mut self, ctx: &mut Context<RaftMsg>) {
-        for (cmd, _) in self.outstanding.values() {
-            let cmd = cmd.clone();
+        let pending: Vec<(u64, Command<KvCommand>)> = self
+            .outstanding
+            .iter()
+            .map(|(&seq, (cmd, _))| (seq, cmd.clone()))
+            .collect();
+        for (seq, cmd) in pending {
+            // Resends continue the command's original trace, not the trace
+            // of whatever message happened to trigger the retry.
+            ctx.set_trace_ctx(self.trace_roots.get(&seq).copied());
             ctx.send(self.leader_guess, RaftMsg::Request { cmd });
         }
+        ctx.set_trace_ctx(None);
         if !self.outstanding.is_empty() {
             ctx.set_timer(100_000, CLIENT_RETRY);
         }
@@ -117,6 +131,9 @@ impl Node for Client {
             RaftMsg::Reply { seq, output, .. } => {
                 self.retry_strikes = 0;
                 if let Some((cmd, sent_at)) = self.outstanding.remove(&seq) {
+                    if let Some(tc) = self.trace_roots.remove(&seq) {
+                        ctx.trace_close(tc);
+                    }
                     self.history
                         .complete(cmd.client, cmd.seq, ctx.now().0, output);
                     self.latencies.record(sent_at, ctx.now());

@@ -4,7 +4,7 @@ use consensus_core::driver::{BatchConfig, ClusterDriver, DecidedEntry, DriverCon
 use consensus_core::history::ClientRecord;
 use consensus_core::workload::{KvMix, LatencyRecorder, WorkloadMode};
 use consensus_core::{HistorySink, SmrOp, StateMachine as _};
-use simnet::{Metrics, NetConfig, NodeId, RunOutcome, Sim, Time};
+use simnet::{CausalSpan, Metrics, NetConfig, NodeId, RunOutcome, Sim, Time};
 
 use crate::client::Client;
 use crate::replica::{Replica, Role};
@@ -270,6 +270,18 @@ impl ClusterDriver for RaftCluster {
 
     fn metrics(&self) -> &Metrics {
         self.sim.metrics()
+    }
+
+    fn enable_tracing(&mut self, site: u32) {
+        self.sim.enable_tracing(site);
+    }
+
+    fn causal_spans(&self) -> Vec<CausalSpan> {
+        self.sim.causal_spans().to_vec()
+    }
+
+    fn open_span_instances(&self) -> usize {
+        self.sim.open_instance_count()
     }
 
     fn crash_at(&mut self, node: NodeId, at: Time) {
@@ -626,5 +638,57 @@ mod tests {
             .map(|r| r.machine().digest())
             .collect();
         assert!(digests.len() <= 1, "state divergence: {digests:?}");
+    }
+
+    #[test]
+    fn tracing_produces_chained_roots_without_changing_the_run() {
+        let run = |traced: bool| {
+            let mut cluster = RaftCluster::new(3, 2, 10, NetConfig::lan(), 12);
+            if traced {
+                cluster.sim.enable_tracing(3);
+            }
+            assert!(cluster.run(Time::from_secs(10)));
+            (cluster.sim.metrics().sent, cluster)
+        };
+        let (base_sent, _) = run(false);
+        let (sent, cluster) = run(true);
+        assert_eq!(sent, base_sent, "tracing must not change traffic");
+
+        let spans = cluster.sim.causal_spans();
+        let roots: Vec<_> = spans
+            .iter()
+            .filter(|s| s.cat == "op" && s.trace_id == s.id)
+            .collect();
+        assert_eq!(roots.len(), 20, "one root span per client command");
+        assert!(roots.iter().all(|r| r.end > r.start), "roots close on Reply");
+        for root in &roots {
+            let children = spans
+                .iter()
+                .filter(|s| s.trace_id == root.trace_id && s.id != root.id)
+                .count();
+            assert!(children >= 4, "request/append/ack/reply at minimum");
+        }
+    }
+
+    #[test]
+    fn batched_tracing_records_queue_waits() {
+        let mut cluster = RaftCluster::new_with(
+            3,
+            2,
+            15,
+            NetConfig::lan(),
+            13,
+            BatchConfig::new(8, 400, 16),
+            WorkloadMode::Open { interval_us: 150 },
+        );
+        cluster.sim.enable_tracing(0);
+        assert!(cluster.run(Time::from_secs(20)));
+        let spans = cluster.sim.causal_spans();
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.cat == "client-queue" && s.end > s.start),
+            "held-back waves must charge batch-queue time"
+        );
     }
 }

@@ -5,7 +5,8 @@
 use std::collections::BTreeMap;
 
 use consensus_core::{BatchConfig, DedupKvMachine, SmrOp, StateMachine};
-use simnet::{CncPhase, Context, Node, NodeId, Timer, TimerId};
+use simnet::causal::cat;
+use simnet::{CncPhase, Context, Node, NodeId, Time, TraceCtx, Timer, TimerId};
 
 use crate::msg::{Entry, RaftMsg};
 
@@ -68,6 +69,10 @@ pub struct Replica {
     next_index: Vec<usize>,
     match_index: Vec<usize>,
     pending_reply: BTreeMap<usize, NodeId>,
+    /// Causal context and arrival time per unflushed log index, so the
+    /// replication wave can emit queue-wait spans and chain under the
+    /// oldest batched command's trace (tracing only; always maintained).
+    pending_trace: BTreeMap<usize, (TraceCtx, Time)>,
     /// Elections this replica has won.
     pub elections_won: u64,
 
@@ -120,6 +125,7 @@ impl Replica {
             next_index: Vec::new(),
             match_index: Vec::new(),
             pending_reply: BTreeMap::new(),
+            pending_trace: BTreeMap::new(),
             elections_won: 0,
             batch,
             unflushed: 0,
@@ -208,8 +214,29 @@ impl Replica {
         }
         self.overdue = false;
         ctx.record_batch(self.unflushed as u64);
+        let wave_from = self.flushed_tip() + 1;
         self.unflushed = 0;
+        self.note_wave(ctx, wave_from);
         self.replicate_all(ctx);
+    }
+
+    /// Emits queue-wait spans for the entries in the shipping wave
+    /// (`wave_from..=last_log_index`) and rebinds the send context to the
+    /// oldest one, so the `AppendEntries` fan-out chains under the first
+    /// batched command's trace — exactly the Multi-Paxos convention.
+    fn note_wave(&mut self, ctx: &mut Context<RaftMsg>, wave_from: usize) {
+        let mut first: Option<TraceCtx> = None;
+        for i in wave_from..=self.last_log_index() {
+            if let Some(&(tc, enqueued)) = self.pending_trace.get(&i) {
+                if ctx.now() > enqueued {
+                    ctx.trace_span_since(tc, "batch-queue", cat::QUEUE, enqueued);
+                }
+                first = first.or(Some(tc));
+            }
+        }
+        if first.is_some() {
+            ctx.set_trace_ctx(first);
+        }
     }
 
     fn reset_batching(&mut self) {
@@ -381,6 +408,7 @@ impl Replica {
                 continue;
             }
             let op = self.entry(i).expect("committed and retained").op.clone();
+            self.pending_trace.remove(&i);
             ctx.phase(SPAN, i as u64, self.current_term, CncPhase::Decision);
             ctx.span_close(SPAN, i as u64, self.current_term);
             let out = self.machine.apply(&op);
@@ -492,6 +520,9 @@ impl Node for Replica {
                 ctx.phase(SPAN, index as u64, self.current_term, CncPhase::Agreement);
                 self.match_index[ctx.id().index()] = index;
                 self.pending_reply.insert(index, from);
+                if let Some(tc) = ctx.trace_ctx() {
+                    self.pending_trace.insert(index, (tc, ctx.now()));
+                }
                 self.unflushed += 1;
                 self.maybe_flush(ctx);
             }
@@ -702,8 +733,10 @@ impl Node for Replica {
                 // queued wave into it.
                 if self.unflushed > 0 {
                     ctx.record_batch(self.unflushed as u64);
+                    let wave_from = self.flushed_tip() + 1;
                     self.unflushed = 0;
                     self.overdue = false;
+                    self.note_wave(ctx, wave_from);
                 }
                 self.replicate_all(ctx);
                 ctx.set_timer(HB_PERIOD, HEARTBEAT);
@@ -725,6 +758,7 @@ impl Node for Replica {
         self.role = Role::Follower;
         self.votes = 0;
         self.pending_reply.clear();
+        self.pending_trace.clear();
         self.reset_batching();
         self.election_timer = None;
         self.reset_election_timer(ctx);

@@ -3,14 +3,22 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::causal::TraceCtx;
 use crate::node::TimerId;
 use crate::time::{NodeId, Time};
 
 /// A scheduled occurrence.
 #[derive(Debug)]
 pub(crate) enum EventKind<M> {
-    /// Deliver `msg` from `from` to the owning node.
-    Deliver { from: NodeId, msg: M },
+    /// Deliver `msg` from `from` to the owning node. `sent` is the time the
+    /// send was issued (for delivery-latency accounting); `tc` is the causal
+    /// trace context riding in the envelope, if any.
+    Deliver {
+        from: NodeId,
+        msg: M,
+        sent: Time,
+        tc: Option<TraceCtx>,
+    },
     /// Fire a timer (if still valid for the node's current epoch).
     TimerFire { id: TimerId, kind: u64, epoch: u32 },
     /// Crash the node.

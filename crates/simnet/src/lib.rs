@@ -54,6 +54,7 @@
 //! assert_eq!(sim.node(NodeId(1)).seen, 7);
 //! ```
 
+pub mod causal;
 mod config;
 mod event;
 mod fault;
@@ -63,9 +64,13 @@ mod sim;
 mod time;
 mod trace;
 
+pub use causal::{
+    attribute_window, bucket_for_kind, chrome_trace, export_events, folded_stacks, CausalSpan,
+    TraceCtx, Tracer,
+};
 pub use config::{DelayModel, DiskModel, NetConfig, NicModel, Synchrony};
 pub use fault::{DropAll, Equivocate, Filter, FilterAction, FnFilter};
-pub use metrics::{Histogram, Metrics};
+pub use metrics::{DropCause, Histogram, Metrics};
 pub use node::{Context, Node, Payload, Timer, TimerId};
 pub use sim::{RunOutcome, Sim};
 pub use time::{NodeId, Time};

@@ -139,6 +139,23 @@ pub struct Metrics {
     /// Commands per decided batch / flush wave, recorded by protocol leaders
     /// via [`crate::Context::record_batch`].
     pub batch_size: Histogram,
+    /// Per-message network latency in µs (send call to delivery, including
+    /// NIC serialization), recorded for every delivered message.
+    pub delivered_latency: Histogram,
+}
+
+/// Why a message was lost — selects which split counter accompanies the
+/// `dropped` total in [`Metrics::record_drop`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropCause {
+    /// Cut by a network partition.
+    Partition,
+    /// Random (probabilistic) loss.
+    Loss,
+    /// Suppressed by a Byzantine outbound filter.
+    Filter,
+    /// Arrived at a crashed node.
+    Dead,
 }
 
 impl Metrics {
@@ -162,6 +179,25 @@ impl Metrics {
     /// Bytes sent for messages of one kind.
     pub fn kind_bytes(&self, kind: &str) -> u64 {
         self.bytes_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Records one lost message: bumps `dropped` and the per-cause split
+    /// counter together, so the invariant
+    /// `dropped == dropped_partition + dropped_loss + dropped_filter +
+    /// dropped_dead` holds by construction (checked in debug builds).
+    pub fn record_drop(&mut self, cause: DropCause) {
+        self.dropped += 1;
+        match cause {
+            DropCause::Partition => self.dropped_partition += 1,
+            DropCause::Loss => self.dropped_loss += 1,
+            DropCause::Filter => self.dropped_filter += 1,
+            DropCause::Dead => self.dropped_dead += 1,
+        }
+        debug_assert_eq!(
+            self.dropped,
+            self.dropped_partition + self.dropped_loss + self.dropped_filter + self.dropped_dead,
+            "dropped total diverged from its per-cause split"
+        );
     }
 
     /// Renders the per-kind breakdown as `kind=count` pairs, sorted by kind.
@@ -222,6 +258,25 @@ mod tests {
         m.reset();
         assert_eq!(m.phase("agreement"), 0);
         assert_eq!(m.instance_latency.count(), 0);
+    }
+
+    #[test]
+    fn record_drop_keeps_total_equal_to_cause_split() {
+        let mut m = Metrics::default();
+        m.record_drop(DropCause::Partition);
+        m.record_drop(DropCause::Loss);
+        m.record_drop(DropCause::Loss);
+        m.record_drop(DropCause::Filter);
+        m.record_drop(DropCause::Dead);
+        assert_eq!(m.dropped, 5);
+        assert_eq!(m.dropped_partition, 1);
+        assert_eq!(m.dropped_loss, 2);
+        assert_eq!(m.dropped_filter, 1);
+        assert_eq!(m.dropped_dead, 1);
+        assert_eq!(
+            m.dropped,
+            m.dropped_partition + m.dropped_loss + m.dropped_filter + m.dropped_dead
+        );
     }
 
     #[test]

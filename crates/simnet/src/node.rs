@@ -4,6 +4,7 @@ use std::fmt;
 
 use rand_chacha::ChaCha20Rng;
 
+use crate::causal::{cat, TraceCtx, Tracer};
 use crate::time::{NodeId, Time};
 use crate::trace::{CncPhase, SpanKind};
 
@@ -78,7 +79,7 @@ pub trait Node {
 /// after the callback returns.
 #[derive(Debug)]
 pub(crate) enum Effect<M> {
-    Send { to: NodeId, msg: M },
+    Send { to: NodeId, msg: M, tc: Option<TraceCtx> },
     SetTimer { id: TimerId, delay: u64, kind: u64 },
     CancelTimer { id: TimerId },
     Span { protocol: &'static str, instance: u64, round: u64, kind: SpanKind },
@@ -94,6 +95,11 @@ pub struct Context<'a, M> {
     pub(crate) rng: &'a mut ChaCha20Rng,
     pub(crate) effects: &'a mut Vec<Effect<M>>,
     pub(crate) next_timer: &'a mut u64,
+    pub(crate) tracer: &'a mut Tracer,
+    /// The causal context this callback executes under: the envelope context
+    /// of the message being handled, a root opened via
+    /// [`Context::trace_begin`], or `None` (untraced activity).
+    pub(crate) cur: Option<TraceCtx>,
 }
 
 impl<M: Payload> Context<'_, M> {
@@ -125,7 +131,8 @@ impl<M: Payload> Context<'_, M> {
     /// network like any other message (with delay ~0 handled by the
     /// simulator as a local hop).
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.effects.push(Effect::Send { to, msg });
+        let tc = self.cur;
+        self.effects.push(Effect::Send { to, msg, tc });
     }
 
     /// Sends `msg` to every node in `targets`.
@@ -244,6 +251,95 @@ impl<M: Payload> Context<'_, M> {
             kind: SpanKind::Close,
         });
     }
+
+    // ---- causal tracing -------------------------------------------------
+    //
+    // The envelope does most of the work: `cur` is set from the delivered
+    // message's context, every `send` in the callback inherits it, so the
+    // trace chains across nodes with no protocol cooperation. The methods
+    // below are the explicit hooks: roots, handoffs, queue spans, and
+    // modeled device time. All are no-ops while tracing is disabled.
+
+    /// The causal context this callback runs under (the envelope context of
+    /// the message being handled, or whatever was last set).
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        self.cur
+    }
+
+    /// Overrides the causal context subsequent sends inherit. Protocols use
+    /// this to resume a stored context — e.g. a leader flushing a batch sets
+    /// the context of the command that triggered the flush.
+    pub fn set_trace_ctx(&mut self, tc: Option<TraceCtx>) {
+        self.cur = tc;
+    }
+
+    /// Opens a new root span (a new trace) and makes it the current context.
+    /// Returns `None` while tracing is disabled. The span stays open until
+    /// [`Context::trace_close`]; clients open one per request.
+    pub fn trace_begin(&mut self, name: &str) -> Option<TraceCtx> {
+        if !self.tracer.is_enabled() {
+            return None;
+        }
+        let node = self.node.0;
+        let now = self.now.0;
+        let id = self.tracer.record(0, 0, node, name.to_string(), cat::OP, now, now);
+        // A root's trace id is its own span id; fix it up post-allocation.
+        self.tracer.retag_root(id);
+        let tc = TraceCtx {
+            trace_id: id,
+            parent_span: 0,
+            span_id: id,
+        };
+        self.cur = Some(tc);
+        Some(tc)
+    }
+
+    /// Closes (extends to `now`) the span the given context points at —
+    /// normally the root from [`Context::trace_begin`], called when the
+    /// response is observed.
+    pub fn trace_close(&mut self, tc: TraceCtx) {
+        let now = self.now.0;
+        self.tracer.close(tc.span_id, now);
+    }
+
+    /// Records a completed span `[since, now]` under the given context —
+    /// the hook for wait time that only becomes attributable in hindsight,
+    /// like a command sitting in a leader's batch queue.
+    pub fn trace_span_since(&mut self, tc: TraceCtx, name: &str, cat: &'static str, since: Time) {
+        let node = self.node.0;
+        let now = self.now.0;
+        self.tracer.record(
+            tc.trace_id,
+            tc.span_id,
+            node,
+            name.to_string(),
+            cat,
+            since.0,
+            now,
+        );
+    }
+
+    /// Records modeled device time (WAL fsync / group commit) of `micros`
+    /// starting now, under the current context. Pure accounting: the disk
+    /// model's latency is already folded into the simulation elsewhere, so
+    /// this schedules nothing and changes no timing.
+    pub fn charge_io(&mut self, name: &str, micros: u64) {
+        let (trace_id, parent) = match self.cur {
+            Some(tc) => (tc.trace_id, tc.span_id),
+            None => (0, 0),
+        };
+        let node = self.node.0;
+        let now = self.now.0;
+        self.tracer.record(
+            trace_id,
+            parent,
+            node,
+            name.to_string(),
+            cat::FSYNC,
+            now,
+            now + micros,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +356,13 @@ mod tests {
     }
 
     fn ctx_harness(f: impl FnOnce(&mut Context<M>)) -> Vec<Effect<M>> {
+        ctx_harness_traced(Tracer::new(), f).0
+    }
+
+    fn ctx_harness_traced(
+        mut tracer: Tracer,
+        f: impl FnOnce(&mut Context<M>),
+    ) -> (Vec<Effect<M>>, Tracer) {
         let mut rng = ChaCha20Rng::seed_from_u64(0);
         let mut effects = Vec::new();
         let mut next_timer = 0;
@@ -270,9 +373,11 @@ mod tests {
             rng: &mut rng,
             effects: &mut effects,
             next_timer: &mut next_timer,
+            tracer: &mut tracer,
+            cur: None,
         };
         f(&mut ctx);
-        effects
+        (effects, tracer)
     }
 
     #[test]
@@ -302,6 +407,46 @@ mod tests {
             assert_ne!(a, b);
         });
         assert_eq!(fx.len(), 2);
+    }
+
+    #[test]
+    fn sends_inherit_the_current_trace_context() {
+        let mut enabled = Tracer::new();
+        enabled.enable(0);
+        let (fx, tracer) = ctx_harness_traced(enabled, |ctx| {
+            ctx.send(NodeId(0), M("untraced"));
+            let root = ctx.trace_begin("op").expect("tracing enabled");
+            assert_eq!(root.trace_id, root.span_id);
+            ctx.send(NodeId(0), M("traced"));
+            ctx.charge_io("wal-sync", 250);
+        });
+        let tcs: Vec<Option<TraceCtx>> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send { tc, .. } => Some(*tc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tcs.len(), 2);
+        assert!(tcs[0].is_none());
+        assert_eq!(tcs[1].map(|tc| tc.trace_id), Some(tcs[1].unwrap().span_id));
+        // Root span + the fsync accounting span under it.
+        assert_eq!(tracer.spans().len(), 2);
+        let io = &tracer.spans()[1];
+        assert_eq!(io.cat, cat::FSYNC);
+        assert_eq!(io.end - io.start, 250);
+        assert_eq!(io.parent, tracer.spans()[0].id);
+    }
+
+    #[test]
+    fn trace_api_is_inert_when_disabled() {
+        let (fx, tracer) = ctx_harness_traced(Tracer::new(), |ctx| {
+            assert!(ctx.trace_begin("op").is_none());
+            ctx.charge_io("wal-sync", 250);
+            ctx.send(NodeId(0), M("x"));
+        });
+        assert!(tracer.spans().is_empty());
+        assert_eq!(fx.len(), 1);
     }
 
     #[test]

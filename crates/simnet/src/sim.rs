@@ -5,10 +5,11 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use rand::SeedableRng;
 use rand_chacha::ChaCha20Rng;
 
+use crate::causal::{bucket_for_kind, cat, CausalSpan, TraceCtx, Tracer};
 use crate::config::{DelayModel, NetConfig};
 use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::{Filter, FilterAction};
-use crate::metrics::Metrics;
+use crate::metrics::{DropCause, Metrics};
 use crate::node::{Context, Effect, Node, Payload, Timer, TimerId};
 use crate::time::{NodeId, Time};
 use crate::trace::{SpanEvent, SpanKind, TraceEntry, TraceEvent};
@@ -67,6 +68,8 @@ pub struct Sim<N: Node> {
     max_events: u64,
     events_processed: u64,
     scratch: Vec<Effect<N::Msg>>,
+    /// Causal-trace recorder (disabled by default; see [`Sim::enable_tracing`]).
+    tracer: Tracer,
 }
 
 impl<N: Node> Sim<N> {
@@ -94,6 +97,7 @@ impl<N: Node> Sim<N> {
             max_events: 20_000_000,
             events_processed: 0,
             scratch: Vec::new(),
+            tracer: Tracer::new(),
         }
     }
 
@@ -173,6 +177,26 @@ impl<N: Node> Sim<N> {
         &self.spans
     }
 
+    /// Enables causal-trace recording under the given site tag (which keeps
+    /// span ids unique across the several sims of a sharded harness).
+    /// Envelope contexts are carried either way; this turns on span
+    /// *recording* — NIC occupancy, network flight per message, protocol
+    /// queue/fsync charges — with zero effect on timing or RNG draws.
+    pub fn enable_tracing(&mut self, site: u32) {
+        self.tracer.enable(site);
+    }
+
+    /// Causal spans recorded so far (empty unless [`Sim::enable_tracing`]).
+    pub fn causal_spans(&self) -> &[CausalSpan] {
+        self.tracer.spans()
+    }
+
+    /// Consensus instances opened (via `span_open`) but not yet closed —
+    /// leaked instances show up here at end of run.
+    pub fn open_instance_count(&self) -> usize {
+        self.open_instances.len()
+    }
+
     /// Caps the number of events one `run_*` call may process.
     pub fn set_max_events(&mut self, cap: u64) {
         self.max_events = cap;
@@ -227,21 +251,45 @@ impl<N: Node> Sim<N> {
     /// Injects a message "from the outside" (e.g. an external client not
     /// modelled as a node) to be delivered at `at`.
     pub fn inject(&mut self, from: NodeId, to: NodeId, msg: N::Msg, at: Time) {
-        self.queue.push(at, to, EventKind::Deliver { from, msg });
+        self.queue.push(
+            at,
+            to,
+            EventKind::Deliver { from, msg, sent: at, tc: None },
+        );
+    }
+
+    /// Like [`Sim::inject`], but the delivered message carries the given
+    /// causal context — the bridge by which an external harness (the store's
+    /// router) threads its trace into a shard's consensus group.
+    pub fn inject_traced(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: N::Msg,
+        at: Time,
+        tc: Option<TraceCtx>,
+    ) {
+        self.queue.push(at, to, EventKind::Deliver { from, msg, sent: at, tc });
     }
 
     fn ensure_started(&mut self) {
         for i in 0..self.slots.len() {
             if !self.slots[i].started {
                 self.slots[i].started = true;
-                self.invoke(i, |node, ctx| node.on_start(ctx));
+                self.invoke(i, None, |node, ctx| node.on_start(ctx));
             }
         }
     }
 
     /// Runs a node callback with a freshly built context and applies the
-    /// resulting effects.
-    fn invoke(&mut self, idx: usize, f: impl FnOnce(&mut N, &mut Context<N::Msg>)) {
+    /// resulting effects. `cur` is the causal context the callback executes
+    /// under (the envelope context of the message being handled).
+    fn invoke(
+        &mut self,
+        idx: usize,
+        cur: Option<TraceCtx>,
+        f: impl FnOnce(&mut N, &mut Context<N::Msg>),
+    ) {
         let mut effects = std::mem::take(&mut self.scratch);
         effects.clear();
         let n_nodes = self.slots.len();
@@ -254,6 +302,8 @@ impl<N: Node> Sim<N> {
                 rng: &mut slot.rng,
                 effects: &mut effects,
                 next_timer: &mut self.next_timer,
+                tracer: &mut self.tracer,
+                cur,
             };
             f(&mut slot.node, &mut ctx);
         }
@@ -261,7 +311,7 @@ impl<N: Node> Sim<N> {
         let epoch = self.slots[idx].epoch;
         for effect in effects.drain(..) {
             match effect {
-                Effect::Send { to, msg } => self.route(from, to, msg),
+                Effect::Send { to, msg, tc } => self.route(from, to, msg, tc),
                 Effect::SetTimer { id, delay, kind } => {
                     self.queue
                         .push(self.now + delay, from, EventKind::TimerFire { id, kind, epoch });
@@ -280,11 +330,13 @@ impl<N: Node> Sim<N> {
     }
 
     /// Applies filter, loss, partition, and delay to one message.
-    fn route(&mut self, from: NodeId, to: NodeId, msg: N::Msg) {
-        // Local hop: bypasses the network and all accounting.
+    fn route(&mut self, from: NodeId, to: NodeId, msg: N::Msg, tc: Option<TraceCtx>) {
+        // Local hop: bypasses the network and all accounting; the causal
+        // context passes straight through.
         if from == to {
+            let at = self.now + 1;
             self.queue
-                .push(self.now + 1, to, EventKind::Deliver { from, msg });
+                .push(at, to, EventKind::Deliver { from, msg, sent: at, tc });
             return;
         }
 
@@ -295,8 +347,7 @@ impl<N: Node> Sim<N> {
             Some(filter) => match filter.outgoing(from, to, &msg, &mut self.net_rng) {
                 FilterAction::Deliver => msg,
                 FilterAction::Drop => {
-                    self.metrics.dropped += 1;
-                    self.metrics.dropped_filter += 1;
+                    self.metrics.record_drop(DropCause::Filter);
                     self.push_trace(TraceEvent::Drop, from, to, msg.kind());
                     return;
                 }
@@ -318,8 +369,7 @@ impl<N: Node> Sim<N> {
             let gf = groups.get(from.index()).copied().unwrap_or(usize::MAX);
             let gt = groups.get(to.index()).copied().unwrap_or(usize::MAX);
             if gf != gt {
-                self.metrics.dropped += 1;
-                self.metrics.dropped_partition += 1;
+                self.metrics.record_drop(DropCause::Partition);
                 self.push_trace(TraceEvent::Drop, from, to, msg.kind());
                 return;
             }
@@ -329,8 +379,7 @@ impl<N: Node> Sim<N> {
         if self.config.drop_prob > 0.0 {
             use rand::Rng;
             if self.net_rng.gen::<f64>() < self.config.drop_prob {
-                self.metrics.dropped += 1;
-                self.metrics.dropped_loss += 1;
+                self.metrics.record_drop(DropCause::Loss);
                 self.push_trace(TraceEvent::Drop, from, to, msg.kind());
                 return;
             }
@@ -360,6 +409,48 @@ impl<N: Node> Sim<N> {
             None => self.now.0,
         };
 
+        // Causal spans for the message's journey: NIC occupancy on the
+        // sender, then network flight classified by the message kind's
+        // consensus phase. The delivered envelope's context points at the
+        // flight span, so the receiving handler's own sends chain under it.
+        // Messages without an envelope context still record (orphan) spans
+        // under trace 0 — the attribution sweep uses them to classify wait
+        // time that no traced span covers (leader elections, batch-mates).
+        let tc_out = if self.tracer.is_enabled() {
+            let (trace_id, mut parent) = match tc {
+                Some(t) => (t.trace_id, t.span_id),
+                None => (0, 0),
+            };
+            let kind = msg.kind();
+            if sent_at > self.now.0 {
+                parent = self.tracer.record(
+                    trace_id,
+                    parent,
+                    from.0,
+                    format!("nic:{kind}"),
+                    cat::NIC,
+                    self.now.0,
+                    sent_at,
+                );
+            }
+            let flight = self.tracer.record(
+                trace_id,
+                parent,
+                to.0,
+                format!("net:{kind}"),
+                bucket_for_kind(kind),
+                sent_at,
+                sent_at + delay,
+            );
+            Some(TraceCtx {
+                trace_id,
+                parent_span: parent,
+                span_id: flight,
+            })
+        } else {
+            tc
+        };
+
         // Possible duplication (shares the transmit slot, own propagation).
         if self.config.duplicate_prob > 0.0 {
             use rand::Rng;
@@ -372,13 +463,18 @@ impl<N: Node> Sim<N> {
                     EventKind::Deliver {
                         from,
                         msg: msg.clone(),
+                        sent: self.now,
+                        tc: tc_out,
                     },
                 );
             }
         }
 
-        self.queue
-            .push(Time(sent_at + delay), to, EventKind::Deliver { from, msg });
+        self.queue.push(
+            Time(sent_at + delay),
+            to,
+            EventKind::Deliver { from, msg, sent: self.now, tc: tc_out },
+        );
     }
 
     /// Appends a span event and folds it into the metrics: phase entries
@@ -433,20 +529,22 @@ impl<N: Node> Sim<N> {
         let idx = ev.node.index();
         self.now = ev.time;
         match ev.kind {
-            EventKind::Deliver { from, msg } => {
+            EventKind::Deliver { from, msg, sent, tc } => {
                 if !self.slots[idx].alive {
                     if from != ev.node {
-                        self.metrics.dropped += 1;
-                        self.metrics.dropped_dead += 1;
+                        self.metrics.record_drop(DropCause::Dead);
                         self.push_trace(TraceEvent::Drop, from, ev.node, msg.kind());
                     }
                     return;
                 }
                 if from != ev.node {
                     self.metrics.delivered += 1;
+                    self.metrics
+                        .delivered_latency
+                        .record(self.now.0.saturating_sub(sent.0));
                     self.push_trace(TraceEvent::Deliver, from, ev.node, msg.kind());
                 }
-                self.invoke(idx, |node, ctx| node.on_message(ctx, from, msg));
+                self.invoke(idx, tc, |node, ctx| node.on_message(ctx, from, msg));
             }
             EventKind::TimerFire { id, kind, epoch } => {
                 if self.cancelled.remove(&id) {
@@ -457,7 +555,7 @@ impl<N: Node> Sim<N> {
                     return;
                 }
                 self.metrics.timer_fires += 1;
-                self.invoke(idx, |node, ctx| node.on_timer(ctx, Timer { id, kind }));
+                self.invoke(idx, None, |node, ctx| node.on_timer(ctx, Timer { id, kind }));
             }
             EventKind::Crash => {
                 let slot = &mut self.slots[idx];
@@ -476,7 +574,7 @@ impl<N: Node> Sim<N> {
                     slot.epoch += 1;
                     self.metrics.restarts += 1;
                     self.push_trace(TraceEvent::Restart, ev.node, ev.node, "");
-                    self.invoke(idx, |node, ctx| node.on_restart(ctx));
+                    self.invoke(idx, None, |node, ctx| node.on_restart(ctx));
                 }
             }
             EventKind::Partition { plan } => {
@@ -1170,6 +1268,77 @@ mod tests {
                 (5_000, "pong"),
             ]
         );
+    }
+
+    #[test]
+    fn causal_context_chains_across_message_hops() {
+        // Node 0 roots a trace and pings node 1; node 1's pong is sent from
+        // inside the ping's delivery callback and must inherit its context,
+        // so the pong flight span chains under the ping flight span.
+        struct Tracey;
+        impl Node for Tracey {
+            type Msg = Msg;
+            fn on_start(&mut self, ctx: &mut Context<Msg>) {
+                if ctx.id() == NodeId(0) {
+                    ctx.trace_begin("op");
+                    ctx.send(NodeId(1), Msg::Ping(1));
+                }
+            }
+            fn on_message(&mut self, ctx: &mut Context<Msg>, from: NodeId, msg: Msg) {
+                if let Msg::Ping(v) = msg {
+                    ctx.send(from, Msg::Pong(v));
+                } else if let Some(tc) = ctx.trace_ctx() {
+                    ctx.trace_close(TraceCtx {
+                        trace_id: tc.trace_id,
+                        parent_span: 0,
+                        span_id: tc.trace_id,
+                    });
+                }
+            }
+        }
+        let mut sim: Sim<Tracey> = Sim::new(NetConfig::synchronous(), 30);
+        sim.enable_tracing(5);
+        sim.add_node(Tracey);
+        sim.add_node(Tracey);
+        sim.run_to_quiescence();
+        let spans = sim.causal_spans();
+        let root = spans.iter().find(|s| s.name == "op").expect("root span");
+        assert_eq!(root.trace_id, root.id);
+        assert!(root.end > root.start, "root closed when the pong arrived");
+        let ping = spans.iter().find(|s| s.name == "net:ping").expect("ping flight");
+        let pong = spans.iter().find(|s| s.name == "net:pong").expect("pong flight");
+        assert_eq!(ping.trace_id, root.id);
+        assert_eq!(ping.parent, root.id);
+        assert_eq!(pong.trace_id, root.id);
+        assert_eq!(pong.parent, ping.id, "hop 2 chains under hop 1");
+        assert_eq!(pong.site, 5);
+        // The flight spans tile the wire time exactly.
+        assert_eq!(ping.end - ping.start, 500);
+        assert_eq!(pong.start, ping.end);
+    }
+
+    #[test]
+    fn tracing_enabled_leaves_timing_and_metrics_unchanged() {
+        let run = |traced: bool| {
+            let mut sim = pingpong_sim(5, NetConfig::lan().with_nic(40, 100), 31);
+            if traced {
+                sim.enable_tracing(0);
+            }
+            sim.run_to_quiescence();
+            (sim.now(), sim.metrics().sent, sim.metrics().delivered)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn delivered_latency_histogram_sees_every_delivery() {
+        let mut sim = pingpong_sim(3, NetConfig::synchronous(), 32);
+        sim.run_to_quiescence();
+        let m = sim.metrics();
+        assert_eq!(m.delivered_latency.count(), m.delivered);
+        // Synchronous profile: every hop is the fixed 500 µs.
+        assert_eq!(m.delivered_latency.min(), Some(500));
+        assert_eq!(m.delivered_latency.max(), Some(500));
     }
 
     #[test]

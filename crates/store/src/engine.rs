@@ -22,7 +22,7 @@ use consensus_core::QuorumSpec;
 use paxos::multi::{MpMsg, MultiPaxosCluster};
 use raft::msg::RaftMsg;
 use raft::RaftCluster;
-use simnet::{DiskModel, NetConfig, NodeId};
+use simnet::{DiskModel, NetConfig, NodeId, TraceCtx};
 
 /// A consensus group that the store can use as a replicated shard log.
 pub trait ShardEngine: ClusterDriver {
@@ -56,6 +56,15 @@ pub trait ShardEngine: ClusterDriver {
     /// Broadcasts `cmd` to every replica, sent from the stub client node.
     /// Safe to call repeatedly with the same command (dedup applies once).
     fn submit(&mut self, cmd: Command<KvCommand>);
+
+    /// [`ShardEngine::submit`] carrying a causal trace context: the injected
+    /// messages (and everything the shard does on their behalf) chain under
+    /// the harness-minted root span. The default drops the context, so
+    /// engines without tracing support still compose.
+    fn submit_traced(&mut self, cmd: Command<KvCommand>, tc: Option<TraceCtx>) {
+        let _ = tc;
+        self.submit(cmd);
+    }
 
     /// The reply for `(client, seq)` if some replica already applied it.
     /// Valid only while `(client, seq)` is the client's newest command on
@@ -93,11 +102,15 @@ impl ShardEngine for MultiPaxosCluster {
     }
 
     fn submit(&mut self, cmd: Command<KvCommand>) {
+        self.submit_traced(cmd, None);
+    }
+
+    fn submit_traced(&mut self, cmd: Command<KvCommand>, tc: Option<TraceCtx>) {
         let stub = NodeId::from(self.n_replicas);
         let at = self.sim.now();
         for r in 0..self.n_replicas {
             let msg = MpMsg::Request { cmd: cmd.clone() };
-            self.sim.inject(stub, NodeId::from(r), msg, at);
+            self.sim.inject_traced(stub, NodeId::from(r), msg, at, tc);
         }
     }
 
@@ -127,11 +140,15 @@ impl ShardEngine for RaftCluster {
     }
 
     fn submit(&mut self, cmd: Command<KvCommand>) {
+        self.submit_traced(cmd, None);
+    }
+
+    fn submit_traced(&mut self, cmd: Command<KvCommand>, tc: Option<TraceCtx>) {
         let stub = NodeId::from(self.n_replicas);
         let at = self.sim.now();
         for r in 0..self.n_replicas {
             let msg = RaftMsg::Request { cmd: cmd.clone() };
-            self.sim.inject(stub, NodeId::from(r), msg, at);
+            self.sim.inject_traced(stub, NodeId::from(r), msg, at, tc);
         }
     }
 

@@ -30,6 +30,6 @@ pub mod store;
 pub use engine::ShardEngine;
 pub use shard_map::{key_hash, ShardMap};
 pub use store::{
-    intent_key, RouterCrashPoint, Store, StoreConfig, TxnOutcome, AUDIT_CLIENT,
+    intent_key, OpRecord, RouterCrashPoint, Store, StoreConfig, TxnOutcome, AUDIT_CLIENT,
     QUANTUM_US, RECOVERY_CLIENT, RECOVERY_DELAY_US, ROUTER_BASE,
 };

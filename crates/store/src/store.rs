@@ -39,7 +39,8 @@ use consensus_core::txn::{self, TxnDecision, TxnId, TxnPhase};
 use consensus_core::workload::LatencyRecorder;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha20Rng;
-use simnet::{DiskModel, NetConfig, Time};
+use simnet::causal::cat;
+use simnet::{CausalSpan, DiskModel, NetConfig, Time, TraceCtx, Tracer};
 
 use crate::engine::ShardEngine;
 use crate::shard_map::ShardMap;
@@ -184,7 +185,103 @@ struct Pending {
     shard: usize,
     seq: u64,
     op: KvCommand,
+    /// Last (re)transmission time — drives the retry clock.
     sent: u64,
+    /// First submission time — the op's root-span start.
+    issued: u64,
+    /// Root trace context, when tracing is on.
+    tc: Option<TraceCtx>,
+}
+
+/// One completed harness-level operation: which trace to attribute, over
+/// what window, routed where. The raw material of the critical-path
+/// analyzer.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// Issuing harness client id (router / recovery / audit).
+    pub client: u32,
+    /// Client sequence number.
+    pub seq: u64,
+    /// Shard the op was routed to.
+    pub shard: usize,
+    /// Trace id of the op's root span.
+    pub trace_id: u64,
+    /// First-submission time (µs).
+    pub started: u64,
+    /// Reply-observed time (µs).
+    pub finished: u64,
+    /// Short label, e.g. `cas:decision`.
+    pub label: String,
+}
+
+/// Classifies an op for span/record labels: verb plus the 2PC key class it
+/// touches (`intent`/`decision`/`prepare`), if any.
+fn op_label(op: &KvCommand) -> String {
+    let (verb, key) = match op {
+        KvCommand::Put { key, .. } => ("put", key),
+        KvCommand::Get { key } => ("get", key),
+        KvCommand::Delete { key } => ("del", key),
+        KvCommand::Cas { key, .. } => ("cas", key),
+    };
+    let class = if key.starts_with("~txn.") {
+        ":intent"
+    } else if key.starts_with("~dec.") {
+        ":decision"
+    } else if key.starts_with("~prep.") {
+        ":prepare"
+    } else {
+        ""
+    };
+    format!("{verb}{class}")
+}
+
+/// Harness-side causal tracing: the site-0 tracer that mints per-operation
+/// root spans, plus the completed-op records. Disabled — and free — unless
+/// [`Store::enable_tracing`] ran.
+struct StoreTrace {
+    tracer: Tracer,
+    records: Vec<OpRecord>,
+}
+
+impl StoreTrace {
+    fn new() -> Self {
+        StoreTrace {
+            tracer: Tracer::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Opens a root span for a submitted op and returns the context the
+    /// shard-level spans will chain under.
+    fn begin_op(&mut self, client: u32, seq: u64, op: &KvCommand, now: u64) -> Option<TraceCtx> {
+        if !self.tracer.is_enabled() {
+            return None;
+        }
+        let name = format!("{} c{client}.{seq}", op_label(op));
+        let id = self.tracer.record(0, 0, client, name, cat::OP, now, now);
+        self.tracer.retag_root(id);
+        Some(TraceCtx {
+            trace_id: id,
+            parent_span: 0,
+            span_id: id,
+        })
+    }
+
+    /// Closes the op's root span at reply time and records the op window.
+    fn finish_op(&mut self, p: &Pending, client: u32, now: u64) {
+        if let Some(tc) = p.tc {
+            self.tracer.close(tc.span_id, now);
+            self.records.push(OpRecord {
+                client,
+                seq: p.seq,
+                shard: p.shard,
+                trace_id: tc.trace_id,
+                started: p.issued,
+                finished: now,
+                label: op_label(&p.op),
+            });
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -311,10 +408,13 @@ pub struct Store<E: ShardEngine> {
     audit: Audit,
     now: u64,
     trace: Vec<String>,
+    causal: StoreTrace,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn submit<E: ShardEngine>(
     shards: &mut [E],
+    tr: &mut StoreTrace,
     history: &mut HistorySink,
     client: u32,
     seq: u64,
@@ -323,16 +423,22 @@ fn submit<E: ShardEngine>(
     now: u64,
 ) -> Pending {
     history.invoke(client, seq, op.clone(), now);
-    shards[shard].submit(Command {
-        client,
-        seq,
-        op: op.clone(),
-    });
+    let tc = tr.begin_op(client, seq, &op, now);
+    shards[shard].submit_traced(
+        Command {
+            client,
+            seq,
+            op: op.clone(),
+        },
+        tc,
+    );
     Pending {
         shard,
         seq,
         op,
         sent: now,
+        issued: now,
+        tc,
     }
 }
 
@@ -340,6 +446,7 @@ fn submit<E: ShardEngine>(
 /// ones. Returns the completed `(op, response)` pairs.
 fn poll<E: ShardEngine>(
     shards: &mut [E],
+    tr: &mut StoreTrace,
     history: &mut HistorySink,
     client: u32,
     pending: &mut Vec<Pending>,
@@ -350,15 +457,21 @@ fn poll<E: ShardEngine>(
     while i < pending.len() {
         if let Some(resp) = shards[pending[i].shard].reply_for(client, pending[i].seq) {
             history.complete(client, pending[i].seq, now, resp.clone());
-            done.push((pending.remove(i), resp));
+            let p = pending.remove(i);
+            tr.finish_op(&p, client, now);
+            done.push((p, resp));
         } else {
             let p = &mut pending[i];
             if now.saturating_sub(p.sent) >= RETRY_US {
-                shards[p.shard].submit(Command {
-                    client,
-                    seq: p.seq,
-                    op: p.op.clone(),
-                });
+                // Retransmissions continue the op's original trace.
+                shards[p.shard].submit_traced(
+                    Command {
+                        client,
+                        seq: p.seq,
+                        op: p.op.clone(),
+                    },
+                    p.tc,
+                );
                 p.sent = now;
             }
             i += 1;
@@ -406,7 +519,7 @@ fn tagged_queues(
         .collect()
 }
 
-fn start_writes<E: ShardEngine>(r: &mut Router, shards: &mut [E], now: u64) {
+fn start_writes<E: ShardEngine>(r: &mut Router, shards: &mut [E], tr: &mut StoreTrace, now: u64) {
     let t = r.txn.as_mut().expect("writes need an active txn");
     if t.queues.iter().all(|q| q.is_empty()) {
         return;
@@ -422,7 +535,7 @@ fn start_writes<E: ShardEngine>(r: &mut Router, shards: &mut [E], now: u64) {
         let seq = r.bump();
         let op = KvCommand::Put { key, value };
         r.pending
-            .push(submit(shards, &mut r.history, r.client, seq, s, op, now));
+            .push(submit(shards, tr, &mut r.history, r.client, seq, s, op, now));
     }
 }
 
@@ -448,7 +561,13 @@ fn finish_txn(r: &mut Router, decision: TxnDecision, now: u64, trace: &mut Vec<S
     r.phase = Phase::Idle;
 }
 
-fn start_next<E: ShardEngine>(r: &mut Router, shards: &mut [E], now: u64, trace: &mut Vec<String>) {
+fn start_next<E: ShardEngine>(
+    r: &mut Router,
+    shards: &mut [E],
+    tr: &mut StoreTrace,
+    now: u64,
+    trace: &mut Vec<String>,
+) {
     if r.next_item >= r.items.len() {
         return;
     }
@@ -465,7 +584,7 @@ fn start_next<E: ShardEngine>(r: &mut Router, shards: &mut [E], now: u64, trace:
             let shard = r.map.group_of(&key);
             let seq = r.bump();
             r.pending
-                .push(submit(shards, &mut r.history, r.client, seq, shard, op, now));
+                .push(submit(shards, tr, &mut r.history, r.client, seq, shard, op, now));
             r.phase = Phase::Single;
         }
         WorkItem::Txn { writes, abort } => {
@@ -497,7 +616,7 @@ fn start_next<E: ShardEngine>(r: &mut Router, shards: &mut [E], now: u64, trace:
                 value: encode_participants(&participants),
             };
             r.pending
-                .push(submit(shards, &mut r.history, r.client, seq, coord, op, now));
+                .push(submit(shards, tr, &mut r.history, r.client, seq, coord, op, now));
             r.phase = Phase::Intent;
         }
     }
@@ -507,6 +626,7 @@ fn start_next<E: ShardEngine>(r: &mut Router, shards: &mut [E], now: u64, trace:
 fn step_router<E: ShardEngine>(
     r: &mut Router,
     shards: &mut [E],
+    tr: &mut StoreTrace,
     now: u64,
     buggy: bool,
     trace: &mut Vec<String>,
@@ -537,10 +657,10 @@ fn step_router<E: ShardEngine>(
         return;
     }
 
-    let done = poll(shards, &mut r.history, r.client, &mut r.pending, now);
+    let done = poll(shards, tr, &mut r.history, r.client, &mut r.pending, now);
 
     match r.phase {
-        Phase::Idle => start_next(r, shards, now, trace),
+        Phase::Idle => start_next(r, shards, tr, now, trace),
         Phase::Single => {
             if !done.is_empty() {
                 r.phase = Phase::Idle;
@@ -556,7 +676,7 @@ fn step_router<E: ShardEngine>(
                     value: txn::DECISION_PENDING.to_string(),
                 };
                 r.pending
-                    .push(submit(shards, &mut r.history, r.client, seq, coord, op, now));
+                    .push(submit(shards, tr, &mut r.history, r.client, seq, coord, op, now));
                 r.phase = Phase::Init;
             }
         }
@@ -594,7 +714,7 @@ fn step_router<E: ShardEngine>(
                         value,
                     };
                     r.pending
-                        .push(submit(shards, &mut r.history, r.client, seq, s, op, now));
+                        .push(submit(shards, tr, &mut r.history, r.client, seq, s, op, now));
                 }
                 r.phase = Phase::Prepare;
             }
@@ -620,7 +740,7 @@ fn step_router<E: ShardEngine>(
                     // this window lets recovery's abort-CAS win while the
                     // "committed" writes are already visible.
                     t.queues = tagged_queues(&r.map, &t.writes, &t.participants, tid);
-                    start_writes(r, shards, now);
+                    start_writes(r, shards, tr, now);
                     r.phase = Phase::EarlyWrite;
                     return;
                 }
@@ -631,7 +751,7 @@ fn step_router<E: ShardEngine>(
                     new: decision.as_str().to_string(),
                 };
                 r.pending
-                    .push(submit(shards, &mut r.history, r.client, seq, coord, op, now));
+                    .push(submit(shards, tr, &mut r.history, r.client, seq, coord, op, now));
                 r.phase = Phase::Decide;
             }
         }
@@ -645,7 +765,7 @@ fn step_router<E: ShardEngine>(
                         let seq = r.bump();
                         let op = KvCommand::Put { key, value };
                         r.pending
-                            .push(submit(shards, &mut r.history, r.client, seq, p.shard, op, now));
+                            .push(submit(shards, tr, &mut r.history, r.client, seq, p.shard, op, now));
                     }
                 }
             }
@@ -664,7 +784,7 @@ fn step_router<E: ShardEngine>(
                     new: TxnDecision::Commit.as_str().to_string(),
                 };
                 r.pending
-                    .push(submit(shards, &mut r.history, r.client, seq, coord, op, now));
+                    .push(submit(shards, tr, &mut r.history, r.client, seq, coord, op, now));
                 r.phase = Phase::Decide;
             }
         }
@@ -699,7 +819,7 @@ fn step_router<E: ShardEngine>(
                     key: txn::decision_key(tid),
                 };
                 r.pending
-                    .push(submit(shards, &mut r.history, r.client, seq, coord, op, now));
+                    .push(submit(shards, tr, &mut r.history, r.client, seq, coord, op, now));
                 r.phase = Phase::ReadDecision;
                 return;
             }
@@ -716,7 +836,7 @@ fn step_router<E: ShardEngine>(
                     let t = r.txn.as_mut().expect("decide phase has a txn");
                     if !t.wrote_early {
                         t.queues = tagged_queues(&r.map, &t.writes, &t.participants, t.tid);
-                        start_writes(r, shards, now);
+                        start_writes(r, shards, tr, now);
                     }
                     r.phase = Phase::Write;
                 }
@@ -735,7 +855,7 @@ fn step_router<E: ShardEngine>(
                                 t.queues =
                                     tagged_queues(&r.map, &t.writes, &t.participants, t.tid);
                             }
-                            start_writes(r, shards, now);
+                            start_writes(r, shards, tr, now);
                             r.phase = Phase::Write;
                         }
                         Some(TxnDecision::Abort) => {
@@ -746,9 +866,7 @@ fn step_router<E: ShardEngine>(
                             // Still pending (only possible transiently);
                             // re-read.
                             let seq = r.bump();
-                            r.pending.push(submit(
-                                shards,
-                                &mut r.history,
+                            r.pending.push(submit(shards, tr, &mut r.history,
                                 r.client,
                                 seq,
                                 p.shard,
@@ -759,9 +877,7 @@ fn step_router<E: ShardEngine>(
                     },
                     _ => {
                         let seq = r.bump();
-                        r.pending.push(submit(
-                            shards,
-                            &mut r.history,
+                        r.pending.push(submit(shards, tr, &mut r.history,
                             r.client,
                             seq,
                             p.shard,
@@ -782,7 +898,7 @@ fn step_router<E: ShardEngine>(
                         let seq = r.bump();
                         let op = KvCommand::Put { key, value };
                         r.pending
-                            .push(submit(shards, &mut r.history, r.client, seq, p.shard, op, now));
+                            .push(submit(shards, tr, &mut r.history, r.client, seq, p.shard, op, now));
                     }
                 }
             }
@@ -814,11 +930,12 @@ fn finish_recovery(
 fn step_recovery<E: ShardEngine>(
     rec: &mut Recovery,
     shards: &mut [E],
+    tr: &mut StoreTrace,
     map: &ShardMap,
     now: u64,
     trace: &mut Vec<String>,
 ) {
-    let done = poll(shards, &mut rec.history, RECOVERY_CLIENT, &mut rec.pending, now);
+    let done = poll(shards, tr, &mut rec.history, RECOVERY_CLIENT, &mut rec.pending, now);
     let mut resubmit: Option<(usize, KvCommand)> = None;
 
     match rec.phase {
@@ -842,9 +959,7 @@ fn step_recovery<E: ShardEngine>(
                 let op = KvCommand::Get {
                     key: intent_key(a.tid),
                 };
-                rec.pending.push(submit(
-                    shards,
-                    &mut rec.history,
+                rec.pending.push(submit(shards, tr, &mut rec.history,
                     RECOVERY_CLIENT,
                     rec.seq,
                     a.coord,
@@ -867,9 +982,7 @@ fn step_recovery<E: ShardEngine>(
                             expect: txn::DECISION_PENDING.to_string(),
                             new: TxnDecision::Abort.as_str().to_string(),
                         };
-                        rec.pending.push(submit(
-                            shards,
-                            &mut rec.history,
+                        rec.pending.push(submit(shards, tr, &mut rec.history,
                             RECOVERY_CLIENT,
                             rec.seq,
                             coord,
@@ -900,9 +1013,7 @@ fn step_recovery<E: ShardEngine>(
                     let op = KvCommand::Get {
                         key: txn::decision_key(tid),
                     };
-                    rec.pending.push(submit(
-                        shards,
-                        &mut rec.history,
+                    rec.pending.push(submit(shards, tr, &mut rec.history,
                         RECOVERY_CLIENT,
                         rec.seq,
                         coord,
@@ -925,9 +1036,7 @@ fn step_recovery<E: ShardEngine>(
                             let op = KvCommand::Get {
                                 key: txn::prepare_key(tid, shard),
                             };
-                            rec.pending.push(submit(
-                                shards,
-                                &mut rec.history,
+                            rec.pending.push(submit(shards, tr, &mut rec.history,
                                 RECOVERY_CLIENT,
                                 rec.seq,
                                 shard,
@@ -949,9 +1058,7 @@ fn step_recovery<E: ShardEngine>(
                                 expect: txn::DECISION_PENDING.to_string(),
                                 new: TxnDecision::Abort.as_str().to_string(),
                             };
-                            rec.pending.push(submit(
-                                shards,
-                                &mut rec.history,
+                            rec.pending.push(submit(shards, tr, &mut rec.history,
                                 RECOVERY_CLIENT,
                                 rec.seq,
                                 coord,
@@ -985,9 +1092,7 @@ fn step_recovery<E: ShardEngine>(
                             let op = KvCommand::Get {
                                 key: txn::prepare_key(tid, shard),
                             };
-                            rec.pending.push(submit(
-                                shards,
-                                &mut rec.history,
+                            rec.pending.push(submit(shards, tr, &mut rec.history,
                                 RECOVERY_CLIENT,
                                 rec.seq,
                                 shard,
@@ -1022,9 +1127,7 @@ fn step_recovery<E: ShardEngine>(
 
     if let Some((shard, op)) = resubmit {
         rec.seq += 1;
-        rec.pending.push(submit(
-            shards,
-            &mut rec.history,
+        rec.pending.push(submit(shards, tr, &mut rec.history,
             RECOVERY_CLIENT,
             rec.seq,
             shard,
@@ -1042,9 +1145,7 @@ fn step_recovery<E: ShardEngine>(
                 let shard = map.group_of(&key);
                 let op = KvCommand::Put { key, value };
                 rec.seq += 1;
-                rec.pending.push(submit(
-                    shards,
-                    &mut rec.history,
+                rec.pending.push(submit(shards, tr, &mut rec.history,
                     RECOVERY_CLIENT,
                     rec.seq,
                     shard,
@@ -1141,12 +1242,52 @@ impl<E: ShardEngine> Store<E> {
             },
             now: 0,
             trace: Vec::new(),
+            causal: StoreTrace::new(),
         }
     }
 
     /// Current simulated time (µs).
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Turns on end-to-end causal tracing: the harness becomes tracer site
+    /// 0 (minting one root span per submitted op) and shard `s` becomes
+    /// site `s + 1`, so span ids never collide when the traces merge.
+    /// Recording is pure accounting — message timing is unchanged.
+    pub fn enable_tracing(&mut self) {
+        self.causal.tracer.enable(0);
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.enable_tracing(s as u32 + 1);
+        }
+    }
+
+    /// Advances every shard to (at least) `micros` *without* stepping
+    /// routers, so shard-local startup (leader elections, initial no-ops)
+    /// happens before the workload's first op — and therefore outside every
+    /// op's latency window.
+    pub fn warm_up(&mut self, micros: u64) {
+        while self.now < micros {
+            self.now += QUANTUM_US;
+            for s in &mut self.shards {
+                s.run_until(Time(self.now));
+            }
+        }
+    }
+
+    /// Every causal span across the harness and all shard sims (empty
+    /// unless [`Store::enable_tracing`] ran).
+    pub fn causal_spans(&self) -> Vec<CausalSpan> {
+        let mut all: Vec<CausalSpan> = self.causal.tracer.spans().to_vec();
+        for s in &self.shards {
+            all.extend(s.causal_spans());
+        }
+        all
+    }
+
+    /// Completed harness ops with their trace ids and latency windows.
+    pub fn op_records(&self) -> &[OpRecord] {
+        &self.causal.records
     }
 
     /// The canonical routing map.
@@ -1172,6 +1313,7 @@ impl<E: ShardEngine> Store<E> {
             step_router(
                 r,
                 &mut self.shards,
+                &mut self.causal,
                 now,
                 buggy,
                 &mut self.trace,
@@ -1181,12 +1323,13 @@ impl<E: ShardEngine> Store<E> {
         step_recovery(
             &mut self.recovery,
             &mut self.shards,
+            &mut self.causal,
             &self.map,
             now,
             &mut self.trace,
         );
         if self.audit.started {
-            step_audit(&mut self.audit, &mut self.shards, now);
+            step_audit(&mut self.audit, &mut self.shards, &mut self.causal, now);
         }
     }
 
@@ -1438,17 +1581,15 @@ impl<E: ShardEngine> Store<E> {
     }
 }
 
-fn step_audit<E: ShardEngine>(audit: &mut Audit, shards: &mut [E], now: u64) {
-    let done = poll(shards, &mut audit.history, AUDIT_CLIENT, &mut audit.pending, now);
+fn step_audit<E: ShardEngine>(audit: &mut Audit, shards: &mut [E], tr: &mut StoreTrace, now: u64) {
+    let done = poll(shards, tr, &mut audit.history, AUDIT_CLIENT, &mut audit.pending, now);
     let _ = done;
     if audit.pending.is_empty() && audit.idx < audit.keys.len() {
         let (shard, key) = audit.keys[audit.idx].clone();
         audit.idx += 1;
         audit.seq += 1;
         let op = KvCommand::Get { key };
-        audit.pending.push(submit(
-            shards,
-            &mut audit.history,
+        audit.pending.push(submit(shards, tr, &mut audit.history,
             AUDIT_CLIENT,
             audit.seq,
             shard,
