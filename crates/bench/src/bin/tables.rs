@@ -4,16 +4,26 @@
 //! cargo run --release -p bench --bin tables             # everything
 //! cargo run --release -p bench --bin tables -- --exp f11
 //! cargo run --release -p bench --bin tables -- --json out.json
+//! cargo run --release -p bench --bin tables -- --exp f28 --check
 //! ```
+//!
+//! `--check` compares each experiment's `data` record against the
+//! checked-in `results.json` (wall-clock fields are ignored — every
+//! experiment is a pure function of its seeds). Drift means the
+//! simulation changed and `results.json` must be regenerated in the
+//! same PR via `--json results.json`.
 
 use std::io::Write as _;
 
 use bench::all_experiments;
 
+const RESULTS_PATH: &str = "results.json";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut only: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut check = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -25,6 +35,10 @@ fn main() {
                 json_path = args.get(i + 1).cloned();
                 i += 2;
             }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
             "--list" => {
                 for (id, _) in all_experiments() {
                     println!("{id}");
@@ -33,11 +47,29 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: tables [--exp <id>] [--json <path>] [--list]");
+                eprintln!("usage: tables [--exp <id>] [--json <path>] [--check] [--list]");
                 std::process::exit(2);
             }
         }
     }
+
+    let committed: Option<serde_json::Value> = check.then(|| {
+        let text = std::fs::read_to_string(RESULTS_PATH)
+            .unwrap_or_else(|e| panic!("--check: cannot read {RESULTS_PATH}: {e}"));
+        serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("--check: {RESULTS_PATH} is not valid JSON: {e:?}"))
+    });
+    let committed_data = |id: &str| -> Option<serde_json::Value> {
+        committed
+            .as_ref()?
+            .get("experiments")?
+            .as_array()?
+            .iter()
+            .find(|e| e.get("id").and_then(serde_json::Value::as_str) == Some(id))?
+            .get("data")
+            .cloned()
+    };
+    let mut drifted = Vec::new();
 
     let mut records = Vec::new();
     for (id, run) in all_experiments() {
@@ -55,6 +87,16 @@ fn main() {
         }
         println!("    ({} in {:.2}s)", report.id, elapsed.as_secs_f64());
         println!();
+        if check {
+            match committed_data(report.id) {
+                Some(want) if want == report.data => {
+                    println!("    [check] {} matches {RESULTS_PATH}", report.id);
+                }
+                Some(_) => drifted.push(format!("{}: data drifted", report.id)),
+                None => drifted.push(format!("{}: absent from {RESULTS_PATH}", report.id)),
+            }
+            println!();
+        }
         records.push(serde_json::json!({
             "id": report.id,
             "title": report.title,
@@ -65,6 +107,15 @@ fn main() {
 
     if records.is_empty() {
         eprintln!("no experiment matched; try --list");
+        std::process::exit(1);
+    }
+
+    if !drifted.is_empty() {
+        eprintln!("experiment results drifted from {RESULTS_PATH}:");
+        for d in &drifted {
+            eprintln!("  {d}");
+        }
+        eprintln!("regenerate with: cargo run --release -p bench --bin tables -- --json {RESULTS_PATH}");
         std::process::exit(1);
     }
 

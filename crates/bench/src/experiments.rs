@@ -1095,12 +1095,13 @@ pub fn f27_selfish() -> Report {
 
 // ───────────────────────── The sharded store ─────────────────────────
 
-/// F28 — blocking 2PC vs 2PC over consensus, under a coordinator crash.
+/// F28 — the commit-backend shootout: blocking 2PC vs 2PC over consensus
+/// vs Paxos Commit, under the *identical* coordinator-crash schedule.
 pub fn f28_store() -> Report {
     const STORE_HORIZON: Time = Time(20_000_000);
 
-    // The baseline from F7: an unreplicated coordinator dies inside the
-    // uncertainty window and its participants block forever.
+    // The epigraph from F7: an unreplicated protocol-level coordinator dies
+    // inside the uncertainty window and its participants block forever.
     let mut blocked = two_phase::build_with_crash(
         &[true, true, true],
         two_phase::CrashPoint::AfterVotes,
@@ -1111,92 +1112,143 @@ pub fn f28_store() -> Report {
     let stuck = two_phase::participant_states(&blocked);
     let plain_msgs = blocked.metrics().sent;
 
-    // Probe a fault-free store run (same seed) to learn which of router
-    // 0's transactions spans multiple shards — determinism makes the
-    // probe's workload identical to the measured run's.
-    let mut probe: Store<MultiPaxosCluster> = Store::new(StoreConfig::small(42));
-    assert!(probe.run(STORE_HORIZON), "store probe stalled");
-    let outcomes = probe.outcomes();
-    let target = outcomes
-        .iter()
-        .find(|o| o.tid.client == ROUTER_BASE && o.span > 1)
-        .expect("seed 42 has a multi-shard txn on router 0")
-        .clone();
-    let mean_lat_by_span = |span: usize| {
-        let lats: Vec<u64> = outcomes
-            .iter()
-            .filter(|o| o.span == span)
-            .map(|o| o.latency_us)
-            .collect();
-        if lats.is_empty() {
-            0.0
-        } else {
-            lats.iter().sum::<u64>() as f64 / lats.len() as f64
-        }
-    };
+    // Probe fault-free default-backend runs to find a seed whose router-0
+    // workload contains a *committing* multi-shard transaction — the txn
+    // whose coordinator the shootout will kill. The workload generator is a
+    // pure function of the seed (the backend only changes how the router
+    // drives commitment), so all three legs replay the identical keys,
+    // spans, and abort intentions.
+    let (seed, target) = (42..74)
+        .find_map(|seed| {
+            let mut probe: Store<MultiPaxosCluster> = Store::new(StoreConfig::small(seed));
+            assert!(probe.run(STORE_HORIZON), "store probe stalled");
+            probe
+                .outcomes()
+                .iter()
+                .find(|o| {
+                    o.tid.client == ROUTER_BASE && o.span > 1 && o.decision == TxnDecision::Commit
+                })
+                .map(|o| (seed, o.clone()))
+        })
+        .expect("some seed has a committing multi-shard txn on router 0");
 
-    // Same crash shape as the blocked baseline — the coordinator dies
-    // right after the prepare round — but the decision record lives in a
-    // replicated log, so a recovery actor aborts the orphan and every
-    // other transaction completes.
-    let run_crashed = || {
-        let mut s: Store<MultiPaxosCluster> = Store::new(StoreConfig::small(42));
-        s.crash_router_on_txn(0, target.tid.number, RouterCrashPoint::AfterPrepare);
-        assert!(s.run(STORE_HORIZON), "crashed-coordinator store stalled");
+    // One leg of the shootout: run the store on `backend`, optionally
+    // killing the target transaction's coordinator right after its prepare
+    // (vote) round — 2PC's classic blocking window, one layer up.
+    let leg = |backend: store::CommitBackend, crash: bool| {
+        let cfg = StoreConfig::small(seed).with_backend(backend);
+        let mut s: Store<MultiPaxosCluster> = Store::new(cfg);
+        if crash {
+            s.crash_router_on_txn(0, target.tid.number, RouterCrashPoint::AfterPrepare);
+        }
+        assert!(s.run(STORE_HORIZON), "store leg stalled ({backend:?})");
         s
     };
-    let s = run_crashed();
-    let recovered = s.recovered().to_vec();
-    let survivors = s.outcomes();
-    let committed = survivors
-        .iter()
-        .filter(|o| o.decision == TxnDecision::Commit)
-        .count();
 
-    // Determinism: the identical seed and fault reproduce the run bit for
-    // bit (trace ⊕ outcomes ⊕ replica state digests).
-    let fp = s.fingerprint();
-    let identical = fp == run_crashed().fingerprint();
+    let backends = [
+        ("2pc", store::CommitBackend::TwoPhase),
+        ("2pcoc", store::CommitBackend::TwoPhaseOverConsensus),
+        ("pc", store::CommitBackend::PaxosCommit),
+    ];
 
-    let lines = vec![
+    let mut lines = vec![
         format!("plain 2PC, coordinator crash after votes → {stuck:?}  (blocked forever, {plain_msgs} msgs)"),
         format!(
-            "store (3 shards × 3 Multi-Paxos): router crashes after preparing {} → recovery decides {:?}",
-            target.tid,
-            recovered
-                .iter()
-                .find(|(t, _)| *t == target.tid)
-                .map(|(_, d)| d.as_str())
+            "store (3 shards × 3 Multi-Paxos, seed {seed}): each backend replays the identical \
+             workload; router 0 crashes right after preparing {}",
+            target.tid
         ),
         format!(
-            "no blocking: {} other txns finish ({} committed); replication bill: {} msgs total",
-            survivors.len(),
-            committed,
-            s.messages_sent()
+            "{:>6} {:>10} {:>10} {:>8} {:>10} {:>12} {:>14}",
+            "leg", "completed", "committed", "stalled", "recovered", "crash msgs", "ff commit µs"
         ),
-        format!(
-            "mean latency by span (fault-free; the lone span-1 txn runs first and pays leader election): \
-             span1={:.0}µs span2={:.0}µs span3={:.0}µs",
-            mean_lat_by_span(1),
-            mean_lat_by_span(2),
-            mean_lat_by_span(3)
-        ),
-        format!("same seed re-run: fingerprint {fp:#018x}, bit-identical = {identical}"),
     ];
+    let mut rows = Vec::new();
+    for (tag, backend) in backends {
+        // Fault-free run: the backend's message/latency bill when nothing
+        // goes wrong (the price of non-blocking is paid here).
+        let ff = leg(backend, false);
+        let ff_outcomes = ff.outcomes();
+        let commit_lats: Vec<u64> = ff_outcomes
+            .iter()
+            .filter(|o| o.decision == TxnDecision::Commit)
+            .map(|o| o.latency_us)
+            .collect();
+        let ff_mean_commit = if commit_lats.is_empty() {
+            0.0
+        } else {
+            commit_lats.iter().sum::<u64>() as f64 / commit_lats.len() as f64
+        };
+
+        // Crashed run: identical schedule, divergent availability.
+        let s = leg(backend, true);
+        let outcomes = s.outcomes();
+        let committed = outcomes
+            .iter()
+            .filter(|o| o.decision == TxnDecision::Commit)
+            .count();
+        let recovered = s
+            .recovered()
+            .iter()
+            .find(|(t, _)| *t == target.tid)
+            .map(|(_, d)| d.as_str());
+        let stalled: Vec<String> = s.stalled().iter().map(|t| t.to_string()).collect();
+        let fp = s.fingerprint();
+        let identical = fp == leg(backend, true).fingerprint();
+        assert!(identical, "{tag} leg not deterministic");
+
+        lines.push(format!(
+            "{tag:>6} {:>10} {committed:>10} {:>8} {:>10} {:>12} {ff_mean_commit:>14.0}",
+            outcomes.len(),
+            stalled.len(),
+            recovered.unwrap_or("—"),
+            s.messages_sent(),
+        ));
+        rows.push(json!({
+            "backend": tag,
+            "completed": outcomes.len(),
+            "committed": committed,
+            "stalled": stalled,
+            "recovered_decision": recovered,
+            "crash_messages": s.messages_sent(),
+            "fault_free_messages": ff.messages_sent(),
+            "fault_free_mean_commit_latency_us": ff_mean_commit,
+            "deterministic": identical,
+        }));
+    }
+
+    // The availability punchline, asserted so the artifact cannot silently
+    // regress: raw 2PC leaves the orphan blocked forever, 2PC-over-consensus
+    // recovers it by aborting, Paxos Commit recovers the *commit* from the
+    // replicated votes.
+    let leg_field = |i: usize, f: &str| rows[i].get(f).cloned();
+    assert_eq!(
+        leg_field(0, "stalled").and_then(|v| v.as_array().map(Vec::len)),
+        Some(1)
+    );
+    assert_eq!(
+        leg_field(1, "recovered_decision").as_ref().and_then(Value::as_str),
+        Some("abort")
+    );
+    assert_eq!(
+        leg_field(2, "recovered_decision").as_ref().and_then(Value::as_str),
+        Some("commit")
+    );
+    lines.push(format!(
+        "same crash, three fates for {}: raw 2pc blocks it forever; 2pc-over-consensus \
+         aborts it on recovery; paxos commit completes the commit from the replicated votes",
+        target.tid
+    ));
+
     Report {
         id: "f28",
-        title: "Sharded store: 2PC over consensus unblocks the coordinator crash",
+        title: "Commit shootout: blocking 2PC vs 2PC over consensus vs Paxos Commit",
         data: json!({
             "blocked_states": stuck.iter().map(|s| format!("{s:?}")).collect::<Vec<_>>(),
-            "recovered_decision": recovered
-                .iter()
-                .find(|(t, _)| *t == target.tid)
-                .map(|(_, d)| d.as_str()),
-            "survivor_txns": survivors.len(),
-            "committed": committed,
-            "store_messages": s.messages_sent(),
-            "mean_latency_by_span": vec![mean_lat_by_span(1), mean_lat_by_span(2), mean_lat_by_span(3)],
-            "deterministic": identical,
+            "plain_2pc_messages": plain_msgs,
+            "seed": seed,
+            "target_txn": target.tid.to_string(),
+            "legs": rows,
         }),
         lines,
     }

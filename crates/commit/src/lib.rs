@@ -14,6 +14,11 @@
 //!   agreement phase in the C&C framework), plus the termination protocol:
 //!   on coordinator failure the cohorts elect a successor that completes or
 //!   aborts the transaction — non-blocking under crash faults.
+//! * [`paxos_commit`] — Gray & Lamport's Paxos Commit: one Paxos instance
+//!   per participant's prepared/aborted vote over a shared `2F+1` acceptor
+//!   set, with `F+1` coordinators any of which can drive the decision.
+//!   Non-blocking for `F ≥ 1`, and provably (by test) identical to 2PC's
+//!   message pattern and outcomes at `F = 0`.
 //!
 //! The abstract versions of both protocols also exist as C&C framework
 //! instances in `consensus_core::cnc`; here they are implemented with the
@@ -21,6 +26,7 @@
 //! per-state timeout actions.
 
 pub mod msg;
+pub mod paxos_commit;
 pub mod three_phase;
 pub mod two_phase;
 

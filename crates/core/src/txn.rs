@@ -170,6 +170,45 @@ pub fn parse_prepare_key(key: &str) -> Option<(TxnId, usize)> {
     Some((TxnId::parse(tid)?, shard.parse().ok()?))
 }
 
+/// Value of a Paxos Commit vote register that no one has resolved yet.
+pub const VOTE_PENDING: &str = "pending";
+
+/// The participant-shard key holding `tid`'s Paxos Commit vote register on
+/// `shard`. Each register is one Gray–Lamport "Paxos instance": the shard's
+/// consensus group serializes the `pending → prepared|aborted` CAS, so a
+/// participant's vote and a recovery coordinator's free abort race *in the
+/// log* and exactly one wins.
+pub fn vote_key(tid: TxnId, shard: usize) -> String {
+    format!("~vote.{tid}.s{shard}")
+}
+
+/// Extracts `(tid, shard)` from a vote key.
+pub fn parse_vote_key(key: &str) -> Option<(TxnId, usize)> {
+    let rest = key.strip_prefix("~vote.")?;
+    let (tid, shard) = rest.rsplit_once(".s")?;
+    Some((TxnId::parse(tid)?, shard.parse().ok()?))
+}
+
+/// Encodes a participant's *prepared* vote, carrying the shard-local
+/// write-set so any coordinator can complete the transaction from the
+/// replicated votes alone.
+pub fn vote_prepared(writes: &[(String, String)]) -> String {
+    format!("p:{}", encode_writes(writes))
+}
+
+/// Value of an *aborted* vote register.
+pub const VOTE_ABORTED: &str = "aborted";
+
+/// Parses a resolved vote register: `Some(Some(writes))` for prepared,
+/// `Some(None)` for aborted, `None` for pending/garbage.
+#[allow(clippy::option_option)]
+pub fn parse_vote(value: &str) -> Option<Option<Vec<(String, String)>>> {
+    if value == VOTE_ABORTED {
+        return Some(None);
+    }
+    value.strip_prefix("p:").map(|w| Some(decode_writes(w)))
+}
+
 /// Tags a data value with the transaction that wrote it.
 pub fn tag_value(value: &str, tid: TxnId) -> String {
     format!("{value}@{tid}")
@@ -219,6 +258,18 @@ mod tests {
         assert!(is_control_key(&decision_key(tid)));
         assert!(!is_control_key("k12"));
         assert!(decision_key(tid).as_str() > "zzz", "~ sorts after ASCII letters");
+    }
+
+    #[test]
+    fn vote_registers_round_trip() {
+        let tid = TxnId::new(4, 7);
+        assert_eq!(parse_vote_key(&vote_key(tid, 2)), Some((tid, 2)));
+        assert!(is_control_key(&vote_key(tid, 2)));
+        let writes = vec![("a".to_string(), "1@t4.7".to_string())];
+        assert_eq!(parse_vote(&vote_prepared(&writes)), Some(Some(writes)));
+        assert_eq!(parse_vote(VOTE_ABORTED), Some(None));
+        assert_eq!(parse_vote(VOTE_PENDING), None);
+        assert_eq!(parse_vote("garbage"), None);
     }
 
     #[test]

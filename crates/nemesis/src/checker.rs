@@ -178,8 +178,11 @@ pub fn check_atomic_commit(votes: &[bool], states: &[(u32, TxnState)]) -> Vec<Vi
 /// Evidence model — all from *completed* operations:
 ///
 /// * A **decision** for `tid` is witnessed by the winning CAS on its
-///   decision key (`swapped == true`) or by any read of the decision key
-///   returning `commit`/`abort`.
+///   decision key (`swapped == true`), by a completed `Put` of the decision
+///   key (the raw-2PC and Paxos Commit backends write decisions directly:
+///   the outcome is a pure function of durable votes, so every writer puts
+///   the same value — conflicting puts are a real violation), or by any
+///   read of the decision key returning `commit`/`abort`.
 /// * A **data write** of `tid` is a completed `Put` of a non-control key
 ///   whose value is tagged `…@<tid>`; a **data read** of `tid` is a
 ///   completed `Get` observing such a value.
@@ -201,6 +204,12 @@ pub fn check_txn_atomicity(history: &[ClientRecord]) -> Vec<Violation> {
         let (tid, decision) = match (&r.op, resp) {
             (KvCommand::Cas { key, new, .. }, KvResponse::CasResult { swapped: true }) => {
                 match (txn::parse_decision_key(key), TxnDecision::parse(new)) {
+                    (Some(tid), Some(d)) => (tid, d),
+                    _ => continue,
+                }
+            }
+            (KvCommand::Put { key, value }, KvResponse::Ok) => {
+                match (txn::parse_decision_key(key), TxnDecision::parse(value)) {
                     (Some(tid), Some(d)) => (tid, d),
                     _ => continue,
                 }
@@ -409,6 +418,21 @@ mod tests {
         // Conflicting decision evidence.
         let split = [commit_cas, abort_read.clone()];
         assert_eq!(check_txn_atomicity(&split)[0].check, "txn-decision");
+
+        // A plain decision-key Put (raw-2PC / Paxos Commit style) is
+        // commit evidence too, and conflicts with an abort read.
+        let commit_put = rec(
+            KvCommand::Put {
+                key: txn::decision_key(tid),
+                value: "commit".into(),
+            },
+            KvResponse::Ok,
+        );
+        assert!(check_txn_atomicity(&[commit_put.clone(), data_write.clone()]).is_empty());
+        assert_eq!(
+            check_txn_atomicity(&[commit_put, abort_read.clone()])[0].check,
+            "txn-decision"
+        );
 
         // Aborted txn's write leaked (plus the read that observed it) —
         // flagged once per (txn, key).

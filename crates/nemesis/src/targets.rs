@@ -10,15 +10,22 @@
 //!
 //! Fault menus per protocol:
 //!
-//! | target  | crash | restart | partition | loss | Byzantine |
-//! |---------|-------|---------|-----------|------|-----------|
-//! | paxos   | any   | yes     | yes       | yes  | —         |
-//! | raft    | any   | yes     | yes       | yes  | —         |
-//! | pbft    | any   | yes     | yes       | yes  | ≤ f = 1   |
-//! | 2pc     | ≤ 2   | no      | no        | yes  | —         |
-//! | 3pc     | ≤ 1   | no      | no        | no   | —         |
-//! | ben-or  | ≤ f=1 | no      | no        | yes  | —         |
-//! | store-* | any   | yes     | yes       | yes  | —         |
+//! | target       | crash | restart | partition | loss | Byzantine |
+//! |--------------|-------|---------|-----------|------|-----------|
+//! | paxos        | any   | yes     | yes       | yes  | —         |
+//! | raft         | any   | yes     | yes       | yes  | —         |
+//! | pbft         | any   | yes     | yes       | yes  | ≤ f = 1   |
+//! | 2pc          | ≤ 2   | no      | no        | yes  | —         |
+//! | 3pc          | ≤ 1   | no      | no        | no   | —         |
+//! | paxos-commit | ≤ F=1 | no      | no        | yes  | —         |
+//! | ben-or       | ≤ f=1 | no      | no        | yes  | —         |
+//! | store-*      | any   | yes     | yes       | yes  | —         |
+//!
+//! `paxos-commit` probes Gray & Lamport's non-blocking atomic commit at
+//! `F = 1` (3 acceptors, coordinators co-located on the first 2, 3 RMs):
+//! unlike 2PC, its safety *and* termination claims survive any single
+//! crash — including the leader coordinator inside 2PC's blocking window —
+//! so the nemesis may kill any one node.
 //!
 //! The `store-paxos` / `store-raft` targets probe the full sharded store
 //! (`forty-store`): faultable nodes are every shard replica *and* every
@@ -133,6 +140,7 @@ pub fn targets() -> Vec<Box<dyn Target>> {
         }),
         Box::new(TwoPcTarget),
         Box::new(ThreePcTarget),
+        Box::new(PaxosCommitTarget),
         Box::new(BenOrTarget),
         Box::new(StoreTarget::<MultiPaxosCluster> {
             name: "store-paxos",
@@ -206,6 +214,7 @@ pub fn by_name(name: &str) -> Option<Box<dyn Target>> {
         })),
         "2pc" => Some(Box::new(TwoPcTarget)),
         "3pc" => Some(Box::new(ThreePcTarget)),
+        "paxos-commit" => Some(Box::new(PaxosCommitTarget)),
         "ben-or" => Some(Box::new(BenOrTarget)),
         "store-paxos" => Some(Box::new(StoreTarget::<MultiPaxosCluster> {
             name: "store-paxos",
@@ -679,6 +688,68 @@ impl Target for ThreePcTarget {
 }
 
 // ---------------------------------------------------------------------------
+// Paxos Commit
+// ---------------------------------------------------------------------------
+
+/// Gray & Lamport's Paxos Commit at `F = 1`: one Paxos instance per RM
+/// vote over a shared 3-acceptor set, with 2 co-located coordinators.
+/// The node map is acceptors 0–2 (coordinators on 0–1, node 0 leading)
+/// and RMs 3–5, so a plan crashing node 0 is exactly the coordinator
+/// crash that blocks unreplicated 2PC.
+struct PaxosCommitTarget;
+
+/// The `F = 1`, three-RM layout every `paxos-commit` trial runs.
+const PC_LAYOUT: atomic_commit::paxos_commit::Layout =
+    atomic_commit::paxos_commit::Layout { f: 1, n_rms: 3 };
+
+impl Target for PaxosCommitTarget {
+    fn name(&self) -> &'static str {
+        "paxos-commit"
+    }
+
+    fn fault_spec(&self) -> FaultSpec {
+        // The protocol claims non-blocking termination under F = 1 crash
+        // faults plus message loss; partitions and restarts are outside
+        // the card (acceptor state is volatile in this model).
+        FaultSpec {
+            nodes: PC_LAYOUT.n_nodes() as u32,
+            max_crash_nodes: 1,
+            allow_restart: false,
+            allow_partition: false,
+            allow_loss: true,
+            max_byzantine: 0,
+            allow_equivocation: false,
+            horizon: COMMIT_HORIZON,
+        }
+    }
+
+    fn run(&self, seed: u64, plan: &FaultPlan) -> RunReport {
+        let votes = derive_votes(seed, PC_LAYOUT.n_rms);
+        let mut sim = atomic_commit::paxos_commit::build(&votes, PC_LAYOUT.f, NetConfig::lan(), seed);
+        execute_plan(&mut sim, plan, COMMIT_HORIZON, 0.0, |_, _| None);
+        let base = PC_LAYOUT.n_acceptors() as u32;
+        let states: Vec<(u32, TxnState)> = atomic_commit::paxos_commit::participant_states(&sim)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (base + i as u32, s))
+            .collect();
+        let decided = states.iter().filter(|(_, s)| s.is_final()).count();
+        RunReport {
+            violations: check_atomic_commit(&votes, &states),
+            ops: decided,
+        }
+    }
+
+    fn trace_json(&self, seed: u64, plan: &FaultPlan) -> Option<String> {
+        let votes = derive_votes(seed, PC_LAYOUT.n_rms);
+        let mut sim = atomic_commit::paxos_commit::build(&votes, PC_LAYOUT.f, NetConfig::lan(), seed);
+        sim.record_trace(true);
+        execute_plan(&mut sim, plan, COMMIT_HORIZON, 0.0, |_, _| None);
+        Some(simnet::causal::export_events(sim.trace(), sim.spans()))
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Ben-Or
 // ---------------------------------------------------------------------------
 
@@ -955,6 +1026,45 @@ mod tests {
         let b = target.run(17, &plan);
         assert_eq!(a.violations, b.violations, "recovery not deterministic");
         assert_eq!(a.ops, b.ops, "recovery not deterministic");
+    }
+
+    #[test]
+    fn paxos_commit_survives_leader_coordinator_crash() {
+        // The pinned regression for the non-blocking claim: kill the leader
+        // coordinator (node 0) at the same instant the protocol's own
+        // crash-point harness uses — inside 2PC's blocking window — and the
+        // backup coordinator must still drive every RM to the unanimous
+        // commit. 2PC under this schedule blocks forever; Paxos Commit
+        // must not.
+        let target = by_name("paxos-commit").expect("registered");
+        let seed = (0..64)
+            .find(|&s| derive_votes(s, 3).iter().all(|&v| v))
+            .expect("some seed yields unanimous yes-votes");
+        let plan = FaultPlan {
+            actions: vec![FaultAction::Crash { node: 0, at: 10_000 }],
+        };
+        let report = target.run(seed, &plan);
+        assert!(
+            report.violations.is_empty(),
+            "paxos-commit violated safety under leader crash: {:?}",
+            report.violations
+        );
+        assert_eq!(
+            report.ops, 3,
+            "leader crash must not block any RM (decided {} of 3)",
+            report.ops
+        );
+
+        let votes = derive_votes(seed, 3);
+        let mut sim =
+            atomic_commit::paxos_commit::build(&votes, PC_LAYOUT.f, NetConfig::lan(), seed);
+        execute_plan(&mut sim, &plan, COMMIT_HORIZON, 0.0, |_, _| None);
+        assert!(
+            atomic_commit::paxos_commit::participant_states(&sim)
+                .iter()
+                .all(|s| *s == TxnState::Committed),
+            "unanimous yes-votes must commit despite the leader crash"
+        );
     }
 
     #[test]

@@ -10,11 +10,21 @@
 //! | 1 | `Promise` | ballot `(num: u64, pid: u32)` |
 //! | 2 | `Accept` | index `u64`, ballot, op |
 //! | 3 | `Decide` | index `u64`, op |
+//! | 4 | `TxnDecision` | key `str`, value `str` |
 //!
 //! The replica logs a record *before* the externally visible action it
 //! justifies — promise before `PrepareAck`, accept before `Accepted`,
 //! decide before applying — and `sync`s in the same handler, so one flush
 //! group-commits everything a message triggered.
+//!
+//! `TxnDecision` is the store's WAL-before-decision discipline made
+//! explicit: when an applied slot resolves a 2PC decision record
+//! (`~dec.<tid>`), the coordinator-shard replica additionally logs the
+//! resolved `(key, value)` as its own first-class record and syncs before
+//! the reply that releases the transaction leaves. On recovery these
+//! records (plus any decision entries in the snapshot) rebuild a dedicated
+//! decision table, so a restarted replica can answer "what did `tid`
+//! decide?" without replaying the whole command history.
 //!
 //! ## Snapshot blob
 //!
@@ -50,6 +60,15 @@ pub enum WalRecord {
         index: usize,
         /// Decided op.
         op: MpOp,
+    },
+    /// An applied slot resolved a transaction decision record: the
+    /// coordinator shard persists the outcome as a first-class WAL entry
+    /// *before* the releasing reply leaves (WAL-before-decision).
+    TxnDecision {
+        /// The decision key (`~dec.<tid>`).
+        key: String,
+        /// The resolved decision value (`commit` / `abort`).
+        value: String,
     },
 }
 
@@ -203,6 +222,11 @@ pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
             put_u64(&mut buf, *index as u64);
             put_op(&mut buf, op);
         }
+        WalRecord::TxnDecision { key, value } => {
+            put_u32(&mut buf, 4);
+            put_str(&mut buf, key);
+            put_str(&mut buf, value);
+        }
     }
     buf
 }
@@ -223,6 +247,10 @@ pub fn decode_record(bytes: &[u8]) -> Option<WalRecord> {
         3 => WalRecord::Decide {
             index: r.get_u64()? as usize,
             op: get_op(&mut r)?,
+        },
+        4 => WalRecord::TxnDecision {
+            key: r.get_str()?,
+            value: r.get_str()?,
         },
         _ => return None,
     };
@@ -322,6 +350,10 @@ mod tests {
                     cmd(2, 3, KvCommand::Get { key: "x".into() }),
                     cmd(2, 4, KvCommand::Delete { key: "x".into() }),
                 ]),
+            },
+            WalRecord::TxnDecision {
+                key: "~dec.t100.3".into(),
+                value: "commit".into(),
             },
         ];
         for rec in records {

@@ -260,6 +260,14 @@ const NUDGE_US: u64 = 2_000;
 /// Heartbeat period (µs).
 const HB_PERIOD: u64 = 10_000;
 
+/// Whether an applied write resolves a 2PC/commit decision record: a
+/// decision key whose new value is a final `commit`/`abort` (the `pending`
+/// init is not a resolution).
+fn is_txn_decision(key: &str, value: &str) -> bool {
+    consensus_core::txn::parse_decision_key(key).is_some()
+        && consensus_core::txn::TxnDecision::parse(value).is_some()
+}
+
 #[derive(Debug)]
 struct Proposal {
     op: MpOp,
@@ -329,6 +337,13 @@ pub struct Replica {
     pub last_recovery_replayed: u64,
     /// Disk time the most recent recovery charged (µs).
     pub last_recovery_io_us: u64,
+    /// Durable mode: transaction decision records (`~dec.<tid>` → value)
+    /// this replica applied, persisted as first-class `TxnDecision` WAL
+    /// records *before* the releasing reply leaves and rebuilt on recovery
+    /// (from snapshot + WAL) without replaying the command history.
+    txn_decisions: BTreeMap<String, String>,
+    /// `TxnDecision` records appended over this replica's lifetime.
+    pub txn_decisions_logged: u64,
 }
 
 impl Replica {
@@ -369,6 +384,8 @@ impl Replica {
             recovered_floor: 0,
             last_recovery_replayed: 0,
             last_recovery_io_us: 0,
+            txn_decisions: BTreeMap::new(),
+            txn_decisions_logged: 0,
         }
     }
 
@@ -601,7 +618,12 @@ impl Replica {
         }
         let outputs = self.log.decide(index, op);
         for (i, replies) in outputs {
-            self.mirror_applied(i, &replies);
+            if self.mirror_applied(i, &replies) {
+                // WAL-before-decision: the slot resolved a transaction
+                // decision record — its dedicated WAL entry must be on disk
+                // before the reply that releases the transaction leaves.
+                self.wal_sync(ctx);
+            }
             for (client, seq, output) in replies {
                 if let Some(client_node) = self.pending_reply.remove(&(client, seq)) {
                     ctx.send(
@@ -623,28 +645,57 @@ impl Replica {
     /// Mirrors a freshly applied slot's effects into the durable engine's
     /// primary index. The replies carry each command's actual outcome, so a
     /// failed CAS mirrors nothing and a deduped re-apply is idempotent.
-    fn mirror_applied(&mut self, index: usize, replies: &[(u32, u64, KvResponse)]) {
+    ///
+    /// Returns `true` when the slot resolved a transaction decision record:
+    /// the outcome was additionally appended to the WAL as a first-class
+    /// [`crate::durable::WalRecord::TxnDecision`], and the caller must sync
+    /// before the releasing reply leaves.
+    fn mirror_applied(&mut self, index: usize, replies: &[(u32, u64, KvResponse)]) -> bool {
         if self.engine.is_none() {
-            return;
+            return false;
         }
         let cmds: Vec<Command<KvCommand>> = match self.log.slot(index) {
             Slot::Applied(MpOp::Cmd(c)) => vec![c.clone()],
             Slot::Applied(MpOp::Batch(cs)) => cs.clone(),
-            _ => return,
+            _ => return false,
         };
-        let engine = self.engine.as_mut().expect("checked above");
-        for (cmd, (_, _, out)) in cmds.iter().zip(replies) {
-            match &cmd.op {
-                KvCommand::Put { key, value } => engine.put(key, value),
-                KvCommand::Delete { key } => engine.delete(key),
-                KvCommand::Cas { key, new, .. } => {
-                    if matches!(out, KvResponse::CasResult { swapped: true }) {
-                        engine.put(key, new);
+        let mut decisions: Vec<(String, String)> = Vec::new();
+        {
+            let engine = self.engine.as_mut().expect("checked above");
+            for (cmd, (_, _, out)) in cmds.iter().zip(replies) {
+                match &cmd.op {
+                    KvCommand::Put { key, value } => {
+                        engine.put(key, value);
+                        if is_txn_decision(key, value) {
+                            decisions.push((key.clone(), value.clone()));
+                        }
                     }
+                    KvCommand::Delete { key } => engine.delete(key),
+                    KvCommand::Cas { key, new, .. } => {
+                        if matches!(out, KvResponse::CasResult { swapped: true }) {
+                            engine.put(key, new);
+                            if is_txn_decision(key, new) {
+                                decisions.push((key.clone(), new.clone()));
+                            }
+                        }
+                    }
+                    KvCommand::Get { .. } => {}
                 }
-                KvCommand::Get { .. } => {}
             }
         }
+        let resolved = !decisions.is_empty();
+        for (key, value) in decisions {
+            self.txn_decisions.insert(key.clone(), value.clone());
+            self.txn_decisions_logged += 1;
+            self.wal_log(crate::durable::WalRecord::TxnDecision { key, value });
+        }
+        resolved
+    }
+
+    /// Durable mode: the transaction decision records this replica has
+    /// applied (decision key → `commit`/`abort`), survives crash recovery.
+    pub fn txn_decisions(&self) -> &BTreeMap<String, String> {
+        &self.txn_decisions
     }
 
     /// Rebuilds the engine's primary index from the full machine state —
@@ -665,6 +716,13 @@ impl Replica {
         let engine = self.engine.as_mut().expect("checked above");
         for (k, v) in &entries {
             engine.put(k, v);
+        }
+        // Decision records captured by the checkpoint re-seed the decision
+        // table; WAL replay then adds anything resolved after it.
+        for (k, v) in &entries {
+            if is_txn_decision(k, v) {
+                self.txn_decisions.insert(k.clone(), v.clone());
+            }
         }
     }
 
@@ -741,6 +799,7 @@ impl Replica {
         self.accepted.clear();
         self.log = ReplicatedLog::new();
         self.snapshot_floor = 0;
+        self.txn_decisions.clear();
         if let Some(blob) = recovery.snapshot {
             let (machine, applied) =
                 decode_snapshot(&blob).expect("checkpoint blob decodes");
@@ -768,6 +827,9 @@ impl Replica {
                 }
                 WalRecord::Decide { index, op } => {
                     self.on_decided(ctx, index, op);
+                }
+                WalRecord::TxnDecision { key, value } => {
+                    self.txn_decisions.insert(key, value);
                 }
             }
         }

@@ -53,6 +53,17 @@ pub trait ShardEngine: ClusterDriver {
         Self::build_shard(n_replicas, batch, net, seed)
     }
 
+    /// Whether [`ShardEngine::build_shard_durable`] actually persists
+    /// state, or silently falls back to the RAM model. The store records a
+    /// fallback in its run trace (and fingerprint), so a durability request
+    /// an engine cannot honor is visible rather than silent.
+    fn supports_durable() -> bool
+    where
+        Self: Sized,
+    {
+        false
+    }
+
     /// Broadcasts `cmd` to every replica, sent from the stub client node.
     /// Safe to call repeatedly with the same command (dedup applies once).
     fn submit(&mut self, cmd: Command<KvCommand>);
@@ -99,6 +110,10 @@ impl ShardEngine for MultiPaxosCluster {
         disk: DiskModel,
     ) -> Self {
         Self::build_shard(n_replicas, batch, net, seed).with_durability(threshold, disk)
+    }
+
+    fn supports_durable() -> bool {
+        true
     }
 
     fn submit(&mut self, cmd: Command<KvCommand>) {

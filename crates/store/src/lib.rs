@@ -30,6 +30,7 @@ pub mod store;
 pub use engine::ShardEngine;
 pub use shard_map::{key_hash, ShardMap};
 pub use store::{
-    intent_key, OpRecord, RouterCrashPoint, Store, StoreConfig, TxnOutcome, AUDIT_CLIENT,
-    QUANTUM_US, RECOVERY_CLIENT, RECOVERY_DELAY_US, ROUTER_BASE,
+    decode_intent, encode_intent, intent_key, CommitBackend, OpRecord, RouterCrashPoint, Store,
+    StoreConfig, TxnOutcome, AUDIT_CLIENT, QUANTUM_US, RECOVERY_CLIENT, RECOVERY_DELAY_US,
+    ROUTER_BASE,
 };

@@ -76,6 +76,81 @@ fn decode_participants(s: &str) -> Vec<usize> {
     s.split(';').filter_map(|p| p.parse().ok()).collect()
 }
 
+/// The commitment protocol a transaction runs over the shard logs. The
+/// three backends share the intent/data-write plumbing and differ only in
+/// how the commit point is reached — which is exactly the Gray–Lamport
+/// spectrum:
+///
+/// * [`TwoPhase`](CommitBackend::TwoPhase) — raw blocking 2PC: the
+///   decision exists only in the coordinator *process* until it writes a
+///   plain decision record. A coordinator crash after the votes leaves the
+///   transaction **stalled forever** (recovery finds no durable decision
+///   and no vote registers to force).
+/// * [`TwoPhaseOverConsensus`](CommitBackend::TwoPhaseOverConsensus) — the
+///   store's historical protocol: decision entry initialized to `pending`
+///   and resolved by a log-serialized CAS; recovery can always close the
+///   decision with its abort-CAS.
+/// * [`PaxosCommit`](CommitBackend::PaxosCommit) — Gray & Lamport's Paxos
+///   Commit mapped onto the shard logs: one *vote register*
+///   `~vote.<tid>.s<k>` per participant, each resolved by a CAS
+///   `pending → prepared|aborted` that the shard's consensus group
+///   serializes (one Paxos instance per vote). Prepared votes carry the
+///   shard-local write-set, so *any* coordinator — here the recovery
+///   actor — can finish the transaction from the replicated votes alone,
+///   committing prepared work instead of aborting it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CommitBackend {
+    /// Raw blocking 2PC (decision record is a plain put; no recovery CAS).
+    TwoPhase,
+    /// 2PC with the decision as a log-serialized CAS (the default).
+    TwoPhaseOverConsensus,
+    /// Paxos Commit: per-participant vote registers in the shard logs.
+    PaxosCommit,
+}
+
+impl CommitBackend {
+    /// Stable short tag used in intent records and trace lines.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CommitBackend::TwoPhase => "2pc",
+            CommitBackend::TwoPhaseOverConsensus => "2pcoc",
+            CommitBackend::PaxosCommit => "pc",
+        }
+    }
+
+    /// Parses a [`CommitBackend::tag`] rendering.
+    pub fn parse(s: &str) -> Option<CommitBackend> {
+        match s {
+            "2pc" => Some(CommitBackend::TwoPhase),
+            "2pcoc" => Some(CommitBackend::TwoPhaseOverConsensus),
+            "pc" => Some(CommitBackend::PaxosCommit),
+            _ => None,
+        }
+    }
+}
+
+/// Encodes an intent record: participants, prefixed with the backend tag
+/// for non-default backends. The default backend keeps the legacy untagged
+/// encoding so historical fingerprints are unchanged.
+pub fn encode_intent(backend: CommitBackend, shards: &[usize]) -> String {
+    match backend {
+        CommitBackend::TwoPhaseOverConsensus => encode_participants(shards),
+        other => format!("{}!{}", other.tag(), encode_participants(shards)),
+    }
+}
+
+/// Decodes an intent record into `(backend, participants)`. Untagged
+/// records are the legacy default backend.
+pub fn decode_intent(s: &str) -> (CommitBackend, Vec<usize>) {
+    match s.split_once('!') {
+        Some((tag, rest)) => match CommitBackend::parse(tag) {
+            Some(b) => (b, decode_participants(rest)),
+            None => (CommitBackend::TwoPhaseOverConsensus, decode_participants(s)),
+        },
+        None => (CommitBackend::TwoPhaseOverConsensus, decode_participants(s)),
+    }
+}
+
 /// Store-wide configuration. Serialized (including the shard map) and
 /// re-parsed by every router, so all routers provably share one routing
 /// view.
@@ -110,6 +185,9 @@ pub struct StoreConfig {
     /// replica recovery is a real WAL-replay + snapshot-load. `None` keeps
     /// the historical RAM-durability model.
     pub durability: Option<(usize, DiskModel)>,
+    /// Commitment protocol generated transactions run
+    /// (overridable per-transaction via [`Store::set_txn_backend`]).
+    pub backend: CommitBackend,
 }
 
 impl StoreConfig {
@@ -128,12 +206,19 @@ impl StoreConfig {
             seed,
             buggy_early_writes: false,
             durability: None,
+            backend: CommitBackend::TwoPhaseOverConsensus,
         }
     }
 
     /// The same store with durable shard storage enabled.
     pub fn durable(mut self, snapshot_threshold: usize, disk: DiskModel) -> Self {
         self.durability = Some((snapshot_threshold, disk));
+        self
+    }
+
+    /// The same store with a different default commit backend.
+    pub fn with_backend(mut self, backend: CommitBackend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -176,6 +261,7 @@ enum WorkItem {
     Txn {
         writes: Vec<(String, String)>,
         abort: bool,
+        backend: CommitBackend,
     },
 }
 
@@ -229,6 +315,8 @@ fn op_label(op: &KvCommand) -> String {
         ":decision"
     } else if key.starts_with("~prep.") {
         ":prepare"
+    } else if key.starts_with("~vote.") {
+        ":vote"
     } else {
         ""
     };
@@ -291,6 +379,10 @@ enum Phase {
     Intent,
     Init,
     Prepare,
+    /// Paxos Commit: vote registers being initialized to `pending`.
+    VoteInit,
+    /// Paxos Commit: per-participant vote CASes in flight.
+    Vote,
     /// Buggy mode only: data writes in flight *before* the decision CAS.
     EarlyWrite,
     Decide,
@@ -304,8 +396,14 @@ struct ActiveTxn {
     writes: Vec<(String, String)>,
     coord: usize,
     participants: Vec<usize>,
+    backend: CommitBackend,
     intend_abort: bool,
     decided: Option<TxnDecision>,
+    /// What the plain decision put (non-CAS backends) will record once
+    /// acked.
+    planned: Option<TxnDecision>,
+    /// Paxos Commit: resolved vote per participant (`true` = prepared).
+    votes: Vec<Option<bool>>,
     /// Remaining data writes per participant (parallel to `participants`).
     queues: Vec<Vec<(String, String)>>,
     /// Buggy mode: the data writes already applied before the decision.
@@ -366,15 +464,26 @@ enum RecPhase {
     AbortCas,
     GetDecision,
     GetPrepare,
+    /// Paxos Commit: free-abort CAS on the current vote register.
+    VoteCas,
+    /// Paxos Commit: reading a vote register another coordinator resolved.
+    VoteGet,
+    /// Non-CAS backends: writing the derived decision record.
+    PutDecision,
     Write,
 }
 
 struct RecTask {
     tid: TxnId,
     coord: usize,
+    backend: CommitBackend,
     participants: Vec<usize>,
     writes: Vec<(String, String)>,
     prep_idx: usize,
+    /// Paxos Commit: index of the vote register being terminated.
+    vote_idx: usize,
+    /// Outcome derived from the vote registers (Paxos Commit).
+    decision: Option<TxnDecision>,
     write_idx: usize,
 }
 
@@ -386,6 +495,10 @@ struct Recovery {
     pending: Vec<Pending>,
     history: HistorySink,
     recovered: Vec<(TxnId, TxnDecision)>,
+    /// Raw-2PC transactions recovery had to give up on: the coordinator
+    /// died holding the only copy of the open decision. These block
+    /// forever — the availability gap the replicated backends close.
+    stalled: Vec<TxnId>,
 }
 
 struct Audit {
@@ -561,6 +674,47 @@ fn finish_txn(r: &mut Router, decision: TxnDecision, now: u64, trace: &mut Vec<S
     r.phase = Phase::Idle;
 }
 
+/// Submits one prepare record per participant shard: the participant's yes
+/// vote *and* its redo log, shared by the consensus-2PC and raw-2PC
+/// backends.
+fn submit_prepares<E: ShardEngine>(
+    r: &mut Router,
+    shards: &mut [E],
+    tr: &mut StoreTrace,
+    now: u64,
+    trace: &mut Vec<String>,
+) {
+    let t = r.txn.as_ref().expect("prepares need an active txn");
+    let tid = t.tid;
+    let participants = t.participants.clone();
+    let prepares: Vec<(usize, String)> = participants
+        .iter()
+        .map(|&s| {
+            let writes: Vec<(String, String)> = t
+                .writes
+                .iter()
+                .filter(|(k, _)| r.map.group_of(k) == s)
+                .cloned()
+                .collect();
+            (s, txn::encode_writes(&writes))
+        })
+        .collect();
+    trace.push(format!(
+        "t={now} r{} {tid} phase={} shards={participants:?}",
+        r.idx,
+        TxnPhase::Prepare.label(),
+    ));
+    for (s, value) in prepares {
+        let seq = r.bump();
+        let op = KvCommand::Put {
+            key: txn::prepare_key(tid, s),
+            value,
+        };
+        r.pending
+            .push(submit(shards, tr, &mut r.history, r.client, seq, s, op, now));
+    }
+}
+
 fn start_next<E: ShardEngine>(
     r: &mut Router,
     shards: &mut [E],
@@ -587,7 +741,11 @@ fn start_next<E: ShardEngine>(
                 .push(submit(shards, tr, &mut r.history, r.client, seq, shard, op, now));
             r.phase = Phase::Single;
         }
-        WorkItem::Txn { writes, abort } => {
+        WorkItem::Txn {
+            writes,
+            abort,
+            backend,
+        } => {
             let tid = TxnId::new(r.client, r.txn_counter);
             r.txn_counter += 1;
             let coord = r.map.group_of(&writes[0].0);
@@ -595,17 +753,28 @@ fn start_next<E: ShardEngine>(
             participants.sort_unstable();
             participants.dedup();
             let span = participants.len();
+            // The default backend keeps the historical trace line (and
+            // therefore historical fingerprints) byte-identical.
+            let suffix = if backend == CommitBackend::TwoPhaseOverConsensus {
+                String::new()
+            } else {
+                format!(" backend={}", backend.tag())
+            };
             trace.push(format!(
-                "t={now} r{} {tid} begin span={span} coord=s{coord}",
+                "t={now} r{} {tid} begin span={span} coord=s{coord}{suffix}",
                 r.idx
             ));
+            let n_participants = participants.len();
             r.txn = Some(ActiveTxn {
                 tid,
                 writes,
                 coord,
                 participants: participants.clone(),
+                backend,
                 intend_abort: abort,
                 decided: None,
+                planned: None,
+                votes: vec![None; n_participants],
                 queues: Vec::new(),
                 wrote_early: false,
                 started: now,
@@ -613,7 +782,7 @@ fn start_next<E: ShardEngine>(
             let seq = r.bump();
             let op = KvCommand::Put {
                 key: intent_key(tid),
-                value: encode_participants(&participants),
+                value: encode_intent(backend, &participants),
             };
             r.pending
                 .push(submit(shards, tr, &mut r.history, r.client, seq, coord, op, now));
@@ -669,15 +838,45 @@ fn step_router<E: ShardEngine>(
         Phase::Intent => {
             if !done.is_empty() {
                 let t = r.txn.as_ref().expect("intent phase has a txn");
-                let (tid, coord) = (t.tid, t.coord);
-                let seq = r.bump();
-                let op = KvCommand::Put {
-                    key: txn::decision_key(tid),
-                    value: txn::DECISION_PENDING.to_string(),
-                };
-                r.pending
-                    .push(submit(shards, tr, &mut r.history, r.client, seq, coord, op, now));
-                r.phase = Phase::Init;
+                let (tid, coord, backend) = (t.tid, t.coord, t.backend);
+                let participants = t.participants.clone();
+                match backend {
+                    CommitBackend::TwoPhaseOverConsensus => {
+                        let seq = r.bump();
+                        let op = KvCommand::Put {
+                            key: txn::decision_key(tid),
+                            value: txn::DECISION_PENDING.to_string(),
+                        };
+                        r.pending
+                            .push(submit(shards, tr, &mut r.history, r.client, seq, coord, op, now));
+                        r.phase = Phase::Init;
+                    }
+                    CommitBackend::TwoPhase => {
+                        // Raw 2PC has no replicated pending-init: the open
+                        // decision lives only in this router process.
+                        if r.should_crash(RouterCrashPoint::BeforePrepare) {
+                            crash_router(r, now, trace, queue);
+                            return;
+                        }
+                        submit_prepares(r, shards, tr, now, trace);
+                        r.phase = Phase::Prepare;
+                    }
+                    CommitBackend::PaxosCommit => {
+                        // One vote register per participant, initialized to
+                        // `pending` in that participant's own shard log —
+                        // one Paxos instance per vote.
+                        for &s in &participants {
+                            let seq = r.bump();
+                            let op = KvCommand::Put {
+                                key: txn::vote_key(tid, s),
+                                value: txn::VOTE_PENDING.to_string(),
+                            };
+                            r.pending
+                                .push(submit(shards, tr, &mut r.history, r.client, seq, s, op, now));
+                        }
+                        r.phase = Phase::VoteInit;
+                    }
+                }
             }
         }
         Phase::Init => {
@@ -686,37 +885,125 @@ fn step_router<E: ShardEngine>(
                     crash_router(r, now, trace, queue);
                     return;
                 }
-                let t = r.txn.as_ref().expect("init phase has a txn");
+                submit_prepares(r, shards, tr, now, trace);
+                r.phase = Phase::Prepare;
+            }
+        }
+        Phase::VoteInit => {
+            if r.pending.is_empty() {
+                if r.should_crash(RouterCrashPoint::BeforePrepare) {
+                    crash_router(r, now, trace, queue);
+                    return;
+                }
+                let t = r.txn.as_ref().expect("vote-init phase has a txn");
                 let tid = t.tid;
-                let prepares: Vec<(usize, String)> = t
-                    .participants
+                let participants = t.participants.clone();
+                let intend_abort = t.intend_abort;
+                trace.push(format!(
+                    "t={now} r{} {tid} phase=vote shards={participants:?}",
+                    r.idx,
+                ));
+                // Cast each participant's vote: a CAS the shard log
+                // serializes against any recovery free-abort. Prepared
+                // votes carry the shard-local write-set (the redo log).
+                let votes: Vec<(usize, String)> = participants
                     .iter()
-                    .map(|&s| {
-                        let writes: Vec<(String, String)> = t
-                            .writes
-                            .iter()
-                            .filter(|(k, _)| r.map.group_of(k) == s)
-                            .cloned()
-                            .collect();
-                        (s, txn::encode_writes(&writes))
+                    .enumerate()
+                    .map(|(i, &s)| {
+                        let value = if intend_abort && i == 0 {
+                            txn::VOTE_ABORTED.to_string()
+                        } else {
+                            let writes: Vec<(String, String)> = r
+                                .txn
+                                .as_ref()
+                                .expect("vote-init phase has a txn")
+                                .writes
+                                .iter()
+                                .filter(|(k, _)| r.map.group_of(k) == s)
+                                .cloned()
+                                .collect();
+                            txn::vote_prepared(&writes)
+                        };
+                        (s, value)
                     })
                     .collect();
-                trace.push(format!(
-                    "t={now} r{} {tid} phase={} shards={:?}",
-                    r.idx,
-                    TxnPhase::Prepare.label(),
-                    t.participants
-                ));
-                for (s, value) in prepares {
+                for (s, value) in votes {
                     let seq = r.bump();
-                    let op = KvCommand::Put {
-                        key: txn::prepare_key(tid, s),
-                        value,
+                    let op = KvCommand::Cas {
+                        key: txn::vote_key(tid, s),
+                        expect: txn::VOTE_PENDING.to_string(),
+                        new: value,
                     };
                     r.pending
                         .push(submit(shards, tr, &mut r.history, r.client, seq, s, op, now));
                 }
-                r.phase = Phase::Prepare;
+                r.phase = Phase::Vote;
+            }
+        }
+        Phase::Vote => {
+            for (p, resp) in &done {
+                let t = r.txn.as_mut().expect("vote phase has a txn");
+                let (key, outcome) = match (&p.op, resp) {
+                    (KvCommand::Cas { key, new, .. }, KvResponse::CasResult { swapped: true }) => {
+                        (key, txn::parse_vote(new).map(|v| v.is_some()))
+                    }
+                    (KvCommand::Cas { key, .. }, KvResponse::CasResult { swapped: false }) => {
+                        // Someone else (recovery's free abort) resolved this
+                        // register first; learn the chosen value from the log.
+                        (key, None)
+                    }
+                    (KvCommand::Get { key }, KvResponse::Value(Some(v))) => {
+                        (key, txn::parse_vote(v).map(|w| w.is_some()))
+                    }
+                    _ => continue,
+                };
+                let Some((_, shard)) = txn::parse_vote_key(key) else {
+                    continue;
+                };
+                let Some(i) = t.participants.iter().position(|&s| s == shard) else {
+                    continue;
+                };
+                match outcome {
+                    Some(prepared) => t.votes[i] = Some(prepared),
+                    None => {
+                        // Register resolved by another coordinator (or still
+                        // unparsed): read it.
+                        let tid = t.tid;
+                        let seq = r.bump();
+                        let op = KvCommand::Get {
+                            key: txn::vote_key(tid, shard),
+                        };
+                        r.pending
+                            .push(submit(shards, tr, &mut r.history, r.client, seq, shard, op, now));
+                    }
+                }
+            }
+            let t = r.txn.as_ref().expect("vote phase has a txn");
+            if r.pending.is_empty() && t.votes.iter().all(Option::is_some) {
+                if r.should_crash(RouterCrashPoint::AfterPrepare) {
+                    crash_router(r, now, trace, queue);
+                    return;
+                }
+                let all_prepared = t.votes.iter().all(|v| *v == Some(true));
+                let decision = if all_prepared {
+                    TxnDecision::Commit
+                } else {
+                    TxnDecision::Abort
+                };
+                let (tid, coord) = (t.tid, t.coord);
+                let t = r.txn.as_mut().expect("vote phase has a txn");
+                t.planned = Some(decision);
+                // The commit point already happened — it is the log-ordered
+                // resolution of the vote registers. The decision record is
+                // derived state any coordinator re-computes identically.
+                let seq = r.bump();
+                let op = KvCommand::Put {
+                    key: txn::decision_key(tid),
+                    value: decision.as_str().to_string(),
+                };
+                r.pending
+                    .push(submit(shards, tr, &mut r.history, r.client, seq, coord, op, now));
+                r.phase = Phase::Decide;
             }
         }
         Phase::Prepare => {
@@ -744,11 +1031,25 @@ fn step_router<E: ShardEngine>(
                     r.phase = Phase::EarlyWrite;
                     return;
                 }
+                let backend = t.backend;
+                if backend == CommitBackend::TwoPhase {
+                    t.planned = Some(decision);
+                }
                 let seq = r.bump();
-                let op = KvCommand::Cas {
-                    key: txn::decision_key(tid),
-                    expect: txn::DECISION_PENDING.to_string(),
-                    new: decision.as_str().to_string(),
+                let op = if backend == CommitBackend::TwoPhase {
+                    // Raw 2PC: the decision is a plain record. Until this
+                    // put is durable, the outcome exists only in this
+                    // process — the classic blocking window.
+                    KvCommand::Put {
+                        key: txn::decision_key(tid),
+                        value: decision.as_str().to_string(),
+                    }
+                } else {
+                    KvCommand::Cas {
+                        key: txn::decision_key(tid),
+                        expect: txn::DECISION_PENDING.to_string(),
+                        new: decision.as_str().to_string(),
+                    }
                 };
                 r.pending
                     .push(submit(shards, tr, &mut r.history, r.client, seq, coord, op, now));
@@ -807,6 +1108,14 @@ fn step_router<E: ShardEngine>(
                             // first; learn it from the log.
                             read_decision = true;
                         }
+                    }
+                    (KvCommand::Put { key, .. }, KvResponse::Ok)
+                        if txn::parse_decision_key(key).is_some() =>
+                    {
+                        // Non-CAS backends: the planned decision record is
+                        // durable.
+                        let t = r.txn.as_mut().expect("decide phase has a txn");
+                        t.decided = t.planned;
                     }
                     _ => {}
                 }
@@ -927,6 +1236,47 @@ fn finish_recovery(
     rec.phase = RecPhase::Idle;
 }
 
+/// Gives up on a raw-2PC transaction whose only decision copy died with
+/// its coordinator: there is nothing in any log that can resolve it.
+fn stall_recovery(rec: &mut Recovery, now: u64, trace: &mut Vec<String>) {
+    let task = rec.task.take().expect("stalling without a task");
+    trace.push(format!(
+        "t={now} recovery {} stalled (no durable decision; raw 2pc blocks)",
+        task.tid
+    ));
+    rec.stalled.push(task.tid);
+    rec.phase = RecPhase::Idle;
+}
+
+/// Records the outcome recovery derived from the vote registers and makes
+/// it durable as a plain decision record. Every coordinator derives the
+/// same outcome from the same (immutable once resolved) registers, so
+/// concurrent writers always write the same value.
+fn rec_put_decision<E: ShardEngine>(
+    rec: &mut Recovery,
+    shards: &mut [E],
+    tr: &mut StoreTrace,
+    decision: TxnDecision,
+    now: u64,
+) {
+    let task = rec.task.as_mut().expect("deriving a decision needs a task");
+    task.decision = Some(decision);
+    let (tid, coord) = (task.tid, task.coord);
+    rec.seq += 1;
+    let op = KvCommand::Put {
+        key: txn::decision_key(tid),
+        value: decision.as_str().to_string(),
+    };
+    rec.pending.push(submit(shards, tr, &mut rec.history,
+        RECOVERY_CLIENT,
+        rec.seq,
+        coord,
+        op,
+        now,
+    ));
+    rec.phase = RecPhase::PutDecision;
+}
+
 fn step_recovery<E: ShardEngine>(
     rec: &mut Recovery,
     shards: &mut [E],
@@ -950,9 +1300,12 @@ fn step_recovery<E: ShardEngine>(
                 rec.task = Some(RecTask {
                     tid: a.tid,
                     coord: a.coord,
+                    backend: CommitBackend::TwoPhaseOverConsensus,
                     participants: Vec::new(),
                     writes: Vec::new(),
                     prep_idx: 0,
+                    vote_idx: 0,
+                    decision: None,
                     write_idx: 0,
                 });
                 rec.seq += 1;
@@ -974,22 +1327,66 @@ fn step_recovery<E: ShardEngine>(
                 match resp {
                     KvResponse::Value(Some(v)) => {
                         let task = rec.task.as_mut().expect("intent phase has a task");
-                        task.participants = decode_participants(&v);
+                        let (backend, participants) = decode_intent(&v);
+                        task.backend = backend;
+                        task.participants = participants;
                         let (tid, coord) = (task.tid, task.coord);
+                        let first = task.participants.first().copied();
                         rec.seq += 1;
-                        let op = KvCommand::Cas {
-                            key: txn::decision_key(tid),
-                            expect: txn::DECISION_PENDING.to_string(),
-                            new: TxnDecision::Abort.as_str().to_string(),
-                        };
-                        rec.pending.push(submit(shards, tr, &mut rec.history,
-                            RECOVERY_CLIENT,
-                            rec.seq,
-                            coord,
-                            op,
-                            now,
-                        ));
-                        rec.phase = RecPhase::AbortCas;
+                        match backend {
+                            CommitBackend::TwoPhaseOverConsensus => {
+                                let op = KvCommand::Cas {
+                                    key: txn::decision_key(tid),
+                                    expect: txn::DECISION_PENDING.to_string(),
+                                    new: TxnDecision::Abort.as_str().to_string(),
+                                };
+                                rec.pending.push(submit(shards, tr, &mut rec.history,
+                                    RECOVERY_CLIENT,
+                                    rec.seq,
+                                    coord,
+                                    op,
+                                    now,
+                                ));
+                                rec.phase = RecPhase::AbortCas;
+                            }
+                            CommitBackend::TwoPhase => {
+                                // Raw 2PC leaves nothing to force: either a
+                                // decision record survived or the
+                                // transaction is stuck.
+                                let op = KvCommand::Get {
+                                    key: txn::decision_key(tid),
+                                };
+                                rec.pending.push(submit(shards, tr, &mut rec.history,
+                                    RECOVERY_CLIENT,
+                                    rec.seq,
+                                    coord,
+                                    op,
+                                    now,
+                                ));
+                                rec.phase = RecPhase::GetDecision;
+                            }
+                            CommitBackend::PaxosCommit => {
+                                // Gray–Lamport termination: walk the vote
+                                // registers, free-aborting any that is
+                                // still open. The shard log serializes the
+                                // race with the (possibly in-flight) vote.
+                                let shard =
+                                    first.expect("paxos-commit intent has participants");
+                                let op = KvCommand::Cas {
+                                    key: txn::vote_key(tid, shard),
+                                    expect: txn::VOTE_PENDING.to_string(),
+                                    new: txn::VOTE_ABORTED.to_string(),
+                                };
+                                rec.pending.push(submit(shards, tr, &mut rec.history,
+                                    RECOVERY_CLIENT,
+                                    rec.seq,
+                                    shard,
+                                    op,
+                                    now,
+                                ));
+                                rec.phase = RecPhase::VoteCas;
+                            }
+                        }
                     }
                     _ => {
                         // The intent never became durable: the transaction
@@ -1027,7 +1424,7 @@ fn step_recovery<E: ShardEngine>(
         RecPhase::GetDecision => {
             if let Some((_, resp)) = done.into_iter().next() {
                 let task = rec.task.as_ref().expect("get-decision phase has a task");
-                let (tid, coord) = (task.tid, task.coord);
+                let (tid, coord, backend) = (task.tid, task.coord, task.backend);
                 match resp {
                     KvResponse::Value(Some(v)) => match TxnDecision::parse(&v) {
                         Some(TxnDecision::Commit) => {
@@ -1049,6 +1446,11 @@ fn step_recovery<E: ShardEngine>(
                             finish_recovery(rec, TxnDecision::Abort, now, trace);
                         }
                         None => {
+                            if backend == CommitBackend::TwoPhase {
+                                // Unresolvable garbage — nothing to force.
+                                stall_recovery(rec, now, trace);
+                                return;
+                            }
                             // Back to pending is impossible, but an
                             // interleaved init can surface it transiently:
                             // retry the abort CAS.
@@ -1069,9 +1471,111 @@ fn step_recovery<E: ShardEngine>(
                         }
                     },
                     _ => {
+                        if backend == CommitBackend::TwoPhase {
+                            // No durable decision anywhere: the only copy
+                            // died with the coordinator process. Blocked.
+                            stall_recovery(rec, now, trace);
+                            return;
+                        }
                         // Decision key absent: the init write never became
                         // durable, so no commit CAS can ever succeed.
                         finish_recovery(rec, TxnDecision::Abort, now, trace);
+                    }
+                }
+            }
+        }
+        RecPhase::VoteCas => {
+            if let Some((_, resp)) = done.into_iter().next() {
+                let task = rec.task.as_ref().expect("vote-cas phase has a task");
+                let (tid, shard) = (task.tid, task.participants[task.vote_idx]);
+                if resp == (KvResponse::CasResult { swapped: true }) {
+                    // We closed this vote register as aborted; the whole
+                    // transaction aborts, and the (durable) register makes
+                    // every future coordinator agree.
+                    rec_put_decision(rec, shards, tr, TxnDecision::Abort, now);
+                } else {
+                    // The register was already resolved (vote or free
+                    // abort); learn the chosen value from the log.
+                    rec.seq += 1;
+                    let op = KvCommand::Get {
+                        key: txn::vote_key(tid, shard),
+                    };
+                    rec.pending.push(submit(shards, tr, &mut rec.history,
+                        RECOVERY_CLIENT,
+                        rec.seq,
+                        shard,
+                        op,
+                        now,
+                    ));
+                    rec.phase = RecPhase::VoteGet;
+                }
+            }
+        }
+        RecPhase::VoteGet => {
+            if let Some((p, resp)) = done.into_iter().next() {
+                match resp {
+                    KvResponse::Value(Some(v)) => match txn::parse_vote(&v) {
+                        Some(Some(writes)) => {
+                            // Prepared: harvest the shard-local redo log and
+                            // terminate the next register.
+                            let task = rec.task.as_mut().expect("vote-get phase has a task");
+                            let tid = task.tid;
+                            for (k, val) in writes {
+                                task.writes.push((k, txn::tag_value(&val, tid)));
+                            }
+                            task.vote_idx += 1;
+                            if task.vote_idx < task.participants.len() {
+                                let shard = task.participants[task.vote_idx];
+                                rec.seq += 1;
+                                let op = KvCommand::Cas {
+                                    key: txn::vote_key(tid, shard),
+                                    expect: txn::VOTE_PENDING.to_string(),
+                                    new: txn::VOTE_ABORTED.to_string(),
+                                };
+                                rec.pending.push(submit(shards, tr, &mut rec.history,
+                                    RECOVERY_CLIENT,
+                                    rec.seq,
+                                    shard,
+                                    op,
+                                    now,
+                                ));
+                                rec.phase = RecPhase::VoteCas;
+                            } else {
+                                // Every register resolved prepared: the
+                                // transaction had already passed its commit
+                                // point when the coordinator died. Commit it.
+                                rec_put_decision(rec, shards, tr, TxnDecision::Commit, now);
+                            }
+                        }
+                        Some(None) => {
+                            rec_put_decision(rec, shards, tr, TxnDecision::Abort, now);
+                        }
+                        None => {
+                            // Transiently pending/garbage: re-read.
+                            resubmit = Some((p.shard, p.op.clone()));
+                        }
+                    },
+                    KvResponse::Value(None) => {
+                        // The register was never initialized durably — the
+                        // coordinator died before the vote phase and no vote
+                        // can ever be cast. Free abort.
+                        rec_put_decision(rec, shards, tr, TxnDecision::Abort, now);
+                    }
+                    _ => {
+                        resubmit = Some((p.shard, p.op.clone()));
+                    }
+                }
+            }
+        }
+        RecPhase::PutDecision => {
+            if let Some((_, resp)) = done.into_iter().next() {
+                if resp == KvResponse::Ok {
+                    let task = rec.task.as_mut().expect("put-decision phase has a task");
+                    let decision = task.decision.expect("put-decision has an outcome");
+                    if decision == TxnDecision::Commit && !task.writes.is_empty() {
+                        rec.phase = RecPhase::Write;
+                    } else {
+                        finish_recovery(rec, decision, now, trace);
                     }
                 }
             }
@@ -1186,6 +1690,15 @@ impl<E: ShardEngine> Store<E> {
                 }
             })
             .collect();
+        // Surface — rather than silently absorb — a durability request the
+        // engine cannot honor: the fallback is recorded in the run trace,
+        // and therefore in the fingerprint.
+        let mut trace = Vec::new();
+        if cfg.durability.is_some() && !E::supports_durable() {
+            trace.push(
+                "t=0 cfg durability requested but engine lacks support: ram fallback".to_string(),
+            );
+        }
         let pool = key_pool(&map, cfg.n_shards, cfg.keys_per_shard);
         let routers: Vec<Router> = (0..cfg.n_routers)
             .map(|r| {
@@ -1231,6 +1744,7 @@ impl<E: ShardEngine> Store<E> {
                 pending: Vec::new(),
                 history: HistorySink::new(),
                 recovered: Vec::new(),
+                stalled: Vec::new(),
             },
             audit: Audit {
                 seq: 0,
@@ -1241,7 +1755,7 @@ impl<E: ShardEngine> Store<E> {
                 history: HistorySink::new(),
             },
             now: 0,
-            trace: Vec::new(),
+            trace,
             causal: StoreTrace::new(),
         }
     }
@@ -1398,6 +1912,29 @@ impl<E: ShardEngine> Store<E> {
     /// Transactions the recovery actor resolved, in resolution order.
     pub fn recovered(&self) -> &[(TxnId, TxnDecision)] {
         &self.recovery.recovered
+    }
+
+    /// Raw-2PC transactions recovery gave up on: no durable decision
+    /// exists anywhere, so they block forever.
+    pub fn stalled(&self) -> &[TxnId] {
+        &self.recovery.stalled
+    }
+
+    /// Overrides the commit backend of router `r`'s transaction number
+    /// `txn_number` (its `TxnId.number`). Panics if that transaction does
+    /// not exist in the generated workload.
+    pub fn set_txn_backend(&mut self, r: usize, txn_number: u64, backend: CommitBackend) {
+        let mut n = 0u64;
+        for item in &mut self.routers[r].items {
+            if let WorkItem::Txn { backend: b, .. } = item {
+                if n == txn_number {
+                    *b = backend;
+                    return;
+                }
+                n += 1;
+            }
+        }
+        panic!("router {r} has no transaction number {txn_number}");
     }
 
     /// Begin-to-outcome transaction latencies across all routers.
@@ -1643,7 +2180,11 @@ fn generate_items(cfg: &StoreConfig, pool: &[Vec<String>], router: usize) -> Vec
                 })
                 .collect();
             let abort = rng.gen_range(0..5) == 0;
-            items.push(WorkItem::Txn { writes, abort });
+            items.push(WorkItem::Txn {
+                writes,
+                abort,
+                backend: cfg.backend,
+            });
             txns += 1;
         }
         if singles < cfg.singles_per_router {

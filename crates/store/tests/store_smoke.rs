@@ -7,7 +7,7 @@ use consensus_core::txn::{self, TxnDecision};
 use paxos::MultiPaxosCluster;
 use raft::RaftCluster;
 use simnet::{NetConfig, Time};
-use store::{RouterCrashPoint, ShardEngine, Store, StoreConfig};
+use store::{CommitBackend, RouterCrashPoint, ShardEngine, Store, StoreConfig};
 
 const HORIZON: Time = Time(20_000_000);
 
@@ -239,6 +239,59 @@ fn durable_paxos_store_survives_replica_crash_restart() {
 }
 
 #[test]
+fn durable_coordinator_shard_recovers_in_flight_decision() {
+    // WAL-before-decision, explicitly: the router crashes right after its
+    // commit decision became durable (the data writes are still owed), and
+    // separately a replica of every shard is crash+restarted. The restarted
+    // coordinator-shard replica must rebuild the decision record from its
+    // checkpoint + first-class `TxnDecision` WAL records — answerable
+    // directly from its decision table, not by replaying client history.
+    let seed = probe_committing_seed(13);
+    let tid = consensus_core::TxnId::new(store::ROUTER_BASE, 0);
+    let mut s: Store<MultiPaxosCluster> =
+        Store::new(StoreConfig::small(seed).durable(8, simnet::DiskModel::ssd()));
+    s.crash_router_on_txn(0, 0, RouterCrashPoint::AfterDecide);
+    assert!(s.run(HORIZON), "durable store must quiesce");
+    // Recovery completed the in-flight commit.
+    assert!(s.recovered().contains(&(tid, TxnDecision::Commit)));
+    committed_values_visible(&s);
+    let dec_key = txn::decision_key(tid);
+    let coord = s
+        .shards()
+        .iter()
+        .position(|e| e.peek(&dec_key).is_some())
+        .expect("decision record must exist on some shard");
+    // Now crash + restart a coordinator-shard replica: its RAM state is
+    // gone; the decision table must come back from disk.
+    let global = (coord * s.cfg.replicas_per_shard + 2) as u32;
+    let now = s.now();
+    s.crash_node_at(global, now + 10_000);
+    s.restart_node_at(global, now + 30_000);
+    let end = now + 1_000_000;
+    while s.now() < end {
+        s.step();
+    }
+    let r = s.shards()[coord]
+        .replicas()
+        .nth(2)
+        .expect("replica 2 exists");
+    assert_eq!(
+        r.storage_stats().expect("durable engine attached").recoveries,
+        1
+    );
+    assert_eq!(
+        r.txn_decisions().get(&dec_key).map(String::as_str),
+        Some("commit"),
+        "restarted replica must recover the in-flight decision"
+    );
+    // At least one coordinator-shard replica appended the decision as a
+    // first-class WAL record.
+    assert!(s.shards()[coord]
+        .replicas()
+        .any(|r| r.txn_decisions_logged > 0));
+}
+
+#[test]
 fn durable_store_same_seed_fingerprints_are_bit_identical() {
     // Determinism survives the full durability stack: disk latency
     // accounting, WAL replay, checkpoint install — same seed, same bits.
@@ -261,8 +314,164 @@ fn durability_config_composes_with_engines_lacking_support() {
     // to the plain constructor, and the store still runs to completion.
     let mut s: Store<RaftCluster> =
         Store::new(StoreConfig::small(11).durable(8, simnet::DiskModel::ssd()));
+    // The fallback is visible, not silent: it is the first trace line, and
+    // therefore part of the run fingerprint.
+    assert!(
+        s.trace()
+            .first()
+            .is_some_and(|l| l.contains("ram fallback")),
+        "RAM fallback must be recorded in the trace"
+    );
+    assert!(!RaftCluster::supports_durable());
+    assert!(MultiPaxosCluster::supports_durable());
     assert!(s.run(HORIZON), "fallback engine must still quiesce");
     assert_eq!(s.outcomes().len(), 6);
+    committed_values_visible(&s);
+    // An engine that honors the request records no fallback.
+    let honored: Store<MultiPaxosCluster> =
+        Store::new(StoreConfig::small(11).durable(8, simnet::DiskModel::ssd()));
+    assert!(honored.trace().iter().all(|l| !l.contains("ram fallback")));
+    // And the fallback perturbs the fingerprint relative to a store that
+    // never asked for durability — the config lie is detectable.
+    let plain: Store<RaftCluster> = Store::new(StoreConfig::small(11));
+    assert!(plain.trace().is_empty());
+}
+
+// ---- commit backends -----------------------------------------------------
+
+/// First seed in `base..base+32` whose fault-free default-backend run
+/// commits router 0's txn 0 across ≥ 2 shards (so a coordinator crash has
+/// something to block).
+fn probe_committing_seed(base: u64) -> u64 {
+    for seed in base..base + 32 {
+        let mut s: Store<MultiPaxosCluster> = Store::new(StoreConfig::small(seed));
+        assert!(s.run(HORIZON));
+        let tid = consensus_core::TxnId::new(store::ROUTER_BASE, 0);
+        if s.outcomes()
+            .iter()
+            .any(|o| o.tid == tid && o.decision == TxnDecision::Commit && o.span >= 2)
+        {
+            return seed;
+        }
+    }
+    panic!("no committing multi-shard txn found near seed {base}");
+}
+
+fn backend_outcomes(backend: CommitBackend, seed: u64) -> Vec<(String, &'static str)> {
+    let mut s: Store<MultiPaxosCluster> =
+        Store::new(StoreConfig::small(seed).with_backend(backend));
+    assert!(s.run(HORIZON), "{backend:?} store did not quiesce");
+    committed_values_visible(&s);
+    // Completion *order* may shift with the backend's message pattern; the
+    // per-transaction decisions are what must agree.
+    let mut v: Vec<(String, &'static str)> = s
+        .outcomes()
+        .iter()
+        .map(|o| (o.tid.to_string(), o.decision.as_str()))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn paxos_commit_backend_commits_cross_shard_txns() {
+    let mut s: Store<MultiPaxosCluster> =
+        Store::new(StoreConfig::small(11).with_backend(CommitBackend::PaxosCommit));
+    assert!(s.run(HORIZON), "paxos-commit store did not quiesce");
+    let outcomes = s.outcomes();
+    assert_eq!(outcomes.len(), 6);
+    assert!(outcomes.iter().any(|o| o.decision == TxnDecision::Commit));
+    committed_values_visible(&s);
+    // Every transaction's trace line names the backend.
+    assert!(s
+        .trace()
+        .iter()
+        .filter(|l| l.contains(" begin "))
+        .all(|l| l.contains("backend=pc")));
+}
+
+#[test]
+fn raw_two_phase_backend_commits_cross_shard_txns() {
+    let mut s: Store<MultiPaxosCluster> =
+        Store::new(StoreConfig::small(11).with_backend(CommitBackend::TwoPhase));
+    assert!(s.run(HORIZON), "raw-2pc store did not quiesce");
+    assert_eq!(s.outcomes().len(), 6);
+    committed_values_visible(&s);
+}
+
+#[test]
+fn backend_outcomes_are_equivalent_when_fault_free() {
+    // Seed-swept equivalence: with no faults, all three backends decide
+    // every transaction identically — they disagree only about what
+    // survives a coordinator crash.
+    for seed in [11, 12, 13, 14, 15] {
+        let baseline = backend_outcomes(CommitBackend::TwoPhaseOverConsensus, seed);
+        assert_eq!(
+            backend_outcomes(CommitBackend::PaxosCommit, seed),
+            baseline,
+            "paxos-commit diverged at seed {seed}"
+        );
+        assert_eq!(
+            backend_outcomes(CommitBackend::TwoPhase, seed),
+            baseline,
+            "raw 2pc diverged at seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn backend_availability_contrast_under_identical_coordinator_crash() {
+    // The Gray–Lamport spectrum under ONE fault schedule: the coordinator
+    // (router) dies after every participant voted yes, before the decision
+    // escapes its process.
+    let seed = probe_committing_seed(40);
+    let tid = consensus_core::TxnId::new(store::ROUTER_BASE, 0);
+    let run = |backend| {
+        let mut s: Store<MultiPaxosCluster> =
+            Store::new(StoreConfig::small(seed).with_backend(backend));
+        s.crash_router_on_txn(0, 0, RouterCrashPoint::AfterPrepare);
+        assert!(s.run(HORIZON), "{backend:?} store did not quiesce");
+        committed_values_visible(&s);
+        s
+    };
+
+    // Raw 2PC: the only copy of the open decision died with the router.
+    // Recovery finds nothing to force — the transaction blocks forever.
+    let s = run(CommitBackend::TwoPhase);
+    assert!(s.stalled().contains(&tid), "raw 2pc must stall");
+    assert!(!s.recovered().iter().any(|(t, _)| *t == tid));
+
+    // 2PC over consensus: recovery closes the still-open decision with its
+    // abort-CAS. Safe, but the prepared work is thrown away.
+    let s = run(CommitBackend::TwoPhaseOverConsensus);
+    assert!(s.recovered().contains(&(tid, TxnDecision::Abort)));
+
+    // Paxos Commit: the prepared votes (with their write-sets) are already
+    // chosen in the shard logs. Recovery commits the transaction.
+    let s = run(CommitBackend::PaxosCommit);
+    assert!(
+        s.recovered().contains(&(tid, TxnDecision::Commit)),
+        "paxos commit must finish the prepared txn"
+    );
+    // The decision record recovery derived is durable on the coordinator
+    // shard, and the data writes are visible.
+    let dec = s
+        .shards()
+        .iter()
+        .find_map(|e| e.peek(&txn::decision_key(tid)));
+    assert_eq!(dec.as_deref(), Some("commit"));
+}
+
+#[test]
+fn paxos_commit_recovery_aborts_unvoted_txn() {
+    // Crash before any vote is cast: recovery free-aborts the first open
+    // vote register and the transaction aborts cleanly everywhere.
+    let mut s: Store<MultiPaxosCluster> =
+        Store::new(StoreConfig::small(11).with_backend(CommitBackend::PaxosCommit));
+    s.crash_router_on_txn(0, 0, RouterCrashPoint::BeforePrepare);
+    assert!(s.run(HORIZON));
+    let tid = consensus_core::TxnId::new(store::ROUTER_BASE, 0);
+    assert!(s.recovered().contains(&(tid, TxnDecision::Abort)));
     committed_values_visible(&s);
 }
 

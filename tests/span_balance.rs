@@ -76,6 +76,38 @@ fn pbft_smoke_run_balances_spans() {
 }
 
 #[test]
+fn paxos_commit_store_run_balances_spans() {
+    use forty::store::{CommitBackend, Store, StoreConfig};
+
+    // The Paxos Commit backend drives extra consensus instances (one vote
+    // register CAS per participant); all of them must close, and recording
+    // them must not perturb the run.
+    let run = |traced: bool| {
+        let mut s: Store<MultiPaxosCluster> =
+            Store::new(StoreConfig::small(SEED).with_backend(CommitBackend::PaxosCommit));
+        if traced {
+            s.enable_tracing();
+        }
+        assert!(s.run(Time::from_secs(30)), "paxos-commit store stalled");
+        s
+    };
+    let s = run(true);
+    for shard in s.shards() {
+        assert_balanced("paxos-commit store shard", shard);
+    }
+    let spans = s.causal_spans();
+    assert!(
+        spans.iter().any(|sp| sp.name.contains("vote")),
+        "traced paxos-commit run recorded no vote-register spans"
+    );
+    assert_eq!(
+        s.fingerprint(),
+        run(false).fingerprint(),
+        "enabling causal tracing changed the paxos-commit store run"
+    );
+}
+
+#[test]
 fn tracing_does_not_perturb_the_run() {
     let run = |traced: bool| {
         let mut c = MultiPaxosCluster::new(
