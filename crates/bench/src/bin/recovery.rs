@@ -1,6 +1,6 @@
 //! Regenerates (or checks) `BENCH_recovery.json`: the cold-restart recovery
-//! sweep — checkpoint threshold × disk profile — over a durable Multi-Paxos
-//! shard.
+//! sweep — consensus engine × checkpoint threshold × disk profile — over
+//! durable Multi-Paxos and Raft shards.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin recovery                 # regenerate

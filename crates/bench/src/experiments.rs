@@ -1136,7 +1136,7 @@ pub fn f28_store() -> Report {
     // killing the target transaction's coordinator right after its prepare
     // (vote) round — 2PC's classic blocking window, one layer up.
     let leg = |backend: store::CommitBackend, crash: bool| {
-        let cfg = StoreConfig::small(seed).with_backend(backend);
+        let cfg = StoreConfig::small(seed).backend(backend);
         let mut s: Store<MultiPaxosCluster> = Store::new(cfg);
         if crash {
             s.crash_router_on_txn(0, target.tid.number, RouterCrashPoint::AfterPrepare);
@@ -1262,7 +1262,7 @@ pub fn f29_recovery() -> Report {
 
     let points = run_sweep();
     let mut lines = vec![format!(
-        "durable Multi-Paxos shard ({} replicas, {} commands, seed {}): replica {} \
+        "durable Multi-Paxos and Raft shards ({} replicas, {} commands, seed {}): replica {} \
          crashes after the workload and restarts through checkpoint + WAL replay",
         crate::recovery::REPLICAS,
         crate::recovery::COMMANDS,

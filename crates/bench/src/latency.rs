@@ -299,11 +299,11 @@ fn pct(samples: &[u64], num: u64, den: u64) -> u64 {
 }
 
 fn store_cfg(spec: &SweepSpec, cell: &CellSpec) -> StoreConfig {
-    let mut cfg = StoreConfig::small(SEED);
-    cfg.txns_per_router = spec.txns_per_router;
-    cfg.singles_per_router = spec.singles_per_router;
-    cfg.batch = cell.batch;
-    cfg.net = NetConfig::lan().with_nic(NIC_PER_MSG_US, NIC_BYTES_PER_US);
+    let mut cfg = StoreConfig::new(SEED)
+        .txns_per_router(spec.txns_per_router)
+        .singles_per_router(spec.singles_per_router)
+        .batch(cell.batch)
+        .net(NetConfig::lan().with_nic(NIC_PER_MSG_US, NIC_BYTES_PER_US));
     if cell.durable {
         cfg = cfg.durable(DURABLE_THRESHOLD, DiskModel::ssd());
     }

@@ -77,6 +77,18 @@ pub enum KvCommand {
         /// Replacement value.
         new: String,
     },
+    /// Ordered scan of `[start, end)`, returning at most `limit` entries.
+    /// The only multi-key command: shards serve it from their sorted
+    /// primary index (B+ tree in durable mode), and routers merge per-shard
+    /// results into one globally ordered answer.
+    Range {
+        /// First key included.
+        start: String,
+        /// First key excluded.
+        end: String,
+        /// Maximum entries returned.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for KvCommand {
@@ -86,6 +98,9 @@ impl fmt::Display for KvCommand {
             KvCommand::Get { key } => write!(f, "get {key}"),
             KvCommand::Delete { key } => write!(f, "del {key}"),
             KvCommand::Cas { key, expect, new } => write!(f, "cas {key}:{expect}→{new}"),
+            KvCommand::Range { start, end, limit } => {
+                write!(f, "range [{start},{end})#{limit}")
+            }
         }
     }
 }
@@ -102,6 +117,8 @@ pub enum KvResponse {
         /// Whether the swap happened.
         swapped: bool,
     },
+    /// Range-scan result: `(key, value)` pairs in ascending key order.
+    Entries(Vec<(String, String)>),
 }
 
 /// A deterministic in-memory key-value store.
@@ -146,6 +163,19 @@ impl KvStore {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// Ordered scan of `[start, end)`, at most `limit` entries — the pure
+    /// read that [`KvCommand::Range`] applies through the log. Exposed so
+    /// durable replicas can cross-check their on-disk index scan against
+    /// the authoritative machine state.
+    pub fn scan(&self, start: &str, end: &str, limit: usize) -> Vec<(String, String)> {
+        use std::ops::Bound;
+        self.map
+            .range::<str, _>((Bound::Included(start), Bound::Excluded(end)))
+            .take(limit)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
 }
 
 impl StateMachine for KvStore {
@@ -173,6 +203,9 @@ impl StateMachine for KvStore {
                     _ => false,
                 };
                 KvResponse::CasResult { swapped }
+            }
+            KvCommand::Range { start, end, limit } => {
+                KvResponse::Entries(self.scan(start, end, *limit))
             }
         }
     }
@@ -429,6 +462,39 @@ mod tests {
     }
 
     #[test]
+    fn kv_range_scans_in_order_with_limit() {
+        let mut kv = KvStore::default();
+        for k in ["b", "a", "d", "c", "~ctl"] {
+            kv.apply(&put(k, &format!("v{k}")));
+        }
+        assert_eq!(
+            kv.apply(&KvCommand::Range {
+                start: "a".into(),
+                end: "z".into(),
+                limit: 10
+            }),
+            KvResponse::Entries(vec![
+                ("a".into(), "va".into()),
+                ("b".into(), "vb".into()),
+                ("c".into(), "vc".into()),
+                ("d".into(), "vd".into()),
+            ]),
+            "sorted, bounded, control keys above 'z' excluded"
+        );
+        assert_eq!(
+            kv.apply(&KvCommand::Range {
+                start: "b".into(),
+                end: "d".into(),
+                limit: 1
+            }),
+            KvResponse::Entries(vec![("b".into(), "vb".into())]),
+            "limit truncates; end is exclusive"
+        );
+        assert_eq!(kv.scan("a", "c", 10).len(), 2);
+        assert_eq!(kv.applied(), 7, "ranges count as applied operations");
+    }
+
+    #[test]
     fn kv_digest_detects_divergence() {
         let mut a = KvStore::default();
         let mut b = KvStore::default();
@@ -618,6 +684,19 @@ impl DedupKvMachine {
     pub fn kv(&self) -> &KvStore {
         &self.kv
     }
+
+    /// The dedup table: per client, the last applied sequence number and
+    /// its cached reply (snapshot serialization).
+    pub fn client_table(&self) -> &BTreeMap<u32, (u64, KvResponse)> {
+        &self.client_table
+    }
+
+    /// Rebuilds a machine from serialized parts. Digest-faithful: restoring
+    /// the exact `kv` and `client_table` reproduces the original digest
+    /// bit-for-bit, which snapshot codecs depend on.
+    pub fn restore(kv: KvStore, client_table: BTreeMap<u32, (u64, KvResponse)>) -> Self {
+        DedupKvMachine { kv, client_table }
+    }
 }
 
 impl StateMachine for DedupKvMachine {
@@ -691,6 +770,16 @@ mod dedup_tests {
         assert!(m.cached(2, 4).is_some(), "older seqs count as applied");
         assert!(m.cached(2, 6).is_none());
         assert!(m.cached(3, 0).is_none());
+    }
+
+    #[test]
+    fn restore_round_trips_digest() {
+        let mut m = DedupKvMachine::default();
+        m.apply(&cmd(1, 0, "k", "a"));
+        m.apply(&cmd(2, 1, "j", "b"));
+        let restored = DedupKvMachine::restore(m.kv().clone(), m.client_table().clone());
+        assert_eq!(restored.digest(), m.digest());
+        assert_eq!(restored.cached(1, 0), m.cached(1, 0));
     }
 
     #[test]

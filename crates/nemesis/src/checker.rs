@@ -197,6 +197,54 @@ pub fn check_txn_atomicity(history: &[ClientRecord]) -> Vec<Violation> {
     use consensus_core::smr::{KvCommand, KvResponse};
     use consensus_core::txn::{self, TxnDecision, TxnId};
 
+    let (decisions, mut out) = witnessed_decisions(history);
+
+    let mut flagged: BTreeSet<(TxnId, String)> = BTreeSet::new();
+    for r in history {
+        let Some(resp) = r.response() else { continue };
+        let (kind, key, value) = match (&r.op, resp) {
+            (KvCommand::Put { key, value }, KvResponse::Ok) if !txn::is_control_key(key) => {
+                ("write", key, value.clone())
+            }
+            (KvCommand::Get { key }, KvResponse::Value(Some(v))) if !txn::is_control_key(key) => {
+                ("read", key, v.clone())
+            }
+            _ => continue,
+        };
+        let Some(tid) = txn::tagged_txn(&value) else {
+            continue;
+        };
+        let verdict = match decisions.get(&tid) {
+            Some(TxnDecision::Commit) => continue,
+            Some(TxnDecision::Abort) => "aborted",
+            None => "never witnessed as committed",
+        };
+        if flagged.insert((tid, key.clone())) {
+            out.push(Violation {
+                check: "txn-atomicity",
+                detail: format!(
+                    "completed {kind} of {key}={value} from txn {tid}, \
+                     which {verdict}"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Harvests every transaction decision witnessed anywhere in the history —
+/// winning CAS on a decision key, direct decision-key `Put`, or any read of
+/// a decision key returning `commit`/`abort` — plus a `txn-decision`
+/// violation per transaction witnessed with conflicting outcomes.
+fn witnessed_decisions(
+    history: &[ClientRecord],
+) -> (
+    BTreeMap<consensus_core::txn::TxnId, consensus_core::txn::TxnDecision>,
+    Vec<Violation>,
+) {
+    use consensus_core::smr::{KvCommand, KvResponse};
+    use consensus_core::txn::{self, TxnDecision, TxnId};
+
     let mut decisions: BTreeMap<TxnId, TxnDecision> = BTreeMap::new();
     let mut out = Vec::new();
     for r in history {
@@ -237,35 +285,81 @@ pub fn check_txn_atomicity(history: &[ClientRecord]) -> Vec<Violation> {
             Some(_) => {}
         }
     }
+    (decisions, out)
+}
 
+/// Range-scan consistency for the sharded store's `Range` command, judged
+/// from completed range records in the merged client history.
+///
+/// Each completed range result must be **well-formed** — entries strictly
+/// ascending by key, every key inside `[start, end)`, at most `limit`
+/// entries — and must satisfy the **snapshot-read rule**: every
+/// transaction-tagged value it surfaces (`…@<tid>`) belongs to a
+/// transaction witnessed as committed somewhere in the history. A scan that
+/// surfaces an aborted (or never-committed) transaction's write observed an
+/// early write that 2PC should have kept invisible — exactly the leak the
+/// `buggy_early_writes` injection produces.
+pub fn check_range_consistency(history: &[ClientRecord]) -> Vec<Violation> {
+    use consensus_core::smr::{KvCommand, KvResponse};
+    use consensus_core::txn::{self, TxnDecision, TxnId};
+
+    let (decisions, _) = witnessed_decisions(history);
+    let mut out = Vec::new();
     let mut flagged: BTreeSet<(TxnId, String)> = BTreeSet::new();
     for r in history {
-        let Some(resp) = r.response() else { continue };
-        let (kind, key, value) = match (&r.op, resp) {
-            (KvCommand::Put { key, value }, KvResponse::Ok) if !txn::is_control_key(key) => {
-                ("write", key, value.clone())
-            }
-            (KvCommand::Get { key }, KvResponse::Value(Some(v))) if !txn::is_control_key(key) => {
-                ("read", key, v.clone())
-            }
-            _ => continue,
-        };
-        let Some(tid) = txn::tagged_txn(&value) else {
+        let KvCommand::Range { start, end, limit } = &r.op else {
             continue;
         };
-        let verdict = match decisions.get(&tid) {
-            Some(TxnDecision::Commit) => continue,
-            Some(TxnDecision::Abort) => "aborted",
-            None => "never witnessed as committed",
+        let Some(KvResponse::Entries(entries)) = r.response() else {
+            continue;
         };
-        if flagged.insert((tid, key.clone())) {
+        if entries.len() > *limit {
             out.push(Violation {
-                check: "txn-atomicity",
+                check: "range-bounds",
                 detail: format!(
-                    "completed {kind} of {key}={value} from txn {tid}, \
-                     which {verdict}"
+                    "range [{start},{end})#{limit} returned {} entries",
+                    entries.len()
                 ),
             });
+        }
+        if let Some(bad) = entries
+            .iter()
+            .find(|(k, _)| k.as_str() < start.as_str() || k.as_str() >= end.as_str())
+        {
+            out.push(Violation {
+                check: "range-bounds",
+                detail: format!("range [{start},{end}) returned out-of-range key {}", bad.0),
+            });
+        }
+        if let Some(pair) = entries.windows(2).find(|p| p[0].0 >= p[1].0) {
+            out.push(Violation {
+                check: "range-order",
+                detail: format!(
+                    "range [{start},{end}) keys not strictly ascending: {} then {}",
+                    pair[0].0, pair[1].0
+                ),
+            });
+        }
+        for (k, v) in entries {
+            if txn::is_control_key(k) {
+                continue;
+            }
+            let Some(tid) = txn::tagged_txn(v) else {
+                continue;
+            };
+            let verdict = match decisions.get(&tid) {
+                Some(TxnDecision::Commit) => continue,
+                Some(TxnDecision::Abort) => "aborted",
+                None => "was never witnessed as committed",
+            };
+            if flagged.insert((tid, k.clone())) {
+                out.push(Violation {
+                    check: "range-snapshot",
+                    detail: format!(
+                        "range [{start},{end}) surfaced {k}={v} from txn {tid}, which {verdict}"
+                    ),
+                });
+            }
         }
     }
     out
@@ -456,6 +550,92 @@ mod tests {
             )
         };
         assert!(check_txn_atomicity(&[pending]).is_empty());
+    }
+
+    #[test]
+    fn range_consistency_rules() {
+        use consensus_core::smr::{KvCommand, KvResponse};
+        use consensus_core::txn::{self, TxnId};
+
+        let tid = TxnId::new(100, 0);
+        let rec = |op: KvCommand, resp: KvResponse| ClientRecord {
+            client: 100,
+            seq: 1,
+            op,
+            invoked: 0,
+            completed: Some((1, resp)),
+        };
+        let range = |entries: Vec<(&str, String)>| {
+            rec(
+                KvCommand::Range {
+                    start: "a".into(),
+                    end: "z".into(),
+                    limit: 4,
+                },
+                KvResponse::Entries(
+                    entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+                ),
+            )
+        };
+        let commit = rec(
+            KvCommand::Put {
+                key: txn::decision_key(tid),
+                value: "commit".into(),
+            },
+            KvResponse::Ok,
+        );
+
+        // Committed tagged values plus plain singles: clean.
+        let ok = [
+            commit.clone(),
+            range(vec![
+                ("k1", txn::tag_value("v", tid)),
+                ("k2", "plain".into()),
+            ]),
+        ];
+        assert!(check_range_consistency(&ok).is_empty());
+
+        // A tagged value with no commit evidence is a snapshot-read leak.
+        let leak = [range(vec![("k1", txn::tag_value("v", tid))])];
+        assert_eq!(check_range_consistency(&leak)[0].check, "range-snapshot");
+
+        // So is one from a transaction witnessed as aborted.
+        let abort = rec(
+            KvCommand::Get {
+                key: txn::decision_key(tid),
+            },
+            KvResponse::Value(Some("abort".into())),
+        );
+        let v = check_range_consistency(&[abort, range(vec![("k1", txn::tag_value("v", tid))])]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].check, "range-snapshot");
+
+        // Well-formedness: out-of-range keys, misordered keys, over-limit.
+        let oob = [commit.clone(), range(vec![("~zz", "x".into())])];
+        assert_eq!(check_range_consistency(&oob)[0].check, "range-bounds");
+        let misordered = [
+            commit.clone(),
+            range(vec![("k2", "x".into()), ("k1", "y".into())]),
+        ];
+        assert_eq!(check_range_consistency(&misordered)[0].check, "range-order");
+        let over = [
+            commit,
+            range(vec![
+                ("k1", "a".into()),
+                ("k2", "b".into()),
+                ("k3", "c".into()),
+                ("k4", "d".into()),
+                ("k5", "e".into()),
+            ]),
+        ];
+        assert_eq!(check_range_consistency(&over)[0].check, "range-bounds");
+
+        // Incomplete ranges are no evidence either way.
+        let pending = ClientRecord {
+            completed: None,
+            ..range(vec![("k1", txn::tag_value("v", tid))])
+        };
+        assert!(check_range_consistency(&[pending]).is_empty());
     }
 
     #[test]

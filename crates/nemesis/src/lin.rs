@@ -9,8 +9,11 @@
 //!
 //! Two standard reductions keep the search tractable:
 //!
-//! * **Per-key decomposition.** Every `KvCommand` touches exactly one key,
-//!   so the whole history is linearizable iff each key's sub-history is.
+//! * **Per-key decomposition.** Every single-key `KvCommand` touches
+//!   exactly one key, so that part of the history is linearizable iff each
+//!   key's sub-history is. Multi-key `Range` scans fall outside the
+//!   decomposition and are excluded here — the store's dedicated range
+//!   checker ([`crate::checker::check_range_consistency`]) covers them.
 //! * **Pending-op branching.** An operation that was invoked but never
 //!   completed may have taken effect at any point after its invocation —
 //!   or never. We branch over the subset of pending ops assumed to have
@@ -29,12 +32,14 @@ use crate::checker::Violation;
 /// Default search budget (DFS steps across all keys).
 pub const DEFAULT_BUDGET: u64 = 2_000_000;
 
-fn key_of(cmd: &KvCommand) -> &str {
+fn key_of(cmd: &KvCommand) -> Option<&str> {
     match cmd {
         KvCommand::Put { key, .. }
         | KvCommand::Get { key }
         | KvCommand::Delete { key }
-        | KvCommand::Cas { key, .. } => key,
+        | KvCommand::Cas { key, .. } => Some(key),
+        // Multi-key: outside the per-key decomposition.
+        KvCommand::Range { .. } => None,
     }
 }
 
@@ -52,6 +57,8 @@ fn step(state: &Option<String>, cmd: &KvCommand) -> (Option<String>, KvResponse)
                 (state.clone(), KvResponse::CasResult { swapped: false })
             }
         }
+        // Never reached: range ops are filtered out before the search.
+        KvCommand::Range { .. } => (state.clone(), KvResponse::Entries(Vec::new())),
     }
 }
 
@@ -170,7 +177,8 @@ fn check_key(key: &str, complete: &[&ClientRecord], pending: &[&ClientRecord], b
 pub fn check_linearizable(history: &[ClientRecord], mut budget: u64) -> Vec<Violation> {
     let mut by_key: BTreeMap<&str, (Vec<&ClientRecord>, Vec<&ClientRecord>)> = BTreeMap::new();
     for rec in history {
-        let slot = by_key.entry(key_of(&rec.op)).or_default();
+        let Some(key) = key_of(&rec.op) else { continue };
+        let slot = by_key.entry(key).or_default();
         if rec.is_complete() {
             slot.0.push(rec);
         } else {

@@ -31,11 +31,15 @@
 //! (`forty-store`): faultable nodes are every shard replica *and* every
 //! router — a router crash is precisely the 2PC-coordinator crash that
 //! blocks unreplicated 2PC. On top of the per-shard SMR battery they check
-//! store-level linearizability of the merged client history and cross-shard
-//! transactional atomicity ([`crate::checker::check_txn_atomicity`]).
-//! `store-paxos-durable` runs the same battery with durable shard storage
+//! store-level linearizability of the merged client history, cross-shard
+//! transactional atomicity ([`crate::checker::check_txn_atomicity`]), and
+//! range-scan consistency of the fanned-out `Range` queries
+//! ([`crate::checker::check_range_consistency`]). `store-paxos-durable` and
+//! `store-raft-durable` run the same battery with durable shard storage
 //! attached, so every crash/restart in a plan drives the real recovery path
-//! (checkpoint load + WAL replay) instead of the RAM-durability model.
+//! (checkpoint load + WAL replay) instead of the RAM-durability model — for
+//! Raft that is hard-state persistence, log WAL records, and snapshot
+//! install, exactly as for Multi-Paxos.
 //!
 //! The three SMR targets also register `+batch` variants (same fault menu)
 //! that run the replicas under a real batching/pipelining configuration —
@@ -67,7 +71,8 @@ use simnet::{FilterAction, FnFilter, NetConfig, NodeId, Sim};
 
 use crate::checker::{
     check_atomic_commit, check_binary_agreement, check_integrity, check_log_agreement,
-    check_state_digests, check_txn_atomicity, check_validity, DecidedEntry, Violation,
+    check_range_consistency, check_state_digests, check_txn_atomicity, check_validity,
+    DecidedEntry, Violation,
 };
 use crate::exec::{execute_plan, WindowKind};
 use crate::lin::{check_linearizable, DEFAULT_BUDGET};
@@ -160,6 +165,12 @@ pub fn targets() -> Vec<Box<dyn Target>> {
             durable: true,
             _engine: std::marker::PhantomData,
         }),
+        Box::new(StoreTarget::<raft::RaftCluster> {
+            name: "store-raft-durable",
+            buggy: false,
+            durable: true,
+            _engine: std::marker::PhantomData,
+        }),
     ]
 }
 
@@ -230,6 +241,12 @@ pub fn by_name(name: &str) -> Option<Box<dyn Target>> {
         })),
         "store-paxos-durable" => Some(Box::new(StoreTarget::<MultiPaxosCluster> {
             name: "store-paxos-durable",
+            buggy: false,
+            durable: true,
+            _engine: std::marker::PhantomData,
+        })),
+        "store-raft-durable" => Some(Box::new(StoreTarget::<raft::RaftCluster> {
+            name: "store-raft-durable",
             buggy: false,
             durable: true,
             _engine: std::marker::PhantomData,
@@ -837,10 +854,11 @@ impl<E: ShardEngine> StoreTarget<E> {
     /// enabled before the first step — recording never perturbs timing or
     /// RNG draws, so the traced run is bit-identical to the checked one.
     fn drive(&self, seed: u64, plan: &FaultPlan, trace: bool) -> Store<E> {
-        let mut cfg = StoreConfig {
-            buggy_early_writes: self.buggy,
-            ..StoreConfig::small(seed)
-        };
+        // Two range scans per router keep the range checkers exercised on
+        // every store trial (they fan out across all shards and merge).
+        let mut cfg = StoreConfig::new(seed)
+            .buggy_early_writes(self.buggy)
+            .ranges_per_router(2);
         if self.durable {
             cfg = cfg.durable(8, simnet::DiskModel::ssd());
         }
@@ -932,6 +950,7 @@ impl<E: ShardEngine> Target for StoreTarget<E> {
         // … then the store-level checks over the merged client history.
         violations.extend(check_linearizable(&history, DEFAULT_BUDGET));
         violations.extend(check_txn_atomicity(&history));
+        violations.extend(check_range_consistency(&history));
         let ops = history.iter().filter(|r| r.is_complete()).count();
         RunReport { violations, ops }
     }
@@ -1023,6 +1042,36 @@ mod tests {
             a.violations
         );
         assert!(a.ops > 0, "durable store made no progress");
+        let b = target.run(17, &plan);
+        assert_eq!(a.violations, b.violations, "recovery not deterministic");
+        assert_eq!(a.ops, b.ops, "recovery not deterministic");
+    }
+
+    #[test]
+    fn durable_raft_store_crash_restart_exercises_recovery() {
+        // The Raft twin of the paxos-durable schedule: one replica per
+        // shard dies mid-workload and restarts through Raft's real
+        // recovery path (snapshot load + WAL replay of hard state, log
+        // entries, and commit markers). Safety battery plus bit-identical
+        // reruns.
+        let target = by_name("store-raft-durable").expect("registered");
+        let plan = FaultPlan {
+            actions: vec![
+                FaultAction::Crash { node: 2, at: 20_000 },
+                FaultAction::Crash { node: 5, at: 25_000 },
+                FaultAction::Crash { node: 8, at: 30_000 },
+                FaultAction::Restart { node: 2, at: 40_000 },
+                FaultAction::Restart { node: 5, at: 45_000 },
+                FaultAction::Restart { node: 8, at: 50_000 },
+            ],
+        };
+        let a = target.run(17, &plan);
+        assert!(
+            a.violations.is_empty(),
+            "durable raft store violated safety across recovery: {:?}",
+            a.violations
+        );
+        assert!(a.ops > 0, "durable raft store made no progress");
         let b = target.run(17, &plan);
         assert_eq!(a.violations, b.violations, "recovery not deterministic");
         assert_eq!(a.ops, b.ops, "recovery not deterministic");

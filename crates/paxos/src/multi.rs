@@ -659,6 +659,22 @@ impl Replica {
             Slot::Applied(MpOp::Batch(cs)) => cs.clone(),
             _ => return false,
         };
+        // Authoritative answers for any range scans in the slot, computed
+        // from the machine *after* the whole slot applied — which is the
+        // state the engine's index reaches once the mirror loop finishes.
+        type RangeCheck = (String, String, usize, Vec<(String, String)>);
+        let range_checks: Vec<RangeCheck> = cmds
+            .iter()
+            .filter_map(|cmd| match &cmd.op {
+                KvCommand::Range { start, end, limit } => Some((
+                    start.clone(),
+                    end.clone(),
+                    *limit,
+                    self.log.machine().kv().scan(start, end, *limit),
+                )),
+                _ => None,
+            })
+            .collect();
         let mut decisions: Vec<(String, String)> = Vec::new();
         {
             let engine = self.engine.as_mut().expect("checked above");
@@ -679,8 +695,16 @@ impl Replica {
                             }
                         }
                     }
-                    KvCommand::Get { .. } => {}
+                    KvCommand::Get { .. } | KvCommand::Range { .. } => {}
                 }
+            }
+            // Serve every range from the on-disk primary index too: charges
+            // the honest B+ tree scan I/O and cross-checks the index
+            // against the machine's sorted map.
+            for (start, end, limit, want) in range_checks {
+                let mut got = engine.scan(&start, &end);
+                got.truncate(limit);
+                assert_eq!(got, want, "engine index diverged from machine on range scan");
             }
         }
         let resolved = !decisions.is_empty();

@@ -4,7 +4,7 @@ use consensus_core::driver::{BatchConfig, ClusterDriver, DecidedEntry, DriverCon
 use consensus_core::history::ClientRecord;
 use consensus_core::workload::{KvMix, LatencyRecorder, WorkloadMode};
 use consensus_core::{HistorySink, SmrOp, StateMachine as _};
-use simnet::{CausalSpan, Metrics, NetConfig, NodeId, RunOutcome, Sim, Time};
+use simnet::{CausalSpan, DiskModel, Metrics, NetConfig, NodeId, RunOutcome, Sim, Time};
 
 use crate::client::Client;
 use crate::replica::{Replica, Role};
@@ -71,6 +71,20 @@ impl RaftCluster {
             n_replicas,
             n_clients,
         }
+    }
+
+    /// Attaches a fresh [`storage::DurableEngine`] over `model` to every
+    /// replica and sets the snapshot threshold: WAL-before-message
+    /// persistence, checkpointing, and real crash recovery all activate.
+    #[must_use]
+    pub fn with_durability(mut self, threshold: usize, model: DiskModel) -> Self {
+        for i in 0..self.n_replicas {
+            if let Proc::Replica(r) = self.sim.node_mut(NodeId::from(i)) {
+                r.snapshot_threshold = threshold.max(1);
+                r.engine = Some(Box::new(storage::DurableEngine::new(model)));
+            }
+        }
+        self
     }
 
     /// Runs until all clients finish or `horizon` passes.
@@ -615,6 +629,126 @@ mod tests {
         assert_eq!(drv.history().len(), 10);
         assert_eq!(drv.issued().len(), 10);
         assert!(drv.decided_log().iter().any(|e| e.origin.is_some()));
+    }
+
+    #[test]
+    fn durability_does_not_change_decisions() {
+        // The disk model is pure accounting — attaching engines must not
+        // perturb message timing. Under a draw-free synchronous network the
+        // run must be observably identical across a sweep of seeds: same
+        // committed (client, seq) sequence, same final digest, same traffic.
+        for seed in [42u64, 43, 44] {
+            let run = |durable: bool| {
+                let mut cluster = RaftCluster::new_with(
+                    3,
+                    2,
+                    20,
+                    NetConfig::synchronous(),
+                    seed,
+                    BatchConfig::unbatched(),
+                    WorkloadMode::Closed,
+                );
+                if durable {
+                    // Same threshold as the RAM default, so compaction
+                    // behaviour matches entry-for-entry.
+                    cluster = cluster
+                        .with_durability(crate::replica::SNAPSHOT_THRESHOLD, DiskModel::ssd());
+                }
+                assert!(cluster.run(Time::from_secs(30)), "seed {seed} stalled");
+                cluster.check_log_matching();
+                let digest = cluster
+                    .replicas()
+                    .max_by_key(|r| r.last_applied)
+                    .expect("replicas")
+                    .machine()
+                    .digest();
+                (committed_origins(&cluster), digest, cluster.sim.metrics().sent)
+            };
+            let ram = run(false);
+            assert_eq!(ram.0.len(), 40, "seed {seed}");
+            assert_eq!(run(true), ram, "seed {seed}: durable run diverged");
+        }
+    }
+
+    #[test]
+    fn durable_snapshots_bound_log_growth() {
+        // Durable flavour of `snapshots_bound_log_growth`: checkpoints must
+        // both compact the in-RAM log and land on the engine as snapshots.
+        let mut cluster =
+            RaftCluster::new(3, 1, 40, NetConfig::lan(), 20).with_durability(8, DiskModel::ssd());
+        assert!(cluster.run(Time::from_secs(30)));
+        cluster.sim.run_for(300_000);
+        for r in cluster.replicas() {
+            assert!(r.snapshots_taken >= 1, "replica never compacted");
+            assert!(
+                r.retained_len() < 40,
+                "log not compacted: {} entries retained",
+                r.retained_len()
+            );
+            let stats = r.storage_stats().expect("durable engine");
+            assert!(stats.snapshots_written >= 1, "checkpoint never hit the disk");
+            assert!(stats.wal_flushes > 0, "WAL never synced");
+        }
+        cluster.check_log_matching();
+    }
+
+    #[test]
+    fn durable_replica_recovers_from_wal_and_snapshot() {
+        let mut cluster =
+            RaftCluster::new(3, 1, 30, NetConfig::lan(), 22).with_durability(8, DiskModel::ssd());
+        assert!(cluster.run(Time::from_secs(20)));
+        assert_eq!(cluster.total_completed(), 30);
+        cluster.sim.run_for(300_000);
+        let digest_before = {
+            let crate::Proc::Replica(r) = cluster.sim.node(NodeId(2)) else {
+                panic!("node 2 is a replica")
+            };
+            assert!(r.snapshots_taken >= 1, "needs a checkpoint to recover from");
+            r.machine().digest()
+        };
+        // Crash + restart: recovery must come from the checkpoint (not a
+        // full replay from index 0) and reproduce the exact machine state.
+        let now = cluster.sim.now();
+        cluster.sim.crash_at(NodeId(2), Time(now.0 + 1_000));
+        cluster.sim.restart_at(NodeId(2), Time(now.0 + 50_000));
+        cluster.sim.run_for(500_000);
+        let crate::Proc::Replica(r) = cluster.sim.node(NodeId(2)) else {
+            panic!("node 2 is a replica")
+        };
+        assert!(
+            r.recovered_floor > 0,
+            "recovery replayed from index 0 instead of the snapshot"
+        );
+        assert_eq!(r.machine().digest(), digest_before, "state must survive");
+        let stats = r.storage_stats().expect("durable engine");
+        assert_eq!(stats.recoveries, 1);
+        assert!(r.last_recovery_io_us > 0, "recovery must charge disk time");
+        cluster.check_log_matching();
+    }
+
+    #[test]
+    fn durable_leader_crash_failover_preserves_safety() {
+        // Crash the durable leader mid-workload, let the cluster fail over,
+        // then restart it: the WAL-recovered log must agree with the
+        // survivors (Log Matching) and the workload must finish.
+        let mut cluster =
+            RaftCluster::new(3, 2, 20, NetConfig::lan(), 24).with_durability(8, DiskModel::ssd());
+        cluster.sim.run_until(Time::from_millis(100));
+        let leader = cluster.leader().expect("initial leader");
+        cluster.sim.crash_at(leader, Time::from_millis(101));
+        cluster.sim.restart_at(leader, Time::from_millis(400));
+        assert!(
+            cluster.run(Time::from_secs(30)),
+            "completed {}",
+            cluster.total_completed()
+        );
+        assert_eq!(cluster.total_completed(), 40);
+        cluster.sim.run_for(500_000);
+        cluster.check_log_matching();
+        let crate::Proc::Replica(r) = cluster.sim.node(leader) else {
+            panic!("leader is a replica")
+        };
+        assert_eq!(r.storage_stats().expect("durable engine").recoveries, 1);
     }
 
     #[test]

@@ -1,68 +1,75 @@
-//! On-disk formats for durable Multi-Paxos: WAL records and machine
-//! snapshots, hand-encoded via [`storage::codec`] (the workspace has no
-//! serde derive — every byte here is explicit, which also makes the WAL
-//! record format table in the generated docs honest).
+//! On-disk formats for durable Raft: WAL records and machine snapshots,
+//! hand-encoded via [`storage::codec`] — the same discipline as
+//! `paxos::durable`, with Raft's own persistent state in the records.
 //!
 //! ## WAL records
 //!
 //! | tag | record | payload |
 //! |---|---|---|
-//! | 1 | `Promise` | ballot `(num: u64, pid: u32)` |
-//! | 2 | `Accept` | index `u64`, ballot, op |
-//! | 3 | `Decide` | index `u64`, op |
-//! | 4 | `TxnDecision` | key `str`, value `str` |
+//! | 1 | `HardState` | `current_term: u64`, `voted_for: u32` (`MAX` = none) |
+//! | 2 | `Append` | absolute index `u64`, entry (term + op) |
+//! | 3 | `Truncate` | first absolute index dropped `u64` |
+//! | 4 | `Commit` | commit index `u64` |
+//! | 5 | `TxnDecision` | key `str`, value `str` |
 //!
-//! The replica logs a record *before* the externally visible action it
-//! justifies — promise before `PrepareAck`, accept before `Accepted`,
-//! decide before applying — and `sync`s in the same handler, so one flush
-//! group-commits everything a message triggered.
+//! Figure 2 of the Raft paper marks `currentTerm`, `votedFor`, and `log[]`
+//! persistent: the replica logs a `HardState` whenever term or vote
+//! changes and an `Append`/`Truncate` whenever the log does, and `sync`s
+//! before the externally visible message each change justifies — a vote
+//! before the `VoteResponse`, an append before the `AppendResponse` (or,
+//! on the leader, before the entry is replicated). `Commit` records are an
+//! optimization, not a safety requirement (Raft's commit index is
+//! volatile): replaying them lets a restarted replica re-apply to its old
+//! frontier without waiting for a leader round-trip.
 //!
-//! `TxnDecision` is the store's WAL-before-decision discipline made
-//! explicit: when an applied slot resolves a 2PC decision record
-//! (`~dec.<tid>`), the coordinator-shard replica additionally logs the
-//! resolved `(key, value)` as its own first-class record and syncs before
-//! the reply that releases the transaction leaves. On recovery these
-//! records (plus any decision entries in the snapshot) rebuild a dedicated
-//! decision table, so a restarted replica can answer "what did `tid`
-//! decide?" without replaying the whole command history.
+//! `TxnDecision` carries the store's WAL-before-decision discipline (see
+//! `paxos::durable`): a slot that resolves a `~dec.<tid>` record is synced
+//! before the releasing reply leaves.
 //!
 //! ## Snapshot blob
 //!
-//! `applied_len`, then the [`MpMachine`]: KV applied-counter, KV entries,
-//! client table. Restoring must reproduce the machine digest bit-for-bit —
-//! the nemesis fingerprint oracle depends on it.
+//! `last_included_index`, `last_included_term`, then the
+//! [`DedupKvMachine`]: KV applied-counter, KV entries, client table.
+//! Restoring must reproduce the machine digest bit-for-bit — the nemesis
+//! fingerprint oracle depends on it.
 
-use consensus_core::{Ballot, Command, KvCommand, KvResponse, KvStore};
+use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, KvStore, SmrOp};
+use simnet::NodeId;
 use storage::codec::{put_str, put_u32, put_u64, Reader};
 
-use crate::multi::{MpMachine, MpOp};
+use crate::msg::Entry;
+
+/// Sentinel for `voted_for: None` on the wire.
+const NO_VOTE: u32 = u32::MAX;
 
 /// WAL record decoded back from bytes.
 #[derive(Clone, Debug, PartialEq)]
 pub enum WalRecord {
-    /// A promise was made: never accept lower ballots again.
-    Promise {
-        /// The promised ballot.
-        ballot: Ballot,
+    /// Term and vote changed: both persist atomically (Figure 2).
+    HardState {
+        /// Latest term this server has seen.
+        term: u64,
+        /// Candidate voted for in that term.
+        voted_for: Option<NodeId>,
     },
-    /// An op was accepted for a slot under a ballot.
-    Accept {
-        /// Log index.
+    /// An entry was appended at an absolute index.
+    Append {
+        /// Absolute log index.
         index: usize,
-        /// Accepting ballot.
-        ballot: Ballot,
-        /// Accepted op.
-        op: MpOp,
+        /// The entry.
+        entry: Entry,
     },
-    /// A slot's decision was learned.
-    Decide {
-        /// Log index.
+    /// Conflicting suffix dropped: entries at `from` and above are gone.
+    Truncate {
+        /// First absolute index dropped.
+        from: usize,
+    },
+    /// The commit index advanced (recovery accelerator, not safety).
+    Commit {
+        /// New commit index.
         index: usize,
-        /// Decided op.
-        op: MpOp,
     },
-    /// An applied slot resolved a transaction decision record: the
-    /// coordinator shard persists the outcome as a first-class WAL entry
+    /// An applied entry resolved a transaction decision record: persisted
     /// *before* the releasing reply leaves (WAL-before-decision).
     TxnDecision {
         /// The decision key (`~dec.<tid>`).
@@ -72,40 +79,29 @@ pub enum WalRecord {
     },
 }
 
-fn put_ballot(buf: &mut Vec<u8>, b: Ballot) {
-    put_u64(buf, b.num);
-    put_u32(buf, b.pid);
-}
-
-fn get_ballot(r: &mut Reader) -> Option<Ballot> {
-    let num = r.get_u64()?;
-    let pid = r.get_u32()?;
-    Some(Ballot::new(num, pid))
-}
-
 fn put_kv_command(buf: &mut Vec<u8>, op: &KvCommand) {
     match op {
         KvCommand::Put { key, value } => {
-            buf.push(0);
+            put_u32(buf, 0);
             put_str(buf, key);
             put_str(buf, value);
         }
         KvCommand::Get { key } => {
-            buf.push(1);
+            put_u32(buf, 1);
             put_str(buf, key);
         }
         KvCommand::Delete { key } => {
-            buf.push(2);
+            put_u32(buf, 2);
             put_str(buf, key);
         }
         KvCommand::Cas { key, expect, new } => {
-            buf.push(3);
+            put_u32(buf, 3);
             put_str(buf, key);
             put_str(buf, expect);
             put_str(buf, new);
         }
         KvCommand::Range { start, end, limit } => {
-            buf.push(4);
+            put_u32(buf, 4);
             put_str(buf, start);
             put_str(buf, end);
             put_u64(buf, *limit as u64);
@@ -114,8 +110,7 @@ fn put_kv_command(buf: &mut Vec<u8>, op: &KvCommand) {
 }
 
 fn get_kv_command(r: &mut Reader) -> Option<KvCommand> {
-    let tag = r.get_u32()?;
-    Some(match tag {
+    Some(match r.get_u32()? {
         0 => KvCommand::Put {
             key: r.get_str()?,
             value: r.get_str()?,
@@ -136,54 +131,39 @@ fn get_kv_command(r: &mut Reader) -> Option<KvCommand> {
     })
 }
 
-fn put_command(buf: &mut Vec<u8>, cmd: &Command<KvCommand>) {
-    put_u32(buf, cmd.client);
-    put_u64(buf, cmd.seq);
-    let mut inner = Vec::new();
-    put_kv_command(&mut inner, &cmd.op);
-    // Tag is a byte on the wire; re-read as u32 for uniformity.
-    let tag = inner.remove(0);
-    put_u32(buf, u32::from(tag));
-    buf.extend_from_slice(&inner);
-}
-
-fn get_command(r: &mut Reader) -> Option<Command<KvCommand>> {
-    let client = r.get_u32()?;
-    let seq = r.get_u64()?;
-    let op = get_kv_command(r)?;
-    Some(Command { client, seq, op })
-}
-
-fn put_op(buf: &mut Vec<u8>, op: &MpOp) {
+fn put_op(buf: &mut Vec<u8>, op: &SmrOp) {
     match op {
-        MpOp::Noop => put_u32(buf, 0),
-        MpOp::Cmd(cmd) => {
+        SmrOp::Noop => put_u32(buf, 0),
+        SmrOp::Cmd(cmd) => {
             put_u32(buf, 1);
-            put_command(buf, cmd);
-        }
-        MpOp::Batch(cmds) => {
-            put_u32(buf, 2);
-            put_u32(buf, cmds.len() as u32);
-            for c in cmds {
-                put_command(buf, c);
-            }
+            put_u32(buf, cmd.client);
+            put_u64(buf, cmd.seq);
+            put_kv_command(buf, &cmd.op);
         }
     }
 }
 
-fn get_op(r: &mut Reader) -> Option<MpOp> {
+fn get_op(r: &mut Reader) -> Option<SmrOp> {
     Some(match r.get_u32()? {
-        0 => MpOp::Noop,
-        1 => MpOp::Cmd(get_command(r)?),
-        2 => {
-            let n = r.get_u32()? as usize;
-            let mut cmds = Vec::with_capacity(n);
-            for _ in 0..n {
-                cmds.push(get_command(r)?);
-            }
-            MpOp::Batch(cmds)
-        }
+        0 => SmrOp::Noop,
+        1 => SmrOp::Cmd(Command {
+            client: r.get_u32()?,
+            seq: r.get_u64()?,
+            op: get_kv_command(r)?,
+        }),
         _ => return None,
+    })
+}
+
+fn put_entry(buf: &mut Vec<u8>, entry: &Entry) {
+    put_u64(buf, entry.term);
+    put_op(buf, &entry.op);
+}
+
+fn get_entry(r: &mut Reader) -> Option<Entry> {
+    Some(Entry {
+        term: r.get_u64()?,
+        op: get_op(r)?,
     })
 }
 
@@ -236,23 +216,26 @@ fn get_response(r: &mut Reader) -> Option<KvResponse> {
 pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
     let mut buf = Vec::new();
     match rec {
-        WalRecord::Promise { ballot } => {
+        WalRecord::HardState { term, voted_for } => {
             put_u32(&mut buf, 1);
-            put_ballot(&mut buf, *ballot);
+            put_u64(&mut buf, *term);
+            put_u32(&mut buf, voted_for.map_or(NO_VOTE, |n| n.0));
         }
-        WalRecord::Accept { index, ballot, op } => {
+        WalRecord::Append { index, entry } => {
             put_u32(&mut buf, 2);
             put_u64(&mut buf, *index as u64);
-            put_ballot(&mut buf, *ballot);
-            put_op(&mut buf, op);
+            put_entry(&mut buf, entry);
         }
-        WalRecord::Decide { index, op } => {
+        WalRecord::Truncate { from } => {
             put_u32(&mut buf, 3);
+            put_u64(&mut buf, *from as u64);
+        }
+        WalRecord::Commit { index } => {
+            put_u32(&mut buf, 4);
             put_u64(&mut buf, *index as u64);
-            put_op(&mut buf, op);
         }
         WalRecord::TxnDecision { key, value } => {
-            put_u32(&mut buf, 4);
+            put_u32(&mut buf, 5);
             put_str(&mut buf, key);
             put_str(&mut buf, value);
         }
@@ -265,19 +248,24 @@ pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
 pub fn decode_record(bytes: &[u8]) -> Option<WalRecord> {
     let mut r = Reader::new(bytes);
     let rec = match r.get_u32()? {
-        1 => WalRecord::Promise {
-            ballot: get_ballot(&mut r)?,
+        1 => WalRecord::HardState {
+            term: r.get_u64()?,
+            voted_for: match r.get_u32()? {
+                NO_VOTE => None,
+                n => Some(NodeId(n)),
+            },
         },
-        2 => WalRecord::Accept {
+        2 => WalRecord::Append {
             index: r.get_u64()? as usize,
-            ballot: get_ballot(&mut r)?,
-            op: get_op(&mut r)?,
+            entry: get_entry(&mut r)?,
         },
-        3 => WalRecord::Decide {
+        3 => WalRecord::Truncate {
+            from: r.get_u64()? as usize,
+        },
+        4 => WalRecord::Commit {
             index: r.get_u64()? as usize,
-            op: get_op(&mut r)?,
         },
-        4 => WalRecord::TxnDecision {
+        5 => WalRecord::TxnDecision {
             key: r.get_str()?,
             value: r.get_str()?,
         },
@@ -286,18 +274,24 @@ pub fn decode_record(bytes: &[u8]) -> Option<WalRecord> {
     (r.remaining() == 0).then_some(rec)
 }
 
-/// Serializes a machine checkpoint: the state after `applied_len` entries.
-pub fn encode_snapshot(machine: &MpMachine, applied_len: usize) -> Vec<u8> {
+/// Serializes a machine checkpoint covering the log through
+/// `last_included_index` (whose entry had `last_included_term`).
+pub fn encode_snapshot(
+    machine: &DedupKvMachine,
+    last_included_index: usize,
+    last_included_term: u64,
+) -> Vec<u8> {
     let mut buf = Vec::new();
-    put_u64(&mut buf, applied_len as u64);
+    put_u64(&mut buf, last_included_index as u64);
+    put_u64(&mut buf, last_included_term);
     put_u64(&mut buf, machine.kv().applied());
     put_u32(&mut buf, machine.kv().len() as u32);
     for (k, v) in machine.kv().iter() {
         put_str(&mut buf, k);
         put_str(&mut buf, v);
     }
-    put_u32(&mut buf, machine.client_table.len() as u32);
-    for (client, (seq, out)) in &machine.client_table {
+    put_u32(&mut buf, machine.client_table().len() as u32);
+    for (client, (seq, out)) in machine.client_table() {
         put_u32(&mut buf, *client);
         put_u64(&mut buf, *seq);
         put_response(&mut buf, out);
@@ -305,11 +299,13 @@ pub fn encode_snapshot(machine: &MpMachine, applied_len: usize) -> Vec<u8> {
     buf
 }
 
-/// Deserializes a checkpoint back into `(machine, applied_len)`. The
-/// restored machine's digest equals the snapshotted one bit-for-bit.
-pub fn decode_snapshot(bytes: &[u8]) -> Option<(MpMachine, usize)> {
+/// Deserializes a checkpoint back into
+/// `(machine, last_included_index, last_included_term)`. The restored
+/// machine's digest equals the snapshotted one bit-for-bit.
+pub fn decode_snapshot(bytes: &[u8]) -> Option<(DedupKvMachine, usize, u64)> {
     let mut r = Reader::new(bytes);
-    let applied_len = r.get_u64()? as usize;
+    let last_included_index = r.get_u64()? as usize;
+    let last_included_term = r.get_u64()?;
     let kv_applied = r.get_u64()?;
     let n_kv = r.get_u32()? as usize;
     let mut entries = Vec::with_capacity(n_kv);
@@ -326,11 +322,8 @@ pub fn decode_snapshot(bytes: &[u8]) -> Option<(MpMachine, usize)> {
         let out = get_response(&mut r)?;
         client_table.insert(client, (seq, out));
     }
-    let machine = MpMachine {
-        kv: KvStore::restore(entries, kv_applied),
-        client_table,
-    };
-    (r.remaining() == 0).then_some((machine, applied_len))
+    let machine = DedupKvMachine::restore(KvStore::restore(entries, kv_applied), client_table);
+    (r.remaining() == 0).then_some((machine, last_included_index, last_included_term))
 }
 
 #[cfg(test)]
@@ -338,57 +331,60 @@ mod tests {
     use super::*;
     use consensus_core::StateMachine;
 
-    fn cmd(client: u32, seq: u64, op: KvCommand) -> Command<KvCommand> {
-        Command { client, seq, op }
+    fn cmd(client: u32, seq: u64, op: KvCommand) -> SmrOp {
+        SmrOp::Cmd(Command { client, seq, op })
     }
 
     #[test]
     fn wal_records_round_trip() {
         let records = vec![
-            WalRecord::Promise {
-                ballot: Ballot::new(7, 2),
+            WalRecord::HardState {
+                term: 7,
+                voted_for: Some(NodeId(2)),
             },
-            WalRecord::Accept {
+            WalRecord::HardState {
+                term: 8,
+                voted_for: None,
+            },
+            WalRecord::Append {
                 index: 42,
-                ballot: Ballot::new(3, 1),
-                op: MpOp::Cmd(cmd(
-                    9,
-                    4,
-                    KvCommand::Cas {
-                        key: "k".into(),
-                        expect: "a".into(),
-                        new: "b".into(),
-                    },
-                )),
-            },
-            WalRecord::Decide {
-                index: 0,
-                op: MpOp::Noop,
-            },
-            WalRecord::Decide {
-                index: 5,
-                op: MpOp::Batch(vec![
-                    cmd(
-                        1,
-                        1,
-                        KvCommand::Put {
-                            key: "x".into(),
-                            value: "y".into(),
+                entry: Entry {
+                    term: 7,
+                    op: cmd(
+                        9,
+                        4,
+                        KvCommand::Cas {
+                            key: "k".into(),
+                            expect: "a".into(),
+                            new: "b".into(),
                         },
                     ),
-                    cmd(2, 3, KvCommand::Get { key: "x".into() }),
-                    cmd(2, 4, KvCommand::Delete { key: "x".into() }),
-                    cmd(
-                        3,
+                },
+            },
+            WalRecord::Append {
+                index: 1,
+                entry: Entry {
+                    term: 1,
+                    op: SmrOp::Noop,
+                },
+            },
+            WalRecord::Append {
+                index: 3,
+                entry: Entry {
+                    term: 2,
+                    op: cmd(
                         1,
+                        6,
                         KvCommand::Range {
                             start: "a".into(),
                             end: "q".into(),
                             limit: 16,
                         },
                     ),
-                ]),
+                },
             },
+            WalRecord::Truncate { from: 17 },
+            WalRecord::Commit { index: 40 },
             WalRecord::TxnDecision {
                 key: "~dec.t100.3".into(),
                 value: "commit".into(),
@@ -404,28 +400,26 @@ mod tests {
     fn decode_rejects_garbage_and_trailing_bytes() {
         assert_eq!(decode_record(&[]), None);
         assert_eq!(decode_record(&[9, 0, 0, 0]), None, "unknown tag");
-        let mut ok = encode_record(&WalRecord::Promise {
-            ballot: Ballot::ZERO,
-        });
+        let mut ok = encode_record(&WalRecord::Commit { index: 3 });
         ok.push(0);
         assert_eq!(decode_record(&ok), None, "trailing bytes are corruption");
     }
 
     #[test]
     fn snapshot_round_trips_digest_exactly() {
-        let mut m = MpMachine::default();
+        let mut m = DedupKvMachine::default();
         for i in 0..20u32 {
-            m.apply(&MpOp::Cmd(cmd(
+            m.apply(&cmd(
                 i % 3,
                 u64::from(i),
                 KvCommand::Put {
                     key: format!("k{i}"),
                     value: format!("v{i}"),
                 },
-            )));
+            ));
         }
-        m.apply(&MpOp::Cmd(cmd(0, 50, KvCommand::Get { key: "k1".into() })));
-        m.apply(&MpOp::Cmd(cmd(
+        m.apply(&cmd(0, 50, KvCommand::Get { key: "k1".into() }));
+        m.apply(&cmd(
             1,
             51,
             KvCommand::Cas {
@@ -433,8 +427,8 @@ mod tests {
                 expect: "nope".into(),
                 new: "x".into(),
             },
-        )));
-        m.apply(&MpOp::Cmd(cmd(
+        ));
+        m.apply(&cmd(
             2,
             52,
             KvCommand::Range {
@@ -442,10 +436,10 @@ mod tests {
                 end: "k3".into(),
                 limit: 8,
             },
-        )));
-        let blob = encode_snapshot(&m, 23);
-        let (restored, applied_len) = decode_snapshot(&blob).expect("decodes");
-        assert_eq!(applied_len, 23);
+        ));
+        let blob = encode_snapshot(&m, 23, 5);
+        let (restored, idx, term) = decode_snapshot(&blob).expect("decodes");
+        assert_eq!((idx, term), (23, 5));
         assert_eq!(restored.digest(), m.digest(), "digest must survive");
         assert_eq!(restored.kv().applied(), m.kv().applied());
         // Truncated blobs never half-decode.

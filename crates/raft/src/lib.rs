@@ -15,6 +15,7 @@
 
 pub mod client;
 pub mod cluster;
+pub mod durable;
 pub mod msg;
 pub mod replica;
 

@@ -4,10 +4,11 @@
 
 use std::collections::BTreeMap;
 
-use consensus_core::{BatchConfig, DedupKvMachine, SmrOp, StateMachine};
+use consensus_core::{BatchConfig, DedupKvMachine, KvCommand, KvResponse, SmrOp, StateMachine};
 use simnet::causal::cat;
 use simnet::{CncPhase, Context, Node, NodeId, Time, TraceCtx, Timer, TimerId};
 
+use crate::durable::WalRecord;
 use crate::msg::{Entry, RaftMsg};
 
 /// Span protocol label; instances are log indices, rounds are terms.
@@ -35,6 +36,14 @@ const HB_PERIOD: u64 = 10_000;
 const BATCH: usize = 32;
 /// Default applied-entry count that triggers a snapshot.
 pub const SNAPSHOT_THRESHOLD: usize = 64;
+
+/// Whether an applied write resolves a 2PC/commit decision record: a
+/// decision key whose new value is a final `commit`/`abort` (the `pending`
+/// init is not a resolution).
+fn is_txn_decision(key: &str, value: &str) -> bool {
+    consensus_core::txn::parse_decision_key(key).is_some()
+        && consensus_core::txn::TxnDecision::parse(value).is_some()
+}
 
 /// A Raft server.
 pub struct Replica {
@@ -91,11 +100,33 @@ pub struct Replica {
     overdue: bool,
 
     // --- compaction ---
-    snapshot_threshold: usize,
+    pub(crate) snapshot_threshold: usize,
     /// Snapshots this replica has taken locally.
     pub snapshots_taken: u64,
     /// Snapshots received and installed from a leader.
     pub snapshots_installed: u64,
+
+    // --- durability ---
+    /// Durable storage, when enabled: term/vote/log changes go to its WAL
+    /// *before* the message they justify leaves, checkpoints absorb the
+    /// applied prefix, and applied KV state is mirrored into its primary
+    /// index. `None` keeps the historical everything-in-RAM behaviour.
+    pub(crate) engine: Option<Box<dyn storage::StorageEngine>>,
+    /// Whether WAL records were appended since the last sync.
+    wal_dirty: bool,
+    /// Floor restored by the most recent crash recovery (0 = none / cold).
+    pub recovered_floor: usize,
+    /// Entries replayed from the WAL by the most recent recovery.
+    pub last_recovery_replayed: u64,
+    /// Disk time the most recent recovery charged (µs).
+    pub last_recovery_io_us: u64,
+    /// Durable mode: transaction decision records (`~dec.<tid>` → value)
+    /// this replica applied, persisted as first-class `TxnDecision` WAL
+    /// records *before* the releasing reply leaves and rebuilt on recovery
+    /// (from snapshot + WAL) without replaying the command history.
+    txn_decisions: BTreeMap<String, String>,
+    /// `TxnDecision` records appended over this replica's lifetime.
+    pub txn_decisions_logged: u64,
 }
 
 impl Replica {
@@ -134,6 +165,13 @@ impl Replica {
             snapshot_threshold: SNAPSHOT_THRESHOLD,
             snapshots_taken: 0,
             snapshots_installed: 0,
+            engine: None,
+            wal_dirty: false,
+            recovered_floor: 0,
+            last_recovery_replayed: 0,
+            last_recovery_io_us: 0,
+            txn_decisions: BTreeMap::new(),
+            txn_decisions_logged: 0,
         }
     }
 
@@ -142,6 +180,301 @@ impl Replica {
     pub fn with_snapshot_threshold(mut self, t: usize) -> Self {
         self.snapshot_threshold = t.max(1);
         self
+    }
+
+    /// Attaches a durable storage engine: the WAL-before-message
+    /// discipline, checkpointing and crash recovery all activate.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Box<dyn storage::StorageEngine>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Storage counters, when a durable engine is attached.
+    pub fn storage_stats(&self) -> Option<storage::StorageStats> {
+        self.engine.as_ref().map(|e| e.stats())
+    }
+
+    /// Durable mode: the transaction decision records this replica has
+    /// applied (decision key → `commit`/`abort`), survives crash recovery.
+    pub fn txn_decisions(&self) -> &BTreeMap<String, String> {
+        &self.txn_decisions
+    }
+
+    /// Appends a protocol record to the engine's WAL (no-op without one).
+    fn wal_log(&mut self, rec: WalRecord) {
+        if let Some(e) = self.engine.as_mut() {
+            e.log_record(&crate::durable::encode_record(&rec));
+            self.wal_dirty = true;
+        }
+    }
+
+    /// Persists the Figure-2 hard state (`current_term`, `voted_for`) —
+    /// called whenever either changes; the sync rides the handler's group
+    /// commit before its response leaves.
+    fn log_hard_state(&mut self) {
+        let (term, voted_for) = (self.current_term, self.voted_for);
+        self.wal_log(WalRecord::HardState { term, voted_for });
+    }
+
+    /// Group-commits everything this handler logged (no-op when nothing
+    /// is outstanding) and charges the modeled device time to the current
+    /// causal trace.
+    fn wal_sync(&mut self, ctx: &mut Context<RaftMsg>) {
+        if !self.wal_dirty {
+            return;
+        }
+        self.wal_dirty = false;
+        if let Some(e) = self.engine.as_mut() {
+            let before = e.stats().io_time_us;
+            e.sync();
+            let spent = e.stats().io_time_us - before;
+            if spent > 0 {
+                ctx.charge_io("wal-sync", spent);
+            }
+        }
+    }
+
+    /// Mirrors one freshly applied entry's effects into the durable
+    /// engine's primary index. `out` is the machine's actual output, so a
+    /// failed CAS mirrors nothing. Callers must skip entries the dedup
+    /// table absorbed (a duplicate `(client, seq)` at a second log index
+    /// does not mutate the machine, so re-mirroring its payload would
+    /// clobber newer state).
+    ///
+    /// Returns `true` when the entry resolved a transaction decision
+    /// record: the outcome was additionally appended to the WAL as a
+    /// first-class [`WalRecord::TxnDecision`], and the caller must sync
+    /// before the releasing reply leaves.
+    fn mirror_applied(&mut self, op: &SmrOp, out: Option<&KvResponse>) -> bool {
+        if self.engine.is_none() {
+            return false;
+        }
+        let SmrOp::Cmd(cmd) = op else { return false };
+        let mut decision: Option<(String, String)> = None;
+        {
+            // Authoritative range answer from the machine, computed before
+            // the engine borrow.
+            let range_check = match &cmd.op {
+                KvCommand::Range { start, end, limit } => Some((
+                    start.clone(),
+                    end.clone(),
+                    *limit,
+                    self.machine.kv().scan(start, end, *limit),
+                )),
+                _ => None,
+            };
+            let engine = self.engine.as_mut().expect("checked above");
+            match &cmd.op {
+                KvCommand::Put { key, value } => {
+                    engine.put(key, value);
+                    if is_txn_decision(key, value) {
+                        decision = Some((key.clone(), value.clone()));
+                    }
+                }
+                KvCommand::Delete { key } => engine.delete(key),
+                KvCommand::Cas { key, new, .. } => {
+                    if matches!(out, Some(KvResponse::CasResult { swapped: true })) {
+                        engine.put(key, new);
+                        if is_txn_decision(key, new) {
+                            decision = Some((key.clone(), new.clone()));
+                        }
+                    }
+                }
+                KvCommand::Get { .. } | KvCommand::Range { .. } => {}
+            }
+            // Serve every range from the on-disk primary index too: charges
+            // the honest B+ tree scan I/O and cross-checks the index
+            // against the machine's sorted map.
+            if let Some((start, end, limit, want)) = range_check {
+                let mut got = engine.scan(&start, &end);
+                got.truncate(limit);
+                assert_eq!(got, want, "engine index diverged from machine on range scan");
+            }
+        }
+        let resolved = decision.is_some();
+        if let Some((key, value)) = decision {
+            self.txn_decisions.insert(key.clone(), value.clone());
+            self.txn_decisions_logged += 1;
+            self.wal_log(WalRecord::TxnDecision { key, value });
+        }
+        resolved
+    }
+
+    /// Rebuilds the engine's primary index from the full machine state —
+    /// used after installing a snapshot (local recovery or leader state
+    /// transfer). Keys the incoming state no longer has are dropped first
+    /// (a leader snapshot may land on a live index), then everything is
+    /// upserted; this pays the honest rebuild I/O that recovery-time
+    /// experiments measure.
+    fn mirror_full_state(&mut self) {
+        if self.engine.is_none() {
+            return;
+        }
+        let entries: Vec<(String, String)> = self
+            .machine
+            .kv()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        let live: std::collections::BTreeSet<&str> =
+            entries.iter().map(|(k, _)| k.as_str()).collect();
+        let engine = self.engine.as_mut().expect("checked above");
+        let stale: Vec<String> = engine
+            .scan("", "\u{10FFFF}")
+            .into_iter()
+            .map(|(k, _)| k)
+            .filter(|k| !live.contains(k.as_str()))
+            .collect();
+        for k in &stale {
+            engine.delete(k);
+        }
+        for (k, v) in &entries {
+            engine.put(k, v);
+        }
+        // Decision records captured by the checkpoint re-seed the decision
+        // table; WAL replay then adds anything resolved after it.
+        for (k, v) in &entries {
+            if is_txn_decision(k, v) {
+                self.txn_decisions.insert(k.clone(), v.clone());
+            }
+        }
+    }
+
+    /// Writes the machine state through the engine as a snapshot (which
+    /// truncates the WAL) and re-logs every record still live: the hard
+    /// state, the retained log suffix, and the commit index. After this,
+    /// recovery = snapshot load + WAL replay.
+    fn persist_checkpoint(&mut self) {
+        use crate::durable::{encode_record, encode_snapshot};
+        if self.engine.is_none() {
+            return;
+        }
+        let blob = encode_snapshot(&self.machine, self.log_offset, self.log[0].term);
+        let hard_state = encode_record(&WalRecord::HardState {
+            term: self.current_term,
+            voted_for: self.voted_for,
+        });
+        let engine = self.engine.as_mut().expect("checked above");
+        engine.write_snapshot(&blob);
+        engine.log_record(&hard_state);
+        for (rel, entry) in self.log.iter().enumerate().skip(1) {
+            engine.log_record(&encode_record(&WalRecord::Append {
+                index: self.log_offset + rel,
+                entry: entry.clone(),
+            }));
+        }
+        if self.commit_index > self.log_offset {
+            engine.log_record(&encode_record(&WalRecord::Commit {
+                index: self.commit_index,
+            }));
+        }
+        engine.sync();
+        self.wal_dirty = false;
+    }
+
+    /// Crash recovery: reformat the engine's volatile layers, load the
+    /// last checkpoint, replay the WAL in order. Everything the
+    /// pre-durability model declared axiomatically persistent (term, vote,
+    /// log, machine) is rebuilt here from actual on-disk bytes — and the
+    /// disk charges for every read, which is what recovery-time
+    /// experiments measure.
+    fn recover_from_engine(&mut self) {
+        use crate::durable::{decode_record, decode_snapshot};
+        let (recovery, io_before) = {
+            let engine = self.engine.as_mut().expect("durable mode");
+            let io_before = engine.stats().io_time_us;
+            engine.crash();
+            (engine.recover(), io_before)
+        };
+        self.wal_dirty = false;
+        self.current_term = 0;
+        self.voted_for = None;
+        self.log = vec![Entry {
+            term: 0,
+            op: SmrOp::Noop,
+        }];
+        self.log_offset = 0;
+        self.machine = DedupKvMachine::default();
+        self.commit_index = 0;
+        self.last_applied = 0;
+        self.leader_hint = None;
+        self.txn_decisions.clear();
+        if let Some(blob) = recovery.snapshot {
+            let (machine, idx, term) =
+                decode_snapshot(&blob).expect("checkpoint blob decodes");
+            self.log = vec![Entry {
+                term,
+                op: SmrOp::Noop,
+            }];
+            self.log_offset = idx;
+            self.machine = machine;
+            self.commit_index = idx;
+            self.last_applied = idx;
+            self.mirror_full_state();
+        }
+        let mut replayed = 0u64;
+        let mut commit = self.commit_index;
+        for raw in &recovery.records {
+            let rec = decode_record(raw).expect("CRC-valid WAL record decodes");
+            replayed += 1;
+            match rec {
+                WalRecord::HardState { term, voted_for } => {
+                    if term >= self.current_term {
+                        self.current_term = term;
+                        self.voted_for = voted_for;
+                    }
+                }
+                WalRecord::Append { index, entry } => {
+                    if index <= self.log_offset {
+                        continue; // absorbed by the checkpoint
+                    }
+                    let rel = index - self.log_offset;
+                    self.log.truncate(rel.min(self.log.len()));
+                    assert_eq!(rel, self.log.len(), "WAL append out of order at {index}");
+                    self.log.push(entry);
+                }
+                WalRecord::Truncate { from } => {
+                    if from > self.log_offset {
+                        let rel = from - self.log_offset;
+                        self.log.truncate(rel.min(self.log.len()));
+                    }
+                }
+                WalRecord::Commit { index } => commit = commit.max(index),
+                WalRecord::TxnDecision { key, value } => {
+                    self.txn_decisions.insert(key, value);
+                }
+            }
+        }
+        // Re-apply to the recovered commit frontier (never past the log —
+        // an unsynced `Commit` may reference entries that didn't survive;
+        // the next leader round re-commits them).
+        self.commit_index = commit.min(self.last_log_index());
+        while self.last_applied < self.commit_index {
+            self.last_applied += 1;
+            let i = self.last_applied;
+            if i <= self.log_offset {
+                continue;
+            }
+            let op = self.entry(i).expect("committed and retained").op.clone();
+            let fresh = match &op {
+                SmrOp::Cmd(cmd) => self.machine.cached(cmd.client, cmd.seq).is_none(),
+                SmrOp::Noop => false,
+            };
+            let out = self.machine.apply(&op);
+            if fresh {
+                self.mirror_applied(&op, out.as_ref());
+            }
+        }
+        self.recovered_floor = self.log_offset;
+        self.last_recovery_replayed = replayed;
+        self.last_recovery_io_us = self
+            .engine
+            .as_ref()
+            .expect("durable mode")
+            .stats()
+            .io_time_us
+            - io_before;
     }
 
     /// Absolute index of the last log entry.
@@ -259,6 +592,7 @@ impl Replica {
         if term > self.current_term {
             self.current_term = term;
             self.voted_for = None;
+            self.log_hard_state();
         }
         self.role = Role::Follower;
         self.reset_batching();
@@ -270,6 +604,8 @@ impl Replica {
         self.role = Role::Candidate;
         self.voted_for = Some(ctx.id());
         self.votes = 1; // own vote
+        self.log_hard_state();
+        self.wal_sync(ctx); // term + self-vote durable before soliciting
         self.reset_election_timer(ctx);
         ctx.phase(
             SPAN,
@@ -315,6 +651,11 @@ impl Replica {
             term: self.current_term,
             op: SmrOp::Noop,
         });
+        self.wal_log(WalRecord::Append {
+            index: self.last_log_index(),
+            entry: self.log.last().expect("just pushed").clone(),
+        });
+        self.wal_sync(ctx); // the no-op is durable before it replicates
         self.match_index[ctx.id().index()] = self.last_log_index();
         self.replicate_all(ctx);
         ctx.set_timer(HB_PERIOD, HEARTBEAT);
@@ -398,6 +739,7 @@ impl Replica {
         let index = index.min(self.last_log_index());
         if index > self.commit_index {
             self.commit_index = index;
+            self.wal_log(WalRecord::Commit { index: self.commit_index });
         }
         // Apply in order; entries ≤ log_offset are already reflected in the
         // machine (they came from a snapshot).
@@ -411,7 +753,20 @@ impl Replica {
             self.pending_trace.remove(&i);
             ctx.phase(SPAN, i as u64, self.current_term, CncPhase::Decision);
             ctx.span_close(SPAN, i as u64, self.current_term);
+            // A duplicate `(client, seq)` at a second index is absorbed by
+            // the dedup table without mutating the machine — don't mirror
+            // its payload over newer state.
+            let fresh = match &op {
+                SmrOp::Cmd(cmd) => self.machine.cached(cmd.client, cmd.seq).is_none(),
+                SmrOp::Noop => false,
+            };
             let out = self.machine.apply(&op);
+            if fresh && self.mirror_applied(&op, out.as_ref()) {
+                // WAL-before-decision: the entry resolved a transaction
+                // decision record — its dedicated WAL entry must be on
+                // disk before the reply that releases the transaction.
+                self.wal_sync(ctx);
+            }
             if self.role == Role::Leader {
                 if let (Some(client_node), Some(output), SmrOp::Cmd(cmd)) =
                     (self.pending_reply.remove(&i), out, &op)
@@ -452,6 +807,9 @@ impl Replica {
         self.log = new_log;
         self.log_offset = new_offset;
         self.snapshots_taken += 1;
+        // Durable mode: the checkpoint truncates the WAL and re-logs the
+        // retained suffix, so recovery cost stays bounded.
+        self.persist_checkpoint();
     }
 
     fn log_up_to_date(&self, last_index: usize, last_term: u64) -> bool {
@@ -516,6 +874,11 @@ impl Node for Replica {
                     op: SmrOp::Cmd(cmd),
                 });
                 let index = self.last_log_index();
+                self.wal_log(WalRecord::Append {
+                    index,
+                    entry: self.log.last().expect("just pushed").clone(),
+                });
+                self.wal_sync(ctx); // entry durable before the leader counts it
                 ctx.span_open(SPAN, index as u64, self.current_term);
                 ctx.phase(SPAN, index as u64, self.current_term, CncPhase::Agreement);
                 self.match_index[ctx.id().index()] = index;
@@ -540,8 +903,10 @@ impl Node for Replica {
                     && self.log_up_to_date(last_log_index, last_log_term);
                 if grant {
                     self.voted_for = Some(from);
+                    self.log_hard_state();
                     self.reset_election_timer(ctx);
                 }
+                self.wal_sync(ctx); // term/vote durable before the response
                 ctx.send(
                     from,
                     RaftMsg::VoteResponse {
@@ -588,6 +953,7 @@ impl Node for Replica {
                 if prev_log_index < self.log_offset {
                     // We have a snapshot past `prev`: ask the leader to
                     // resume from our offset.
+                    self.wal_sync(ctx); // any term bump durable first
                     ctx.send(
                         from,
                         RaftMsg::AppendResponse {
@@ -606,6 +972,7 @@ impl Node for Replica {
                         .saturating_sub(1)
                         .min(self.last_log_index())
                         .max(self.log_offset);
+                    self.wal_sync(ctx); // any term bump durable first
                     ctx.send(
                         from,
                         RaftMsg::AppendResponse {
@@ -628,15 +995,23 @@ impl Node for Replica {
                                 "attempted to truncate a committed entry"
                             );
                             self.log.truncate(index - self.log_offset);
-                            self.log.push(entry);
+                            self.wal_log(WalRecord::Truncate { from: index });
+                            self.log.push(entry.clone());
+                            self.wal_log(WalRecord::Append { index, entry });
                         }
-                        None => self.log.push(entry),
+                        None => {
+                            self.log.push(entry.clone());
+                            self.wal_log(WalRecord::Append { index, entry });
+                        }
                     }
                 }
                 if leader_commit > self.commit_index {
                     let last_new = index;
                     self.set_commit_index(ctx, leader_commit.min(last_new));
                 }
+                // One group commit covers the term bump, every appended
+                // entry, and the commit advance — WAL-before-ack.
+                self.wal_sync(ctx);
                 ctx.send(
                     from,
                     RaftMsg::AppendResponse {
@@ -682,6 +1057,11 @@ impl Node for Replica {
                 self.last_applied = last_included_index;
                 self.commit_index = self.commit_index.max(last_included_index);
                 self.snapshots_installed += 1;
+                // Durable mode: rebuild the on-disk index from the shipped
+                // state and checkpoint it, so the install survives a crash
+                // that follows the ack.
+                self.mirror_full_state();
+                self.persist_checkpoint();
                 ctx.send(
                     from,
                     RaftMsg::AppendResponse {
@@ -753,14 +1133,20 @@ impl Node for Replica {
     }
 
     fn on_restart(&mut self, ctx: &mut Context<RaftMsg>) {
-        // current_term, voted_for, log, snapshot, and machine are
-        // persistent; leadership and volatile indices reset.
+        // Leadership and volatile indices never survive a restart.
         self.role = Role::Follower;
         self.votes = 0;
         self.pending_reply.clear();
         self.pending_trace.clear();
         self.reset_batching();
         self.election_timer = None;
+        if self.engine.is_some() {
+            // Durable mode: term, vote, log, and machine exist only as WAL
+            // records and checkpoints. Rebuild them the honest way.
+            self.recover_from_engine();
+        }
+        // else: the historical RAM model — current_term, voted_for, log,
+        // snapshot, and machine are axiomatically durable and still here.
         self.reset_election_timer(ctx);
     }
 }

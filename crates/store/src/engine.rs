@@ -24,45 +24,78 @@ use raft::msg::RaftMsg;
 use raft::RaftCluster;
 use simnet::{DiskModel, NetConfig, NodeId, TraceCtx};
 
+/// Everything needed to build one shard group, in one place. Collapsing the
+/// old `build_shard` / `build_shard_durable` pair into a single spec-driven
+/// constructor removed the silent-fallback duality: an engine either builds
+/// what the spec asks for or fails to compile, never "quietly builds
+/// something else".
+#[derive(Clone, Debug)]
+pub struct ShardBuildSpec {
+    /// Replicas in the consensus group (the stub client gets id
+    /// `n_replicas`).
+    pub n_replicas: usize,
+    /// Batching/pipelining knob for the group's proposer.
+    pub batch: BatchConfig,
+    /// Network profile of the group's simulation.
+    pub net: NetConfig,
+    /// Seed of the group's simulation.
+    pub seed: u64,
+    /// Durable storage: `(snapshot_threshold, disk model)`. `None` keeps
+    /// the RAM-durability model.
+    pub durability: Option<(usize, DiskModel)>,
+    /// Causal-tracing site id to enable at build time (`None` = tracing
+    /// off; the store also enables tracing post-build via
+    /// [`ClusterDriver::enable_tracing`]).
+    pub trace_site: Option<u32>,
+}
+
+impl ShardBuildSpec {
+    /// A RAM-durability, untraced spec — the historical `build_shard`
+    /// arguments.
+    pub fn new(n_replicas: usize, batch: BatchConfig, net: NetConfig, seed: u64) -> Self {
+        ShardBuildSpec {
+            n_replicas,
+            batch,
+            net,
+            seed,
+            durability: None,
+            trace_site: None,
+        }
+    }
+
+    /// The same shard persisted through a durable storage engine,
+    /// checkpointing every `threshold` applied entries over `disk`.
+    #[must_use]
+    pub fn durable(mut self, threshold: usize, disk: DiskModel) -> Self {
+        self.durability = Some((threshold, disk));
+        self
+    }
+
+    /// The same shard with causal tracing enabled as tracer site `site`.
+    #[must_use]
+    pub fn tracing(mut self, site: u32) -> Self {
+        self.trace_site = Some(site);
+        self
+    }
+}
+
 /// A consensus group that the store can use as a replicated shard log.
 pub trait ShardEngine: ClusterDriver {
-    /// Builds one shard group: `n_replicas` replicas plus one stub client
-    /// (node id `n_replicas`) whose identity the harness borrows as the
-    /// sender of injected submissions.
-    fn build_shard(n_replicas: usize, batch: BatchConfig, net: NetConfig, seed: u64) -> Self
+    /// Builds one shard group from `spec`: `spec.n_replicas` replicas plus
+    /// one stub client (node id `n_replicas`) whose identity the harness
+    /// borrows as the sender of injected submissions. A durable spec
+    /// attaches a real storage engine to every replica — there is no
+    /// fallback path.
+    fn build_shard(spec: &ShardBuildSpec) -> Self
     where
         Self: Sized;
 
-    /// Builds a shard whose replicas persist through a durable storage
-    /// engine, checkpointing every `threshold` applied entries over `disk`.
-    /// The default falls back to [`ShardEngine::build_shard`] — engines
-    /// without durable support keep the RAM-durability model, so the store
-    /// composes with both.
-    fn build_shard_durable(
-        n_replicas: usize,
-        batch: BatchConfig,
-        net: NetConfig,
-        seed: u64,
-        threshold: usize,
-        disk: DiskModel,
-    ) -> Self
-    where
-        Self: Sized,
-    {
-        let _ = (threshold, disk);
-        Self::build_shard(n_replicas, batch, net, seed)
-    }
-
-    /// Whether [`ShardEngine::build_shard_durable`] actually persists
-    /// state, or silently falls back to the RAM model. The store records a
-    /// fallback in its run trace (and fingerprint), so a durability request
-    /// an engine cannot honor is visible rather than silent.
+    /// Whether durable specs actually persist state. Both engines now
+    /// answer `true`; the method remains so tests can assert the invariant
+    /// and future engines must declare themselves.
     fn supports_durable() -> bool
     where
-        Self: Sized,
-    {
-        false
-    }
+        Self: Sized;
 
     /// Broadcasts `cmd` to every replica, sent from the stub client node.
     /// Safe to call repeatedly with the same command (dedup applies once).
@@ -88,28 +121,26 @@ pub trait ShardEngine: ClusterDriver {
 }
 
 impl ShardEngine for MultiPaxosCluster {
-    fn build_shard(n_replicas: usize, batch: BatchConfig, net: NetConfig, seed: u64) -> Self {
-        MultiPaxosCluster::new_with(
-            QuorumSpec::Majority { n: n_replicas },
-            n_replicas,
+    fn build_shard(spec: &ShardBuildSpec) -> Self {
+        let mut cluster = MultiPaxosCluster::new_with(
+            QuorumSpec::Majority {
+                n: spec.n_replicas,
+            },
+            spec.n_replicas,
             1,
             0,
-            net,
-            seed,
-            batch,
+            spec.net.clone(),
+            spec.seed,
+            spec.batch,
             WorkloadMode::Closed,
-        )
-    }
-
-    fn build_shard_durable(
-        n_replicas: usize,
-        batch: BatchConfig,
-        net: NetConfig,
-        seed: u64,
-        threshold: usize,
-        disk: DiskModel,
-    ) -> Self {
-        Self::build_shard(n_replicas, batch, net, seed).with_durability(threshold, disk)
+        );
+        if let Some((threshold, disk)) = spec.durability {
+            cluster = cluster.with_durability(threshold, disk);
+        }
+        if let Some(site) = spec.trace_site {
+            cluster.enable_tracing(site);
+        }
+        cluster
     }
 
     fn supports_durable() -> bool {
@@ -142,16 +173,27 @@ impl ShardEngine for MultiPaxosCluster {
 }
 
 impl ShardEngine for RaftCluster {
-    fn build_shard(n_replicas: usize, batch: BatchConfig, net: NetConfig, seed: u64) -> Self {
-        RaftCluster::new_with(
-            n_replicas,
+    fn build_shard(spec: &ShardBuildSpec) -> Self {
+        let mut cluster = RaftCluster::new_with(
+            spec.n_replicas,
             1,
             0,
-            net,
-            seed,
-            batch,
+            spec.net.clone(),
+            spec.seed,
+            spec.batch,
             WorkloadMode::Closed,
-        )
+        );
+        if let Some((threshold, disk)) = spec.durability {
+            cluster = cluster.with_durability(threshold, disk);
+        }
+        if let Some(site) = spec.trace_site {
+            cluster.enable_tracing(site);
+        }
+        cluster
+    }
+
+    fn supports_durable() -> bool {
+        true
     }
 
     fn submit(&mut self, cmd: Command<KvCommand>) {
@@ -213,23 +255,26 @@ mod tests {
         assert_eq!(shard.peek("missing"), None);
     }
 
+    fn spec() -> ShardBuildSpec {
+        ShardBuildSpec::new(3, BatchConfig::unbatched(), NetConfig::lan(), 7)
+    }
+
     #[test]
     fn paxos_shard_applies_injected_commands() {
-        drive(MultiPaxosCluster::build_shard(
-            3,
-            BatchConfig::unbatched(),
-            NetConfig::lan(),
-            7,
-        ));
+        drive(MultiPaxosCluster::build_shard(&spec()));
     }
 
     #[test]
     fn raft_shard_applies_injected_commands() {
-        drive(RaftCluster::build_shard(
-            3,
-            BatchConfig::unbatched(),
-            NetConfig::lan(),
-            7,
-        ));
+        drive(RaftCluster::build_shard(&spec()));
+    }
+
+    #[test]
+    fn durable_specs_apply_injected_commands_on_both_engines() {
+        let durable = spec().durable(8, DiskModel::ssd());
+        drive(MultiPaxosCluster::build_shard(&durable));
+        drive(RaftCluster::build_shard(&durable));
+        assert!(MultiPaxosCluster::supports_durable());
+        assert!(RaftCluster::supports_durable());
     }
 }

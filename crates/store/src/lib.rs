@@ -27,10 +27,10 @@ pub mod engine;
 pub mod shard_map;
 pub mod store;
 
-pub use engine::ShardEngine;
+pub use engine::{ShardBuildSpec, ShardEngine};
 pub use shard_map::{key_hash, ShardMap};
 pub use store::{
-    decode_intent, encode_intent, intent_key, CommitBackend, OpRecord, RouterCrashPoint, Store,
-    StoreConfig, TxnOutcome, AUDIT_CLIENT, QUANTUM_US, RECOVERY_CLIENT, RECOVERY_DELAY_US,
-    ROUTER_BASE,
+    decode_intent, encode_intent, intent_key, CommitBackend, OpRecord, RangeOutcome,
+    RouterCrashPoint, Store, StoreConfig, TxnOutcome, AUDIT_CLIENT, QUANTUM_US, RECOVERY_CLIENT,
+    RECOVERY_DELAY_US, ROUTER_BASE,
 };

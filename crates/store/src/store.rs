@@ -166,6 +166,9 @@ pub struct StoreConfig {
     pub txns_per_router: usize,
     /// Single-key operations each router issues.
     pub singles_per_router: usize,
+    /// Range scans each router issues (after its txns/singles, so the
+    /// default of 0 leaves historical workloads bit-identical).
+    pub ranges_per_router: usize,
     /// Maximum shards a generated transaction spans.
     pub max_span: usize,
     /// Data keys per shard in the workload pool.
@@ -185,20 +188,25 @@ pub struct StoreConfig {
     /// replica recovery is a real WAL-replay + snapshot-load. `None` keeps
     /// the historical RAM-durability model.
     pub durability: Option<(usize, DiskModel)>,
-    /// Commitment protocol generated transactions run
-    /// (overridable per-transaction via [`Store::set_txn_backend`]).
+    /// Commitment protocol generated transactions run (overridable
+    /// per-transaction via [`StoreConfig::txn_backend`]).
     pub backend: CommitBackend,
+    /// Per-transaction backend overrides `(router, txn_number, backend)`,
+    /// applied to the generated workload at build time.
+    pub backend_overrides: Vec<(usize, u64, CommitBackend)>,
 }
 
 impl StoreConfig {
-    /// A small default store: 3 shards × 3 replicas, 2 routers.
-    pub fn small(seed: u64) -> Self {
+    /// The canonical small store — 3 shards × 3 replicas, 2 routers — that
+    /// every builder method refines.
+    pub fn new(seed: u64) -> Self {
         StoreConfig {
             n_shards: 3,
             replicas_per_shard: 3,
             n_routers: 2,
             txns_per_router: 3,
             singles_per_router: 2,
+            ranges_per_router: 0,
             max_span: 3,
             keys_per_shard: 4,
             batch: BatchConfig::unbatched(),
@@ -207,18 +215,109 @@ impl StoreConfig {
             buggy_early_writes: false,
             durability: None,
             backend: CommitBackend::TwoPhaseOverConsensus,
+            backend_overrides: Vec::new(),
         }
     }
 
+    /// A small default store (alias of [`StoreConfig::new`], kept for the
+    /// historical name).
+    pub fn small(seed: u64) -> Self {
+        Self::new(seed)
+    }
+
+    /// The same store with `n` shards.
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        self.n_shards = n;
+        self
+    }
+
+    /// The same store with `n` replicas per shard.
+    #[must_use]
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.replicas_per_shard = n;
+        self
+    }
+
+    /// The same store with `n` routers.
+    #[must_use]
+    pub fn routers(mut self, n: usize) -> Self {
+        self.n_routers = n;
+        self
+    }
+
+    /// The same store with `n` cross-shard transactions per router.
+    #[must_use]
+    pub fn txns_per_router(mut self, n: usize) -> Self {
+        self.txns_per_router = n;
+        self
+    }
+
+    /// The same store with `n` single-key operations per router.
+    #[must_use]
+    pub fn singles_per_router(mut self, n: usize) -> Self {
+        self.singles_per_router = n;
+        self
+    }
+
+    /// The same store with `n` range scans per router (issued after the
+    /// router's transactions and singles).
+    #[must_use]
+    pub fn ranges_per_router(mut self, n: usize) -> Self {
+        self.ranges_per_router = n;
+        self
+    }
+
+    /// The same store with a different workload key-pool size per shard.
+    #[must_use]
+    pub fn keys_per_shard(mut self, n: usize) -> Self {
+        self.keys_per_shard = n;
+        self
+    }
+
+    /// The same store with a batching/pipelining knob on every shard.
+    #[must_use]
+    pub fn batch(mut self, batch: BatchConfig) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// The same store with a different network profile on every shard.
+    #[must_use]
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// The same store with the early-dissemination coordinator bug
+    /// injected (see the module docs).
+    #[must_use]
+    pub fn buggy_early_writes(mut self, on: bool) -> Self {
+        self.buggy_early_writes = on;
+        self
+    }
+
     /// The same store with durable shard storage enabled.
+    #[must_use]
     pub fn durable(mut self, snapshot_threshold: usize, disk: DiskModel) -> Self {
         self.durability = Some((snapshot_threshold, disk));
         self
     }
 
     /// The same store with a different default commit backend.
-    pub fn with_backend(mut self, backend: CommitBackend) -> Self {
+    #[must_use]
+    pub fn backend(mut self, backend: CommitBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// The same store with router `router`'s transaction number
+    /// `txn_number` running `backend` instead of the default. Panics at
+    /// build time if that transaction does not exist in the generated
+    /// workload.
+    #[must_use]
+    pub fn txn_backend(mut self, router: usize, txn_number: u64, backend: CommitBackend) -> Self {
+        self.backend_overrides.push((router, txn_number, backend));
         self
     }
 }
@@ -258,11 +357,45 @@ pub struct TxnOutcome {
 #[derive(Clone, Debug)]
 enum WorkItem {
     Single(KvCommand),
+    /// A key-interval scan, fanned out across every shard and merged.
+    Range {
+        start: String,
+        end: String,
+        limit: usize,
+    },
     Txn {
         writes: Vec<(String, String)>,
         abort: bool,
         backend: CommitBackend,
     },
+}
+
+/// A completed merged range scan as the issuing router saw it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeOutcome {
+    /// Issuing router's client id.
+    pub client: u32,
+    /// Scan start key (inclusive).
+    pub start: String,
+    /// Scan end key (exclusive).
+    pub end: String,
+    /// Maximum entries requested.
+    pub limit: usize,
+    /// Merged result: per-shard scans concatenated, sorted by key, and
+    /// truncated to `limit` — the deterministic global top-`limit`.
+    pub entries: Vec<(String, String)>,
+    /// Completion time (µs).
+    pub at: u64,
+}
+
+/// A range scan's in-flight accumulator: per-shard partial results awaiting
+/// the merge.
+#[derive(Clone, Debug)]
+struct RangeAcc {
+    start: String,
+    end: String,
+    limit: usize,
+    entries: Vec<(String, String)>,
 }
 
 /// An outstanding submission awaiting its reply.
@@ -308,6 +441,7 @@ fn op_label(op: &KvCommand) -> String {
         KvCommand::Get { key } => ("get", key),
         KvCommand::Delete { key } => ("del", key),
         KvCommand::Cas { key, .. } => ("cas", key),
+        KvCommand::Range { start, .. } => ("range", start),
     };
     let class = if key.starts_with("~txn.") {
         ":intent"
@@ -376,6 +510,8 @@ impl StoreTrace {
 enum Phase {
     Idle,
     Single,
+    /// Range scan: per-shard sub-scans in flight, merge pending.
+    Range,
     Intent,
     Init,
     Prepare,
@@ -421,6 +557,8 @@ struct Router {
     seq: u64,
     phase: Phase,
     txn: Option<ActiveTxn>,
+    range: Option<RangeAcc>,
+    ranges: Vec<RangeOutcome>,
     pending: Vec<Pending>,
     crashed: Option<u64>,
     crash_at: Option<u64>,
@@ -596,6 +734,7 @@ fn poll<E: ShardEngine>(
 fn crash_router(r: &mut Router, now: u64, trace: &mut Vec<String>, queue: &mut Vec<Abandoned>) {
     r.crashed = Some(now);
     r.pending.clear();
+    r.range = None;
     if let Some(t) = r.txn.take() {
         trace.push(format!(
             "t={now} r{} crash mid-txn {} (to recovery)",
@@ -734,12 +873,42 @@ fn start_next<E: ShardEngine>(
                 | KvCommand::Get { key }
                 | KvCommand::Delete { key }
                 | KvCommand::Cas { key, .. } => key.clone(),
+                // Scans span shards and are their own work item.
+                KvCommand::Range { .. } => unreachable!("ranges use WorkItem::Range"),
             };
             let shard = r.map.group_of(&key);
             let seq = r.bump();
             r.pending
                 .push(submit(shards, tr, &mut r.history, r.client, seq, shard, op, now));
             r.phase = Phase::Single;
+        }
+        WorkItem::Range { start, end, limit } => {
+            // Hash partitioning scatters any key interval across every
+            // shard, so the scan fans out to all of them with the same
+            // limit: the global top-`limit` is always contained in the
+            // union of the per-shard top-`limit`s.
+            trace.push(format!(
+                "t={now} r{} range [{start},{end}) limit={limit} fanout={}",
+                r.idx,
+                shards.len()
+            ));
+            for shard in 0..shards.len() {
+                let seq = r.bump();
+                let op = KvCommand::Range {
+                    start: start.clone(),
+                    end: end.clone(),
+                    limit,
+                };
+                r.pending
+                    .push(submit(shards, tr, &mut r.history, r.client, seq, shard, op, now));
+            }
+            r.range = Some(RangeAcc {
+                start,
+                end,
+                limit,
+                entries: Vec::new(),
+            });
+            r.phase = Phase::Range;
         }
         WorkItem::Txn {
             writes,
@@ -832,6 +1001,39 @@ fn step_router<E: ShardEngine>(
         Phase::Idle => start_next(r, shards, tr, now, trace),
         Phase::Single => {
             if !done.is_empty() {
+                r.phase = Phase::Idle;
+            }
+        }
+        Phase::Range => {
+            for (_, resp) in &done {
+                if let KvResponse::Entries(entries) = resp {
+                    let acc = r.range.as_mut().expect("range phase has an accumulator");
+                    acc.entries.extend(entries.iter().cloned());
+                }
+            }
+            if r.pending.is_empty() {
+                let acc = r.range.take().expect("range phase has an accumulator");
+                // Shards own disjoint key sets, so a plain sort is a
+                // duplicate-free merge; the global result is its first
+                // `limit` keys.
+                let mut merged = acc.entries;
+                merged.sort();
+                merged.truncate(acc.limit);
+                trace.push(format!(
+                    "t={now} r{} range [{},{}) -> {} entries",
+                    r.idx,
+                    acc.start,
+                    acc.end,
+                    merged.len()
+                ));
+                r.ranges.push(RangeOutcome {
+                    client: r.client,
+                    start: acc.start,
+                    end: acc.end,
+                    limit: acc.limit,
+                    entries: merged,
+                    at: now,
+                });
                 r.phase = Phase::Idle;
             }
         }
@@ -1675,30 +1877,19 @@ impl<E: ShardEngine> Store<E> {
                     .seed
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                     .wrapping_add(s as u64 + 1);
-                match cfg.durability {
-                    Some((threshold, disk)) => E::build_shard_durable(
-                        cfg.replicas_per_shard,
-                        cfg.batch,
-                        cfg.net.clone(),
-                        seed,
-                        threshold,
-                        disk,
-                    ),
-                    None => {
-                        E::build_shard(cfg.replicas_per_shard, cfg.batch, cfg.net.clone(), seed)
-                    }
+                let mut spec = crate::engine::ShardBuildSpec::new(
+                    cfg.replicas_per_shard,
+                    cfg.batch,
+                    cfg.net.clone(),
+                    seed,
+                );
+                if let Some((threshold, disk)) = cfg.durability {
+                    spec = spec.durable(threshold, disk);
                 }
+                E::build_shard(&spec)
             })
             .collect();
-        // Surface — rather than silently absorb — a durability request the
-        // engine cannot honor: the fallback is recorded in the run trace,
-        // and therefore in the fingerprint.
-        let mut trace = Vec::new();
-        if cfg.durability.is_some() && !E::supports_durable() {
-            trace.push(
-                "t=0 cfg durability requested but engine lacks support: ram fallback".to_string(),
-            );
-        }
+        let trace = Vec::new();
         let pool = key_pool(&map, cfg.n_shards, cfg.keys_per_shard);
         let routers: Vec<Router> = (0..cfg.n_routers)
             .map(|r| {
@@ -1715,6 +1906,8 @@ impl<E: ShardEngine> Store<E> {
                     seq: 0,
                     phase: Phase::Idle,
                     txn: None,
+                    range: None,
+                    ranges: Vec::new(),
                     pending: Vec::new(),
                     crashed: None,
                     crash_at: None,
@@ -1731,7 +1924,7 @@ impl<E: ShardEngine> Store<E> {
             .enumerate()
             .flat_map(|(s, keys)| keys.iter().map(move |k| (s, k.clone())))
             .collect();
-        Store {
+        let mut store = Store {
             cfg,
             map,
             shards,
@@ -1757,7 +1950,12 @@ impl<E: ShardEngine> Store<E> {
             now: 0,
             trace,
             causal: StoreTrace::new(),
+        };
+        let overrides = store.cfg.backend_overrides.clone();
+        for (router, txn_number, backend) in overrides {
+            store.set_txn_backend(router, txn_number, backend);
         }
+        store
     }
 
     /// Current simulated time (µs).
@@ -1909,6 +2107,18 @@ impl<E: ShardEngine> Store<E> {
         all
     }
 
+    /// All merged range-scan results routers observed, ordered by
+    /// completion time then client.
+    pub fn range_results(&self) -> Vec<RangeOutcome> {
+        let mut all: Vec<RangeOutcome> = self
+            .routers
+            .iter()
+            .flat_map(|r| r.ranges.iter().cloned())
+            .collect();
+        all.sort_by_key(|o| (o.at, o.client));
+        all
+    }
+
     /// Transactions the recovery actor resolved, in resolution order.
     pub fn recovered(&self) -> &[(TxnId, TxnDecision)] {
         &self.recovery.recovered
@@ -1922,7 +2132,9 @@ impl<E: ShardEngine> Store<E> {
 
     /// Overrides the commit backend of router `r`'s transaction number
     /// `txn_number` (its `TxnId.number`). Panics if that transaction does
-    /// not exist in the generated workload.
+    /// not exist in the generated workload. The builder-style home for
+    /// this knob is [`StoreConfig::txn_backend`], which applies it at
+    /// build time; this method remains for overriding after construction.
     pub fn set_txn_backend(&mut self, r: usize, txn_number: u64, backend: CommitBackend) {
         let mut n = 0u64;
         for item in &mut self.routers[r].items {
@@ -2200,6 +2412,26 @@ fn generate_items(cfg: &StoreConfig, pool: &[Vec<String>], router: usize) -> Vec
             };
             items.push(WorkItem::Single(op));
             singles += 1;
+        }
+    }
+    // Range scans come last, both in the item list and in RNG draw order,
+    // so `ranges_per_router = 0` leaves historical workloads bit-identical.
+    if cfg.ranges_per_router > 0 {
+        let mut all_keys: Vec<String> = pool.iter().flatten().cloned().collect();
+        all_keys.sort();
+        for _ in 0..cfg.ranges_per_router {
+            let a = rng.gen_range(0..all_keys.len());
+            let b = rng.gen_range(0..all_keys.len());
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            // `"!"` sorts below every pool-key character, so this end bound
+            // includes `all_keys[hi]` itself but none of its extensions.
+            let end = format!("{}!", all_keys[hi]);
+            let limit = 1 + rng.gen_range(0..all_keys.len());
+            items.push(WorkItem::Range {
+                start: all_keys[lo].clone(),
+                end,
+                limit,
+            });
         }
     }
     items
