@@ -1,0 +1,114 @@
+//! Regenerates (or checks) `BENCH_geo.json`: the multi-region geo
+//! deployment sweep — both engines across every placement policy on the
+//! three-datacenter WAN topology.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin geo                 # regenerate
+//! cargo run --release -p bench --bin geo -- --check      # CI drift + gate
+//! cargo run --release -p bench --bin geo -- --smoke      # small grid
+//! cargo run --release -p bench --bin geo -- --out x.json # custom path
+//! ```
+//!
+//! `--check` re-runs the *full* sweep and fails (exit 1) if the checked-in
+//! file differs byte-for-byte, its schema is invalid, or the acceptance
+//! gate fails: p50 primary-local reads must be strictly below one
+//! inter-region round trip while cross-shard transactions still commit.
+
+use std::io::Write as _;
+
+use bench::geo::{
+    full_spec, gate_problems, render_table, run_sweep, smoke_spec, sweep_to_json, validate_schema,
+};
+
+const DEFAULT_PATH: &str = "BENCH_geo.json";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut smoke = false;
+    let mut path = DEFAULT_PATH.to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => {
+                path = args
+                    .get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| usage_and_exit());
+                i += 2;
+            }
+            _ => usage_and_exit(),
+        }
+    }
+
+    let spec = if smoke { smoke_spec() } else { full_spec() };
+    let started = std::time::Instant::now();
+    let points = run_sweep(&spec);
+    let doc = sweep_to_json(&spec, &points);
+    eprintln!(
+        "ran {} geo cells in {:.1}s",
+        points.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    for line in render_table(&points) {
+        println!("{line}");
+    }
+
+    let mut problems = validate_schema(&doc);
+    problems.extend(gate_problems(&points));
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("problem: {p}");
+        }
+        std::process::exit(1);
+    }
+
+    let rendered = format!(
+        "{}\n",
+        serde_json::to_string_pretty(&doc).expect("serialize")
+    );
+
+    if check {
+        // Smoke grids are not the checked-in artifact; `--smoke --check`
+        // only verifies the smoke sweep runs, validates, and passes the gate.
+        if smoke {
+            eprintln!("smoke sweep OK");
+            return;
+        }
+        let on_disk = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {path}: {e} (regenerate with --out {path})"));
+        let disk_doc = serde_json::from_str(&on_disk).expect("checked-in file must parse");
+        let disk_problems = validate_schema(&disk_doc);
+        if !disk_problems.is_empty() {
+            for p in &disk_problems {
+                eprintln!("checked-in schema problem: {p}");
+            }
+            std::process::exit(1);
+        }
+        if on_disk != rendered {
+            eprintln!(
+                "{path} drifted from the regenerated sweep — rerun `cargo run --release -p bench --bin geo`"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("{path} is current and passes the geo gate");
+    } else {
+        let mut f = std::fs::File::create(&path).expect("create output");
+        f.write_all(rendered.as_bytes()).expect("write output");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!("usage: geo [--smoke] [--check] [--out <path>]");
+    std::process::exit(2);
+}

@@ -22,6 +22,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod geo;
 pub mod latency;
 pub mod recovery;
 pub mod render;

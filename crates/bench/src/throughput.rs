@@ -20,6 +20,7 @@
 //! `(spec, seed)` and can be drift-checked in CI.
 
 use consensus_core::driver::{BatchConfig, ClusterDriver, DriverConfig};
+use consensus_core::workload::KvMix;
 use serde_json::{json, Value};
 use simnet::{NetConfig, Time};
 
@@ -28,7 +29,8 @@ use paxos::MultiPaxosCluster;
 use raft::RaftCluster;
 
 /// Version stamp of the JSON artifact layout; bump when fields change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2 added the value-size axis (`value_bytes` on every point).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Fixed per-message NIC cost (µs) — syscall/interrupt/header overhead.
 pub const NIC_PER_MSG_US: u64 = 30;
@@ -55,6 +57,19 @@ pub struct SweepSpec {
     /// `(n_clients, cmds_per_client)` populations: few clients probe
     /// latency, many clients saturate.
     pub clients: Vec<(usize, usize)>,
+    /// Value-size axis: written values padded to these sizes (bytes, all
+    /// nonzero), swept at the first cluster size under `value_clients` for
+    /// every batch config. The main grid (tiny values, `value_bytes = 0`)
+    /// is the baseline. Bigger values shift NIC transmit cost from
+    /// per-message overhead to raw bytes — exactly the term batching
+    /// cannot amortize. Sizes stay ≤ 1 KiB: unbatched replication of
+    /// multi-KiB entries under the NIC model is unstable at saturation
+    /// (the leader's retransmitted log suffix outgrows its transmit
+    /// budget and the run never quiesces).
+    pub value_bytes: Vec<usize>,
+    /// `(n_clients, cmds_per_client)` for the value-size axis: a
+    /// saturating population over a shorter burst than the main grid.
+    pub value_clients: (usize, usize),
     /// Simulation seed shared by every cell.
     pub seed: u64,
 }
@@ -69,6 +84,8 @@ pub fn full_spec() -> SweepSpec {
             BatchConfig::new(16, 400, 16),
         ],
         clients: vec![(2, 150), (48, 50)],
+        value_bytes: vec![256, 1024],
+        value_clients: (48, 15),
         seed: 1,
     }
 }
@@ -81,6 +98,8 @@ pub fn smoke_spec() -> SweepSpec {
         ns: vec![4],
         batches: vec![BatchConfig::unbatched(), BatchConfig::new(16, 300, 16)],
         clients: vec![(48, 15)],
+        value_bytes: vec![1024],
+        value_clients: (48, 15),
         seed: 1,
     }
 }
@@ -98,6 +117,8 @@ pub struct Point {
     pub clients: usize,
     /// Commands per client.
     pub cmds_per_client: usize,
+    /// Written-value padding (bytes); 0 = the tiny-value main grid.
+    pub value_bytes: usize,
     /// Commands completed (== expected when `all_done`).
     pub completed: usize,
     /// Whether every client finished before the horizon.
@@ -125,6 +146,7 @@ impl Point {
             "batch": self.batch.label(),
             "clients": self.clients as u64,
             "cmds_per_client": self.cmds_per_client as u64,
+            "value_bytes": self.value_bytes as u64,
             "completed": self.completed as u64,
             "all_done": self.all_done,
             "sim_micros": self.sim_micros,
@@ -162,6 +184,7 @@ fn run_point<D: ClusterDriver>(cfg: &DriverConfig) -> Point {
         batch: cfg.batch,
         clients: cfg.n_clients,
         cmds_per_client: cfg.cmds_per_client,
+        value_bytes: cfg.mix.value_bytes,
         completed,
         all_done,
         sim_micros,
@@ -175,7 +198,9 @@ fn run_point<D: ClusterDriver>(cfg: &DriverConfig) -> Point {
 
 /// Runs the full grid for all three SMR protocols. Cell order is the
 /// deterministic iteration order of the spec (clients → n → batch →
-/// protocol), which is also the order of `points` in the JSON artifact.
+/// protocol for the main grid, then value_bytes → batch → protocol for the
+/// value-size axis), which is also the order of `points` in the JSON
+/// artifact.
 pub fn run_sweep(spec: &SweepSpec) -> Vec<Point> {
     let mut points = Vec::new();
     for &(clients, cmds) in &spec.clients {
@@ -190,16 +215,34 @@ pub fn run_sweep(spec: &SweepSpec) -> Vec<Point> {
             }
         }
     }
+    // Value-size axis: first cluster size, dedicated saturating population.
+    let n = spec.ns[0];
+    let (clients, cmds) = spec.value_clients;
+    for &vb in &spec.value_bytes {
+        for &batch in &spec.batches {
+            let cfg = DriverConfig::new(n, clients, cmds, spec.seed)
+                .with_batch(batch)
+                .with_net(net_profile())
+                .with_mix(KvMix::default().with_value_bytes(vb));
+            points.push(run_point::<MultiPaxosCluster>(&cfg));
+            points.push(run_point::<RaftCluster>(&cfg));
+            points.push(run_point::<PbftCluster>(&cfg));
+        }
+    }
     points
 }
 
 /// Best batched/pipelined throughput ÷ unbatched throughput for one
-/// `(protocol, n, clients)` group, × 100. Returns `None` if the group has
-/// no unbatched baseline or the baseline made no progress.
+/// `(protocol, n, clients)` group of the tiny-value main grid, × 100.
+/// Value-size-axis cells are excluded so the baseline stays the classic
+/// grid. Returns `None` if the group has no unbatched baseline or the
+/// baseline made no progress.
 pub fn speedup_x100(points: &[Point], protocol: &str, n: usize, clients: usize) -> Option<u64> {
     let group: Vec<&Point> = points
         .iter()
-        .filter(|p| p.protocol == protocol && p.n == n && p.clients == clients)
+        .filter(|p| {
+            p.protocol == protocol && p.n == n && p.clients == clients && p.value_bytes == 0
+        })
         .collect();
     let base = group
         .iter()
@@ -249,15 +292,16 @@ pub fn sweep_to_json(spec: &SweepSpec, points: &[Point]) -> Value {
 /// Renders the sweep as a markdown table (the EXPERIMENTS.md format).
 pub fn render_table(points: &[Point]) -> Vec<String> {
     let mut lines = vec![
-        "| protocol | n | clients | config | tput (ops/s) | p50 (µs) | p99 (µs) | mean batch | msgs/op |".to_string(),
-        "|---|---|---|---|---|---|---|---|---|".to_string(),
+        "| protocol | n | clients | val (B) | config | tput (ops/s) | p50 (µs) | p99 (µs) | mean batch | msgs/op |".to_string(),
+        "|---|---|---|---|---|---|---|---|---|---|".to_string(),
     ];
     for p in points {
         lines.push(format!(
-            "| {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.2} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.2} |",
             p.protocol,
             p.n,
             p.clients,
+            p.value_bytes,
             p.batch.label(),
             p.tput_ops_per_sec,
             p.p50_us,
@@ -311,6 +355,7 @@ pub fn validate_schema(doc: &Value) -> Vec<String> {
             "n",
             "clients",
             "cmds_per_client",
+            "value_bytes",
             "completed",
             "sim_micros",
             "tput_ops_per_sec",
@@ -355,12 +400,39 @@ mod tests {
             "sweep must be a pure function of the spec"
         );
         assert!(validate_schema(&ja).is_empty(), "{:?}", validate_schema(&ja));
-        // 1 n × 2 configs × 1 population × 3 protocols.
-        assert_eq!(a.len(), 6);
+        // Main grid (1 n × 2 configs × 1 population × 3 protocols) plus the
+        // value-size axis (1 size × 2 configs × 3 protocols).
+        assert_eq!(a.len(), 12);
         for p in &a {
             assert!(p.all_done, "{} {} stalled", p.protocol, p.batch.label());
             assert_eq!(p.completed, p.clients * p.cmds_per_client);
             assert!(p.tput_ops_per_sec > 0);
+        }
+    }
+
+    #[test]
+    fn padded_values_cost_real_throughput() {
+        // The value-size axis must be wire-real: 1 KiB values serialize
+        // through the NIC model, so every protocol's unbatched cell loses
+        // throughput versus its tiny-value twin.
+        let spec = smoke_spec();
+        let points = run_sweep(&spec);
+        for protocol in ["multi-paxos", "raft", "pbft"] {
+            let pick = |vb: usize| {
+                points
+                    .iter()
+                    .find(|p| {
+                        p.protocol == protocol && p.value_bytes == vb && p.batch.is_unbatched()
+                    })
+                    .expect("cell")
+            };
+            let (tiny, padded) = (pick(0), pick(1024));
+            assert!(
+                padded.tput_ops_per_sec < tiny.tput_ops_per_sec,
+                "{protocol}: 1 KiB values did not cost throughput ({} vs {})",
+                padded.tput_ops_per_sec,
+                tiny.tput_ops_per_sec
+            );
         }
     }
 
@@ -389,7 +461,7 @@ mod tests {
         let broken = serde_json::from_str(
             &serde_json::to_string(&doc)
                 .unwrap()
-                .replace("\"schema_version\":1", "\"schema_version\":99"),
+                .replace("\"schema_version\":2", "\"schema_version\":99"),
         )
         .unwrap();
         assert!(!validate_schema(&broken).is_empty());

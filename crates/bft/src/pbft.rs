@@ -135,19 +135,24 @@ impl simnet::Payload for PbftMsg {
     fn size_bytes(&self) -> usize {
         // Per-command payload is 48 bytes; the constants are calibrated so
         // single-command messages weigh exactly what they did before
-        // batching existed.
+        // batching existed. Payload beyond the flat budget (padded large
+        // values) adds its real bytes — see `KvCommand::payload_excess`.
+        fn batch_bytes(cmds: &[Command<KvCommand>]) -> usize {
+            cmds.iter().map(|c| 48 + c.op.payload_excess()).sum()
+        }
         match self {
-            PbftMsg::PrePrepare { cmds, .. } => 32 + cmds.len() * 48,
+            PbftMsg::Request { cmd } => 80 + cmd.op.payload_excess(),
+            PbftMsg::PrePrepare { cmds, .. } => 32 + batch_bytes(cmds),
             PbftMsg::ViewChange { prepared, .. } => {
                 48 + prepared
                     .iter()
-                    .map(|(_, _, cmds)| 48 + cmds.len() * 48)
+                    .map(|(_, _, cmds)| 48 + batch_bytes(cmds))
                     .sum::<usize>()
             }
             PbftMsg::NewView { pre_prepares, .. } => {
                 32 + pre_prepares
                     .iter()
-                    .map(|(_, cmds)| 32 + cmds.len() * 48)
+                    .map(|(_, cmds)| 32 + batch_bytes(cmds))
                     .sum::<usize>()
             }
             _ => 80,
@@ -1066,6 +1071,20 @@ impl PbftCluster {
         }
     }
 
+    /// Replaces every client's workload mix. A builder — call before the
+    /// first step; with the default mix it is a no-op, so existing runs are
+    /// untouched.
+    #[must_use]
+    pub fn with_mix(mut self, mix: KvMix) -> Self {
+        for c in 0..self.n_clients {
+            let id = NodeId::from(self.n_replicas + c);
+            if let PbftProc::Client(cl) = self.sim.node_mut(id) {
+                cl.workload.set_mix(mix);
+            }
+        }
+        self
+    }
+
     /// Runs until clients finish or `horizon`.
     pub fn run(&mut self, horizon: Time) -> bool {
         loop {
@@ -1194,6 +1213,7 @@ impl ClusterDriver for PbftCluster {
             cfg.batch,
             cfg.mode,
         )
+        .with_mix(cfg.mix)
     }
 
     fn protocol(&self) -> &'static str {

@@ -18,7 +18,7 @@
 use std::collections::BTreeSet;
 
 use crate::history::ClientRecord;
-use crate::workload::{LatencyRecorder, WorkloadMode};
+use crate::workload::{KvMix, LatencyRecorder, WorkloadMode};
 use simnet::{CausalSpan, Metrics, NetConfig, NodeId, RunOutcome, Time};
 
 /// Batching and pipelining configuration shared by the SMR protocols.
@@ -107,6 +107,8 @@ pub struct DriverConfig {
     pub batch: BatchConfig,
     /// Client pacing: closed loop (default) or open loop.
     pub mode: WorkloadMode,
+    /// Key-value operation mix (op fractions, key count, value size).
+    pub mix: KvMix,
     /// Network profile.
     pub net: NetConfig,
     /// Simulation seed.
@@ -122,9 +124,16 @@ impl DriverConfig {
             cmds_per_client,
             batch: BatchConfig::unbatched(),
             mode: WorkloadMode::Closed,
+            mix: KvMix::default(),
             net: NetConfig::lan(),
             seed,
         }
+    }
+
+    /// Replaces the key-value operation mix.
+    pub fn with_mix(mut self, mix: KvMix) -> Self {
+        self.mix = mix;
+        self
     }
 
     /// Replaces the batch config.

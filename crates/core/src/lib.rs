@@ -49,7 +49,7 @@ pub use driver::{BatchConfig, ByzantineWindow, ClusterDriver, DecidedEntry, Driv
 pub use history::{ClientRecord, HistorySink};
 pub use quorum::QuorumSpec;
 pub use workload::WorkloadMode;
-pub use smr::{Bank, BankOp, BankResponse, Command, DedupKvMachine, KvCommand, KvResponse, KvStore, ReplicatedLog, SmrOp, StateMachine};
+pub use smr::{Bank, BankOp, BankResponse, Command, DedupKvMachine, KvCommand, KvResponse, KvStore, ReadMode, ReplicatedLog, SmrOp, StateMachine};
 pub use taxonomy::{
     ComplexityClass, FailureModel, NodeBound, ParticipantAwareness, ProcessingStrategy,
     ProtocolCard,

@@ -18,6 +18,11 @@ pub struct KvMix {
     pub cas_fraction: f64,
     /// Number of distinct keys.
     pub keys: usize,
+    /// Minimum written-value size in bytes: short generated values are
+    /// padded up to this length (with the sender-side NIC model, bigger
+    /// values cost real transmit time — the bench's value-size axis).
+    /// `0` (the default) keeps the historical tiny `v{seq}` values.
+    pub value_bytes: usize,
 }
 
 impl Default for KvMix {
@@ -26,7 +31,17 @@ impl Default for KvMix {
             write_fraction: 0.5,
             cas_fraction: 0.0,
             keys: 16,
+            value_bytes: 0,
         }
+    }
+}
+
+impl KvMix {
+    /// The same mix with written values padded to at least `bytes` bytes.
+    #[must_use]
+    pub fn with_value_bytes(mut self, bytes: usize) -> Self {
+        self.value_bytes = bytes;
+        self
     }
 }
 
@@ -66,6 +81,17 @@ impl KvWorkload {
         }
     }
 
+    /// Pads a generated value up to `mix.value_bytes` (no-op at the default
+    /// of 0, so pre-existing workloads are byte-identical). Padding is
+    /// deterministic and draws no randomness.
+    fn pad(&self, mut v: String) -> String {
+        if v.len() < self.mix.value_bytes {
+            let fill = self.mix.value_bytes - v.len();
+            v.push_str(&"x".repeat(fill));
+        }
+        v
+    }
+
     /// Produces the next command.
     pub fn next_command(&mut self) -> Command<KvCommand> {
         let seq = self.next_seq;
@@ -75,13 +101,15 @@ impl KvWorkload {
         let op = if r < self.mix.cas_fraction {
             KvCommand::Cas {
                 key,
-                expect: format!("v{}", seq.saturating_sub(1)),
-                new: format!("v{seq}"),
+                // Expect and new are padded identically, so CAS hit/miss
+                // behaviour is independent of the value-size axis.
+                expect: self.pad(format!("v{}", seq.saturating_sub(1))),
+                new: self.pad(format!("v{seq}")),
             }
         } else if r < self.mix.cas_fraction + self.mix.write_fraction {
             KvCommand::Put {
                 key,
-                value: format!("v{seq}"),
+                value: self.pad(format!("v{seq}")),
             }
         } else {
             KvCommand::Get { key }
@@ -96,6 +124,14 @@ impl KvWorkload {
     /// How many commands have been generated.
     pub fn issued(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Replaces the mix for subsequent commands. Called before the first
+    /// command is generated this is equivalent to constructing with `mix`
+    /// (the RNG state is untouched) — the hook cluster builders use to
+    /// thread a [`crate::driver::DriverConfig`] mix to existing clients.
+    pub fn set_mix(&mut self, mix: KvMix) {
+        self.mix = mix;
     }
 }
 
@@ -186,13 +222,48 @@ mod tests {
 
     #[test]
     fn workload_respects_mix_extremes() {
-        let mut all_writes = KvWorkload::new(0, KvMix { write_fraction: 1.0, cas_fraction: 0.0, keys: 4 }, 3);
+        let writes = KvMix {
+            write_fraction: 1.0,
+            ..KvMix::default()
+        };
+        let mut all_writes = KvWorkload::new(0, writes, 3);
         for _ in 0..50 {
             assert!(matches!(all_writes.next_command().op, KvCommand::Put { .. }));
         }
-        let mut all_reads = KvWorkload::new(0, KvMix { write_fraction: 0.0, cas_fraction: 0.0, keys: 4 }, 3);
+        let reads = KvMix {
+            write_fraction: 0.0,
+            ..KvMix::default()
+        };
+        let mut all_reads = KvWorkload::new(0, reads, 3);
         for _ in 0..50 {
             assert!(matches!(all_reads.next_command().op, KvCommand::Get { .. }));
+        }
+    }
+
+    #[test]
+    fn value_bytes_pads_writes_without_perturbing_the_stream() {
+        // The padded stream must be the *same* stream (keys, op kinds,
+        // sequence numbers — padding draws no randomness), just with bigger
+        // written values; value_bytes = 0 is byte-identical to history.
+        let tiny: Vec<_> = {
+            let mut w = KvWorkload::new(1, KvMix::default(), 9);
+            (0..40).map(|_| w.next_command()).collect()
+        };
+        let padded: Vec<_> = {
+            let mut w = KvWorkload::new(1, KvMix::default().with_value_bytes(256), 9);
+            (0..40).map(|_| w.next_command()).collect()
+        };
+        for (a, b) in tiny.iter().zip(&padded) {
+            assert_eq!(a.seq, b.seq);
+            match (&a.op, &b.op) {
+                (KvCommand::Get { key: ka }, KvCommand::Get { key: kb }) => assert_eq!(ka, kb),
+                (KvCommand::Put { key: ka, value: va }, KvCommand::Put { key: kb, value: vb }) => {
+                    assert_eq!(ka, kb);
+                    assert_eq!(vb.len(), 256);
+                    assert!(vb.starts_with(va.as_str()));
+                }
+                other => panic!("streams diverged: {other:?}"),
+            }
         }
     }
 

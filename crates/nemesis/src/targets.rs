@@ -41,6 +41,17 @@
 //! Raft that is hard-state persistence, log WAL records, and snapshot
 //! install, exactly as for Multi-Paxos.
 //!
+//! `store-geo` runs the geo deployment: three regions on a WAN topology,
+//! primary+witness shard placement, a router per region, and the
+//! region-local fast-read path (leader leases on Multi-Paxos). On top of
+//! whatever the plan schedules, every `store-geo` trial injects its own
+//! built-in adversity — seed-derived lease-edge clock skews straddling the
+//! lease safety bound, plus one region partition window — because those are
+//! precisely the conditions under which a buggy lease would serve a stale
+//! read. Stale fast reads surface as linearizability violations in the
+//! merged client history, so the standard battery is the oracle: the target
+//! passes only if no schedule ever yields a stale linearizable read.
+//!
 //! The three SMR targets also register `+batch` variants (same fault menu)
 //! that run the replicas under a real batching/pipelining configuration —
 //! multi-command slots and bounded in-flight windows open failure modes
@@ -77,7 +88,7 @@ use crate::checker::{
 use crate::exec::{execute_plan, WindowKind};
 use crate::lin::{check_linearizable, DEFAULT_BUDGET};
 use crate::plan::{FaultAction, FaultPlan, FaultSpec};
-use store::{RouterCrashPoint, ShardEngine, Store, StoreConfig};
+use store::{GeoConfig, RouterCrashPoint, ShardEngine, Store, StoreConfig};
 
 /// Domain-separation salt for seed-derived workload parameters (votes,
 /// Ben-Or inputs) so they are independent of both the simulator's and the
@@ -151,24 +162,35 @@ pub fn targets() -> Vec<Box<dyn Target>> {
             name: "store-paxos",
             buggy: false,
             durable: false,
+            geo: false,
             _engine: std::marker::PhantomData,
         }),
         Box::new(StoreTarget::<raft::RaftCluster> {
             name: "store-raft",
             buggy: false,
             durable: false,
+            geo: false,
             _engine: std::marker::PhantomData,
         }),
         Box::new(StoreTarget::<MultiPaxosCluster> {
             name: "store-paxos-durable",
             buggy: false,
             durable: true,
+            geo: false,
             _engine: std::marker::PhantomData,
         }),
         Box::new(StoreTarget::<raft::RaftCluster> {
             name: "store-raft-durable",
             buggy: false,
             durable: true,
+            geo: false,
+            _engine: std::marker::PhantomData,
+        }),
+        Box::new(StoreTarget::<MultiPaxosCluster> {
+            name: "store-geo",
+            buggy: false,
+            durable: false,
+            geo: true,
             _engine: std::marker::PhantomData,
         }),
     ]
@@ -194,6 +216,7 @@ pub fn store_injected_bug_target() -> Box<dyn Target> {
         name: "store-buggy",
         buggy: true,
         durable: false,
+        geo: false,
         _engine: std::marker::PhantomData,
     })
 }
@@ -231,24 +254,35 @@ pub fn by_name(name: &str) -> Option<Box<dyn Target>> {
             name: "store-paxos",
             buggy: false,
             durable: false,
+            geo: false,
             _engine: std::marker::PhantomData,
         })),
         "store-raft" => Some(Box::new(StoreTarget::<raft::RaftCluster> {
             name: "store-raft",
             buggy: false,
             durable: false,
+            geo: false,
             _engine: std::marker::PhantomData,
         })),
         "store-paxos-durable" => Some(Box::new(StoreTarget::<MultiPaxosCluster> {
             name: "store-paxos-durable",
             buggy: false,
             durable: true,
+            geo: false,
             _engine: std::marker::PhantomData,
         })),
         "store-raft-durable" => Some(Box::new(StoreTarget::<raft::RaftCluster> {
             name: "store-raft-durable",
             buggy: false,
             durable: true,
+            geo: false,
+            _engine: std::marker::PhantomData,
+        })),
+        "store-geo" => Some(Box::new(StoreTarget::<MultiPaxosCluster> {
+            name: "store-geo",
+            buggy: false,
+            durable: false,
+            geo: true,
             _engine: std::marker::PhantomData,
         })),
         "store-buggy" => Some(store_injected_bug_target()),
@@ -834,6 +868,14 @@ const STORE_HORIZON: u64 = 400_000;
 /// Hard cap on a store trial: adversarial schedules may stall shards (a
 /// crashed majority is legal), so the trial stops here instead of quiescing.
 const STORE_RUN_CAP: u64 = 6_000_000;
+/// Run cap for `store-geo` trials: every consensus round pays a WAN round
+/// trip (~40 ms), so the same workload needs an order of magnitude more
+/// simulated time to quiesce.
+const STORE_GEO_RUN_CAP: u64 = 60_000_000;
+/// Domain-separation salt for `store-geo`'s built-in adversity (lease-edge
+/// clock skews, the region partition window) so it is independent of both
+/// the plan generator's and the workload's randomness.
+const GEO_SALT: u64 = 0x6765_6f73; // "geos"
 
 struct StoreTarget<E: ShardEngine> {
     /// Registry name (also encodes the engine choice).
@@ -845,6 +887,10 @@ struct StoreTarget<E: ShardEngine> {
     /// crash/restart faults then exercise the real recovery path — WAL
     /// replay plus snapshot load — instead of RAM-durability.
     durable: bool,
+    /// Run the geo deployment (three regions, primary+witness placement,
+    /// one router per region, leader-lease fast reads) and inject the
+    /// built-in lease-edge skews and region partition on every trial.
+    geo: bool,
     _engine: std::marker::PhantomData<E>,
 }
 
@@ -861,6 +907,11 @@ impl<E: ShardEngine> StoreTarget<E> {
             .ranges_per_router(2);
         if self.durable {
             cfg = cfg.durable(8, simnet::DiskModel::ssd());
+        }
+        if self.geo {
+            // Three routers put one 2PC gateway in each of three_dc's
+            // regions, so the read mix spans every locality class.
+            cfg = cfg.routers(3).geo(GeoConfig::three_dc());
         }
         let mut s: Store<E> = Store::new(cfg);
         if trace {
@@ -902,7 +953,35 @@ impl<E: ShardEngine> StoreTarget<E> {
                 .map(|&(_, _, p)| p)
                 .fold(0.0, f64::max)
         };
-        while s.now() + store::QUANTUM_US <= STORE_RUN_CAP && !s.main_quiesced() {
+        // Built-in geo adversity, independent of the plan: every trial skews
+        // each shard's initial leaseholder clock by a seed-derived offset
+        // straddling the 5 ms lease safety bound (below → fast path must
+        // stay correct, above → it must fall back) and partitions one region
+        // off mid-workload. A lease that kept serving past its bound would
+        // return stale values and fail the linearizability check.
+        let mut skews: Vec<(u64, u32, u64)> = Vec::new();
+        let cap = if self.geo { STORE_GEO_RUN_CAP } else { STORE_RUN_CAP };
+        if self.geo {
+            let mut rng = ChaCha20Rng::seed_from_u64(seed ^ GEO_SALT);
+            let rps = 3u32; // StoreConfig::new: 3 shards × 3 replicas
+            for shard in 0..3u32 {
+                let at = rng.gen_range(10_000..STORE_HORIZON);
+                let skew = rng.gen_range(0..12_000);
+                skews.push((at, shard * rps, skew));
+            }
+            skews.sort_unstable();
+            let at = 30_000 + rng.gen_range(0..STORE_HORIZON / 2);
+            let region = rng.gen_range(0..3);
+            s.partition_region_at(at, region);
+            s.heal_at(at + 80_000 + rng.gen_range(0..120_000));
+        }
+        let mut next_skew = 0;
+        while s.now() + store::QUANTUM_US <= cap && !s.main_quiesced() {
+            while next_skew < skews.len() && skews[next_skew].0 <= s.now() {
+                let (_, node, skew) = skews[next_skew];
+                s.set_replica_skew(node, skew);
+                next_skew += 1;
+            }
             s.set_drop_prob(drop_at(s.now()));
             s.step();
         }
@@ -911,7 +990,7 @@ impl<E: ShardEngine> StoreTarget<E> {
         s.set_drop_prob(0.0);
         s.heal_at(s.now());
         s.start_audit();
-        while s.now() + store::QUANTUM_US <= 2 * STORE_RUN_CAP && !s.audit_done() {
+        while s.now() + store::QUANTUM_US <= 2 * cap && !s.audit_done() {
             s.step();
         }
         s
@@ -924,11 +1003,13 @@ impl<E: ShardEngine> Target for StoreTarget<E> {
     }
 
     fn fault_spec(&self) -> FaultSpec {
-        // 3 shards × 3 replicas = global nodes 0..9, routers 9 and 10.
-        // Crashing a router is a 2PC-coordinator crash.
+        // 3 shards × 3 replicas = global nodes 0..9, routers from 9 up —
+        // two of them normally, three for the geo deployment (one per
+        // region). Crashing a router is a 2PC-coordinator crash.
+        let routers = if self.geo { 3 } else { 2 };
         FaultSpec {
             horizon: STORE_HORIZON,
-            ..smr_spec(11)
+            ..smr_spec(9 + routers)
         }
     }
 
@@ -1075,6 +1156,39 @@ mod tests {
         let b = target.run(17, &plan);
         assert_eq!(a.violations, b.violations, "recovery not deterministic");
         assert_eq!(a.ops, b.ops, "recovery not deterministic");
+    }
+
+    #[test]
+    fn geo_store_region_partition_never_serves_stale_reads() {
+        // The pinned region-partition regression for the geo deployment.
+        // Under three_dc + primary+witness placement, region 0 hosts global
+        // replicas 0 and 1 (shard 0's majority) and 8 (shard 2's witness);
+        // partitioning exactly that set mid-workload isolates shard 0's
+        // leaseholder with its lease still valid — the window where a buggy
+        // lease would keep serving reads while it can no longer learn of
+        // new commits. On top of that ride store-geo's built-in lease-edge
+        // clock skews and seed-derived region partition. The oracle is the
+        // full battery: any stale fast read is a linearizability violation.
+        let target = by_name("store-geo").expect("registered");
+        let plan = FaultPlan {
+            actions: vec![
+                FaultAction::Partition {
+                    at: 60_000,
+                    group: vec![0, 1, 8],
+                },
+                FaultAction::Heal { at: 220_000 },
+            ],
+        };
+        let a = target.run(11, &plan);
+        assert!(
+            a.violations.is_empty(),
+            "geo store served a stale read (or worse) across the region partition: {:?}",
+            a.violations
+        );
+        assert!(a.ops > 0, "geo store made no progress");
+        let b = target.run(11, &plan);
+        assert_eq!(a.violations, b.violations, "geo trial not deterministic");
+        assert_eq!(a.ops, b.ops, "geo trial not deterministic");
     }
 
     #[test]

@@ -25,8 +25,8 @@ use consensus_core::quorum::Phase;
 use consensus_core::smr::Slot;
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder, WorkloadMode};
 use consensus_core::{
-    Ballot, ClientRecord, Command, HistorySink, KvCommand, KvResponse, QuorumSpec, ReplicatedLog,
-    StateMachine,
+    Ballot, ClientRecord, Command, HistorySink, KvCommand, KvResponse, QuorumSpec, ReadMode,
+    ReplicatedLog, StateMachine,
 };
 use simnet::causal::cat;
 use simnet::{
@@ -164,6 +164,11 @@ pub enum MpMsg {
         index: usize,
         /// Proposed op.
         op: MpOp,
+        /// Leader-local send time; echoed back in [`MpMsg::Accepted`] so the
+        /// leader can date lease grants from *before* the message left
+        /// (send-time basis makes the one-way delay eat into the lease
+        /// rather than extend it). Inert unless leases are enabled.
+        sent: Time,
     },
     /// Phase 2b.
     Accepted {
@@ -171,6 +176,8 @@ pub enum MpMsg {
         ballot: Ballot,
         /// Log index.
         index: usize,
+        /// The `sent` stamp echoed from the [`MpMsg::Accept`] this answers.
+        sent: Time,
     },
     /// Asynchronous decision dissemination.
     Decide {
@@ -203,6 +210,30 @@ pub enum MpMsg {
         /// The checkpointed state machine.
         machine: Box<MpMachine>,
     },
+    /// Fast-path linearizable read: answered locally by a leader holding an
+    /// unexpired quorum lease, NACKed otherwise. Only sent when the geo
+    /// read path is in use; never emitted by the classic workload clients.
+    ReadReq {
+        /// Requesting client id.
+        client: u32,
+        /// Client-chosen read sequence number (echoed back verbatim).
+        seq: u64,
+        /// Key to read.
+        key: String,
+    },
+    /// Reply to [`MpMsg::ReadReq`]. `mode` says how (or whether) the read
+    /// was served; on [`ReadMode::Nack`] the value is meaningless and the
+    /// caller must fall back to the replicated-log path.
+    ReadResp {
+        /// Echoed client id.
+        client: u32,
+        /// Echoed read sequence number.
+        seq: u64,
+        /// The value (None = key absent) — only meaningful when served.
+        value: Option<String>,
+        /// How the read was served.
+        mode: ReadMode,
+    },
 }
 
 impl Payload for MpMsg {
@@ -219,6 +250,8 @@ impl Payload for MpMsg {
             MpMsg::Heartbeat { .. } => "heartbeat",
             MpMsg::CatchUpRequest { .. } => "catch-up",
             MpMsg::InstallState { .. } => "install-state",
+            MpMsg::ReadReq { .. } => "read",
+            MpMsg::ReadResp { .. } => "read-resp",
         }
     }
 
@@ -226,13 +259,21 @@ impl Payload for MpMsg {
         // Estimated per-op wire size; calibrated so every non-batched
         // message keeps its historical size (`Accept`/`Decide` with a
         // singleton op is exactly 64 bytes, `PrepareAck` is 32 + 48·entries).
+        // Command payloads beyond the flat budget (padded large values)
+        // add their real bytes on every hop that carries the command.
         fn op_bytes(op: &MpOp) -> usize {
             match op {
-                MpOp::Noop | MpOp::Cmd(_) => 48,
-                MpOp::Batch(cmds) => 48 * cmds.len().max(1),
+                MpOp::Noop => 48,
+                MpOp::Cmd(c) => 48 + c.op.payload_excess(),
+                MpOp::Batch(cmds) => cmds
+                    .iter()
+                    .map(|c| 48 + c.op.payload_excess())
+                    .sum::<usize>()
+                    .max(48),
             }
         }
         match self {
+            MpMsg::Request { cmd, .. } => 64 + cmd.op.payload_excess(),
             MpMsg::PrepareAck { entries, .. } => {
                 32 + entries.iter().map(|(_, _, op)| op_bytes(op)).sum::<usize>()
             }
@@ -344,6 +385,33 @@ pub struct Replica {
     txn_decisions: BTreeMap<String, String>,
     /// `TxnDecision` records appended over this replica's lifetime.
     pub txn_decisions_logged: u64,
+    /// Leader-lease duration (µs). `0` — the default — disables the lease
+    /// fast path entirely: no extra messages, timers, or RNG draws, so
+    /// lease-off runs stay bit-identical to the pre-lease protocol.
+    lease_us: u64,
+    /// Maximum clock skew (µs) the lease math tolerates. Lease reads are
+    /// refused whenever the sim's skew oracle reports a larger bound.
+    max_skew_us: u64,
+    /// Acceptor side: whose lease this node currently honors (volatile;
+    /// `None` during the post-restart grace period, which gates promises
+    /// for every candidate).
+    lease_holder: Option<NodeId>,
+    /// Acceptor side: local-clock expiry of the honored lease / grace
+    /// period. While unexpired this node refuses `Prepare`s from anyone but
+    /// the holder and will not start elections itself.
+    lease_until: Time,
+    /// Leader side: per-acceptor send-time of the newest `Accept` that
+    /// acceptor echoed back. A lease read is legal only while an Agreement
+    /// quorum of these stamps is fresher than `lease_us` (minus skew).
+    lease_grants: BTreeMap<NodeId, Time>,
+    /// Leader side: first log index proposed under this leadership. Lease
+    /// reads wait until the re-proposed tail of the previous term has
+    /// applied, so the local machine reflects every acknowledged write.
+    lease_floor: usize,
+    /// Fast lease reads this replica served locally.
+    pub lease_reads_served: u64,
+    /// Read requests NACKed back to the caller (fallback to the log path).
+    pub read_nacks: u64,
 }
 
 impl Replica {
@@ -386,7 +454,26 @@ impl Replica {
             last_recovery_io_us: 0,
             txn_decisions: BTreeMap::new(),
             txn_decisions_logged: 0,
+            lease_us: 0,
+            max_skew_us: 0,
+            lease_holder: None,
+            lease_until: Time(0),
+            lease_grants: BTreeMap::new(),
+            lease_floor: 0,
+            lease_reads_served: 0,
+            read_nacks: 0,
         }
+    }
+
+    /// Enables clock-bound leader leases: the leader answers
+    /// [`MpMsg::ReadReq`] locally while an Agreement quorum of acceptors
+    /// granted it a lease within the last `lease_us` µs, and acceptors
+    /// refuse to elect anyone else while honoring an unexpired lease.
+    /// Reads are NACKed whenever the skew oracle exceeds `max_skew_us`.
+    pub fn with_lease(mut self, lease_us: u64, max_skew_us: u64) -> Self {
+        self.lease_us = lease_us;
+        self.max_skew_us = max_skew_us;
+        self
     }
 
     /// Checkpoints (and compacts the log) every `threshold` applied
@@ -470,6 +557,7 @@ impl Replica {
         self.is_leader = true;
         self.view_changes += 1;
         self.proposals.clear();
+        self.lease_grants.clear();
         // Adopt the highest-ballot value for every discovered index and
         // re-propose it under my ballot; fill gaps with no-ops.
         let discovered: BTreeMap<usize, (Ballot, MpOp)> = self.prepare_entries.clone();
@@ -490,6 +578,10 @@ impl Replica {
                 .unwrap_or(MpOp::Noop);
             self.propose(ctx, index, op);
         }
+        // Lease reads wait for the re-proposed tail to apply: below this
+        // index the local machine may still miss writes the previous leader
+        // acknowledged.
+        self.lease_floor = self.next_index;
         ctx.set_timer(HB_PERIOD, HEARTBEAT);
         let hb = MpMsg::Heartbeat {
             ballot: self.promised,
@@ -507,6 +599,7 @@ impl Replica {
         self.queue.clear();
         self.overdue = false;
         self.flush_armed = false;
+        self.lease_grants.clear();
     }
 
     /// Undecided proposals currently in flight.
@@ -606,6 +699,7 @@ impl Replica {
                 ballot: self.promised,
                 index,
                 op,
+                sent: ctx.local_now(),
             },
         );
     }
@@ -872,6 +966,39 @@ impl Replica {
         // Best effort: the process embedded in the highest promised ballot.
         self.promised.proposer()
     }
+
+    /// Whether an unexpired lease (or post-restart grace period, when
+    /// `lease_holder` is `None`) forbids this acceptor from promising to —
+    /// or electing — `candidate`. Without this gate a new leader could
+    /// commit writes concurrent with the old leader's local lease reads.
+    fn lease_gates(&self, ctx: &Context<MpMsg>, candidate: NodeId) -> bool {
+        self.lease_us > 0
+            && ctx.local_now() < self.lease_until
+            && self.lease_holder != Some(candidate)
+    }
+
+    /// Whether this leader's lease authorizes a local read at local time
+    /// `at`: the skew oracle is within tolerance, the previous term's
+    /// re-proposed tail has fully applied (so the local machine reflects
+    /// every acknowledged write), and an Agreement quorum of acceptors
+    /// echoed an `Accept` sent within the last `lease_us` µs. The
+    /// `max_skew_us` margin is subtracted so a grantor whose clock jumps
+    /// forward (expiring its grant early in real time) cannot be counted.
+    fn lease_valid_at(&self, ctx: &Context<MpMsg>, at: Time) -> bool {
+        if self.lease_us == 0 || !self.is_leader || ctx.clock_skew_bound() > self.max_skew_us {
+            return false;
+        }
+        if self.log.applied_len() < self.lease_floor {
+            return false;
+        }
+        let fresh: BTreeSet<NodeId> = self
+            .lease_grants
+            .iter()
+            .filter(|(_, sent)| at.0 + self.max_skew_us < sent.0 + self.lease_us)
+            .map(|(&id, _)| id)
+            .collect();
+        self.spec.is_quorum(&fresh, Phase::Agreement)
+    }
 }
 
 impl Node for Replica {
@@ -919,6 +1046,12 @@ impl Node for Replica {
             }
 
             MpMsg::Prepare { ballot, low } => {
+                if self.lease_gates(ctx, ballot.proposer()) {
+                    // Honoring another node's unexpired lease (or in the
+                    // post-restart grace period): promising now would let a
+                    // new leader commit writes the lease holder can't see.
+                    return;
+                }
                 if ballot >= self.promised {
                     let stepping_down = self.is_leader && ballot.proposer() != ctx.id();
                     if stepping_down {
@@ -991,7 +1124,12 @@ impl Node for Replica {
                 }
             }
 
-            MpMsg::Accept { ballot, index, op } => {
+            MpMsg::Accept {
+                ballot,
+                index,
+                op,
+                sent,
+            } => {
                 if ballot >= self.promised && index >= self.snapshot_floor {
                     if self.is_leader && ballot.proposer() != ctx.id() {
                         self.step_down();
@@ -1008,12 +1146,30 @@ impl Node for Replica {
                     self.wal_sync(ctx); // accept durable before the ack leaves
                     self.accepted.insert(index, (ballot, op));
                     self.arm_election_timer(ctx);
-                    ctx.send(from, MpMsg::Accepted { ballot, index });
+                    if self.lease_us > 0 {
+                        // Accepting doubles as a lease grant: honor the
+                        // sender's leadership for `lease_us` of local clock.
+                        self.lease_holder = Some(ballot.proposer());
+                        let until = Time(ctx.local_now().0 + self.lease_us);
+                        self.lease_until = self.lease_until.max(until);
+                    }
+                    ctx.send(from, MpMsg::Accepted { ballot, index, sent });
                 }
             }
 
-            MpMsg::Accepted { ballot, index } => {
+            MpMsg::Accepted {
+                ballot,
+                index,
+                sent,
+            } => {
                 if self.is_leader && ballot == self.promised {
+                    if self.lease_us > 0 {
+                        // Renewal rides on normal phase-2 traffic: date the
+                        // grant from when the Accept left, not when the echo
+                        // returned, so delays shorten the usable lease.
+                        let g = self.lease_grants.entry(from).or_insert(sent);
+                        *g = (*g).max(sent);
+                    }
                     let spec = self.spec;
                     if let Some(p) = self.proposals.get_mut(&index) {
                         if p.decided {
@@ -1141,7 +1297,34 @@ impl Node for Replica {
                 }
             }
 
-            MpMsg::Reply { .. } | MpMsg::NotLeader { .. } => {
+            MpMsg::ReadReq { client, seq, key } => {
+                if self.lease_valid_at(ctx, ctx.local_now()) {
+                    self.lease_reads_served += 1;
+                    let value = self.log.machine().kv().get(&key).cloned();
+                    ctx.send(
+                        from,
+                        MpMsg::ReadResp {
+                            client,
+                            seq,
+                            value,
+                            mode: ReadMode::Lease,
+                        },
+                    );
+                } else {
+                    self.read_nacks += 1;
+                    ctx.send(
+                        from,
+                        MpMsg::ReadResp {
+                            client,
+                            seq,
+                            value: None,
+                            mode: ReadMode::Nack,
+                        },
+                    );
+                }
+            }
+
+            MpMsg::Reply { .. } | MpMsg::NotLeader { .. } | MpMsg::ReadResp { .. } => {
                 // Replica never receives these.
             }
         }
@@ -1150,7 +1333,9 @@ impl Node for Replica {
     fn on_timer(&mut self, ctx: &mut Context<MpMsg>, timer: Timer) {
         match timer.kind {
             ELECTION => {
-                if !self.is_leader {
+                // An unexpired lease held by someone else gates elections:
+                // re-arm and try again once it lapses.
+                if !self.is_leader && !self.lease_gates(ctx, ctx.id()) {
                     self.start_election(ctx);
                 }
                 self.arm_election_timer(ctx);
@@ -1164,6 +1349,20 @@ impl Node for Replica {
                     let me = ctx.id();
                     ctx.send_many(self.replica_ids().filter(|&r| r != me), hb);
                     ctx.set_timer(HB_PERIOD, HEARTBEAT);
+                    // Lease renewal rides the log: when idle and the lease
+                    // would lapse within its half-life, propose a no-op so
+                    // fresh Accepts (and their echoed grants) circulate.
+                    if self.lease_us > 0
+                        && self.in_flight() == 0
+                        && !self.lease_valid_at(
+                            ctx,
+                            Time(ctx.local_now().0 + self.lease_us / 2),
+                        )
+                    {
+                        let index = self.next_index;
+                        self.next_index += 1;
+                        self.propose(ctx, index, MpOp::Noop);
+                    }
                 }
             BATCH_FLUSH => {
                 self.flush_armed = false;
@@ -1185,6 +1384,16 @@ impl Node for Replica {
         self.proposals.clear();
         self.pending_reply.clear();
         self.election_timer = None;
+        if self.lease_us > 0 {
+            // Lease grants are volatile, so a restarted acceptor no longer
+            // remembers whom it promised quiescence to. Observe a grace
+            // period of one full lease before promising to *anyone* —
+            // otherwise the quorum-intersection argument behind lease reads
+            // breaks (the restarted node could elect a new leader while the
+            // old one still serves local reads).
+            self.lease_holder = None;
+            self.lease_until = Time(ctx.local_now().0 + self.lease_us);
+        }
         if self.engine.is_some() {
             // Durable mode: promised/accepted/log exist only as WAL records
             // and checkpoints. Rebuild them the honest way.
@@ -1219,6 +1428,12 @@ pub struct Client {
     pub latencies: LatencyRecorder,
     /// Invoke/response history for safety checking.
     pub history: HistorySink,
+    /// Fast-read replies landed at this node, keyed by `(reader client id,
+    /// read sequence number)`: `(value, mode)`. Filled by the geo read
+    /// path, which borrows stub clients as regional read gateways (several
+    /// routers may share one gateway, hence the compound key); the classic
+    /// workload never touches it.
+    pub read_replies: BTreeMap<(u32, u64), (Option<String>, ReadMode)>,
 }
 
 impl Client {
@@ -1250,6 +1465,7 @@ impl Client {
             retry_strikes: 0,
             latencies: LatencyRecorder::new(),
             history: HistorySink::new(),
+            read_replies: BTreeMap::new(),
         }
     }
 
@@ -1335,6 +1551,14 @@ impl Node for Client {
                         ctx.set_timer(NUDGE_US, CLIENT_NUDGE);
                     }
                 }
+            }
+            MpMsg::ReadResp {
+                client,
+                seq,
+                value,
+                mode,
+            } => {
+                self.read_replies.insert((client, seq), (value, mode));
             }
             _ => {}
         }
@@ -1451,6 +1675,32 @@ impl MultiPaxosCluster {
             n_replicas,
             n_clients,
         }
+    }
+
+    /// Replaces every client's workload mix. A builder — call before the
+    /// first step; with the default mix it is a no-op, so existing runs are
+    /// untouched.
+    #[must_use]
+    pub fn with_mix(mut self, mix: KvMix) -> Self {
+        for c in 0..self.n_clients {
+            let id = NodeId::from(self.n_replicas + c);
+            if let Proc::Client(cl) = self.sim.node_mut(id) {
+                cl.workload.set_mix(mix);
+            }
+        }
+        self
+    }
+
+    /// Enables clock-bound leader leases on every replica (see
+    /// [`Replica::with_lease`]). `lease_us == 0` is the no-op default.
+    pub fn with_lease(mut self, lease_us: u64, max_skew_us: u64) -> Self {
+        for i in 0..self.n_replicas {
+            if let Proc::Replica(r) = self.sim.node_mut(NodeId::from(i)) {
+                r.lease_us = lease_us;
+                r.max_skew_us = max_skew_us;
+            }
+        }
+        self
     }
 
     /// Enables snapshots/compaction on every replica (RAM mode: log growth
@@ -1584,6 +1834,7 @@ impl ClusterDriver for MultiPaxosCluster {
             cfg.batch,
             cfg.mode,
         )
+        .with_mix(cfg.mix)
     }
 
     fn protocol(&self) -> &'static str {
@@ -2175,5 +2426,171 @@ mod tests {
         );
         // Span ids carry the site tag in the high bits.
         assert!(spans.iter().all(|s| s.id >> 40 == 8 && s.site == 7));
+    }
+
+    /// Helper: the current leader plus one `(key, value)` it has applied.
+    fn leader_and_sample(cluster: &MultiPaxosCluster) -> (NodeId, String, String) {
+        let leader = cluster.leader().expect("stable leader");
+        let Proc::Replica(r) = cluster.sim.node(leader) else {
+            panic!("leader is a replica")
+        };
+        let (k, v) = r.log.machine().kv().iter().next().expect("applied writes");
+        (leader, k.clone(), v.clone())
+    }
+
+    #[test]
+    fn lease_reads_serve_locally_and_nack_past_skew_bound() {
+        let mut cluster = majority_cluster(3, 1, 10, 12).with_lease(30_000, 5_000);
+        assert!(cluster.run(Time::from_secs(10)));
+        let (leader, key, want) = leader_and_sample(&cluster);
+        let client = NodeId(3);
+        let at = cluster.sim.now();
+        cluster.sim.inject(
+            client,
+            leader,
+            MpMsg::ReadReq {
+                client: 3,
+                seq: 1,
+                key: key.clone(),
+            },
+            at,
+        );
+        cluster.sim.run_for(50_000);
+        {
+            let Proc::Client(c) = cluster.sim.node(client) else {
+                panic!("node 3 is a client")
+            };
+            assert_eq!(
+                c.read_replies.get(&(3, 1)),
+                Some(&(Some(want), ReadMode::Lease)),
+                "lease-holding leader must answer locally"
+            );
+        }
+        // Skew one replica past the tolerance: the oracle trips and every
+        // subsequent fast read must NACK (fall back to the log path).
+        cluster.sim.set_clock_skew(NodeId(0), 20_000);
+        let at = cluster.sim.now();
+        cluster.sim.inject(
+            client,
+            leader,
+            MpMsg::ReadReq {
+                client: 3,
+                seq: 2,
+                key,
+            },
+            at,
+        );
+        cluster.sim.run_for(50_000);
+        let Proc::Client(c) = cluster.sim.node(client) else {
+            panic!("node 3 is a client")
+        };
+        assert_eq!(
+            c.read_replies.get(&(3, 2)),
+            Some(&(None, ReadMode::Nack)),
+            "skew past the bound must force fallback, never a stale serve"
+        );
+    }
+
+    #[test]
+    fn idle_leader_renews_lease_through_the_log() {
+        // After the workload drains, only heartbeat-driven no-op proposals
+        // can keep the lease alive. Run well past several lease lifetimes
+        // and verify a fast read still serves locally.
+        let mut cluster = majority_cluster(3, 1, 15, 13).with_lease(30_000, 5_000);
+        assert!(cluster.run(Time::from_secs(5)));
+        cluster.sim.run_for(500_000); // ≫ lease_us with no client traffic
+        let (leader, key, want) = leader_and_sample(&cluster);
+        let at = cluster.sim.now();
+        cluster.sim.inject(
+            NodeId(3),
+            leader,
+            MpMsg::ReadReq {
+                client: 3,
+                seq: 9,
+                key,
+            },
+            at,
+        );
+        cluster.sim.run_for(50_000);
+        let Proc::Client(c) = cluster.sim.node(NodeId(3)) else {
+            panic!("node 3 is a client")
+        };
+        assert_eq!(
+            c.read_replies.get(&(3, 9)),
+            Some(&(Some(want), ReadMode::Lease))
+        );
+        let renewals: usize = cluster
+            .replicas()
+            .map(|r| r.log.applied_len())
+            .max()
+            .unwrap_or(0);
+        assert!(renewals > 5, "no-op renewals must have landed in the log");
+    }
+
+    #[test]
+    fn partitioned_leader_stops_serving_lease_reads() {
+        // A leader cut off from its acceptors keeps self-delivering Accepts
+        // (local hops bypass partitions), so only the *quorum* freshness
+        // check stands between it and stale reads.
+        let mut cluster = majority_cluster(3, 1, 10, 14).with_lease(30_000, 5_000);
+        assert!(cluster.run(Time::from_secs(10)));
+        let (leader, key, _) = leader_and_sample(&cluster);
+        let now = cluster.sim.now();
+        // The probing client shares the minority side so the NACK can reach
+        // it; only the leader↔acceptor links are severed.
+        let rest: Vec<NodeId> = (0..3)
+            .map(NodeId::from)
+            .filter(|&n| n != leader)
+            .collect();
+        cluster
+            .sim
+            .partition_at(Time(now.0 + 1_000), vec![vec![leader, NodeId(3)], rest]);
+        // Run far past lease expiry; the isolated leader's grants go stale.
+        cluster.sim.run_for(400_000);
+        let at = cluster.sim.now();
+        cluster.sim.inject(
+            NodeId(3),
+            leader,
+            MpMsg::ReadReq {
+                client: 3,
+                seq: 5,
+                key,
+            },
+            at,
+        );
+        cluster.sim.run_for(50_000);
+        let Proc::Client(c) = cluster.sim.node(NodeId(3)) else {
+            panic!("node 3 is a client")
+        };
+        assert_eq!(
+            c.read_replies.get(&(3, 5)),
+            Some(&(None, ReadMode::Nack)),
+            "an isolated ex-leader must refuse fast reads once its lease lapses"
+        );
+    }
+
+    #[test]
+    fn lease_mode_preserves_the_committed_command_sequence() {
+        // Leases add renewal no-ops and grant bookkeeping but must not
+        // change which client commands commit or their order.
+        let decided = |lease: bool| {
+            let mut cluster = MultiPaxosCluster::new(
+                QuorumSpec::Majority { n: 3 },
+                3,
+                2,
+                20,
+                NetConfig::synchronous(),
+                42,
+            );
+            if lease {
+                cluster = cluster.with_lease(30_000, 5_000);
+            }
+            assert!(cluster.run(Time::from_secs(30)));
+            cluster.check_log_consistency();
+            flattened_decisions(&cluster)
+        };
+        let base = decided(false);
+        assert_eq!(base.len(), 40);
+        assert_eq!(decided(true), base);
     }
 }

@@ -5,7 +5,7 @@
 use std::collections::BTreeMap;
 
 use consensus_core::workload::{KvMix, KvWorkload, LatencyRecorder, WorkloadMode};
-use consensus_core::{Command, HistorySink, KvCommand};
+use consensus_core::{Command, HistorySink, KvCommand, ReadMode};
 use simnet::{Context, Node, NodeId, Time, TraceCtx, Timer};
 
 use crate::msg::RaftMsg;
@@ -43,6 +43,11 @@ pub struct Client {
     pub history: HistorySink,
     /// Open root trace span per outstanding seq (tracing only).
     trace_roots: BTreeMap<u64, TraceCtx>,
+    /// Fast-path read replies keyed by `(reader client id, read sequence
+    /// number)` (geo read path and tests only — the classic closed/open
+    /// workload never issues reads through this channel; several routers
+    /// may share one gateway client, hence the compound key).
+    pub read_replies: BTreeMap<(u32, u64), (Option<String>, ReadMode)>,
 }
 
 impl Client {
@@ -74,12 +79,20 @@ impl Client {
             latencies: LatencyRecorder::new(),
             history: HistorySink::new(),
             trace_roots: BTreeMap::new(),
+            read_replies: BTreeMap::new(),
         }
     }
 
     /// Whether the workload finished.
     pub fn done(&self) -> bool {
         self.completed >= self.total
+    }
+
+    /// Replaces the workload mix; called by the cluster builder before the
+    /// first command is generated, which is equivalent to constructing with
+    /// the new mix (see [`consensus_core::workload::KvWorkload::set_mix`]).
+    pub fn set_mix(&mut self, mix: KvMix) {
+        self.workload.set_mix(mix);
     }
 
     fn issue_next(&mut self, ctx: &mut Context<RaftMsg>) {
@@ -158,6 +171,14 @@ impl Node for Client {
                         ctx.set_timer(NUDGE_US, CLIENT_NUDGE);
                     }
                 }
+            }
+            RaftMsg::ReadResp {
+                client,
+                seq,
+                value,
+                mode,
+            } => {
+                self.read_replies.insert((client, seq), (value, mode));
             }
             _ => {}
         }

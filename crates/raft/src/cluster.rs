@@ -73,6 +73,20 @@ impl RaftCluster {
         }
     }
 
+    /// Replaces every client's workload mix. A builder — call before the
+    /// first step; with the default mix it is a no-op, so existing runs are
+    /// untouched.
+    #[must_use]
+    pub fn with_mix(mut self, mix: KvMix) -> Self {
+        for c in 0..self.n_clients {
+            let id = NodeId::from(self.n_replicas + c);
+            if let Proc::Client(cl) = self.sim.node_mut(id) {
+                cl.set_mix(mix);
+            }
+        }
+        self
+    }
+
     /// Attaches a fresh [`storage::DurableEngine`] over `model` to every
     /// replica and sets the snapshot threshold: WAL-before-message
     /// persistence, checkpointing, and real crash recovery all activate.
@@ -206,6 +220,7 @@ impl ClusterDriver for RaftCluster {
             cfg.batch,
             cfg.mode,
         )
+        .with_mix(cfg.mix)
     }
 
     fn protocol(&self) -> &'static str {
@@ -749,6 +764,150 @@ mod tests {
             panic!("leader is a replica")
         };
         assert_eq!(r.storage_stats().expect("durable engine").recoveries, 1);
+    }
+
+    /// One `(key, value)` pair from the most-applied replica's KV state.
+    fn applied_sample(cluster: &RaftCluster) -> (String, String) {
+        let r = cluster
+            .replicas()
+            .max_by_key(|r| r.last_applied)
+            .expect("replicas");
+        let (k, v) = r
+            .machine()
+            .kv()
+            .iter()
+            .next()
+            .expect("applied writes");
+        (k.clone(), v.clone())
+    }
+
+    #[test]
+    fn follower_serves_linearizable_reads_via_read_index() {
+        use consensus_core::ReadMode;
+        let mut cluster = RaftCluster::new(3, 1, 15, NetConfig::lan(), 30);
+        assert!(cluster.run(Time::from_secs(10)));
+        cluster.sim.run_for(300_000); // followers apply; heartbeats settle
+        let leader = cluster.leader().expect("leader");
+        let (key, want) = applied_sample(&cluster);
+        let client = NodeId::from(3usize); // the workload client doubles as reader
+        let follower = (0..3).map(NodeId::from).find(|&id| id != leader).unwrap();
+        let now = cluster.sim.now();
+        cluster.sim.inject(
+            client,
+            follower,
+            crate::msg::RaftMsg::ReadReq {
+                client: 3,
+                seq: 1,
+                key: key.clone(),
+            },
+            Time(now.0 + 10),
+        );
+        cluster.sim.inject(
+            client,
+            leader,
+            crate::msg::RaftMsg::ReadReq {
+                client: 3,
+                seq: 2,
+                key,
+            },
+            Time(now.0 + 20),
+        );
+        cluster.sim.run_for(200_000);
+        let crate::Proc::Client(c) = cluster.sim.node(client) else {
+            panic!("node 3 is the client")
+        };
+        assert_eq!(
+            c.read_replies.get(&(3, 1)),
+            Some(&(Some(want.clone()), ReadMode::ReadIndex)),
+            "follower read must resolve via read-index"
+        );
+        assert_eq!(
+            c.read_replies.get(&(3, 2)),
+            Some(&(Some(want), ReadMode::ReadIndex)),
+            "leader read must resolve locally"
+        );
+        // The follower path must have done a read-index round-trip.
+        assert!(cluster.sim.metrics().kind("read-index-q") >= 1);
+        assert!(cluster.sim.metrics().kind("read-index-r") >= 1);
+    }
+
+    #[test]
+    fn isolated_leader_nacks_read_index_reads() {
+        use consensus_core::ReadMode;
+        let mut cluster = RaftCluster::new(5, 1, 10, NetConfig::lan(), 31);
+        assert!(cluster.run(Time::from_secs(10)));
+        let leader = cluster.leader().expect("leader");
+        let client = NodeId::from(5usize);
+        let now = cluster.sim.now();
+        // Isolate the old leader together with the probing client so the
+        // NACK can cross the partition back to it.
+        let minority = vec![leader, client];
+        let majority: Vec<NodeId> = (0..6)
+            .map(NodeId::from)
+            .filter(|id| !minority.contains(id))
+            .collect();
+        cluster
+            .sim
+            .partition_at(Time(now.0 + 1_000), vec![minority, majority]);
+        // Wait well past the quorum-contact window: the stale leader can no
+        // longer confirm its leadership and must refuse the fast path.
+        cluster.sim.run_for(300_000);
+        let now = cluster.sim.now();
+        cluster.sim.inject(
+            client,
+            leader,
+            crate::msg::RaftMsg::ReadReq {
+                client: 5,
+                seq: 7,
+                key: "k0".into(),
+            },
+            Time(now.0 + 10),
+        );
+        cluster.sim.run_for(100_000);
+        let crate::Proc::Client(c) = cluster.sim.node(client) else {
+            panic!("node 5 is the client")
+        };
+        let (_, mode) = c.read_replies.get(&(5, 7)).expect("nack reply");
+        assert_eq!(*mode, ReadMode::Nack, "stale leader must refuse fast reads");
+    }
+
+    #[test]
+    fn read_index_reads_leave_the_committed_sequence_unchanged() {
+        // Reads ride the message plane only: injecting them mid-run must not
+        // perturb which commands commit or their order. Synchronous network
+        // so the baseline is draw-free and exactly comparable.
+        let run = |with_reads: bool| {
+            let mut cluster = RaftCluster::new_with(
+                3,
+                2,
+                20,
+                NetConfig::synchronous(),
+                42,
+                BatchConfig::unbatched(),
+                WorkloadMode::Closed,
+            );
+            cluster.sim.run_until(Time::from_millis(50));
+            if with_reads {
+                let now = cluster.sim.now();
+                for (i, target) in (0..3).map(NodeId::from).enumerate() {
+                    cluster.sim.inject(
+                        NodeId::from(3usize),
+                        target,
+                        crate::msg::RaftMsg::ReadReq {
+                            client: 3,
+                            seq: 100 + i as u64,
+                            key: "k1".into(),
+                        },
+                        Time(now.0 + 10 + i as u64),
+                    );
+                }
+            }
+            assert!(cluster.run(Time::from_secs(30)));
+            committed_origins(&cluster)
+        };
+        let base = run(false);
+        assert_eq!(base.len(), 40);
+        assert_eq!(run(true), base, "reads perturbed the committed sequence");
     }
 
     #[test]

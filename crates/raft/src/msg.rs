@@ -1,6 +1,6 @@
 //! Raft wire messages and log entries.
 
-use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, SmrOp};
+use consensus_core::{Command, DedupKvMachine, KvCommand, KvResponse, ReadMode, SmrOp};
 use simnet::{NodeId, Payload};
 
 /// One Raft log entry: the term it was created in and the operation.
@@ -86,6 +86,46 @@ pub enum RaftMsg {
         /// On failure: a hint for where to back up to.
         match_index: usize,
     },
+    /// Fast-path linearizable read addressed to any replica (the geo read
+    /// path). A follower resolves it through a read-index round-trip with
+    /// the leader; never emitted by the classic workload clients.
+    ReadReq {
+        /// Requesting client id.
+        client: u32,
+        /// Client-chosen read sequence number (echoed back verbatim).
+        seq: u64,
+        /// Key to read.
+        key: String,
+    },
+    /// Reply to [`RaftMsg::ReadReq`]. On [`ReadMode::Nack`] the value is
+    /// meaningless and the caller must fall back to the log path.
+    ReadResp {
+        /// Echoed client id.
+        client: u32,
+        /// Echoed read sequence number.
+        seq: u64,
+        /// The value (None = key absent) — only meaningful when served.
+        value: Option<String>,
+        /// How the read was served.
+        mode: ReadMode,
+    },
+    /// Follower → leader: "confirm a commit index for my pending read".
+    ReadIndexQ {
+        /// Client id of the pending read.
+        client: u32,
+        /// Read sequence number of the pending read.
+        seq: u64,
+    },
+    /// Leader → follower: the commit index the read must wait for, or
+    /// `u64::MAX` to NACK (leadership not currently confirmable).
+    ReadIndexR {
+        /// Echoed client id.
+        client: u32,
+        /// Echoed read sequence number.
+        seq: u64,
+        /// Confirmed commit index, or `u64::MAX` for "fall back".
+        index: u64,
+    },
 }
 
 impl Payload for RaftMsg {
@@ -105,12 +145,30 @@ impl Payload for RaftMsg {
             }
             RaftMsg::InstallSnapshot { .. } => "install-snapshot",
             RaftMsg::AppendResponse { .. } => "append-response",
+            RaftMsg::ReadReq { .. } => "read",
+            RaftMsg::ReadResp { .. } => "read-resp",
+            RaftMsg::ReadIndexQ { .. } => "read-index-q",
+            RaftMsg::ReadIndexR { .. } => "read-index-r",
         }
     }
 
     fn size_bytes(&self) -> usize {
+        // Flat per-op estimates keep historical sizes exact; command
+        // payloads beyond the budget (padded large values) add their real
+        // bytes — see `KvCommand::payload_excess`.
         match self {
-            RaftMsg::AppendEntries { entries, .. } => 48 + entries.len() * 48,
+            RaftMsg::Request { cmd } => 64 + cmd.op.payload_excess(),
+            RaftMsg::AppendEntries { entries, .. } => {
+                48 + entries
+                    .iter()
+                    .map(|e| {
+                        48 + match &e.op {
+                            SmrOp::Cmd(c) => c.op.payload_excess(),
+                            SmrOp::Noop => 0,
+                        }
+                    })
+                    .sum::<usize>()
+            }
             RaftMsg::InstallSnapshot { .. } => 4_096,
             _ => 64,
         }

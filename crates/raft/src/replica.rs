@@ -4,7 +4,9 @@
 
 use std::collections::BTreeMap;
 
-use consensus_core::{BatchConfig, DedupKvMachine, KvCommand, KvResponse, SmrOp, StateMachine};
+use consensus_core::{
+    BatchConfig, DedupKvMachine, KvCommand, KvResponse, ReadMode, SmrOp, StateMachine,
+};
 use simnet::causal::cat;
 use simnet::{CncPhase, Context, Node, NodeId, Time, TraceCtx, Timer, TimerId};
 
@@ -36,6 +38,25 @@ const HB_PERIOD: u64 = 10_000;
 const BATCH: usize = 32;
 /// Default applied-entry count that triggers a snapshot.
 pub const SNAPSHOT_THRESHOLD: usize = 64;
+/// Read-index quorum-contact window (µs): the leader confirms a read's
+/// commit index only while a majority answered an `AppendEntries` within
+/// this long. Deliberately *below* the minimum election timeout
+/// (`5 · HB_PERIOD`), so a deposed leader's window always closes before a
+/// successor can commit new writes — that inequality is what makes the
+/// contact-based confirmation safe without extra round-trips.
+const READ_CONTACT_US: u64 = 4 * HB_PERIOD;
+
+/// A fast read parked at this replica until its commit index is confirmed
+/// (by the leader) and locally applied.
+struct PendingRead {
+    /// Key to serve once ready.
+    key: String,
+    /// Node the [`RaftMsg::ReadResp`] goes back to.
+    reply_to: NodeId,
+    /// Leader-confirmed commit index the read must wait for (`None` while
+    /// the read-index round-trip is still in flight).
+    ready_at: Option<usize>,
+}
 
 /// Whether an applied write resolves a 2PC/commit decision record: a
 /// decision key whose new value is a final `commit`/`abort` (the `pending`
@@ -127,6 +148,23 @@ pub struct Replica {
     txn_decisions: BTreeMap<String, String>,
     /// `TxnDecision` records appended over this replica's lifetime.
     pub txn_decisions_logged: u64,
+
+    // --- read-index fast reads (geo read path) ---
+    /// Reads parked here until confirmed + applied, keyed by
+    /// `(client, seq)`. Volatile: cleared on restart (the caller's timeout
+    /// falls back to the log path).
+    pending_reads: BTreeMap<(u32, u64), PendingRead>,
+    /// Leader: arrival time of the last `AppendResponse` per peer, for the
+    /// quorum-contact check. Sim-clock based — read-index needs no
+    /// synchronized clocks, which is its advantage over leases.
+    last_contact: BTreeMap<usize, Time>,
+    /// First index appended under the current leadership (the no-op from
+    /// `become_leader`). Reads are confirmable only once it commits.
+    term_start_index: usize,
+    /// Fast reads this replica served from its applied state.
+    pub read_index_served: u64,
+    /// Read requests NACKed back to the caller (fallback to the log path).
+    pub read_nacks: u64,
 }
 
 impl Replica {
@@ -172,6 +210,11 @@ impl Replica {
             last_recovery_io_us: 0,
             txn_decisions: BTreeMap::new(),
             txn_decisions_logged: 0,
+            pending_reads: BTreeMap::new(),
+            last_contact: BTreeMap::new(),
+            term_start_index: 0,
+            read_index_served: 0,
+            read_nacks: 0,
         }
     }
 
@@ -657,6 +700,10 @@ impl Replica {
         });
         self.wal_sync(ctx); // the no-op is durable before it replicates
         self.match_index[ctx.id().index()] = self.last_log_index();
+        // Reads are confirmable only after this no-op commits; contact
+        // history from older terms never carries over.
+        self.term_start_index = self.last_log_index();
+        self.last_contact.clear();
         self.replicate_all(ctx);
         ctx.set_timer(HB_PERIOD, HEARTBEAT);
     }
@@ -782,6 +829,8 @@ impl Replica {
                 }
             }
         }
+        // A fresh applied frontier may unlock parked fast reads.
+        self.serve_ready_reads(ctx);
         self.maybe_snapshot();
         // Commits drain the pipeline window: a held-back wave may now ship.
         self.maybe_flush(ctx);
@@ -815,6 +864,67 @@ impl Replica {
     fn log_up_to_date(&self, last_index: usize, last_term: u64) -> bool {
         last_term > self.last_log_term()
             || (last_term == self.last_log_term() && last_index >= self.last_log_index())
+    }
+
+    /// Leader-side: whether this leader may confirm read indices right now —
+    /// a majority (counting itself) answered an `AppendEntries` within the
+    /// contact window, and the current term's no-op has committed (before
+    /// that, `commit_index` may miss writes the previous leader
+    /// acknowledged).
+    fn can_confirm_reads(&self, ctx: &Context<RaftMsg>) -> bool {
+        if self.role != Role::Leader || self.commit_index < self.term_start_index {
+            return false;
+        }
+        let now = ctx.now();
+        let fresh = self
+            .last_contact
+            .values()
+            .filter(|&&t| now.0.saturating_sub(t.0) <= READ_CONTACT_US)
+            .count();
+        fresh + 1 >= self.majority()
+    }
+
+    /// Serves every parked read whose confirmed commit index has applied
+    /// locally. The value comes from the applied machine, so it reflects
+    /// every write acknowledged before the read arrived.
+    fn serve_ready_reads(&mut self, ctx: &mut Context<RaftMsg>) {
+        let ready: Vec<(u32, u64)> = self
+            .pending_reads
+            .iter()
+            .filter(|(_, p)| p.ready_at.is_some_and(|i| self.last_applied >= i))
+            .map(|(&k, _)| k)
+            .collect();
+        for (client, seq) in ready {
+            let p = self
+                .pending_reads
+                .remove(&(client, seq))
+                .expect("just listed");
+            self.read_index_served += 1;
+            let value = self.machine.kv().get(&p.key).cloned();
+            ctx.send(
+                p.reply_to,
+                RaftMsg::ReadResp {
+                    client,
+                    seq,
+                    value,
+                    mode: ReadMode::ReadIndex,
+                },
+            );
+        }
+    }
+
+    /// Refuses a fast read: the caller falls back to the log path.
+    fn nack_read(&mut self, ctx: &mut Context<RaftMsg>, client: u32, seq: u64, to: NodeId) {
+        self.read_nacks += 1;
+        ctx.send(
+            to,
+            RaftMsg::ReadResp {
+                client,
+                seq,
+                value: None,
+                mode: ReadMode::Nack,
+            },
+        );
     }
 }
 
@@ -1057,6 +1167,8 @@ impl Node for Replica {
                 self.last_applied = last_included_index;
                 self.commit_index = self.commit_index.max(last_included_index);
                 self.snapshots_installed += 1;
+                // The applied frontier jumped: parked fast reads may serve.
+                self.serve_ready_reads(ctx);
                 // Durable mode: rebuild the on-disk index from the shipped
                 // state and checkpoint it, so the install survives a crash
                 // that follows the ack.
@@ -1085,6 +1197,9 @@ impl Node for Replica {
                     return;
                 }
                 let peer = from.index();
+                // Any same-term response counts as contact: the peer is
+                // reachable and still recognizes this leadership.
+                self.last_contact.insert(peer, ctx.now());
                 if success {
                     self.match_index[peer] = self.match_index[peer].max(match_index);
                     // Never regress an optimistic `next_index` on a (possibly
@@ -1101,7 +1216,60 @@ impl Node for Replica {
                 }
             }
 
-            RaftMsg::Reply { .. } | RaftMsg::NotLeader { .. } => {}
+            RaftMsg::ReadReq { client, seq, key } => {
+                if self.role == Role::Leader {
+                    if self.can_confirm_reads(ctx) {
+                        self.pending_reads.insert(
+                            (client, seq),
+                            PendingRead {
+                                key,
+                                reply_to: from,
+                                ready_at: Some(self.commit_index),
+                            },
+                        );
+                        self.serve_ready_reads(ctx);
+                    } else {
+                        self.nack_read(ctx, client, seq, from);
+                    }
+                } else if let Some(leader) = self.leader_hint {
+                    // Park the read and ask the leader to confirm its
+                    // commit index; we serve from local applied state once
+                    // it both confirms and applies here.
+                    self.pending_reads.insert(
+                        (client, seq),
+                        PendingRead {
+                            key,
+                            reply_to: from,
+                            ready_at: None,
+                        },
+                    );
+                    ctx.send(leader, RaftMsg::ReadIndexQ { client, seq });
+                } else {
+                    self.nack_read(ctx, client, seq, from);
+                }
+            }
+
+            RaftMsg::ReadIndexQ { client, seq } => {
+                let index = if self.can_confirm_reads(ctx) {
+                    self.commit_index as u64
+                } else {
+                    u64::MAX
+                };
+                ctx.send(from, RaftMsg::ReadIndexR { client, seq, index });
+            }
+
+            RaftMsg::ReadIndexR { client, seq, index } => {
+                if index == u64::MAX {
+                    if let Some(p) = self.pending_reads.remove(&(client, seq)) {
+                        self.nack_read(ctx, client, seq, p.reply_to);
+                    }
+                } else if let Some(p) = self.pending_reads.get_mut(&(client, seq)) {
+                    p.ready_at = Some(index as usize);
+                    self.serve_ready_reads(ctx);
+                }
+            }
+
+            RaftMsg::Reply { .. } | RaftMsg::NotLeader { .. } | RaftMsg::ReadResp { .. } => {}
         }
     }
 
@@ -1138,6 +1306,8 @@ impl Node for Replica {
         self.votes = 0;
         self.pending_reply.clear();
         self.pending_trace.clear();
+        self.pending_reads.clear();
+        self.last_contact.clear();
         self.reset_batching();
         self.election_timer = None;
         if self.engine.is_some() {

@@ -133,6 +133,88 @@ impl DiskModel {
     }
 }
 
+/// A named multi-region WAN topology.
+///
+/// Nodes are assigned to regions via [`crate::Sim::set_node_region`]; a
+/// message between two nodes in the same region samples `intra`, and a
+/// message from region `a` to region `b` samples `inter[a][b]` — the matrix
+/// need not be symmetric, so transatlantic-style asymmetric routes are
+/// expressible. Nodes with no region assignment (or a `NetConfig` with
+/// `wan: None`) fall back to the flat [`NetConfig::delay`] model, which keeps
+/// every pre-geo configuration bit-identical.
+#[derive(Clone, Debug)]
+pub struct WanTopology {
+    /// Human-readable region names; `regions.len()` is the region count.
+    pub regions: Vec<String>,
+    /// Delay model for messages within a single region.
+    pub intra: DelayModel,
+    /// `inter[a][b]` is the delay model from region `a` to region `b`
+    /// (`a != b`); diagonal entries are ignored in favour of `intra`.
+    pub inter: Vec<Vec<DelayModel>>,
+}
+
+impl WanTopology {
+    /// A symmetric topology: one `intra` model inside every region and one
+    /// `inter` model between every ordered pair of distinct regions.
+    pub fn symmetric(n_regions: usize, intra: DelayModel, inter: DelayModel) -> Self {
+        assert!(n_regions >= 1, "topology needs at least one region");
+        WanTopology {
+            regions: (0..n_regions).map(|r| format!("region-{r}")).collect(),
+            intra,
+            inter: vec![vec![inter; n_regions]; n_regions],
+        }
+    }
+
+    /// A three-datacenter continental profile: tight 200–800 µs jitter
+    /// inside each region, asymmetric 18–26 ms one-way delays between them
+    /// (the pairwise means differ so no two regions are equidistant).
+    pub fn three_dc() -> Self {
+        let mut t = WanTopology::symmetric(
+            3,
+            DelayModel::Uniform(200, 800),
+            DelayModel::Uniform(18_000, 22_000),
+        );
+        t.regions = vec!["us-east".into(), "eu-west".into(), "ap-south".into()];
+        // Asymmetric long-haul pairs: eu<->ap is the slowest route.
+        t.inter[0][1] = DelayModel::Uniform(18_000, 22_000);
+        t.inter[1][0] = DelayModel::Uniform(19_000, 23_000);
+        t.inter[0][2] = DelayModel::Uniform(20_000, 24_000);
+        t.inter[2][0] = DelayModel::Uniform(21_000, 25_000);
+        t.inter[1][2] = DelayModel::Uniform(22_000, 26_000);
+        t.inter[2][1] = DelayModel::Uniform(23_000, 27_000);
+        t
+    }
+
+    /// Number of regions.
+    pub fn n_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The delay model governing a message from region `a` to region `b`.
+    pub fn model_between(&self, a: usize, b: usize) -> DelayModel {
+        if a == b {
+            self.intra
+        } else {
+            self.inter[a][b]
+        }
+    }
+
+    /// The smallest one-way inter-region delay across all ordered pairs of
+    /// distinct regions (`None` for single-region topologies). A local read
+    /// beating this floor provably never paid a WAN hop.
+    pub fn min_inter_delay(&self) -> Option<u64> {
+        let n = self.n_regions();
+        (0..n)
+            .flat_map(|a| (0..n).filter(move |&b| b != a).map(move |b| (a, b)))
+            .map(|(a, b)| match self.inter[a][b] {
+                DelayModel::Fixed(d) => d,
+                DelayModel::Uniform(lo, _) => lo,
+                DelayModel::Exp { .. } => 1,
+            })
+            .min()
+    }
+}
+
 /// Full network configuration for a [`crate::Sim`].
 #[derive(Clone, Debug)]
 pub struct NetConfig {
@@ -149,6 +231,10 @@ pub struct NetConfig {
     /// Optional sender-side transmit serialization; `None` = infinite NIC
     /// capacity (the historical behaviour).
     pub nic: Option<NicModel>,
+    /// Optional multi-region WAN topology. `None` (the default everywhere)
+    /// keeps the flat single-`delay` network; `Some` makes the delay model
+    /// region-pair-dependent for nodes with region assignments.
+    pub wan: Option<WanTopology>,
 }
 
 impl NetConfig {
@@ -160,6 +246,7 @@ impl NetConfig {
             duplicate_prob: 0.0,
             synchrony: Synchrony::Synchronous,
             nic: None,
+            wan: None,
         }
     }
 
@@ -173,6 +260,7 @@ impl NetConfig {
             duplicate_prob: 0.0,
             synchrony: Synchrony::PartiallySynchronous,
             nic: None,
+            wan: None,
         }
     }
 
@@ -187,6 +275,7 @@ impl NetConfig {
             duplicate_prob: 0.0,
             synchrony: Synchrony::PartiallySynchronous,
             nic: None,
+            wan: None,
         }
     }
 
@@ -203,6 +292,7 @@ impl NetConfig {
             duplicate_prob: 0.0,
             synchrony: Synchrony::Asynchronous,
             nic: None,
+            wan: None,
         }
     }
 
@@ -223,6 +313,14 @@ impl NetConfig {
     /// Returns this config with a different delay model.
     pub fn with_delay(mut self, delay: DelayModel) -> Self {
         self.delay = delay;
+        self
+    }
+
+    /// Returns this config with a multi-region WAN topology. Nodes still
+    /// need region assignments ([`crate::Sim::set_node_region`]) before any
+    /// message actually samples a topology model.
+    pub fn with_wan(mut self, topology: WanTopology) -> Self {
+        self.wan = Some(topology);
         self
     }
 
@@ -329,6 +427,19 @@ mod tests {
     #[should_panic(expected = "drop_prob")]
     fn invalid_drop_prob_panics() {
         let _ = NetConfig::lan().with_drop_prob(1.5);
+    }
+
+    #[test]
+    fn wan_topology_models_and_floor() {
+        let t = WanTopology::three_dc();
+        assert_eq!(t.n_regions(), 3);
+        assert_eq!(t.model_between(1, 1), t.intra);
+        assert_ne!(t.model_between(0, 1), t.model_between(1, 0));
+        assert_eq!(t.min_inter_delay(), Some(18_000));
+        let flat = WanTopology::symmetric(1, DelayModel::Fixed(100), DelayModel::Fixed(1));
+        assert_eq!(flat.min_inter_delay(), None);
+        assert!(NetConfig::lan().wan.is_none());
+        assert!(NetConfig::lan().with_wan(t).wan.is_some());
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub use causal::{
     attribute_window, bucket_for_kind, chrome_trace, export_events, folded_stacks, CausalSpan,
     TraceCtx, Tracer,
 };
-pub use config::{DelayModel, DiskModel, NetConfig, NicModel, Synchrony};
+pub use config::{DelayModel, DiskModel, NetConfig, NicModel, Synchrony, WanTopology};
 pub use fault::{DropAll, Equivocate, Filter, FilterAction, FnFilter};
 pub use metrics::{DropCause, Histogram, Metrics};
 pub use node::{Context, Node, Payload, Timer, TimerId};

@@ -100,6 +100,11 @@ pub struct Context<'a, M> {
     /// of the message being handled, a root opened via
     /// [`Context::trace_begin`], or `None` (untraced activity).
     pub(crate) cur: Option<TraceCtx>,
+    /// This node's forward clock offset (µs); see [`Context::local_now`].
+    pub(crate) clock_offset: u64,
+    /// The sim-wide max pairwise clock-offset difference; see
+    /// [`Context::clock_skew_bound`].
+    pub(crate) skew_bound: u64,
 }
 
 impl<M: Payload> Context<'_, M> {
@@ -113,6 +118,26 @@ impl<M: Payload> Context<'_, M> {
     #[inline]
     pub fn now(&self) -> Time {
         self.now
+    }
+
+    /// This node's *local* clock: global time plus any forward offset a
+    /// harness injected via [`crate::Sim::set_clock_skew`]. Lease code must
+    /// use this (never [`Context::now`]) for grant and expiry arithmetic so
+    /// injected skew actually stresses the lease safety margin. Identical to
+    /// `now()` unless skew was injected.
+    #[inline]
+    pub fn local_now(&self) -> Time {
+        Time(self.now.0 + self.clock_offset)
+    }
+
+    /// The current maximum pairwise clock-offset difference across nodes, as
+    /// a perfect TrueTime-style sync monitor would report it. Lease holders
+    /// compare this against their configured tolerance and refuse local
+    /// reads when actual skew exceeds it — the fallback the nemesis geo
+    /// target drives past its edge.
+    #[inline]
+    pub fn clock_skew_bound(&self) -> u64 {
+        self.skew_bound
     }
 
     /// Number of nodes currently registered in the simulation.
@@ -375,6 +400,8 @@ mod tests {
             next_timer: &mut next_timer,
             tracer: &mut tracer,
             cur: None,
+            clock_offset: 0,
+            skew_bound: 0,
         };
         f(&mut ctx);
         (effects, tracer)

@@ -61,6 +61,17 @@ pub struct Sim<N: Node> {
     partition: Option<Vec<usize>>,
     partition_plans: Vec<Vec<Vec<NodeId>>>,
     link_delays: HashMap<(NodeId, NodeId), DelayModel>,
+    /// Region assignment per node, used only when `config.wan` is set: a
+    /// message between two region-assigned nodes samples the topology's
+    /// region-pair model instead of the flat `config.delay`.
+    node_regions: HashMap<usize, usize>,
+    /// Per-node forward clock offset in µs (local clock = `now + offset`).
+    /// Empty (all zero) unless a harness injects skew; purely observational —
+    /// event scheduling always uses the global `now`.
+    clock_offsets: HashMap<usize, u64>,
+    /// Cached max pairwise clock-offset difference (the sim's ground-truth
+    /// skew bound, exposed to nodes as a perfect sync-monitor oracle).
+    skew_bound: u64,
     /// Per-sender NIC busy-until time, used only when `config.nic` is set.
     nic_busy: HashMap<usize, u64>,
     filters: HashMap<usize, Box<dyn Filter<N::Msg>>>,
@@ -91,6 +102,9 @@ impl<N: Node> Sim<N> {
             partition: None,
             partition_plans: Vec::new(),
             link_delays: HashMap::new(),
+            node_regions: HashMap::new(),
+            clock_offsets: HashMap::new(),
+            skew_bound: 0,
             nic_busy: HashMap::new(),
             filters: HashMap::new(),
             stop_requested: false,
@@ -230,6 +244,45 @@ impl<N: Node> Sim<N> {
         self.link_delays.insert((from, to), model);
     }
 
+    /// Assigns `id` to a region of the configured [`crate::WanTopology`].
+    /// Has no routing effect unless the config carries a topology (and both
+    /// endpoints of a message are region-assigned); per-link overrides from
+    /// [`Sim::set_link_delay`] still take precedence.
+    pub fn set_node_region(&mut self, id: NodeId, region: usize) {
+        if let Some(t) = &self.config.wan {
+            assert!(region < t.n_regions(), "region out of range for topology");
+        }
+        self.node_regions.insert(id.index(), region);
+    }
+
+    /// The region `id` was assigned to, if any.
+    pub fn node_region(&self, id: NodeId) -> Option<usize> {
+        self.node_regions.get(&id.index()).copied()
+    }
+
+    /// Sets `id`'s forward clock offset: its local clock reads
+    /// `now + offset_us`. Offsets never affect event scheduling — they are
+    /// visible only through [`Context::local_now`] — so skew injection
+    /// perturbs lease decisions without perturbing the schedule itself.
+    pub fn set_clock_skew(&mut self, id: NodeId, offset_us: u64) {
+        self.clock_offsets.insert(id.index(), offset_us);
+        let max = self.clock_offsets.values().copied().max().unwrap_or(0);
+        let min = if self.clock_offsets.len() == self.slots.len() {
+            self.clock_offsets.values().copied().min().unwrap_or(0)
+        } else {
+            0 // some node still runs an unskewed clock
+        };
+        self.skew_bound = max - min;
+    }
+
+    /// The current maximum pairwise clock-offset difference across nodes —
+    /// the ground truth a TrueTime-style sync monitor would report. Lease
+    /// code compares this against its configured tolerance and falls back to
+    /// the leader log path when the injected skew exceeds it.
+    pub fn clock_skew_bound(&self) -> u64 {
+        self.skew_bound
+    }
+
     /// Overrides the random-loss probability from this point on. Fault
     /// schedules use this to model loss bursts: raise it at the start of the
     /// burst window and restore it at the end.
@@ -293,6 +346,8 @@ impl<N: Node> Sim<N> {
         let mut effects = std::mem::take(&mut self.scratch);
         effects.clear();
         let n_nodes = self.slots.len();
+        let clock_offset = self.clock_offsets.get(&idx).copied().unwrap_or(0);
+        let skew_bound = self.skew_bound;
         {
             let slot = &mut self.slots[idx];
             let mut ctx = Context {
@@ -304,6 +359,8 @@ impl<N: Node> Sim<N> {
                 next_timer: &mut self.next_timer,
                 tracer: &mut self.tracer,
                 cur,
+                clock_offset,
+                skew_bound,
             };
             f(&mut slot.node, &mut ctx);
         }
@@ -385,11 +442,23 @@ impl<N: Node> Sim<N> {
             }
         }
 
-        let model = self
-            .link_delays
-            .get(&(from, to))
-            .copied()
-            .unwrap_or(self.config.delay);
+        // Per-link overrides win; otherwise a configured WAN topology picks
+        // the region-pair model for region-assigned endpoints; otherwise the
+        // flat config delay applies. Exactly one sample either way, so flat
+        // (no-topology) runs keep their RNG draw sequence bit-identical.
+        let model = match self.link_delays.get(&(from, to)) {
+            Some(m) => *m,
+            None => match &self.config.wan {
+                Some(t) => match (
+                    self.node_regions.get(&from.index()),
+                    self.node_regions.get(&to.index()),
+                ) {
+                    (Some(&a), Some(&b)) => t.model_between(a, b),
+                    _ => self.config.delay,
+                },
+                None => self.config.delay,
+            },
+        };
         let delay = model.sample(&mut self.net_rng);
 
         // Sender-side NIC serialization: the message leaves the sender only
@@ -1339,6 +1408,63 @@ mod tests {
         // Synchronous profile: every hop is the fixed 500 µs.
         assert_eq!(m.delivered_latency.min(), Some(500));
         assert_eq!(m.delivered_latency.max(), Some(500));
+    }
+
+    #[test]
+    fn wan_topology_routes_by_region_pair() {
+        use crate::config::WanTopology;
+        // Two regions 30 ms apart, 100 µs inside. Node 0+1 in region 0,
+        // node 2 in region 1: the ping to 1 is intra, the ping to 2 inter.
+        let topo = WanTopology::symmetric(2, DelayModel::Fixed(100), DelayModel::Fixed(30_000));
+        let mut sim = pingpong_sim(3, NetConfig::synchronous().with_wan(topo), 40);
+        sim.set_node_region(NodeId(0), 0);
+        sim.set_node_region(NodeId(1), 0);
+        sim.set_node_region(NodeId(2), 1);
+        sim.record_trace(true);
+        sim.run_to_quiescence();
+        let deliveries: Vec<(u64, u32)> = sim
+            .trace()
+            .iter()
+            .filter(|t| matches!(t.event, TraceEvent::Deliver))
+            .map(|t| (t.time.0, t.to.0))
+            .collect();
+        // Intra round-trip at 100/200, inter at 30_000/60_000.
+        assert_eq!(deliveries, vec![(100, 1), (200, 0), (30_000, 2), (60_000, 0)]);
+    }
+
+    #[test]
+    fn unassigned_regions_fall_back_to_flat_delay() {
+        use crate::config::WanTopology;
+        let topo = WanTopology::symmetric(2, DelayModel::Fixed(100), DelayModel::Fixed(30_000));
+        let mut sim = pingpong_sim(2, NetConfig::synchronous().with_wan(topo), 41);
+        sim.set_node_region(NodeId(0), 0); // node 1 left unassigned
+        sim.record_trace(true);
+        sim.run_to_quiescence();
+        let deliveries: Vec<u64> = sim
+            .trace()
+            .iter()
+            .filter(|t| matches!(t.event, TraceEvent::Deliver))
+            .map(|t| t.time.0)
+            .collect();
+        assert_eq!(deliveries, vec![500, 1_000]); // 500 µs each way: flat model
+    }
+
+    #[test]
+    fn clock_skew_is_observational_and_bounded() {
+        let mut sim = pingpong_sim(3, NetConfig::synchronous(), 42);
+        assert_eq!(sim.clock_skew_bound(), 0);
+        sim.set_clock_skew(NodeId(1), 700);
+        assert_eq!(sim.clock_skew_bound(), 700);
+        sim.set_clock_skew(NodeId(2), 300);
+        assert_eq!(sim.clock_skew_bound(), 700); // node 0 still at 0
+        sim.set_clock_skew(NodeId(0), 600);
+        assert_eq!(sim.clock_skew_bound(), 400); // spread of {600,700,300}
+        // Skew never perturbs the schedule: same quiescence time as unskewed.
+        sim.run_to_quiescence();
+        let mut plain = pingpong_sim(3, NetConfig::synchronous(), 42);
+        plain.run_to_quiescence();
+        assert_eq!(sim.now(), plain.now());
+        assert_eq!(sim.metrics().sent, plain.metrics().sent);
     }
 
     #[test]

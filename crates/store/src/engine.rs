@@ -18,11 +18,31 @@
 use consensus_core::driver::{BatchConfig, ClusterDriver};
 use consensus_core::smr::{Command, KvCommand, KvResponse};
 use consensus_core::workload::WorkloadMode;
-use consensus_core::QuorumSpec;
+use consensus_core::{QuorumSpec, ReadMode};
 use paxos::multi::{MpMsg, MultiPaxosCluster};
 use raft::msg::RaftMsg;
 use raft::RaftCluster;
 use simnet::{DiskModel, NetConfig, NodeId, TraceCtx};
+
+/// Geo deployment of one shard group: which region each replica lives in,
+/// plus the fast-read protocol parameters. The group's WAN topology itself
+/// travels in [`ShardBuildSpec::net`] (`NetConfig::wan`); this struct binds
+/// the group's nodes to it.
+#[derive(Clone, Debug)]
+pub struct ShardGeo {
+    /// Number of regions in the topology. The engine builds one *regional
+    /// stub client* per region (node ids `n_replicas..n_replicas +
+    /// n_regions`), each homed in its region, so fast reads injected "from
+    /// region g" pay that region's network distances.
+    pub n_regions: usize,
+    /// Region of each replica (`regions[r]` for replica `r`).
+    pub regions: Vec<u32>,
+    /// Multi-Paxos leader-lease length in µs (`0` disables; Raft ignores
+    /// this and serves fast reads through read-index confirmation).
+    pub lease_us: u64,
+    /// Maximum tolerated clock skew for lease reads in µs.
+    pub max_skew_us: u64,
+}
 
 /// Everything needed to build one shard group, in one place. Collapsing the
 /// old `build_shard` / `build_shard_durable` pair into a single spec-driven
@@ -47,6 +67,10 @@ pub struct ShardBuildSpec {
     /// off; the store also enables tracing post-build via
     /// [`ClusterDriver::enable_tracing`]).
     pub trace_site: Option<u32>,
+    /// Geo deployment: regional replica homes, regional stub clients, and
+    /// fast-read parameters. `None` builds the classic single-datacenter
+    /// shard, bit-identical to every pre-geo configuration.
+    pub geo: Option<ShardGeo>,
 }
 
 impl ShardBuildSpec {
@@ -60,6 +84,7 @@ impl ShardBuildSpec {
             seed,
             durability: None,
             trace_site: None,
+            geo: None,
         }
     }
 
@@ -75,6 +100,18 @@ impl ShardBuildSpec {
     #[must_use]
     pub fn tracing(mut self, site: u32) -> Self {
         self.trace_site = Some(site);
+        self
+    }
+
+    /// The same shard deployed across regions (see [`ShardGeo`]).
+    #[must_use]
+    pub fn geo(mut self, geo: ShardGeo) -> Self {
+        assert_eq!(
+            geo.regions.len(),
+            self.n_replicas,
+            "geo placement must assign every replica a region"
+        );
+        self.geo = Some(geo);
         self
     }
 }
@@ -118,22 +155,60 @@ pub trait ShardEngine: ClusterDriver {
     /// Reads `key` from the most-caught-up replica's applied state, without
     /// going through the log. Harness-side introspection only.
     fn peek(&self, key: &str) -> Option<String>;
+
+    // ---- geo fast-read path (active only on geo-built shards) ----------
+
+    /// Injects a fast-path linearizable read of `key` addressed to replica
+    /// `target`, sent from region `region`'s stub client so the reply pays
+    /// that region's network distance. The replica answers with a
+    /// [`ReadMode`]-tagged reply ([`ShardEngine::read_reply`]) — or NACKs
+    /// when it cannot prove the read safe. Idempotent per `(client, seq)`.
+    fn submit_read(&mut self, client: u32, seq: u64, key: &str, target: usize, region: usize);
+
+    /// The fast-read reply for `(client, seq)`, if one has arrived at any
+    /// regional stub: `(value, mode)`.
+    fn read_reply(&self, client: u32, seq: u64) -> Option<(Option<String>, ReadMode)>;
+
+    /// The replica a region-`region` client should aim its fast reads at:
+    /// for Multi-Paxos the (lease-holding) leader — only it can serve; for
+    /// Raft a replica homed in `region` when one exists (read-index lets
+    /// followers serve), falling back to the leader.
+    fn read_target(&self, region: usize) -> usize;
+
+    /// The region replica `replica` is homed in (`None` on non-geo shards).
+    fn replica_region(&self, replica: usize) -> Option<usize>;
+
+    /// Skews replica `replica`'s local clock forward by `offset_us` — the
+    /// nemesis lever for driving lease clocks past their safety bound.
+    fn set_replica_skew(&mut self, replica: usize, offset_us: u64);
 }
 
 impl ShardEngine for MultiPaxosCluster {
     fn build_shard(spec: &ShardBuildSpec) -> Self {
+        let n_stubs = spec.geo.as_ref().map_or(1, |g| g.n_regions);
         let mut cluster = MultiPaxosCluster::new_with(
             QuorumSpec::Majority {
                 n: spec.n_replicas,
             },
             spec.n_replicas,
-            1,
+            n_stubs,
             0,
             spec.net.clone(),
             spec.seed,
             spec.batch,
             WorkloadMode::Closed,
         );
+        if let Some(geo) = &spec.geo {
+            cluster = cluster.with_lease(geo.lease_us, geo.max_skew_us);
+            for (r, &region) in geo.regions.iter().enumerate() {
+                cluster.sim.set_node_region(NodeId::from(r), region as usize);
+            }
+            for g in 0..geo.n_regions {
+                cluster
+                    .sim
+                    .set_node_region(NodeId::from(spec.n_replicas + g), g);
+            }
+        }
         if let Some((threshold, disk)) = spec.durability {
             cluster = cluster.with_durability(threshold, disk);
         }
@@ -170,19 +245,60 @@ impl ShardEngine for MultiPaxosCluster {
             .max_by_key(|r| r.log.applied_len())
             .and_then(|r| r.log.machine().kv().get(key).cloned())
     }
+
+    fn submit_read(&mut self, client: u32, seq: u64, key: &str, target: usize, region: usize) {
+        let stub = NodeId::from(self.n_replicas + region);
+        let at = self.sim.now();
+        let msg = MpMsg::ReadReq {
+            client,
+            seq,
+            key: key.to_string(),
+        };
+        self.sim.inject(stub, NodeId::from(target), msg, at);
+    }
+
+    fn read_reply(&self, client: u32, seq: u64) -> Option<(Option<String>, ReadMode)> {
+        self.clients()
+            .find_map(|c| c.read_replies.get(&(client, seq)).cloned())
+    }
+
+    fn read_target(&self, _region: usize) -> usize {
+        // Only the lease-holding leader can serve Multi-Paxos fast reads;
+        // locality falls out of placement homing the leader near clients.
+        self.leader().map_or(0, NodeId::index)
+    }
+
+    fn replica_region(&self, replica: usize) -> Option<usize> {
+        self.sim.node_region(NodeId::from(replica))
+    }
+
+    fn set_replica_skew(&mut self, replica: usize, offset_us: u64) {
+        self.sim.set_clock_skew(NodeId::from(replica), offset_us);
+    }
 }
 
 impl ShardEngine for RaftCluster {
     fn build_shard(spec: &ShardBuildSpec) -> Self {
+        let n_stubs = spec.geo.as_ref().map_or(1, |g| g.n_regions);
         let mut cluster = RaftCluster::new_with(
             spec.n_replicas,
-            1,
+            n_stubs,
             0,
             spec.net.clone(),
             spec.seed,
             spec.batch,
             WorkloadMode::Closed,
         );
+        if let Some(geo) = &spec.geo {
+            for (r, &region) in geo.regions.iter().enumerate() {
+                cluster.sim.set_node_region(NodeId::from(r), region as usize);
+            }
+            for g in 0..geo.n_regions {
+                cluster
+                    .sim
+                    .set_node_region(NodeId::from(spec.n_replicas + g), g);
+            }
+        }
         if let Some((threshold, disk)) = spec.durability {
             cluster = cluster.with_durability(threshold, disk);
         }
@@ -218,6 +334,39 @@ impl ShardEngine for RaftCluster {
         self.replicas()
             .max_by_key(|r| r.last_applied)
             .and_then(|r| r.machine().kv().get(key).cloned())
+    }
+
+    fn submit_read(&mut self, client: u32, seq: u64, key: &str, target: usize, region: usize) {
+        let stub = NodeId::from(self.n_replicas + region);
+        let at = self.sim.now();
+        let msg = RaftMsg::ReadReq {
+            client,
+            seq,
+            key: key.to_string(),
+        };
+        self.sim.inject(stub, NodeId::from(target), msg, at);
+    }
+
+    fn read_reply(&self, client: u32, seq: u64) -> Option<(Option<String>, ReadMode)> {
+        self.clients()
+            .find_map(|c| c.read_replies.get(&(client, seq)).cloned())
+    }
+
+    fn read_target(&self, region: usize) -> usize {
+        // Read-index lets any replica serve, so prefer one homed in the
+        // client's region; otherwise aim at the leader.
+        (0..self.n_replicas)
+            .find(|&r| self.sim.node_region(NodeId::from(r)) == Some(region))
+            .or_else(|| self.leader().map(NodeId::index))
+            .unwrap_or(0)
+    }
+
+    fn replica_region(&self, replica: usize) -> Option<usize> {
+        self.sim.node_region(NodeId::from(replica))
+    }
+
+    fn set_replica_skew(&mut self, replica: usize, offset_us: u64) {
+        self.sim.set_clock_skew(NodeId::from(replica), offset_us);
     }
 }
 

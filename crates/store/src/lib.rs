@@ -16,6 +16,8 @@
 //! * [`Store`] — routers, 2PC-over-consensus (Gray & Lamport's *Consensus
 //!   on Transaction Commit*), a recovery actor, and a post-run audit pass,
 //!   all stepped in deterministic lockstep ([`store`]).
+//! * [`GeoConfig`] — WAN regions, shard placement, and the region-local
+//!   linearizable read path (leader leases / read index) ([`geo`]).
 //!
 //! The punchline mirrors the tutorial's commitment story one layer up:
 //! unreplicated 2PC (`atomic_commit::two_phase`) **blocks forever** when
@@ -24,10 +26,12 @@
 //! the transaction until recovery re-derives the outcome from the logs.
 
 pub mod engine;
+pub mod geo;
 pub mod shard_map;
 pub mod store;
 
-pub use engine::{ShardBuildSpec, ShardEngine};
+pub use engine::{ShardBuildSpec, ShardEngine, ShardGeo};
+pub use geo::{compute_placement, GeoConfig, PlacementPolicy, ReadOutcome};
 pub use shard_map::{key_hash, ShardMap};
 pub use store::{
     decode_intent, encode_intent, intent_key, CommitBackend, OpRecord, RangeOutcome,

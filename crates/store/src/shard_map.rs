@@ -17,6 +17,10 @@ pub struct ShardMap {
     bounds: Vec<u64>,
     /// Owning consensus group of each range.
     groups: Vec<u32>,
+    /// Geo placement: `placement[group][replica]` is that replica's region.
+    /// `None` for single-datacenter stores — and absent from the serialized
+    /// form, so pre-geo map strings parse (and fingerprint) unchanged.
+    placement: Option<Vec<Vec<u32>>>,
 }
 
 /// The store's stable key hash: FNV-1a with a 64-bit finalizer. Raw FNV
@@ -47,7 +51,39 @@ impl ShardMap {
         ShardMap {
             bounds,
             groups: (0..n_groups as u32).collect(),
+            placement: None,
         }
+    }
+
+    /// The same map with a geo placement attached:
+    /// `placement[group][replica]` is that replica's region (see
+    /// [`crate::geo::compute_placement`]).
+    #[must_use]
+    pub fn with_placement(mut self, placement: Vec<Vec<u32>>) -> Self {
+        assert_eq!(
+            placement.len(),
+            self.n_groups(),
+            "placement must cover every consensus group"
+        );
+        self.placement = Some(placement);
+        self
+    }
+
+    /// The geo placement, if one is attached.
+    pub fn placement(&self) -> Option<&Vec<Vec<u32>>> {
+        self.placement.as_ref()
+    }
+
+    /// The region of `replica` in `group`'s consensus group (`None` when no
+    /// placement is attached).
+    pub fn replica_region(&self, group: usize, replica: usize) -> Option<usize> {
+        Some(*self.placement.as_ref()?.get(group)?.get(replica)? as usize)
+    }
+
+    /// The primary region of `group`: where its replica 0 — the likely
+    /// initial leader — is homed (`None` when no placement is attached).
+    pub fn primary_region(&self, group: usize) -> Option<usize> {
+        self.replica_region(group, 0)
     }
 
     /// The consensus group owning `key`.
@@ -65,29 +101,72 @@ impl ShardMap {
         gs.len()
     }
 
-    /// Serializes the map for the store config (`bound:group,...`).
+    /// Serializes the map for the store config (`bound:group,...`). A geo
+    /// placement, when attached, rides in an appended `|`-separated section
+    /// (`|r.r.r,r.r.r,...` — one dot-joined region list per group), so
+    /// placement-free maps serialize exactly as they always have.
     pub fn serialize(&self) -> String {
-        self.bounds
+        let ranges = self
+            .bounds
             .iter()
             .zip(&self.groups)
             .map(|(b, g)| format!("{b:x}:{g}"))
             .collect::<Vec<_>>()
-            .join(",")
+            .join(",");
+        match &self.placement {
+            None => ranges,
+            Some(p) => {
+                let rows = p
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(u32::to_string)
+                            .collect::<Vec<_>>()
+                            .join(".")
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{ranges}|{rows}")
+            }
+        }
     }
 
     /// Parses [`ShardMap::serialize`] output. Returns `None` on malformed
     /// input or a map that does not cover the whole ring.
     pub fn deserialize(s: &str) -> Option<ShardMap> {
+        let (ranges, placement_part) = match s.split_once('|') {
+            Some((r, p)) => (r, Some(p)),
+            None => (s, None),
+        };
         let mut bounds = Vec::new();
         let mut groups = Vec::new();
-        for part in s.split(',') {
+        for part in ranges.split(',') {
             let (b, g) = part.split_once(':')?;
             bounds.push(u64::from_str_radix(b, 16).ok()?);
             groups.push(g.parse().ok()?);
         }
         let covers = bounds.last() == Some(&u64::MAX);
         let sorted = bounds.windows(2).all(|w| w[0] < w[1]);
-        (covers && sorted && !bounds.is_empty()).then_some(ShardMap { bounds, groups })
+        if !(covers && sorted && !bounds.is_empty()) {
+            return None;
+        }
+        let mut map = ShardMap {
+            bounds,
+            groups,
+            placement: None,
+        };
+        if let Some(p) = placement_part {
+            let rows: Option<Vec<Vec<u32>>> = p
+                .split(',')
+                .map(|row| row.split('.').map(|r| r.parse().ok()).collect())
+                .collect();
+            let rows = rows?;
+            if rows.len() != map.n_groups() || rows.iter().any(Vec::is_empty) {
+                return None;
+            }
+            map.placement = Some(rows);
+        }
+        Some(map)
     }
 }
 
@@ -122,6 +201,28 @@ mod tests {
         assert_eq!(ShardMap::deserialize("10:0,5:1"), None, "unsorted");
         assert_eq!(ShardMap::deserialize("10:0,20:1"), None, "uncovered ring");
         assert_eq!(ShardMap::deserialize("zz"), None);
+    }
+
+    #[test]
+    fn placement_round_trips_and_stays_backward_compatible() {
+        let plain = ShardMap::even(3);
+        let placed = plain
+            .clone()
+            .with_placement(vec![vec![0, 0, 1], vec![1, 1, 2], vec![2, 2, 0]]);
+        // Placement-free serialization is byte-identical to the historical
+        // form and parses back without a placement.
+        assert!(!plain.serialize().contains('|'));
+        let wire = placed.serialize();
+        assert_eq!(wire.split('|').next().unwrap(), plain.serialize());
+        let copy = ShardMap::deserialize(&wire).unwrap();
+        assert_eq!(copy, placed);
+        assert_eq!(copy.replica_region(1, 2), Some(2));
+        assert_eq!(copy.primary_region(2), Some(2));
+        assert_eq!(plain.primary_region(0), None);
+        // Malformed placements are rejected, not silently dropped.
+        let base = plain.serialize();
+        assert_eq!(ShardMap::deserialize(&format!("{base}|0.0")), None);
+        assert_eq!(ShardMap::deserialize(&format!("{base}|a,b,c")), None);
     }
 
     #[test]

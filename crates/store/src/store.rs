@@ -37,12 +37,14 @@ use consensus_core::history::{ClientRecord, HistorySink};
 use consensus_core::smr::{Command, KvCommand, KvResponse};
 use consensus_core::txn::{self, TxnDecision, TxnId, TxnPhase};
 use consensus_core::workload::LatencyRecorder;
+use consensus_core::ReadMode;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha20Rng;
 use simnet::causal::cat;
 use simnet::{CausalSpan, DiskModel, NetConfig, Time, TraceCtx, Tracer};
 
-use crate::engine::ShardEngine;
+use crate::engine::{ShardEngine, ShardGeo};
+use crate::geo::{compute_placement, GeoConfig, ReadOutcome};
 use crate::shard_map::ShardMap;
 
 /// Lockstep step size: shards run this many µs between harness polls.
@@ -52,6 +54,10 @@ pub const RETRY_US: u64 = 25_000;
 /// How long a crashed router's transaction stays untouched before the
 /// recovery actor claims it.
 pub const RECOVERY_DELAY_US: u64 = 40_000;
+/// How long a router waits on a silent fast-path geo read before falling
+/// back to the ordinary log path. Generous enough to cover a WAN round
+/// trip plus a read-index confirmation; a NACK falls back immediately.
+pub const GEO_READ_TIMEOUT_US: u64 = 120_000;
 /// Client id of router `r` is `ROUTER_BASE + r`.
 pub const ROUTER_BASE: u32 = 100;
 /// Client id of the recovery actor.
@@ -154,6 +160,29 @@ pub fn decode_intent(s: &str) -> (CommitBackend, Vec<usize>) {
 /// Store-wide configuration. Serialized (including the shard map) and
 /// re-parsed by every router, so all routers provably share one routing
 /// view.
+///
+/// Every builder knob in one place (all start from [`StoreConfig::new`]'s
+/// canonical small store and return `self`):
+///
+/// | Builder | Default | Effect |
+/// |---|---|---|
+/// | [`shards`](StoreConfig::shards) | 3 | Number of shards = consensus groups. |
+/// | [`replicas`](StoreConfig::replicas) | 3 | Replicas per consensus group. |
+/// | [`routers`](StoreConfig::routers) | 2 | Router (coordinator) clients. |
+/// | [`txns_per_router`](StoreConfig::txns_per_router) | 3 | Cross-shard transactions each router issues. |
+/// | [`singles_per_router`](StoreConfig::singles_per_router) | 2 | Single-key ops each router issues. |
+/// | [`ranges_per_router`](StoreConfig::ranges_per_router) | 0 | Fan-out range scans each router issues (after txns/singles). |
+/// | [`keys_per_shard`](StoreConfig::keys_per_shard) | 4 | Workload key-pool size per shard. |
+/// | [`batch`](StoreConfig::batch) | unbatched | Batching/pipelining knob forwarded to every shard group. |
+/// | [`net`](StoreConfig::net) | LAN | Network profile of every shard group. |
+/// | [`buggy_early_writes`](StoreConfig::buggy_early_writes) | off | Inject the early-dissemination coordinator bug. |
+/// | [`durable`](StoreConfig::durable) | off | Durable shard storage: `(snapshot_threshold, disk model)`. |
+/// | [`backend`](StoreConfig::backend) | 2PC-over-consensus | Default commitment protocol for generated transactions. |
+/// | [`txn_backend`](StoreConfig::txn_backend) | — | Per-transaction backend override `(router, txn_number, backend)`. |
+/// | [`geo`](StoreConfig::geo) | off | WAN regions, shard placement, and the fast geo read path. |
+///
+/// `max_span` (default 3) has no builder: set the field directly. The
+/// master `seed` is [`StoreConfig::new`]'s argument.
 #[derive(Clone, Debug)]
 pub struct StoreConfig {
     /// Number of shards = consensus groups.
@@ -194,6 +223,10 @@ pub struct StoreConfig {
     /// Per-transaction backend overrides `(router, txn_number, backend)`,
     /// applied to the generated workload at build time.
     pub backend_overrides: Vec<(usize, u64, CommitBackend)>,
+    /// Geo deployment: WAN topology, shard placement, leases, and the
+    /// region-local fast read path. `None` keeps the single-datacenter
+    /// store bit-identical to its historical behavior.
+    pub geo: Option<GeoConfig>,
 }
 
 impl StoreConfig {
@@ -216,6 +249,7 @@ impl StoreConfig {
             durability: None,
             backend: CommitBackend::TwoPhaseOverConsensus,
             backend_overrides: Vec::new(),
+            geo: None,
         }
     }
 
@@ -320,6 +354,16 @@ impl StoreConfig {
         self.backend_overrides.push((router, txn_number, backend));
         self
     }
+
+    /// The same store deployed across WAN regions: installs the topology
+    /// into every shard group's network, computes and serializes the shard
+    /// placement, homes router `r` in region `r mod n_regions`, and appends
+    /// each router's fast-path geo reads to its workload.
+    #[must_use]
+    pub fn geo(mut self, geo: GeoConfig) -> Self {
+        self.geo = Some(geo);
+        self
+    }
 }
 
 /// Where a router may be crashed relative to a transaction's lifecycle,
@@ -368,6 +412,9 @@ enum WorkItem {
         abort: bool,
         backend: CommitBackend,
     },
+    /// A fast-path linearizable read (geo stores only): tries the lease /
+    /// read-index path first, falls back to the log on NACK or silence.
+    GeoRead { key: String },
 }
 
 /// A completed merged range scan as the issuing router saw it.
@@ -396,6 +443,24 @@ struct RangeAcc {
     end: String,
     limit: usize,
     entries: Vec<(String, String)>,
+}
+
+/// An in-flight geo fast read. One per router at a time (the router is a
+/// sequential client); the history invoke opened at issue time is closed by
+/// whichever path answers — fast reply or log fallback — never both.
+#[derive(Clone, Debug)]
+struct FastRead {
+    key: String,
+    shard: usize,
+    seq: u64,
+    /// Region of the replica the read was aimed at.
+    target_region: Option<usize>,
+    issued: u64,
+    last_sent: u64,
+    /// The fast path NACKed or went silent; the read now rides the log as
+    /// an ordinary pending op under the *same* `(client, seq)`.
+    fell_back: bool,
+    tc: Option<TraceCtx>,
 }
 
 /// An outstanding submission awaiting its reply.
@@ -512,6 +577,8 @@ enum Phase {
     Single,
     /// Range scan: per-shard sub-scans in flight, merge pending.
     Range,
+    /// Geo fast read in flight (or its log fallback after a NACK/timeout).
+    GeoRead,
     Intent,
     Init,
     Prepare,
@@ -551,6 +618,8 @@ struct Router {
     idx: usize,
     client: u32,
     map: ShardMap,
+    /// Home region (always 0 on non-geo stores).
+    region: usize,
     items: Vec<WorkItem>,
     next_item: usize,
     txn_counter: u64,
@@ -559,6 +628,8 @@ struct Router {
     txn: Option<ActiveTxn>,
     range: Option<RangeAcc>,
     ranges: Vec<RangeOutcome>,
+    fast_read: Option<FastRead>,
+    geo_reads: Vec<ReadOutcome>,
     pending: Vec<Pending>,
     crashed: Option<u64>,
     crash_at: Option<u64>,
@@ -735,6 +806,7 @@ fn crash_router(r: &mut Router, now: u64, trace: &mut Vec<String>, queue: &mut V
     r.crashed = Some(now);
     r.pending.clear();
     r.range = None;
+    r.fast_read = None;
     if let Some(t) = r.txn.take() {
         trace.push(format!(
             "t={now} r{} crash mid-txn {} (to recovery)",
@@ -957,7 +1029,83 @@ fn start_next<E: ShardEngine>(
                 .push(submit(shards, tr, &mut r.history, r.client, seq, coord, op, now));
             r.phase = Phase::Intent;
         }
+        WorkItem::GeoRead { key } => {
+            let shard = r.map.group_of(&key);
+            let seq = r.bump();
+            let target = shards[shard].read_target(r.region);
+            let target_region = shards[shard].replica_region(target);
+            let op = KvCommand::Get { key: key.clone() };
+            // One history invoke for the whole read: the fast reply or the
+            // log fallback completes it, never both.
+            r.history.invoke(r.client, seq, op.clone(), now);
+            let tc = tr.begin_op(r.client, seq, &op, now);
+            shards[shard].submit_read(r.client, seq, &key, target, r.region);
+            trace.push(format!(
+                "t={now} r{} georead {key} shard=s{shard} target={target} region={}",
+                r.idx, r.region
+            ));
+            r.fast_read = Some(FastRead {
+                key,
+                shard,
+                seq,
+                target_region,
+                issued: now,
+                last_sent: now,
+                fell_back: false,
+                tc,
+            });
+            r.phase = Phase::GeoRead;
+        }
     }
+}
+
+/// Closes out a completed geo read: trace line, outcome record, root span.
+#[allow(clippy::too_many_arguments)]
+fn finish_geo_read(
+    r: &mut Router,
+    tr: &mut StoreTrace,
+    fr: FastRead,
+    mode: ReadMode,
+    value: Option<String>,
+    local: bool,
+    now: u64,
+    trace: &mut Vec<String>,
+) {
+    trace.push(format!(
+        "t={now} r{} georead {} -> mode={mode:?} local={local}",
+        r.idx, fr.key
+    ));
+    if mode != ReadMode::Log {
+        // The log fallback's root span was already closed by `poll`; the
+        // fast path closes it here.
+        tr.finish_op(
+            &Pending {
+                shard: fr.shard,
+                seq: fr.seq,
+                op: KvCommand::Get {
+                    key: fr.key.clone(),
+                },
+                sent: fr.last_sent,
+                issued: fr.issued,
+                tc: fr.tc,
+            },
+            r.client,
+            now,
+        );
+    }
+    r.geo_reads.push(ReadOutcome {
+        client: r.client,
+        key: fr.key,
+        shard: fr.shard,
+        region: r.region,
+        target_region: fr.target_region,
+        mode,
+        value,
+        at: now,
+        latency_us: now - fr.issued,
+        local,
+    });
+    r.phase = Phase::Idle;
 }
 
 #[allow(clippy::too_many_lines)]
@@ -1035,6 +1183,72 @@ fn step_router<E: ShardEngine>(
                     at: now,
                 });
                 r.phase = Phase::Idle;
+            }
+        }
+        Phase::GeoRead => {
+            let fr = r.fast_read.as_ref().expect("geo-read phase has a read");
+            if fr.fell_back {
+                // The read rides the log as an ordinary pending op; `poll`
+                // already completed the history when the reply landed.
+                if let Some((_, resp)) = done.into_iter().find(|(p, _)| p.seq == fr.seq) {
+                    let fr = r.fast_read.take().expect("geo-read phase has a read");
+                    let value = match resp {
+                        KvResponse::Value(v) => v,
+                        _ => None,
+                    };
+                    finish_geo_read(r, tr, fr, ReadMode::Log, value, false, now, trace);
+                }
+            } else {
+                match shards[fr.shard].read_reply(r.client, fr.seq) {
+                    Some((value, mode)) if mode != ReadMode::Nack => {
+                        let fr = r.fast_read.take().expect("geo-read phase has a read");
+                        r.history.complete(
+                            r.client,
+                            fr.seq,
+                            now,
+                            KvResponse::Value(value.clone()),
+                        );
+                        let local = fr.target_region == Some(r.region);
+                        finish_geo_read(r, tr, fr, mode, value, local, now, trace);
+                    }
+                    reply => {
+                        let nacked = reply.is_some();
+                        let timed_out = now.saturating_sub(fr.issued) >= GEO_READ_TIMEOUT_US;
+                        let fr = r.fast_read.as_mut().expect("geo-read phase has a read");
+                        if nacked || timed_out {
+                            // Fall back to the log under the same
+                            // `(client, seq)`: no second history invoke, so
+                            // the checker sees one read however it is served.
+                            fr.fell_back = true;
+                            fr.last_sent = now;
+                            let op = KvCommand::Get { key: fr.key.clone() };
+                            shards[fr.shard].submit_traced(
+                                Command {
+                                    client: r.client,
+                                    seq: fr.seq,
+                                    op: op.clone(),
+                                },
+                                fr.tc,
+                            );
+                            r.pending.push(Pending {
+                                shard: fr.shard,
+                                seq: fr.seq,
+                                op,
+                                sent: now,
+                                issued: fr.issued,
+                                tc: fr.tc,
+                            });
+                        } else if now.saturating_sub(fr.last_sent) >= RETRY_US {
+                            // Retransmit, re-resolving the target: leadership
+                            // may have moved since the first attempt.
+                            fr.last_sent = now;
+                            let (key, shard, seq) = (fr.key.clone(), fr.shard, fr.seq);
+                            let target = shards[shard].read_target(r.region);
+                            fr.target_region = shards[shard].replica_region(target);
+                            shards[shard].submit_read(r.client, seq, &key, target, r.region);
+                        }
+                    }
+                }
             }
         }
         Phase::Intent => {
@@ -1869,7 +2083,15 @@ impl<E: ShardEngine> Store<E> {
     /// re-parsed by every router (asserted identical).
     pub fn new(cfg: StoreConfig) -> Self {
         assert!(cfg.n_shards > 0 && cfg.replicas_per_shard > 0 && cfg.n_routers > 0);
-        let map = ShardMap::even(cfg.n_shards);
+        let mut map = ShardMap::even(cfg.n_shards);
+        if let Some(geo) = &cfg.geo {
+            map = map.with_placement(compute_placement(
+                geo.placement,
+                cfg.n_shards,
+                cfg.replicas_per_shard,
+                geo.topology.n_regions(),
+            ));
+        }
         let wire = map.serialize();
         let shards: Vec<E> = (0..cfg.n_shards)
             .map(|s| {
@@ -1877,12 +2099,24 @@ impl<E: ShardEngine> Store<E> {
                     .seed
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                     .wrapping_add(s as u64 + 1);
+                let net = match &cfg.geo {
+                    Some(g) => cfg.net.clone().with_wan(g.topology.clone()),
+                    None => cfg.net.clone(),
+                };
                 let mut spec = crate::engine::ShardBuildSpec::new(
                     cfg.replicas_per_shard,
                     cfg.batch,
-                    cfg.net.clone(),
+                    net,
                     seed,
                 );
+                if let Some(g) = &cfg.geo {
+                    spec = spec.geo(ShardGeo {
+                        n_regions: g.topology.n_regions(),
+                        regions: map.placement().expect("geo store has a placement")[s].clone(),
+                        lease_us: g.lease_us,
+                        max_skew_us: g.max_skew_us,
+                    });
+                }
                 if let Some((threshold, disk)) = cfg.durability {
                     spec = spec.durable(threshold, disk);
                 }
@@ -1891,6 +2125,7 @@ impl<E: ShardEngine> Store<E> {
             .collect();
         let trace = Vec::new();
         let pool = key_pool(&map, cfg.n_shards, cfg.keys_per_shard);
+        let n_regions = cfg.geo.as_ref().map_or(1, |g| g.topology.n_regions());
         let routers: Vec<Router> = (0..cfg.n_routers)
             .map(|r| {
                 let router_map =
@@ -1900,7 +2135,8 @@ impl<E: ShardEngine> Store<E> {
                     idx: r,
                     client: ROUTER_BASE + r as u32,
                     map: router_map,
-                    items: generate_items(&cfg, &pool, r),
+                    region: r % n_regions,
+                    items: generate_items(&cfg, &pool, r, &map),
                     next_item: 0,
                     txn_counter: 0,
                     seq: 0,
@@ -1908,6 +2144,8 @@ impl<E: ShardEngine> Store<E> {
                     txn: None,
                     range: None,
                     ranges: Vec::new(),
+                    fast_read: None,
+                    geo_reads: Vec::new(),
                     pending: Vec::new(),
                     crashed: None,
                     crash_at: None,
@@ -2119,6 +2357,18 @@ impl<E: ShardEngine> Store<E> {
         all
     }
 
+    /// All completed geo fast-path reads (with their log fallbacks),
+    /// ordered by completion time then client. Empty on non-geo stores.
+    pub fn read_outcomes(&self) -> Vec<ReadOutcome> {
+        let mut all: Vec<ReadOutcome> = self
+            .routers
+            .iter()
+            .flat_map(|r| r.geo_reads.iter().cloned())
+            .collect();
+        all.sort_by_key(|o| (o.at, o.client));
+        all
+    }
+
     /// Transactions the recovery actor resolved, in resolution order.
     pub fn recovered(&self) -> &[(TxnId, TxnDecision)] {
         &self.recovery.recovered
@@ -2264,10 +2514,11 @@ impl<E: ShardEngine> Store<E> {
     }
 
     /// Partitions each shard group along `group` (global replica ids):
-    /// replicas in `group` on one side, the rest (plus the stub client) on
-    /// the other. Shards with an empty side are untouched.
+    /// replicas in `group` on one side, the rest (plus every stub client)
+    /// on the other. Shards with an empty side are untouched.
     pub fn partition_at(&mut self, at: u64, group: &[u32]) {
         let rps = self.cfg.replicas_per_shard;
+        let n_stubs = self.cfg.geo.as_ref().map_or(1, |g| g.topology.n_regions());
         for s in 0..self.cfg.n_shards {
             let side_a: Vec<simnet::NodeId> = group
                 .iter()
@@ -2276,8 +2527,8 @@ impl<E: ShardEngine> Store<E> {
                     _ => None,
                 })
                 .collect();
-            // The stub client (id rps) stays with the complement side.
-            let side_b: Vec<simnet::NodeId> = (0..=rps)
+            // The stub clients (ids rps..) stay with the complement side.
+            let side_b: Vec<simnet::NodeId> = (0..rps + n_stubs)
                 .map(simnet::NodeId::from)
                 .filter(|id| !side_a.contains(id))
                 .collect();
@@ -2285,6 +2536,42 @@ impl<E: ShardEngine> Store<E> {
                 continue;
             }
             self.shards[s].partition_at(Time(at), vec![side_a, side_b]);
+        }
+    }
+
+    /// Partitions region `region` away from the rest of the WAN at absolute
+    /// time `at`: in every shard group, the replicas homed in `region`
+    /// (plus that region's stub client) land on one side and everything
+    /// else on the other. No-op on non-geo stores.
+    pub fn partition_region_at(&mut self, at: u64, region: usize) {
+        let rps = self.cfg.replicas_per_shard;
+        let n_stubs = self.cfg.geo.as_ref().map_or(1, |g| g.topology.n_regions());
+        let Some(placement) = self.map.placement().cloned() else {
+            return;
+        };
+        for (s, shard_regions) in placement.iter().enumerate().take(self.cfg.n_shards) {
+            let side_a: Vec<simnet::NodeId> = (0..rps)
+                .filter(|&r| shard_regions[r] as usize == region)
+                .map(simnet::NodeId::from)
+                .chain((region < n_stubs).then(|| simnet::NodeId::from(rps + region)))
+                .collect();
+            let side_b: Vec<simnet::NodeId> = (0..rps + n_stubs)
+                .map(simnet::NodeId::from)
+                .filter(|id| !side_a.contains(id))
+                .collect();
+            if side_a.is_empty() || side_b.is_empty() {
+                continue;
+            }
+            self.shards[s].partition_at(Time(at), vec![side_a, side_b]);
+        }
+    }
+
+    /// Skews the local clock of a global replica id forward by `offset_us`
+    /// — the lever for driving a lease holder past its skew bound. Ignored
+    /// for router ids (routers have no protocol clock).
+    pub fn set_replica_skew(&mut self, global: u32, offset_us: u64) {
+        if let Ok((shard, replica)) = self.split_node(global) {
+            self.shards[shard].set_replica_skew(replica, offset_us);
         }
     }
 
@@ -2366,7 +2653,12 @@ fn key_pool(map: &ShardMap, n_shards: usize, keys_per_shard: usize) -> Vec<Vec<S
 
 /// Deterministic per-router workload: alternating cross-shard transactions
 /// and single-key operations.
-fn generate_items(cfg: &StoreConfig, pool: &[Vec<String>], router: usize) -> Vec<WorkItem> {
+fn generate_items(
+    cfg: &StoreConfig,
+    pool: &[Vec<String>],
+    router: usize,
+    map: &ShardMap,
+) -> Vec<WorkItem> {
     let mut rng = ChaCha20Rng::seed_from_u64(
         cfg.seed ^ (router as u64 + 0x5707).rotate_left(17),
     );
@@ -2431,6 +2723,34 @@ fn generate_items(cfg: &StoreConfig, pool: &[Vec<String>], router: usize) -> Vec
                 start: all_keys[lo].clone(),
                 end,
                 limit,
+            });
+        }
+    }
+    // Geo fast reads come last of all (zero extra RNG draws without a geo
+    // config, so non-geo workloads stay bit-identical).
+    if let Some(geo) = &cfg.geo {
+        let n_regions = geo.topology.n_regions();
+        let my_region = router % n_regions;
+        let local: Vec<usize> = (0..cfg.n_shards)
+            .filter(|&s| map.primary_region(s) == Some(my_region))
+            .collect();
+        let remote: Vec<usize> = (0..cfg.n_shards)
+            .filter(|&s| map.primary_region(s) != Some(my_region))
+            .collect();
+        for _ in 0..geo.reads_per_router {
+            let pick_local = rng.gen_range(0..100) < geo.local_read_pct && !local.is_empty();
+            let from = if pick_local || remote.is_empty() {
+                &local
+            } else {
+                &remote
+            };
+            let s = from[rng.gen_range(0..from.len())];
+            // Mild key skew (zipf-ish): the minimum of two uniform draws
+            // biases reads toward the front of the shard's pool.
+            let a = rng.gen_range(0..pool[s].len());
+            let b = rng.gen_range(0..pool[s].len());
+            items.push(WorkItem::GeoRead {
+                key: pool[s][a.min(b)].clone(),
             });
         }
     }
